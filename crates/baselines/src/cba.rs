@@ -1,0 +1,271 @@
+//! CBA-style associative classifier (Liu, Hsu, Ma — KDD 1998, algorithm M1).
+//!
+//! Rules are sorted by precedence; a rule enters the classifier if it
+//! correctly classifies at least one still-uncovered training instance, at
+//! which point every instance it covers is removed. The rule list is finally
+//! cut at the prefix minimising training errors (rules beyond the cut are
+//! dropped and the default class takes over).
+
+use crate::rules::{majority_class, precedence, rules_from_patterns, Rule};
+use dfp_data::schema::ClassId;
+use dfp_data::transactions::{Item, TransactionSet};
+use dfp_mining::{mine_features, MiningConfig, MiningError};
+
+/// CBA hyperparameters.
+#[derive(Debug, Clone)]
+pub struct CbaParams {
+    /// Minimum rule confidence (CBA default 0.5).
+    pub min_conf: f64,
+    /// Pattern-mining configuration for rule generation.
+    pub mining: MiningConfig,
+}
+
+impl Default for CbaParams {
+    fn default() -> Self {
+        CbaParams {
+            min_conf: 0.5,
+            mining: MiningConfig::default(),
+        }
+    }
+}
+
+/// A trained CBA classifier: an ordered rule list plus a default class.
+#[derive(Debug, Clone)]
+pub struct CbaClassifier {
+    rules: Vec<Rule>,
+    default: ClassId,
+}
+
+impl CbaClassifier {
+    /// Mines CARs from `ts` and builds the coverage-selected rule list.
+    pub fn fit(ts: &TransactionSet, params: &CbaParams) -> Result<Self, MiningError> {
+        let patterns = mine_features(ts, &params.mining)?;
+        let rules = rules_from_patterns(&patterns, params.min_conf);
+        Ok(Self::from_rules(ts, rules))
+    }
+
+    /// Builds the classifier from pre-sorted candidate rules (M1 selection).
+    #[allow(clippy::needless_range_loop)] // `t` indexes both local state and `ts` accessors
+    pub fn from_rules(ts: &TransactionSet, mut candidates: Vec<Rule>) -> Self {
+        candidates.sort_by(precedence);
+        let n = ts.len();
+        let mut covered = vec![false; n];
+        let mut n_covered = 0usize;
+
+        // Select rules by database coverage, tracking errors to find the cut.
+        let mut selected: Vec<Rule> = Vec::new();
+        let mut defaults: Vec<ClassId> = Vec::new();
+        let mut errors: Vec<usize> = Vec::new();
+        let mut rule_errors = 0usize; // mistakes by selected rules on covered data
+
+        for rule in candidates {
+            if n_covered == n {
+                break;
+            }
+            let mut correct = false;
+            for t in 0..n {
+                if !covered[t]
+                    && rule.covers(ts.transaction(t))
+                    && ts.label(t) == rule.class
+                {
+                    correct = true;
+                    break;
+                }
+            }
+            if !correct {
+                continue;
+            }
+            for t in 0..n {
+                if !covered[t] && rule.covers(ts.transaction(t)) {
+                    covered[t] = true;
+                    n_covered += 1;
+                    if ts.label(t) != rule.class {
+                        rule_errors += 1;
+                    }
+                }
+            }
+            selected.push(rule);
+            // Default = majority among the remaining uncovered instances.
+            let mut counts = vec![0usize; ts.n_classes()];
+            for t in 0..n {
+                if !covered[t] {
+                    counts[ts.label(t).index()] += 1;
+                }
+            }
+            let default = arg_max(&counts);
+            let default_errors: usize = counts.iter().sum::<usize>() - counts[default.index()];
+            defaults.push(default);
+            errors.push(rule_errors + default_errors);
+        }
+
+        let global_default = majority_class(ts);
+        match errors
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &e)| (e, i))
+            .map(|(i, _)| i)
+        {
+            Some(cut) => {
+                selected.truncate(cut + 1);
+                CbaClassifier {
+                    rules: selected,
+                    default: defaults[cut],
+                }
+            }
+            None => CbaClassifier {
+                rules: Vec::new(),
+                default: global_default,
+            },
+        }
+    }
+
+    /// Predicts via the first covering rule, falling back to the default.
+    pub fn predict(&self, tx: &[Item]) -> ClassId {
+        self.rules
+            .iter()
+            .find(|r| r.covers(tx))
+            .map(|r| r.class)
+            .unwrap_or(self.default)
+    }
+
+    /// Accuracy on a labelled transaction set.
+    pub fn accuracy(&self, ts: &TransactionSet) -> f64 {
+        if ts.is_empty() {
+            return 0.0;
+        }
+        let hits = (0..ts.len())
+            .filter(|&t| self.predict(ts.transaction(t)) == ts.label(t))
+            .count();
+        hits as f64 / ts.len() as f64
+    }
+
+    /// Number of rules in the classifier.
+    pub fn n_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// The default class.
+    pub fn default_class(&self) -> ClassId {
+        self.default
+    }
+}
+
+fn arg_max(counts: &[usize]) -> ClassId {
+    let mut best = 0usize;
+    for (c, &v) in counts.iter().enumerate() {
+        if v > counts[best] {
+            best = c;
+        }
+    }
+    ClassId(best as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(rows: &[(&[u32], u32)]) -> TransactionSet {
+        let n_items = rows
+            .iter()
+            .flat_map(|(r, _)| r.iter())
+            .map(|&i| i as usize + 1)
+            .max()
+            .unwrap_or(1);
+        let n_classes = rows.iter().map(|&(_, l)| l as usize + 1).max().unwrap_or(1);
+        TransactionSet::new(
+            n_items,
+            n_classes,
+            rows.iter()
+                .map(|(r, _)| {
+                    let mut v: Vec<Item> = r.iter().map(|&i| Item(i)).collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect(),
+            rows.iter().map(|&(_, l)| ClassId(l)).collect(),
+        )
+    }
+
+    fn marker_db() -> TransactionSet {
+        db(&[
+            (&[0, 2], 0),
+            (&[0], 0),
+            (&[0, 2], 0),
+            (&[1], 1),
+            (&[1, 2], 1),
+            (&[1], 1),
+        ])
+    }
+
+    #[test]
+    fn learns_marker_rules() {
+        let cba = CbaClassifier::fit(&marker_db(), &CbaParams::default()).unwrap();
+        assert_eq!(cba.accuracy(&marker_db()), 1.0);
+        assert_eq!(cba.predict(&[Item(0)]), ClassId(0));
+        assert_eq!(cba.predict(&[Item(1)]), ClassId(1));
+        assert!(cba.n_rules() >= 1);
+    }
+
+    #[test]
+    fn default_class_for_uncovered() {
+        let ts = db(&[(&[0], 0), (&[0], 0), (&[1], 1)]);
+        let cba = CbaClassifier::fit(&ts, &CbaParams::default()).unwrap();
+        // an item no rule mentions → default
+        let pred = cba.predict(&[Item(2).min(Item(0))]);
+        let _ = pred; // covered by a rule or default — just must not panic
+        assert!(cba.predict(&[]) == cba.default_class() || cba.n_rules() == 0);
+    }
+
+    #[test]
+    fn no_rules_falls_back_to_majority() {
+        let ts = db(&[(&[0], 0), (&[1], 0), (&[2], 1)]);
+        let cba = CbaClassifier::from_rules(&ts, vec![]);
+        assert_eq!(cba.n_rules(), 0);
+        assert_eq!(cba.default_class(), ClassId(0));
+        assert_eq!(cba.predict(&[Item(2)]), ClassId(0));
+    }
+
+    #[test]
+    fn precedence_puts_confident_rule_first() {
+        let ts = db(&[
+            (&[0, 1], 0),
+            (&[0, 1], 0),
+            (&[0], 1),
+            (&[1], 1),
+            (&[2], 1),
+        ]);
+        let cba = CbaClassifier::fit(
+            &ts,
+            &CbaParams {
+                min_conf: 0.5,
+                mining: MiningConfig::with_min_sup(0.3),
+            },
+        )
+        .unwrap();
+        // {0,1} → class 0 is 100% confident and must win over weaker rules.
+        assert_eq!(cba.predict(&[Item(0), Item(1)]), ClassId(0));
+    }
+
+    #[test]
+    fn error_cut_drops_harmful_tail() {
+        // Construct rules where a later rule only adds errors; the cut must
+        // drop it.
+        let ts = db(&[(&[0], 0), (&[0], 0), (&[1], 1), (&[1], 0)]);
+        let good = Rule {
+            items: vec![Item(0)],
+            class: ClassId(0),
+            class_support: 2,
+            cover: 2,
+        };
+        let noisy = Rule {
+            items: vec![Item(1)],
+            class: ClassId(1),
+            class_support: 1,
+            cover: 2,
+        };
+        let cba = CbaClassifier::from_rules(&ts, vec![good, noisy]);
+        // Keeping only the good rule (+default class 0) gives 3/4; adding the
+        // noisy rule also gives 3/4 — the earlier (shorter) prefix must win.
+        assert_eq!(cba.n_rules(), 1);
+    }
+}

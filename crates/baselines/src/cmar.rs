@@ -1,0 +1,270 @@
+//! CMAR-style associative classifier (Li, Han, Pei — ICDM 2001).
+//!
+//! Differences from CBA: rules are selected by *database coverage with a
+//! threshold δ* (an instance is retired only after δ covering rules) and
+//! prediction aggregates **all** covering rules, grouped by class, with a
+//! weighted-χ² score — rather than firing only the single best rule.
+
+use crate::rules::{majority_class, precedence, rules_from_patterns, Rule};
+use dfp_data::schema::ClassId;
+use dfp_data::transactions::{Item, TransactionSet};
+use dfp_mining::{mine_features, MiningConfig, MiningError};
+
+/// CMAR hyperparameters.
+#[derive(Debug, Clone)]
+pub struct CmarParams {
+    /// Minimum rule confidence.
+    pub min_conf: f64,
+    /// Database-coverage threshold δ (CMAR suggests 3–4).
+    pub coverage: u32,
+    /// Pattern-mining configuration.
+    pub mining: MiningConfig,
+}
+
+impl Default for CmarParams {
+    fn default() -> Self {
+        CmarParams {
+            min_conf: 0.5,
+            coverage: 4,
+            mining: MiningConfig::default(),
+        }
+    }
+}
+
+/// A trained CMAR classifier.
+#[derive(Debug, Clone)]
+pub struct CmarClassifier {
+    rules: Vec<Rule>,
+    /// Per-rule weighted-χ² contribution (χ²·χ²/max-χ², CMAR §4.2).
+    weights: Vec<f64>,
+    default: ClassId,
+    n_classes: usize,
+}
+
+impl CmarClassifier {
+    /// Mines CARs and builds the coverage-δ rule set.
+    pub fn fit(ts: &TransactionSet, params: &CmarParams) -> Result<Self, MiningError> {
+        let patterns = mine_features(ts, &params.mining)?;
+        let rules = rules_from_patterns(&patterns, params.min_conf);
+        Ok(Self::from_rules(ts, rules, params.coverage))
+    }
+
+    /// Coverage-δ selection from pre-generated rules.
+    #[allow(clippy::needless_range_loop)] // `t` indexes both local state and `ts` accessors
+    pub fn from_rules(ts: &TransactionSet, mut candidates: Vec<Rule>, delta: u32) -> Self {
+        candidates.sort_by(precedence);
+        let n = ts.len();
+        let mut cover_count = vec![0u32; n];
+        let mut selected = Vec::new();
+        for rule in candidates {
+            let mut keeps = false;
+            for t in 0..n {
+                if cover_count[t] < delta
+                    && rule.covers(ts.transaction(t))
+                    && ts.label(t) == rule.class
+                {
+                    keeps = true;
+                    break;
+                }
+            }
+            if !keeps {
+                continue;
+            }
+            for t in 0..n {
+                if rule.covers(ts.transaction(t)) {
+                    cover_count[t] = cover_count[t].saturating_add(1);
+                }
+            }
+            selected.push(rule);
+            if cover_count.iter().all(|&c| c >= delta) {
+                break;
+            }
+        }
+
+        // Weighted-χ²: χ² × χ² / max-χ², where max-χ² is the χ² the rule
+        // would reach if it were a perfect association given its margins.
+        let class_counts = ts.class_counts();
+        let weights = selected
+            .iter()
+            .map(|r| {
+                let chi = r.chi_square(&class_counts, n);
+                let max_chi = max_chi_square(r, &class_counts, n);
+                if max_chi > 0.0 {
+                    chi * chi / max_chi
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        CmarClassifier {
+            rules: selected,
+            weights,
+            default: majority_class(ts),
+            n_classes: ts.n_classes(),
+        }
+    }
+
+    /// Predicts by weighted-χ² group voting over all covering rules.
+    pub fn predict(&self, tx: &[Item]) -> ClassId {
+        let mut scores = vec![0.0f64; self.n_classes];
+        let mut any = false;
+        for (rule, &w) in self.rules.iter().zip(&self.weights) {
+            if rule.covers(tx) {
+                scores[rule.class.index()] += w;
+                any = true;
+            }
+        }
+        if !any {
+            return self.default;
+        }
+        let mut best = 0usize;
+        for c in 0..self.n_classes {
+            if scores[c] > scores[best] {
+                best = c;
+            }
+        }
+        ClassId(best as u32)
+    }
+
+    /// Accuracy on a labelled transaction set.
+    pub fn accuracy(&self, ts: &TransactionSet) -> f64 {
+        if ts.is_empty() {
+            return 0.0;
+        }
+        let hits = (0..ts.len())
+            .filter(|&t| self.predict(ts.transaction(t)) == ts.label(t))
+            .count();
+        hits as f64 / ts.len() as f64
+    }
+
+    /// Number of rules kept.
+    pub fn n_rules(&self) -> usize {
+        self.rules.len()
+    }
+}
+
+/// The χ² a rule would attain at maximal association given its margins
+/// (CMAR Eq. for maxχ²: `(min(cover, class_total) − cover·class_total/n)² ·
+/// n² · e`, with `e` the sum of inverse expected counts).
+fn max_chi_square(rule: &Rule, class_counts: &[usize], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let n_f = n as f64;
+    let cover = rule.cover as f64;
+    let class_total = class_counts[rule.class.index()] as f64;
+    let q = cover.min(class_total) - cover * class_total / n_f;
+    let e = {
+        let a = cover * class_total;
+        let b = cover * (n_f - class_total);
+        let c = (n_f - cover) * class_total;
+        let d = (n_f - cover) * (n_f - class_total);
+        let mut s = 0.0;
+        for x in [a, b, c, d] {
+            if x > 0.0 {
+                s += n_f / x;
+            }
+        }
+        s
+    };
+    q * q * e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(rows: &[(&[u32], u32)]) -> TransactionSet {
+        let n_items = rows
+            .iter()
+            .flat_map(|(r, _)| r.iter())
+            .map(|&i| i as usize + 1)
+            .max()
+            .unwrap_or(1);
+        let n_classes = rows.iter().map(|&(_, l)| l as usize + 1).max().unwrap_or(1);
+        TransactionSet::new(
+            n_items,
+            n_classes,
+            rows.iter()
+                .map(|(r, _)| {
+                    let mut v: Vec<Item> = r.iter().map(|&i| Item(i)).collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect(),
+            rows.iter().map(|&(_, l)| ClassId(l)).collect(),
+        )
+    }
+
+    fn marker_db() -> TransactionSet {
+        db(&[
+            (&[0, 2], 0),
+            (&[0], 0),
+            (&[0, 2], 0),
+            (&[1], 1),
+            (&[1, 2], 1),
+            (&[1], 1),
+        ])
+    }
+
+    #[test]
+    fn learns_markers() {
+        let cmar = CmarClassifier::fit(&marker_db(), &CmarParams::default()).unwrap();
+        assert_eq!(cmar.accuracy(&marker_db()), 1.0);
+    }
+
+    #[test]
+    fn group_voting_beats_single_noisy_rule() {
+        // Transaction {0,1}: one confident rule says class 1 via item 1, but
+        // two strong class-0 rules (items 0 and 2 patterns) dominate the vote.
+        let ts = db(&[
+            (&[0, 2], 0),
+            (&[0, 2], 0),
+            (&[0, 2], 0),
+            (&[1], 1),
+            (&[1], 1),
+            (&[0, 1, 2], 0),
+        ]);
+        let cmar = CmarClassifier::fit(
+            &ts,
+            &CmarParams {
+                mining: MiningConfig::with_min_sup(0.3),
+                ..CmarParams::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(cmar.predict(&[Item(0), Item(1), Item(2)]), ClassId(0));
+    }
+
+    #[test]
+    fn uncovered_gets_default() {
+        let ts = db(&[(&[0], 0), (&[0], 0), (&[1], 1)]);
+        let cmar = CmarClassifier::fit(&ts, &CmarParams::default()).unwrap();
+        assert_eq!(cmar.predict(&[]), ClassId(0)); // majority default
+    }
+
+    #[test]
+    fn higher_delta_keeps_more_rules() {
+        let ts = marker_db();
+        let patterns = dfp_mining::mine_features(&ts, &MiningConfig::with_min_sup(0.2)).unwrap();
+        let rules = rules_from_patterns(&patterns, 0.5);
+        let small = CmarClassifier::from_rules(&ts, rules.clone(), 1);
+        let large = CmarClassifier::from_rules(&ts, rules, 4);
+        assert!(large.n_rules() >= small.n_rules());
+    }
+
+    #[test]
+    fn max_chi_square_is_upper_bound() {
+        let ts = marker_db();
+        let class_counts = ts.class_counts();
+        let r = Rule {
+            items: vec![Item(0)],
+            class: ClassId(0),
+            class_support: 3,
+            cover: 3,
+        };
+        let chi = r.chi_square(&class_counts, ts.len());
+        let max = max_chi_square(&r, &class_counts, ts.len());
+        assert!(chi <= max + 1e-9, "chi {chi} > max {max}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Class-association rules (CARs): `pattern → class` with support and
+//! confidence, plus the CBA precedence order used by all three baseline
+//! classifiers.
+
+use dfp_data::schema::ClassId;
+use dfp_data::transactions::{contains_sorted, Item, TransactionSet};
+use dfp_mining::MinedPattern;
+
+/// A class-association rule `items → class`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Antecedent itemset, sorted ascending.
+    pub items: Vec<Item>,
+    /// Consequent class.
+    pub class: ClassId,
+    /// Number of covering transactions with the consequent class
+    /// (the rule's absolute support in associative-classification terms).
+    pub class_support: u32,
+    /// Number of covering transactions of any class.
+    pub cover: u32,
+}
+
+impl Rule {
+    /// Rule confidence `P(class | items)`; 0 when the rule covers nothing.
+    pub fn confidence(&self) -> f64 {
+        if self.cover == 0 {
+            0.0
+        } else {
+            self.class_support as f64 / self.cover as f64
+        }
+    }
+
+    /// `true` iff the rule's antecedent is contained in the transaction.
+    pub fn covers(&self, tx: &[Item]) -> bool {
+        contains_sorted(tx, &self.items)
+    }
+
+    /// χ² statistic of the rule against its class (1 degree of freedom,
+    /// 2×2 contingency of cover × class membership). Used by CMAR's
+    /// weighted voting.
+    pub fn chi_square(&self, class_counts: &[usize], n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let n_f = n as f64;
+        let cover = self.cover as f64;
+        let class_total = class_counts[self.class.index()] as f64;
+        let observed = [
+            self.class_support as f64,                      // cover & class
+            cover - self.class_support as f64,              // cover & ¬class
+            class_total - self.class_support as f64,        // ¬cover & class
+            n_f - cover - class_total + self.class_support as f64, // neither
+        ];
+        let expected = [
+            cover * class_total / n_f,
+            cover * (n_f - class_total) / n_f,
+            (n_f - cover) * class_total / n_f,
+            (n_f - cover) * (n_f - class_total) / n_f,
+        ];
+        observed
+            .iter()
+            .zip(&expected)
+            .filter(|(_, &e)| e > 0.0)
+            .map(|(&o, &e)| (o - e) * (o - e) / e)
+            .sum()
+    }
+}
+
+/// Derives CARs from mined patterns: one rule per `(pattern, class)` pair
+/// whose confidence reaches `min_conf`. Rules come back in CBA precedence
+/// order (see [`precedence`]).
+pub fn rules_from_patterns(patterns: &[MinedPattern], min_conf: f64) -> Vec<Rule> {
+    let mut rules: Vec<Rule> = Vec::new();
+    for p in patterns {
+        if p.support == 0 {
+            continue;
+        }
+        for (c, &s) in p.class_supports.iter().enumerate() {
+            if s == 0 {
+                continue;
+            }
+            let conf = s as f64 / p.support as f64;
+            if conf >= min_conf {
+                rules.push(Rule {
+                    items: p.items.clone(),
+                    class: ClassId(c as u32),
+                    class_support: s,
+                    cover: p.support,
+                });
+            }
+        }
+    }
+    rules.sort_by(precedence);
+    rules
+}
+
+/// CBA total order on rules: higher confidence first, then higher support,
+/// then fewer items (more general), then lexicographic (determinism).
+pub fn precedence(a: &Rule, b: &Rule) -> std::cmp::Ordering {
+    b.confidence()
+        .partial_cmp(&a.confidence())
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| b.class_support.cmp(&a.class_support))
+        .then_with(|| a.items.len().cmp(&b.items.len()))
+        .then_with(|| a.items.cmp(&b.items))
+        .then_with(|| a.class.cmp(&b.class))
+}
+
+/// Majority class of a transaction set (ties toward the smaller id).
+pub fn majority_class(ts: &TransactionSet) -> ClassId {
+    let counts = ts.class_counts();
+    let mut best = 0usize;
+    for (c, &v) in counts.iter().enumerate() {
+        if v > counts[best] {
+            best = c;
+        }
+    }
+    ClassId(best as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(items: &[u32], class_supports: &[u32]) -> MinedPattern {
+        MinedPattern {
+            items: items.iter().map(|&i| Item(i)).collect(),
+            support: class_supports.iter().sum(),
+            class_supports: class_supports.to_vec(),
+        }
+    }
+
+    #[test]
+    fn rules_respect_min_conf() {
+        let pats = vec![pattern(&[0], &[8, 2]), pattern(&[1], &[5, 5])];
+        let rules = rules_from_patterns(&pats, 0.6);
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].class, ClassId(0));
+        assert!((rules[0].confidence() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_classes_can_produce_rules() {
+        let pats = vec![pattern(&[0], &[5, 5])];
+        let rules = rules_from_patterns(&pats, 0.5);
+        assert_eq!(rules.len(), 2);
+    }
+
+    #[test]
+    fn precedence_order() {
+        let hi_conf = Rule {
+            items: vec![Item(0)],
+            class: ClassId(0),
+            class_support: 4,
+            cover: 4,
+        };
+        let hi_sup = Rule {
+            items: vec![Item(1)],
+            class: ClassId(0),
+            class_support: 9,
+            cover: 10,
+        };
+        let general = Rule {
+            items: vec![Item(2)],
+            class: ClassId(0),
+            class_support: 9,
+            cover: 10,
+        };
+        let specific = Rule {
+            items: vec![Item(2), Item(3)],
+            class: ClassId(0),
+            class_support: 9,
+            cover: 10,
+        };
+        assert_eq!(precedence(&hi_conf, &hi_sup), std::cmp::Ordering::Less);
+        assert_eq!(precedence(&general, &specific), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn covers_subset_semantics() {
+        let r = Rule {
+            items: vec![Item(1), Item(3)],
+            class: ClassId(0),
+            class_support: 1,
+            cover: 1,
+        };
+        assert!(r.covers(&[Item(0), Item(1), Item(3)]));
+        assert!(!r.covers(&[Item(1)]));
+    }
+
+    #[test]
+    fn chi_square_zero_for_independent_rule() {
+        // Rule covers half of each class → independent of class.
+        let r = Rule {
+            items: vec![Item(0)],
+            class: ClassId(0),
+            class_support: 5,
+            cover: 10,
+        };
+        let chi = r.chi_square(&[10, 10], 20);
+        assert!(chi.abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi_square_high_for_perfect_rule() {
+        // Covers exactly class 0 → maximal association.
+        let r = Rule {
+            items: vec![Item(0)],
+            class: ClassId(0),
+            class_support: 10,
+            cover: 10,
+        };
+        let chi = r.chi_square(&[10, 10], 20);
+        assert!((chi - 20.0).abs() < 1e-9); // n·φ² with φ = 1
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the classifier substrate: training cost
+//! of linear SVM, RBF SVM, C4.5 and naive Bayes on the same feature matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfp_classify::naive_bayes::BernoulliNb;
+use dfp_classify::svm::{KernelSvm, KernelSvmParams, LinearSvm, LinearSvmParams};
+use dfp_classify::tree::{C45Params, C45};
+use dfp_data::discretize::MdlDiscretizer;
+use dfp_data::features::SparseBinaryMatrix;
+use dfp_data::synth::profile_by_name;
+use dfp_mining::{mine_features, MiningConfig};
+use dfp_select::{mmrfs, FeatureSpace, MmrfsConfig};
+use std::hint::black_box;
+
+fn setup() -> SparseBinaryMatrix {
+    let data = profile_by_name("austral").expect("profile").generate();
+    let (cat, _) = data.discretize(&MdlDiscretizer::new());
+    let (ts, _) = cat.to_transactions();
+    let candidates = mine_features(&ts, &MiningConfig::with_min_sup(0.15)).expect("mining");
+    let selected = mmrfs(&ts, &candidates, &MmrfsConfig::default()).patterns(&candidates);
+    FeatureSpace::new(ts.n_items(), ts.n_classes(), &selected).transform(&ts)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let m = setup();
+    let mut group = c.benchmark_group("classifier_training_austral_patfs_space");
+    group.sample_size(10);
+    group.bench_function("linear_svm", |b| {
+        b.iter(|| black_box(LinearSvm::fit(&m, &LinearSvmParams::default())))
+    });
+    group.bench_function("rbf_svm", |b| {
+        b.iter(|| black_box(KernelSvm::fit(&m, &KernelSvmParams::rbf(1.0, 0.1))))
+    });
+    group.bench_function("c45", |b| {
+        b.iter(|| black_box(C45::fit(&m, &C45Params::default())))
+    });
+    group.bench_function("naive_bayes", |b| {
+        b.iter(|| black_box(BernoulliNb::fit(&m)))
+    });
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    use dfp_classify::Classifier;
+    let m = setup();
+    let svm = LinearSvm::fit(&m, &LinearSvmParams::default());
+    let tree = C45::fit(&m, &C45Params::default());
+    let mut group = c.benchmark_group("classifier_prediction_austral");
+    group.bench_function("linear_svm_predict_all", |b| {
+        b.iter(|| black_box(svm.predict_all(&m)))
+    });
+    group.bench_function("c45_predict_all", |b| {
+        b.iter(|| black_box(tree.predict_all(&m)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_prediction);
+criterion_main!(benches);

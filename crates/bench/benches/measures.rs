@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the measures crate: bound evaluation,
+//! θ* resolution, and batch relevance scoring — the per-candidate costs of
+//! the selection loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfp_data::discretize::MdlDiscretizer;
+use dfp_data::synth::profile_by_name;
+use dfp_measures::bounds::{fisher_upper_bound, ig_upper_bound};
+use dfp_measures::{theta_star, RelevanceMeasure};
+use dfp_mining::{mine_features, MiningConfig};
+use std::hint::black_box;
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounds");
+    group.bench_function("ig_upper_bound_sweep_1000", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for s in 1..=1000 {
+                acc += ig_upper_bound(s as f64 / 1000.0, 0.42);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("fisher_upper_bound_sweep_1000", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for s in 1..=1000 {
+                let v = fisher_upper_bound(s as f64 / 1000.0, 0.42);
+                if v.is_finite() {
+                    acc += v;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("theta_star_n5000", |b| {
+        b.iter(|| black_box(theta_star(0.05, &[0.58, 0.42], 5000)))
+    });
+    group.finish();
+}
+
+fn bench_relevance_scoring(c: &mut Criterion) {
+    let data = profile_by_name("austral").expect("profile").generate();
+    let (cat, _) = data.discretize(&MdlDiscretizer::new());
+    let (ts, _) = cat.to_transactions();
+    let candidates = mine_features(&ts, &MiningConfig::with_min_sup(0.15)).expect("mining");
+    let counts = ts.class_counts();
+    let mut group = c.benchmark_group("relevance_scoring");
+    group.bench_function(format!("info_gain_x{}", candidates.len()), |b| {
+        b.iter(|| black_box(RelevanceMeasure::InfoGain.score_all(&candidates, &counts)))
+    });
+    group.bench_function(format!("fisher_x{}", candidates.len()), |b| {
+        b.iter(|| black_box(RelevanceMeasure::FisherScore.score_all(&candidates, &counts)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds, bench_relevance_scoring);
+criterion_main!(benches);

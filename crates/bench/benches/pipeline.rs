@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the end-to-end pipeline: the five paper
+//! variants on one small profile (what one fold of Tables 1–2 costs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfp_core::{FrameworkConfig, PatternClassifier};
+use dfp_data::dataset::Dataset;
+use dfp_data::synth::profile_by_name;
+use std::hint::black_box;
+
+fn setup() -> Dataset {
+    profile_by_name("labor").expect("profile").generate()
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let data = setup();
+    let mut group = c.benchmark_group("pipeline_fit_labor");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("item_all", FrameworkConfig::item_all()),
+        ("item_fs", FrameworkConfig::item_fs()),
+        ("item_rbf", FrameworkConfig::item_rbf(1.0, 0.1)),
+        ("pat_all", FrameworkConfig::pat_all()),
+        ("pat_fs", FrameworkConfig::pat_fs()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(PatternClassifier::fit(&data, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pat_fs_with_minsup_strategy(c: &mut Criterion) {
+    use dfp_measures::MinSupStrategy;
+    let data = setup();
+    let mut group = c.benchmark_group("pipeline_minsup_strategy_labor");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("relative_20pct", MinSupStrategy::Relative(0.2)),
+        ("ig_threshold_0.05", MinSupStrategy::InfoGainThreshold(0.05)),
+        ("ig_threshold_0.20", MinSupStrategy::InfoGainThreshold(0.20)),
+    ] {
+        let cfg = FrameworkConfig::pat_fs().with_min_sup(strategy);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(PatternClassifier::fit(&data, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_pat_fs_with_minsup_strategy);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for feature selection: MMRFS vs the top-k
+//! ablation, and MMRFS cost as a function of coverage δ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfp_data::discretize::MdlDiscretizer;
+use dfp_data::synth::profile_by_name;
+use dfp_data::transactions::TransactionSet;
+use dfp_measures::RelevanceMeasure;
+use dfp_mining::{mine_features, MinedPattern, MiningConfig};
+use dfp_select::baseline::top_k_by_relevance;
+use dfp_select::{mmrfs, MmrfsConfig};
+use std::hint::black_box;
+
+fn setup() -> (TransactionSet, Vec<MinedPattern>) {
+    let data = profile_by_name("austral").expect("profile").generate();
+    let (cat, _) = data.discretize(&MdlDiscretizer::new());
+    let (ts, _) = cat.to_transactions();
+    let candidates = mine_features(&ts, &MiningConfig::with_min_sup(0.15)).expect("mining");
+    (ts, candidates)
+}
+
+fn bench_selection_ablation(c: &mut Criterion) {
+    let (ts, candidates) = setup();
+    let mut group = c.benchmark_group("selection_ablation_austral");
+    group.sample_size(10);
+    group.bench_function("mmrfs_delta3", |b| {
+        b.iter(|| black_box(mmrfs(&ts, &candidates, &MmrfsConfig::default())))
+    });
+    group.bench_function("top_100_by_ig", |b| {
+        b.iter(|| {
+            black_box(top_k_by_relevance(
+                &ts,
+                &candidates,
+                RelevanceMeasure::InfoGain,
+                100,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_mmrfs_coverage(c: &mut Criterion) {
+    let (ts, candidates) = setup();
+    let mut group = c.benchmark_group("mmrfs_vs_coverage_austral");
+    group.sample_size(10);
+    for delta in [1u32, 3, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, &d| {
+            let cfg = MmrfsConfig {
+                coverage: d,
+                ..MmrfsConfig::default()
+            };
+            b.iter(|| black_box(mmrfs(&ts, &candidates, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection_ablation, bench_mmrfs_coverage);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 1.
+fn main() {
+    dfp_bench::figures::run_figure1();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 2.
+fn main() {
+    dfp_bench::figures::run_figure2();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 3.
+fn main() {
+    dfp_bench::figures::run_figure3();
+}

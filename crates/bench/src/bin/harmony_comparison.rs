@@ -1,0 +1,4 @@
+//! Regenerates §5's accuracy comparison against a HARMONY-style baseline.
+fn main() {
+    dfp_bench::tables::run_harmony_comparison();
+}

@@ -1,0 +1,14 @@
+//! Runs the full experiment battery: Figures 1-3, Tables 1-5, and the
+//! HARMONY comparison. Respects DFP_FAST / DFP_FOLDS.
+fn main() {
+    dfp_bench::figures::run_figure1();
+    dfp_bench::figures::run_figure2();
+    dfp_bench::figures::run_figure3();
+    dfp_bench::tables::run_table1();
+    dfp_bench::tables::run_table2();
+    dfp_bench::scalability::run_table3();
+    dfp_bench::scalability::run_table4();
+    dfp_bench::scalability::run_table5();
+    dfp_bench::tables::run_harmony_comparison();
+    println!("all experiments complete; CSV artifacts in experiments/out/");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 3 (chess scalability sweep).
+fn main() {
+    dfp_bench::scalability::run_table3();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 4 (waveform scalability sweep).
+fn main() {
+    dfp_bench::scalability::run_table4();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 5 (letter-recognition scalability sweep).
+fn main() {
+    dfp_bench::scalability::run_table5();
+}

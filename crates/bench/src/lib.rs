@@ -1,0 +1,48 @@
+//! # dfp-bench — the experiment harness
+//!
+//! One binary per table and figure of the paper's evaluation (§4), each
+//! regenerating the corresponding artifact on the synthetic UCI profiles:
+//!
+//! | binary                | paper artifact |
+//! |-----------------------|----------------|
+//! | `figure1`             | Fig. 1 — information gain vs pattern length |
+//! | `figure2`             | Fig. 2 — information gain + `IGub` vs support |
+//! | `figure3`             | Fig. 3 — Fisher score + `FRub` vs support |
+//! | `table1`              | Tab. 1 — SVM accuracy, 5 variants × 19 datasets |
+//! | `table2`              | Tab. 2 — C4.5 accuracy, 4 variants × 19 datasets |
+//! | `table3`/`table4`/`table5` | Tabs. 3–5 — scalability sweeps on chess / waveform / letter |
+//! | `harmony_comparison`  | §5's accuracy comparison against HARMONY |
+//! | `run_all`             | the full battery |
+//!
+//! Every run prints the paper-formatted table to stdout and writes CSV into
+//! `experiments/out/`. Environment knobs:
+//!
+//! * `DFP_FOLDS` — cross-validation folds for Tables 1–2 (default 10);
+//! * `DFP_FAST=1` — smaller fold counts and dataset subsets for smoke runs.
+
+#![forbid(unsafe_code)]
+
+pub mod figures;
+pub mod report;
+pub mod scalability;
+pub mod tables;
+
+/// Number of CV folds from the environment (default `10`, `3` under
+/// `DFP_FAST=1`).
+pub fn folds() -> usize {
+    if let Ok(v) = std::env::var("DFP_FOLDS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(2);
+        }
+    }
+    if fast_mode() {
+        3
+    } else {
+        10
+    }
+}
+
+/// `true` when `DFP_FAST=1` — smoke-test sizing.
+pub fn fast_mode() -> bool {
+    std::env::var("DFP_FAST").map(|v| v == "1").unwrap_or(false)
+}

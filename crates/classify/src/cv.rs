@@ -1,0 +1,180 @@
+//! Cross validation and grid model selection over sparse binary matrices.
+//!
+//! The paper's protocol (§4): each dataset is split into ten stratified
+//! folds; within each training set another 10-fold CV picks the best model
+//! configuration, which is then evaluated on the held-out fold.
+//! [`cross_validate`] is the inner loop; [`select_best`] is the grid search.
+
+use crate::eval::accuracy;
+use crate::Classifier;
+use dfp_data::features::SparseBinaryMatrix;
+use dfp_data::split::stratified_k_fold;
+
+/// Per-fold accuracies plus their mean.
+#[derive(Debug, Clone)]
+pub struct CvResult {
+    /// Accuracy on each fold's held-out part.
+    pub fold_accuracies: Vec<f64>,
+}
+
+impl CvResult {
+    /// Mean accuracy across folds.
+    pub fn mean(&self) -> f64 {
+        if self.fold_accuracies.is_empty() {
+            return 0.0;
+        }
+        self.fold_accuracies.iter().sum::<f64>() / self.fold_accuracies.len() as f64
+    }
+
+    /// Sample standard deviation across folds (0 for < 2 folds).
+    pub fn std_dev(&self) -> f64 {
+        let k = self.fold_accuracies.len();
+        if k < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self
+            .fold_accuracies
+            .iter()
+            .map(|a| (a - m) * (a - m))
+            .sum::<f64>()
+            / (k - 1) as f64;
+        var.sqrt()
+    }
+}
+
+/// Stratified k-fold cross validation of a training procedure.
+///
+/// `fit` is called once per fold on the training part; the returned model is
+/// scored on the held-out part.
+pub fn cross_validate<M, F>(
+    data: &SparseBinaryMatrix,
+    k: usize,
+    seed: u64,
+    mut fit: F,
+) -> CvResult
+where
+    M: Classifier,
+    F: FnMut(&SparseBinaryMatrix) -> M,
+{
+    let folds = stratified_k_fold(&data.labels, k, seed);
+    let fold_accuracies = folds
+        .iter()
+        .map(|fold| {
+            let train = data.subset(&fold.train);
+            let test = data.subset(&fold.test);
+            let model = fit(&train);
+            accuracy(&model.predict_all(&test), &test.labels)
+        })
+        .collect();
+    CvResult { fold_accuracies }
+}
+
+/// Grid model selection: cross-validates `fit(config, ·)` for every config
+/// and returns `(best_index, best_cv_mean)`. Ties go to the earlier config,
+/// so config order encodes preference (put the simplest first).
+///
+/// # Panics
+/// Panics if `configs` is empty.
+pub fn select_best<T, M, F>(
+    data: &SparseBinaryMatrix,
+    k: usize,
+    seed: u64,
+    configs: &[T],
+    mut fit: F,
+) -> (usize, f64)
+where
+    M: Classifier,
+    F: FnMut(&T, &SparseBinaryMatrix) -> M,
+{
+    assert!(!configs.is_empty(), "need at least one configuration");
+    let mut best = 0usize;
+    let mut best_acc = f64::NEG_INFINITY;
+    for (i, cfg) in configs.iter().enumerate() {
+        let acc = cross_validate(data, k, seed, |train| fit(cfg, train)).mean();
+        if acc > best_acc {
+            best_acc = acc;
+            best = i;
+        }
+    }
+    (best, best_acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svm::{LinearSvm, LinearSvmParams};
+    use dfp_data::schema::ClassId;
+
+    fn separable(n_per_class: usize) -> SparseBinaryMatrix {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_per_class {
+            rows.push(if i % 3 == 0 { vec![0] } else { vec![0, 2] });
+            labels.push(ClassId(0));
+            rows.push(if i % 3 == 1 { vec![1] } else { vec![1, 2] });
+            labels.push(ClassId(1));
+        }
+        SparseBinaryMatrix::new(3, rows, labels, 2)
+    }
+
+    #[test]
+    fn cv_on_separable_data_is_perfect() {
+        let m = separable(20);
+        let res = cross_validate(&m, 5, 7, |train| {
+            LinearSvm::fit(train, &LinearSvmParams::default())
+        });
+        assert_eq!(res.fold_accuracies.len(), 5);
+        assert!((res.mean() - 1.0).abs() < 1e-12);
+        assert_eq!(res.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn cv_deterministic_per_seed() {
+        let m = separable(10);
+        let a = cross_validate(&m, 5, 3, |t| LinearSvm::fit(t, &LinearSvmParams::default()));
+        let b = cross_validate(&m, 5, 3, |t| LinearSvm::fit(t, &LinearSvmParams::default()));
+        assert_eq!(a.fold_accuracies, b.fold_accuracies);
+    }
+
+    #[test]
+    fn select_best_prefers_working_config() {
+        use crate::tree::{C45Params, C45};
+        let m = separable(15);
+        // depth 0 forces a majority stump (≈50%); unbounded depth learns the
+        // marker features.
+        let configs = [Some(0usize), None];
+        let (best, acc) = select_best(&m, 5, 1, &configs, |&max_depth, train| {
+            C45::fit(
+                train,
+                &C45Params {
+                    max_depth,
+                    ..C45Params::default()
+                },
+            )
+        });
+        assert_eq!(best, 1);
+        assert!(acc > 0.9);
+    }
+
+    #[test]
+    fn select_best_ties_go_to_first() {
+        let m = separable(15);
+        // Both Cs solve the problem perfectly → tie → first config wins.
+        let configs = [1.0f64, 10.0];
+        let (best, _) = select_best(&m, 5, 1, &configs, |&c, train| {
+            LinearSvm::fit(train, &LinearSvmParams::with_c(c))
+        });
+        assert_eq!(best, 0);
+    }
+
+    #[test]
+    fn cv_result_stats() {
+        let r = CvResult {
+            fold_accuracies: vec![0.8, 1.0, 0.9],
+        };
+        assert!((r.mean() - 0.9).abs() < 1e-12);
+        assert!((r.std_dev() - 0.1).abs() < 1e-12);
+        assert_eq!(CvResult { fold_accuracies: vec![] }.mean(), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Evaluation metrics: accuracy, confusion matrix, macro-F1.
+
+use dfp_data::schema::ClassId;
+
+/// Fraction of positions where `pred == truth`.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn accuracy(pred: &[ClassId], truth: &[ClassId]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/label length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hits = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Index of the largest count (ties toward the smaller class id).
+pub fn majority_class(counts: &[u32]) -> ClassId {
+    let mut best = 0usize;
+    for (c, &v) in counts.iter().enumerate() {
+        if v > counts[best] {
+            best = c;
+        }
+    }
+    ClassId(best as u32)
+}
+
+/// A confusion matrix: `counts[truth][pred]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// `counts[t][p]` = instances of true class `t` predicted as `p`.
+    pub counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from predictions and labels.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or any class id `>= n_classes`.
+    pub fn new(pred: &[ClassId], truth: &[ClassId], n_classes: usize) -> Self {
+        assert_eq!(pred.len(), truth.len(), "prediction/label length mismatch");
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for (p, t) in pred.iter().zip(truth) {
+            counts[t.index()][p.index()] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.counts.iter().flatten().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.counts.len()).map(|c| self.counts[c][c]).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Per-class precision (`NaN`-free: 0 when the class is never predicted).
+    pub fn precision(&self, c: usize) -> f64 {
+        let predicted: usize = self.counts.iter().map(|row| row[c]).sum();
+        if predicted == 0 {
+            return 0.0;
+        }
+        self.counts[c][c] as f64 / predicted as f64
+    }
+
+    /// Per-class recall (0 when the class has no instances).
+    pub fn recall(&self, c: usize) -> f64 {
+        let actual: usize = self.counts[c].iter().sum();
+        if actual == 0 {
+            return 0.0;
+        }
+        self.counts[c][c] as f64 / actual as f64
+    }
+
+    /// Macro-averaged F1 over classes that appear in the data.
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut classes = 0usize;
+        for c in 0..self.counts.len() {
+            let actual: usize = self.counts[c].iter().sum();
+            if actual == 0 {
+                continue;
+            }
+            classes += 1;
+            let p = self.precision(c);
+            let r = self.recall(c);
+            if p + r > 0.0 {
+                sum += 2.0 * p * r / (p + r);
+            }
+        }
+        if classes == 0 {
+            0.0
+        } else {
+            sum / classes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<ClassId> {
+        v.iter().map(|&c| ClassId(c)).collect()
+    }
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&ids(&[0, 1, 1]), &ids(&[0, 1, 0])), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&ids(&[1]), &ids(&[1])), 1.0);
+    }
+
+    #[test]
+    fn majority_ties_to_lowest() {
+        assert_eq!(majority_class(&[3, 3, 1]), ClassId(0));
+        assert_eq!(majority_class(&[1, 4, 2]), ClassId(1));
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let cm = ConfusionMatrix::new(&ids(&[0, 1, 1, 0]), &ids(&[0, 1, 0, 1]), 2);
+        assert_eq!(cm.counts, vec![vec![1, 1], vec![1, 1]]);
+        assert_eq!(cm.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        // truth: 0 0 1 1 1 ; pred: 0 1 1 1 0
+        let cm = ConfusionMatrix::new(&ids(&[0, 1, 1, 1, 0]), &ids(&[0, 0, 1, 1, 1]), 2);
+        assert!((cm.precision(0) - 0.5).abs() < 1e-12);
+        assert!((cm.recall(0) - 0.5).abs() < 1e-12);
+        assert!((cm.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall(1) - 2.0 / 3.0).abs() < 1e-12);
+        let f1 = cm.macro_f1();
+        assert!((f1 - (0.5 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_classes() {
+        // class 2 never appears and is never predicted
+        let cm = ConfusionMatrix::new(&ids(&[0, 0]), &ids(&[0, 1]), 3);
+        assert_eq!(cm.precision(2), 0.0);
+        assert_eq!(cm.recall(2), 0.0);
+        assert!(cm.macro_f1() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        accuracy(&ids(&[0]), &ids(&[0, 1]));
+    }
+}

@@ -1,0 +1,108 @@
+//! k-nearest-neighbour classifier on sparse binary rows (Hamming distance).
+//!
+//! A lazy baseline for the extension examples; distance between binary
+//! vectors `a`, `b` is `|a| + |b| − 2·|a ∩ b|`.
+
+use crate::{sparse_dot, Classifier};
+use dfp_data::features::SparseBinaryMatrix;
+use dfp_data::schema::ClassId;
+
+/// A (lazy) k-NN model holding its training data.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    rows: Vec<Vec<u32>>,
+    labels: Vec<ClassId>,
+    n_classes: usize,
+    k: usize,
+}
+
+impl Knn {
+    /// Stores the training data; `k` is clamped to the number of rows.
+    ///
+    /// # Panics
+    /// Panics on an empty matrix or `k == 0`.
+    pub fn fit(data: &SparseBinaryMatrix, k: usize) -> Self {
+        assert!(!data.is_empty(), "cannot train on an empty matrix");
+        assert!(k >= 1, "k must be at least 1");
+        Knn {
+            rows: data.rows.clone(),
+            labels: data.labels.clone(),
+            n_classes: data.n_classes,
+            k: k.min(data.rows.len()),
+        }
+    }
+}
+
+impl Classifier for Knn {
+    fn predict(&self, row: &[u32]) -> ClassId {
+        // Distances to all training rows; ties broken by training order so
+        // prediction is deterministic.
+        let mut dist: Vec<(usize, usize)> = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.len() + row.len() - 2 * sparse_dot(r, row), i))
+            .collect();
+        dist.sort_unstable();
+        let mut votes = vec![0u32; self.n_classes];
+        for &(_, i) in dist.iter().take(self.k) {
+            votes[self.labels[i].index()] += 1;
+        }
+        crate::eval::majority_class(&votes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: Vec<Vec<u32>>, labels: Vec<u32>, d: usize, m: usize) -> SparseBinaryMatrix {
+        SparseBinaryMatrix::new(d, rows, labels.into_iter().map(ClassId).collect(), m)
+    }
+
+    #[test]
+    fn one_nn_memorises() {
+        let m = matrix(
+            vec![vec![0, 1], vec![2, 3], vec![0, 3]],
+            vec![0, 1, 0],
+            4,
+            2,
+        );
+        let knn = Knn::fit(&m, 1);
+        assert_eq!(knn.accuracy(&m), 1.0);
+    }
+
+    #[test]
+    fn three_nn_smooths_outlier() {
+        // One mislabeled duplicate among 4 class-0 clones: 3-NN outvotes it.
+        let m = matrix(
+            vec![vec![0], vec![0], vec![0], vec![0], vec![0]],
+            vec![0, 0, 0, 0, 1],
+            1,
+            2,
+        );
+        let knn = Knn::fit(&m, 3);
+        assert_eq!(knn.predict(&[0]), ClassId(0));
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let m = matrix(vec![vec![0], vec![1]], vec![0, 1], 2, 2);
+        let knn = Knn::fit(&m, 99);
+        // falls back to global vote (tie → class 0)
+        assert_eq!(knn.predict(&[0]), ClassId(0));
+    }
+
+    #[test]
+    fn nearest_by_hamming() {
+        let m = matrix(
+            vec![vec![0, 1, 2], vec![5, 6, 7]],
+            vec![0, 1],
+            8,
+            2,
+        );
+        let knn = Knn::fit(&m, 1);
+        assert_eq!(knn.predict(&[0, 1, 5]), ClassId(0));
+        assert_eq!(knn.predict(&[5, 6]), ClassId(1));
+    }
+}

@@ -1,0 +1,88 @@
+//! # dfp-classify — classifiers and evaluation harness
+//!
+//! The model-learning substrate (paper §3, step 3 and §4's experimental
+//! protocol). The paper trains LIBSVM (linear and RBF kernels) and Weka's
+//! C4.5 on the transformed feature space; this crate implements the
+//! equivalents from scratch:
+//!
+//! * [`svm::LinearSvm`] — L1-loss C-SVC trained by dual coordinate descent
+//!   (the LIBLINEAR algorithm), one-vs-rest for multiclass;
+//! * [`svm::KernelSvm`] — C-SVC trained by SMO with maximal-violating-pair
+//!   working-set selection; linear and RBF kernels;
+//! * [`tree::C45`] — gain-ratio decision tree with C4.5-style
+//!   pessimistic-error pruning, specialised to binary feature spaces;
+//! * [`naive_bayes::BernoulliNb`] and [`knn::Knn`] — additional simple
+//!   models usable in the framework ("any learning algorithm can be used");
+//! * [`eval`] — accuracy and confusion-matrix metrics;
+//! * [`cv`] — stratified k-fold cross validation and grid model selection
+//!   (the paper's "10-fold cross validation on each training set, pick the
+//!   best model").
+//!
+//! All models implement [`Classifier`] over
+//! [`dfp_data::features::SparseBinaryMatrix`] rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cv;
+pub mod eval;
+pub mod knn;
+pub mod naive_bayes;
+pub mod svm;
+pub mod tree;
+
+use dfp_data::features::SparseBinaryMatrix;
+use dfp_data::schema::ClassId;
+
+/// A trained classification model over sparse binary rows.
+pub trait Classifier {
+    /// Predicts the class of one row (sorted active feature ids).
+    fn predict(&self, row: &[u32]) -> ClassId;
+
+    /// Predicts every row of a matrix.
+    fn predict_all(&self, data: &SparseBinaryMatrix) -> Vec<ClassId> {
+        data.rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Accuracy on a labelled matrix.
+    fn accuracy(&self, data: &SparseBinaryMatrix) -> f64 {
+        eval::accuracy(&self.predict_all(data), &data.labels)
+    }
+}
+
+impl<C: Classifier + ?Sized> Classifier for Box<C> {
+    fn predict(&self, row: &[u32]) -> ClassId {
+        (**self).predict(row)
+    }
+}
+
+/// Sparse dot product of two strictly ascending id lists
+/// (= intersection size for binary vectors).
+pub(crate) fn sparse_dot(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_dot_cases() {
+        assert_eq!(sparse_dot(&[1, 3, 5], &[3, 5, 7]), 2);
+        assert_eq!(sparse_dot(&[], &[1]), 0);
+        assert_eq!(sparse_dot(&[2], &[2]), 1);
+        assert_eq!(sparse_dot(&[1, 2, 3], &[4, 5]), 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Kernel functions over sparse binary rows.
+
+use crate::sparse_dot;
+
+/// A kernel over sparse binary feature vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// `K(x, y) = x·y` (intersection size for binary vectors).
+    Linear,
+    /// `K(x, y) = exp(−γ‖x−y‖²)`; for binary vectors
+    /// `‖x−y‖² = |x| + |y| − 2 x·y`.
+    Rbf {
+        /// The RBF width γ. Larger γ ⇒ higher effective combined-feature
+        /// degree (paper §4.1's discussion of Item_RBF).
+        gamma: f64,
+    },
+}
+
+impl Kernel {
+    /// Evaluates the kernel on two rows.
+    pub fn eval(&self, a: &[u32], b: &[u32]) -> f64 {
+        let dot = sparse_dot(a, b) as f64;
+        match *self {
+            Kernel::Linear => dot,
+            Kernel::Rbf { gamma } => {
+                let d2 = a.len() as f64 + b.len() as f64 - 2.0 * dot;
+                (-gamma * d2).exp()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_is_intersection() {
+        assert_eq!(Kernel::Linear.eval(&[0, 2, 4], &[2, 4, 6]), 2.0);
+        assert_eq!(Kernel::Linear.eval(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn rbf_self_similarity_is_one() {
+        let k = Kernel::Rbf { gamma: 0.5 };
+        assert!((k.eval(&[1, 2, 3], &[1, 2, 3]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rbf_decays_with_distance() {
+        let k = Kernel::Rbf { gamma: 0.5 };
+        let near = k.eval(&[1, 2, 3], &[1, 2, 4]); // distance² = 2
+        let far = k.eval(&[1, 2, 3], &[4, 5, 6]); // distance² = 6
+        assert!(near > far);
+        assert!((near - (-1.0f64).exp()).abs() < 1e-12);
+        assert!((far - (-3.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rbf_symmetric() {
+        let k = Kernel::Rbf { gamma: 0.1 };
+        assert_eq!(k.eval(&[1, 5], &[2, 5, 9]), k.eval(&[2, 5, 9], &[1, 5]));
+    }
+}

@@ -1,0 +1,489 @@
+//! The C4.5 decision-tree learner, specialised to binary features.
+//!
+//! * Split criterion: **gain ratio** — information gain normalised by the
+//!   split information, Quinlan's correction of ID3's bias;
+//! * binary features make every split two-way (present / absent), so
+//!   multiway splits and threshold search are unnecessary (the framework
+//!   discretizes numeric attributes before itemisation);
+//! * pruning: C4.5's **pessimistic error** estimate — the Wilson-style
+//!   upper confidence bound of the leaf error at confidence factor `CF`
+//!   (default 0.25, Weka's J48 default) drives bottom-up subtree
+//!   replacement.
+
+use crate::eval::majority_class;
+use crate::Classifier;
+use dfp_data::features::SparseBinaryMatrix;
+use dfp_data::schema::ClassId;
+
+/// C4.5 hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct C45Params {
+    /// Minimum instances per leaf (Weka default 2).
+    pub min_leaf: usize,
+    /// Pruning confidence factor; smaller prunes harder. `None` disables
+    /// pruning.
+    pub cf: Option<f64>,
+    /// Maximum tree depth (`None` = unbounded).
+    pub max_depth: Option<usize>,
+}
+
+impl Default for C45Params {
+    fn default() -> Self {
+        C45Params {
+            min_leaf: 2,
+            cf: Some(0.25),
+            max_depth: None,
+        }
+    }
+}
+
+/// A node of the trained tree.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: ClassId,
+        /// Class distribution at the leaf (kept for pruning / inspection).
+        counts: Vec<u32>,
+    },
+    Split {
+        feature: u32,
+        present: Box<Node>,
+        absent: Box<Node>,
+        /// Class distribution at the split (used when pruning replaces it).
+        counts: Vec<u32>,
+    },
+}
+
+/// A trained C4.5 tree.
+#[derive(Debug, Clone)]
+pub struct C45 {
+    root: Node,
+    n_classes: usize,
+}
+
+impl C45 {
+    /// Trains a tree on a labelled sparse binary matrix.
+    ///
+    /// # Panics
+    /// Panics on an empty matrix.
+    pub fn fit(data: &SparseBinaryMatrix, params: &C45Params) -> Self {
+        assert!(!data.is_empty(), "cannot train on an empty matrix");
+        let rows: Vec<usize> = (0..data.len()).collect();
+        let mut root = build(data, &rows, params, 0);
+        if let Some(cf) = params.cf {
+            let z = cf_to_z(cf);
+            prune(&mut root, z);
+        }
+        C45 {
+            root,
+            n_classes: data.n_classes,
+        }
+    }
+
+    /// Number of leaves (model-size metric).
+    pub fn n_leaves(&self) -> usize {
+        fn walk(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { present, absent, .. } => walk(present) + walk(absent),
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Tree depth (root-only tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn walk(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { present, absent, .. } => 1 + walk(present).max(walk(absent)),
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Number of classes the tree was trained with.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+impl Classifier for C45 {
+    fn predict(&self, row: &[u32]) -> ClassId {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { class, .. } => return *class,
+                Node::Split {
+                    feature,
+                    present,
+                    absent,
+                    ..
+                } => {
+                    node = if row.binary_search(feature).is_ok() {
+                        present
+                    } else {
+                        absent
+                    };
+                }
+            }
+        }
+    }
+}
+
+fn class_counts(data: &SparseBinaryMatrix, rows: &[usize]) -> Vec<u32> {
+    let mut counts = vec![0u32; data.n_classes];
+    for &r in rows {
+        counts[data.labels[r].index()] += 1;
+    }
+    counts
+}
+
+fn entropy(counts: &[u32]) -> f64 {
+    let n: u32 = counts.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+fn leaf(counts: Vec<u32>) -> Node {
+    Node::Leaf {
+        class: majority_class(&counts),
+        counts,
+    }
+}
+
+fn build(data: &SparseBinaryMatrix, rows: &[usize], params: &C45Params, depth: usize) -> Node {
+    let counts = class_counts(data, rows);
+    let n = rows.len();
+    let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+    if pure
+        || n < 2 * params.min_leaf
+        || params.max_depth.is_some_and(|d| depth >= d)
+    {
+        return leaf(counts);
+    }
+
+    // Per-feature class counts among rows where the feature is present.
+    let mut present_counts =
+        vec![0u32; data.n_features * data.n_classes];
+    let mut present_total = vec![0u32; data.n_features];
+    for &r in rows {
+        let c = data.labels[r].index();
+        for &f in &data.rows[r] {
+            present_counts[f as usize * data.n_classes + c] += 1;
+            present_total[f as usize] += 1;
+        }
+    }
+
+    let h = entropy(&counts);
+    let n_f = n as f64;
+    let mut best: Option<(u32, f64)> = None; // (feature, gain ratio)
+    for f in 0..data.n_features {
+        let np = present_total[f] as usize;
+        let na = n - np;
+        if np < params.min_leaf || na < params.min_leaf {
+            continue;
+        }
+        let pc = &present_counts[f * data.n_classes..(f + 1) * data.n_classes];
+        let ac: Vec<u32> = counts.iter().zip(pc).map(|(&t, &p)| t - p).collect();
+        let gain =
+            h - (np as f64 / n_f) * entropy(pc) - (na as f64 / n_f) * entropy(&ac);
+        if gain <= 1e-10 {
+            continue;
+        }
+        let frac = np as f64 / n_f;
+        let split_info = -frac * frac.log2() - (1.0 - frac) * (1.0 - frac).log2();
+        if split_info <= 1e-10 {
+            continue;
+        }
+        let ratio = gain / split_info;
+        if best.is_none_or(|(_, b)| ratio > b + 1e-12) {
+            best = Some((f as u32, ratio));
+        }
+    }
+
+    let Some((feature, _)) = best else {
+        return leaf(counts);
+    };
+    let (p_rows, a_rows): (Vec<usize>, Vec<usize>) = rows
+        .iter()
+        .partition(|&&r| data.rows[r].binary_search(&feature).is_ok());
+    Node::Split {
+        feature,
+        present: Box::new(build(data, &p_rows, params, depth + 1)),
+        absent: Box::new(build(data, &a_rows, params, depth + 1)),
+        counts,
+    }
+}
+
+/// Inverse standard-normal quantile of `1 − cf` (Acklam's rational
+/// approximation, |relative error| < 1.15e-9 — ample for pruning).
+fn cf_to_z(cf: f64) -> f64 {
+    let p = 1.0 - cf.clamp(1e-9, 0.5);
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_HIGH: f64 = 1.0 - 0.02425;
+    if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Pessimistic error estimate: `N · U_z(e/N, N)` where `U_z` is the upper
+/// confidence bound of a binomial proportion at `z` standard deviations.
+fn pessimistic_errors(counts: &[u32], z: f64) -> f64 {
+    let n: u32 = counts.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let n_f = n as f64;
+    let errors = n - counts.iter().max().copied().unwrap_or(0);
+    let f = errors as f64 / n_f;
+    let z2 = z * z;
+    let ub = (f + z2 / (2.0 * n_f)
+        + z * (f * (1.0 - f) / n_f + z2 / (4.0 * n_f * n_f)).sqrt())
+        / (1.0 + z2 / n_f);
+    n_f * ub
+}
+
+/// Bottom-up subtree replacement: collapse a split whose pessimistic error
+/// as a leaf does not exceed the sum of its children's estimates.
+fn prune(node: &mut Node, z: f64) -> f64 {
+    match node {
+        Node::Leaf { counts, .. } => pessimistic_errors(counts, z),
+        Node::Split {
+            present,
+            absent,
+            counts,
+            ..
+        } => {
+            let child_err = prune(present, z) + prune(absent, z);
+            let as_leaf = pessimistic_errors(counts, z);
+            if as_leaf <= child_err + 0.1 {
+                let counts = counts.clone();
+                *node = leaf(counts);
+                as_leaf
+            } else {
+                child_err
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: Vec<Vec<u32>>, labels: Vec<u32>, n_features: usize, n_classes: usize) -> SparseBinaryMatrix {
+        SparseBinaryMatrix::new(
+            n_features,
+            rows,
+            labels.into_iter().map(ClassId).collect(),
+            n_classes,
+        )
+    }
+
+    #[test]
+    fn pure_data_single_leaf() {
+        let m = matrix(vec![vec![0], vec![1], vec![0, 1]], vec![0, 0, 0], 2, 1);
+        let t = C45::fit(&m, &C45Params::default());
+        assert_eq!(t.n_leaves(), 1);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.accuracy(&m), 1.0);
+    }
+
+    #[test]
+    fn learns_single_feature_rule() {
+        let m = matrix(
+            vec![vec![0], vec![0], vec![0], vec![], vec![], vec![]],
+            vec![0, 0, 0, 1, 1, 1],
+            1,
+            2,
+        );
+        let t = C45::fit(&m, &C45Params::default());
+        assert_eq!(t.accuracy(&m), 1.0);
+        assert_eq!(t.predict(&[0]), ClassId(0));
+        assert_eq!(t.predict(&[]), ClassId(1));
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn xor_defeats_greedy_tree_but_pattern_feature_fixes_it() {
+        // Pure XOR gives every single feature exactly zero gain at the root,
+        // so greedy C4.5 cannot split — exactly the paper's motivation for
+        // combined features. Adding the pattern feature {0,1} (feature 2)
+        // makes the problem learnable.
+        let base = vec![
+            (vec![], 0u32),
+            (vec![0, 1], 0),
+            (vec![0], 1),
+            (vec![1], 1),
+        ];
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..3 {
+            for (r, l) in &base {
+                rows.push(r.clone());
+                labels.push(*l);
+            }
+        }
+        let without = matrix(rows.clone(), labels.clone(), 2, 2);
+        let t = C45::fit(&without, &C45Params { cf: None, ..C45Params::default() });
+        assert!(t.accuracy(&without) <= 0.5 + 1e-9, "XOR should stump a greedy tree");
+
+        // Extended space: feature 2 fires iff both 0 and 1 are present.
+        let rows_ext: Vec<Vec<u32>> = rows
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                if r == vec![0, 1] {
+                    r.push(2);
+                }
+                r
+            })
+            .collect();
+        let with = matrix(rows_ext, labels, 3, 2);
+        let t = C45::fit(&with, &C45Params { cf: None, ..C45Params::default() });
+        assert_eq!(t.accuracy(&with), 1.0);
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn gain_ratio_prefers_informative_feature() {
+        // Feature 0 perfectly predicts; feature 1 is noise.
+        let m = matrix(
+            vec![
+                vec![0, 1],
+                vec![0],
+                vec![0, 1],
+                vec![1],
+                vec![],
+                vec![],
+            ],
+            vec![0, 0, 0, 1, 1, 1],
+            2,
+            2,
+        );
+        let t = C45::fit(&m, &C45Params::default());
+        assert_eq!(t.accuracy(&m), 1.0);
+        // The root must split on feature 0, giving a depth-1 tree.
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn pruning_collapses_noise_splits() {
+        // Labels are (almost) independent of the features; the unpruned tree
+        // may split, the pruned one should be (near-)trivial.
+        let rows: Vec<Vec<u32>> = (0..40u32).map(|i| vec![i % 3]).collect();
+        let labels: Vec<u32> = (0..40u32).map(|i| ((i * 7 + 1) % 5 == 0) as u32).collect();
+        let m = matrix(rows, labels, 3, 2);
+        let unpruned = C45::fit(
+            &m,
+            &C45Params {
+                cf: None,
+                ..C45Params::default()
+            },
+        );
+        let pruned = C45::fit(&m, &C45Params::default());
+        assert!(pruned.n_leaves() <= unpruned.n_leaves());
+    }
+
+    #[test]
+    fn min_leaf_respected() {
+        let m = matrix(
+            vec![vec![0], vec![], vec![], vec![], vec![], vec![]],
+            vec![0, 1, 1, 1, 1, 1],
+            1,
+            2,
+        );
+        // A split would isolate a single row; min_leaf = 2 forbids it.
+        let t = C45::fit(&m, &C45Params::default());
+        assert_eq!(t.n_leaves(), 1);
+        assert_eq!(t.predict(&[0]), ClassId(1));
+    }
+
+    #[test]
+    fn cf_to_z_sane() {
+        // z(0.25) ≈ 0.6745, z(0.05) ≈ 1.6449
+        assert!((cf_to_z(0.25) - 0.6744897).abs() < 1e-4);
+        assert!((cf_to_z(0.05) - 1.6448536).abs() < 1e-4);
+        assert!((cf_to_z(0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pessimistic_error_grows_with_uncertainty() {
+        let z = cf_to_z(0.25);
+        // Same error rate, smaller sample → bigger pessimistic rate.
+        let small = pessimistic_errors(&[3, 1], z) / 4.0;
+        let large = pessimistic_errors(&[30, 10], z) / 40.0;
+        assert!(small > large);
+        // A pure node still gets a non-zero pessimistic estimate.
+        assert!(pessimistic_errors(&[5, 0], z) > 0.0);
+    }
+
+    #[test]
+    fn multiclass() {
+        let m = matrix(
+            vec![
+                vec![0], vec![0], vec![1], vec![1], vec![2], vec![2],
+                vec![0], vec![0], vec![1], vec![1], vec![2], vec![2],
+            ],
+            vec![0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2],
+            3,
+            3,
+        );
+        let t = C45::fit(&m, &C45Params::default());
+        assert_eq!(t.accuracy(&m), 1.0);
+        assert_eq!(t.n_classes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_matrix_panics() {
+        let m = matrix(vec![], vec![], 1, 1);
+        C45::fit(&m, &C45Params::default());
+    }
+}

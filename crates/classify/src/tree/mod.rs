@@ -1,0 +1,5 @@
+//! C4.5-style decision tree (Quinlan 1993) over binary feature spaces.
+
+mod c45;
+
+pub use c45::{C45Params, C45};

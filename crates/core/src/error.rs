@@ -1,0 +1,53 @@
+//! Framework error type.
+
+use dfp_mining::MiningError;
+
+/// Errors surfaced by the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameworkError {
+    /// The training dataset has no rows.
+    EmptyTrainingSet,
+    /// Pattern mining failed (budget exceeded or invalid support).
+    Mining(MiningError),
+    /// Test data is not compatible with the fitted feature space.
+    SchemaMismatch(String),
+}
+
+impl std::fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameworkError::EmptyTrainingSet => write!(f, "training dataset is empty"),
+            FrameworkError::Mining(e) => write!(f, "pattern mining failed: {e}"),
+            FrameworkError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameworkError::Mining(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MiningError> for FrameworkError {
+    fn from(e: MiningError) -> Self {
+        FrameworkError::Mining(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: FrameworkError = MiningError::ZeroMinSup.into();
+        assert!(e.to_string().contains("mining failed"));
+        assert!(FrameworkError::EmptyTrainingSet.to_string().contains("empty"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,551 @@
+//! The end-to-end pipeline: discretize → itemize → mine → select →
+//! transform → learn, plus the outer cross-validation harness used by the
+//! experiment binaries.
+
+use crate::config::{
+    DiscretizerKind, FeatureMode, FrameworkConfig, ModelKind, SelectionStrategy,
+};
+use crate::error::FrameworkError;
+use dfp_classify::knn::Knn;
+use dfp_classify::naive_bayes::BernoulliNb;
+use dfp_classify::svm::{KernelSvm, LinearSvm};
+use dfp_classify::tree::C45;
+use dfp_classify::Classifier;
+use dfp_data::dataset::Dataset;
+use dfp_data::discretize::{
+    DiscretizationModel, EqualFrequency, EqualWidth, MdlDiscretizer,
+};
+use dfp_data::features::SparseBinaryMatrix;
+use dfp_data::schema::ClassId;
+use dfp_data::split::stratified_k_fold;
+use dfp_data::transactions::{ItemMap, TransactionSet};
+use dfp_mining::count::attach_class_supports;
+use dfp_mining::{mine_features, MinedPattern, RawPattern};
+use dfp_select::baseline::top_k_by_relevance;
+use dfp_select::{mmrfs, FeatureSpace};
+
+/// The trained model behind a [`PatternClassifier`].
+#[derive(Debug, Clone)]
+enum TrainedModel {
+    Linear(LinearSvm),
+    Kernel(KernelSvm),
+    Tree(C45),
+    Nb(BernoulliNb),
+    Knn(Knn),
+}
+
+impl Classifier for TrainedModel {
+    fn predict(&self, row: &[u32]) -> ClassId {
+        match self {
+            TrainedModel::Linear(m) => m.predict(row),
+            TrainedModel::Kernel(m) => m.predict(row),
+            TrainedModel::Tree(m) => m.predict(row),
+            TrainedModel::Nb(m) => m.predict(row),
+            TrainedModel::Knn(m) => m.predict(row),
+        }
+    }
+}
+
+/// Diagnostics from a pipeline fit — the numbers the paper's tables report.
+#[derive(Debug, Clone, Default)]
+pub struct FitInfo {
+    /// Item universe size `|I|` after discretization.
+    pub n_items: usize,
+    /// Candidate patterns mined (`|F|`); 0 for items-only modes.
+    pub n_patterns_mined: usize,
+    /// Features selected (`|Fs|`, or selected items for `Item_FS`).
+    pub n_selected: usize,
+    /// Final feature-space width `d'`.
+    pub n_features: usize,
+    /// The absolute global `min_sup` the strategy resolved to, if patterns
+    /// were mined.
+    pub min_sup_abs: Option<usize>,
+}
+
+/// A fitted frequent pattern-based classifier.
+#[derive(Debug, Clone)]
+pub struct PatternClassifier {
+    model: TrainedModel,
+    feature_space: FeatureSpace,
+    discretization: Option<DiscretizationModel>,
+    item_map: Option<ItemMap>,
+    info: FitInfo,
+}
+
+impl PatternClassifier {
+    /// Runs the full pipeline on a (possibly numeric) dataset.
+    pub fn fit(train: &Dataset, cfg: &FrameworkConfig) -> Result<Self, FrameworkError> {
+        if train.is_empty() {
+            return Err(FrameworkError::EmptyTrainingSet);
+        }
+        let (categorical, discretization) = if train.schema.has_numeric() {
+            let (d, m) = match cfg.discretizer {
+                DiscretizerKind::Mdl => train.discretize(&MdlDiscretizer::new()),
+                DiscretizerKind::EqualWidth(b) => train.discretize(&EqualWidth::new(b)),
+                DiscretizerKind::EqualFrequency(b) => {
+                    train.discretize(&EqualFrequency::new(b))
+                }
+            };
+            (d, Some(m))
+        } else {
+            (train.clone(), None)
+        };
+        let (ts, map) = categorical.to_transactions();
+        let mut fitted = Self::fit_transactions(&ts, cfg)?;
+        fitted.discretization = discretization;
+        fitted.item_map = Some(map);
+        Ok(fitted)
+    }
+
+    /// Runs the pipeline on already-itemized data (no discretization step).
+    pub fn fit_transactions(
+        ts: &TransactionSet,
+        cfg: &FrameworkConfig,
+    ) -> Result<Self, FrameworkError> {
+        if ts.is_empty() {
+            return Err(FrameworkError::EmptyTrainingSet);
+        }
+        let mut info = FitInfo {
+            n_items: ts.n_items(),
+            ..FitInfo::default()
+        };
+
+        let feature_space = match &cfg.features {
+            FeatureMode::ItemsOnly => FeatureSpace::items_only(ts.n_items(), ts.n_classes()),
+            FeatureMode::ItemsSelected(mmrfs_cfg) => {
+                // Treat every single item as a length-1 pattern and run MMRFS.
+                let singletons: Vec<RawPattern> = (0..ts.n_items())
+                    .map(|i| RawPattern {
+                        items: vec![dfp_data::transactions::Item(i as u32)],
+                        support: 0,
+                    })
+                    .collect();
+                let candidates = attach_class_supports(ts, &singletons);
+                let result = mmrfs(ts, &candidates, mmrfs_cfg);
+                let selected = result.patterns(&candidates);
+                info.n_patterns_mined = candidates.len();
+                info.n_selected = selected.len();
+                FeatureSpace::selected_only(ts.n_items(), ts.n_classes(), &selected)
+            }
+            FeatureMode::Patterns {
+                min_sup,
+                mining,
+                selection,
+            } => {
+                let priors = ts.class_priors();
+                let abs = min_sup.resolve(ts.len(), &priors);
+                info.min_sup_abs = Some(abs);
+                let rel = abs as f64 / ts.len().max(1) as f64;
+                let candidates = mine_features(ts, &mining.to_mining_config(rel))?;
+                info.n_patterns_mined = candidates.len();
+                let selected: Vec<MinedPattern> = match selection {
+                    SelectionStrategy::None => candidates,
+                    SelectionStrategy::Mmrfs(mmrfs_cfg) => {
+                        let result = mmrfs(ts, &candidates, mmrfs_cfg);
+                        result.patterns(&candidates)
+                    }
+                    SelectionStrategy::TopK(k, measure) => {
+                        top_k_by_relevance(ts, &candidates, *measure, *k)
+                            .into_iter()
+                            .map(|i| candidates[i].clone())
+                            .collect()
+                    }
+                };
+                info.n_selected = selected.len();
+                FeatureSpace::new(ts.n_items(), ts.n_classes(), &selected)
+            }
+        };
+        info.n_features = feature_space.n_features();
+
+        let matrix = feature_space.transform(ts);
+        let model = match &cfg.model {
+            ModelKind::LinearSvm(p) => TrainedModel::Linear(LinearSvm::fit(&matrix, p)),
+            ModelKind::KernelSvm(p) => TrainedModel::Kernel(KernelSvm::fit(&matrix, p)),
+            ModelKind::C45(p) => TrainedModel::Tree(C45::fit(&matrix, p)),
+            ModelKind::NaiveBayes => TrainedModel::Nb(BernoulliNb::fit(&matrix)),
+            ModelKind::Knn(k) => TrainedModel::Knn(Knn::fit(&matrix, *k)),
+        };
+        Ok(PatternClassifier {
+            model,
+            feature_space,
+            discretization: None,
+            item_map: None,
+            info,
+        })
+    }
+
+    /// Fit diagnostics.
+    pub fn info(&self) -> &FitInfo {
+        &self.info
+    }
+
+    /// Feature importances for linear-SVM models: per feature, the largest
+    /// absolute weight across the one-vs-rest sub-problems. `None` for
+    /// non-linear models. Indices follow the fitted feature space
+    /// (single items first, then pattern features).
+    pub fn linear_feature_weights(&self) -> Option<Vec<f64>> {
+        let TrainedModel::Linear(svm) = &self.model else {
+            return None;
+        };
+        Some(
+            (0..svm.n_features())
+                .map(|f| {
+                    (0..svm.n_classes())
+                        .map(|c| svm.weight(c, f).abs())
+                        .fold(0.0, f64::max)
+                })
+                .collect(),
+        )
+    }
+
+    /// Human-readable descriptions of the pattern features in the fitted
+    /// space, e.g. `"outlook=sunny ∧ wind=strong"`. Falls back to raw item
+    /// ids when the model was fitted on pre-itemized transactions.
+    pub fn describe_pattern_features(&self) -> Vec<String> {
+        self.feature_space
+            .patterns
+            .iter()
+            .map(|items| {
+                items
+                    .iter()
+                    .map(|&it| match &self.item_map {
+                        Some(map) => map.name(it).to_string(),
+                        None => it.to_string(),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ∧ ")
+            })
+            .collect()
+    }
+
+    /// The fitted feature space.
+    pub fn feature_space(&self) -> &FeatureSpace {
+        &self.feature_space
+    }
+
+    /// Transforms a raw dataset through the fitted discretization and
+    /// feature space.
+    pub fn transform(&self, data: &Dataset) -> Result<SparseBinaryMatrix, FrameworkError> {
+        let categorical = match (&self.discretization, data.schema.has_numeric()) {
+            (Some(model), _) => model.apply(data),
+            (None, false) => data.clone(),
+            (None, true) => {
+                return Err(FrameworkError::SchemaMismatch(
+                    "model fitted on categorical data but test data is numeric".into(),
+                ))
+            }
+        };
+        let (ts, _) = categorical.to_transactions();
+        if ts.n_items() != self.feature_space.n_items {
+            return Err(FrameworkError::SchemaMismatch(format!(
+                "test data maps to {} items, model was fitted on {}",
+                ts.n_items(),
+                self.feature_space.n_items
+            )));
+        }
+        Ok(self.feature_space.transform(&ts))
+    }
+
+    /// Predicts labels for a raw dataset.
+    pub fn predict(&self, data: &Dataset) -> Result<Vec<ClassId>, FrameworkError> {
+        Ok(self.model.predict_all(&self.transform(data)?))
+    }
+
+    /// Accuracy on a labelled raw dataset.
+    ///
+    /// # Panics
+    /// Panics if the dataset is incompatible with the fitted schema
+    /// (use [`Self::predict`] for a fallible version).
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        let pred = self.predict(data).expect("dataset incompatible with model");
+        dfp_classify::eval::accuracy(&pred, &data.labels)
+    }
+
+    /// Predicts labels for already-itemized transactions.
+    pub fn predict_transactions(&self, ts: &TransactionSet) -> Vec<ClassId> {
+        self.model.predict_all(&self.feature_space.transform(ts))
+    }
+
+    /// Accuracy on already-itemized transactions.
+    pub fn accuracy_transactions(&self, ts: &TransactionSet) -> f64 {
+        let pred = self.predict_transactions(ts);
+        dfp_classify::eval::accuracy(&pred, ts.labels())
+    }
+}
+
+/// Outer cross-validation outcome for one framework configuration.
+#[derive(Debug, Clone)]
+pub struct FrameworkCv {
+    /// Held-out accuracy per fold.
+    pub fold_accuracies: Vec<f64>,
+    /// Fit diagnostics per fold.
+    pub infos: Vec<FitInfo>,
+}
+
+impl FrameworkCv {
+    /// Mean held-out accuracy.
+    pub fn mean(&self) -> f64 {
+        if self.fold_accuracies.is_empty() {
+            return 0.0;
+        }
+        self.fold_accuracies.iter().sum::<f64>() / self.fold_accuracies.len() as f64
+    }
+
+    /// Mean number of mined patterns across folds.
+    pub fn mean_patterns(&self) -> f64 {
+        if self.infos.is_empty() {
+            return 0.0;
+        }
+        self.infos
+            .iter()
+            .map(|i| i.n_patterns_mined as f64)
+            .sum::<f64>()
+            / self.infos.len() as f64
+    }
+
+    /// Mean number of selected features across folds.
+    pub fn mean_selected(&self) -> f64 {
+        if self.infos.is_empty() {
+            return 0.0;
+        }
+        self.infos.iter().map(|i| i.n_selected as f64).sum::<f64>() / self.infos.len() as f64
+    }
+}
+
+/// The paper's model-selection protocol (§4): "We did 10-fold cross
+/// validation on each training set and picked the best model for test."
+/// Runs inner cross validation on `train` for every candidate
+/// configuration, picks the best mean accuracy (ties to the earlier
+/// config), and refits that configuration on the full training set.
+///
+/// Returns the fitted model and the index of the winning configuration.
+///
+/// # Panics
+/// Panics if `configs` is empty.
+pub fn fit_with_model_selection(
+    train: &Dataset,
+    configs: &[FrameworkConfig],
+    inner_folds: usize,
+    seed: u64,
+) -> Result<(PatternClassifier, usize), FrameworkError> {
+    assert!(!configs.is_empty(), "need at least one configuration");
+    let mut best = 0usize;
+    let mut best_acc = f64::NEG_INFINITY;
+    for (i, cfg) in configs.iter().enumerate() {
+        let cv = cross_validate_framework(train, cfg, inner_folds, seed)?;
+        if cv.mean() > best_acc {
+            best_acc = cv.mean();
+            best = i;
+        }
+    }
+    Ok((PatternClassifier::fit(train, &configs[best])?, best))
+}
+
+/// Stratified k-fold cross validation of the **whole pipeline** on a raw
+/// dataset — discretization, mining and selection are re-fitted inside every
+/// fold, so no information leaks from test to train (the paper's §4
+/// protocol).
+pub fn cross_validate_framework(
+    data: &Dataset,
+    cfg: &FrameworkConfig,
+    k: usize,
+    seed: u64,
+) -> Result<FrameworkCv, FrameworkError> {
+    let folds = stratified_k_fold(&data.labels, k, seed);
+    let mut fold_accuracies = Vec::with_capacity(k);
+    let mut infos = Vec::with_capacity(k);
+    for fold in &folds {
+        let train = data.subset(&fold.train);
+        let test = data.subset(&fold.test);
+        let model = PatternClassifier::fit(&train, cfg)?;
+        fold_accuracies.push(model.accuracy(&test));
+        infos.push(model.info().clone());
+    }
+    Ok(FrameworkCv {
+        fold_accuracies,
+        infos,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfp_data::dataset::categorical_dataset;
+    use dfp_data::synth::profile_by_name;
+    use dfp_measures::MinSupStrategy;
+
+    /// A planted two-class categorical dataset where the pair (a0=1, a1=1)
+    /// marks class 0 and (a0=1, a1=2) marks class 1 — single features are
+    /// weak, the combination is decisive.
+    fn confusable() -> Dataset {
+        let mut rows: Vec<(Vec<u32>, u32)> = Vec::new();
+        for i in 0..60u32 {
+            let (vals, label) = if i % 2 == 0 {
+                (vec![1, 1, i % 3], 0)
+            } else {
+                (vec![1, 2, i % 3], 1)
+            };
+            rows.push((vals, label));
+        }
+        let borrowed: Vec<(&[u32], u32)> = rows.iter().map(|(v, l)| (&v[..], *l)).collect();
+        categorical_dataset(&[3, 3, 3], 2, &borrowed)
+    }
+
+    #[test]
+    fn pat_fs_beats_items_on_confusable_data() {
+        let data = confusable();
+        let item = cross_validate_framework(&data, &FrameworkConfig::item_all(), 5, 1).unwrap();
+        let pat = cross_validate_framework(&data, &FrameworkConfig::pat_fs(), 5, 1).unwrap();
+        assert!(
+            pat.mean() >= item.mean(),
+            "Pat_FS {} < Item_All {}",
+            pat.mean(),
+            item.mean()
+        );
+        assert!(pat.mean() > 0.9, "Pat_FS mean {}", pat.mean());
+    }
+
+    #[test]
+    fn fit_info_populated() {
+        let data = confusable();
+        let m = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs()).unwrap();
+        let info = m.info();
+        assert_eq!(info.n_items, 9);
+        assert!(info.n_patterns_mined > 0);
+        assert!(info.n_selected > 0);
+        assert!(info.n_features >= info.n_items);
+        assert!(info.min_sup_abs.is_some());
+    }
+
+    #[test]
+    fn item_fs_selects_a_subset() {
+        let data = confusable();
+        let m = PatternClassifier::fit(&data, &FrameworkConfig::item_fs()).unwrap();
+        assert!(m.info().n_selected <= m.info().n_items);
+        assert!(m.info().n_features == m.info().n_selected);
+    }
+
+    #[test]
+    fn min_sup_strategy_threads_through() {
+        let data = confusable();
+        let cfg = FrameworkConfig::pat_fs().with_min_sup(MinSupStrategy::Absolute(20));
+        let m = PatternClassifier::fit(&data, &cfg).unwrap();
+        assert_eq!(m.info().min_sup_abs, Some(20));
+    }
+
+    #[test]
+    fn numeric_pipeline_with_mdl() {
+        // iris profile is fully numeric → exercises discretization end to end.
+        let data = profile_by_name("iris").unwrap().generate();
+        let m = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs()).unwrap();
+        let acc = m.accuracy(&data);
+        assert!(acc > 0.6, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn discretization_replayed_on_test() {
+        let data = profile_by_name("iris").unwrap().generate();
+        let fold = dfp_data::split::stratified_holdout(&data.labels, 0.3, 3);
+        let train = data.subset(&fold.train);
+        let test = data.subset(&fold.test);
+        let m = PatternClassifier::fit(&train, &FrameworkConfig::pat_fs()).unwrap();
+        let acc = m.accuracy(&test);
+        assert!(acc > 0.5, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn all_models_run() {
+        use dfp_classify::tree::C45Params;
+        let data = confusable();
+        for model in [
+            ModelKind::default(),
+            ModelKind::C45(C45Params::default()),
+            ModelKind::NaiveBayes,
+            ModelKind::Knn(3),
+            ModelKind::KernelSvm(dfp_classify::svm::KernelSvmParams::rbf(1.0, 0.5)),
+        ] {
+            let cfg = FrameworkConfig::pat_fs().with_model(model.clone());
+            let m = PatternClassifier::fit(&data, &cfg).unwrap();
+            assert!(
+                m.accuracy(&data) > 0.8,
+                "{model:?} accuracy {}",
+                m.accuracy(&data)
+            );
+        }
+    }
+
+    #[test]
+    fn model_selection_picks_working_config() {
+        use dfp_classify::svm::LinearSvmParams;
+        let data = confusable();
+        // A crippled tree (depth 0 → majority stump) vs a real SVM.
+        let stump = FrameworkConfig::item_all().with_model(ModelKind::C45(
+            dfp_classify::tree::C45Params {
+                max_depth: Some(0),
+                ..dfp_classify::tree::C45Params::default()
+            },
+        ));
+        let svm = FrameworkConfig::pat_fs()
+            .with_model(ModelKind::LinearSvm(LinearSvmParams::default()));
+        let (model, winner) =
+            fit_with_model_selection(&data, &[stump, svm], 3, 5).unwrap();
+        assert_eq!(winner, 1);
+        assert!(model.accuracy(&data) > 0.9);
+    }
+
+    #[test]
+    fn model_selection_tie_prefers_first() {
+        let data = confusable();
+        let a = FrameworkConfig::pat_fs();
+        let b = FrameworkConfig::pat_fs();
+        let (_, winner) = fit_with_model_selection(&data, &[a, b], 3, 5).unwrap();
+        assert_eq!(winner, 0);
+    }
+
+    #[test]
+    fn linear_weights_reflect_informative_features() {
+        let data = confusable();
+        let m = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs()).unwrap();
+        let w = m.linear_feature_weights().expect("linear model");
+        assert_eq!(w.len(), m.info().n_features);
+        assert!(w.iter().all(|x| x.is_finite() && *x >= 0.0));
+        // some pattern feature must carry non-trivial weight on this data
+        let max_pattern_w = w[m.info().n_items..].iter().cloned().fold(0.0, f64::max);
+        assert!(max_pattern_w > 0.0, "pattern features all zero-weighted");
+        // non-linear models return None
+        let tree = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs().with_c45()).unwrap();
+        assert!(tree.linear_feature_weights().is_none());
+    }
+
+    #[test]
+    fn pattern_features_are_describable() {
+        let data = confusable();
+        let m = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs()).unwrap();
+        let desc = m.describe_pattern_features();
+        assert_eq!(desc.len(), m.feature_space().patterns.len());
+        assert!(!desc.is_empty());
+        // attribute names from `categorical_dataset` look like "a0=v1"
+        assert!(desc[0].contains('='), "{:?}", desc[0]);
+        assert!(desc.iter().any(|d| d.contains(" ∧ ")), "{desc:?}");
+    }
+
+    #[test]
+    fn empty_training_set_rejected() {
+        let data = categorical_dataset(&[2], 1, &[]);
+        assert_eq!(
+            PatternClassifier::fit(&data, &FrameworkConfig::item_all()).unwrap_err(),
+            FrameworkError::EmptyTrainingSet
+        );
+    }
+
+    #[test]
+    fn numeric_test_against_categorical_model_rejected() {
+        let data = confusable();
+        let m = PatternClassifier::fit(&data, &FrameworkConfig::item_all()).unwrap();
+        let numeric = profile_by_name("iris").unwrap().generate();
+        assert!(matches!(
+            m.predict(&numeric).unwrap_err(),
+            FrameworkError::SchemaMismatch(_)
+        ));
+    }
+}

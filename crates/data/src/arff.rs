@@ -1,0 +1,271 @@
+//! Minimal ARFF reader — the native format of the UCI/Weka ecosystem the
+//! paper evaluates on, so real datasets can be dropped in directly.
+//!
+//! Supported subset: `@relation`, `@attribute <name> numeric|real|integer`,
+//! `@attribute <name> {v1,v2,…}`, `@data` with comma-separated rows, `?` for
+//! missing values, `%` comments. The **last attribute is the class** and
+//! must be nominal. Sparse rows, strings, dates and weights are not
+//! supported (none of the paper's datasets need them).
+
+use crate::dataset::{Dataset, Value};
+use crate::schema::{Attribute, ClassId, Schema};
+use std::io::{BufRead, BufReader, Read};
+
+/// Errors produced by the ARFF loader.
+#[derive(Debug)]
+pub enum ArffError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// Structural problem with the file contents.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ArffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArffError::Io(e) => write!(f, "io error: {e}"),
+            ArffError::Malformed(m) => write!(f, "malformed arff: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArffError {}
+
+impl From<std::io::Error> for ArffError {
+    fn from(e: std::io::Error) -> Self {
+        ArffError::Io(e)
+    }
+}
+
+enum RawAttr {
+    Numeric(String),
+    Nominal(String, Vec<String>),
+}
+
+/// Reads a labelled dataset from ARFF (last attribute = nominal class).
+pub fn read_dataset<R: Read>(reader: R) -> Result<Dataset, ArffError> {
+    let mut attrs: Vec<RawAttr> = Vec::new();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    let mut labels: Vec<ClassId> = Vec::new();
+    let mut in_data = false;
+
+    for line in BufReader::new(reader).lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let lower = line.to_ascii_lowercase();
+        if lower.starts_with("@relation") {
+            continue;
+        }
+        if lower.starts_with("@attribute") {
+            if in_data {
+                return Err(ArffError::Malformed("@attribute after @data".into()));
+            }
+            attrs.push(parse_attribute(line)?);
+            continue;
+        }
+        if lower.starts_with("@data") {
+            if attrs.len() < 2 {
+                return Err(ArffError::Malformed(
+                    "need at least one attribute plus the class".into(),
+                ));
+            }
+            match attrs.last() {
+                Some(RawAttr::Nominal(..)) => {}
+                _ => {
+                    return Err(ArffError::Malformed(
+                        "last attribute (the class) must be nominal".into(),
+                    ))
+                }
+            }
+            in_data = true;
+            continue;
+        }
+        if !in_data {
+            return Err(ArffError::Malformed(format!("unexpected line: {line}")));
+        }
+
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cells.len() != attrs.len() {
+            return Err(ArffError::Malformed(format!(
+                "row has {} cells, expected {}",
+                cells.len(),
+                attrs.len()
+            )));
+        }
+        let mut row = Vec::with_capacity(attrs.len() - 1);
+        for (attr, cell) in attrs.iter().zip(&cells).take(attrs.len() - 1) {
+            row.push(parse_cell(attr, cell)?);
+        }
+        let class_cell = unquote(cells[attrs.len() - 1]);
+        let Some(RawAttr::Nominal(_, class_values)) = attrs.last() else {
+            unreachable!("class nominality checked at @data");
+        };
+        if class_cell == "?" {
+            return Err(ArffError::Malformed("missing class label".into()));
+        }
+        let class = class_values
+            .iter()
+            .position(|v| v == &class_cell)
+            .ok_or_else(|| ArffError::Malformed(format!("unknown class {class_cell:?}")))?;
+        rows.push(row);
+        labels.push(ClassId(class as u32));
+    }
+    if !in_data {
+        return Err(ArffError::Malformed("no @data section".into()));
+    }
+
+    let Some(RawAttr::Nominal(_, class_values)) = attrs.last() else {
+        unreachable!("class nominality checked at @data");
+    };
+    let class_names = class_values.clone();
+    let attributes: Vec<Attribute> = attrs[..attrs.len() - 1]
+        .iter()
+        .map(|a| match a {
+            RawAttr::Numeric(name) => Attribute::numeric(name.clone()),
+            RawAttr::Nominal(name, values) => Attribute::categorical(name.clone(), values.clone()),
+        })
+        .collect();
+    Ok(Dataset::new(
+        Schema::new(attributes, class_names),
+        rows,
+        labels,
+    ))
+}
+
+fn parse_attribute(line: &str) -> Result<RawAttr, ArffError> {
+    let rest = line["@attribute".len()..].trim();
+    // name may be quoted
+    let (name, rest) = if let Some(stripped) = rest.strip_prefix('\'') {
+        let end = stripped
+            .find('\'')
+            .ok_or_else(|| ArffError::Malformed(format!("unterminated name: {line}")))?;
+        (stripped[..end].to_string(), stripped[end + 1..].trim())
+    } else {
+        let end = rest
+            .find(char::is_whitespace)
+            .ok_or_else(|| ArffError::Malformed(format!("attribute without type: {line}")))?;
+        (rest[..end].to_string(), rest[end..].trim())
+    };
+    let type_lower = rest.to_ascii_lowercase();
+    if type_lower == "numeric" || type_lower == "real" || type_lower == "integer" {
+        return Ok(RawAttr::Numeric(name));
+    }
+    if rest.starts_with('{') && rest.ends_with('}') {
+        let values: Vec<String> = rest[1..rest.len() - 1]
+            .split(',')
+            .map(|v| unquote(v.trim()))
+            .collect();
+        if values.is_empty() {
+            return Err(ArffError::Malformed(format!("empty nominal set: {line}")));
+        }
+        return Ok(RawAttr::Nominal(name, values));
+    }
+    Err(ArffError::Malformed(format!(
+        "unsupported attribute type: {rest:?}"
+    )))
+}
+
+fn parse_cell(attr: &RawAttr, cell: &str) -> Result<Value, ArffError> {
+    let cell = unquote(cell);
+    if cell == "?" {
+        return Ok(Value::Missing);
+    }
+    match attr {
+        RawAttr::Numeric(name) => cell
+            .parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| ArffError::Malformed(format!("bad numeric cell {cell:?} for {name}"))),
+        RawAttr::Nominal(name, values) => values
+            .iter()
+            .position(|v| v == &cell)
+            .map(|i| Value::Cat(i as u32))
+            .ok_or_else(|| {
+                ArffError::Malformed(format!("unknown value {cell:?} for attribute {name}"))
+            }),
+    }
+}
+
+fn unquote(s: &str) -> String {
+    let s = s.trim();
+    if s.len() >= 2 && ((s.starts_with('\'') && s.ends_with('\'')) || (s.starts_with('"') && s.ends_with('"'))) {
+        s[1..s.len() - 1].to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+% a tiny weather-style file
+@relation weather
+@attribute outlook {sunny, overcast, rainy}
+@attribute temperature numeric
+@attribute 'wind speed' real
+@attribute play {yes, no}
+@data
+sunny, 85, 1.5, no
+overcast, 83, 0.2, yes
+rainy, ?, 3.0, yes
+";
+
+    #[test]
+    fn parses_mixed_attributes() {
+        let d = read_dataset(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.schema.n_attributes(), 3);
+        assert_eq!(d.schema.attributes[0].arity(), Some(3));
+        assert!(d.schema.attributes[1].is_numeric());
+        assert_eq!(d.schema.attributes[2].name, "wind speed");
+        assert_eq!(d.schema.class_names, vec!["yes", "no"]);
+        assert_eq!(d.rows[0][0], Value::Cat(0));
+        assert_eq!(d.rows[2][1], Value::Missing);
+        assert_eq!(d.labels, vec![ClassId(1), ClassId(0), ClassId(0)]);
+    }
+
+    #[test]
+    fn rejects_numeric_class() {
+        let bad = "@relation r\n@attribute a numeric\n@attribute c numeric\n@data\n1,2\n";
+        assert!(matches!(
+            read_dataset(bad.as_bytes()),
+            Err(ArffError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_nominal_value() {
+        let bad = "@relation r\n@attribute a {x,y}\n@attribute c {p,n}\n@data\nz,p\n";
+        let err = read_dataset(bad.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown value"));
+    }
+
+    #[test]
+    fn rejects_ragged_rows_and_missing_data_section() {
+        let bad = "@relation r\n@attribute a {x,y}\n@attribute c {p,n}\n@data\nx\n";
+        assert!(read_dataset(bad.as_bytes()).is_err());
+        let no_data = "@relation r\n@attribute a {x,y}\n@attribute c {p,n}\n";
+        assert!(read_dataset(no_data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let s = "%c\n\n@relation r\n@attribute a {x,y}\n@attribute c {p,n}\n@data\n% row comment\nx,p\n";
+        let d = read_dataset(s.as_bytes()).unwrap();
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn pipeline_compatible() {
+        // The parsed dataset feeds straight into transactions.
+        let d = read_dataset(SAMPLE.as_bytes()).unwrap();
+        let (cat, _) = d.discretize(&crate::discretize::EqualWidth::new(2));
+        let (ts, map) = cat.to_transactions();
+        assert_eq!(ts.len(), 3);
+        assert!(map.n_items() >= 3);
+    }
+}

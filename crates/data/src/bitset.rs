@@ -1,0 +1,357 @@
+//! A fixed-width bitset over `u64` blocks.
+//!
+//! Used as the *tidset* (transaction-id set) representation throughout the
+//! workspace. The hot operations for the paper's algorithms are:
+//!
+//! * [`Bitset::intersection_count`] — pattern support and the numerator of
+//!   the Jaccard redundancy measure (Eq. 9);
+//! * [`Bitset::union_count`] — the denominator of Eq. 9;
+//! * [`Bitset::intersect_with`] — incremental tidset computation while
+//!   extending a pattern item by item;
+//! * [`Bitset::iter_ones`] — database-coverage bookkeeping in MMRFS.
+
+/// A set of bit positions in `[0, len)`, stored as `u64` blocks.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bitset {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl std::fmt::Debug for Bitset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter_ones()).finish()
+    }
+}
+
+impl Bitset {
+    /// Creates an empty bitset able to hold `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        Bitset {
+            blocks: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a bitset of `len` bits with every bit in `[0, len)` set.
+    pub fn full(len: usize) -> Self {
+        let mut b = Bitset {
+            blocks: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        b.clear_tail();
+        b
+    }
+
+    /// Builds a bitset from an iterator of bit indices.
+    ///
+    /// # Panics
+    /// Panics if any index is `>= len`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(len: usize, indices: I) -> Self {
+        let mut b = Bitset::new(len);
+        for i in indices {
+            b.set(i);
+        }
+        b
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.blocks[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn unset(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.blocks[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.blocks[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// `|self ∩ other|` without allocating.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn intersection_count(&self, other: &Bitset) -> usize {
+        self.check_same_len(other);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ∪ other|` without allocating.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn union_count(&self, other: &Bitset) -> usize {
+        self.check_same_len(other);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self \ other|` without allocating.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn difference_count(&self, other: &Bitset) -> usize {
+        self.check_same_len(other);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place `self &= other`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn intersect_with(&mut self, other: &Bitset) {
+        self.check_same_len(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// In-place `self |= other`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn union_with(&mut self, other: &Bitset) {
+        self.check_same_len(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// In-place `self &= !other`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn subtract(&mut self, other: &Bitset) {
+        self.check_same_len(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+    }
+
+    /// `true` iff every set bit of `self` is also set in `other`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn is_subset_of(&self, other: &Bitset) -> bool {
+        self.check_same_len(other);
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Jaccard similarity `|A∩B| / |A∪B|`, `0.0` when both are empty.
+    ///
+    /// This is the set-overlap factor of the paper's redundancy measure
+    /// `R(α, β)` (Eq. 9).
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn jaccard(&self, other: &Bitset) -> f64 {
+        let union = self.union_count(other);
+        if union == 0 {
+            return 0.0;
+        }
+        self.intersection_count(other) as f64 / union as f64
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            BlockOnes {
+                block,
+                base: bi * 64,
+            }
+        })
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+    }
+
+    fn clear_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    fn check_same_len(&self, other: &Bitset) {
+        assert_eq!(
+            self.len, other.len,
+            "bitset length mismatch: {} vs {}",
+            self.len, other.len
+        );
+    }
+}
+
+struct BlockOnes {
+    block: u64,
+    base: usize,
+}
+
+impl Iterator for BlockOnes {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.block == 0 {
+            return None;
+        }
+        let tz = self.block.trailing_zeros() as usize;
+        self.block &= self.block - 1;
+        Some(self.base + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = Bitset::new(130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(63) && !b.get(128));
+        assert_eq!(b.count_ones(), 3);
+        b.unset(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn full_respects_length() {
+        let b = Bitset::full(70);
+        assert_eq!(b.count_ones(), 70);
+        assert_eq!(b.iter_ones().count(), 70);
+        assert_eq!(b.iter_ones().last(), Some(69));
+    }
+
+    #[test]
+    fn full_exact_block_boundary() {
+        let b = Bitset::full(128);
+        assert_eq!(b.count_ones(), 128);
+    }
+
+    #[test]
+    fn empty_zero_length() {
+        let b = Bitset::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(Bitset::full(0).count_ones(), 0);
+    }
+
+    #[test]
+    fn intersection_union_difference_counts() {
+        let a = Bitset::from_indices(100, [1, 5, 64, 99]);
+        let b = Bitset::from_indices(100, [5, 64, 70]);
+        assert_eq!(a.intersection_count(&b), 2);
+        assert_eq!(a.union_count(&b), 5);
+        assert_eq!(a.difference_count(&b), 2);
+        assert_eq!(b.difference_count(&a), 1);
+    }
+
+    #[test]
+    fn in_place_ops() {
+        let mut a = Bitset::from_indices(100, [1, 5, 64, 99]);
+        let b = Bitset::from_indices(100, [5, 64, 70]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count_ones(), 5);
+        let mut d = a.clone();
+        d.subtract(&b);
+        assert_eq!(d.iter_ones().collect::<Vec<_>>(), vec![1, 99]);
+        a.intersect_with(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![5, 64]);
+    }
+
+    #[test]
+    fn subset() {
+        let a = Bitset::from_indices(10, [2, 3]);
+        let b = Bitset::from_indices(10, [1, 2, 3, 7]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+        assert!(Bitset::new(10).is_subset_of(&a));
+    }
+
+    #[test]
+    fn jaccard_values() {
+        let a = Bitset::from_indices(10, [0, 1, 2, 3]);
+        let b = Bitset::from_indices(10, [2, 3, 4, 5]);
+        assert!((a.jaccard(&b) - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(Bitset::new(10).jaccard(&Bitset::new(10)), 0.0);
+        assert_eq!(a.jaccard(&a), 1.0);
+    }
+
+    #[test]
+    fn iter_ones_order() {
+        let idx = [0usize, 7, 63, 64, 65, 127, 128];
+        let b = Bitset::from_indices(200, idx);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), idx.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        Bitset::new(10).set(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let a = Bitset::new(10);
+        let b = Bitset::new(11);
+        a.intersection_count(&b);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut a = Bitset::from_indices(100, [1, 2, 3]);
+        a.clear();
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! Minimal, dependency-free CSV reader/writer for labelled datasets.
+//!
+//! Format: first line is a header; the **last column is the class label**.
+//! A column is inferred numeric iff every non-missing cell parses as `f64`;
+//! otherwise categorical (values collected in first-appearance order).
+//! `?` and empty cells are missing values. No quoting/escaping is supported —
+//! this is a drop-in loader for UCI-style comma-separated files, not a
+//! general CSV engine.
+
+use crate::dataset::{Dataset, Value};
+use crate::schema::{Attribute, AttributeKind, ClassId, Schema};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors produced by the CSV loader.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// Structural problem with the file contents.
+    Malformed(String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Malformed(m) => write!(f, "malformed csv: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Reads a labelled dataset from CSV (header row; last column = class).
+pub fn read_dataset<R: Read>(reader: R) -> Result<Dataset, CsvError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CsvError::Malformed("empty file".into()))??;
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    if names.len() < 2 {
+        return Err(CsvError::Malformed(
+            "need at least one attribute column and a class column".into(),
+        ));
+    }
+    let n_attrs = names.len() - 1;
+
+    let mut raw: Vec<Vec<String>> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<String> = line.split(',').map(|s| s.trim().to_string()).collect();
+        if cells.len() != names.len() {
+            return Err(CsvError::Malformed(format!(
+                "line {}: expected {} cells, got {}",
+                lineno + 2,
+                names.len(),
+                cells.len()
+            )));
+        }
+        raw.push(cells);
+    }
+
+    let is_missing = |s: &str| s.is_empty() || s == "?";
+
+    // Infer column kinds.
+    let mut numeric = vec![true; n_attrs];
+    for row in &raw {
+        for (a, cell) in row[..n_attrs].iter().enumerate() {
+            if !is_missing(cell) && cell.parse::<f64>().is_err() {
+                numeric[a] = false;
+            }
+        }
+    }
+
+    // Collect categorical value dictionaries and class names.
+    let mut value_dicts: Vec<Vec<String>> = vec![Vec::new(); n_attrs];
+    let mut value_idx: Vec<HashMap<String, u32>> = vec![HashMap::new(); n_attrs];
+    let mut class_names: Vec<String> = Vec::new();
+    let mut class_idx: HashMap<String, u32> = HashMap::new();
+    for row in &raw {
+        for a in 0..n_attrs {
+            let cell = &row[a];
+            if !numeric[a] && !is_missing(cell) && !value_idx[a].contains_key(cell) {
+                value_idx[a].insert(cell.clone(), value_dicts[a].len() as u32);
+                value_dicts[a].push(cell.clone());
+            }
+        }
+        let cls = &row[n_attrs];
+        if !class_idx.contains_key(cls) {
+            class_idx.insert(cls.clone(), class_names.len() as u32);
+            class_names.push(cls.clone());
+        }
+    }
+
+    let attributes: Vec<Attribute> = names[..n_attrs]
+        .iter()
+        .enumerate()
+        .map(|(a, name)| {
+            if numeric[a] {
+                Attribute::numeric(name.clone())
+            } else {
+                Attribute::categorical(name.clone(), value_dicts[a].clone())
+            }
+        })
+        .collect();
+    let schema = Schema::new(attributes, class_names);
+
+    let mut rows = Vec::with_capacity(raw.len());
+    let mut labels = Vec::with_capacity(raw.len());
+    for row in &raw {
+        let mut cells = Vec::with_capacity(n_attrs);
+        for a in 0..n_attrs {
+            let cell = &row[a];
+            if is_missing(cell) {
+                cells.push(Value::Missing);
+            } else if numeric[a] {
+                cells.push(Value::Num(cell.parse::<f64>().map_err(|_| {
+                    CsvError::Malformed(format!("bad numeric cell {cell:?}"))
+                })?));
+            } else {
+                cells.push(Value::Cat(value_idx[a][cell]));
+            }
+        }
+        rows.push(cells);
+        labels.push(ClassId(class_idx[&row[n_attrs]]));
+    }
+    Ok(Dataset::new(schema, rows, labels))
+}
+
+/// Writes a dataset as CSV in the same format [`read_dataset`] accepts.
+pub fn write_dataset<W: Write>(data: &Dataset, writer: &mut W) -> std::io::Result<()> {
+    let header: Vec<&str> = data
+        .schema
+        .attributes
+        .iter()
+        .map(|a| a.name.as_str())
+        .chain(std::iter::once("class"))
+        .collect();
+    writeln!(writer, "{}", header.join(","))?;
+    for (row, label) in data.rows.iter().zip(&data.labels) {
+        let mut cells: Vec<String> = Vec::with_capacity(row.len() + 1);
+        for (a, cell) in row.iter().enumerate() {
+            cells.push(match cell {
+                Value::Missing => "?".to_string(),
+                Value::Num(v) => format!("{v}"),
+                Value::Cat(v) => match &data.schema.attributes[a].kind {
+                    AttributeKind::Categorical { values } => values[*v as usize].clone(),
+                    AttributeKind::Numeric => unreachable!("Cat value in numeric column"),
+                },
+            });
+        }
+        cells.push(data.schema.class_names[label.index()].clone());
+        writeln!(writer, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+color,size,weight,class
+red,big,1.5,pos
+blue,small,2.0,neg
+red,?,,pos
+";
+
+    #[test]
+    fn read_mixed_types() {
+        let d = read_dataset(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.schema.n_attributes(), 3);
+        assert!(matches!(
+            d.schema.attributes[0].kind,
+            AttributeKind::Categorical { .. }
+        ));
+        assert!(d.schema.attributes[2].is_numeric());
+        assert_eq!(d.schema.class_names, vec!["pos", "neg"]);
+        assert_eq!(d.rows[2][1], Value::Missing);
+        assert_eq!(d.rows[2][2], Value::Missing);
+        assert_eq!(d.labels, vec![ClassId(0), ClassId(1), ClassId(0)]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = read_dataset(SAMPLE.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_dataset(&d, &mut buf).unwrap();
+        let d2 = read_dataset(buf.as_slice()).unwrap();
+        assert_eq!(d2.len(), d.len());
+        assert_eq!(d2.labels, d.labels);
+        assert_eq!(d2.rows, d.rows);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = read_dataset("a,b,class\n1,2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Malformed(_)));
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        assert!(read_dataset("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let d = read_dataset("a,class\n1,x\n\n2,y\n".as_bytes()).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn all_numeric_column_with_missing_stays_numeric() {
+        let d = read_dataset("a,class\n1,x\n?,y\n3.5,x\n".as_bytes()).unwrap();
+        assert!(d.schema.attributes[0].is_numeric());
+        assert_eq!(d.rows[1][0], Value::Missing);
+    }
+}

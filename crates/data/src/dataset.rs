@@ -1,0 +1,267 @@
+//! Relational datasets: rows of typed values plus class labels.
+//!
+//! The lifecycle mirrors the paper's problem formulation (§2):
+//!
+//! 1. a raw [`Dataset`] may contain numeric attributes;
+//! 2. [`Dataset::discretize`] replaces every numeric column with a
+//!    categorical binned column (using any [`crate::discretize::Discretizer`]);
+//! 3. [`Dataset::to_transactions`] maps each `(attribute, value)` pair to a
+//!    distinct item and emits the binary representation
+//!    `D = {x_i, y_i}` with `x_i ∈ B^d`.
+
+use crate::discretize::{DiscretizationModel, Discretizer};
+use crate::schema::{Attribute, AttributeKind, ClassId, Schema};
+use crate::transactions::{Item, ItemMap, TransactionSet};
+
+/// A single cell value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Index into the attribute's categorical value list.
+    Cat(u32),
+    /// Raw numeric value.
+    Num(f64),
+    /// Missing value; contributes no item during transaction conversion.
+    Missing,
+}
+
+/// A labelled relational dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Column schema and class names.
+    pub schema: Schema,
+    /// Row-major cells; every row has `schema.n_attributes()` values.
+    pub rows: Vec<Vec<Value>>,
+    /// One label per row.
+    pub labels: Vec<ClassId>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating row shapes and label ranges.
+    ///
+    /// # Panics
+    /// Panics if any row has the wrong width, any label is out of range, or
+    /// any categorical cell index exceeds the attribute arity.
+    pub fn new(schema: Schema, rows: Vec<Vec<Value>>, labels: Vec<ClassId>) -> Self {
+        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                schema.n_attributes(),
+                "row {r} has wrong number of cells"
+            );
+            for (a, cell) in row.iter().enumerate() {
+                match (cell, &schema.attributes[a].kind) {
+                    (Value::Cat(v), AttributeKind::Categorical { values }) => {
+                        assert!(
+                            (*v as usize) < values.len(),
+                            "row {r} attr {a}: categorical index {v} out of range"
+                        );
+                    }
+                    (Value::Num(_), AttributeKind::Numeric) | (Value::Missing, _) => {}
+                    (Value::Cat(_), AttributeKind::Numeric) => {
+                        panic!("row {r} attr {a}: categorical value in numeric column")
+                    }
+                    (Value::Num(_), AttributeKind::Categorical { .. }) => {
+                        panic!("row {r} attr {a}: numeric value in categorical column")
+                    }
+                }
+            }
+        }
+        for (r, l) in labels.iter().enumerate() {
+            assert!(
+                l.index() < schema.n_classes(),
+                "row {r}: label {l} out of range"
+            );
+        }
+        Dataset {
+            schema,
+            rows,
+            labels,
+        }
+    }
+
+    /// Number of instances `n`.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Per-class instance counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.schema.n_classes()];
+        for l in &self.labels {
+            counts[l.index()] += 1;
+        }
+        counts
+    }
+
+    /// The numeric column `a` as `(row_index, value)` pairs, skipping missing cells.
+    ///
+    /// # Panics
+    /// Panics if attribute `a` is not numeric.
+    pub fn numeric_column(&self, a: usize) -> Vec<(usize, f64)> {
+        assert!(
+            self.schema.attributes[a].is_numeric(),
+            "attribute {a} is not numeric"
+        );
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(r, row)| match row[a] {
+                Value::Num(v) => Some((r, v)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Fits `discretizer` on every numeric column and returns both the
+    /// all-categorical dataset and the fitted [`DiscretizationModel`] (so the
+    /// same cut points can be replayed on held-out test data — fitting on
+    /// train folds only is what keeps cross-validation honest).
+    pub fn discretize<D: Discretizer>(&self, discretizer: &D) -> (Dataset, DiscretizationModel) {
+        let model = DiscretizationModel::fit(self, discretizer);
+        (model.apply(self), model)
+    }
+
+    /// Converts an all-categorical dataset into transactions, building the
+    /// `(attribute, value) → item` map.
+    ///
+    /// Missing cells simply contribute no item, matching the standard
+    /// treatment in associative classification.
+    ///
+    /// # Panics
+    /// Panics if any attribute is still numeric (discretize first).
+    pub fn to_transactions(&self) -> (TransactionSet, ItemMap) {
+        let map = ItemMap::from_schema(&self.schema);
+        let transactions = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut items: Vec<Item> = row
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(a, cell)| match cell {
+                        Value::Cat(v) if map.has_items(a) => {
+                            Some(map.item(a, *v as usize))
+                        }
+                        Value::Cat(_) | Value::Missing => None,
+                        Value::Num(_) => panic!("attribute {a} not discretized"),
+                    })
+                    .collect();
+                items.sort_unstable();
+                items
+            })
+            .collect();
+        (
+            TransactionSet::new(
+                map.n_items(),
+                self.schema.n_classes(),
+                transactions,
+                self.labels.clone(),
+            ),
+            map,
+        )
+    }
+
+    /// Returns the sub-dataset at the given row indices (cloned rows).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            schema: self.schema.clone(),
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+}
+
+/// Convenience constructor for all-categorical test datasets: each row is a
+/// vector of value indices, attributes get anonymous names/values.
+pub fn categorical_dataset(
+    arities: &[usize],
+    n_classes: usize,
+    rows: &[(&[u32], u32)],
+) -> Dataset {
+    let schema = Schema::new(
+        arities
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Attribute::categorical_anon(format!("a{i}"), n))
+            .collect(),
+        (0..n_classes).map(|i| format!("c{i}")).collect(),
+    );
+    let (data, labels) = rows
+        .iter()
+        .map(|(vals, label)| {
+            (
+                vals.iter().map(|&v| Value::Cat(v)).collect::<Vec<_>>(),
+                ClassId(*label),
+            )
+        })
+        .unzip();
+    Dataset::new(schema, data, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_counts() {
+        let d = categorical_dataset(
+            &[2, 3],
+            2,
+            &[(&[0, 1], 0), (&[1, 2], 1), (&[0, 0], 0)],
+        );
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.class_counts(), vec![2, 1]);
+    }
+
+    #[test]
+    fn to_transactions_items() {
+        let d = categorical_dataset(&[2, 3], 2, &[(&[0, 1], 0), (&[1, 2], 1)]);
+        let (ts, map) = d.to_transactions();
+        assert_eq!(map.n_items(), 5);
+        // attr0 items: 0,1 ; attr1 items: 2,3,4
+        assert_eq!(ts.transaction(0), &[Item(0), Item(3)]);
+        assert_eq!(ts.transaction(1), &[Item(1), Item(4)]);
+    }
+
+    #[test]
+    fn missing_values_skip_items() {
+        let schema = Schema::new(
+            vec![Attribute::categorical_anon("a", 2)],
+            vec!["c0".into(), "c1".into()],
+        );
+        let d = Dataset::new(
+            schema,
+            vec![vec![Value::Missing], vec![Value::Cat(1)]],
+            vec![ClassId(0), ClassId(1)],
+        );
+        let (ts, _) = d.to_transactions();
+        assert!(ts.transaction(0).is_empty());
+        assert_eq!(ts.transaction(1), &[Item(1)]);
+    }
+
+    #[test]
+    fn subset_preserves_rows() {
+        let d = categorical_dataset(&[2], 2, &[(&[0], 0), (&[1], 1), (&[0], 1)]);
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels, vec![ClassId(1), ClassId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        categorical_dataset(&[2], 1, &[(&[0], 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "categorical index")]
+    fn bad_cat_index_panics() {
+        categorical_dataset(&[2], 1, &[(&[5], 0)]);
+    }
+}

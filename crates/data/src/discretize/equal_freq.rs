@@ -1,0 +1,88 @@
+//! Unsupervised equal-frequency (quantile) binning.
+
+use super::Discretizer;
+use crate::schema::ClassId;
+
+/// Places cut points at quantiles so each bin receives approximately the same
+/// number of training values. Cuts are placed midway between neighbouring
+/// distinct values so a cut never splits equal values across bins.
+#[derive(Debug, Clone)]
+pub struct EqualFrequency {
+    n_bins: usize,
+}
+
+impl EqualFrequency {
+    /// `n_bins` must be at least 1.
+    ///
+    /// # Panics
+    /// Panics if `n_bins == 0`.
+    pub fn new(n_bins: usize) -> Self {
+        assert!(n_bins >= 1, "need at least one bin");
+        EqualFrequency { n_bins }
+    }
+}
+
+impl Discretizer for EqualFrequency {
+    fn cut_points(&self, values: &[(f64, ClassId)], _n_classes: usize) -> Vec<f64> {
+        if values.len() < 2 || self.n_bins < 2 {
+            return Vec::new();
+        }
+        let mut sorted: Vec<f64> = values.iter().map(|&(v, _)| v).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let n = sorted.len();
+        let mut cuts = Vec::new();
+        for b in 1..self.n_bins {
+            let idx = (b * n) / self.n_bins;
+            if idx == 0 || idx >= n {
+                continue;
+            }
+            // Midpoint between the last value of the previous bin and the
+            // first of this one; skip if they're equal (tie spans the cut).
+            let (lo, hi) = (sorted[idx - 1], sorted[idx]);
+            if hi > lo {
+                cuts.push((lo + hi) / 2.0);
+            }
+        }
+        cuts.dedup();
+        cuts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(v: &[f64]) -> Vec<(f64, ClassId)> {
+        v.iter().map(|&x| (x, ClassId(0))).collect()
+    }
+
+    #[test]
+    fn quartiles() {
+        let c = EqualFrequency::new(4).cut_points(&vals(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]), 1);
+        assert_eq!(c, vec![2.5, 4.5, 6.5]);
+    }
+
+    #[test]
+    fn ties_do_not_split() {
+        let c = EqualFrequency::new(2).cut_points(&vals(&[1.0, 1.0, 1.0, 1.0]), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn skewed_data_balanced_bins() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).powi(2)).collect();
+        let c = EqualFrequency::new(4).cut_points(&vals(&data), 1);
+        assert_eq!(c.len(), 3);
+        // Each bin should get ~25 values.
+        for (i, cut) in c.iter().enumerate() {
+            let below = data.iter().filter(|&&v| v <= *cut).count();
+            assert_eq!(below, 25 * (i + 1));
+        }
+    }
+
+    #[test]
+    fn too_few_values() {
+        assert!(EqualFrequency::new(4).cut_points(&vals(&[1.0]), 1).is_empty());
+        assert!(EqualFrequency::new(4).cut_points(&[], 1).is_empty());
+    }
+}

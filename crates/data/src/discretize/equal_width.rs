@@ -1,0 +1,75 @@
+//! Unsupervised equal-width binning.
+
+use super::Discretizer;
+use crate::schema::ClassId;
+
+/// Splits `[min, max]` into `n_bins` intervals of equal width.
+///
+/// Degenerate columns (constant, or fewer distinct values than bins) yield
+/// fewer cut points; a fully constant column yields none (a single bin).
+#[derive(Debug, Clone)]
+pub struct EqualWidth {
+    n_bins: usize,
+}
+
+impl EqualWidth {
+    /// `n_bins` must be at least 1.
+    ///
+    /// # Panics
+    /// Panics if `n_bins == 0`.
+    pub fn new(n_bins: usize) -> Self {
+        assert!(n_bins >= 1, "need at least one bin");
+        EqualWidth { n_bins }
+    }
+}
+
+impl Discretizer for EqualWidth {
+    fn cut_points(&self, values: &[(f64, ClassId)], _n_classes: usize) -> Vec<f64> {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(v, _) in values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if !lo.is_finite() || !hi.is_finite() || lo == hi {
+            return Vec::new();
+        }
+        let width = (hi - lo) / self.n_bins as f64;
+        (1..self.n_bins)
+            .map(|i| lo + width * i as f64)
+            .filter(|c| *c > lo && *c < hi)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(v: &[f64]) -> Vec<(f64, ClassId)> {
+        v.iter().map(|&x| (x, ClassId(0))).collect()
+    }
+
+    #[test]
+    fn four_bins_three_cuts() {
+        let c = EqualWidth::new(4).cut_points(&vals(&[0.0, 8.0]), 1);
+        assert_eq!(c, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn constant_column_no_cuts() {
+        let c = EqualWidth::new(4).cut_points(&vals(&[3.0, 3.0, 3.0]), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn empty_column_no_cuts() {
+        let c = EqualWidth::new(4).cut_points(&[], 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn one_bin_no_cuts() {
+        let c = EqualWidth::new(1).cut_points(&vals(&[0.0, 10.0]), 1);
+        assert!(c.is_empty());
+    }
+}

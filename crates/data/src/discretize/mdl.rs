@@ -1,0 +1,209 @@
+//! Supervised entropy discretization with the MDL stopping criterion
+//! (Fayyad & Irani, IJCAI 1993).
+//!
+//! Recursively picks the binary cut point minimising the class-information
+//! entropy of the induced partition; a cut is accepted only if its
+//! information gain exceeds the MDL cost
+//! `(log2(N−1) + Δ) / N`, with
+//! `Δ = log2(3^k − 2) − (k·Ent(S) − k1·Ent(S1) − k2·Ent(S2))`.
+//! Candidate cuts are midpoints between adjacent distinct values (only
+//! *boundary points* — positions where the class distribution changes — can
+//! be optimal, so only those are inspected).
+
+use super::Discretizer;
+use crate::schema::ClassId;
+
+/// Fayyad–Irani MDL discretizer.
+#[derive(Debug, Clone, Default)]
+pub struct MdlDiscretizer {
+    /// Maximum recursion depth (bounds the number of bins at `2^max_depth`).
+    /// `usize::MAX` by default — the MDL criterion is the real stop.
+    pub max_depth: usize,
+}
+
+impl MdlDiscretizer {
+    /// MDL discretizer with unbounded depth (criterion-only stopping).
+    pub fn new() -> Self {
+        MdlDiscretizer {
+            max_depth: usize::MAX,
+        }
+    }
+
+    /// MDL discretizer that additionally stops below `max_depth` recursions.
+    pub fn with_max_depth(max_depth: usize) -> Self {
+        MdlDiscretizer { max_depth }
+    }
+}
+
+impl Discretizer for MdlDiscretizer {
+    fn cut_points(&self, values: &[(f64, ClassId)], n_classes: usize) -> Vec<f64> {
+        let mut sorted: Vec<(f64, ClassId)> = values.to_vec();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+        let mut cuts = Vec::new();
+        split(&sorted, n_classes, self.max_depth, &mut cuts);
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite cuts"));
+        cuts
+    }
+}
+
+fn class_counts(values: &[(f64, ClassId)], n_classes: usize) -> Vec<usize> {
+    let mut c = vec![0usize; n_classes];
+    for &(_, l) in values {
+        c[l.index()] += 1;
+    }
+    c
+}
+
+fn entropy_of_counts(counts: &[usize]) -> f64 {
+    let n: usize = counts.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+fn n_distinct_classes(counts: &[usize]) -> usize {
+    counts.iter().filter(|&&c| c > 0).count()
+}
+
+/// Recursive MDL split on a value-sorted slice.
+fn split(sorted: &[(f64, ClassId)], n_classes: usize, depth: usize, cuts: &mut Vec<f64>) {
+    let n = sorted.len();
+    if n < 2 || depth == 0 {
+        return;
+    }
+    let total_counts = class_counts(sorted, n_classes);
+    if n_distinct_classes(&total_counts) <= 1 {
+        return; // pure segment, nothing to gain
+    }
+    let ent_s = entropy_of_counts(&total_counts);
+
+    // Scan all boundary positions with running prefix counts.
+    let mut left = vec![0usize; n_classes];
+    let mut best: Option<(usize, f64)> = None; // (split index, weighted entropy)
+    for i in 1..n {
+        left[sorted[i - 1].1.index()] += 1;
+        if sorted[i].0 <= sorted[i - 1].0 {
+            continue; // not a value boundary; a cut here would be ill-defined
+        }
+        let right: Vec<usize> = total_counts
+            .iter()
+            .zip(&left)
+            .map(|(&t, &l)| t - l)
+            .collect();
+        let w = (i as f64 * entropy_of_counts(&left)
+            + (n - i) as f64 * entropy_of_counts(&right))
+            / n as f64;
+        if best.is_none_or(|(_, bw)| w < bw - 1e-12) {
+            best = Some((i, w));
+        }
+    }
+    let Some((split_at, weighted)) = best else {
+        return; // constant column
+    };
+
+    let gain = ent_s - weighted;
+    let left_slice = &sorted[..split_at];
+    let right_slice = &sorted[split_at..];
+    let k = n_distinct_classes(&total_counts) as f64;
+    let k1 = n_distinct_classes(&class_counts(left_slice, n_classes)) as f64;
+    let k2 = n_distinct_classes(&class_counts(right_slice, n_classes)) as f64;
+    let ent1 = entropy_of_counts(&class_counts(left_slice, n_classes));
+    let ent2 = entropy_of_counts(&class_counts(right_slice, n_classes));
+    let delta = (3f64.powf(k) - 2.0).log2() - (k * ent_s - k1 * ent1 - k2 * ent2);
+    let threshold = ((n as f64 - 1.0).log2() + delta) / n as f64;
+
+    if gain <= threshold {
+        return; // MDL: cut not worth encoding
+    }
+    let cut = (sorted[split_at - 1].0 + sorted[split_at].0) / 2.0;
+    cuts.push(cut);
+    split(left_slice, n_classes, depth - 1, cuts);
+    split(right_slice, n_classes, depth - 1, cuts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labelled(pairs: &[(f64, u32)]) -> Vec<(f64, ClassId)> {
+        pairs.iter().map(|&(v, l)| (v, ClassId(l))).collect()
+    }
+
+    #[test]
+    fn clean_two_class_split() {
+        // Class 0 on [0,10), class 1 on [10,20): one cut near 9.5.
+        let data: Vec<(f64, u32)> = (0..20)
+            .map(|i| (i as f64, if i < 10 { 0 } else { 1 }))
+            .collect();
+        let cuts = MdlDiscretizer::new().cut_points(&labelled(&data), 2);
+        assert_eq!(cuts.len(), 1);
+        assert!((cuts[0] - 9.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_column_no_cut() {
+        let data: Vec<(f64, u32)> = (0..20).map(|i| (i as f64, 0)).collect();
+        assert!(MdlDiscretizer::new()
+            .cut_points(&labelled(&data), 2)
+            .is_empty());
+    }
+
+    #[test]
+    fn random_labels_rejected_by_mdl() {
+        // Alternating labels carry no information w.r.t. value: the best cut
+        // has negligible gain and MDL should refuse it.
+        let data: Vec<(f64, u32)> = (0..40).map(|i| (i as f64, (i % 2) as u32)).collect();
+        let cuts = MdlDiscretizer::new().cut_points(&labelled(&data), 2);
+        assert!(cuts.is_empty(), "got {cuts:?}");
+    }
+
+    #[test]
+    fn three_segments_two_cuts() {
+        let mut data = Vec::new();
+        for i in 0..30 {
+            data.push((i as f64, 0u32));
+        }
+        for i in 30..60 {
+            data.push((i as f64, 1));
+        }
+        for i in 60..90 {
+            data.push((i as f64, 0));
+        }
+        let cuts = MdlDiscretizer::new().cut_points(&labelled(&data), 2);
+        assert_eq!(cuts.len(), 2);
+        assert!((cuts[0] - 29.5).abs() < 1e-9);
+        assert!((cuts[1] - 59.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_depth_caps_cuts() {
+        let mut data = Vec::new();
+        for seg in 0..8 {
+            for i in 0..20 {
+                data.push(((seg * 20 + i) as f64, (seg % 2) as u32));
+            }
+        }
+        let unbounded = MdlDiscretizer::new().cut_points(&labelled(&data), 2);
+        assert!(unbounded.len() >= 7);
+        let capped = MdlDiscretizer::with_max_depth(1).cut_points(&labelled(&data), 2);
+        assert_eq!(capped.len(), 1);
+    }
+
+    #[test]
+    fn ties_never_produce_cut_between_equal_values() {
+        let data = labelled(&[(1.0, 0), (1.0, 1), (1.0, 0), (2.0, 1), (2.0, 1)]);
+        let cuts = MdlDiscretizer::new().cut_points(&data, 2);
+        for c in cuts {
+            assert!(c > 1.0 && c < 2.0);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Sparse binary feature matrices — the representation classifiers consume.
+//!
+//! After feature selection, the dataset `D` is transformed into `D'` over the
+//! feature space `I ∪ Fs` (paper §2): every single item is a feature, and
+//! every selected pattern is a feature that fires when the transaction
+//! contains all of the pattern's items. Rows are sparse lists of active
+//! feature indices, which suits both the linear SVM (sparse dot products)
+//! and the decision tree (per-feature index sets).
+
+use crate::schema::ClassId;
+
+/// A labelled sparse binary matrix: each row lists its active feature ids,
+/// strictly ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseBinaryMatrix {
+    /// Total number of features `d'`.
+    pub n_features: usize,
+    /// Active feature ids per row (each strictly ascending).
+    pub rows: Vec<Vec<u32>>,
+    /// One label per row.
+    pub labels: Vec<ClassId>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl SparseBinaryMatrix {
+    /// Creates a matrix, validating shapes.
+    ///
+    /// # Panics
+    /// Panics if rows/labels lengths differ, a feature id is out of range,
+    /// a row is not strictly ascending, or a label is out of range.
+    pub fn new(
+        n_features: usize,
+        rows: Vec<Vec<u32>>,
+        labels: Vec<ClassId>,
+        n_classes: usize,
+    ) -> Self {
+        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+        for (r, row) in rows.iter().enumerate() {
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "row {r} not strictly ascending");
+            }
+            if let Some(&last) = row.last() {
+                assert!((last as usize) < n_features, "row {r} feature out of range");
+            }
+        }
+        for (r, l) in labels.iter().enumerate() {
+            assert!(l.index() < n_classes, "row {r} label out of range");
+        }
+        SparseBinaryMatrix {
+            n_features,
+            rows,
+            labels,
+            n_classes,
+        }
+    }
+
+    /// Number of rows `n`.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// `true` iff feature `f` is active in row `r`.
+    pub fn get(&self, r: usize, f: u32) -> bool {
+        self.rows[r].binary_search(&f).is_ok()
+    }
+
+    /// Per-class row counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for l in &self.labels {
+            counts[l.index()] += 1;
+        }
+        counts
+    }
+
+    /// The sub-matrix at the given row indices (cloned rows).
+    pub fn subset(&self, indices: &[usize]) -> SparseBinaryMatrix {
+        SparseBinaryMatrix {
+            n_features: self.n_features,
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// Column view: for each feature, the sorted list of rows where it is
+    /// active. Used by the decision tree for fast split evaluation.
+    pub fn columns(&self) -> Vec<Vec<u32>> {
+        let mut cols = vec![Vec::new(); self.n_features];
+        for (r, row) in self.rows.iter().enumerate() {
+            for &f in row {
+                cols[f as usize].push(r as u32);
+            }
+        }
+        cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseBinaryMatrix {
+        SparseBinaryMatrix::new(
+            4,
+            vec![vec![0, 2], vec![1], vec![0, 1, 3], vec![]],
+            vec![ClassId(0), ClassId(1), ClassId(0), ClassId(1)],
+            2,
+        )
+    }
+
+    #[test]
+    fn get_and_counts() {
+        let m = sample();
+        assert!(m.get(0, 0) && m.get(0, 2) && !m.get(0, 1));
+        assert!(!m.get(3, 0));
+        assert_eq!(m.class_counts(), vec![2, 2]);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn columns_roundtrip() {
+        let m = sample();
+        let cols = m.columns();
+        assert_eq!(cols[0], vec![0, 2]);
+        assert_eq!(cols[1], vec![1, 2]);
+        assert_eq!(cols[2], vec![0]);
+        assert_eq!(cols[3], vec![2]);
+    }
+
+    #[test]
+    fn subset_rows() {
+        let m = sample().subset(&[2, 0]);
+        assert_eq!(m.rows[0], vec![0, 1, 3]);
+        assert_eq!(m.labels, vec![ClassId(0), ClassId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature out of range")]
+    fn oob_feature_panics() {
+        SparseBinaryMatrix::new(2, vec![vec![5]], vec![ClassId(0)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not strictly ascending")]
+    fn unsorted_row_panics() {
+        SparseBinaryMatrix::new(4, vec![vec![2, 1]], vec![ClassId(0)], 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Attribute schema for relational datasets (paper §2, "Problem Formulation").
+//!
+//! A dataset has `k` categorical attributes (numeric attributes are
+//! discretized first) and `m` classes `C = {c_1, …, c_m}`. Each
+//! `(attribute, value)` pair is later mapped to a distinct item — that
+//! mapping lives in [`crate::transactions::ItemMap`].
+
+/// Identifier of a class label, dense in `[0, n_classes)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+impl ClassId {
+    /// Class index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ClassId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The kind of an attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttributeKind {
+    /// Categorical attribute with a fixed set of named values.
+    Categorical {
+        /// Value names; a cell stores an index into this vector.
+        values: Vec<String>,
+    },
+    /// Numeric (continuous) attribute; must be discretized before mining.
+    Numeric,
+}
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Attribute name (unique within a schema by convention, not enforced).
+    pub name: String,
+    /// Categorical or numeric.
+    pub kind: AttributeKind,
+}
+
+impl Attribute {
+    /// A categorical attribute with the given value names.
+    pub fn categorical(name: impl Into<String>, values: Vec<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            kind: AttributeKind::Categorical { values },
+        }
+    }
+
+    /// A categorical attribute with `n` anonymous values `v0..v{n-1}`.
+    pub fn categorical_anon(name: impl Into<String>, n: usize) -> Self {
+        Attribute {
+            name: name.into(),
+            kind: AttributeKind::Categorical {
+                values: (0..n).map(|i| format!("v{i}")).collect(),
+            },
+        }
+    }
+
+    /// A numeric attribute.
+    pub fn numeric(name: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            kind: AttributeKind::Numeric,
+        }
+    }
+
+    /// Number of distinct values for categorical attributes, `None` for numeric.
+    pub fn arity(&self) -> Option<usize> {
+        match &self.kind {
+            AttributeKind::Categorical { values } => Some(values.len()),
+            AttributeKind::Numeric => None,
+        }
+    }
+
+    /// `true` if the attribute is numeric.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self.kind, AttributeKind::Numeric)
+    }
+}
+
+/// Dataset schema: the attribute list and the class-name list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    /// Attributes, in column order.
+    pub attributes: Vec<Attribute>,
+    /// Class names; `ClassId(i)` refers to `class_names[i]`.
+    pub class_names: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema.
+    pub fn new(attributes: Vec<Attribute>, class_names: Vec<String>) -> Self {
+        Schema {
+            attributes,
+            class_names,
+        }
+    }
+
+    /// Number of attributes.
+    pub fn n_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Number of classes `m`.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// `true` if any attribute is numeric (i.e. discretization is required).
+    pub fn has_numeric(&self) -> bool {
+        self.attributes.iter().any(Attribute::is_numeric)
+    }
+
+    /// Total number of items `d = |I|` once every categorical value is mapped
+    /// to an item. Returns `None` if any attribute is still numeric.
+    pub fn n_items(&self) -> Option<usize> {
+        self.attributes.iter().map(Attribute::arity).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                Attribute::categorical_anon("a", 3),
+                Attribute::numeric("b"),
+                Attribute::categorical("c", vec!["x".into(), "y".into()]),
+            ],
+            vec!["pos".into(), "neg".into()],
+        )
+    }
+
+    #[test]
+    fn arity_and_counts() {
+        let s = schema();
+        assert_eq!(s.n_attributes(), 3);
+        assert_eq!(s.n_classes(), 2);
+        assert!(s.has_numeric());
+        assert_eq!(s.n_items(), None);
+        assert_eq!(s.attributes[0].arity(), Some(3));
+        assert_eq!(s.attributes[1].arity(), None);
+    }
+
+    #[test]
+    fn all_categorical_item_count() {
+        let s = Schema::new(
+            vec![
+                Attribute::categorical_anon("a", 3),
+                Attribute::categorical_anon("b", 4),
+            ],
+            vec!["p".into(), "n".into()],
+        );
+        assert!(!s.has_numeric());
+        assert_eq!(s.n_items(), Some(7));
+    }
+
+    #[test]
+    fn class_id_display() {
+        assert_eq!(ClassId(3).to_string(), "c3");
+        assert_eq!(ClassId(3).index(), 3);
+    }
+}

@@ -1,0 +1,167 @@
+//! Train/test splitting: stratified k-fold cross validation (the paper's
+//! evaluation protocol — "Each dataset is partitioned into ten parts evenly.
+//! Each time, one part is used for test and the other nine for training")
+//! and stratified holdout splits.
+
+use crate::schema::ClassId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One cross-validation fold: disjoint train/test row indices.
+#[derive(Debug, Clone)]
+pub struct Fold {
+    /// Training row indices.
+    pub train: Vec<usize>,
+    /// Test row indices.
+    pub test: Vec<usize>,
+}
+
+/// Stratified k-fold split: each class's rows are shuffled (seeded) and dealt
+/// round-robin across folds, so every fold preserves the class distribution
+/// as closely as integer counts allow.
+///
+/// # Panics
+/// Panics if `k < 2` or `k > labels.len()`.
+pub fn stratified_k_fold(labels: &[ClassId], k: usize, seed: u64) -> Vec<Fold> {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(k <= labels.len(), "more folds than instances");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let n_classes = labels.iter().map(|l| l.index() + 1).max().unwrap_or(0);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (i, l) in labels.iter().enumerate() {
+        per_class[l.index()].push(i);
+    }
+
+    let mut fold_test: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for rows in &mut per_class {
+        rows.shuffle(&mut rng);
+        for (j, &row) in rows.iter().enumerate() {
+            fold_test[j % k].push(row);
+        }
+    }
+
+    (0..k)
+        .map(|f| {
+            let mut test = fold_test[f].clone();
+            test.sort_unstable();
+            let mut train: Vec<usize> = (0..k)
+                .filter(|&g| g != f)
+                .flat_map(|g| fold_test[g].iter().copied())
+                .collect();
+            train.sort_unstable();
+            Fold { train, test }
+        })
+        .collect()
+}
+
+/// Stratified holdout split; `test_fraction` of each class goes to the test
+/// set (rounded down, at least one instance stays in train per class when a
+/// class has more than one instance).
+///
+/// # Panics
+/// Panics unless `0.0 < test_fraction < 1.0`.
+pub fn stratified_holdout(labels: &[ClassId], test_fraction: f64, seed: u64) -> Fold {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test_fraction must be in (0,1)"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_classes = labels.iter().map(|l| l.index() + 1).max().unwrap_or(0);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (i, l) in labels.iter().enumerate() {
+        per_class[l.index()].push(i);
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for rows in &mut per_class {
+        rows.shuffle(&mut rng);
+        let mut n_test = (rows.len() as f64 * test_fraction).floor() as usize;
+        if n_test == rows.len() && n_test > 0 {
+            n_test -= 1;
+        }
+        test.extend_from_slice(&rows[..n_test]);
+        train.extend_from_slice(&rows[n_test..]);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    Fold { train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(spec: &[(u32, usize)]) -> Vec<ClassId> {
+        spec.iter()
+            .flat_map(|&(c, n)| std::iter::repeat_n(ClassId(c), n))
+            .collect()
+    }
+
+    #[test]
+    fn folds_partition_everything() {
+        let l = labels(&[(0, 37), (1, 23)]);
+        let folds = stratified_k_fold(&l, 10, 7);
+        assert_eq!(folds.len(), 10);
+        let mut seen = vec![0usize; l.len()];
+        for f in &folds {
+            for &t in &f.test {
+                seen[t] += 1;
+            }
+            // train ∪ test covers all rows, disjointly
+            assert_eq!(f.train.len() + f.test.len(), l.len());
+            let mut all: Vec<usize> = f.train.iter().chain(&f.test).copied().collect();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), l.len());
+        }
+        // every row is tested exactly once across folds
+        assert!(seen.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let l = labels(&[(0, 50), (1, 50)]);
+        for f in stratified_k_fold(&l, 10, 1) {
+            let c0 = f.test.iter().filter(|&&i| l[i] == ClassId(0)).count();
+            assert_eq!(c0, 5);
+            assert_eq!(f.test.len(), 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let l = labels(&[(0, 30), (1, 20)]);
+        let a = stratified_k_fold(&l, 5, 42);
+        let b = stratified_k_fold(&l, 5, 42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.test, y.test);
+        }
+        let c = stratified_k_fold(&l, 5, 43);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.test != y.test));
+    }
+
+    #[test]
+    fn holdout_fractions() {
+        let l = labels(&[(0, 40), (1, 10)]);
+        let f = stratified_holdout(&l, 0.2, 3);
+        assert_eq!(f.test.len(), 8 + 2);
+        assert_eq!(f.train.len(), 40);
+        let c1 = f.test.iter().filter(|&&i| l[i] == ClassId(1)).count();
+        assert_eq!(c1, 2);
+    }
+
+    #[test]
+    fn holdout_keeps_singletons_in_train() {
+        let l = labels(&[(0, 1), (1, 9)]);
+        let f = stratified_holdout(&l, 0.9, 3);
+        assert!(f.train.iter().any(|&i| l[i] == ClassId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn k1_panics() {
+        stratified_k_fold(&labels(&[(0, 5)]), 1, 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Theoretical upper bounds of discriminative measures as functions of
+//! pattern support θ (paper §3.1.2).
+//!
+//! For a binary class variable with prior `p = P(c = 1)` and a binary
+//! pattern feature with `P(x = 1) = θ`, write `q = P(c = 1 | x = 1)`.
+//! `q` is constrained to the feasible interval
+//! `[max(0, (p − (1 − θ))/θ), min(1, p/θ)]`; the conditional entropy
+//! `H(C|X)` is concave in `q`, so its minimum over the interval — and hence
+//! the maximum of `IG = H(C) − H(C|X)` — is attained at one of the two
+//! endpoints. The paper discusses the `q = 1` endpoint for `θ ≤ p` (Eq. 3)
+//! and `q = p/θ` for `θ > p`; this module evaluates **both** endpoints and
+//! takes the true extremum, which coincides with the paper's expressions in
+//! the cases it analyses and remains a sound bound for all `p`.
+//!
+//! The same endpoint argument gives the Fisher-score bound: `Fr` grows with
+//! `(p − q)²` (Eq. 5), so its maximum is at the feasible `q` farthest from
+//! `p`; at `θ ≤ p`, `q = 1` yields the paper's closed form
+//! `FRub = θ(1−p)/(p−θ)` (Eq. 6), which diverges as `θ → p`.
+
+use crate::entropy::binary_entropy;
+use crate::fisher::fisher_score_theta_p_q;
+
+/// Feasible interval of `q = P(c=1 | x=1)` for given θ and p.
+fn q_interval(theta: f64, p: f64) -> (f64, f64) {
+    if theta <= 0.0 {
+        return (0.0, 1.0); // vacuous; callers special-case θ = 0
+    }
+    let lo = ((p - (1.0 - theta)) / theta).max(0.0);
+    let hi = (p / theta).min(1.0);
+    (lo, hi)
+}
+
+/// Conditional entropy `H(C|X)` for parameters (θ, p, q), in bits.
+pub fn conditional_entropy(theta: f64, p: f64, q: f64) -> f64 {
+    if theta <= 0.0 {
+        return binary_entropy(p);
+    }
+    if theta >= 1.0 {
+        return binary_entropy(p); // q is forced to p
+    }
+    let p0 = ((p - theta * q) / (1.0 - theta)).clamp(0.0, 1.0);
+    theta * binary_entropy(q) + (1.0 - theta) * binary_entropy(p0)
+}
+
+/// `IGub(θ)` for a **binary** class problem with prior `p` (Eq. 2):
+/// the largest information gain any feature of support θ can achieve.
+///
+/// Zero at θ = 0 and θ = 1; maximal (`H(C)`) at θ = p and θ = 1 − p.
+pub fn ig_upper_bound(theta: f64, p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&theta), "theta={theta}");
+    debug_assert!((0.0..=1.0).contains(&p), "p={p}");
+    if theta <= 0.0 || theta >= 1.0 || p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    let (lo, hi) = q_interval(theta, p);
+    let h_lb = conditional_entropy(theta, p, lo).min(conditional_entropy(theta, p, hi));
+    (binary_entropy(p) - h_lb).max(0.0)
+}
+
+/// `IGub(θ)` restricted to the `q = 1` branch — exactly the curve the paper
+/// plots in Figure 2 for `θ ≤ p` (Eq. 3), extended by the `q = p/θ` branch
+/// for `θ > p`. Provided so the figure-regeneration harness can reproduce
+/// the published curve; [`ig_upper_bound`] is the tight two-endpoint bound.
+pub fn ig_upper_bound_paper(theta: f64, p: f64) -> f64 {
+    if theta <= 0.0 || theta >= 1.0 || p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    let q = if theta <= p { 1.0 } else { p / theta };
+    (binary_entropy(p) - conditional_entropy(theta, p, q)).max(0.0)
+}
+
+/// Support-dependent information-gain bound for **multiclass** problems:
+/// `IG(C|X) = I(C; X) ≤ min(H(C), H(X)) = min(H(C), H2(θ))`.
+///
+/// This is the sound generalisation used by the `min_sup` strategy on
+/// datasets with more than two classes; for two classes the binary bound
+/// [`ig_upper_bound`] is tighter and used instead.
+pub fn ig_upper_bound_multiclass(theta: f64, class_priors: &[f64]) -> f64 {
+    let h_c = crate::entropy::entropy_of_probs(class_priors);
+    binary_entropy(theta.clamp(0.0, 1.0)).min(h_c)
+}
+
+/// Dispatches to the tight binary bound for two classes and to the
+/// `min(H(C), H2(θ))` bound otherwise.
+pub fn ig_upper_bound_for(theta: f64, class_priors: &[f64]) -> f64 {
+    if class_priors.len() == 2 {
+        ig_upper_bound(theta, class_priors[1])
+    } else {
+        ig_upper_bound_multiclass(theta, class_priors)
+    }
+}
+
+/// `FRub(θ)` for a binary class problem with prior `p`: the largest Fisher
+/// score any feature of support θ can achieve, attained at the feasible `q`
+/// endpoint farthest from `p`. Returns `+∞` where a perfect separator of
+/// support θ exists (θ = p or θ = 1 − p).
+pub fn fisher_upper_bound(theta: f64, p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&theta), "theta={theta}");
+    if theta <= 0.0 || theta >= 1.0 || p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    let (lo, hi) = q_interval(theta, p);
+    fisher_score_theta_p_q(theta, p, lo).max(fisher_score_theta_p_q(theta, p, hi))
+}
+
+/// The paper's closed-form Fisher bound `θ(1−p)/(p−θ)` (Eq. 6), valid for
+/// `θ < p` at `q = 1`; `+∞` at `θ = p`. Exposed for the Figure 3 harness.
+pub fn fisher_upper_bound_eq6(theta: f64, p: f64) -> f64 {
+    if theta >= p {
+        return f64::INFINITY;
+    }
+    theta * (1.0 - p) / (p - theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entropy::info_gain;
+    use crate::fisher::fisher_score;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn ig_bound_edges() {
+        assert_eq!(ig_upper_bound(0.0, 0.4), 0.0);
+        assert_eq!(ig_upper_bound(1.0, 0.4), 0.0);
+        assert_eq!(ig_upper_bound(0.5, 0.0), 0.0);
+        // at θ = p the bound reaches H(C): a feature covering exactly one
+        // class is a perfect separator.
+        assert!((ig_upper_bound(0.4, 0.4) - binary_entropy(0.4)).abs() < EPS);
+        assert!((ig_upper_bound(0.6, 0.4) - binary_entropy(0.4)).abs() < EPS);
+    }
+
+    #[test]
+    fn ig_bound_monotone_on_ascending_branch() {
+        // For θ ∈ (0, min(p, 1−p)], the bound increases with θ
+        // (the paper's core monotonicity result, §3.1.2).
+        let p = 0.35;
+        let mut last = 0.0;
+        for i in 1..=35 {
+            let theta = i as f64 / 100.0;
+            let b = ig_upper_bound(theta, p);
+            assert!(b + 1e-12 >= last, "IGub not monotone at θ={theta}: {b} < {last}");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn ig_bound_small_support_is_small() {
+        // "for a support of θ = 5% … the upper bound is as low as 0.06" —
+        // paper's Figure 2(a) observation, p ≈ 0.555 on austral.
+        let b = ig_upper_bound_paper(0.05, 0.555);
+        assert!(b < 0.09, "bound at 5% support is {b}");
+        // the tight bound is also small
+        assert!(ig_upper_bound(0.05, 0.555) < 0.15);
+    }
+
+    #[test]
+    fn ig_bound_dominates_every_achievable_gain() {
+        // Exhaustive check on a small universe: every (n1 covered, n2 covered)
+        // configuration's IG must be ≤ IGub(θ) at its support.
+        let (n1, n2) = (7usize, 5usize);
+        let n = n1 + n2;
+        let p = n1 as f64 / n as f64;
+        for s1 in 0..=n1 {
+            for s2 in 0..=n2 {
+                let ig = info_gain(&[n1, n2], &[s1 as u32, s2 as u32]);
+                let theta = (s1 + s2) as f64 / n as f64;
+                let bound = ig_upper_bound(theta, p);
+                assert!(
+                    ig <= bound + 1e-9,
+                    "IG {ig} > IGub {bound} at s1={s1} s2={s2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_branch_matches_tight_bound_for_low_minority_support() {
+        // For p ≤ 0.5 and θ ≤ p, q = 1 is the extremal endpoint, so the
+        // paper's expression equals the tight bound.
+        for &(theta, p) in &[(0.1, 0.4), (0.2, 0.45), (0.3, 0.5)] {
+            let a = ig_upper_bound(theta, p);
+            let b = ig_upper_bound_paper(theta, p);
+            assert!((a - b).abs() < EPS, "θ={theta} p={p}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn eq3_closed_form_agrees() {
+        // Eq. 3: Hlb|q=1 = (θ−1)( (p−θ)/(1−θ)·log((p−θ)/(1−θ)) + (1−p)/(1−θ)·log((1−p)/(1−θ)) )
+        let (theta, p): (f64, f64) = (0.2, 0.45);
+        let a: f64 = (p - theta) / (1.0 - theta);
+        let b: f64 = (1.0 - p) / (1.0 - theta);
+        let eq3 = (theta - 1.0) * (a * a.log2() + b * b.log2());
+        let ours = conditional_entropy(theta, p, 1.0);
+        assert!((eq3 - ours).abs() < EPS, "{eq3} vs {ours}");
+    }
+
+    #[test]
+    fn fisher_bound_dominates_every_achievable_score() {
+        let (n1, n2) = (6usize, 9usize);
+        let n = n1 + n2;
+        let p = n2 as f64 / n as f64; // class "1" = second class by symmetry
+        for s1 in 0..=n1 {
+            for s2 in 0..=n2 {
+                let fr = fisher_score(&[n1, n2], &[s1 as u32, s2 as u32]);
+                if !fr.is_finite() {
+                    continue; // perfect separators map to the ∞ bound at θ = p
+                }
+                let theta = (s1 + s2) as f64 / n as f64;
+                let bound = fisher_upper_bound(theta, p);
+                assert!(
+                    fr <= bound + 1e-9,
+                    "Fr {fr} > FRub {bound} at s1={s1} s2={s2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fisher_eq6_matches_endpoint_eval() {
+        for &(theta, p) in &[(0.05, 0.3), (0.1, 0.4), (0.25, 0.45)] {
+            let closed_form = fisher_upper_bound_eq6(theta, p);
+            let eval = fisher_score_theta_p_q(theta, p, 1.0);
+            assert!(
+                (closed_form - eval).abs() < 1e-6,
+                "θ={theta} p={p}: {closed_form} vs {eval}"
+            );
+        }
+    }
+
+    #[test]
+    fn fisher_bound_increases_toward_p() {
+        let p = 0.4;
+        let mut last = 0.0;
+        for i in 1..40 {
+            let theta = i as f64 / 100.0;
+            let b = fisher_upper_bound(theta, p);
+            assert!(b >= last - 1e-9, "FRub not increasing at θ={theta}");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn multiclass_bound_sound() {
+        // 3 classes: IG ≤ min(H(C), H2(θ)).
+        let counts = [5usize, 3, 4];
+        let n: usize = counts.iter().sum();
+        let priors: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        for s0 in 0..=counts[0] {
+            for s1 in 0..=counts[1] {
+                for s2 in 0..=counts[2] {
+                    let ig = info_gain(&counts, &[s0 as u32, s1 as u32, s2 as u32]);
+                    let theta = (s0 + s1 + s2) as f64 / n as f64;
+                    let bound = ig_upper_bound_multiclass(theta, &priors);
+                    assert!(ig <= bound + 1e-9, "IG {ig} > {bound} at ({s0},{s1},{s2})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_picks_tighter_binary_bound() {
+        let theta = 0.1;
+        let priors = [0.6, 0.4];
+        let tight = ig_upper_bound_for(theta, &priors);
+        let loose = ig_upper_bound_multiclass(theta, &priors);
+        assert!(tight <= loose + EPS);
+    }
+}

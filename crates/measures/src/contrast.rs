@@ -1,0 +1,149 @@
+//! Additional discriminative measures beyond information gain and Fisher
+//! score: χ², odds ratio, and support difference (a.k.a. *discriminative
+//! support*, the measure DDPMine — the follow-up to this paper — optimises).
+//!
+//! These extend Definition 3 (any "relevance measure `S` mapping a pattern
+//! to a real value" can drive MMRFS) and are exercised by the ablation
+//! examples/tests.
+
+/// χ² statistic of a binary feature against a binary-or-multiclass label
+/// (contingency of coverage × class).
+///
+/// # Panics
+/// Panics if the slices have different lengths or supports exceed counts.
+pub fn chi_square(class_counts: &[usize], pattern_class_supports: &[u32]) -> f64 {
+    assert_eq!(
+        class_counts.len(),
+        pattern_class_supports.len(),
+        "class count vectors must align"
+    );
+    let n: usize = class_counts.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let support: u32 = pattern_class_supports.iter().sum();
+    let n_f = n as f64;
+    let theta = support as f64 / n_f;
+    let mut chi = 0.0;
+    for (&nc, &sc) in class_counts.iter().zip(pattern_class_supports) {
+        assert!(sc as usize <= nc, "per-class support exceeds class count");
+        if nc == 0 {
+            continue;
+        }
+        let e1 = nc as f64 * theta; // expected covered
+        let e0 = nc as f64 * (1.0 - theta); // expected uncovered
+        if e1 > 0.0 {
+            let d = sc as f64 - e1;
+            chi += d * d / e1;
+        }
+        if e0 > 0.0 {
+            let d = (nc as f64 - sc as f64) - e0;
+            chi += d * d / e0;
+        }
+    }
+    chi
+}
+
+/// Odds ratio of the pattern for class `c` with Haldane–Anscombe 0.5
+/// smoothing: `(a+½)(d+½) / ((b+½)(c+½))` for the coverage × membership
+/// 2×2 table.
+pub fn odds_ratio(class_counts: &[usize], pattern_class_supports: &[u32], class: usize) -> f64 {
+    let n: usize = class_counts.iter().sum();
+    let support: u32 = pattern_class_supports.iter().sum();
+    let a = pattern_class_supports[class] as f64; // covered, in class
+    let b = support as f64 - a; // covered, not in class
+    let c = class_counts[class] as f64 - a; // uncovered, in class
+    let d = n as f64 - support as f64 - c; // uncovered, not in class
+    ((a + 0.5) * (d + 0.5)) / ((b + 0.5) * (c + 0.5))
+}
+
+/// Support difference for class `c`: `P(α | c) − P(α | ¬c)` — DDPMine's
+/// discriminative-support style measure, in `[-1, 1]`.
+pub fn support_difference(
+    class_counts: &[usize],
+    pattern_class_supports: &[u32],
+    class: usize,
+) -> f64 {
+    let nc = class_counts[class];
+    let n_rest: usize = class_counts.iter().sum::<usize>() - nc;
+    let sc = pattern_class_supports[class] as f64;
+    let s_rest: f64 = pattern_class_supports
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != class)
+        .map(|(_, &s)| s as f64)
+        .sum();
+    let p_in = if nc == 0 { 0.0 } else { sc / nc as f64 };
+    let p_out = if n_rest == 0 { 0.0 } else { s_rest / n_rest as f64 };
+    p_in - p_out
+}
+
+/// The best (maximum) support difference over all classes — a symmetric,
+/// class-agnostic relevance value.
+pub fn max_support_difference(class_counts: &[usize], pattern_class_supports: &[u32]) -> f64 {
+    (0..class_counts.len())
+        .map(|c| support_difference(class_counts, pattern_class_supports, c))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn chi_square_independence_is_zero() {
+        assert!(chi_square(&[10, 10], &[5, 5]).abs() < EPS);
+        assert!(chi_square(&[20, 10], &[10, 5]).abs() < EPS);
+    }
+
+    #[test]
+    fn chi_square_perfect_association() {
+        // covers exactly class 0 (10 of 20): χ² = n = 20
+        assert!((chi_square(&[10, 10], &[10, 0]) - 20.0).abs() < EPS);
+    }
+
+    #[test]
+    fn chi_square_matches_rule_chi_square_shape() {
+        // monotone in association strength
+        let weak = chi_square(&[10, 10], &[6, 4]);
+        let strong = chi_square(&[10, 10], &[9, 1]);
+        assert!(strong > weak);
+    }
+
+    #[test]
+    fn odds_ratio_directions() {
+        // positively associated with class 0
+        let or0 = odds_ratio(&[10, 10], &[8, 2], 0);
+        assert!(or0 > 1.0);
+        // and symmetrically negatively with class 1
+        let or1 = odds_ratio(&[10, 10], &[8, 2], 1);
+        assert!(or1 < 1.0);
+        // independence → ~1
+        let ind = odds_ratio(&[10, 10], &[5, 5], 0);
+        assert!((ind - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn odds_ratio_no_division_by_zero() {
+        let or = odds_ratio(&[5, 5], &[5, 0], 0);
+        assert!(or.is_finite() && or > 1.0);
+    }
+
+    #[test]
+    fn support_difference_values() {
+        assert!((support_difference(&[10, 10], &[10, 0], 0) - 1.0).abs() < EPS);
+        assert!((support_difference(&[10, 10], &[0, 10], 0) + 1.0).abs() < EPS);
+        assert!(support_difference(&[10, 10], &[5, 5], 0).abs() < EPS);
+        // empty rest partition
+        assert!((support_difference(&[10, 0], &[5, 0], 0) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn max_support_difference_symmetric() {
+        let v = max_support_difference(&[10, 10], &[2, 9]);
+        assert!((v - 0.7).abs() < EPS);
+        assert!(max_support_difference(&[10, 10], &[0, 0]).abs() < EPS);
+    }
+}

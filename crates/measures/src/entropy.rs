@@ -1,0 +1,164 @@
+//! Entropy, conditional entropy and information gain (paper Eq. 1).
+//!
+//! A pattern α is viewed as a binary random variable `X` (presence in a
+//! transaction); `IG(C|X) = H(C) − H(C|X)`. All logarithms are base 2.
+
+/// Binary entropy `H2(p) = −p·log2(p) − (1−p)·log2(1−p)`, with
+/// `H2(0) = H2(1) = 0`.
+pub fn binary_entropy(p: f64) -> f64 {
+    debug_assert!((-1e-9..=1.0 + 1e-9).contains(&p), "p={p} out of [0,1]");
+    let p = p.clamp(0.0, 1.0);
+    let mut h = 0.0;
+    if p > 0.0 {
+        h -= p * p.log2();
+    }
+    if p < 1.0 {
+        h -= (1.0 - p) * (1.0 - p).log2();
+    }
+    h
+}
+
+/// Entropy of a discrete distribution given by non-negative counts.
+pub fn entropy_of_counts(counts: &[usize]) -> f64 {
+    let n: usize = counts.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Entropy of a probability vector (must sum to ~1; zero entries allowed).
+pub fn entropy_of_probs(probs: &[f64]) -> f64 {
+    probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.log2())
+        .sum()
+}
+
+/// Information gain of a binary pattern feature.
+///
+/// * `class_counts[c]` — number of instances of class `c` in the database;
+/// * `pattern_class_supports[c]` — number of covering instances of class `c`.
+///
+/// `IG(C|X) = H(C) − [θ·H(C|x=1) + (1−θ)·H(C|x=0)]` where
+/// `θ = support / n`.
+///
+/// # Panics
+/// Panics if the slices have different lengths or any per-class support
+/// exceeds the class count.
+pub fn info_gain(class_counts: &[usize], pattern_class_supports: &[u32]) -> f64 {
+    assert_eq!(
+        class_counts.len(),
+        pattern_class_supports.len(),
+        "class count vectors must align"
+    );
+    let n: usize = class_counts.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let covered: Vec<usize> = pattern_class_supports.iter().map(|&s| s as usize).collect();
+    let uncovered: Vec<usize> = class_counts
+        .iter()
+        .zip(&covered)
+        .map(|(&total, &cov)| {
+            assert!(cov <= total, "per-class support exceeds class count");
+            total - cov
+        })
+        .collect();
+    let m: usize = covered.iter().sum();
+    let h_c = entropy_of_counts(class_counts);
+    let theta = m as f64 / n as f64;
+    let h_cond =
+        theta * entropy_of_counts(&covered) + (1.0 - theta) * entropy_of_counts(&uncovered);
+    (h_c - h_cond).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn binary_entropy_values() {
+        assert!((binary_entropy(0.5) - 1.0).abs() < EPS);
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        // H2(0.25) = 0.811278...
+        assert!((binary_entropy(0.25) - 0.8112781244591328).abs() < EPS);
+        // symmetry
+        assert!((binary_entropy(0.3) - binary_entropy(0.7)).abs() < EPS);
+    }
+
+    #[test]
+    fn entropy_of_counts_matches_binary() {
+        assert!((entropy_of_counts(&[1, 1]) - 1.0).abs() < EPS);
+        assert!((entropy_of_counts(&[1, 3]) - binary_entropy(0.25)).abs() < EPS);
+        assert_eq!(entropy_of_counts(&[5, 0]), 0.0);
+        assert_eq!(entropy_of_counts(&[]), 0.0);
+        assert_eq!(entropy_of_counts(&[0, 0]), 0.0);
+        // uniform over 4 classes = 2 bits
+        assert!((entropy_of_counts(&[2, 2, 2, 2]) - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn perfectly_discriminative_pattern() {
+        // 10 instances, 5/5 split; pattern covers exactly class 0.
+        let ig = info_gain(&[5, 5], &[5, 0]);
+        assert!((ig - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn useless_pattern_zero_gain() {
+        // Covers half of each class: conditional distribution unchanged.
+        let ig = info_gain(&[10, 10], &[5, 5]);
+        assert!(ig.abs() < EPS);
+        // Covers everything.
+        let ig = info_gain(&[10, 10], &[10, 10]);
+        assert!(ig.abs() < EPS);
+        // Covers nothing.
+        let ig = info_gain(&[10, 10], &[0, 0]);
+        assert!(ig.abs() < EPS);
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // n = 8, classes 5/3 → H(C) = H2(3/8) = 0.954434...
+        // Pattern covers 3 of class 0, 1 of class 1 → θ = 0.5.
+        // H(C|x=1) = H2(1/4) = 0.8112781, H(C|x=0) = H2(2/4) = 1.0
+        // IG = 0.9544340 - 0.5·0.8112781 - 0.5·1.0 = 0.0487949...
+        let ig = info_gain(&[5, 3], &[3, 1]);
+        let expect = binary_entropy(3.0 / 8.0) - 0.5 * binary_entropy(0.25) - 0.5;
+        assert!((ig - expect).abs() < EPS);
+        assert!(ig > 0.0);
+    }
+
+    #[test]
+    fn multiclass_gain() {
+        // 3 classes 4/4/4; pattern covers all of class 2 only.
+        let ig = info_gain(&[4, 4, 4], &[0, 0, 4]);
+        // H(C) = log2(3); H(C|x=1) = 0; H(C|x=0) = 1 (two classes even)
+        let expect = 3f64.log2() - (2.0 / 3.0);
+        assert!((ig - expect).abs() < EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds class count")]
+    fn support_above_count_panics() {
+        info_gain(&[2, 2], &[3, 0]);
+    }
+
+    #[test]
+    fn empty_database_zero() {
+        assert_eq!(info_gain(&[0, 0], &[0, 0]), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Fisher score of a binary pattern feature (paper Eq. 4).
+//!
+//! `Fr = Σ_i n_i (μ_i − μ)² / Σ_i n_i σ_i²` where `μ_i`/`σ_i²` are the mean
+//! and (population) variance of the feature within class `i` and `μ` its
+//! global mean. For a binary feature, `μ_i = s_i / n_i` and
+//! `σ_i² = μ_i (1 − μ_i)`.
+//!
+//! Degenerate cases follow the paper's convention: if both numerator and
+//! denominator are zero the score is `0`; if only the denominator is zero
+//! (all classes internally constant but means differ — a perfect separator)
+//! the score is `+∞`.
+
+/// Fisher score from per-class counts.
+///
+/// * `class_counts[c]` — instances of class `c`;
+/// * `pattern_class_supports[c]` — covering instances of class `c`.
+///
+/// # Panics
+/// Panics if the slices have different lengths or any per-class support
+/// exceeds the class count.
+pub fn fisher_score(class_counts: &[usize], pattern_class_supports: &[u32]) -> f64 {
+    assert_eq!(
+        class_counts.len(),
+        pattern_class_supports.len(),
+        "class count vectors must align"
+    );
+    let n: usize = class_counts.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let support: u32 = pattern_class_supports.iter().sum();
+    let mu = support as f64 / n as f64;
+    let mut numerator = 0.0;
+    let mut denominator = 0.0;
+    for (&ni, &si) in class_counts.iter().zip(pattern_class_supports) {
+        assert!(si as usize <= ni, "per-class support exceeds class count");
+        if ni == 0 {
+            continue;
+        }
+        let ni_f = ni as f64;
+        let mu_i = si as f64 / ni_f;
+        numerator += ni_f * (mu_i - mu) * (mu_i - mu);
+        denominator += ni_f * mu_i * (1.0 - mu_i);
+    }
+    if denominator <= 0.0 {
+        if numerator <= 1e-15 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        numerator / denominator
+    }
+}
+
+/// Fisher score parameterised as in the paper's analysis (§3.1.2):
+/// `θ = P(x=1)`, `p = P(c=1)`, `q = P(c=1 | x=1)`, two classes.
+///
+/// Used to evaluate the bound curves; exact fractional counts are allowed.
+pub fn fisher_score_theta_p_q(theta: f64, p: f64, q: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&theta));
+    debug_assert!((0.0..=1.0).contains(&p));
+    debug_assert!((0.0..=1.0).contains(&q));
+    if p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    // class 1: weight p, mean qθ/p ; class 2: weight 1-p, mean (1-q)θ/(1-p)
+    let mu = theta;
+    let mu1 = (q * theta / p).clamp(0.0, 1.0);
+    let mu2 = ((1.0 - q) * theta / (1.0 - p)).clamp(0.0, 1.0);
+    let numerator = p * (mu1 - mu) * (mu1 - mu) + (1.0 - p) * (mu2 - mu) * (mu2 - mu);
+    let denominator = p * mu1 * (1.0 - mu1) + (1.0 - p) * mu2 * (1.0 - mu2);
+    if denominator <= 0.0 {
+        if numerator <= 1e-15 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        numerator / denominator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn perfect_separator_is_infinite() {
+        // pattern covers exactly class 0 (zero within-class variance).
+        assert_eq!(fisher_score(&[5, 5], &[5, 0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn useless_pattern_zero() {
+        // covers same fraction of both classes → means equal → numerator 0.
+        assert!(fisher_score(&[10, 10], &[5, 5]).abs() < EPS);
+        // covers nothing / everything
+        assert_eq!(fisher_score(&[10, 10], &[0, 0]), 0.0);
+        assert_eq!(fisher_score(&[10, 10], &[10, 10]), 0.0);
+    }
+
+    #[test]
+    fn hand_computed() {
+        // classes 4/4; supports 3/1. μ = 0.5, μ1 = 0.75, μ2 = 0.25.
+        // num = 4(0.25)² + 4(−0.25)² = 0.5
+        // den = 4(0.75·0.25) + 4(0.25·0.75) = 1.5
+        let fr = fisher_score(&[4, 4], &[3, 1]);
+        assert!((fr - 0.5 / 1.5).abs() < EPS);
+    }
+
+    #[test]
+    fn matches_theta_p_q_parameterisation() {
+        // classes 6/4 (p = 0.6), supports 3/1 → θ = 0.4, q = 0.75.
+        let counts = fisher_score(&[6, 4], &[3, 1]);
+        let param = fisher_score_theta_p_q(0.4, 0.6, 0.75);
+        assert!((counts - param).abs() < EPS, "{counts} vs {param}");
+    }
+
+    #[test]
+    fn paper_eq6_closed_form() {
+        // θ ≤ p, q = 1 → Fr = θ(1−p)/(p−θ)  (Eq. 6)
+        for &(theta, p) in &[(0.1, 0.4), (0.2, 0.5), (0.05, 0.3)] {
+            let fr = fisher_score_theta_p_q(theta, p, 1.0);
+            let expect = theta * (1.0 - p) / (p - theta);
+            assert!((fr - expect).abs() < 1e-6, "θ={theta} p={p}: {fr} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_theta_for_fixed_p_q() {
+        // Eq. 7: ∂Fr/∂θ ≥ 0 for θ ≤ p with fixed p, q.
+        let p = 0.5;
+        let q = 0.9;
+        let mut last = 0.0;
+        for i in 1..50 {
+            let theta = 0.01 * i as f64; // up to 0.49 ≤ p
+            let fr = fisher_score_theta_p_q(theta, p, q);
+            assert!(fr + 1e-12 >= last, "not monotone at θ={theta}");
+            last = fr;
+        }
+    }
+
+    #[test]
+    fn multiclass_score() {
+        // 3 classes, pattern concentrated in class 0.
+        let fr = fisher_score(&[4, 4, 4], &[4, 1, 1]);
+        assert!(fr.is_finite() && fr > 0.0);
+        // more concentrated → higher score
+        let fr2 = fisher_score(&[4, 4, 4], &[4, 0, 1]);
+        assert!(fr2 > fr);
+    }
+
+    #[test]
+    fn empty_database() {
+        assert_eq!(fisher_score(&[0, 0], &[0, 0]), 0.0);
+    }
+}

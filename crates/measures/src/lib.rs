@@ -1,0 +1,40 @@
+//! # dfp-measures — discriminative measures and their support-dependent bounds
+//!
+//! Implements §3.1–3.2 of the paper:
+//!
+//! * [`entropy`] — entropy, conditional entropy and **information gain**
+//!   `IG(C|X) = H(C) − H(C|X)` (Eq. 1) of a binary pattern feature,
+//!   multiclass-capable;
+//! * [`fisher`] — the **Fisher score** (Eq. 4) specialised to binary
+//!   features;
+//! * [`bounds`] — the theoretical upper bounds as functions of support θ:
+//!   `IGub(θ)` (Eq. 2–3, both the `θ ≤ p` and `θ > p` branches and both
+//!   boundary values of `q`) and `FRub(θ)` (Eq. 6 and its symmetric case);
+//! * [`minsup`] — the paper's `min_sup`-setting strategy (Eq. 8):
+//!   `θ* = argmax_θ { IGub(θ) ≤ IG0 }`, solved over absolute supports;
+//! * [`mod@redundancy`] — the Jaccard-weighted redundancy `R(α, β)` (Eq. 9)
+//!   consumed by the MMRFS selector;
+//! * [`relevance`] — a small dispatch enum so selection code can switch
+//!   between information gain and Fisher score as the relevance measure `S`.
+//!
+//! All entropies are in **bits** (`log2`), matching the paper's figures where
+//! binary-class information gain tops out at 1.0.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod contrast;
+pub mod entropy;
+pub mod fisher;
+pub mod minsup;
+pub mod redundancy;
+pub mod relevance;
+
+pub use contrast::{chi_square, max_support_difference, odds_ratio, support_difference};
+pub use bounds::{fisher_upper_bound, ig_upper_bound, ig_upper_bound_multiclass};
+pub use entropy::{binary_entropy, entropy_of_counts, info_gain};
+pub use fisher::fisher_score;
+pub use minsup::{theta_star, MinSupStrategy};
+pub use redundancy::redundancy;
+pub use relevance::RelevanceMeasure;

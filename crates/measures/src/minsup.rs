@@ -1,0 +1,184 @@
+//! The paper's `min_sup`-setting strategy (§3.2, Eq. 8):
+//!
+//! 1. compute the information-gain upper bound `IGub(θ)` as a function of
+//!    support, from the class distribution alone;
+//! 2. choose an information-gain threshold `IG0` (as feature-selection
+//!    methods do);
+//! 3. set `θ* = argmax_θ { IGub(θ) ≤ IG0 }` — every feature with support
+//!    `θ ≤ θ*` has `IG ≤ IGub(θ) ≤ IGub(θ*) ≤ IG0` and can be skipped, so
+//!    mining at `min_sup = θ*` loses no feature that would survive the
+//!    IG filter;
+//! 4. mine frequent patterns with `min_sup = θ*`.
+//!
+//! `IGub` rises on `(0, θ_peak]` and falls afterwards; Eq. 8's argmax is
+//! taken on the **ascending branch** — that is the low-support cutoff the
+//! strategy is after (the descending branch concerns stop-word-like
+//! ultra-frequent patterns, handled by feature selection instead).
+
+use crate::bounds::ig_upper_bound_for;
+
+/// How the framework chooses its minimum support.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MinSupStrategy {
+    /// A fixed relative support `θ0 ∈ (0, 1]`.
+    Relative(f64),
+    /// A fixed absolute support count. Note: under cross validation the
+    /// count is resolved against each training fold and clamped to its
+    /// size — prefer [`MinSupStrategy::Relative`] when folds are smaller
+    /// than the dataset the count was chosen for.
+    Absolute(usize),
+    /// The paper's strategy: derive `θ*` from an information-gain threshold
+    /// `IG0` and the training class distribution (Eq. 8).
+    InfoGainThreshold(f64),
+}
+
+impl MinSupStrategy {
+    /// Resolves the strategy to an absolute support for a database of `n`
+    /// transactions with the given class priors. Result is clamped to
+    /// `[1, n]`.
+    pub fn resolve(&self, n: usize, class_priors: &[f64]) -> usize {
+        let abs = match self {
+            MinSupStrategy::Relative(theta) => (n as f64 * theta).ceil() as usize,
+            MinSupStrategy::Absolute(s) => *s,
+            MinSupStrategy::InfoGainThreshold(ig0) => theta_star(*ig0, class_priors, n),
+        };
+        abs.clamp(1, n.max(1))
+    }
+}
+
+/// Solves Eq. 8 over absolute supports: the largest `s ∈ [1, n]` on the
+/// ascending branch of `IGub` with `IGub(s/n) ≤ IG0`, i.e. the highest
+/// `min_sup` that provably discards only features an `IG0` filter would
+/// discard anyway.
+///
+/// Returns `1` when even a single-transaction support can exceed `IG0`
+/// (mine everything) and the peak support when `IG0 ≥ max IGub` (no support
+/// level is excluded by the gain filter; callers get the least restrictive
+/// sensible threshold on the ascending branch).
+pub fn theta_star(ig0: f64, class_priors: &[f64], n: usize) -> usize {
+    assert!(!class_priors.is_empty(), "need class priors");
+    if n == 0 {
+        return 1;
+    }
+    // The bound is monotone non-decreasing up to its peak; scan the ascending
+    // branch. (n is at most tens of thousands here; a linear scan is exact
+    // and instantaneous.)
+    let mut best = 1usize;
+    let mut last_bound = -1.0;
+    for s in 1..=n {
+        let theta = s as f64 / n as f64;
+        let bound = ig_upper_bound_for(theta, class_priors);
+        if bound + 1e-12 < last_bound {
+            break; // descending branch reached
+        }
+        last_bound = bound;
+        if bound <= ig0 {
+            best = s;
+        } else if s > 1 {
+            // On the ascending branch the bound only grows; no later s
+            // (before the peak) can satisfy the constraint again.
+            break;
+        }
+    }
+    best
+}
+
+/// The inverse mapping: the information-gain filter level that a given
+/// `min_sup` corresponds to, `IG0 = IGub(θ)`. Useful for reporting what an
+/// explicitly-chosen support threshold implies (§3.1.3's equivalence).
+pub fn ig_threshold_of(min_sup_abs: usize, class_priors: &[f64], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    ig_upper_bound_for(min_sup_abs as f64 / n as f64, class_priors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::ig_upper_bound_for;
+
+    #[test]
+    fn theta_star_bound_property() {
+        // Definition check: IGub(θ*) ≤ IG0 < IGub(θ*+1) on the ascending branch.
+        let priors = [0.555, 0.445];
+        let n = 690; // austral-sized
+        for &ig0 in &[0.01, 0.05, 0.1, 0.2, 0.4] {
+            let s = theta_star(ig0, &priors, n);
+            let at = ig_upper_bound_for(s as f64 / n as f64, &priors);
+            assert!(at <= ig0 + 1e-9, "IG0={ig0}: IGub(θ*)={at}");
+            let next = ig_upper_bound_for((s + 1) as f64 / n as f64, &priors);
+            // either the next support violates IG0 or we're at the peak
+            assert!(
+                next > ig0 || next < at + 1e-12,
+                "IG0={ig0}: θ* not maximal (next bound {next})"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_ig0_gives_larger_theta_star() {
+        let priors = [0.5, 0.5];
+        let n = 1000;
+        let mut last = 0;
+        for &ig0 in &[0.001, 0.01, 0.05, 0.1, 0.3, 0.6] {
+            let s = theta_star(ig0, &priors, n);
+            assert!(s >= last, "θ* not monotone in IG0");
+            last = s;
+        }
+        assert!(last > 1);
+    }
+
+    #[test]
+    fn tiny_ig0_mines_everything() {
+        // IG0 below IGub(1/n) → θ* = 1 (cannot skip anything).
+        let priors = [0.5, 0.5];
+        assert_eq!(theta_star(0.0, &priors, 100), 1);
+    }
+
+    #[test]
+    fn huge_ig0_returns_peak() {
+        let priors = [0.4, 0.6];
+        let n = 100;
+        let s = theta_star(10.0, &priors, n);
+        // peak of the binary bound on the ascending branch is near θ = 0.4
+        assert!((s as i64 - 40).unsigned_abs() <= 2, "peak support {s}");
+    }
+
+    #[test]
+    fn multiclass_uses_h2_bound() {
+        let priors = [0.25; 4];
+        let n = 400;
+        let s = theta_star(0.2, &priors, n);
+        // H2(θ) ≤ 0.2 → θ ≤ ~0.0311
+        let theta = s as f64 / n as f64;
+        assert!(crate::binary_entropy(theta) <= 0.2 + 1e-9);
+        assert!(crate::binary_entropy((s + 1) as f64 / n as f64) > 0.2);
+    }
+
+    #[test]
+    fn strategy_resolution() {
+        let priors = [0.5, 0.5];
+        assert_eq!(MinSupStrategy::Relative(0.1).resolve(100, &priors), 10);
+        assert_eq!(MinSupStrategy::Relative(0.001).resolve(100, &priors), 1);
+        assert_eq!(MinSupStrategy::Absolute(7).resolve(100, &priors), 7);
+        assert_eq!(MinSupStrategy::Absolute(500).resolve(100, &priors), 100);
+        let s = MinSupStrategy::InfoGainThreshold(0.05).resolve(100, &priors);
+        assert_eq!(s, theta_star(0.05, &priors, 100));
+    }
+
+    #[test]
+    fn inverse_mapping_consistent() {
+        let priors = [0.555, 0.445];
+        let n = 690;
+        let s = theta_star(0.06, &priors, n);
+        let implied = ig_threshold_of(s, &priors, n);
+        assert!(implied <= 0.06 + 1e-9);
+    }
+
+    #[test]
+    fn empty_database_safe() {
+        assert_eq!(theta_star(0.1, &[1.0], 0), 1);
+        assert_eq!(MinSupStrategy::Relative(0.5).resolve(0, &[1.0]), 1);
+    }
+}

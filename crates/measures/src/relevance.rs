@@ -1,0 +1,108 @@
+//! Relevance measures `S(α)` (paper Definition 3): the discriminative power
+//! of a pattern w.r.t. the class label. Information gain and Fisher score
+//! are the two instances the paper names; both are implemented here behind
+//! one dispatch enum so selection code stays measure-agnostic.
+
+use crate::contrast::{chi_square, max_support_difference};
+use crate::entropy::info_gain;
+use crate::fisher::fisher_score;
+use dfp_mining::MinedPattern;
+
+/// Which relevance measure MMRFS (and ranking baselines) use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RelevanceMeasure {
+    /// Information gain `IG(C|X)` (Eq. 1) — the paper's primary measure.
+    #[default]
+    InfoGain,
+    /// Fisher score (Eq. 4).
+    FisherScore,
+    /// χ² statistic of the coverage × class contingency.
+    ChiSquare,
+    /// Maximum per-class support difference `P(α|c) − P(α|¬c)` (the
+    /// DDPMine-style discriminative support).
+    SupportDifference,
+}
+
+impl RelevanceMeasure {
+    /// Relevance of a mined pattern given the database's per-class counts.
+    pub fn score(&self, pattern: &MinedPattern, class_counts: &[usize]) -> f64 {
+        match self {
+            RelevanceMeasure::InfoGain => info_gain(class_counts, &pattern.class_supports),
+            RelevanceMeasure::FisherScore => {
+                fisher_score(class_counts, &pattern.class_supports)
+            }
+            RelevanceMeasure::ChiSquare => {
+                chi_square(class_counts, &pattern.class_supports)
+            }
+            RelevanceMeasure::SupportDifference => {
+                max_support_difference(class_counts, &pattern.class_supports)
+            }
+        }
+    }
+
+    /// Scores a whole candidate list.
+    pub fn score_all(&self, patterns: &[MinedPattern], class_counts: &[usize]) -> Vec<f64> {
+        patterns
+            .iter()
+            .map(|p| self.score(p, class_counts))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for RelevanceMeasure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelevanceMeasure::InfoGain => write!(f, "information gain"),
+            RelevanceMeasure::FisherScore => write!(f, "Fisher score"),
+            RelevanceMeasure::ChiSquare => write!(f, "chi-square"),
+            RelevanceMeasure::SupportDifference => write!(f, "support difference"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfp_data::transactions::Item;
+
+    fn pattern(class_supports: &[u32]) -> MinedPattern {
+        MinedPattern {
+            items: vec![Item(0)],
+            support: class_supports.iter().sum(),
+            class_supports: class_supports.to_vec(),
+        }
+    }
+
+    #[test]
+    fn both_measures_rank_discriminative_above_flat() {
+        let counts = [10usize, 10];
+        let strong = pattern(&[9, 1]);
+        let weak = pattern(&[5, 5]);
+        for m in [
+            RelevanceMeasure::InfoGain,
+            RelevanceMeasure::FisherScore,
+            RelevanceMeasure::ChiSquare,
+            RelevanceMeasure::SupportDifference,
+        ] {
+            assert!(
+                m.score(&strong, &counts) > m.score(&weak, &counts),
+                "{m} ranking wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn score_all_shape() {
+        let counts = [4usize, 4];
+        let pats = vec![pattern(&[4, 0]), pattern(&[2, 2]), pattern(&[0, 3])];
+        let s = RelevanceMeasure::InfoGain.score_all(&pats, &counts);
+        assert_eq!(s.len(), 3);
+        assert!(s[0] > s[1] && s[2] > s[1]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RelevanceMeasure::InfoGain.to_string(), "information gain");
+        assert_eq!(RelevanceMeasure::FisherScore.to_string(), "Fisher score");
+    }
+}

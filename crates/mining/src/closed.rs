@@ -1,0 +1,290 @@
+//! Closed frequent itemset mining (FPClose / CHARM style).
+//!
+//! The paper mines **closed** patterns ("we use the closed frequent patterns
+//! as features instead of frequent ones […] since for a closed pattern α and
+//! its non-closed sub-pattern β, β is completely redundant w.r.t. α", §3.3).
+//!
+//! Strategy: a vertical DFS in which every extension item whose conditional
+//! tidset equals the prefix tidset is *merged into the prefix closure*
+//! (it occurs in every covering transaction, so no strictly-smaller pattern
+//! omitting it can be closed). Each DFS node emits one candidate — the
+//! merged prefix — and an exact subsumption **post-filter** removes the
+//! remaining non-closed candidates (a candidate is non-closed iff some other
+//! candidate is a strict superset with equal support; the closure of every
+//! frequent set is provably among the candidates, see the module tests which
+//! verify equality against a brute-force definition of closedness).
+
+use crate::{MineOptions, MiningError, RawPattern};
+use dfp_data::bitset::Bitset;
+use dfp_data::transactions::{Item, TransactionSet};
+use std::collections::HashMap;
+
+/// Mines all **closed** itemsets with absolute support `>= min_sup`.
+///
+/// `opts.min_len` filters emitted patterns; `opts.max_len` bounds the DFS
+/// depth (note: closure merging can still produce patterns longer than
+/// `max_len`; with a cap, output closedness is relative to the explored
+/// universe). `opts.max_patterns` bounds the *candidate* count and aborts
+/// with [`MiningError::PatternLimitExceeded`].
+pub fn mine_closed(
+    ts: &TransactionSet,
+    min_sup: usize,
+    opts: &MineOptions,
+) -> Result<Vec<RawPattern>, MiningError> {
+    if min_sup == 0 {
+        return Err(MiningError::ZeroMinSup);
+    }
+    let vertical = ts.vertical();
+    let cands: Vec<(Item, Bitset)> = (0..ts.n_items())
+        .filter_map(|i| {
+            let tids = &vertical[i];
+            (tids.count_ones() >= min_sup).then(|| (Item(i as u32), tids.clone()))
+        })
+        .collect();
+
+    let mut out: Vec<RawPattern> = Vec::new();
+    let full = Bitset::full(ts.len());
+    dfs(&mut Vec::new(), &full, cands, min_sup, opts, &mut out)?;
+    let mut closed = closed_filter(out);
+    closed.retain(|p| p.len() >= opts.min_len);
+    Ok(closed)
+}
+
+/// DFS node. `cands` tidsets are already intersected with `tids` (the prefix
+/// tidset) and meet `min_sup`.
+fn dfs(
+    prefix: &mut Vec<Item>,
+    tids: &Bitset,
+    mut cands: Vec<(Item, Bitset)>,
+    min_sup: usize,
+    opts: &MineOptions,
+    out: &mut Vec<RawPattern>,
+) -> Result<(), MiningError> {
+    let prefix_support = tids.count_ones();
+
+    // Closure merge: items present in every covering transaction.
+    let mut rest: Vec<(Item, Bitset, usize)> = Vec::with_capacity(cands.len());
+    let base_len = prefix.len();
+    for (item, t) in cands.drain(..) {
+        let c = t.count_ones();
+        if c == prefix_support {
+            prefix.push(item);
+        } else {
+            rest.push((item, t, c));
+        }
+    }
+
+    // Emit the merged prefix as a closed-set candidate.
+    if !prefix.is_empty() {
+        let mut items = prefix.clone();
+        items.sort_unstable();
+        out.push(RawPattern {
+            items,
+            support: prefix_support as u32,
+        });
+        if let Some(cap) = opts.max_patterns {
+            if out.len() as u64 > cap {
+                return Err(MiningError::PatternLimitExceeded { limit: cap });
+            }
+        }
+    }
+
+    if opts.may_extend(prefix.len()) {
+        // Ascending-support order maximises later merge opportunities (CHARM).
+        rest.sort_by_key(|&(item, _, c)| (c, item));
+        for i in 0..rest.len() {
+            let (item, ref t, _) = rest[i];
+            prefix.push(item);
+            let child_cands: Vec<(Item, Bitset)> = rest[i + 1..]
+                .iter()
+                .filter_map(|(j, tj, _)| {
+                    let mut inter = tj.clone();
+                    inter.intersect_with(t);
+                    (inter.count_ones() >= min_sup).then_some((*j, inter))
+                })
+                .collect();
+            dfs(prefix, t, child_cands, min_sup, opts, out)?;
+            prefix.pop();
+        }
+    }
+
+    prefix.truncate(base_len);
+    Ok(())
+}
+
+/// Removes duplicates and non-closed candidates: keeps exactly the patterns
+/// with no strict superset of equal support among the input.
+///
+/// Implementation: group by support; inside a group, patterns are checked
+/// longest-first against an inverted item → pattern-id index, so each check
+/// costs `O(|pattern| · avg-postings)` rather than a full group scan.
+pub fn closed_filter(patterns: Vec<RawPattern>) -> Vec<RawPattern> {
+    // Dedup identical itemsets.
+    let mut uniq: HashMap<Vec<Item>, u32> = HashMap::with_capacity(patterns.len());
+    for p in patterns {
+        uniq.entry(p.items).or_insert(p.support);
+    }
+
+    // Group by support.
+    let mut by_support: HashMap<u32, Vec<Vec<Item>>> = HashMap::new();
+    for (items, support) in uniq {
+        by_support.entry(support).or_default().push(items);
+    }
+
+    let mut out = Vec::new();
+    for (support, mut group) in by_support {
+        group.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+        // kept patterns indexed by item
+        let mut kept: Vec<Vec<Item>> = Vec::new();
+        let mut postings: HashMap<Item, Vec<usize>> = HashMap::new();
+        'next: for items in group {
+            // subsumed iff some kept (strictly longer) pattern contains all items
+            let mut hits: HashMap<usize, usize> = HashMap::new();
+            for it in &items {
+                if let Some(list) = postings.get(it) {
+                    for &k in list {
+                        if kept[k].len() > items.len() {
+                            let h = hits.entry(k).or_insert(0);
+                            *h += 1;
+                            if *h == items.len() {
+                                continue 'next; // subsumed
+                            }
+                        }
+                    }
+                }
+            }
+            let id = kept.len();
+            for it in &items {
+                postings.entry(*it).or_default().push(id);
+            }
+            kept.push(items);
+        }
+        out.extend(kept.into_iter().map(|items| RawPattern { items, support }));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::sort_canonical;
+    use crate::reference::mine_closed_brute_force;
+    use dfp_data::schema::ClassId;
+
+    fn db(rows: &[&[u32]]) -> TransactionSet {
+        let n_items = rows
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|&i| i as usize + 1)
+            .max()
+            .unwrap_or(0);
+        TransactionSet::new(
+            n_items,
+            1,
+            rows.iter()
+                .map(|r| {
+                    let mut v: Vec<Item> = r.iter().map(|&i| Item(i)).collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect(),
+            vec![ClassId(0); rows.len()],
+        )
+    }
+
+    fn assert_matches_brute(ts: &TransactionSet, min_sup: usize) {
+        let mut got = mine_closed(ts, min_sup, &MineOptions::default()).unwrap();
+        sort_canonical(&mut got);
+        let want = mine_closed_brute_force(ts, min_sup, None);
+        assert_eq!(got, want, "min_sup={min_sup}");
+    }
+
+    #[test]
+    fn classic_example() {
+        let ts = db(&[&[0, 1, 4], &[1, 3], &[1, 2], &[0, 1, 3], &[0, 2]]);
+        for min_sup in 1..=5 {
+            assert_matches_brute(&ts, min_sup);
+        }
+    }
+
+    #[test]
+    fn identical_transactions_single_closed_set() {
+        let ts = db(&[&[0, 1, 2], &[0, 1, 2], &[0, 1, 2]]);
+        let got = mine_closed(&ts, 1, &MineOptions::default()).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].items, vec![Item(0), Item(1), Item(2)]);
+        assert_eq!(got[0].support, 3);
+    }
+
+    #[test]
+    fn nested_supports() {
+        // {0} ⊃-support chain: {0} sup 4, {0,1} sup 3, {0,1,2} sup 2 — all closed.
+        let ts = db(&[&[0], &[0, 1], &[0, 1, 2], &[0, 1, 2]]);
+        assert_matches_brute(&ts, 1);
+        let got = mine_closed(&ts, 1, &MineOptions::default()).unwrap();
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn overlapping_groups() {
+        let ts = db(&[
+            &[0, 1, 2, 3],
+            &[0, 1, 2],
+            &[0, 2, 3],
+            &[1, 2, 3],
+            &[0, 1],
+            &[2, 3],
+        ]);
+        for min_sup in 1..=6 {
+            assert_matches_brute(&ts, min_sup);
+        }
+    }
+
+    #[test]
+    fn closed_is_subset_of_frequent_with_matching_supports() {
+        let ts = db(&[&[0, 1, 4], &[1, 3], &[1, 2], &[0, 1, 3], &[0, 2], &[0, 3, 4]]);
+        let closed = mine_closed(&ts, 2, &MineOptions::default()).unwrap();
+        for p in &closed {
+            assert_eq!(p.support as usize, ts.support(&p.items));
+        }
+        // every frequent set must have a closed superset with equal support
+        let all = crate::eclat::mine(&ts, 2, &MineOptions::default()).unwrap();
+        for f in &all {
+            assert!(
+                closed.iter().any(|c| c.support == f.support
+                    && dfp_data::transactions::contains_sorted(&c.items, &f.items)),
+                "no closed superset for {:?}",
+                f.items
+            );
+        }
+    }
+
+    #[test]
+    fn budget_aborts() {
+        let ts = db(&[&[0, 1, 2], &[0, 1], &[1, 2], &[0, 2]]);
+        let err = mine_closed(&ts, 1, &MineOptions::default().with_max_patterns(1)).unwrap_err();
+        assert!(matches!(err, MiningError::PatternLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn min_len_filter_applies_after_closure() {
+        let ts = db(&[&[0, 1, 4], &[1, 3], &[1, 2], &[0, 1, 3], &[0, 2]]);
+        let got = mine_closed(&ts, 1, &MineOptions::default().with_min_len(2)).unwrap();
+        assert!(got.iter().all(|p| p.len() >= 2));
+    }
+
+    #[test]
+    fn closed_filter_alone() {
+        let pats = vec![
+            RawPattern { items: vec![Item(0)], support: 2 },
+            RawPattern { items: vec![Item(0), Item(1)], support: 2 },
+            RawPattern { items: vec![Item(1)], support: 3 },
+            RawPattern { items: vec![Item(0), Item(1)], support: 2 }, // dup
+        ];
+        let mut got = closed_filter(pats);
+        sort_canonical(&mut got);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].items, vec![Item(1)]);
+        assert_eq!(got[1].items, vec![Item(0), Item(1)]);
+    }
+}

@@ -1,0 +1,234 @@
+//! FP-growth: frequent itemset mining by recursive pattern growth over
+//! conditional FP-trees (Han, Pei, Yin — SIGMOD 2000). This is the
+//! paper-faithful miner (the paper's FPClose is its closed-set variant).
+
+use crate::fptree::FpTree;
+use crate::{MineOptions, MiningError, RawPattern};
+use dfp_data::transactions::{Item, TransactionSet};
+
+/// Mines all frequent itemsets with absolute support `>= min_sup`.
+///
+/// Output order is implementation-defined; supports are exact. Fails with
+/// [`MiningError::PatternLimitExceeded`] when `opts.max_patterns` is hit and
+/// [`MiningError::ZeroMinSup`] when `min_sup == 0`.
+pub fn mine(
+    ts: &TransactionSet,
+    min_sup: usize,
+    opts: &MineOptions,
+) -> Result<Vec<RawPattern>, MiningError> {
+    if min_sup == 0 {
+        return Err(MiningError::ZeroMinSup);
+    }
+    let db: Vec<(Vec<u32>, u64)> = ts
+        .transactions()
+        .iter()
+        .map(|tx| (tx.iter().map(|i| i.0).collect(), 1u64))
+        .collect();
+    let mut out = Vec::new();
+    let mut suffix: Vec<Item> = Vec::new();
+    grow(
+        &db,
+        ts.n_items(),
+        min_sup as u64,
+        opts,
+        &mut suffix,
+        &mut out,
+    )?;
+    Ok(out)
+}
+
+/// One FP-growth level: count items in the (conditional) database, build the
+/// FP-tree over frequent ones, then for every frequent item emit
+/// `suffix ∪ {item}` and recurse on its conditional pattern base.
+fn grow(
+    db: &[(Vec<u32>, u64)],
+    n_items: usize,
+    min_sup: u64,
+    opts: &MineOptions,
+    suffix: &mut Vec<Item>,
+    out: &mut Vec<RawPattern>,
+) -> Result<(), MiningError> {
+    // Weighted item counts in this conditional database.
+    let mut counts = vec![0u64; n_items];
+    for (items, w) in db {
+        for &i in items {
+            counts[i as usize] += w;
+        }
+    }
+    // Frequent items, descending frequency (ties by ascending id) → local ids.
+    let mut frequent: Vec<u32> = (0..n_items as u32)
+        .filter(|&i| counts[i as usize] >= min_sup)
+        .collect();
+    if frequent.is_empty() {
+        return Ok(());
+    }
+    frequent.sort_by(|&a, &b| {
+        counts[b as usize]
+            .cmp(&counts[a as usize])
+            .then(a.cmp(&b))
+    });
+    let mut local_of = vec![u32::MAX; n_items];
+    for (local, &global) in frequent.iter().enumerate() {
+        local_of[global as usize] = local as u32;
+    }
+
+    // Project transactions onto frequent items, reordered by local id.
+    let projected: Vec<(Vec<u32>, u64)> = db
+        .iter()
+        .filter_map(|(items, w)| {
+            let mut loc: Vec<u32> = items
+                .iter()
+                .filter_map(|&i| {
+                    let l = local_of[i as usize];
+                    (l != u32::MAX).then_some(l)
+                })
+                .collect();
+            if loc.is_empty() {
+                return None;
+            }
+            loc.sort_unstable();
+            Some((loc, *w))
+        })
+        .collect();
+    let tree = FpTree::build(&projected, frequent.len());
+
+    // Process items from least frequent (bottom of the tree) upward.
+    for local in (0..frequent.len() as u32).rev() {
+        let global = frequent[local as usize];
+        let support = tree.item_count(local);
+        suffix.push(Item(global));
+        if opts.len_ok(suffix.len()) {
+            let mut items = suffix.clone();
+            items.sort_unstable();
+            out.push(RawPattern {
+                items,
+                support: support as u32,
+            });
+            if let Some(cap) = opts.max_patterns {
+                if out.len() as u64 > cap {
+                    return Err(MiningError::PatternLimitExceeded { limit: cap });
+                }
+            }
+        }
+        if opts.may_extend(suffix.len()) {
+            // Conditional pattern base in *global* ids for the recursion.
+            let base: Vec<(Vec<u32>, u64)> = tree
+                .prefix_paths(local)
+                .into_iter()
+                .map(|(path, w)| {
+                    (
+                        path.iter()
+                            .map(|&l| frequent[l as usize])
+                            .collect::<Vec<u32>>(),
+                        w,
+                    )
+                })
+                .collect();
+            if !base.is_empty() {
+                grow(&base, n_items, min_sup, opts, suffix, out)?;
+            }
+        }
+        suffix.pop();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::sort_canonical;
+    use dfp_data::schema::ClassId;
+
+    fn db(rows: &[&[u32]]) -> TransactionSet {
+        let n_items = rows
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|&i| i as usize + 1)
+            .max()
+            .unwrap_or(0);
+        TransactionSet::new(
+            n_items,
+            1,
+            rows.iter()
+                .map(|r| {
+                    let mut v: Vec<Item> = r.iter().map(|&i| Item(i)).collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect(),
+            vec![ClassId(0); rows.len()],
+        )
+    }
+
+    fn classic() -> TransactionSet {
+        db(&[&[0, 1, 4], &[1, 3], &[1, 2], &[0, 1, 3], &[0, 2]])
+    }
+
+    #[test]
+    fn matches_known_counts() {
+        let mut got = mine(&classic(), 2, &MineOptions::default()).unwrap();
+        sort_canonical(&mut got);
+        let fmt: Vec<(Vec<u32>, u32)> = got
+            .iter()
+            .map(|p| (p.items.iter().map(|i| i.0).collect(), p.support))
+            .collect();
+        assert_eq!(
+            fmt,
+            vec![
+                (vec![0], 3),
+                (vec![1], 4),
+                (vec![2], 2),
+                (vec![3], 2),
+                (vec![0, 1], 2),
+                (vec![1, 3], 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn agrees_with_eclat_on_classic() {
+        for min_sup in 1..=5 {
+            let mut a = mine(&classic(), min_sup, &MineOptions::default()).unwrap();
+            let mut b =
+                crate::eclat::mine(&classic(), min_sup, &MineOptions::default()).unwrap();
+            sort_canonical(&mut a);
+            sort_canonical(&mut b);
+            assert_eq!(a, b, "min_sup={min_sup}");
+        }
+    }
+
+    #[test]
+    fn exact_supports_at_min_sup_one() {
+        let ts = classic();
+        let got = mine(&ts, 1, &MineOptions::default()).unwrap();
+        for p in &got {
+            assert_eq!(p.support as usize, ts.support(&p.items), "{:?}", p.items);
+        }
+        // 5 transactions over 5 items: count distinct itemsets by brute force
+        let brute = crate::reference::mine_brute_force(&ts, 1, None);
+        assert_eq!(got.len(), brute.len());
+    }
+
+    #[test]
+    fn length_options_respected() {
+        let got = mine(
+            &classic(),
+            1,
+            &MineOptions::default().with_min_len(2).with_max_len(2),
+        )
+        .unwrap();
+        assert!(got.iter().all(|p| p.len() == 2));
+    }
+
+    #[test]
+    fn budget_aborts() {
+        let err = mine(&classic(), 1, &MineOptions::default().with_max_patterns(2)).unwrap_err();
+        assert_eq!(err, MiningError::PatternLimitExceeded { limit: 2 });
+    }
+
+    #[test]
+    fn empty_database_yields_nothing() {
+        let ts = db(&[]);
+        assert!(mine(&ts, 1, &MineOptions::default()).unwrap().is_empty());
+    }
+}

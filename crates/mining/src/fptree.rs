@@ -1,0 +1,219 @@
+//! The FP-tree: a prefix-tree of frequency-ordered transactions with header
+//! links (Han, Pei, Yin — SIGMOD 2000).
+//!
+//! Items are *local* dense ids in descending-frequency order (`0` = most
+//! frequent), assigned by the caller ([`crate::fpgrowth`]). Counts are `u64`
+//! because conditional pattern bases carry accumulated weights.
+
+/// One FP-tree node.
+#[derive(Debug, Clone)]
+pub struct FpNode {
+    /// Local item id (`u32::MAX` for the root).
+    pub item: u32,
+    /// Accumulated count.
+    pub count: u64,
+    /// Parent node index (`0` = root; the root's parent is itself).
+    pub parent: u32,
+    /// First child index, `u32::MAX` if none.
+    child: u32,
+    /// Next sibling index, `u32::MAX` if none.
+    sibling: u32,
+    /// Next node with the same item (header chain), `u32::MAX` if none.
+    hlink: u32,
+}
+
+const NONE: u32 = u32::MAX;
+
+/// Per-item header entry: total count and the head of the node chain.
+#[derive(Debug, Clone)]
+pub struct Header {
+    /// Total count of the item in the tree.
+    pub count: u64,
+    first: u32,
+}
+
+/// An FP-tree over `n_local` items.
+#[derive(Debug, Clone)]
+pub struct FpTree {
+    nodes: Vec<FpNode>,
+    headers: Vec<Header>,
+}
+
+impl FpTree {
+    /// Creates an empty tree over `n_local` items.
+    pub fn new(n_local: usize) -> Self {
+        FpTree {
+            nodes: vec![FpNode {
+                item: NONE,
+                count: 0,
+                parent: 0,
+                child: NONE,
+                sibling: NONE,
+                hlink: NONE,
+            }],
+            headers: vec![Header { count: 0, first: NONE }; n_local],
+        }
+    }
+
+    /// Builds a tree from weighted transactions whose items are local ids
+    /// sorted ascending (i.e. descending frequency first).
+    pub fn build(transactions: &[(Vec<u32>, u64)], n_local: usize) -> Self {
+        let mut tree = FpTree::new(n_local);
+        for (items, weight) in transactions {
+            tree.insert(items, *weight);
+        }
+        tree
+    }
+
+    /// Inserts one transaction (local ids, ascending) with a weight.
+    ///
+    /// # Panics
+    /// Panics if the items are not strictly ascending or out of range.
+    pub fn insert(&mut self, items: &[u32], weight: u64) {
+        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "items must ascend");
+        let mut cur = 0u32; // root
+        for &item in items {
+            assert!((item as usize) < self.headers.len(), "item out of range");
+            self.headers[item as usize].count += weight;
+            // Find or create the child labelled `item`.
+            let mut child = self.nodes[cur as usize].child;
+            let mut found = NONE;
+            while child != NONE {
+                if self.nodes[child as usize].item == item {
+                    found = child;
+                    break;
+                }
+                child = self.nodes[child as usize].sibling;
+            }
+            cur = if found != NONE {
+                self.nodes[found as usize].count += weight;
+                found
+            } else {
+                let idx = self.nodes.len() as u32;
+                let head = &mut self.headers[item as usize];
+                let hlink = head.first;
+                head.first = idx;
+                let first_child = self.nodes[cur as usize].child;
+                self.nodes.push(FpNode {
+                    item,
+                    count: weight,
+                    parent: cur,
+                    child: NONE,
+                    sibling: first_child,
+                    hlink,
+                });
+                self.nodes[cur as usize].child = idx;
+                idx
+            };
+        }
+    }
+
+    /// Number of local items.
+    pub fn n_items(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Total count of a local item in the tree.
+    pub fn item_count(&self, item: u32) -> u64 {
+        self.headers[item as usize].count
+    }
+
+    /// Number of nodes, excluding the root.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// `true` if the tree consists of a single chain from the root.
+    pub fn is_single_path(&self) -> bool {
+        let mut cur = 0u32;
+        loop {
+            let child = self.nodes[cur as usize].child;
+            if child == NONE {
+                return true;
+            }
+            if self.nodes[child as usize].sibling != NONE {
+                return false;
+            }
+            cur = child;
+        }
+    }
+
+    /// The conditional pattern base of `item`: for every node labelled
+    /// `item`, the path of (strictly more frequent) items from its parent up
+    /// to the root, weighted by the node's count. Paths come back with items
+    /// ascending.
+    pub fn prefix_paths(&self, item: u32) -> Vec<(Vec<u32>, u64)> {
+        let mut paths = Vec::new();
+        let mut node = self.headers[item as usize].first;
+        while node != NONE {
+            let n = &self.nodes[node as usize];
+            let mut path = Vec::new();
+            let mut cur = n.parent;
+            while cur != 0 {
+                path.push(self.nodes[cur as usize].item);
+                cur = self.nodes[cur as usize].parent;
+            }
+            if !path.is_empty() {
+                path.reverse();
+                paths.push((path, n.count));
+            }
+            node = n.hlink;
+        }
+        paths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_prefixes_merge() {
+        // Transactions (local ids): {0,1,2}, {0,1}, {0,3}
+        let t = FpTree::build(
+            &[(vec![0, 1, 2], 1), (vec![0, 1], 1), (vec![0, 3], 1)],
+            4,
+        );
+        // nodes: 0,1,2,3 labelled items — prefix {0,1} shared
+        assert_eq!(t.n_nodes(), 4);
+        assert_eq!(t.item_count(0), 3);
+        assert_eq!(t.item_count(1), 2);
+        assert_eq!(t.item_count(2), 1);
+        assert_eq!(t.item_count(3), 1);
+    }
+
+    #[test]
+    fn weighted_insert() {
+        let t = FpTree::build(&[(vec![0, 1], 5), (vec![0], 2)], 2);
+        assert_eq!(t.item_count(0), 7);
+        assert_eq!(t.item_count(1), 5);
+    }
+
+    #[test]
+    fn prefix_paths_weighted() {
+        let t = FpTree::build(
+            &[(vec![0, 1, 2], 2), (vec![1, 2], 3), (vec![2], 1)],
+            3,
+        );
+        let mut paths = t.prefix_paths(2);
+        paths.sort();
+        assert_eq!(paths, vec![(vec![0, 1], 2), (vec![1], 3)]);
+        // item 0 sits directly under the root: no prefix path
+        assert!(t.prefix_paths(0).is_empty());
+    }
+
+    #[test]
+    fn single_path_detection() {
+        let single = FpTree::build(&[(vec![0, 1, 2], 1), (vec![0, 1], 4)], 3);
+        assert!(single.is_single_path());
+        let branched = FpTree::build(&[(vec![0, 1], 1), (vec![0, 2], 1)], 3);
+        assert!(!branched.is_single_path());
+        assert!(FpTree::new(3).is_single_path());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_item_panics() {
+        FpTree::new(2).insert(&[5], 1);
+    }
+}

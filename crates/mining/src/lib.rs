@@ -1,0 +1,118 @@
+//! # dfp-mining — frequent and closed itemset mining
+//!
+//! The feature-generation substrate of the framework (paper §3, step 1).
+//! The paper uses **FPClose** to generate *closed* frequent itemsets; this
+//! crate provides:
+//!
+//! * [`fptree`] / [`fpgrowth`] — an FP-tree and the FP-growth algorithm,
+//!   the paper-faithful pattern-growth miner;
+//! * [`eclat`] — a vertical (tidset-bitset) DFS miner used as the workhorse
+//!   and as an independent implementation for cross-checking;
+//! * [`closed`] — FPClose/CHARM-style **closed** itemset mining: DFS with
+//!   full-support closure merging plus an exact subsumption post-filter;
+//! * [`apriori`] — the classic level-wise baseline (ablation + testing);
+//! * [`count`] — counting-only enumeration with an abort cap, used by the
+//!   scalability tables to reproduce the paper's "min_sup = 1 cannot
+//!   complete" rows;
+//! * [`per_class`] — the paper's feature-generation step: partition the
+//!   database by class, mine each partition with `min_sup`, merge, and
+//!   recount global/per-class supports;
+//! * [`mod@reference`] — a brute-force miner used as ground truth in tests;
+//! * [`sequence`] — PrefixSpan sequential-pattern mining, the paper's §6
+//!   extension direction, with a transform into the framework's feature
+//!   matrices;
+//! * [`top_k`] — top-k closed mining (the §5 related-work strategy that
+//!   replaces an up-front `min_sup` with a result-size budget).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod closed;
+pub mod count;
+pub mod eclat;
+pub mod fpgrowth;
+pub mod fptree;
+pub mod pattern;
+pub mod per_class;
+pub mod reference;
+pub mod sequence;
+pub mod top_k;
+
+pub use pattern::{MinedPattern, RawPattern};
+pub use per_class::{mine_features, MiningConfig};
+
+/// Errors produced by the miners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MiningError {
+    /// The miner exceeded its configured pattern budget
+    /// (used to emulate the paper's "cannot complete in days" rows).
+    PatternLimitExceeded {
+        /// The configured cap that was hit.
+        limit: u64,
+    },
+    /// `min_sup` of zero is meaningless for absolute thresholds.
+    ZeroMinSup,
+}
+
+impl std::fmt::Display for MiningError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MiningError::PatternLimitExceeded { limit } => {
+                write!(f, "pattern budget of {limit} exceeded")
+            }
+            MiningError::ZeroMinSup => write!(f, "absolute min_sup must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for MiningError {}
+
+/// Options shared by all miners.
+#[derive(Debug, Clone)]
+pub struct MineOptions {
+    /// Minimum pattern length to *emit* (shorter prefixes are still explored).
+    pub min_len: usize,
+    /// Maximum pattern length to explore; `None` = unbounded.
+    pub max_len: Option<usize>,
+    /// Abort once this many patterns have been emitted; `None` = unbounded.
+    pub max_patterns: Option<u64>,
+}
+
+impl Default for MineOptions {
+    fn default() -> Self {
+        MineOptions {
+            min_len: 1,
+            max_len: None,
+            max_patterns: None,
+        }
+    }
+}
+
+impl MineOptions {
+    /// Options with a maximum pattern length.
+    pub fn with_max_len(mut self, max_len: usize) -> Self {
+        self.max_len = Some(max_len);
+        self
+    }
+
+    /// Options with a pattern budget.
+    pub fn with_max_patterns(mut self, cap: u64) -> Self {
+        self.max_patterns = Some(cap);
+        self
+    }
+
+    /// Options with a minimum emitted length.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len;
+        self
+    }
+
+    pub(crate) fn len_ok(&self, len: usize) -> bool {
+        len >= self.min_len
+    }
+
+    pub(crate) fn may_extend(&self, len: usize) -> bool {
+        self.max_len.is_none_or(|m| len < m)
+    }
+}

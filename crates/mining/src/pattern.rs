@@ -1,0 +1,147 @@
+//! Mined pattern types.
+//!
+//! Miners first emit [`RawPattern`]s (itemset + global support); the
+//! feature-generation step ([`crate::per_class`]) then attaches per-class
+//! supports, producing [`MinedPattern`]s — the unit the measures, the MMRFS
+//! selector and the classifiers all consume.
+
+use dfp_data::schema::ClassId;
+use dfp_data::transactions::Item;
+
+/// An itemset plus its absolute support in the database it was mined from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawPattern {
+    /// Items, sorted ascending, no duplicates.
+    pub items: Vec<Item>,
+    /// Absolute support.
+    pub support: u32,
+}
+
+impl RawPattern {
+    /// Pattern length `|α|`.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` for the empty pattern.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A pattern with global and per-class absolute supports over the full
+/// training database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinedPattern {
+    /// Items, sorted ascending, no duplicates.
+    pub items: Vec<Item>,
+    /// Absolute support over the whole database, `|D_α|`.
+    pub support: u32,
+    /// `class_supports[c]` = number of covering transactions with label `c`.
+    pub class_supports: Vec<u32>,
+}
+
+impl MinedPattern {
+    /// Pattern length `|α|`.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` for the empty pattern.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Relative support `θ = |D_α| / |D|`.
+    pub fn rel_support(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.support as f64 / n as f64
+        }
+    }
+
+    /// The class with the largest support among covering transactions
+    /// (ties broken toward the smaller class id).
+    pub fn majority_class(&self) -> ClassId {
+        let mut best = 0usize;
+        for (c, &s) in self.class_supports.iter().enumerate() {
+            if s > self.class_supports[best] {
+                best = c;
+            }
+        }
+        ClassId(best as u32)
+    }
+
+    /// Rule confidence `P(c | α)`; `0.0` if the pattern covers nothing.
+    pub fn confidence(&self, class: ClassId) -> f64 {
+        if self.support == 0 {
+            return 0.0;
+        }
+        self.class_supports[class.index()] as f64 / self.support as f64
+    }
+
+    /// Confidence of the majority class.
+    pub fn max_confidence(&self) -> f64 {
+        self.confidence(self.majority_class())
+    }
+}
+
+/// Sorts patterns canonically: by length, then lexicographically by items —
+/// handy for deterministic test assertions and stable output.
+pub fn sort_canonical(patterns: &mut [RawPattern]) {
+    patterns.sort_by(|a, b| {
+        a.items
+            .len()
+            .cmp(&b.items.len())
+            .then_with(|| a.items.cmp(&b.items))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mp(items: &[u32], class_supports: &[u32]) -> MinedPattern {
+        MinedPattern {
+            items: items.iter().map(|&i| Item(i)).collect(),
+            support: class_supports.iter().sum(),
+            class_supports: class_supports.to_vec(),
+        }
+    }
+
+    #[test]
+    fn majority_and_confidence() {
+        let p = mp(&[1, 2], &[3, 7]);
+        assert_eq!(p.majority_class(), ClassId(1));
+        assert!((p.confidence(ClassId(1)) - 0.7).abs() < 1e-12);
+        assert!((p.max_confidence() - 0.7).abs() < 1e-12);
+        assert!((p.rel_support(20) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn majority_tie_prefers_lower_class() {
+        let p = mp(&[1], &[5, 5]);
+        assert_eq!(p.majority_class(), ClassId(0));
+    }
+
+    #[test]
+    fn zero_support_confidence() {
+        let p = mp(&[1], &[0, 0]);
+        assert_eq!(p.confidence(ClassId(0)), 0.0);
+        assert_eq!(p.rel_support(0), 0.0);
+    }
+
+    #[test]
+    fn canonical_sort() {
+        let mut v = vec![
+            RawPattern { items: vec![Item(2), Item(3)], support: 1 },
+            RawPattern { items: vec![Item(9)], support: 1 },
+            RawPattern { items: vec![Item(1), Item(5)], support: 1 },
+        ];
+        sort_canonical(&mut v);
+        assert_eq!(v[0].items, vec![Item(9)]);
+        assert_eq!(v[1].items, vec![Item(1), Item(5)]);
+        assert_eq!(v[2].items, vec![Item(2), Item(3)]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Sequential pattern mining — the paper's stated extension direction
+//! (§6: "The framework is also applicable to more complex patterns,
+//! including sequences and graphs").
+//!
+//! A compact PrefixSpan (Pei et al., ICDE 2001) for sequences of single
+//! symbols: a pattern is a subsequence (gaps allowed), its support the
+//! number of database sequences containing it. [`SequenceDb::transform`]
+//! turns mined sequential patterns into the same sparse binary feature
+//! matrices the rest of the framework consumes, so MMRFS + any classifier
+//! work on sequence data unchanged.
+
+use crate::{MineOptions, MiningError};
+use dfp_data::features::SparseBinaryMatrix;
+use dfp_data::schema::ClassId;
+
+/// A labelled database of symbol sequences.
+#[derive(Debug, Clone)]
+pub struct SequenceDb {
+    /// Symbol alphabet size; symbols are `0..n_symbols`.
+    pub n_symbols: usize,
+    /// The sequences.
+    pub sequences: Vec<Vec<u32>>,
+    /// One label per sequence.
+    pub labels: Vec<ClassId>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl SequenceDb {
+    /// Creates a database, validating symbols and labels.
+    ///
+    /// # Panics
+    /// Panics on out-of-range symbols/labels or mismatched lengths.
+    pub fn new(
+        n_symbols: usize,
+        sequences: Vec<Vec<u32>>,
+        labels: Vec<ClassId>,
+        n_classes: usize,
+    ) -> Self {
+        assert_eq!(sequences.len(), labels.len(), "sequences/labels mismatch");
+        for (i, s) in sequences.iter().enumerate() {
+            assert!(
+                s.iter().all(|&x| (x as usize) < n_symbols),
+                "sequence {i} has out-of-range symbol"
+            );
+        }
+        for (i, l) in labels.iter().enumerate() {
+            assert!(l.index() < n_classes, "sequence {i} label out of range");
+        }
+        SequenceDb {
+            n_symbols,
+            sequences,
+            labels,
+            n_classes,
+        }
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// `true` if the database has no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+
+    /// `true` iff `pattern` is a subsequence of `seq` (gaps allowed).
+    pub fn is_subsequence(pattern: &[u32], seq: &[u32]) -> bool {
+        let mut pi = 0;
+        for &x in seq {
+            if pi < pattern.len() && pattern[pi] == x {
+                pi += 1;
+            }
+        }
+        pi == pattern.len()
+    }
+
+    /// Absolute support of a sequential pattern.
+    pub fn support(&self, pattern: &[u32]) -> usize {
+        self.sequences
+            .iter()
+            .filter(|s| Self::is_subsequence(pattern, s))
+            .count()
+    }
+
+    /// Transforms the database into a binary feature matrix: feature `k`
+    /// fires on sequences containing `patterns[k]` as a subsequence —
+    /// the sequence analogue of the `I ∪ Fs` transform.
+    pub fn transform(&self, patterns: &[SeqPattern]) -> SparseBinaryMatrix {
+        let rows: Vec<Vec<u32>> = self
+            .sequences
+            .iter()
+            .map(|s| {
+                patterns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| Self::is_subsequence(&p.symbols, s))
+                    .map(|(k, _)| k as u32)
+                    .collect()
+            })
+            .collect();
+        SparseBinaryMatrix::new(patterns.len(), rows, self.labels.clone(), self.n_classes)
+    }
+}
+
+/// A mined sequential pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqPattern {
+    /// The symbol sequence.
+    pub symbols: Vec<u32>,
+    /// Absolute support (sequences containing it).
+    pub support: u32,
+    /// Per-class supports.
+    pub class_supports: Vec<u32>,
+}
+
+/// Mines all frequent sequential patterns with PrefixSpan.
+///
+/// `opts.min_len`/`max_len` bound emitted/explored pattern lengths;
+/// `opts.max_patterns` aborts runaway enumerations.
+pub fn prefixspan(
+    db: &SequenceDb,
+    min_sup: usize,
+    opts: &MineOptions,
+) -> Result<Vec<SeqPattern>, MiningError> {
+    if min_sup == 0 {
+        return Err(MiningError::ZeroMinSup);
+    }
+    // Projection: (sequence index, offset of the first unmatched position).
+    let full: Vec<(u32, u32)> = (0..db.sequences.len() as u32).map(|i| (i, 0)).collect();
+    let mut out = Vec::new();
+    let mut prefix = Vec::new();
+    project(db, &full, min_sup, opts, &mut prefix, &mut out)?;
+    Ok(out)
+}
+
+fn project(
+    db: &SequenceDb,
+    proj: &[(u32, u32)],
+    min_sup: usize,
+    opts: &MineOptions,
+    prefix: &mut Vec<u32>,
+    out: &mut Vec<SeqPattern>,
+) -> Result<(), MiningError> {
+    // Count, per symbol, the number of projected sequences containing it
+    // at or after the projection point.
+    let mut counts = vec![0usize; db.n_symbols];
+    for &(si, off) in proj {
+        let mut seen = vec![false; db.n_symbols];
+        for &x in &db.sequences[si as usize][off as usize..] {
+            if !seen[x as usize] {
+                seen[x as usize] = true;
+                counts[x as usize] += 1;
+            }
+        }
+    }
+    for s in 0..db.n_symbols as u32 {
+        if counts[s as usize] < min_sup {
+            continue;
+        }
+        // Project onto s: first occurrence at/after the current offset.
+        let next: Vec<(u32, u32)> = proj
+            .iter()
+            .filter_map(|&(si, off)| {
+                db.sequences[si as usize][off as usize..]
+                    .iter()
+                    .position(|&x| x == s)
+                    .map(|p| (si, off + p as u32 + 1))
+            })
+            .collect();
+        prefix.push(s);
+        if opts.len_ok(prefix.len()) {
+            let mut class_supports = vec![0u32; db.n_classes];
+            for &(si, _) in &next {
+                class_supports[db.labels[si as usize].index()] += 1;
+            }
+            out.push(SeqPattern {
+                symbols: prefix.clone(),
+                support: next.len() as u32,
+                class_supports,
+            });
+            if let Some(cap) = opts.max_patterns {
+                if out.len() as u64 > cap {
+                    return Err(MiningError::PatternLimitExceeded { limit: cap });
+                }
+            }
+        }
+        if opts.may_extend(prefix.len()) {
+            project(db, &next, min_sup, opts, prefix, out)?;
+        }
+        prefix.pop();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(rows: &[(&[u32], u32)]) -> SequenceDb {
+        let n_symbols = rows
+            .iter()
+            .flat_map(|(s, _)| s.iter())
+            .map(|&x| x as usize + 1)
+            .max()
+            .unwrap_or(1);
+        let n_classes = rows.iter().map(|&(_, l)| l as usize + 1).max().unwrap_or(1);
+        SequenceDb::new(
+            n_symbols,
+            rows.iter().map(|(s, _)| s.to_vec()).collect(),
+            rows.iter().map(|&(_, l)| ClassId(l)).collect(),
+            n_classes,
+        )
+    }
+
+    #[test]
+    fn subsequence_semantics() {
+        assert!(SequenceDb::is_subsequence(&[0, 2], &[0, 1, 2]));
+        assert!(SequenceDb::is_subsequence(&[], &[0]));
+        assert!(!SequenceDb::is_subsequence(&[2, 0], &[0, 1, 2]));
+        assert!(SequenceDb::is_subsequence(&[1, 1], &[1, 0, 1]));
+        assert!(!SequenceDb::is_subsequence(&[1, 1], &[1, 0]));
+    }
+
+    #[test]
+    fn hand_computed_supports() {
+        let d = db(&[(&[0, 1, 2], 0), (&[0, 2], 0), (&[1, 0, 2], 1)]);
+        let got = prefixspan(&d, 2, &MineOptions::default()).unwrap();
+        let find = |sym: &[u32]| got.iter().find(|p| p.symbols == sym).map(|p| p.support);
+        assert_eq!(find(&[0]), Some(3));
+        assert_eq!(find(&[0, 2]), Some(3));
+        assert_eq!(find(&[1]), Some(2));
+        assert_eq!(find(&[1, 2]), Some(2));
+        assert_eq!(find(&[2]), Some(3));
+        // [2, 0] occurs in no sequence twice → absent at min_sup 2
+        assert_eq!(find(&[2, 0]), None);
+    }
+
+    #[test]
+    fn supports_match_brute_force() {
+        let d = db(&[
+            (&[0, 1, 0, 2], 0),
+            (&[2, 1, 0], 0),
+            (&[0, 0, 1], 1),
+            (&[1, 2], 1),
+        ]);
+        let got = prefixspan(&d, 1, &MineOptions::default().with_max_len(3)).unwrap();
+        for p in &got {
+            assert_eq!(p.support as usize, d.support(&p.symbols), "{:?}", p.symbols);
+            assert_eq!(
+                p.class_supports.iter().sum::<u32>(),
+                p.support,
+                "{:?}",
+                p.symbols
+            );
+        }
+        // repetition handled: [0,0] is supported by sequences 0 and 2
+        assert!(got.iter().any(|p| p.symbols == [0, 0] && p.support == 2));
+    }
+
+    #[test]
+    fn monotone_in_min_sup() {
+        let d = db(&[
+            (&[0, 1, 2, 0], 0),
+            (&[1, 2], 0),
+            (&[2, 0, 1], 1),
+            (&[0, 1], 1),
+        ]);
+        let mut last = usize::MAX;
+        for ms in 1..=4 {
+            let n = prefixspan(&d, ms, &MineOptions::default()).unwrap().len();
+            assert!(n <= last);
+            last = n;
+        }
+    }
+
+    #[test]
+    fn class_supports_correct() {
+        let d = db(&[(&[0, 1], 0), (&[0, 1], 0), (&[1, 0], 1)]);
+        let got = prefixspan(&d, 1, &MineOptions::default()).unwrap();
+        let p01 = got.iter().find(|p| p.symbols == [0, 1]).unwrap();
+        assert_eq!(p01.class_supports, vec![2, 0]);
+        let p10 = got.iter().find(|p| p.symbols == [1, 0]).unwrap();
+        assert_eq!(p10.class_supports, vec![0, 1]);
+    }
+
+    #[test]
+    fn transform_feeds_classifiers() {
+        use dfp_data::schema::ClassId;
+        // order discriminates: class 0 = "0 before 1", class 1 = "1 before 0"
+        let d = db(&[
+            (&[0, 2, 1], 0),
+            (&[0, 1], 0),
+            (&[2, 0, 1], 0),
+            (&[1, 0], 1),
+            (&[1, 2, 0], 1),
+            (&[1, 0, 2], 1),
+        ]);
+        let patterns = prefixspan(&d, 2, &MineOptions::default().with_min_len(2)).unwrap();
+        let m = d.transform(&patterns);
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.n_features, patterns.len());
+        // the pattern [0,1] fires exactly on class-0 sequences
+        let k = patterns.iter().position(|p| p.symbols == [0, 1]).unwrap() as u32;
+        for t in 0..6 {
+            assert_eq!(m.get(t, k), d.labels[t] == ClassId(0), "row {t}");
+        }
+    }
+
+    #[test]
+    fn budget_and_zero_min_sup() {
+        let d = db(&[(&[0, 1, 2, 3, 4], 0)]);
+        assert!(matches!(
+            prefixspan(&d, 1, &MineOptions::default().with_max_patterns(5)),
+            Err(MiningError::PatternLimitExceeded { .. })
+        ));
+        assert!(matches!(
+            prefixspan(&d, 0, &MineOptions::default()),
+            Err(MiningError::ZeroMinSup)
+        ));
+    }
+}

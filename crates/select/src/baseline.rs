@@ -1,0 +1,101 @@
+//! Baseline selectors for the selection-ablation experiments: top-k by
+//! relevance (no redundancy term) and seeded random selection.
+
+use dfp_data::transactions::TransactionSet;
+use dfp_measures::RelevanceMeasure;
+use dfp_mining::MinedPattern;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Selects the `k` most relevant patterns, ignoring redundancy.
+/// Returns indices into `candidates`, most relevant first.
+pub fn top_k_by_relevance(
+    ts: &TransactionSet,
+    candidates: &[MinedPattern],
+    measure: RelevanceMeasure,
+    k: usize,
+) -> Vec<usize> {
+    let class_counts = ts.class_counts();
+    let relevance = measure.score_all(candidates, &class_counts);
+    let mut idx: Vec<usize> = (0..candidates.len()).collect();
+    idx.sort_by(|&a, &b| {
+        relevance[b]
+            .partial_cmp(&relevance[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Selects `k` patterns uniformly at random (deterministic per seed).
+pub fn random_k(candidates: &[MinedPattern], k: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..candidates.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfp_data::schema::ClassId;
+    use dfp_data::transactions::Item;
+
+    fn pattern(items: &[u32], class_supports: &[u32]) -> MinedPattern {
+        MinedPattern {
+            items: items.iter().map(|&i| Item(i)).collect(),
+            support: class_supports.iter().sum(),
+            class_supports: class_supports.to_vec(),
+        }
+    }
+
+    fn ts() -> TransactionSet {
+        TransactionSet::new(
+            3,
+            2,
+            vec![
+                vec![Item(0)],
+                vec![Item(0)],
+                vec![Item(1)],
+                vec![Item(2)],
+            ],
+            vec![ClassId(0), ClassId(0), ClassId(1), ClassId(1)],
+        )
+    }
+
+    #[test]
+    fn top_k_ranks_by_gain() {
+        let cands = vec![
+            pattern(&[2], &[1, 1]), // useless
+            pattern(&[0], &[2, 0]), // strong class-0 marker
+            pattern(&[1], &[0, 1]), // weaker marker
+        ];
+        let got = top_k_by_relevance(&ts(), &cands, RelevanceMeasure::InfoGain, 2);
+        assert_eq!(got[0], 1);
+        assert_eq!(got.len(), 2);
+        assert!(!got.contains(&0));
+    }
+
+    #[test]
+    fn top_k_larger_than_pool() {
+        let cands = vec![pattern(&[0], &[2, 0])];
+        let got = top_k_by_relevance(&ts(), &cands, RelevanceMeasure::InfoGain, 10);
+        assert_eq!(got, vec![0]);
+    }
+
+    #[test]
+    fn random_k_deterministic_and_bounded() {
+        let cands: Vec<MinedPattern> = (0..10).map(|i| pattern(&[i % 3], &[1, 1])).collect();
+        let a = random_k(&cands, 4, 7);
+        let b = random_k(&cands, 4, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|&i| i < 10));
+        let c = random_k(&cands, 4, 8);
+        assert_ne!(a, c);
+    }
+}

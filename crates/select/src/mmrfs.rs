@@ -1,0 +1,349 @@
+//! MMRFS — Maximal Marginal Relevance Feature Selection (paper Algorithm 1).
+//!
+//! A pattern is selected when it is relevant to the class label *and* has
+//! low redundancy to the patterns already selected:
+//!
+//! ```text
+//! 1:  let α be the most relevant pattern; Fs = {α}
+//! 2:  loop:
+//! 3:    β = argmax_{F − Fs} g(β),  g(β) = S(β) − max_{γ ∈ Fs} R(β, γ)
+//! 4:    if β correctly covers at least one instance: Fs ∪= {β}
+//! 5:    F −= {β}
+//! 6:    until every instance is covered δ times or F = ∅
+//! ```
+//!
+//! "Correctly covers" follows the database-coverage tradition of CMAR: the
+//! instance contains the pattern and the pattern's majority class equals the
+//! instance's label. The per-candidate `max_{γ ∈ Fs} R(β, γ)` is maintained
+//! incrementally — one update pass over the remaining candidates per
+//! selection — so a full run costs `O(|Fs| · |F|)` tidset intersections.
+
+use dfp_data::bitset::Bitset;
+use dfp_data::transactions::TransactionSet;
+use dfp_measures::redundancy::redundancy_from_overlap;
+use dfp_measures::RelevanceMeasure;
+use dfp_mining::count::pattern_tids;
+use dfp_mining::MinedPattern;
+
+/// MMRFS configuration.
+#[derive(Debug, Clone)]
+pub struct MmrfsConfig {
+    /// Database coverage threshold δ: selection stops once every training
+    /// instance is correctly covered δ times (or candidates run out).
+    pub coverage: u32,
+    /// Relevance measure `S` (information gain or Fisher score).
+    pub relevance: RelevanceMeasure,
+    /// Hard cap on the number of selected features (`None` = coverage-only).
+    pub max_features: Option<usize>,
+    /// Keep only the `max_candidates` most relevant patterns before the
+    /// selection loop (`None` = all). A tractability valve for very low
+    /// `min_sup` runs; the paper's experiments do not need it.
+    pub max_candidates: Option<usize>,
+}
+
+impl Default for MmrfsConfig {
+    fn default() -> Self {
+        MmrfsConfig {
+            coverage: 3,
+            relevance: RelevanceMeasure::InfoGain,
+            max_features: None,
+            max_candidates: None,
+        }
+    }
+}
+
+/// Outcome of a selection run.
+#[derive(Debug, Clone)]
+pub struct SelectionResult {
+    /// Indices into the input pattern slice, in selection order.
+    pub selected: Vec<usize>,
+    /// Relevance `S(α)` of every input pattern (by input index).
+    pub relevance: Vec<f64>,
+    /// How many instances ended fully covered (δ times).
+    pub fully_covered: usize,
+}
+
+impl SelectionResult {
+    /// Materialises the selected patterns.
+    pub fn patterns(&self, candidates: &[MinedPattern]) -> Vec<MinedPattern> {
+        self.selected
+            .iter()
+            .map(|&i| candidates[i].clone())
+            .collect()
+    }
+}
+
+/// Runs MMRFS over candidate patterns mined from `ts`.
+///
+/// The result's `selected` indices refer to `candidates`. Candidates with
+/// zero support never get selected (they cover nothing).
+pub fn mmrfs(
+    ts: &TransactionSet,
+    candidates: &[MinedPattern],
+    cfg: &MmrfsConfig,
+) -> SelectionResult {
+    let n = ts.len();
+    let class_counts = ts.class_counts();
+    let relevance = cfg.relevance.score_all(candidates, &class_counts);
+
+    // Candidate pool, optionally pruned to the most relevant K.
+    let mut pool: Vec<usize> = (0..candidates.len())
+        .filter(|&i| candidates[i].support > 0)
+        .collect();
+    if let Some(k) = cfg.max_candidates {
+        if pool.len() > k {
+            pool.sort_by(|&a, &b| {
+                relevance[b]
+                    .partial_cmp(&relevance[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.cmp(&b))
+            });
+            pool.truncate(k);
+        }
+    }
+
+    // Tidsets and correct-cover tidsets.
+    let vertical = ts.vertical();
+    let class_tids: Vec<Bitset> = ts
+        .class_partition_indices()
+        .iter()
+        .map(|idx| Bitset::from_indices(n, idx.iter().copied()))
+        .collect();
+    let tids: Vec<Bitset> = pool
+        .iter()
+        .map(|&i| pattern_tids(&vertical, n, &candidates[i].items))
+        .collect();
+    let correct: Vec<Bitset> = pool
+        .iter()
+        .zip(&tids)
+        .map(|(&i, t)| {
+            let mut c = t.clone();
+            c.intersect_with(&class_tids[candidates[i].majority_class().index()]);
+            c
+        })
+        .collect();
+
+    let mut max_red = vec![0.0f64; pool.len()]; // max_{γ∈Fs} R(·, γ) so far
+    let mut alive = vec![true; pool.len()];
+    let mut coverage = vec![0u32; n];
+    let mut uncovered = n; // instances with coverage < δ
+    let mut selected = Vec::new();
+
+    while uncovered > 0 && selected.len() < cfg.max_features.unwrap_or(usize::MAX) {
+        // argmax gain over the remaining pool (deterministic tie-break).
+        let mut best: Option<usize> = None;
+        let mut best_gain = f64::NEG_INFINITY;
+        for (j, &cand) in pool.iter().enumerate() {
+            if !alive[j] {
+                continue;
+            }
+            let gain = relevance[cand] - max_red[j];
+            if gain > best_gain
+                || (gain == best_gain
+                    && best.is_some_and(|b| {
+                        (candidates[cand].support, std::cmp::Reverse(cand))
+                            > (candidates[pool[b]].support, std::cmp::Reverse(pool[b]))
+                    }))
+            {
+                best = Some(j);
+                best_gain = gain;
+            }
+        }
+        let Some(j) = best else { break }; // F = ∅
+        alive[j] = false;
+
+        // Does β correctly cover at least one not-yet-saturated instance?
+        let covers_new = correct[j].iter_ones().any(|t| coverage[t] < cfg.coverage);
+        if !covers_new {
+            continue; // discarded from F without selection (Algorithm 1, line 7)
+        }
+
+        // Select β: update coverage and the incremental redundancy caches.
+        for t in correct[j].iter_ones() {
+            coverage[t] += 1;
+            if coverage[t] == cfg.coverage {
+                uncovered -= 1;
+            }
+        }
+        let sel_rel = relevance[pool[j]];
+        for (k, a) in alive.iter().enumerate() {
+            if !a {
+                continue;
+            }
+            let jac = tids[j].jaccard(&tids[k]);
+            let r = redundancy_from_overlap(jac, relevance[pool[k]], sel_rel);
+            if r > max_red[k] {
+                max_red[k] = r;
+            }
+        }
+        selected.push(pool[j]);
+    }
+
+    let fully_covered = coverage.iter().filter(|&&c| c >= cfg.coverage).count();
+    SelectionResult {
+        selected,
+        relevance,
+        fully_covered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfp_data::schema::ClassId;
+    use dfp_data::transactions::Item;
+    use dfp_mining::{mine_features, MiningConfig};
+
+    fn db(rows: &[(&[u32], u32)]) -> TransactionSet {
+        let n_items = rows
+            .iter()
+            .flat_map(|(r, _)| r.iter())
+            .map(|&i| i as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let n_classes = rows.iter().map(|&(_, l)| l as usize + 1).max().unwrap_or(1);
+        TransactionSet::new(
+            n_items,
+            n_classes,
+            rows.iter()
+                .map(|(r, _)| {
+                    let mut v: Vec<Item> = r.iter().map(|&i| Item(i)).collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect(),
+            rows.iter().map(|&(_, l)| ClassId(l)).collect(),
+        )
+    }
+
+    /// Item 0 marks class 0, item 1 marks class 1, item 2 is noise.
+    fn marker_db() -> TransactionSet {
+        db(&[
+            (&[0, 2], 0),
+            (&[0], 0),
+            (&[0, 2], 0),
+            (&[1], 1),
+            (&[1, 2], 1),
+            (&[1], 1),
+        ])
+    }
+
+    fn mined(ts: &TransactionSet) -> Vec<MinedPattern> {
+        mine_features(ts, &MiningConfig::with_min_sup(0.3)).unwrap()
+    }
+
+    #[test]
+    fn first_pick_is_most_relevant() {
+        let ts = marker_db();
+        let cands = mined(&ts);
+        let res = mmrfs(&ts, &cands, &MmrfsConfig::default());
+        assert!(!res.selected.is_empty());
+        let first = res.selected[0];
+        let max_rel = res
+            .relevance
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((res.relevance[first] - max_rel).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_postcondition() {
+        let ts = marker_db();
+        let cands = mined(&ts);
+        let cfg = MmrfsConfig {
+            coverage: 1,
+            ..MmrfsConfig::default()
+        };
+        let res = mmrfs(&ts, &cands, &cfg);
+        // markers exist for every instance, so δ=1 must fully cover
+        assert_eq!(res.fully_covered, ts.len());
+    }
+
+    #[test]
+    fn higher_delta_selects_no_fewer_features() {
+        let ts = marker_db();
+        let cands = mined(&ts);
+        let mut last = 0;
+        for delta in [1u32, 2, 3] {
+            let cfg = MmrfsConfig {
+                coverage: delta,
+                ..MmrfsConfig::default()
+            };
+            let got = mmrfs(&ts, &cands, &cfg).selected.len();
+            assert!(got >= last, "δ={delta}: {got} < {last}");
+            last = got;
+        }
+    }
+
+    #[test]
+    fn redundant_duplicate_pattern_deprioritised() {
+        // Two identical-tidset patterns: {0} and {0,3} where 3 co-occurs
+        // exactly with 0. MMRFS must not pick both before an informative
+        // non-redundant pattern ({1}).
+        let ts = db(&[
+            (&[0, 3], 0),
+            (&[0, 3], 0),
+            (&[0, 3], 0),
+            (&[1], 1),
+            (&[1], 1),
+            (&[1], 1),
+        ]);
+        let cands = mined(&ts);
+        let cfg = MmrfsConfig {
+            coverage: 2,
+            ..MmrfsConfig::default()
+        };
+        let res = mmrfs(&ts, &cands, &cfg);
+        let sel = res.patterns(&cands);
+        // the first two selections must serve *different* classes — picking
+        // two tidset-identical class-0 patterns back to back would mean the
+        // redundancy term is inert
+        assert!(sel.len() >= 2);
+        assert_ne!(
+            sel[0].majority_class(),
+            sel[1].majority_class(),
+            "{sel:?}"
+        );
+    }
+
+    #[test]
+    fn max_features_cap() {
+        let ts = marker_db();
+        let cands = mined(&ts);
+        let cfg = MmrfsConfig {
+            max_features: Some(1),
+            ..MmrfsConfig::default()
+        };
+        assert_eq!(mmrfs(&ts, &cands, &cfg).selected.len(), 1);
+    }
+
+    #[test]
+    fn max_candidates_prunes_pool() {
+        let ts = marker_db();
+        let cands = mined(&ts);
+        let cfg = MmrfsConfig {
+            max_candidates: Some(2),
+            ..MmrfsConfig::default()
+        };
+        let res = mmrfs(&ts, &cands, &cfg);
+        assert!(res.selected.len() <= 2);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let ts = marker_db();
+        let res = mmrfs(&ts, &[], &MmrfsConfig::default());
+        assert!(res.selected.is_empty());
+        assert_eq!(res.fully_covered, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let ts = marker_db();
+        let cands = mined(&ts);
+        let a = mmrfs(&ts, &cands, &MmrfsConfig::default());
+        let b = mmrfs(&ts, &cands, &MmrfsConfig::default());
+        assert_eq!(a.selected, b.selected);
+    }
+}

@@ -1,0 +1,80 @@
+//! The paper's §6 outlook, realised: "The framework is also applicable to
+//! more complex patterns, including sequences." Frequent *subsequences*
+//! mined with PrefixSpan become binary features, MMRFS-style relevance
+//! ranking picks the discriminative ones, and a linear SVM classifies —
+//! order-sensitive signal that no bag-of-symbols representation can see.
+//!
+//! ```sh
+//! cargo run --release --example sequence_classification
+//! ```
+
+use dfpc::classify::svm::{LinearSvm, LinearSvmParams};
+use dfpc::classify::Classifier;
+use dfpc::data::schema::ClassId;
+use dfpc::measures::info_gain;
+use dfpc::mining::sequence::{prefixspan, SequenceDb};
+use dfpc::mining::MineOptions;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Two classes over the same symbol multiset: class 0 tends to emit the
+/// motif 0→1→2 in order, class 1 emits 2→1→0. Marginal symbol frequencies
+/// are identical, so only *sequential* features discriminate.
+fn generate(n: usize, seed: u64) -> SequenceDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sequences = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = (i % 2) as u32;
+        let motif: &[u32] = if class == 0 { &[0, 1, 2] } else { &[2, 1, 0] };
+        let mut seq = Vec::new();
+        // noise prefix / infix / suffix from symbols 3..8
+        for &m in motif {
+            for _ in 0..rng.random_range(0..3) {
+                seq.push(rng.random_range(3..8));
+            }
+            // motif symbol dropped occasionally → imperfect signal
+            if rng.random::<f64>() < 0.9 {
+                seq.push(m);
+            }
+        }
+        for _ in 0..rng.random_range(0..3) {
+            seq.push(rng.random_range(3..8));
+        }
+        sequences.push(seq);
+        labels.push(ClassId(class));
+    }
+    SequenceDb::new(8, sequences, labels, 2)
+}
+
+fn main() {
+    let train = generate(300, 1);
+    let test = generate(200, 2);
+
+    let patterns = prefixspan(
+        &train,
+        30, // 10% of training sequences
+        &MineOptions::default().with_min_len(2).with_max_len(3),
+    )
+    .expect("sequence mining");
+    println!("frequent subsequences (len 2–3): {}", patterns.len());
+
+    // Rank by information gain and keep the top 40 — a lightweight stand-in
+    // for MMRFS in sequence space.
+    let class_counts = [150usize, 150];
+    let mut ranked: Vec<(f64, usize)> = patterns
+        .iter()
+        .enumerate()
+        .map(|(k, p)| (info_gain(&class_counts, &p.class_supports), k))
+        .collect();
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let selected: Vec<_> = ranked.iter().take(40).map(|&(_, k)| patterns[k].clone()).collect();
+    println!("top subsequence by IG: {:?} (IG = {:.3})", selected[0].symbols, ranked[0].0);
+
+    let train_m = train.transform(&selected);
+    let test_m = test.transform(&selected);
+    let svm = LinearSvm::fit(&train_m, &LinearSvmParams::default());
+    println!("train accuracy: {:.4}", svm.accuracy(&train_m));
+    println!("test  accuracy: {:.4}", svm.accuracy(&test_m));
+    assert!(svm.accuracy(&test_m) > 0.8, "sequential features should separate the classes");
+}

@@ -1,0 +1,96 @@
+//! Property tests for the classifiers: training-set behaviour on separable
+//! data, prediction totality, and SVM optimiser sanity.
+
+use dfpc::classify::knn::Knn;
+use dfpc::classify::naive_bayes::BernoulliNb;
+use dfpc::classify::svm::{Kernel, KernelSvm, KernelSvmParams, LinearSvm, LinearSvmParams};
+use dfpc::classify::tree::{C45Params, C45};
+use dfpc::classify::Classifier;
+use dfpc::data::features::SparseBinaryMatrix;
+use dfpc::data::schema::ClassId;
+use proptest::prelude::*;
+
+/// Separable-by-marker matrix: class c's rows always contain marker feature
+/// c and random noise features above the markers.
+fn separable(n_classes: usize) -> impl Strategy<Value = SparseBinaryMatrix> {
+    let noise_features = 4u32;
+    prop::collection::vec(
+        (0..n_classes as u32, prop::collection::btree_set(0..noise_features, 0..=3)),
+        (n_classes * 4)..=40,
+    )
+    .prop_map(move |rows| {
+        let n_features = n_classes + noise_features as usize;
+        let (data, labels): (Vec<Vec<u32>>, Vec<ClassId>) = rows
+            .into_iter()
+            .map(|(c, noise)| {
+                let mut row = vec![c];
+                row.extend(noise.into_iter().map(|f| n_classes as u32 + f));
+                row.sort_unstable();
+                (row, ClassId(c))
+            })
+            .unzip();
+        SparseBinaryMatrix::new(n_features, data, labels, n_classes)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_models_fit_separable_data(m in separable(3)) {
+        // every class must be present for one-vs-rest training to be sane
+        let counts = m.class_counts();
+        prop_assume!(counts.iter().all(|&c| c >= 2));
+
+        let svm = LinearSvm::fit(&m, &LinearSvmParams::default());
+        prop_assert!(svm.accuracy(&m) > 0.95, "linear svm {}", svm.accuracy(&m));
+
+        let tree = C45::fit(&m, &C45Params::default());
+        prop_assert!(tree.accuracy(&m) > 0.9, "c45 {}", tree.accuracy(&m));
+
+        let nb = BernoulliNb::fit(&m);
+        prop_assert!(nb.accuracy(&m) > 0.9, "nb {}", nb.accuracy(&m));
+
+        let knn = Knn::fit(&m, 1);
+        prop_assert_eq!(knn.accuracy(&m), 1.0);
+
+        let rbf = KernelSvm::fit(&m, &KernelSvmParams::rbf(10.0, 0.5));
+        prop_assert!(rbf.accuracy(&m) > 0.9, "rbf {}", rbf.accuracy(&m));
+    }
+
+    /// Predictions are total and in range for arbitrary rows.
+    #[test]
+    fn predictions_total(m in separable(2), probe in prop::collection::btree_set(0u32..6, 0..=6)) {
+        let counts = m.class_counts();
+        prop_assume!(counts.iter().all(|&c| c >= 2));
+        let row: Vec<u32> = probe.into_iter().collect();
+        for pred in [
+            LinearSvm::fit(&m, &LinearSvmParams::default()).predict(&row),
+            C45::fit(&m, &C45Params::default()).predict(&row),
+            BernoulliNb::fit(&m).predict(&row),
+            Knn::fit(&m, 3).predict(&row),
+            KernelSvm::fit(&m, &KernelSvmParams { kernel: Kernel::Linear, ..KernelSvmParams::default() }).predict(&row),
+        ] {
+            prop_assert!(pred.index() < m.n_classes);
+        }
+    }
+
+    /// Label permutation invariance of accuracy for 1-NN (sanity of the
+    /// evaluation plumbing): renaming classes renames predictions.
+    #[test]
+    fn knn_label_permutation(m in separable(2)) {
+        let counts = m.class_counts();
+        prop_assume!(counts.iter().all(|&c| c >= 2));
+        let swapped = SparseBinaryMatrix::new(
+            m.n_features,
+            m.rows.clone(),
+            m.labels.iter().map(|l| ClassId(1 - l.0)).collect(),
+            2,
+        );
+        let a = Knn::fit(&m, 1);
+        let b = Knn::fit(&swapped, 1);
+        for row in &m.rows {
+            prop_assert_eq!(a.predict(row).0, 1 - b.predict(row).0);
+        }
+    }
+}

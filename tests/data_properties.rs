@@ -1,0 +1,134 @@
+//! Property tests for the data substrate: bitset algebra, discretizer
+//! invariants, stratified splitting, and the dataset → transaction mapping.
+
+use dfpc::data::bitset::Bitset;
+use dfpc::data::discretize::{
+    DiscretizationModel, Discretizer, EqualFrequency, EqualWidth, MdlDiscretizer,
+};
+use dfpc::data::schema::ClassId;
+use dfpc::data::split::stratified_k_fold;
+use proptest::prelude::*;
+
+fn bits(len: usize) -> impl Strategy<Value = Bitset> {
+    prop::collection::btree_set(0..len, 0..=len)
+        .prop_map(move |s| Bitset::from_indices(len, s))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bitset_algebra_laws(a in bits(130), b in bits(130), c in bits(130)) {
+        // inclusion–exclusion
+        prop_assert_eq!(
+            a.union_count(&b) + a.intersection_count(&b),
+            a.count_ones() + b.count_ones()
+        );
+        // difference decomposition
+        prop_assert_eq!(
+            a.difference_count(&b) + a.intersection_count(&b),
+            a.count_ones()
+        );
+        // subset ↔ intersection fixpoint
+        let mut ab = a.clone();
+        ab.intersect_with(&b);
+        prop_assert_eq!(ab.is_subset_of(&a), true);
+        prop_assert_eq!(a.is_subset_of(&b), ab == a.clone());
+        // associativity of intersection via counts
+        let mut ab_c = ab.clone();
+        ab_c.intersect_with(&c);
+        let mut bc = b.clone();
+        bc.intersect_with(&c);
+        let mut a_bc = a.clone();
+        a_bc.intersect_with(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+        // iter_ones roundtrip
+        let back = Bitset::from_indices(130, a.iter_ones());
+        prop_assert_eq!(back, a.clone());
+        // jaccard bounds
+        let j = a.jaccard(&b);
+        prop_assert!((0.0..=1.0).contains(&j));
+    }
+
+    #[test]
+    fn discretizers_produce_valid_cut_points(
+        values in prop::collection::vec((-100.0f64..100.0, 0u32..3), 0..60),
+        bins in 1usize..6
+    ) {
+        let labelled: Vec<(f64, ClassId)> =
+            values.iter().map(|&(v, l)| (v, ClassId(l))).collect();
+        for cuts in [
+            EqualWidth::new(bins).cut_points(&labelled, 3),
+            EqualFrequency::new(bins).cut_points(&labelled, 3),
+            MdlDiscretizer::new().cut_points(&labelled, 3),
+        ] {
+            // strictly increasing and finite
+            for w in cuts.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            prop_assert!(cuts.iter().all(|c| c.is_finite()));
+            // within the data range (when data exists)
+            if let (Some(lo), Some(hi)) = (
+                values.iter().map(|&(v, _)| v).min_by(|a, b| a.partial_cmp(b).unwrap()),
+                values.iter().map(|&(v, _)| v).max_by(|a, b| a.partial_cmp(b).unwrap()),
+            ) {
+                prop_assert!(cuts.iter().all(|&c| c >= lo && c <= hi));
+            }
+        }
+    }
+
+    #[test]
+    fn binning_is_exhaustive_and_monotone(
+        values in prop::collection::vec((-50.0f64..50.0, 0u32..2), 4..40)
+    ) {
+        use dfpc::data::dataset::{Dataset, Value};
+        use dfpc::data::schema::{Attribute, Schema};
+        let schema = Schema::new(
+            vec![Attribute::numeric("x")],
+            vec!["a".into(), "b".into()],
+        );
+        let d = Dataset::new(
+            schema,
+            values.iter().map(|&(v, _)| vec![Value::Num(v)]).collect(),
+            values.iter().map(|&(_, l)| ClassId(l)).collect(),
+        );
+        let model = DiscretizationModel::fit(&d, &EqualFrequency::new(4));
+        let n_bins = model.n_bins(0).unwrap();
+        let mut last_bin = 0usize;
+        let mut sorted: Vec<f64> = values.iter().map(|&(v, _)| v).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for v in sorted {
+            let bin = model.bin(0, v);
+            prop_assert!(bin < n_bins);
+            prop_assert!(bin >= last_bin, "bins must be monotone in the value");
+            last_bin = bin;
+        }
+    }
+
+    #[test]
+    fn stratified_folds_partition_and_stratify(
+        class_sizes in prop::collection::vec(3usize..20, 2..4),
+        k in 2usize..4
+    ) {
+        let labels: Vec<ClassId> = class_sizes
+            .iter()
+            .enumerate()
+            .flat_map(|(c, &n)| std::iter::repeat_n(ClassId(c as u32), n))
+            .collect();
+        let folds = stratified_k_fold(&labels, k, 17);
+        prop_assert_eq!(folds.len(), k);
+        let mut tested = vec![0usize; labels.len()];
+        for f in &folds {
+            for &t in &f.test {
+                tested[t] += 1;
+            }
+            // stratification: per-class test counts within 1 of each other
+            for (c, &size) in class_sizes.iter().enumerate() {
+                let in_test = f.test.iter().filter(|&&i| labels[i] == ClassId(c as u32)).count();
+                let expect = size / k;
+                prop_assert!(in_test >= expect && in_test <= expect + 1);
+            }
+        }
+        prop_assert!(tested.iter().all(|&t| t == 1), "each row tested exactly once");
+    }
+}

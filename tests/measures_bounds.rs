@@ -1,0 +1,105 @@
+//! Property tests for the paper's theoretical core: every achievable
+//! information gain / Fisher score lies below the corresponding
+//! support-dependent upper bound (§3.1.2), and the `min_sup` strategy
+//! (Eq. 8) is safe — no feature an IG filter would keep can be lost by
+//! mining at `θ*`.
+
+use dfpc::measures::bounds::{
+    fisher_upper_bound, ig_upper_bound, ig_upper_bound_for, ig_upper_bound_multiclass,
+};
+use dfpc::measures::minsup::ig_threshold_of;
+use dfpc::measures::{binary_entropy, fisher_score, info_gain, theta_star};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// IG(C|X) ≤ IGub(θ) for every binary configuration (n1, n2, s1, s2).
+    #[test]
+    fn ig_never_exceeds_bound(n1 in 1usize..40, n2 in 1usize..40, f1 in 0.0f64..=1.0, f2 in 0.0f64..=1.0) {
+        let s1 = (n1 as f64 * f1).round() as usize;
+        let s2 = (n2 as f64 * f2).round() as usize;
+        let ig = info_gain(&[n1, n2], &[s1 as u32, s2 as u32]);
+        let n = n1 + n2;
+        let theta = (s1 + s2) as f64 / n as f64;
+        let p = n2 as f64 / n as f64; // bound is symmetric in the class roles
+        let bound = ig_upper_bound(theta, p);
+        prop_assert!(ig <= bound + 1e-9, "IG {} > IGub {} at θ={} p={}", ig, bound, theta, p);
+    }
+
+    /// Fisher score ≤ FRub(θ) for every binary configuration.
+    #[test]
+    fn fisher_never_exceeds_bound(n1 in 1usize..40, n2 in 1usize..40, f1 in 0.0f64..=1.0, f2 in 0.0f64..=1.0) {
+        let s1 = (n1 as f64 * f1).round() as usize;
+        let s2 = (n2 as f64 * f2).round() as usize;
+        let fr = fisher_score(&[n1, n2], &[s1 as u32, s2 as u32]);
+        prop_assume!(fr.is_finite());
+        let n = n1 + n2;
+        let theta = (s1 + s2) as f64 / n as f64;
+        let p = n2 as f64 / n as f64;
+        let bound = fisher_upper_bound(theta, p);
+        prop_assert!(fr <= bound + 1e-6, "Fr {} > FRub {} at θ={} p={}", fr, bound, theta, p);
+    }
+
+    /// Multiclass: IG ≤ min(H(C), H2(θ)).
+    #[test]
+    fn multiclass_ig_bound(counts in prop::collection::vec(1usize..15, 2..5), seed in 0u64..1000) {
+        // Derive per-class supports deterministically from the seed.
+        let supports: Vec<u32> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ((seed >> (i * 3)) as usize % (c + 1)) as u32)
+            .collect();
+        let ig = info_gain(&counts, &supports);
+        let n: usize = counts.iter().sum();
+        let theta = supports.iter().sum::<u32>() as f64 / n as f64;
+        let priors: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        let bound = ig_upper_bound_multiclass(theta, &priors);
+        prop_assert!(ig <= bound + 1e-9);
+    }
+
+    /// The Eq. 8 guarantee: for any pattern with support ≤ θ*, IG ≤ IG0.
+    #[test]
+    fn theta_star_is_safe(n1 in 2usize..60, n2 in 2usize..60, ig0 in 0.001f64..0.8, f1 in 0.0f64..=1.0, f2 in 0.0f64..=1.0) {
+        let n = n1 + n2;
+        let priors = [n1 as f64 / n as f64, n2 as f64 / n as f64];
+        let star = theta_star(ig0, &priors, n);
+        let s1 = (n1 as f64 * f1).round() as usize;
+        let s2 = (n2 as f64 * f2).round() as usize;
+        if s1 + s2 <= star && s1 + s2 > 0 {
+            let ig = info_gain(&[n1, n2], &[s1 as u32, s2 as u32]);
+            // A pattern the min_sup threshold would skip must be one the IG
+            // filter would also skip (unless IG0 exceeds the max bound and
+            // θ* saturated at the peak, where nothing is skipped wrongly).
+            let max_bound = binary_entropy(priors[1]);
+            if ig0 < max_bound {
+                prop_assert!(ig <= ig0 + 1e-9, "skipped pattern has IG {} > IG0 {}", ig, ig0);
+            }
+        }
+    }
+
+    /// θ* is maximal: the bound at θ* stays within IG0 and the implied
+    /// threshold mapping is consistent in both directions.
+    #[test]
+    fn theta_star_maximality(n in 10usize..500, p_frac in 0.05f64..0.95, ig0 in 0.001f64..0.9) {
+        let priors = [1.0 - p_frac, p_frac];
+        let star = theta_star(ig0, &priors, n);
+        prop_assert!(star >= 1 && star <= n);
+        let implied = ig_threshold_of(star, &priors, n);
+        prop_assert!(implied <= ig0 + 1e-9 || star == 1,
+            "IGub(θ*) = {} exceeds IG0 = {}", implied, ig0);
+        // Monotone: a looser filter can only raise θ*.
+        let star2 = theta_star(ig0 * 1.5, &priors, n);
+        prop_assert!(star2 >= star);
+    }
+
+    /// The dispatching bound is itself an upper bound of the binary one.
+    #[test]
+    fn dispatch_consistency(theta in 0.0f64..=1.0, p in 0.01f64..0.99) {
+        let tight = ig_upper_bound_for(theta, &[1.0 - p, p]);
+        let direct = ig_upper_bound(theta, p);
+        prop_assert!((tight - direct).abs() < 1e-12);
+        // And never exceeds H(C).
+        prop_assert!(tight <= binary_entropy(p) + 1e-12);
+    }
+}

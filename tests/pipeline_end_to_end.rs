@@ -1,0 +1,244 @@
+//! Cross-crate integration tests: the full pipeline on synthetic UCI
+//! profiles, variant ordering on planted data, CSV round trips, and
+//! baseline interoperability.
+
+use dfpc::baselines::harmony::{HarmonyClassifier, HarmonyParams};
+use dfpc::core::{
+    cross_validate_framework, FrameworkConfig, PatternClassifier,
+};
+use dfpc::data::csv::{read_dataset, write_dataset};
+use dfpc::data::split::stratified_holdout;
+use dfpc::data::synth::{profile_by_name, AttrSpec, SynthConfig};
+use dfpc::measures::MinSupStrategy;
+use dfpc::mining::MiningConfig;
+
+/// An XOR-structured dataset: on attributes (0, 1), class 0 expresses the
+/// combinations (0,0)/(1,1) and class 1 expresses (0,1)/(1,0) — each single
+/// feature is marginally 50/50 in both classes (zero information gain), but
+/// the pairs are decisive. This is exactly the paper's §3.1.1 argument for
+/// combined features.
+fn pattern_heavy_dataset() -> dfpc::data::Dataset {
+    let attrs = vec![AttrSpec { arity: 2, numeric: false }; 8];
+    let xor_plant = |class: u32, va: u32, vb: u32| dfpc::data::synth::PlantedPattern {
+        class,
+        attr_values: vec![(0, va), (1, vb)],
+        expr_in: 0.7, // P(neither plant fires) = 0.09 → ~4.5% effective label noise
+        expr_out: 0.0,
+    };
+    let planted = vec![
+        xor_plant(0, 0, 0),
+        xor_plant(0, 1, 1),
+        xor_plant(1, 0, 1),
+        xor_plant(1, 1, 0),
+    ];
+    SynthConfig {
+        name: "xor".into(),
+        n_instances: 400,
+        class_priors: vec![0.5, 0.5],
+        attrs,
+        planted,
+        value_concentration: 1.0,
+        class_skew: 0.0, // single features carry no background signal
+        missing_rate: 0.0,
+        numeric_jitter: 0.0,
+        seed: 99,
+    }
+    .generate()
+}
+
+#[test]
+fn pat_fs_dominates_item_all_on_pattern_heavy_data() {
+    let data = pattern_heavy_dataset();
+    let item = cross_validate_framework(&data, &FrameworkConfig::item_all(), 5, 3).unwrap();
+    let pat = cross_validate_framework(
+        &data,
+        &FrameworkConfig::pat_fs().with_min_sup(MinSupStrategy::Relative(0.08)),
+        5,
+        3,
+    )
+    .unwrap();
+    assert!(
+        pat.mean() > item.mean() + 0.03,
+        "Pat_FS {:.4} should clearly beat Item_All {:.4} on pattern-heavy data",
+        pat.mean(),
+        item.mean()
+    );
+}
+
+#[test]
+fn c45_variant_also_benefits_from_patterns() {
+    let data = pattern_heavy_dataset();
+    let item = cross_validate_framework(&data, &FrameworkConfig::item_all().with_c45(), 5, 3)
+        .unwrap();
+    let pat = cross_validate_framework(
+        &data,
+        &FrameworkConfig::pat_fs()
+            .with_min_sup(MinSupStrategy::Relative(0.08))
+            .with_c45(),
+        5,
+        3,
+    )
+    .unwrap();
+    assert!(
+        pat.mean() >= item.mean() - 0.01,
+        "Pat_FS/C4.5 {:.4} vs Item_All/C4.5 {:.4}",
+        pat.mean(),
+        item.mean()
+    );
+}
+
+#[test]
+fn all_five_paper_variants_run_on_profiles() {
+    for name in ["labor", "zoo"] {
+        let data = profile_by_name(name).unwrap().generate();
+        let variants = [
+            FrameworkConfig::item_all(),
+            FrameworkConfig::item_fs(),
+            FrameworkConfig::item_rbf(1.0, 0.3),
+            FrameworkConfig::pat_all(),
+            FrameworkConfig::pat_fs(),
+        ];
+        for (i, cfg) in variants.iter().enumerate() {
+            let model = PatternClassifier::fit(&data, cfg)
+                .unwrap_or_else(|e| panic!("{name} variant {i}: {e}"));
+            let acc = model.accuracy(&data);
+            assert!(acc > 0.3, "{name} variant {i} train accuracy {acc}");
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let data = profile_by_name("labor").unwrap().generate();
+    let fold = stratified_holdout(&data.labels, 0.3, 5);
+    let train = data.subset(&fold.train);
+    let test = data.subset(&fold.test);
+    let a = PatternClassifier::fit(&train, &FrameworkConfig::pat_fs()).unwrap();
+    let b = PatternClassifier::fit(&train, &FrameworkConfig::pat_fs()).unwrap();
+    assert_eq!(a.predict(&test).unwrap(), b.predict(&test).unwrap());
+    assert_eq!(a.info().n_selected, b.info().n_selected);
+}
+
+#[test]
+fn csv_roundtrip_preserves_pipeline_behaviour() {
+    use dfpc::data::schema::AttributeKind;
+    use dfpc::data::Value;
+    let data = profile_by_name("labor").unwrap().generate();
+    let mut buf = Vec::new();
+    write_dataset(&data, &mut buf).unwrap();
+    let reloaded = read_dataset(buf.as_slice()).unwrap();
+    assert_eq!(reloaded.len(), data.len());
+    // Class ids are rebuilt in first-appearance order; names must match.
+    for (a, b) in data.labels.iter().zip(&reloaded.labels) {
+        assert_eq!(
+            data.schema.class_names[a.index()],
+            reloaded.schema.class_names[b.index()]
+        );
+    }
+
+    // Cell-level semantic equality. The CSV reader rebuilds categorical
+    // dictionaries in first-appearance order (and drops levels absent from
+    // the data), so indices may shift — compare value *names* and numbers.
+    let name_of = |d: &dfpc::data::Dataset, a: usize, v: u32| -> String {
+        match &d.schema.attributes[a].kind {
+            AttributeKind::Categorical { values } => values[v as usize].clone(),
+            AttributeKind::Numeric => unreachable!(),
+        }
+    };
+    for (r, (row_a, row_b)) in data.rows.iter().zip(&reloaded.rows).enumerate() {
+        for a in 0..data.schema.n_attributes() {
+            match (&row_a[a], &row_b[a]) {
+                (Value::Missing, Value::Missing) => {}
+                (Value::Num(x), Value::Num(y)) => {
+                    assert_eq!(x, y, "row {r} attr {a}: float not round-tripped")
+                }
+                (Value::Cat(x), Value::Cat(y)) => assert_eq!(
+                    name_of(&data, a, *x),
+                    name_of(&reloaded, a, *y),
+                    "row {r} attr {a}"
+                ),
+                (orig, got) => panic!("row {r} attr {a}: {orig:?} became {got:?}"),
+            }
+        }
+    }
+
+    // And the pipeline behaves equivalently on semantically-equal data.
+    let m1 = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs()).unwrap();
+    let m2 = PatternClassifier::fit(&reloaded, &FrameworkConfig::pat_fs()).unwrap();
+    assert_eq!(m1.info().n_patterns_mined, m2.info().n_patterns_mined);
+    assert!((m1.accuracy(&data) - m2.accuracy(&reloaded)).abs() < 1e-9);
+}
+
+#[test]
+fn min_sup_strategy_equivalence_in_pipeline() {
+    // InfoGainThreshold resolves to an absolute support; running with that
+    // absolute support explicitly must give the identical model structure.
+    let data = profile_by_name("labor").unwrap().generate();
+    let cfg_ig =
+        FrameworkConfig::pat_fs().with_min_sup(MinSupStrategy::InfoGainThreshold(0.1));
+    let m_ig = PatternClassifier::fit(&data, &cfg_ig).unwrap();
+    let resolved = m_ig.info().min_sup_abs.unwrap();
+    let cfg_abs = FrameworkConfig::pat_fs().with_min_sup(MinSupStrategy::Absolute(resolved));
+    let m_abs = PatternClassifier::fit(&data, &cfg_abs).unwrap();
+    assert_eq!(m_ig.info().n_patterns_mined, m_abs.info().n_patterns_mined);
+    assert_eq!(m_ig.info().n_selected, m_abs.info().n_selected);
+}
+
+#[test]
+fn framework_beats_or_matches_harmony_on_pattern_heavy_data() {
+    // §5's comparison direction: the framework should not lose to the
+    // rule-based baseline on data where patterns carry the signal.
+    let data = pattern_heavy_dataset();
+    let fold = stratified_holdout(&data.labels, 0.3, 9);
+    let train = data.subset(&fold.train);
+    let test = data.subset(&fold.test);
+
+    let framework = PatternClassifier::fit(
+        &train,
+        &FrameworkConfig::pat_fs().with_min_sup(MinSupStrategy::Relative(0.08)),
+    )
+    .unwrap();
+    let f_acc = framework.accuracy(&test);
+
+    let (train_ts, _) = train.to_transactions();
+    let (test_ts, _) = test.to_transactions();
+    let harmony = HarmonyClassifier::fit(
+        &train_ts,
+        &HarmonyParams {
+            mining: MiningConfig::with_min_sup(0.08),
+            ..HarmonyParams::default()
+        },
+    )
+    .unwrap();
+    let h_acc = harmony.accuracy(&test_ts);
+
+    assert!(
+        f_acc >= h_acc - 0.05,
+        "framework {f_acc:.4} should be competitive with HARMONY {h_acc:.4}"
+    );
+}
+
+#[test]
+fn coverage_parameter_controls_feature_count() {
+    let data = pattern_heavy_dataset();
+    let low = PatternClassifier::fit(
+        &data,
+        &FrameworkConfig::pat_fs()
+            .with_min_sup(MinSupStrategy::Relative(0.08))
+            .with_coverage(1),
+    )
+    .unwrap();
+    let high = PatternClassifier::fit(
+        &data,
+        &FrameworkConfig::pat_fs()
+            .with_min_sup(MinSupStrategy::Relative(0.08))
+            .with_coverage(10),
+    )
+    .unwrap();
+    assert!(
+        high.info().n_selected >= low.info().n_selected,
+        "δ=10 selected {} < δ=1 selected {}",
+        high.info().n_selected,
+        low.info().n_selected
+    );
+}

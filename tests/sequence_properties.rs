@@ -1,0 +1,113 @@
+//! Property tests for the PrefixSpan sequential-pattern miner (the §6
+//! extension): supports agree with brute-force subsequence counting, and
+//! the classic a-priori monotonicity holds for subsequences.
+
+use dfpc::data::schema::ClassId;
+use dfpc::mining::sequence::{prefixspan, SeqPattern, SequenceDb};
+use dfpc::mining::MineOptions;
+use proptest::prelude::*;
+
+fn random_seq_db() -> impl Strategy<Value = SequenceDb> {
+    let n_symbols = 4usize;
+    prop::collection::vec(
+        (prop::collection::vec(0u32..n_symbols as u32, 0..=6), 0u32..2),
+        1..=10,
+    )
+    .prop_map(move |rows| {
+        let (sequences, labels): (Vec<Vec<u32>>, Vec<ClassId>) = rows
+            .into_iter()
+            .map(|(s, l)| (s, ClassId(l)))
+            .unzip();
+        SequenceDb::new(n_symbols, sequences, labels, 2)
+    })
+}
+
+/// Brute-force enumeration of all subsequence patterns up to `max_len` with
+/// their supports (exponential; test-sized inputs only).
+fn brute_force(db: &SequenceDb, min_sup: usize, max_len: usize) -> Vec<SeqPattern> {
+    let mut out = Vec::new();
+    let mut prefix: Vec<u32> = Vec::new();
+    fn rec(
+        db: &SequenceDb,
+        min_sup: usize,
+        max_len: usize,
+        prefix: &mut Vec<u32>,
+        out: &mut Vec<SeqPattern>,
+    ) {
+        if prefix.len() >= max_len {
+            return;
+        }
+        for s in 0..db.n_symbols as u32 {
+            prefix.push(s);
+            let support = db.support(prefix);
+            if support >= min_sup {
+                let mut class_supports = vec![0u32; db.n_classes];
+                for (seq, l) in db.sequences.iter().zip(&db.labels) {
+                    if SequenceDb::is_subsequence(prefix, seq) {
+                        class_supports[l.index()] += 1;
+                    }
+                }
+                out.push(SeqPattern {
+                    symbols: prefix.clone(),
+                    support: support as u32,
+                    class_supports,
+                });
+                rec(db, min_sup, max_len, prefix, out);
+            }
+            prefix.pop();
+        }
+    }
+    rec(db, min_sup, max_len, &mut prefix, &mut out);
+    out.sort_by(|a, b| a.symbols.cmp(&b.symbols));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prefixspan_equals_brute_force(db in random_seq_db(), min_sup in 1usize..4) {
+        let mut got = prefixspan(&db, min_sup, &MineOptions::default().with_max_len(4)).unwrap();
+        got.sort_by(|a, b| a.symbols.cmp(&b.symbols));
+        let want = brute_force(&db, min_sup, 4);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn subsequence_support_is_antimonotone(db in random_seq_db()) {
+        // every extension of a pattern has support ≤ the pattern's
+        let patterns = prefixspan(&db, 1, &MineOptions::default().with_max_len(3)).unwrap();
+        use std::collections::HashMap;
+        let by_symbols: HashMap<&[u32], u32> =
+            patterns.iter().map(|p| (p.symbols.as_slice(), p.support)).collect();
+        for p in &patterns {
+            if p.symbols.len() >= 2 {
+                let parent = &p.symbols[..p.symbols.len() - 1];
+                let parent_support = by_symbols.get(parent).copied().unwrap_or(0);
+                prop_assert!(p.support <= parent_support,
+                    "{:?} support {} > parent {}", p.symbols, p.support, parent_support);
+            }
+        }
+    }
+
+    #[test]
+    fn class_supports_partition_support(db in random_seq_db(), min_sup in 1usize..3) {
+        for p in prefixspan(&db, min_sup, &MineOptions::default().with_max_len(3)).unwrap() {
+            prop_assert_eq!(p.class_supports.iter().sum::<u32>(), p.support);
+        }
+    }
+
+    #[test]
+    fn transform_consistent_with_subsequence_test(db in random_seq_db()) {
+        let patterns = prefixspan(&db, 1, &MineOptions::default().with_max_len(2)).unwrap();
+        let m = db.transform(&patterns);
+        for (t, seq) in db.sequences.iter().enumerate() {
+            for (k, p) in patterns.iter().enumerate() {
+                prop_assert_eq!(
+                    m.get(t, k as u32),
+                    SequenceDb::is_subsequence(&p.symbols, seq)
+                );
+            }
+        }
+    }
+}
