@@ -64,10 +64,7 @@ impl CbaClassifier {
             }
             let mut correct = false;
             for t in 0..n {
-                if !covered[t]
-                    && rule.covers(ts.transaction(t))
-                    && ts.label(t) == rule.class
-                {
+                if !covered[t] && rule.covers(ts.transaction(t)) && ts.label(t) == rule.class {
                     correct = true;
                     break;
                 }
@@ -227,13 +224,7 @@ mod tests {
 
     #[test]
     fn precedence_puts_confident_rule_first() {
-        let ts = db(&[
-            (&[0, 1], 0),
-            (&[0, 1], 0),
-            (&[0], 1),
-            (&[1], 1),
-            (&[2], 1),
-        ]);
+        let ts = db(&[(&[0, 1], 0), (&[0, 1], 0), (&[0], 1), (&[1], 1), (&[2], 1)]);
         let cba = CbaClassifier::fit(
             &ts,
             &CbaParams {

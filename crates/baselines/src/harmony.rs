@@ -57,7 +57,11 @@ impl HarmonyClassifier {
     /// Instance-centric selection from pre-generated candidate rules: every
     /// training instance keeps its `k_per_instance` best covering rules
     /// predicting its own label.
-    pub fn from_rules(ts: &TransactionSet, mut candidates: Vec<Rule>, params: &HarmonyParams) -> Self {
+    pub fn from_rules(
+        ts: &TransactionSet,
+        mut candidates: Vec<Rule>,
+        params: &HarmonyParams,
+    ) -> Self {
         candidates.sort_by(precedence);
         let mut keep = vec![false; candidates.len()];
         for t in 0..ts.len() {

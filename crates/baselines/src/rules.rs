@@ -46,9 +46,9 @@ impl Rule {
         let cover = self.cover as f64;
         let class_total = class_counts[self.class.index()] as f64;
         let observed = [
-            self.class_support as f64,                      // cover & class
-            cover - self.class_support as f64,              // cover & ¬class
-            class_total - self.class_support as f64,        // ¬cover & class
+            self.class_support as f64,                             // cover & class
+            cover - self.class_support as f64,                     // cover & ¬class
+            class_total - self.class_support as f64,               // ¬cover & class
             n_f - cover - class_total + self.class_support as f64, // neither
         ];
         let expected = [

@@ -79,8 +79,8 @@ pub fn run_figure1() {
                 "(combined max did not exceed singles on this profile)"
             }
         );
-        let path = write_raw_csv(&format!("figure1_{name}"), "length,info_gain", &scatter)
-            .expect("csv");
+        let path =
+            write_raw_csv(&format!("figure1_{name}"), "length,info_gain", &scatter).expect("csv");
         println!("scatter written to {}\n", path.display());
     }
 }

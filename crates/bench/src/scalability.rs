@@ -52,7 +52,11 @@ fn mine_and_select(
     let t0 = Instant::now();
     let candidates = mine_features(ts, &mining_cfg(rel))?;
     let selected = mmrfs(ts, &candidates, &selection_cfg());
-    Ok((candidates.len(), selected.selected.len(), t0.elapsed().as_secs_f64()))
+    Ok((
+        candidates.len(),
+        selected.selected.len(),
+        t0.elapsed().as_secs_f64(),
+    ))
 }
 
 /// Holdout accuracies (SVM, C4.5) of the Pat_FS feature space built at an
@@ -96,7 +100,11 @@ pub fn run_scalability(profile_name: &str, min_sups: &[usize], csv_name: &str, t
         "C4.5 (%)",
     ]);
     let min_sups: Vec<usize> = if crate::fast_mode() {
-        min_sups.iter().copied().skip(min_sups.len().saturating_sub(2)).collect()
+        min_sups
+            .iter()
+            .copied()
+            .skip(min_sups.len().saturating_sub(2))
+            .collect()
     } else {
         min_sups.to_vec()
     };
@@ -124,8 +132,7 @@ pub fn run_scalability(profile_name: &str, min_sups: &[usize], csv_name: &str, t
             };
             table.row(row);
         } else {
-            let (n_patterns, n_selected, secs) =
-                mine_and_select(&ts, min_sup).expect("mining");
+            let (n_patterns, n_selected, secs) = mine_and_select(&ts, min_sup).expect("mining");
             let (svm, c45) = holdout_accuracy(&ts, min_sup).expect("accuracy");
             table.row(vec![
                 min_sup.to_string(),

@@ -45,8 +45,7 @@ fn svm_variants(p: &UciProfile) -> Vec<(&'static str, FrameworkConfig)> {
 }
 
 fn pat_fs_cfg(p: &UciProfile) -> FrameworkConfig {
-    let mut c = FrameworkConfig::pat_fs()
-        .with_min_sup(MinSupStrategy::Relative(p.default_min_sup));
+    let mut c = FrameworkConfig::pat_fs().with_min_sup(MinSupStrategy::Relative(p.default_min_sup));
     if let dfp_core::FeatureMode::Patterns { selection, .. } = &mut c.features {
         *selection = dfp_core::SelectionStrategy::Mmrfs(mmrfs_cfg());
     }
@@ -74,10 +73,7 @@ fn run_accuracy_table(
     } else {
         profiles
     };
-    let names: Vec<&str> = variants_of(&profiles[0])
-        .iter()
-        .map(|(n, _)| *n)
-        .collect();
+    let names: Vec<&str> = variants_of(&profiles[0]).iter().map(|(n, _)| *n).collect();
     println!("== {title} ({folds}-fold cross validation) ==\n");
     let mut header = vec!["dataset".to_string()];
     header.extend(names.iter().map(|s| s.to_string()));
@@ -94,10 +90,7 @@ fn run_accuracy_table(
             accs.push(cv.mean());
             cells.push(pct(cv.mean()));
         }
-        let best = accs
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let best = accs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         for (i, &a) in accs.iter().enumerate() {
             if (a - best).abs() < 1e-9 {
                 wins[i] += 1;
@@ -109,7 +102,10 @@ fn run_accuracy_table(
     println!();
     table.print();
     let path = table.write_csv(csv_name).expect("csv");
-    println!("\nwins per variant (ties counted): {:?}", names.iter().zip(&wins).collect::<Vec<_>>());
+    println!(
+        "\nwins per variant (ties counted): {:?}",
+        names.iter().zip(&wins).collect::<Vec<_>>()
+    );
     println!("csv written to {}\n", path.display());
 }
 
@@ -149,8 +145,7 @@ pub fn run_harmony_comparison() {
         let test = data.subset(&fold.test);
         let rel = abs_sup as f64 / data.len() as f64;
 
-        let mut cfg =
-            FrameworkConfig::pat_fs().with_min_sup(MinSupStrategy::Relative(rel));
+        let mut cfg = FrameworkConfig::pat_fs().with_min_sup(MinSupStrategy::Relative(rel));
         if let dfp_core::FeatureMode::Patterns { selection, .. } = &mut cfg.features {
             *selection = dfp_core::SelectionStrategy::Mmrfs(MmrfsConfig {
                 max_candidates: Some(10_000),

@@ -47,12 +47,7 @@ impl CvResult {
 ///
 /// `fit` is called once per fold on the training part; the returned model is
 /// scored on the held-out part.
-pub fn cross_validate<M, F>(
-    data: &SparseBinaryMatrix,
-    k: usize,
-    seed: u64,
-    mut fit: F,
-) -> CvResult
+pub fn cross_validate<M, F>(data: &SparseBinaryMatrix, k: usize, seed: u64, mut fit: F) -> CvResult
 where
     M: Classifier,
     F: FnMut(&SparseBinaryMatrix) -> M,
@@ -175,6 +170,12 @@ mod tests {
         };
         assert!((r.mean() - 0.9).abs() < 1e-12);
         assert!((r.std_dev() - 0.1).abs() < 1e-12);
-        assert_eq!(CvResult { fold_accuracies: vec![] }.mean(), 0.0);
+        assert_eq!(
+            CvResult {
+                fold_accuracies: vec![]
+            }
+            .mean(),
+            0.0
+        );
     }
 }

@@ -31,6 +31,49 @@ impl Knn {
             k: k.min(data.rows.len()),
         }
     }
+
+    /// The stored training rows, for serialization.
+    pub fn rows(&self) -> &[Vec<u32>] {
+        &self.rows
+    }
+
+    /// The stored training labels, for serialization.
+    pub fn labels(&self) -> &[ClassId] {
+        &self.labels
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The neighbourhood size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Reconstructs a model from serialized state. `k` is clamped to the
+    /// number of rows, matching [`Self::fit`].
+    ///
+    /// # Panics
+    /// Panics on empty rows, `k == 0`, or a labels/rows length mismatch.
+    pub fn from_parts(
+        rows: Vec<Vec<u32>>,
+        labels: Vec<ClassId>,
+        n_classes: usize,
+        k: usize,
+    ) -> Self {
+        assert!(!rows.is_empty(), "need at least one training row");
+        assert!(k >= 1, "k must be at least 1");
+        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+        let k = k.min(rows.len());
+        Knn {
+            rows,
+            labels,
+            n_classes,
+            k,
+        }
+    }
 }
 
 impl Classifier for Knn {
@@ -95,12 +138,7 @@ mod tests {
 
     #[test]
     fn nearest_by_hamming() {
-        let m = matrix(
-            vec![vec![0, 1, 2], vec![5, 6, 7]],
-            vec![0, 1],
-            8,
-            2,
-        );
+        let m = matrix(vec![vec![0, 1, 2], vec![5, 6, 7]], vec![0, 1], 8, 2);
         let knn = Knn::fit(&m, 1);
         assert_eq!(knn.predict(&[0, 1, 5]), ClassId(0));
         assert_eq!(knn.predict(&[5, 6]), ClassId(1));

@@ -41,7 +41,15 @@ pub trait Classifier {
 
     /// Predicts every row of a matrix.
     fn predict_all(&self, data: &SparseBinaryMatrix) -> Vec<ClassId> {
-        data.rows.iter().map(|r| self.predict(r)).collect()
+        self.predict_batch(&data.rows)
+    }
+
+    /// Predicts a batch of raw rows (each a sorted active-feature-id list).
+    /// The default loops over [`Classifier::predict`]; models with a cheaper
+    /// amortised path may override it. Batch scoring (`dfpc-score`, the
+    /// `/predict` endpoint) funnels through here.
+    fn predict_batch(&self, rows: &[Vec<u32>]) -> Vec<ClassId> {
+        rows.iter().map(|r| self.predict(r)).collect()
     }
 
     /// Accuracy on a labelled matrix.

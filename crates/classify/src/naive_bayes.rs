@@ -71,6 +71,47 @@ impl BernoulliNb {
         }
     }
 
+    /// Per-class `log P(c)` — the complete prior state, for serialization.
+    pub fn log_priors(&self) -> &[f64] {
+        &self.log_prior
+    }
+
+    /// Per-class × feature `log P(x_f = 1 | c)`, for serialization.
+    pub fn log_present(&self) -> &[Vec<f64>] {
+        &self.log_p
+    }
+
+    /// Per-class × feature `log P(x_f = 0 | c)`, for serialization.
+    pub fn log_absent(&self) -> &[Vec<f64>] {
+        &self.log_q
+    }
+
+    /// Reconstructs a model from serialized state (the cached per-class base
+    /// scores are recomputed from `log_q`).
+    ///
+    /// # Panics
+    /// Panics if the class/feature dimensions of the three tables disagree.
+    pub fn from_parts(log_prior: Vec<f64>, log_p: Vec<Vec<f64>>, log_q: Vec<Vec<f64>>) -> Self {
+        let n_classes = log_prior.len();
+        assert!(n_classes > 0, "need at least one class");
+        assert_eq!(log_p.len(), n_classes, "log_p class dimension mismatch");
+        assert_eq!(log_q.len(), n_classes, "log_q class dimension mismatch");
+        for c in 0..n_classes {
+            assert_eq!(
+                log_p[c].len(),
+                log_q[c].len(),
+                "class {c} feature dimension mismatch"
+            );
+        }
+        let base = log_q.iter().map(|lq| lq.iter().sum()).collect();
+        BernoulliNb {
+            log_prior,
+            log_p,
+            log_q,
+            base,
+        }
+    }
+
     /// Log joint score `log P(c) + Σ_f log P(x_f | c)`.
     pub fn log_score(&self, row: &[u32], c: usize) -> f64 {
         let mut s = self.log_prior[c] + self.base[c];

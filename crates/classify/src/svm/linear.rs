@@ -8,7 +8,7 @@
 //! `G_i = y_i wᵀx_i − 1` and the primal vector `w = Σ α_i y_i x_i`
 //! maintained incrementally — O(nnz) per step.
 
-use crate::{Classifier, sparse_dot};
+use crate::{sparse_dot, Classifier};
 use dfp_data::features::SparseBinaryMatrix;
 use dfp_data::schema::ClassId;
 use rand::rngs::StdRng;
@@ -110,6 +110,32 @@ impl LinearSvm {
     pub fn n_features(&self) -> usize {
         self.n_features
     }
+
+    /// The full per-class augmented weight vectors (bias last) — the
+    /// complete trained state, for model serialization.
+    pub fn weight_vectors(&self) -> &[Vec<f64>] {
+        &self.weights
+    }
+
+    /// Reconstructs a model from serialized state: one augmented weight
+    /// vector (`n_features + 1` entries, bias last) per class.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or any vector has the wrong length.
+    pub fn from_parts(weights: Vec<Vec<f64>>, n_features: usize) -> Self {
+        assert!(!weights.is_empty(), "need at least one class weight vector");
+        for (c, w) in weights.iter().enumerate() {
+            assert_eq!(
+                w.len(),
+                n_features + 1,
+                "class {c} weight vector has wrong length"
+            );
+        }
+        LinearSvm {
+            weights,
+            n_features,
+        }
+    }
 }
 
 impl Classifier for LinearSvm {
@@ -203,7 +229,12 @@ pub fn dual_objective(rows: &[Vec<u32>], y: &[f64], alpha: &[f64]) -> f64 {
 mod tests {
     use super::*;
 
-    fn matrix(rows: Vec<Vec<u32>>, labels: Vec<u32>, n_features: usize, n_classes: usize) -> SparseBinaryMatrix {
+    fn matrix(
+        rows: Vec<Vec<u32>>,
+        labels: Vec<u32>,
+        n_features: usize,
+        n_classes: usize,
+    ) -> SparseBinaryMatrix {
         SparseBinaryMatrix::new(
             n_features,
             rows,
@@ -243,12 +274,7 @@ mod tests {
     #[test]
     fn majority_on_uninformative_features() {
         // All rows identical; labels skewed 3:1 → must predict majority.
-        let m = matrix(
-            vec![vec![0]; 4],
-            vec![0, 0, 0, 1],
-            1,
-            2,
-        );
+        let m = matrix(vec![vec![0]; 4], vec![0, 0, 0, 1], 1, 2);
         let svm = LinearSvm::fit(&m, &LinearSvmParams::default());
         assert_eq!(svm.predict(&[0]), ClassId(0));
     }
@@ -256,7 +282,14 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let m = matrix(
-            vec![vec![0, 1], vec![0], vec![1], vec![2], vec![1, 2], vec![2, 3]],
+            vec![
+                vec![0, 1],
+                vec![0],
+                vec![1],
+                vec![2],
+                vec![1, 2],
+                vec![2, 3],
+            ],
             vec![0, 0, 0, 1, 1, 1],
             4,
             2,

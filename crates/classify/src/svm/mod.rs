@@ -9,4 +9,4 @@ mod smo;
 
 pub use kernel::Kernel;
 pub use linear::{dual_objective, LinearSvm, LinearSvmParams};
-pub use smo::{KernelSvm, KernelSvmParams};
+pub use smo::{BinaryModel, KernelSvm, KernelSvmParams};

@@ -46,11 +46,15 @@ impl KernelSvmParams {
 }
 
 /// One trained binary sub-problem: support vectors with coefficients.
-#[derive(Debug, Clone)]
-struct BinaryModel {
-    sv_rows: Vec<Vec<u32>>,
-    sv_coef: Vec<f64>, // α_i y_i
-    b: f64,
+/// Fields are public so the model can be serialized and reconstructed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinaryModel {
+    /// Support-vector rows (sorted active feature ids).
+    pub sv_rows: Vec<Vec<u32>>,
+    /// Per-support-vector coefficient `α_i y_i`.
+    pub sv_coef: Vec<f64>,
+    /// Bias term.
+    pub b: f64,
 }
 
 impl BinaryModel {
@@ -102,6 +106,34 @@ impl KernelSvm {
     pub fn n_support_vectors(&self) -> usize {
         self.models.iter().map(|m| m.sv_rows.len()).sum()
     }
+
+    /// The kernel the model was trained with.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// The per-class binary sub-models — the complete trained state, for
+    /// model serialization.
+    pub fn binary_models(&self) -> &[BinaryModel] {
+        &self.models
+    }
+
+    /// Reconstructs a model from serialized state.
+    ///
+    /// # Panics
+    /// Panics if `models` is empty or any sub-model has mismatched
+    /// rows/coefficients lengths.
+    pub fn from_parts(kernel: Kernel, models: Vec<BinaryModel>) -> Self {
+        assert!(!models.is_empty(), "need at least one binary sub-model");
+        for (c, m) in models.iter().enumerate() {
+            assert_eq!(
+                m.sv_rows.len(),
+                m.sv_coef.len(),
+                "class {c}: support vectors and coefficients differ in length"
+            );
+        }
+        KernelSvm { models, kernel }
+    }
 }
 
 impl Classifier for KernelSvm {
@@ -135,12 +167,7 @@ impl RowCache {
         }
     }
 
-    fn get<'a>(
-        &'a mut self,
-        i: usize,
-        data: &[Vec<u32>],
-        kernel: &Kernel,
-    ) -> &'a [f64] {
+    fn get<'a>(&'a mut self, i: usize, data: &[Vec<u32>], kernel: &Kernel) -> &'a [f64] {
         if self.rows[i].is_none() {
             if self.order.len() >= self.cap {
                 if let Some(evict) = self.order.pop_front() {
@@ -283,14 +310,23 @@ fn smo_binary(rows: &[Vec<u32>], y: &[f64], params: &KernelSvmParams) -> BinaryM
             sv_coef.push(alpha[t] * y[t]);
         }
     }
-    BinaryModel { sv_rows, sv_coef, b }
+    BinaryModel {
+        sv_rows,
+        sv_coef,
+        b,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn matrix(rows: Vec<Vec<u32>>, labels: Vec<u32>, n_features: usize, n_classes: usize) -> SparseBinaryMatrix {
+    fn matrix(
+        rows: Vec<Vec<u32>>,
+        labels: Vec<u32>,
+        n_features: usize,
+        n_classes: usize,
+    ) -> SparseBinaryMatrix {
         SparseBinaryMatrix::new(
             n_features,
             rows,
@@ -324,17 +360,13 @@ mod tests {
         // marker features is present — not linearly separable in B².
         // Rows encode (a, b) as: a present → feature 0, b present → feature 1.
         let rows = [
-            vec![],        // (0,0) → class 0
-            vec![0, 1],    // (1,1) → class 0
-            vec![0],       // (1,0) → class 1
-            vec![1],       // (0,1) → class 1
+            vec![],     // (0,0) → class 0
+            vec![0, 1], // (1,1) → class 0
+            vec![0],    // (1,0) → class 1
+            vec![1],    // (0,1) → class 1
         ];
         let m = matrix(
-            rows.iter()
-                .cycle()
-                .take(16)
-                .cloned()
-                .collect(),
+            rows.iter().cycle().take(16).cloned().collect(),
             (0..16).map(|i| [0u32, 0, 1, 1][i % 4]).collect(),
             2,
             2,
@@ -373,9 +405,15 @@ mod tests {
     fn multiclass_rbf() {
         let m = matrix(
             vec![
-                vec![0], vec![0], vec![0],
-                vec![1], vec![1], vec![1],
-                vec![2], vec![2], vec![2],
+                vec![0],
+                vec![0],
+                vec![0],
+                vec![1],
+                vec![1],
+                vec![1],
+                vec![2],
+                vec![2],
+                vec![2],
             ],
             vec![0, 0, 0, 1, 1, 1, 2, 2, 2],
             3,
@@ -389,7 +427,14 @@ mod tests {
     fn agrees_with_linear_cd_on_separable_data() {
         use super::super::{LinearSvm, LinearSvmParams};
         let m = matrix(
-            vec![vec![0, 2], vec![0], vec![0, 3], vec![1, 2], vec![1], vec![1, 3]],
+            vec![
+                vec![0, 2],
+                vec![0],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1],
+                vec![1, 3],
+            ],
             vec![0, 0, 0, 1, 1, 1],
             4,
             2,

@@ -61,6 +61,31 @@ pub struct C45 {
     n_classes: usize,
 }
 
+/// One node of a flattened tree (pre-order array encoding of the trained
+/// structure, for model serialization). Child references are indices into
+/// the flat node vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlatNode {
+    /// A leaf predicting `class`, with its training class distribution.
+    Leaf {
+        /// Predicted class.
+        class: ClassId,
+        /// Class distribution at the leaf.
+        counts: Vec<u32>,
+    },
+    /// An internal two-way split on a binary feature.
+    Split {
+        /// Feature id tested by the split.
+        feature: u32,
+        /// Index of the child taken when the feature is present.
+        present: usize,
+        /// Index of the child taken when the feature is absent.
+        absent: usize,
+        /// Class distribution at the split.
+        counts: Vec<u32>,
+    },
+}
+
 impl C45 {
     /// Trains a tree on a labelled sparse binary matrix.
     ///
@@ -85,7 +110,9 @@ impl C45 {
         fn walk(n: &Node) -> usize {
             match n {
                 Node::Leaf { .. } => 1,
-                Node::Split { present, absent, .. } => walk(present) + walk(absent),
+                Node::Split {
+                    present, absent, ..
+                } => walk(present) + walk(absent),
             }
         }
         walk(&self.root)
@@ -96,7 +123,9 @@ impl C45 {
         fn walk(n: &Node) -> usize {
             match n {
                 Node::Leaf { .. } => 0,
-                Node::Split { present, absent, .. } => 1 + walk(present).max(walk(absent)),
+                Node::Split {
+                    present, absent, ..
+                } => 1 + walk(present).max(walk(absent)),
             }
         }
         walk(&self.root)
@@ -105,6 +134,95 @@ impl C45 {
     /// Number of classes the tree was trained with.
     pub fn n_classes(&self) -> usize {
         self.n_classes
+    }
+
+    /// Flattens the tree into a pre-order node array (root at index 0) —
+    /// the complete trained state, for model serialization.
+    pub fn flatten(&self) -> Vec<FlatNode> {
+        fn walk(node: &Node, out: &mut Vec<FlatNode>) -> usize {
+            match node {
+                Node::Leaf { class, counts } => {
+                    out.push(FlatNode::Leaf {
+                        class: *class,
+                        counts: counts.clone(),
+                    });
+                    out.len() - 1
+                }
+                Node::Split {
+                    feature,
+                    present,
+                    absent,
+                    counts,
+                } => {
+                    let at = out.len();
+                    // Placeholder; child indices are patched after recursion.
+                    out.push(FlatNode::Split {
+                        feature: *feature,
+                        present: 0,
+                        absent: 0,
+                        counts: counts.clone(),
+                    });
+                    let p = walk(present, out);
+                    let a = walk(absent, out);
+                    if let FlatNode::Split {
+                        present, absent, ..
+                    } = &mut out[at]
+                    {
+                        *present = p;
+                        *absent = a;
+                    }
+                    at
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// Rebuilds a tree from a flattened node array (inverse of
+    /// [`Self::flatten`]). Returns an error message when the encoding is
+    /// malformed: out-of-range child indices, cycles (a child index must be
+    /// greater than its parent's), or an empty array.
+    pub fn from_flat(nodes: &[FlatNode], n_classes: usize) -> Result<Self, String> {
+        fn build(nodes: &[FlatNode], at: usize) -> Result<Node, String> {
+            match &nodes[at] {
+                FlatNode::Leaf { class, counts } => Ok(Node::Leaf {
+                    class: *class,
+                    counts: counts.clone(),
+                }),
+                FlatNode::Split {
+                    feature,
+                    present,
+                    absent,
+                    counts,
+                } => {
+                    for &child in [present, absent] {
+                        if child >= nodes.len() {
+                            return Err(format!("node {at}: child index {child} out of range"));
+                        }
+                        if child <= at {
+                            return Err(format!(
+                                "node {at}: child index {child} not strictly increasing"
+                            ));
+                        }
+                    }
+                    Ok(Node::Split {
+                        feature: *feature,
+                        present: Box::new(build(nodes, *present)?),
+                        absent: Box::new(build(nodes, *absent)?),
+                        counts: counts.clone(),
+                    })
+                }
+            }
+        }
+        if nodes.is_empty() {
+            return Err("empty node array".into());
+        }
+        Ok(C45 {
+            root: build(nodes, 0)?,
+            n_classes,
+        })
     }
 }
 
@@ -166,16 +284,12 @@ fn build(data: &SparseBinaryMatrix, rows: &[usize], params: &C45Params, depth: u
     let counts = class_counts(data, rows);
     let n = rows.len();
     let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
-    if pure
-        || n < 2 * params.min_leaf
-        || params.max_depth.is_some_and(|d| depth >= d)
-    {
+    if pure || n < 2 * params.min_leaf || params.max_depth.is_some_and(|d| depth >= d) {
         return leaf(counts);
     }
 
     // Per-feature class counts among rows where the feature is present.
-    let mut present_counts =
-        vec![0u32; data.n_features * data.n_classes];
+    let mut present_counts = vec![0u32; data.n_features * data.n_classes];
     let mut present_total = vec![0u32; data.n_features];
     for &r in rows {
         let c = data.labels[r].index();
@@ -196,8 +310,7 @@ fn build(data: &SparseBinaryMatrix, rows: &[usize], params: &C45Params, depth: u
         }
         let pc = &present_counts[f * data.n_classes..(f + 1) * data.n_classes];
         let ac: Vec<u32> = counts.iter().zip(pc).map(|(&t, &p)| t - p).collect();
-        let gain =
-            h - (np as f64 / n_f) * entropy(pc) - (na as f64 / n_f) * entropy(&ac);
+        let gain = h - (np as f64 / n_f) * entropy(pc) - (na as f64 / n_f) * entropy(&ac);
         if gain <= 1e-10 {
             continue;
         }
@@ -283,8 +396,7 @@ fn pessimistic_errors(counts: &[u32], z: f64) -> f64 {
     let errors = n - counts.iter().max().copied().unwrap_or(0);
     let f = errors as f64 / n_f;
     let z2 = z * z;
-    let ub = (f + z2 / (2.0 * n_f)
-        + z * (f * (1.0 - f) / n_f + z2 / (4.0 * n_f * n_f)).sqrt())
+    let ub = (f + z2 / (2.0 * n_f) + z * (f * (1.0 - f) / n_f + z2 / (4.0 * n_f * n_f)).sqrt())
         / (1.0 + z2 / n_f);
     n_f * ub
 }
@@ -317,7 +429,12 @@ fn prune(node: &mut Node, z: f64) -> f64 {
 mod tests {
     use super::*;
 
-    fn matrix(rows: Vec<Vec<u32>>, labels: Vec<u32>, n_features: usize, n_classes: usize) -> SparseBinaryMatrix {
+    fn matrix(
+        rows: Vec<Vec<u32>>,
+        labels: Vec<u32>,
+        n_features: usize,
+        n_classes: usize,
+    ) -> SparseBinaryMatrix {
         SparseBinaryMatrix::new(
             n_features,
             rows,
@@ -356,12 +473,7 @@ mod tests {
         // so greedy C4.5 cannot split — exactly the paper's motivation for
         // combined features. Adding the pattern feature {0,1} (feature 2)
         // makes the problem learnable.
-        let base = vec![
-            (vec![], 0u32),
-            (vec![0, 1], 0),
-            (vec![0], 1),
-            (vec![1], 1),
-        ];
+        let base = vec![(vec![], 0u32), (vec![0, 1], 0), (vec![0], 1), (vec![1], 1)];
         let mut rows = Vec::new();
         let mut labels = Vec::new();
         for _ in 0..3 {
@@ -371,8 +483,17 @@ mod tests {
             }
         }
         let without = matrix(rows.clone(), labels.clone(), 2, 2);
-        let t = C45::fit(&without, &C45Params { cf: None, ..C45Params::default() });
-        assert!(t.accuracy(&without) <= 0.5 + 1e-9, "XOR should stump a greedy tree");
+        let t = C45::fit(
+            &without,
+            &C45Params {
+                cf: None,
+                ..C45Params::default()
+            },
+        );
+        assert!(
+            t.accuracy(&without) <= 0.5 + 1e-9,
+            "XOR should stump a greedy tree"
+        );
 
         // Extended space: feature 2 fires iff both 0 and 1 are present.
         let rows_ext: Vec<Vec<u32>> = rows
@@ -386,7 +507,13 @@ mod tests {
             })
             .collect();
         let with = matrix(rows_ext, labels, 3, 2);
-        let t = C45::fit(&with, &C45Params { cf: None, ..C45Params::default() });
+        let t = C45::fit(
+            &with,
+            &C45Params {
+                cf: None,
+                ..C45Params::default()
+            },
+        );
         assert_eq!(t.accuracy(&with), 1.0);
         assert!(t.depth() >= 2);
     }
@@ -395,14 +522,7 @@ mod tests {
     fn gain_ratio_prefers_informative_feature() {
         // Feature 0 perfectly predicts; feature 1 is noise.
         let m = matrix(
-            vec![
-                vec![0, 1],
-                vec![0],
-                vec![0, 1],
-                vec![1],
-                vec![],
-                vec![],
-            ],
+            vec![vec![0, 1], vec![0], vec![0, 1], vec![1], vec![], vec![]],
             vec![0, 0, 0, 1, 1, 1],
             2,
             2,
@@ -468,8 +588,18 @@ mod tests {
     fn multiclass() {
         let m = matrix(
             vec![
-                vec![0], vec![0], vec![1], vec![1], vec![2], vec![2],
-                vec![0], vec![0], vec![1], vec![1], vec![2], vec![2],
+                vec![0],
+                vec![0],
+                vec![1],
+                vec![1],
+                vec![2],
+                vec![2],
+                vec![0],
+                vec![0],
+                vec![1],
+                vec![1],
+                vec![2],
+                vec![2],
             ],
             vec![0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2],
             3,

@@ -2,4 +2,4 @@
 
 mod c45;
 
-pub use c45::{C45Params, C45};
+pub use c45::{C45Params, FlatNode, C45};

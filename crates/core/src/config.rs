@@ -9,8 +9,7 @@ use dfp_mining::{MineOptions, MiningConfig};
 use dfp_select::MmrfsConfig;
 
 /// Which discretizer the pipeline fits on numeric attributes.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum DiscretizerKind {
     /// Supervised Fayyad–Irani MDL (default — what the discretized UCI
     /// datasets referenced by the paper use).
@@ -21,7 +20,6 @@ pub enum DiscretizerKind {
     /// Unsupervised equal-frequency with the given bin count.
     EqualFrequency(usize),
 }
-
 
 /// How pattern features are selected after mining.
 #[derive(Debug, Clone)]

@@ -46,7 +46,9 @@ mod tests {
     fn display_and_conversion() {
         let e: FrameworkError = MiningError::ZeroMinSup.into();
         assert!(e.to_string().contains("mining failed"));
-        assert!(FrameworkError::EmptyTrainingSet.to_string().contains("empty"));
+        assert!(FrameworkError::EmptyTrainingSet
+            .to_string()
+            .contains("empty"));
         use std::error::Error;
         assert!(e.source().is_some());
     }

@@ -23,11 +23,9 @@ mod config;
 mod error;
 mod pipeline;
 
-pub use config::{
-    DiscretizerKind, FeatureMode, FrameworkConfig, ModelKind, SelectionStrategy,
-};
+pub use config::{DiscretizerKind, FeatureMode, FrameworkConfig, ModelKind, SelectionStrategy};
 pub use error::FrameworkError;
 pub use pipeline::{
-    cross_validate_framework, fit_with_model_selection, FitInfo, FrameworkCv,
-    PatternClassifier,
+    cross_validate_framework, fit_with_model_selection, FitInfo, FrameworkCv, PatternClassifier,
+    TrainedModel,
 };

@@ -2,9 +2,7 @@
 //! transform → learn, plus the outer cross-validation harness used by the
 //! experiment binaries.
 
-use crate::config::{
-    DiscretizerKind, FeatureMode, FrameworkConfig, ModelKind, SelectionStrategy,
-};
+use crate::config::{DiscretizerKind, FeatureMode, FrameworkConfig, ModelKind, SelectionStrategy};
 use crate::error::FrameworkError;
 use dfp_classify::knn::Knn;
 use dfp_classify::naive_bayes::BernoulliNb;
@@ -12,11 +10,9 @@ use dfp_classify::svm::{KernelSvm, LinearSvm};
 use dfp_classify::tree::C45;
 use dfp_classify::Classifier;
 use dfp_data::dataset::Dataset;
-use dfp_data::discretize::{
-    DiscretizationModel, EqualFrequency, EqualWidth, MdlDiscretizer,
-};
+use dfp_data::discretize::{DiscretizationModel, EqualFrequency, EqualWidth, MdlDiscretizer};
 use dfp_data::features::SparseBinaryMatrix;
-use dfp_data::schema::ClassId;
+use dfp_data::schema::{ClassId, Schema};
 use dfp_data::split::stratified_k_fold;
 use dfp_data::transactions::{ItemMap, TransactionSet};
 use dfp_mining::count::attach_class_supports;
@@ -24,13 +20,19 @@ use dfp_mining::{mine_features, MinedPattern, RawPattern};
 use dfp_select::baseline::top_k_by_relevance;
 use dfp_select::{mmrfs, FeatureSpace};
 
-/// The trained model behind a [`PatternClassifier`].
+/// The trained model behind a [`PatternClassifier`] — one variant per
+/// [`ModelKind`]. Public so model serialization can reach the fitted state.
 #[derive(Debug, Clone)]
-enum TrainedModel {
+pub enum TrainedModel {
+    /// Linear SVM (one-vs-rest).
     Linear(LinearSvm),
+    /// Kernel SVM (one-vs-one SMO).
     Kernel(KernelSvm),
+    /// C4.5 decision tree.
     Tree(C45),
+    /// Bernoulli naive Bayes.
     Nb(BernoulliNb),
+    /// k-nearest neighbours.
     Knn(Knn),
 }
 
@@ -69,6 +71,9 @@ pub struct PatternClassifier {
     feature_space: FeatureSpace,
     discretization: Option<DiscretizationModel>,
     item_map: Option<ItemMap>,
+    /// The raw training schema (before discretization), kept so a saved
+    /// model can parse and predict new rows without the training data.
+    schema: Option<Schema>,
     info: FitInfo,
 }
 
@@ -82,9 +87,7 @@ impl PatternClassifier {
             let (d, m) = match cfg.discretizer {
                 DiscretizerKind::Mdl => train.discretize(&MdlDiscretizer::new()),
                 DiscretizerKind::EqualWidth(b) => train.discretize(&EqualWidth::new(b)),
-                DiscretizerKind::EqualFrequency(b) => {
-                    train.discretize(&EqualFrequency::new(b))
-                }
+                DiscretizerKind::EqualFrequency(b) => train.discretize(&EqualFrequency::new(b)),
             };
             (d, Some(m))
         } else {
@@ -94,6 +97,7 @@ impl PatternClassifier {
         let mut fitted = Self::fit_transactions(&ts, cfg)?;
         fitted.discretization = discretization;
         fitted.item_map = Some(map);
+        fitted.schema = Some(train.schema.clone());
         Ok(fitted)
     }
 
@@ -170,8 +174,51 @@ impl PatternClassifier {
             feature_space,
             discretization: None,
             item_map: None,
+            schema: None,
             info,
         })
+    }
+
+    /// Reassembles a classifier from its parts (the inverse of what the
+    /// serialization layer decomposes a saved model into).
+    pub fn from_parts(
+        model: TrainedModel,
+        feature_space: FeatureSpace,
+        discretization: Option<DiscretizationModel>,
+        item_map: Option<ItemMap>,
+        schema: Option<Schema>,
+        info: FitInfo,
+    ) -> Self {
+        PatternClassifier {
+            model,
+            feature_space,
+            discretization,
+            item_map,
+            schema,
+            info,
+        }
+    }
+
+    /// The trained model variant.
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// The fitted discretization, if the training data was numeric.
+    pub fn discretization(&self) -> Option<&DiscretizationModel> {
+        self.discretization.as_ref()
+    }
+
+    /// The `(attribute, value) ↔ item` map, if fitted from a raw dataset.
+    pub fn item_map(&self) -> Option<&ItemMap> {
+        self.item_map.as_ref()
+    }
+
+    /// The raw training schema, if fitted from a raw dataset. This is what a
+    /// serving layer needs to parse incoming CSV rows into [`Dataset`]s
+    /// compatible with [`Self::predict`].
+    pub fn schema(&self) -> Option<&Schema> {
+        self.schema.as_ref()
     }
 
     /// Fit diagnostics.
@@ -479,16 +526,14 @@ mod tests {
         use dfp_classify::svm::LinearSvmParams;
         let data = confusable();
         // A crippled tree (depth 0 → majority stump) vs a real SVM.
-        let stump = FrameworkConfig::item_all().with_model(ModelKind::C45(
-            dfp_classify::tree::C45Params {
+        let stump =
+            FrameworkConfig::item_all().with_model(ModelKind::C45(dfp_classify::tree::C45Params {
                 max_depth: Some(0),
                 ..dfp_classify::tree::C45Params::default()
-            },
-        ));
-        let svm = FrameworkConfig::pat_fs()
-            .with_model(ModelKind::LinearSvm(LinearSvmParams::default()));
-        let (model, winner) =
-            fit_with_model_selection(&data, &[stump, svm], 3, 5).unwrap();
+            }));
+        let svm =
+            FrameworkConfig::pat_fs().with_model(ModelKind::LinearSvm(LinearSvmParams::default()));
+        let (model, winner) = fit_with_model_selection(&data, &[stump, svm], 3, 5).unwrap();
         assert_eq!(winner, 1);
         assert!(model.accuracy(&data) > 0.9);
     }

@@ -190,7 +190,9 @@ fn parse_cell(attr: &RawAttr, cell: &str) -> Result<Value, ArffError> {
 
 fn unquote(s: &str) -> String {
     let s = s.trim();
-    if s.len() >= 2 && ((s.starts_with('\'') && s.ends_with('\'')) || (s.starts_with('"') && s.ends_with('"'))) {
+    if s.len() >= 2
+        && ((s.starts_with('\'') && s.ends_with('\'')) || (s.starts_with('"') && s.ends_with('"')))
+    {
         s[1..s.len() - 1].to_string()
     } else {
         s.to_string()

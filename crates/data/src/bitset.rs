@@ -174,7 +174,10 @@ impl Bitset {
     /// Panics if the lengths differ.
     pub fn is_subset_of(&self, other: &Bitset) -> bool {
         self.check_same_len(other);
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Jaccard similarity `|A∩B| / |A∪B|`, `0.0` when both are empty.
@@ -194,12 +197,13 @@ impl Bitset {
 
     /// Iterates over the indices of set bits in ascending order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
-            BlockOnes {
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, &block)| BlockOnes {
                 block,
                 base: bi * 64,
-            }
-        })
+            })
     }
 
     /// Clears all bits.

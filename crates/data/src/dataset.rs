@@ -145,9 +145,7 @@ impl Dataset {
                     .iter()
                     .enumerate()
                     .filter_map(|(a, cell)| match cell {
-                        Value::Cat(v) if map.has_items(a) => {
-                            Some(map.item(a, *v as usize))
-                        }
+                        Value::Cat(v) if map.has_items(a) => Some(map.item(a, *v as usize)),
                         Value::Cat(_) | Value::Missing => None,
                         Value::Num(_) => panic!("attribute {a} not discretized"),
                     })
@@ -179,11 +177,7 @@ impl Dataset {
 
 /// Convenience constructor for all-categorical test datasets: each row is a
 /// vector of value indices, attributes get anonymous names/values.
-pub fn categorical_dataset(
-    arities: &[usize],
-    n_classes: usize,
-    rows: &[(&[u32], u32)],
-) -> Dataset {
+pub fn categorical_dataset(arities: &[usize], n_classes: usize, rows: &[(&[u32], u32)]) -> Dataset {
     let schema = Schema::new(
         arities
             .iter()
@@ -210,11 +204,7 @@ mod tests {
 
     #[test]
     fn construction_and_counts() {
-        let d = categorical_dataset(
-            &[2, 3],
-            2,
-            &[(&[0, 1], 0), (&[1, 2], 1), (&[0, 0], 0)],
-        );
+        let d = categorical_dataset(&[2, 3], 2, &[(&[0, 1], 0), (&[1, 2], 1), (&[0, 0], 0)]);
         assert_eq!(d.len(), 3);
         assert_eq!(d.class_counts(), vec![2, 1]);
     }

@@ -58,7 +58,8 @@ mod tests {
 
     #[test]
     fn quartiles() {
-        let c = EqualFrequency::new(4).cut_points(&vals(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]), 1);
+        let c =
+            EqualFrequency::new(4).cut_points(&vals(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]), 1);
         assert_eq!(c, vec![2.5, 4.5, 6.5]);
     }
 
@@ -82,7 +83,9 @@ mod tests {
 
     #[test]
     fn too_few_values() {
-        assert!(EqualFrequency::new(4).cut_points(&vals(&[1.0]), 1).is_empty());
+        assert!(EqualFrequency::new(4)
+            .cut_points(&vals(&[1.0]), 1)
+            .is_empty());
         assert!(EqualFrequency::new(4).cut_points(&[], 1).is_empty());
     }
 }

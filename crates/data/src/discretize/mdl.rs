@@ -99,8 +99,7 @@ fn split(sorted: &[(f64, ClassId)], n_classes: usize, depth: usize, cuts: &mut V
             .zip(&left)
             .map(|(&t, &l)| t - l)
             .collect();
-        let w = (i as f64 * entropy_of_counts(&left)
-            + (n - i) as f64 * entropy_of_counts(&right))
+        let w = (i as f64 * entropy_of_counts(&left) + (n - i) as f64 * entropy_of_counts(&right))
             / n as f64;
         if best.is_none_or(|(_, bw)| w < bw - 1e-12) {
             best = Some((i, w));

@@ -73,6 +73,19 @@ impl DiscretizationModel {
         DiscretizationModel { cuts }
     }
 
+    /// The full per-attribute cut-point table — the complete fitted state,
+    /// for model serialization.
+    pub fn all_cuts(&self) -> &[Option<Vec<f64>>] {
+        &self.cuts
+    }
+
+    /// Reconstructs a model from serialized state: `cuts[a]` is
+    /// `Some(sorted cut points)` for numeric attributes, `None` for
+    /// categorical ones.
+    pub fn from_cuts(cuts: Vec<Option<Vec<f64>>>) -> Self {
+        DiscretizationModel { cuts }
+    }
+
     /// Number of bins for attribute `a` (1 + number of cut points), or `None`
     /// if the attribute was categorical.
     pub fn n_bins(&self, a: usize) -> Option<usize> {
@@ -218,10 +231,7 @@ mod tests {
     #[test]
     fn categorical_columns_pass_through() {
         let schema = Schema::new(
-            vec![
-                Attribute::categorical_anon("a", 2),
-                Attribute::numeric("x"),
-            ],
+            vec![Attribute::categorical_anon("a", 2), Attribute::numeric("x")],
             vec!["c0".into(), "c1".into()],
         );
         let d = Dataset::new(

@@ -95,14 +95,21 @@ impl SynthConfig {
         assert!(!self.attrs.is_empty(), "need at least one attribute");
         assert!(!self.class_priors.is_empty(), "need at least one class");
         assert!(
-            self.class_priors.iter().all(|&p| p >= 0.0) && self.class_priors.iter().sum::<f64>() > 0.0,
+            self.class_priors.iter().all(|&p| p >= 0.0)
+                && self.class_priors.iter().sum::<f64>() > 0.0,
             "priors must be non-negative and not all zero"
         );
         for p in &self.planted {
-            assert!((p.class as usize) < self.class_priors.len(), "planted class out of range");
+            assert!(
+                (p.class as usize) < self.class_priors.len(),
+                "planted class out of range"
+            );
             for &(a, v) in &p.attr_values {
                 assert!(a < self.attrs.len(), "planted attribute out of range");
-                assert!((v as usize) < self.attrs[a].arity, "planted value out of range");
+                assert!(
+                    (v as usize) < self.attrs[a].arity,
+                    "planted value out of range"
+                );
             }
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -158,8 +165,9 @@ impl SynthConfig {
                         pref[class as usize][a]
                     } else {
                         let u: f64 = rng.random();
-                        base_cum[a].partition_point(|&c| c < u).min(self.attrs[a].arity - 1)
-                            as u32
+                        base_cum[a]
+                            .partition_point(|&c| c < u)
+                            .min(self.attrs[a].arity - 1) as u32
                     }
                 })
                 .collect();
@@ -169,7 +177,11 @@ impl SynthConfig {
             pattern_order.shuffle(&mut rng);
             for &pi in &pattern_order {
                 let p = &self.planted[pi];
-                let prob = if p.class == class { p.expr_in } else { p.expr_out };
+                let prob = if p.class == class {
+                    p.expr_in
+                } else {
+                    p.expr_out
+                };
                 if prob > 0.0 && rng.random::<f64>() < prob {
                     for &(a, v) in &p.attr_values {
                         cells[a] = v;
@@ -187,8 +199,8 @@ impl SynthConfig {
                     }
                     if self.attrs[a].numeric {
                         // Triangular jitter around the bin center.
-                        let j = (rng.random::<f64>() + rng.random::<f64>() - 1.0)
-                            * self.numeric_jitter;
+                        let j =
+                            (rng.random::<f64>() + rng.random::<f64>() - 1.0) * self.numeric_jitter;
                         Value::Num(v as f64 + j)
                     } else {
                         Value::Cat(v)
@@ -314,10 +326,22 @@ mod tests {
 
     fn small_config() -> SynthConfig {
         let attrs = vec![
-            AttrSpec { arity: 3, numeric: false },
-            AttrSpec { arity: 3, numeric: false },
-            AttrSpec { arity: 4, numeric: true },
-            AttrSpec { arity: 2, numeric: false },
+            AttrSpec {
+                arity: 3,
+                numeric: false,
+            },
+            AttrSpec {
+                arity: 3,
+                numeric: false,
+            },
+            AttrSpec {
+                arity: 4,
+                numeric: true,
+            },
+            AttrSpec {
+                arity: 2,
+                numeric: false,
+            },
         ];
         let planted = plant_random_patterns(&attrs, 2, &PlantSpec::default(), 9);
         SynthConfig {
@@ -420,7 +444,13 @@ mod tests {
 
     #[test]
     fn plant_random_patterns_valid_and_deterministic() {
-        let attrs = vec![AttrSpec { arity: 4, numeric: false }; 10];
+        let attrs = vec![
+            AttrSpec {
+                arity: 4,
+                numeric: false
+            };
+            10
+        ];
         let spec = PlantSpec {
             per_class: 5,
             confusable_fraction: 1.0,
@@ -443,7 +473,13 @@ mod tests {
 
     #[test]
     fn confusable_siblings_differ_in_exactly_one_value() {
-        let attrs = vec![AttrSpec { arity: 4, numeric: false }; 10];
+        let attrs = vec![
+            AttrSpec {
+                arity: 4,
+                numeric: false
+            };
+            10
+        ];
         let spec = PlantSpec {
             per_class: 1,
             len_range: (3, 3),
@@ -456,8 +492,7 @@ mod tests {
         for pair in plants.chunks(2) {
             let (s, o) = (&pair[0], &pair[1]);
             assert_ne!(s.class, o.class);
-            let sa: std::collections::HashMap<usize, u32> =
-                s.attr_values.iter().copied().collect();
+            let sa: std::collections::HashMap<usize, u32> = s.attr_values.iter().copied().collect();
             let diff = o
                 .attr_values
                 .iter()

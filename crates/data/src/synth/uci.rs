@@ -139,25 +139,329 @@ macro_rules! profile {
 /// The 19 small UCI profiles of Tables 1–2, in the paper's row order.
 pub fn small_uci_profiles() -> Vec<UciProfile> {
     vec![
-        profile!("anneal", 898, 38, 3, 0.15, 5, [0.76, 0.11, 0.075, 0.045, 0.01], 0.20, 0.55, 0.25, 3, (2, 3), 0.65, 0.04, 0.02),
-        profile!("austral", 690, 14, 3, 0.40, 2, [0.555, 0.445], 0.10, 0.75, 0.15, 3, (2, 4), 0.60, 0.05, 0.0),
-        profile!("auto", 205, 25, 4, 0.60, 6, [0.03, 0.11, 0.33, 0.26, 0.16, 0.11], 0.20, 0.70, 0.20, 2, (2, 3), 0.65, 0.05, 0.01),
-        profile!("breast", 699, 9, 5, 1.00, 2, [0.655, 0.345], 0.10, 0.70, 0.20, 3, (2, 3), 0.60, 0.05, 0.0),
-        profile!("cleve", 303, 13, 3, 0.50, 2, [0.54, 0.46], 0.10, 0.80, 0.15, 3, (2, 4), 0.60, 0.05, 0.0),
-        profile!("diabetes", 768, 8, 4, 1.00, 2, [0.651, 0.349], 0.10, 0.80, 0.12, 3, (2, 3), 0.55, 0.08, 0.0),
-        profile!("glass", 214, 9, 4, 1.00, 6, [0.327, 0.355, 0.079, 0.061, 0.042, 0.136], 0.15, 0.75, 0.18, 2, (2, 3), 0.60, 0.05, 0.0),
-        profile!("heart", 270, 13, 3, 0.50, 2, [0.556, 0.444], 0.10, 0.80, 0.15, 3, (2, 4), 0.60, 0.05, 0.0),
-        profile!("hepatic", 155, 19, 3, 0.30, 2, [0.79, 0.21], 0.15, 0.70, 0.18, 3, (2, 3), 0.65, 0.05, 0.03),
-        profile!("horse", 368, 22, 3, 0.40, 2, [0.63, 0.37], 0.15, 0.70, 0.15, 3, (2, 4), 0.60, 0.05, 0.05),
-        profile!("iono", 351, 34, 3, 1.00, 2, [0.641, 0.359], 0.20, 0.65, 0.15, 3, (2, 4), 0.60, 0.05, 0.0),
-        profile!("iris", 150, 4, 3, 1.00, 3, [0.3334, 0.3333, 0.3333], 0.10, 0.90, 0.25, 2, (2, 2), 0.70, 0.04, 0.0),
-        profile!("labor", 57, 16, 3, 0.50, 2, [0.65, 0.35], 0.20, 0.75, 0.20, 2, (2, 3), 0.65, 0.05, 0.02),
-        profile!("lymph", 148, 18, 3, 0.00, 4, [0.02, 0.55, 0.41, 0.02], 0.15, 0.75, 0.18, 2, (2, 3), 0.60, 0.05, 0.0),
-        profile!("pima", 768, 8, 4, 1.00, 2, [0.651, 0.349], 0.10, 0.80, 0.12, 3, (2, 3), 0.55, 0.08, 0.0),
-        profile!("sonar", 208, 60, 3, 1.00, 2, [0.534, 0.466], 0.25, 0.65, 0.12, 3, (2, 4), 0.60, 0.05, 0.0),
-        profile!("vehicle", 846, 18, 4, 1.00, 4, [0.25, 0.26, 0.26, 0.23], 0.15, 0.75, 0.12, 3, (2, 3), 0.55, 0.06, 0.0),
-        profile!("wine", 178, 13, 3, 1.00, 3, [0.33, 0.40, 0.27], 0.15, 0.80, 0.20, 2, (2, 3), 0.65, 0.04, 0.0),
-        profile!("zoo", 101, 16, 2, 0.00, 7, [0.41, 0.20, 0.05, 0.13, 0.04, 0.08, 0.09], 0.20, 0.70, 0.30, 1, (2, 3), 0.70, 0.03, 0.0),
+        profile!(
+            "anneal",
+            898,
+            38,
+            3,
+            0.15,
+            5,
+            [0.76, 0.11, 0.075, 0.045, 0.01],
+            0.20,
+            0.55,
+            0.25,
+            3,
+            (2, 3),
+            0.65,
+            0.04,
+            0.02
+        ),
+        profile!(
+            "austral",
+            690,
+            14,
+            3,
+            0.40,
+            2,
+            [0.555, 0.445],
+            0.10,
+            0.75,
+            0.15,
+            3,
+            (2, 4),
+            0.60,
+            0.05,
+            0.0
+        ),
+        profile!(
+            "auto",
+            205,
+            25,
+            4,
+            0.60,
+            6,
+            [0.03, 0.11, 0.33, 0.26, 0.16, 0.11],
+            0.20,
+            0.70,
+            0.20,
+            2,
+            (2, 3),
+            0.65,
+            0.05,
+            0.01
+        ),
+        profile!(
+            "breast",
+            699,
+            9,
+            5,
+            1.00,
+            2,
+            [0.655, 0.345],
+            0.10,
+            0.70,
+            0.20,
+            3,
+            (2, 3),
+            0.60,
+            0.05,
+            0.0
+        ),
+        profile!(
+            "cleve",
+            303,
+            13,
+            3,
+            0.50,
+            2,
+            [0.54, 0.46],
+            0.10,
+            0.80,
+            0.15,
+            3,
+            (2, 4),
+            0.60,
+            0.05,
+            0.0
+        ),
+        profile!(
+            "diabetes",
+            768,
+            8,
+            4,
+            1.00,
+            2,
+            [0.651, 0.349],
+            0.10,
+            0.80,
+            0.12,
+            3,
+            (2, 3),
+            0.55,
+            0.08,
+            0.0
+        ),
+        profile!(
+            "glass",
+            214,
+            9,
+            4,
+            1.00,
+            6,
+            [0.327, 0.355, 0.079, 0.061, 0.042, 0.136],
+            0.15,
+            0.75,
+            0.18,
+            2,
+            (2, 3),
+            0.60,
+            0.05,
+            0.0
+        ),
+        profile!(
+            "heart",
+            270,
+            13,
+            3,
+            0.50,
+            2,
+            [0.556, 0.444],
+            0.10,
+            0.80,
+            0.15,
+            3,
+            (2, 4),
+            0.60,
+            0.05,
+            0.0
+        ),
+        profile!(
+            "hepatic",
+            155,
+            19,
+            3,
+            0.30,
+            2,
+            [0.79, 0.21],
+            0.15,
+            0.70,
+            0.18,
+            3,
+            (2, 3),
+            0.65,
+            0.05,
+            0.03
+        ),
+        profile!(
+            "horse",
+            368,
+            22,
+            3,
+            0.40,
+            2,
+            [0.63, 0.37],
+            0.15,
+            0.70,
+            0.15,
+            3,
+            (2, 4),
+            0.60,
+            0.05,
+            0.05
+        ),
+        profile!(
+            "iono",
+            351,
+            34,
+            3,
+            1.00,
+            2,
+            [0.641, 0.359],
+            0.20,
+            0.65,
+            0.15,
+            3,
+            (2, 4),
+            0.60,
+            0.05,
+            0.0
+        ),
+        profile!(
+            "iris",
+            150,
+            4,
+            3,
+            1.00,
+            3,
+            [0.3334, 0.3333, 0.3333],
+            0.10,
+            0.90,
+            0.25,
+            2,
+            (2, 2),
+            0.70,
+            0.04,
+            0.0
+        ),
+        profile!(
+            "labor",
+            57,
+            16,
+            3,
+            0.50,
+            2,
+            [0.65, 0.35],
+            0.20,
+            0.75,
+            0.20,
+            2,
+            (2, 3),
+            0.65,
+            0.05,
+            0.02
+        ),
+        profile!(
+            "lymph",
+            148,
+            18,
+            3,
+            0.00,
+            4,
+            [0.02, 0.55, 0.41, 0.02],
+            0.15,
+            0.75,
+            0.18,
+            2,
+            (2, 3),
+            0.60,
+            0.05,
+            0.0
+        ),
+        profile!(
+            "pima",
+            768,
+            8,
+            4,
+            1.00,
+            2,
+            [0.651, 0.349],
+            0.10,
+            0.80,
+            0.12,
+            3,
+            (2, 3),
+            0.55,
+            0.08,
+            0.0
+        ),
+        profile!(
+            "sonar",
+            208,
+            60,
+            3,
+            1.00,
+            2,
+            [0.534, 0.466],
+            0.25,
+            0.65,
+            0.12,
+            3,
+            (2, 4),
+            0.60,
+            0.05,
+            0.0
+        ),
+        profile!(
+            "vehicle",
+            846,
+            18,
+            4,
+            1.00,
+            4,
+            [0.25, 0.26, 0.26, 0.23],
+            0.15,
+            0.75,
+            0.12,
+            3,
+            (2, 3),
+            0.55,
+            0.06,
+            0.0
+        ),
+        profile!(
+            "wine",
+            178,
+            13,
+            3,
+            1.00,
+            3,
+            [0.33, 0.40, 0.27],
+            0.15,
+            0.80,
+            0.20,
+            2,
+            (2, 3),
+            0.65,
+            0.04,
+            0.0
+        ),
+        profile!(
+            "zoo",
+            101,
+            16,
+            2,
+            0.00,
+            7,
+            [0.41, 0.20, 0.05, 0.13, 0.04, 0.08, 0.09],
+            0.20,
+            0.70,
+            0.30,
+            1,
+            (2, 3),
+            0.70,
+            0.03,
+            0.0
+        ),
     ]
 }
 
@@ -171,9 +475,57 @@ pub fn small_uci_profiles() -> Vec<UciProfile> {
 ///   3 000–4 500).
 pub fn dense_profiles() -> Vec<UciProfile> {
     vec![
-        profile!("chess", 3196, 36, 2, 0.00, 2, [0.522, 0.478], 0.70, 0.09, 0.15, 4, (2, 4), 0.80, 0.10, 0.0),
-        profile!("waveform", 5000, 21, 5, 0.00, 3, [0.3334, 0.3333, 0.3333], 0.016, 0.90, 0.15, 4, (2, 3), 0.55, 0.05, 0.0),
-        profile!("letter", 20000, 16, 7, 0.00, 26, [0.0385; 26], 0.15, 0.40, 0.15, 2, (2, 2), 0.60, 0.02, 0.0),
+        profile!(
+            "chess",
+            3196,
+            36,
+            2,
+            0.00,
+            2,
+            [0.522, 0.478],
+            0.70,
+            0.09,
+            0.15,
+            4,
+            (2, 4),
+            0.80,
+            0.10,
+            0.0
+        ),
+        profile!(
+            "waveform",
+            5000,
+            21,
+            5,
+            0.00,
+            3,
+            [0.3334, 0.3333, 0.3333],
+            0.016,
+            0.90,
+            0.15,
+            4,
+            (2, 3),
+            0.55,
+            0.05,
+            0.0
+        ),
+        profile!(
+            "letter",
+            20000,
+            16,
+            7,
+            0.00,
+            26,
+            [0.0385; 26],
+            0.15,
+            0.40,
+            0.15,
+            2,
+            (2, 2),
+            0.60,
+            0.02,
+            0.0
+        ),
     ]
 }
 

@@ -113,6 +113,42 @@ impl ItemMap {
     pub fn name(&self, item: Item) -> &str {
         &self.names[item.index()]
     }
+
+    /// Per-attribute starting item ids (`u32::MAX` marks a skipped constant
+    /// attribute) — for model serialization.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// `(attribute, value)` pair per item id — for model serialization.
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// `"attr=value"` name per item id — for model serialization.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Reconstructs a map from serialized state.
+    ///
+    /// # Panics
+    /// Panics if `pairs` and `names` disagree in length or a non-skipped
+    /// offset exceeds the item count.
+    pub fn from_parts(offsets: Vec<u32>, pairs: Vec<(u32, u32)>, names: Vec<String>) -> Self {
+        assert_eq!(pairs.len(), names.len(), "pairs/names length mismatch");
+        for (a, &off) in offsets.iter().enumerate() {
+            assert!(
+                off == SKIPPED || (off as usize) <= pairs.len(),
+                "attribute {a} offset out of range"
+            );
+        }
+        ItemMap {
+            offsets,
+            pairs,
+            names,
+        }
+    }
 }
 
 /// A labelled set of transactions over `d` items and `m` classes.

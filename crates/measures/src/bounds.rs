@@ -140,7 +140,10 @@ mod tests {
         for i in 1..=35 {
             let theta = i as f64 / 100.0;
             let b = ig_upper_bound(theta, p);
-            assert!(b + 1e-12 >= last, "IGub not monotone at θ={theta}: {b} < {last}");
+            assert!(
+                b + 1e-12 >= last,
+                "IGub not monotone at θ={theta}: {b} < {last}"
+            );
             last = b;
         }
     }

@@ -74,7 +74,11 @@ pub fn support_difference(
         .map(|(_, &s)| s as f64)
         .sum();
     let p_in = if nc == 0 { 0.0 } else { sc / nc as f64 };
-    let p_out = if n_rest == 0 { 0.0 } else { s_rest / n_rest as f64 };
+    let p_out = if n_rest == 0 {
+        0.0
+    } else {
+        s_rest / n_rest as f64
+    };
     p_in - p_out
 }
 

@@ -125,7 +125,10 @@ mod tests {
         for &(theta, p) in &[(0.1, 0.4), (0.2, 0.5), (0.05, 0.3)] {
             let fr = fisher_score_theta_p_q(theta, p, 1.0);
             let expect = theta * (1.0 - p) / (p - theta);
-            assert!((fr - expect).abs() < 1e-6, "θ={theta} p={p}: {fr} vs {expect}");
+            assert!(
+                (fr - expect).abs() < 1e-6,
+                "θ={theta} p={p}: {fr} vs {expect}"
+            );
         }
     }
 

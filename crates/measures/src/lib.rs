@@ -31,8 +31,8 @@ pub mod minsup;
 pub mod redundancy;
 pub mod relevance;
 
-pub use contrast::{chi_square, max_support_difference, odds_ratio, support_difference};
 pub use bounds::{fisher_upper_bound, ig_upper_bound, ig_upper_bound_multiclass};
+pub use contrast::{chi_square, max_support_difference, odds_ratio, support_difference};
 pub use entropy::{binary_entropy, entropy_of_counts, info_gain};
 pub use fisher::fisher_score;
 pub use minsup::{theta_star, MinSupStrategy};

@@ -83,7 +83,10 @@ mod tests {
         let r = redundancy(&a, &b, f64::INFINITY, 2.0);
         assert!((r - (1.0 / 3.0) * 2.0).abs() < 1e-12);
         // both infinite with overlap → infinite redundancy
-        assert_eq!(redundancy(&a, &b, f64::INFINITY, f64::INFINITY), f64::INFINITY);
+        assert_eq!(
+            redundancy(&a, &b, f64::INFINITY, f64::INFINITY),
+            f64::INFINITY
+        );
         // both infinite, disjoint → zero
         let c = tids(4, &[3]);
         assert_eq!(redundancy(&a, &c, f64::INFINITY, f64::INFINITY), 0.0);

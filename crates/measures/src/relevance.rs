@@ -28,12 +28,8 @@ impl RelevanceMeasure {
     pub fn score(&self, pattern: &MinedPattern, class_counts: &[usize]) -> f64 {
         match self {
             RelevanceMeasure::InfoGain => info_gain(class_counts, &pattern.class_supports),
-            RelevanceMeasure::FisherScore => {
-                fisher_score(class_counts, &pattern.class_supports)
-            }
-            RelevanceMeasure::ChiSquare => {
-                chi_square(class_counts, &pattern.class_supports)
-            }
+            RelevanceMeasure::FisherScore => fisher_score(class_counts, &pattern.class_supports),
+            RelevanceMeasure::ChiSquare => chi_square(class_counts, &pattern.class_supports),
             RelevanceMeasure::SupportDifference => {
                 max_support_difference(class_counts, &pattern.class_supports)
             }

@@ -39,8 +39,7 @@ pub fn mine(
         k += 1;
         // Join step: pairs sharing the first k-2 items.
         let mut candidates: Vec<Vec<Item>> = Vec::new();
-        let prev: std::collections::HashSet<&[Item]> =
-            level.iter().map(|s| s.as_slice()).collect();
+        let prev: std::collections::HashSet<&[Item]> = level.iter().map(|s| s.as_slice()).collect();
         for i in 0..level.len() {
             for j in (i + 1)..level.len() {
                 let (a, b) = (&level[i], &level[j]);
@@ -176,7 +175,12 @@ mod tests {
     #[test]
     fn respects_options() {
         let ts = db(&[&[0, 1, 2], &[0, 1, 2], &[0, 2]]);
-        let got = mine(&ts, 2, &MineOptions::default().with_min_len(2).with_max_len(2)).unwrap();
+        let got = mine(
+            &ts,
+            2,
+            &MineOptions::default().with_min_len(2).with_max_len(2),
+        )
+        .unwrap();
         assert!(got.iter().all(|p| p.len() == 2));
         let err = mine(&ts, 1, &MineOptions::default().with_max_patterns(1)).unwrap_err();
         assert!(matches!(err, MiningError::PatternLimitExceeded { .. }));
@@ -184,7 +188,9 @@ mod tests {
 
     #[test]
     fn empty_and_trivial() {
-        assert!(mine(&db(&[]), 1, &MineOptions::default()).unwrap().is_empty());
+        assert!(mine(&db(&[]), 1, &MineOptions::default())
+            .unwrap()
+            .is_empty());
         let ts = db(&[&[0]]);
         let got = mine(&ts, 1, &MineOptions::default()).unwrap();
         assert_eq!(got.len(), 1);

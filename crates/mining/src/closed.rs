@@ -242,7 +242,14 @@ mod tests {
 
     #[test]
     fn closed_is_subset_of_frequent_with_matching_supports() {
-        let ts = db(&[&[0, 1, 4], &[1, 3], &[1, 2], &[0, 1, 3], &[0, 2], &[0, 3, 4]]);
+        let ts = db(&[
+            &[0, 1, 4],
+            &[1, 3],
+            &[1, 2],
+            &[0, 1, 3],
+            &[0, 2],
+            &[0, 3, 4],
+        ]);
         let closed = mine_closed(&ts, 2, &MineOptions::default()).unwrap();
         for p in &closed {
             assert_eq!(p.support as usize, ts.support(&p.items));
@@ -276,10 +283,22 @@ mod tests {
     #[test]
     fn closed_filter_alone() {
         let pats = vec![
-            RawPattern { items: vec![Item(0)], support: 2 },
-            RawPattern { items: vec![Item(0), Item(1)], support: 2 },
-            RawPattern { items: vec![Item(1)], support: 3 },
-            RawPattern { items: vec![Item(0), Item(1)], support: 2 }, // dup
+            RawPattern {
+                items: vec![Item(0)],
+                support: 2,
+            },
+            RawPattern {
+                items: vec![Item(0), Item(1)],
+                support: 2,
+            },
+            RawPattern {
+                items: vec![Item(1)],
+                support: 3,
+            },
+            RawPattern {
+                items: vec![Item(0), Item(1)],
+                support: 2,
+            }, // dup
         ];
         let mut got = closed_filter(pats);
         sort_canonical(&mut got);

@@ -21,9 +21,7 @@ pub fn count_frequent(
         return Err(MiningError::ZeroMinSup);
     }
     let vertical = ts.vertical();
-    let cands: Vec<Bitset> = (0..ts.n_items())
-        .map(|i| vertical[i].clone())
-        .collect();
+    let cands: Vec<Bitset> = (0..ts.n_items()).map(|i| vertical[i].clone()).collect();
     let frequent: Vec<usize> = (0..ts.n_items())
         .filter(|&i| cands[i].count_ones() >= min_sup)
         .collect();
@@ -57,7 +55,14 @@ fn count_dfs(
             return Err(MiningError::PatternLimitExceeded { limit: budget });
         }
         if i + 1 < cands.len() {
-            count_dfs(vertical, &cands[i + 1..], Some(&tids), min_sup, budget, count)?;
+            count_dfs(
+                vertical,
+                &cands[i + 1..],
+                Some(&tids),
+                min_sup,
+                budget,
+                count,
+            )?;
         }
     }
     Ok(())
@@ -152,13 +157,16 @@ mod tests {
 
     #[test]
     fn class_supports_attached_correctly() {
-        let ts = db(
-            &[&[0, 1], &[0, 1], &[0], &[1]],
-            &[0, 1, 0, 1],
-        );
+        let ts = db(&[&[0, 1], &[0, 1], &[0], &[1]], &[0, 1, 0, 1]);
         let raws = vec![
-            RawPattern { items: vec![Item(0), Item(1)], support: 2 },
-            RawPattern { items: vec![Item(0)], support: 3 },
+            RawPattern {
+                items: vec![Item(0), Item(1)],
+                support: 2,
+            },
+            RawPattern {
+                items: vec![Item(0)],
+                support: 3,
+            },
         ];
         let mined = attach_class_supports(&ts, &raws);
         assert_eq!(mined[0].class_supports, vec![1, 1]);

@@ -109,13 +109,7 @@ mod tests {
 
     /// The classic 5-transaction example database.
     fn classic() -> TransactionSet {
-        db(&[
-            &[0, 1, 4],
-            &[1, 3],
-            &[1, 2],
-            &[0, 1, 3],
-            &[0, 2],
-        ])
+        db(&[&[0, 1, 4], &[1, 3], &[1, 2], &[0, 1, 3], &[0, 2]])
     }
 
     #[test]

@@ -62,11 +62,7 @@ fn grow(
     if frequent.is_empty() {
         return Ok(());
     }
-    frequent.sort_by(|&a, &b| {
-        counts[b as usize]
-            .cmp(&counts[a as usize])
-            .then(a.cmp(&b))
-    });
+    frequent.sort_by(|&a, &b| counts[b as usize].cmp(&counts[a as usize]).then(a.cmp(&b)));
     let mut local_of = vec![u32::MAX; n_items];
     for (local, &global) in frequent.iter().enumerate() {
         local_of[global as usize] = local as u32;
@@ -189,8 +185,7 @@ mod tests {
     fn agrees_with_eclat_on_classic() {
         for min_sup in 1..=5 {
             let mut a = mine(&classic(), min_sup, &MineOptions::default()).unwrap();
-            let mut b =
-                crate::eclat::mine(&classic(), min_sup, &MineOptions::default()).unwrap();
+            let mut b = crate::eclat::mine(&classic(), min_sup, &MineOptions::default()).unwrap();
             sort_canonical(&mut a);
             sort_canonical(&mut b);
             assert_eq!(a, b, "min_sup={min_sup}");

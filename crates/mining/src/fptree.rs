@@ -51,7 +51,13 @@ impl FpTree {
                 sibling: NONE,
                 hlink: NONE,
             }],
-            headers: vec![Header { count: 0, first: NONE }; n_local],
+            headers: vec![
+                Header {
+                    count: 0,
+                    first: NONE
+                };
+                n_local
+            ],
         }
     }
 
@@ -170,10 +176,7 @@ mod tests {
     #[test]
     fn shared_prefixes_merge() {
         // Transactions (local ids): {0,1,2}, {0,1}, {0,3}
-        let t = FpTree::build(
-            &[(vec![0, 1, 2], 1), (vec![0, 1], 1), (vec![0, 3], 1)],
-            4,
-        );
+        let t = FpTree::build(&[(vec![0, 1, 2], 1), (vec![0, 1], 1), (vec![0, 3], 1)], 4);
         // nodes: 0,1,2,3 labelled items — prefix {0,1} shared
         assert_eq!(t.n_nodes(), 4);
         assert_eq!(t.item_count(0), 3);
@@ -191,10 +194,7 @@ mod tests {
 
     #[test]
     fn prefix_paths_weighted() {
-        let t = FpTree::build(
-            &[(vec![0, 1, 2], 2), (vec![1, 2], 3), (vec![2], 1)],
-            3,
-        );
+        let t = FpTree::build(&[(vec![0, 1, 2], 2), (vec![1, 2], 3), (vec![2], 1)], 3);
         let mut paths = t.prefix_paths(2);
         paths.sort();
         assert_eq!(paths, vec![(vec![0, 1], 2), (vec![1], 3)]);

@@ -135,9 +135,18 @@ mod tests {
     #[test]
     fn canonical_sort() {
         let mut v = vec![
-            RawPattern { items: vec![Item(2), Item(3)], support: 1 },
-            RawPattern { items: vec![Item(9)], support: 1 },
-            RawPattern { items: vec![Item(1), Item(5)], support: 1 },
+            RawPattern {
+                items: vec![Item(2), Item(3)],
+                support: 1,
+            },
+            RawPattern {
+                items: vec![Item(9)],
+                support: 1,
+            },
+            RawPattern {
+                items: vec![Item(1), Item(5)],
+                support: 1,
+            },
         ];
         sort_canonical(&mut v);
         assert_eq!(v[0].items, vec![Item(9)]);

@@ -179,9 +179,7 @@ mod tests {
         };
         let feats = mine_features(&sample(), &cfg).unwrap();
         assert!(
-            feats
-                .iter()
-                .any(|p| p.items == vec![Item(3), Item(4)]),
+            feats.iter().any(|p| p.items == vec![Item(3), Item(4)]),
             "{feats:?}"
         );
         // Global supports are recounted on the full db.
@@ -215,7 +213,10 @@ mod tests {
         };
         let fp = mine_features(&sample(), &base).unwrap();
         for kind in [MinerKind::Eclat, MinerKind::Apriori] {
-            let cfg = MiningConfig { miner: kind, ..base.clone() };
+            let cfg = MiningConfig {
+                miner: kind,
+                ..base.clone()
+            };
             let other = mine_features(&sample(), &cfg).unwrap();
             assert_eq!(fp, other, "{kind:?}");
         }

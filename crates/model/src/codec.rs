@@ -1,0 +1,598 @@
+//! The `DFPM` artifact codec: header, tagged sections, trailing CRC-32.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! +---------+---------+---------------+---------------------+---------+
+//! | "DFPM"  | version | section count | sections …          | CRC-32  |
+//! | 4 bytes | u16     | u16           | tag u8, len u64, …  | u32     |
+//! +---------+---------+---------------+---------------------+---------+
+//! ```
+//!
+//! The checksum covers every byte before it. Unknown section tags are
+//! skipped on read (their length is known), so later format versions can add
+//! sections without breaking old readers of the parts they understand.
+
+use crate::crc32::crc32;
+use crate::error::ModelError;
+use crate::wire::{Reader, Writer};
+use dfp_classify::knn::Knn;
+use dfp_classify::naive_bayes::BernoulliNb;
+use dfp_classify::svm::{BinaryModel, Kernel, KernelSvm, LinearSvm};
+use dfp_classify::tree::{FlatNode, C45};
+use dfp_core::{FitInfo, PatternClassifier, TrainedModel};
+use dfp_data::discretize::DiscretizationModel;
+use dfp_data::schema::{Attribute, AttributeKind, ClassId, Schema};
+use dfp_data::transactions::{Item, ItemMap};
+use dfp_select::FeatureSpace;
+
+/// The four magic bytes every artifact starts with.
+pub const MAGIC: [u8; 4] = *b"DFPM";
+
+/// Current artifact format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+const SEC_SCHEMA: u8 = 1;
+const SEC_DISCRETIZATION: u8 = 2;
+const SEC_ITEM_MAP: u8 = 3;
+const SEC_FEATURE_SPACE: u8 = 4;
+const SEC_MODEL: u8 = 5;
+const SEC_FIT_INFO: u8 = 6;
+
+const MODEL_LINEAR: u8 = 0;
+const MODEL_KERNEL: u8 = 1;
+const MODEL_TREE: u8 = 2;
+const MODEL_NB: u8 = 3;
+const MODEL_KNN: u8 = 4;
+
+// ---------------------------------------------------------------------------
+// encoding
+// ---------------------------------------------------------------------------
+
+fn section(out: &mut Writer, tag: u8, body: Writer) {
+    out.u8(tag);
+    out.usize(body.len());
+    out.raw(&body.into_bytes());
+}
+
+fn write_string_vec(w: &mut Writer, v: &[String]) {
+    w.usize(v.len());
+    for s in v {
+        w.str(s);
+    }
+}
+
+fn write_f64_vec(w: &mut Writer, v: &[f64]) {
+    w.usize(v.len());
+    for &x in v {
+        w.f64(x);
+    }
+}
+
+fn write_u32_vec(w: &mut Writer, v: &[u32]) {
+    w.usize(v.len());
+    for &x in v {
+        w.u32(x);
+    }
+}
+
+fn encode_schema(schema: &Schema) -> Writer {
+    let mut w = Writer::new();
+    w.usize(schema.attributes.len());
+    for attr in &schema.attributes {
+        w.str(&attr.name);
+        match &attr.kind {
+            AttributeKind::Categorical { values } => {
+                w.u8(0);
+                write_string_vec(&mut w, values);
+            }
+            AttributeKind::Numeric => w.u8(1),
+        }
+    }
+    write_string_vec(&mut w, &schema.class_names);
+    w
+}
+
+fn encode_discretization(model: &DiscretizationModel) -> Writer {
+    let mut w = Writer::new();
+    let cuts = model.all_cuts();
+    w.usize(cuts.len());
+    for c in cuts {
+        match c {
+            None => w.u8(0),
+            Some(points) => {
+                w.u8(1);
+                write_f64_vec(&mut w, points);
+            }
+        }
+    }
+    w
+}
+
+fn encode_item_map(map: &ItemMap) -> Writer {
+    let mut w = Writer::new();
+    write_u32_vec(&mut w, map.offsets());
+    w.usize(map.pairs().len());
+    for &(a, v) in map.pairs() {
+        w.u32(a);
+        w.u32(v);
+    }
+    write_string_vec(&mut w, map.names());
+    w
+}
+
+fn encode_feature_space(fs: &FeatureSpace) -> Writer {
+    let mut w = Writer::new();
+    w.usize(fs.n_items);
+    w.bool(fs.include_all_items);
+    w.usize(fs.patterns.len());
+    for p in &fs.patterns {
+        w.usize(p.len());
+        for item in p {
+            w.u32(item.0);
+        }
+    }
+    w.usize(fs.n_classes);
+    w
+}
+
+fn encode_model(model: &TrainedModel) -> Writer {
+    let mut w = Writer::new();
+    match model {
+        TrainedModel::Linear(svm) => {
+            w.u8(MODEL_LINEAR);
+            w.usize(svm.n_features());
+            w.usize(svm.weight_vectors().len());
+            for wv in svm.weight_vectors() {
+                write_f64_vec(&mut w, wv);
+            }
+        }
+        TrainedModel::Kernel(svm) => {
+            w.u8(MODEL_KERNEL);
+            match svm.kernel() {
+                Kernel::Linear => w.u8(0),
+                Kernel::Rbf { gamma } => {
+                    w.u8(1);
+                    w.f64(gamma);
+                }
+            }
+            w.usize(svm.binary_models().len());
+            for m in svm.binary_models() {
+                w.usize(m.sv_rows.len());
+                for row in &m.sv_rows {
+                    write_u32_vec(&mut w, row);
+                }
+                write_f64_vec(&mut w, &m.sv_coef);
+                w.f64(m.b);
+            }
+        }
+        TrainedModel::Tree(tree) => {
+            w.u8(MODEL_TREE);
+            w.usize(tree.n_classes());
+            let nodes = tree.flatten();
+            w.usize(nodes.len());
+            for node in &nodes {
+                match node {
+                    FlatNode::Leaf { class, counts } => {
+                        w.u8(0);
+                        w.u32(class.0);
+                        write_u32_vec(&mut w, counts);
+                    }
+                    FlatNode::Split {
+                        feature,
+                        present,
+                        absent,
+                        counts,
+                    } => {
+                        w.u8(1);
+                        w.u32(*feature);
+                        w.usize(*present);
+                        w.usize(*absent);
+                        write_u32_vec(&mut w, counts);
+                    }
+                }
+            }
+        }
+        TrainedModel::Nb(nb) => {
+            w.u8(MODEL_NB);
+            write_f64_vec(&mut w, nb.log_priors());
+            w.usize(nb.log_present().len());
+            for row in nb.log_present() {
+                write_f64_vec(&mut w, row);
+            }
+            w.usize(nb.log_absent().len());
+            for row in nb.log_absent() {
+                write_f64_vec(&mut w, row);
+            }
+        }
+        TrainedModel::Knn(knn) => {
+            w.u8(MODEL_KNN);
+            w.usize(knn.rows().len());
+            for row in knn.rows() {
+                write_u32_vec(&mut w, row);
+            }
+            w.usize(knn.labels().len());
+            for l in knn.labels() {
+                w.u32(l.0);
+            }
+            w.usize(knn.n_classes());
+            w.usize(knn.k());
+        }
+    }
+    w
+}
+
+fn encode_fit_info(info: &FitInfo) -> Writer {
+    let mut w = Writer::new();
+    w.usize(info.n_items);
+    w.usize(info.n_patterns_mined);
+    w.usize(info.n_selected);
+    w.usize(info.n_features);
+    match info.min_sup_abs {
+        None => w.u8(0),
+        Some(v) => {
+            w.u8(1);
+            w.usize(v);
+        }
+    }
+    w
+}
+
+/// Serializes a fitted classifier into the `DFPM` byte format.
+pub fn to_bytes(model: &PatternClassifier) -> Vec<u8> {
+    let mut out = Writer::new();
+    out.raw(&MAGIC);
+    out.u16(FORMAT_VERSION);
+
+    let mut sections: Vec<(u8, Writer)> = Vec::new();
+    if let Some(schema) = model.schema() {
+        sections.push((SEC_SCHEMA, encode_schema(schema)));
+    }
+    if let Some(disc) = model.discretization() {
+        sections.push((SEC_DISCRETIZATION, encode_discretization(disc)));
+    }
+    if let Some(map) = model.item_map() {
+        sections.push((SEC_ITEM_MAP, encode_item_map(map)));
+    }
+    sections.push((
+        SEC_FEATURE_SPACE,
+        encode_feature_space(model.feature_space()),
+    ));
+    sections.push((SEC_MODEL, encode_model(model.model())));
+    sections.push((SEC_FIT_INFO, encode_fit_info(model.info())));
+
+    out.u16(sections.len() as u16);
+    for (tag, body) in sections {
+        section(&mut out, tag, body);
+    }
+
+    let mut bytes = out.into_bytes();
+    let sum = crc32(&bytes);
+    bytes.extend_from_slice(&sum.to_le_bytes());
+    bytes
+}
+
+// ---------------------------------------------------------------------------
+// decoding
+// ---------------------------------------------------------------------------
+
+fn read_string_vec(r: &mut Reader) -> Result<Vec<String>, ModelError> {
+    let n = r.len_prefix(8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.str()?);
+    }
+    Ok(out)
+}
+
+fn read_f64_vec(r: &mut Reader) -> Result<Vec<f64>, ModelError> {
+    let n = r.len_prefix(8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.f64()?);
+    }
+    Ok(out)
+}
+
+fn read_u32_vec(r: &mut Reader) -> Result<Vec<u32>, ModelError> {
+    let n = r.len_prefix(4)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u32()?);
+    }
+    Ok(out)
+}
+
+fn decode_schema(r: &mut Reader) -> Result<Schema, ModelError> {
+    let n = r.len_prefix(1)?;
+    let mut attributes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        let kind = match r.u8()? {
+            0 => AttributeKind::Categorical {
+                values: read_string_vec(r)?,
+            },
+            1 => AttributeKind::Numeric,
+            t => return Err(ModelError::Malformed(format!("bad attribute kind tag {t}"))),
+        };
+        attributes.push(Attribute { name, kind });
+    }
+    let class_names = read_string_vec(r)?;
+    Ok(Schema::new(attributes, class_names))
+}
+
+fn decode_discretization(r: &mut Reader) -> Result<DiscretizationModel, ModelError> {
+    let n = r.len_prefix(1)?;
+    let mut cuts = Vec::with_capacity(n);
+    for _ in 0..n {
+        cuts.push(match r.u8()? {
+            0 => None,
+            1 => Some(read_f64_vec(r)?),
+            t => return Err(ModelError::Malformed(format!("bad cut-option tag {t}"))),
+        });
+    }
+    Ok(DiscretizationModel::from_cuts(cuts))
+}
+
+fn decode_item_map(r: &mut Reader) -> Result<ItemMap, ModelError> {
+    let offsets = read_u32_vec(r)?;
+    let n = r.len_prefix(8)?;
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        pairs.push((r.u32()?, r.u32()?));
+    }
+    let names = read_string_vec(r)?;
+    if pairs.len() != names.len() {
+        return Err(ModelError::Malformed(
+            "item map pairs/names length mismatch".into(),
+        ));
+    }
+    for (a, &off) in offsets.iter().enumerate() {
+        if off != u32::MAX && off as usize > pairs.len() {
+            return Err(ModelError::Malformed(format!(
+                "item map offset {off} of attribute {a} out of range"
+            )));
+        }
+    }
+    Ok(ItemMap::from_parts(offsets, pairs, names))
+}
+
+fn decode_feature_space(r: &mut Reader) -> Result<FeatureSpace, ModelError> {
+    let n_items = r.usize()?;
+    let include_all_items = r.bool()?;
+    let n = r.len_prefix(8)?;
+    let mut patterns = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = r.len_prefix(4)?;
+        let mut p = Vec::with_capacity(m);
+        for _ in 0..m {
+            let id = r.u32()?;
+            if id as usize >= n_items {
+                return Err(ModelError::Malformed(format!(
+                    "pattern item {id} outside the {n_items}-item universe"
+                )));
+            }
+            p.push(Item(id));
+        }
+        patterns.push(p);
+    }
+    let n_classes = r.usize()?;
+    Ok(FeatureSpace {
+        n_items,
+        include_all_items,
+        patterns,
+        n_classes,
+    })
+}
+
+fn decode_model(r: &mut Reader) -> Result<TrainedModel, ModelError> {
+    match r.u8()? {
+        MODEL_LINEAR => {
+            let n_features = r.usize()?;
+            let n = r.len_prefix(8)?;
+            let mut weights = Vec::with_capacity(n);
+            for _ in 0..n {
+                weights.push(read_f64_vec(r)?);
+            }
+            if weights.is_empty() {
+                return Err(ModelError::Malformed("linear SVM has no classes".into()));
+            }
+            if weights.iter().any(|w| w.len() != n_features + 1) {
+                return Err(ModelError::Malformed(
+                    "linear SVM weight vector length mismatch".into(),
+                ));
+            }
+            Ok(TrainedModel::Linear(LinearSvm::from_parts(
+                weights, n_features,
+            )))
+        }
+        MODEL_KERNEL => {
+            let kernel = match r.u8()? {
+                0 => Kernel::Linear,
+                1 => Kernel::Rbf { gamma: r.f64()? },
+                t => return Err(ModelError::Malformed(format!("bad kernel tag {t}"))),
+            };
+            let n = r.len_prefix(8)?;
+            let mut models = Vec::with_capacity(n);
+            for _ in 0..n {
+                let n_sv = r.len_prefix(8)?;
+                let mut sv_rows = Vec::with_capacity(n_sv);
+                for _ in 0..n_sv {
+                    sv_rows.push(read_u32_vec(r)?);
+                }
+                let sv_coef = read_f64_vec(r)?;
+                let b = r.f64()?;
+                if sv_rows.len() != sv_coef.len() {
+                    return Err(ModelError::Malformed(
+                        "kernel SVM support-vector/coefficient mismatch".into(),
+                    ));
+                }
+                models.push(BinaryModel {
+                    sv_rows,
+                    sv_coef,
+                    b,
+                });
+            }
+            if models.is_empty() {
+                return Err(ModelError::Malformed("kernel SVM has no classes".into()));
+            }
+            Ok(TrainedModel::Kernel(KernelSvm::from_parts(kernel, models)))
+        }
+        MODEL_TREE => {
+            let n_classes = r.usize()?;
+            let n = r.len_prefix(1)?;
+            let mut nodes = Vec::with_capacity(n);
+            for _ in 0..n {
+                nodes.push(match r.u8()? {
+                    0 => FlatNode::Leaf {
+                        class: ClassId(r.u32()?),
+                        counts: read_u32_vec(r)?,
+                    },
+                    1 => FlatNode::Split {
+                        feature: r.u32()?,
+                        present: r.usize()?,
+                        absent: r.usize()?,
+                        counts: read_u32_vec(r)?,
+                    },
+                    t => return Err(ModelError::Malformed(format!("bad tree node tag {t}"))),
+                });
+            }
+            let tree = C45::from_flat(&nodes, n_classes)
+                .map_err(|e| ModelError::Malformed(format!("invalid tree: {e}")))?;
+            Ok(TrainedModel::Tree(tree))
+        }
+        MODEL_NB => {
+            let log_prior = read_f64_vec(r)?;
+            let n_p = r.len_prefix(8)?;
+            let mut log_p = Vec::with_capacity(n_p);
+            for _ in 0..n_p {
+                log_p.push(read_f64_vec(r)?);
+            }
+            let n_q = r.len_prefix(8)?;
+            let mut log_q = Vec::with_capacity(n_q);
+            for _ in 0..n_q {
+                log_q.push(read_f64_vec(r)?);
+            }
+            let m = log_prior.len();
+            if m == 0
+                || log_p.len() != m
+                || log_q.len() != m
+                || log_p.iter().zip(&log_q).any(|(p, q)| p.len() != q.len())
+            {
+                return Err(ModelError::Malformed(
+                    "naive Bayes table dimensions disagree".into(),
+                ));
+            }
+            Ok(TrainedModel::Nb(BernoulliNb::from_parts(
+                log_prior, log_p, log_q,
+            )))
+        }
+        MODEL_KNN => {
+            let n = r.len_prefix(8)?;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push(read_u32_vec(r)?);
+            }
+            let n_l = r.len_prefix(4)?;
+            let mut labels = Vec::with_capacity(n_l);
+            for _ in 0..n_l {
+                labels.push(ClassId(r.u32()?));
+            }
+            let n_classes = r.usize()?;
+            let k = r.usize()?;
+            if rows.is_empty() || rows.len() != labels.len() || k == 0 {
+                return Err(ModelError::Malformed("invalid k-NN training store".into()));
+            }
+            Ok(TrainedModel::Knn(Knn::from_parts(
+                rows, labels, n_classes, k,
+            )))
+        }
+        t => Err(ModelError::Malformed(format!("bad model kind tag {t}"))),
+    }
+}
+
+fn decode_fit_info(r: &mut Reader) -> Result<FitInfo, ModelError> {
+    Ok(FitInfo {
+        n_items: r.usize()?,
+        n_patterns_mined: r.usize()?,
+        n_selected: r.usize()?,
+        n_features: r.usize()?,
+        min_sup_abs: match r.u8()? {
+            0 => None,
+            1 => Some(r.usize()?),
+            t => return Err(ModelError::Malformed(format!("bad min_sup option tag {t}"))),
+        },
+    })
+}
+
+/// Deserializes a classifier from `DFPM` bytes, verifying magic, version and
+/// checksum before touching the payload.
+pub fn from_bytes(bytes: &[u8]) -> Result<PatternClassifier, ModelError> {
+    // Header + checksum minimum: magic(4) + version(2) + count(2) + crc(4).
+    if bytes.len() < 12 {
+        return Err(ModelError::Truncated);
+    }
+    if bytes[..4] != MAGIC {
+        return Err(ModelError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != FORMAT_VERSION {
+        return Err(ModelError::UnsupportedVersion(version));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
+    if crc32(body) != stored {
+        return Err(ModelError::ChecksumMismatch);
+    }
+
+    let mut r = Reader::new(&body[6..]);
+    let n_sections = r.u16()?;
+
+    let mut schema = None;
+    let mut discretization = None;
+    let mut item_map = None;
+    let mut feature_space = None;
+    let mut model = None;
+    let mut info = None;
+
+    for _ in 0..n_sections {
+        let tag = r.u8()?;
+        let len = r.usize()?;
+        let mut sec = r.sub(len)?;
+        match tag {
+            SEC_SCHEMA => schema = Some(decode_schema(&mut sec)?),
+            SEC_DISCRETIZATION => discretization = Some(decode_discretization(&mut sec)?),
+            SEC_ITEM_MAP => item_map = Some(decode_item_map(&mut sec)?),
+            SEC_FEATURE_SPACE => feature_space = Some(decode_feature_space(&mut sec)?),
+            SEC_MODEL => model = Some(decode_model(&mut sec)?),
+            SEC_FIT_INFO => info = Some(decode_fit_info(&mut sec)?),
+            // Unknown sections from future minor revisions are skipped.
+            _ => continue,
+        }
+        if !sec.is_empty() {
+            return Err(ModelError::Malformed(format!(
+                "section {tag} has {} trailing bytes",
+                sec.remaining()
+            )));
+        }
+    }
+    if !r.is_empty() {
+        return Err(ModelError::Malformed(
+            "trailing bytes after sections".into(),
+        ));
+    }
+
+    let feature_space = feature_space
+        .ok_or_else(|| ModelError::Malformed("missing feature-space section".into()))?;
+    let model = model.ok_or_else(|| ModelError::Malformed("missing model section".into()))?;
+    let info = info.ok_or_else(|| ModelError::Malformed("missing fit-info section".into()))?;
+
+    Ok(PatternClassifier::from_parts(
+        model,
+        feature_space,
+        discretization,
+        item_map,
+        schema,
+        info,
+    ))
+}

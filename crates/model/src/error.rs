@@ -1,0 +1,50 @@
+//! Typed errors for artifact encoding and decoding.
+
+use std::fmt;
+
+/// Everything that can go wrong reading or writing a model artifact.
+#[derive(Debug)]
+pub enum ModelError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with the `DFPM` magic bytes.
+    BadMagic,
+    /// The artifact was written by an unknown format version.
+    UnsupportedVersion(u16),
+    /// The byte stream ended before a complete value could be read.
+    Truncated,
+    /// The trailing CRC-32 does not match the artifact contents.
+    ChecksumMismatch,
+    /// Structurally invalid contents (bad tag, inconsistent dimensions, …).
+    Malformed(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Io(e) => write!(f, "i/o error: {e}"),
+            ModelError::BadMagic => write!(f, "not a dfp model artifact (bad magic)"),
+            ModelError::UnsupportedVersion(v) => {
+                write!(f, "unsupported artifact format version {v}")
+            }
+            ModelError::Truncated => write!(f, "artifact truncated"),
+            ModelError::ChecksumMismatch => write!(f, "artifact checksum mismatch"),
+            ModelError::Malformed(why) => write!(f, "malformed artifact: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        ModelError::Io(e)
+    }
+}

@@ -1,0 +1,48 @@
+//! # dfp-model — versioned binary artifacts for fitted classifiers
+//!
+//! Persists a fitted [`PatternClassifier`] — discretization cut points, the
+//! `(attribute, value) ↔ item` map, the selected feature space and the
+//! trained model (any of the five [`dfp_core::ModelKind`] variants) — to a
+//! compact, versioned binary file, and loads it back for serving.
+//!
+//! The format is hand-rolled (the workspace deliberately avoids serde; see
+//! DESIGN.md): `DFPM` magic, a `u16` format version, length-prefixed tagged
+//! sections and a trailing CRC-32. A loaded model reproduces the in-memory
+//! model's predictions exactly: every float travels as its IEEE-754 bit
+//! pattern. Corrupt input fails with a typed [`ModelError`], never a panic.
+//!
+//! ```no_run
+//! use dfp_core::{FrameworkConfig, PatternClassifier};
+//! # fn demo(train: &dfp_data::dataset::Dataset) -> Result<(), Box<dyn std::error::Error>> {
+//! let model = PatternClassifier::fit(train, &FrameworkConfig::pat_fs())?;
+//! dfp_model::save(&model, "model.dfpm")?;
+//! let loaded = dfp_model::load("model.dfpm")?;
+//! assert_eq!(loaded.predict(train)?, model.predict(train)?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod crc32;
+mod error;
+mod wire;
+
+pub use codec::{from_bytes, to_bytes, FORMAT_VERSION, MAGIC};
+pub use error::ModelError;
+
+use dfp_core::PatternClassifier;
+use std::path::Path;
+
+/// Saves a fitted classifier to `path` in the `DFPM` format.
+pub fn save(model: &PatternClassifier, path: impl AsRef<Path>) -> Result<(), ModelError> {
+    std::fs::write(path, to_bytes(model))?;
+    Ok(())
+}
+
+/// Loads a fitted classifier from a `DFPM` file.
+pub fn load(path: impl AsRef<Path>) -> Result<PatternClassifier, ModelError> {
+    from_bytes(&std::fs::read(path)?)
+}

@@ -57,12 +57,7 @@ mod tests {
         TransactionSet::new(
             3,
             2,
-            vec![
-                vec![Item(0)],
-                vec![Item(0)],
-                vec![Item(1)],
-                vec![Item(2)],
-            ],
+            vec![vec![Item(0)], vec![Item(0)], vec![Item(1)], vec![Item(2)]],
             vec![ClassId(0), ClassId(0), ClassId(1), ClassId(1)],
         )
     }

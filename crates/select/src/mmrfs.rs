@@ -300,11 +300,7 @@ mod tests {
         // two tidset-identical class-0 patterns back to back would mean the
         // redundancy term is inert
         assert!(sel.len() >= 2);
-        assert_ne!(
-            sel[0].majority_class(),
-            sel[1].majority_class(),
-            "{sel:?}"
-        );
+        assert_ne!(sel[0].majority_class(), sel[1].majority_class(), "{sel:?}");
     }
 
     #[test]

@@ -79,7 +79,11 @@ impl FeatureSpace {
 
     /// Total feature count `d'`.
     pub fn n_features(&self) -> usize {
-        (if self.include_all_items { self.n_items } else { 0 }) + self.patterns.len()
+        (if self.include_all_items {
+            self.n_items
+        } else {
+            0
+        }) + self.patterns.len()
     }
 
     /// Transforms a transaction database (train or test) into the extended
@@ -94,7 +98,11 @@ impl FeatureSpace {
             ts.n_items(),
             self.n_items
         );
-        let offset = if self.include_all_items { self.n_items } else { 0 };
+        let offset = if self.include_all_items {
+            self.n_items
+        } else {
+            0
+        };
         let rows: Vec<Vec<u32>> = ts
             .transactions()
             .iter()

@@ -1,0 +1,88 @@
+//! Serving-path benchmarks: single-row predict latency and batch throughput
+//! for every model kind, through the same code path `/predict` uses
+//! (CSV parse → transform → predict_batch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfp_classify::svm::KernelSvmParams;
+use dfp_classify::tree::C45Params;
+use dfp_classify::Classifier;
+use dfp_core::{FrameworkConfig, ModelKind, PatternClassifier};
+use dfp_data::dataset::{categorical_dataset, Dataset};
+use dfp_serve::parse_rows;
+
+fn confusable(n: u32) -> Dataset {
+    let mut rows: Vec<(Vec<u32>, u32)> = Vec::new();
+    for i in 0..n {
+        let (vals, label) = if i % 2 == 0 {
+            (vec![1, 1, i % 3], 0)
+        } else {
+            (vec![1, 2, i % 3], 1)
+        };
+        rows.push((vals, label));
+    }
+    let borrowed: Vec<(&[u32], u32)> = rows.iter().map(|(v, l)| (&v[..], *l)).collect();
+    categorical_dataset(&[3, 3, 3], 2, &borrowed)
+}
+
+fn model_kinds() -> Vec<(&'static str, ModelKind)> {
+    vec![
+        ("linear_svm", ModelKind::default()),
+        (
+            "kernel_svm",
+            ModelKind::KernelSvm(KernelSvmParams::rbf(1.0, 0.5)),
+        ),
+        ("c45", ModelKind::C45(C45Params::default())),
+        ("naive_bayes", ModelKind::NaiveBayes),
+        ("knn", ModelKind::Knn(3)),
+    ]
+}
+
+fn bench_single_row(c: &mut Criterion) {
+    let data = confusable(120);
+    let mut group = c.benchmark_group("predict_single_row");
+    group.sample_size(20);
+    for (name, kind) in model_kinds() {
+        let cfg = FrameworkConfig::pat_fs().with_model(kind);
+        let fitted = PatternClassifier::fit(&data, &cfg).expect("fit");
+        let model = dfp_model::from_bytes(&dfp_model::to_bytes(&fitted)).expect("roundtrip");
+        let schema = model.schema().expect("schema").clone();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, model| {
+            b.iter(|| {
+                let ds = parse_rows(&schema, "v1,v1,v0\n").expect("parse");
+                model.predict(&ds).expect("predict")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let data = confusable(120);
+    let batch: String = (0..512)
+        .map(|i| {
+            if i % 2 == 0 {
+                "v1,v1,v0\n"
+            } else {
+                "v1,v2,v1\n"
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("predict_batch_512");
+    group.sample_size(20);
+    for (name, kind) in model_kinds() {
+        let cfg = FrameworkConfig::pat_fs().with_model(kind);
+        let fitted = PatternClassifier::fit(&data, &cfg).expect("fit");
+        let model = dfp_model::from_bytes(&dfp_model::to_bytes(&fitted)).expect("roundtrip");
+        let schema = model.schema().expect("schema").clone();
+        let matrix = model
+            .transform(&parse_rows(&schema, &batch).expect("parse"))
+            .expect("transform");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, model| {
+            b.iter(|| model.model().predict_batch(&matrix.rows))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_row, bench_batch_throughput);
+criterion_main!(benches);

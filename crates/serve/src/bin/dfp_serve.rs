@@ -1,0 +1,74 @@
+//! `dfp-serve` — serve a `.dfpm` model artifact over HTTP.
+//!
+//! ```text
+//! dfp-serve --model model.dfpm [--addr 127.0.0.1:8080] [--threads 4]
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut model_path = None;
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--model" => model_path = args.next(),
+            "--addr" => {
+                if let Some(a) = args.next() {
+                    addr = a;
+                }
+            }
+            "--threads" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(n)) if n > 0 => threads = n,
+                _ => return usage("--threads expects a positive integer"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let Some(model_path) = model_path else {
+        return usage("--model is required");
+    };
+
+    let model = match dfp_model::load(&model_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: cannot load '{model_path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if model.schema().is_none() {
+        eprintln!("error: artifact carries no schema; refit the model from a raw dataset");
+        return ExitCode::FAILURE;
+    }
+
+    let handle = match dfp_serve::serve(model, &addr, threads) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "dfp-serve listening on {} with {threads} workers (endpoints: POST /predict, GET /healthz, GET /metrics)",
+        handle.addr()
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!("usage: dfp-serve --model <model.dfpm> [--addr <host:port>] [--threads <n>]");
+    if problem.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,97 @@
+//! `dfpc-score` — offline batch scoring of a CSV file against a `.dfpm`
+//! artifact. Prints one predicted class name per row to stdout and a
+//! rows/sec throughput summary to stderr.
+//!
+//! ```text
+//! dfpc-score --model model.dfpm --input rows.csv
+//! ```
+//!
+//! The input contains attribute columns only (no class column), in the
+//! model schema's order; `?` or an empty field marks a missing value.
+
+use dfp_classify::Classifier;
+use dfp_serve::rows::{parse_rows, render_labels};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let mut model_path = None;
+    let mut input_path = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--model" => model_path = args.next(),
+            "--input" => input_path = args.next(),
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let (Some(model_path), Some(input_path)) = (model_path, input_path) else {
+        return usage("--model and --input are required");
+    };
+
+    let model = match dfp_model::load(&model_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: cannot load '{model_path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(schema) = model.schema().cloned() else {
+        eprintln!("error: artifact carries no schema; refit the model from a raw dataset");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&input_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read '{input_path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let dataset = match parse_rows(&schema, &text) {
+        Ok(d) => d,
+        Err(why) => {
+            eprintln!("error: {why}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let matrix = match model.transform(&dataset) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let start = Instant::now();
+    let labels = model.model().predict_batch(&matrix.rows);
+    let elapsed = start.elapsed();
+
+    print!("{}", render_labels(&schema, &labels));
+    let rows = labels.len();
+    let secs = elapsed.as_secs_f64();
+    eprintln!(
+        "scored {rows} rows in {:.3} ms ({:.0} rows/sec)",
+        secs * 1e3,
+        if secs > 0.0 {
+            rows as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage(problem: &str) -> ExitCode {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!("usage: dfpc-score --model <model.dfpm> --input <rows.csv>");
+    if problem.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

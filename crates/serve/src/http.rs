@@ -1,0 +1,180 @@
+//! A deliberately minimal HTTP/1.1 subset: enough to parse the request line,
+//! headers and a `Content-Length` body, and to write plain responses. No
+//! chunked encoding, no keep-alive (every response closes the connection) —
+//! the serving layer favours predictability over protocol coverage.
+
+use std::io::{Read, Write};
+
+/// Upper bound on request-head bytes (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Upper bound on body bytes (a prediction batch).
+const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, query string included if any.
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Connection closed or timed out mid-request.
+    Io,
+    /// Malformed request line or headers.
+    BadRequest(&'static str),
+    /// Head or body exceeded the fixed limits.
+    TooLarge,
+}
+
+/// Reads one request from the stream.
+pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(HttpError::TooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(|_| HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Io);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("non-UTF-8 request head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::BadRequest("empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::BadRequest("missing method"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or(HttpError::BadRequest("missing path"))?
+        .to_string();
+    if !parts
+        .next()
+        .is_some_and(|v| v.eq_ignore_ascii_case("HTTP/1.1") || v.eq_ignore_ascii_case("HTTP/1.0"))
+    {
+        return Err(HttpError::BadRequest("missing or unsupported HTTP version"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge);
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|_| HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Io);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes a complete response and flushes it.
+pub fn write_response<S: Write>(
+    stream: &mut S,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_get() {
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /predict HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn body_truncated_to_content_length() {
+        let raw = b"POST /p HTTP/1.1\r\nContent-Length: 2\r\n\r\nabcdef";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.body, b"ab");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let raw = b"NOT-HTTP\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut &raw[..]),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_content_length() {
+        let raw = b"POST /p HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n";
+        assert_eq!(read_request(&mut &raw[..]), Err(HttpError::TooLarge));
+    }
+
+    #[test]
+    fn eof_mid_request_is_io() {
+        let raw = b"GET /x HTTP/1.1\r\n";
+        assert_eq!(read_request(&mut &raw[..]), Err(HttpError::Io));
+    }
+
+    #[test]
+    fn response_shape() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", "text/plain", b"yes").unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 3\r\n"));
+        assert!(s.ends_with("\r\n\r\nyes"));
+    }
+}

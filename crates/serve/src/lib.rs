@@ -1,0 +1,34 @@
+//! # dfp-serve — threaded inference serving for dfp model artifacts
+//!
+//! Turns a saved [`dfp_model`] artifact into a long-running prediction
+//! service built entirely on `std`: a `TcpListener` accept loop feeding a
+//! fixed worker pool, a minimal HTTP/1.1 subset, CSV request parsing against
+//! the saved schema, Prometheus-style metrics and graceful shutdown.
+//!
+//! ```no_run
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = dfp_model::load("model.dfpm")?;
+//! let handle = dfp_serve::serve(model, "127.0.0.1:8080", 4)?;
+//! println!("serving on {}", handle.addr());
+//! // … later:
+//! handle.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Two binaries ship with the crate: `dfp-serve` (the server) and
+//! `dfpc-score` (offline batch scoring of a CSV file, reporting rows/sec).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod rows;
+pub mod server;
+
+pub use metrics::Metrics;
+pub use pool::ThreadPool;
+pub use rows::{parse_rows, render_labels};
+pub use server::{serve, ServerHandle};

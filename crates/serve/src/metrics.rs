@@ -1,0 +1,129 @@
+//! Lock-free serving metrics: request/prediction/error counters and a
+//! fixed-bucket latency histogram, rendered in the Prometheus text
+//! exposition format. Everything is `AtomicU64` with relaxed ordering —
+//! counters tolerate torn cross-counter reads; each individual value is
+//! always consistent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (seconds) of the latency histogram buckets; `+Inf` implied.
+pub const LATENCY_BUCKETS: [f64; 8] = [0.000_1, 0.000_5, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5];
+
+/// Shared serving metrics.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests received, any endpoint.
+    pub requests_total: AtomicU64,
+    /// Rows successfully predicted.
+    pub predictions_total: AtomicU64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors_total: AtomicU64,
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS.len() + 1],
+    latency_sum_nanos: AtomicU64,
+    latency_count: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one `/predict` call's latency.
+    pub fn observe_latency(&self, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        let idx = LATENCY_BUCKETS
+            .iter()
+            .position(|&ub| secs <= ub)
+            .unwrap_or(LATENCY_BUCKETS.len());
+        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of latency observations so far.
+    pub fn latency_count(&self) -> u64 {
+        self.latency_count.load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus text exposition.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for (name, help, value) in [
+            (
+                "dfp_serve_requests_total",
+                "Requests received",
+                self.requests_total.load(Ordering::Relaxed),
+            ),
+            (
+                "dfp_serve_predictions_total",
+                "Rows predicted",
+                self.predictions_total.load(Ordering::Relaxed),
+            ),
+            (
+                "dfp_serve_errors_total",
+                "Requests answered with an error status",
+                self.errors_total.load(Ordering::Relaxed),
+            ),
+        ] {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
+
+        out.push_str("# HELP dfp_serve_predict_latency_seconds Predict call latency\n");
+        out.push_str("# TYPE dfp_serve_predict_latency_seconds histogram\n");
+        let mut cumulative = 0u64;
+        for (i, &ub) in LATENCY_BUCKETS.iter().enumerate() {
+            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "dfp_serve_predict_latency_seconds_bucket{{le=\"{ub}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.latency_buckets[LATENCY_BUCKETS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "dfp_serve_predict_latency_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "dfp_serve_predict_latency_seconds_sum {}\n",
+            self.latency_sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+        ));
+        out.push_str(&format!(
+            "dfp_serve_predict_latency_seconds_count {}\n",
+            self.latency_count.load(Ordering::Relaxed)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_render() {
+        let m = Metrics::new();
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.errors_total.fetch_add(1, Ordering::Relaxed);
+        let text = m.render();
+        assert!(text.contains("dfp_serve_requests_total 3"));
+        assert!(text.contains("dfp_serve_errors_total 1"));
+        assert!(text.contains("dfp_serve_predictions_total 0"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        m.observe_latency(Duration::from_micros(50)); // ≤ 0.0001
+        m.observe_latency(Duration::from_millis(2)); // ≤ 0.005
+        m.observe_latency(Duration::from_secs(2)); // +Inf only
+        let text = m.render();
+        assert!(text.contains("le=\"0.0001\"} 1\n"));
+        assert!(text.contains("le=\"0.005\"} 2\n"));
+        assert!(text.contains("le=\"+Inf\"} 3\n"));
+        assert!(text.contains("latency_seconds_count 3\n"));
+        assert_eq!(m.latency_count(), 3);
+    }
+}

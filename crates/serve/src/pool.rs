@@ -1,0 +1,112 @@
+//! A fixed-size worker thread pool over an `mpsc` channel. Workers pull
+//! boxed jobs from a shared receiver; dropping the pool closes the channel
+//! and joins every worker, so shutdown is deterministic.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of worker threads.
+#[derive(Debug)]
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `size` workers (clamped to at least 1).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|i| {
+                let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("dfp-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        // Holding the lock only for the recv keeps handoff fair.
+                        let job = receiver.lock().expect("pool receiver poisoned").recv();
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // channel closed → shut down
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues a job; some idle worker will run it.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        if let Some(sender) = &self.sender {
+            // Send fails only if all workers died; jobs are then dropped,
+            // which closes their connections — an acceptable shutdown race.
+            let _ = sender.send(Box::new(job));
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins workers → all queued jobs ran
+        assert_eq!(done.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn size_clamped_to_one() {
+        assert_eq!(ThreadPool::new(0).size(), 1);
+        assert_eq!(ThreadPool::new(3).size(), 3);
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        use std::sync::mpsc::channel;
+        let pool = ThreadPool::new(2);
+        // Two jobs that can only finish if both run at the same time.
+        let (tx_a, rx_a) = channel();
+        let (tx_b, rx_b) = channel();
+        pool.execute(move || {
+            tx_a.send(()).unwrap();
+            rx_b.recv().unwrap();
+        });
+        pool.execute(move || {
+            tx_b.send(()).unwrap();
+            rx_a.recv().unwrap();
+        });
+        drop(pool); // would deadlock with a single worker
+    }
+}

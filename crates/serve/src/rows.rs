@@ -1,0 +1,141 @@
+//! Parsing inference-request CSV rows against a saved model schema.
+//!
+//! Each non-empty line is one instance: comma-separated attribute values in
+//! schema column order, **without** the class column (that is what the model
+//! predicts). `?` or an empty field marks a missing value. Categorical
+//! fields must name one of the attribute's known values — an unseen value at
+//! serving time is a client error, reported with row and column context.
+
+use dfp_data::dataset::{Dataset, Value};
+use dfp_data::schema::{AttributeKind, ClassId, Schema};
+
+/// Parses a CSV payload into a [`Dataset`] with placeholder labels, ready
+/// for [`dfp_core::PatternClassifier::predict`].
+///
+/// Returns a client-facing error message on the first malformed row.
+pub fn parse_rows(schema: &Schema, text: &str) -> Result<Dataset, String> {
+    let mut rows = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end_matches('\r');
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != schema.n_attributes() {
+            return Err(format!(
+                "row {}: expected {} fields, got {}",
+                lineno + 1,
+                schema.n_attributes(),
+                fields.len()
+            ));
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (a, (field, attr)) in fields.iter().zip(&schema.attributes).enumerate() {
+            if field.is_empty() || *field == "?" {
+                row.push(Value::Missing);
+                continue;
+            }
+            let value = match &attr.kind {
+                AttributeKind::Numeric => {
+                    let v: f64 = field.parse().map_err(|_| {
+                        format!(
+                            "row {}: attribute '{}' (column {}) expects a number, got '{field}'",
+                            lineno + 1,
+                            attr.name,
+                            a + 1
+                        )
+                    })?;
+                    Value::Num(v)
+                }
+                AttributeKind::Categorical { values } => {
+                    let idx = values.iter().position(|v| v == field).ok_or_else(|| {
+                        format!(
+                            "row {}: '{field}' is not a known value of attribute '{}'",
+                            lineno + 1,
+                            attr.name
+                        )
+                    })?;
+                    Value::Cat(idx as u32)
+                }
+            };
+            row.push(value);
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err("no data rows in request body".to_string());
+    }
+    let labels = vec![ClassId(0); rows.len()];
+    Ok(Dataset::new(schema.clone(), rows, labels))
+}
+
+/// Renders predicted class ids as class names, one per line.
+pub fn render_labels(schema: &Schema, labels: &[ClassId]) -> String {
+    let mut out = String::new();
+    for l in labels {
+        out.push_str(
+            schema
+                .class_names
+                .get(l.index())
+                .map(String::as_str)
+                .unwrap_or("?"),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfp_data::schema::Attribute;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                Attribute::categorical("color", vec!["red".into(), "blue".into()]),
+                Attribute::numeric("size"),
+            ],
+            vec!["yes".into(), "no".into()],
+        )
+    }
+
+    #[test]
+    fn parses_mixed_rows() {
+        let d = parse_rows(&schema(), "red, 1.5\nblue,2\n\n?,?\r\n").unwrap();
+        assert_eq!(d.rows.len(), 3);
+        assert_eq!(d.rows[0], vec![Value::Cat(0), Value::Num(1.5)]);
+        assert_eq!(d.rows[1], vec![Value::Cat(1), Value::Num(2.0)]);
+        assert_eq!(d.rows[2], vec![Value::Missing, Value::Missing]);
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let err = parse_rows(&schema(), "red").unwrap_err();
+        assert!(err.contains("expected 2 fields"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_category_with_context() {
+        let err = parse_rows(&schema(), "green,1").unwrap_err();
+        assert!(err.contains("green") && err.contains("color"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_numeric() {
+        let err = parse_rows(&schema(), "red,tall").unwrap_err();
+        assert!(err.contains("expects a number"), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_body() {
+        assert!(parse_rows(&schema(), "\n\n").is_err());
+    }
+
+    #[test]
+    fn labels_render_as_names() {
+        let s = schema();
+        let out = render_labels(&s, &[ClassId(1), ClassId(0)]);
+        assert_eq!(out, "no\nyes\n");
+    }
+}

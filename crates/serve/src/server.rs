@@ -1,0 +1,188 @@
+//! The serving loop: a `TcpListener` accept thread feeding a fixed worker
+//! pool, three routes, and graceful shutdown.
+//!
+//! Routes:
+//!
+//! * `POST /predict` — body is CSV attribute rows (no class column), answer
+//!   is one predicted class name per line;
+//! * `GET /healthz` — liveness probe, always `ok`;
+//! * `GET /metrics` — Prometheus text exposition of the serving counters.
+//!
+//! Shutdown: [`ServerHandle::shutdown`] raises a flag and pokes the listener
+//! with a loopback connection so the blocking `accept` observes it; the
+//! accept thread then drops the pool, which joins every worker.
+
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::metrics::Metrics;
+use crate::pool::ThreadPool;
+use crate::rows::{parse_rows, render_labels};
+use dfp_core::PatternClassifier;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-connection I/O timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A running server; dropping it without calling [`Self::shutdown`] detaches
+/// the accept thread (the process exit reaps it).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live serving metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Stops accepting, drains in-flight work and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves `model` on a pool of
+/// `threads` workers. Returns once the listener is bound — serving continues
+/// on background threads until [`ServerHandle::shutdown`].
+pub fn serve(model: PatternClassifier, addr: &str, threads: usize) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let model = Arc::new(model);
+    let metrics = Arc::new(Metrics::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let accept_thread = {
+        let stop = Arc::clone(&stop);
+        let metrics = Arc::clone(&metrics);
+        std::thread::Builder::new()
+            .name("dfp-serve-accept".into())
+            .spawn(move || {
+                let pool = ThreadPool::new(threads);
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let model = Arc::clone(&model);
+                    let metrics = Arc::clone(&metrics);
+                    pool.execute(move || handle_connection(stream, &model, &metrics));
+                }
+                // pool drops here: channel closes, workers drain and join
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        metrics,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn handle_connection(mut stream: TcpStream, model: &PatternClassifier, metrics: &Metrics) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(HttpError::Io) => return, // peer went away (includes shutdown wake)
+        Err(HttpError::TooLarge) => {
+            metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+            metrics.errors_total.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(
+                &mut stream,
+                413,
+                "Payload Too Large",
+                "text/plain",
+                b"request too large\n",
+            );
+            return;
+        }
+        Err(HttpError::BadRequest(why)) => {
+            metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+            metrics.errors_total.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(
+                &mut stream,
+                400,
+                "Bad Request",
+                "text/plain",
+                format!("{why}\n").as_bytes(),
+            );
+            return;
+        }
+    };
+    metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+
+    let (status, reason, body): (u16, &str, String) = route(&request, model, metrics);
+    if status >= 400 {
+        metrics.errors_total.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = write_response(&mut stream, status, reason, "text/plain", body.as_bytes());
+}
+
+fn route(
+    request: &Request,
+    model: &PatternClassifier,
+    metrics: &Metrics,
+) -> (u16, &'static str, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, "OK", "ok\n".to_string()),
+        ("GET", "/metrics") => (200, "OK", metrics.render()),
+        ("POST", "/predict") => predict(request, model, metrics),
+        ("GET", "/predict") => (
+            405,
+            "Method Not Allowed",
+            "POST CSV rows to /predict\n".to_string(),
+        ),
+        _ => (404, "Not Found", "not found\n".to_string()),
+    }
+}
+
+fn predict(
+    request: &Request,
+    model: &PatternClassifier,
+    metrics: &Metrics,
+) -> (u16, &'static str, String) {
+    let Some(schema) = model.schema() else {
+        return (
+            500,
+            "Internal Server Error",
+            "model artifact carries no schema; refit from a raw dataset\n".to_string(),
+        );
+    };
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return (400, "Bad Request", "body is not UTF-8\n".to_string());
+    };
+    let start = Instant::now();
+    let dataset = match parse_rows(schema, text) {
+        Ok(d) => d,
+        Err(why) => return (400, "Bad Request", format!("{why}\n")),
+    };
+    match model.predict(&dataset) {
+        Ok(labels) => {
+            metrics.observe_latency(start.elapsed());
+            metrics
+                .predictions_total
+                .fetch_add(labels.len() as u64, Ordering::Relaxed);
+            (200, "OK", render_labels(schema, &labels))
+        }
+        Err(e) => (400, "Bad Request", format!("{e}\n")),
+    }
+}

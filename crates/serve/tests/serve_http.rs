@@ -1,0 +1,172 @@
+//! End-to-end serving test: fit → save → load → serve → concurrent clients.
+//!
+//! Exercises the acceptance path from the serving issue: a loaded artifact
+//! served via `dfp-serve` must answer a concurrent burst (≥ 4 client
+//! threads) with correct labels and non-zero `/metrics` counters.
+
+use dfp_core::{FrameworkConfig, PatternClassifier};
+use dfp_data::dataset::{categorical_dataset, Dataset};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// (a0=v1, a1=v1) → c0 and (a0=v1, a1=v2) → c1; a2 is noise.
+fn confusable() -> Dataset {
+    let mut rows: Vec<(Vec<u32>, u32)> = Vec::new();
+    for i in 0..60u32 {
+        let (vals, label) = if i % 2 == 0 {
+            (vec![1, 1, i % 3], 0)
+        } else {
+            (vec![1, 2, i % 3], 1)
+        };
+        rows.push((vals, label));
+    }
+    let borrowed: Vec<(&[u32], u32)> = rows.iter().map(|(v, l)| (&v[..], *l)).collect();
+    categorical_dataset(&[3, 3, 3], 2, &borrowed)
+}
+
+/// Minimal HTTP/1.1 client: one request, read to EOF (server closes).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("recv");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+fn serve_fitted() -> dfp_serve::ServerHandle {
+    let data = confusable();
+    let fitted = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs()).expect("fit");
+
+    // Round-trip through the artifact format: serve the *loaded* model.
+    let path = std::env::temp_dir().join(format!(
+        "dfp-serve-test-{}-{:?}.dfpm",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    dfp_model::save(&fitted, &path).expect("save");
+    let loaded = dfp_model::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    dfp_serve::serve(loaded, "127.0.0.1:0", 4).expect("bind")
+}
+
+#[test]
+fn concurrent_burst_predicts_correct_labels() {
+    let handle = serve_fitted();
+    let addr = handle.addr();
+
+    let (status, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+
+    // 6 client threads × 8 requests, alternating the two planted patterns.
+    let clients: Vec<_> = (0..6)
+        .map(|c| {
+            std::thread::spawn(move || {
+                for r in 0..8 {
+                    let (csv, expected) = if (c + r) % 2 == 0 {
+                        ("v1,v1,v0\nv1,v1,v2\n", "c0\nc0\n")
+                    } else {
+                        ("v1,v2,v1\nv1,v2,v0\n", "c1\nc1\n")
+                    };
+                    let (status, body) = http(addr, "POST", "/predict", csv);
+                    assert_eq!(status, 200, "predict failed: {body}");
+                    assert_eq!(body, expected, "wrong labels from client {c} round {r}");
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    let (status, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    // 6 × 8 predict requests, 2 rows each, plus healthz — all counted.
+    assert_counter_at_least(&metrics, "dfp_serve_requests_total", 49);
+    assert_counter_at_least(&metrics, "dfp_serve_predictions_total", 96);
+    assert_counter_at_least(&metrics, "dfp_serve_predict_latency_seconds_count", 48);
+    assert_counter_at_least(&metrics, "dfp_serve_errors_total", 0);
+
+    handle.shutdown();
+}
+
+fn assert_counter_at_least(metrics: &str, name: &str, min: u64) {
+    let value: u64 = metrics
+        .lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .unwrap_or_else(|| panic!("{name} missing from:\n{metrics}"))
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap_or_else(|_| panic!("{name} is not an integer"));
+    assert!(value >= min, "{name} = {value} < {min}");
+}
+
+#[test]
+fn error_paths_are_client_errors_not_crashes() {
+    let handle = serve_fitted();
+    let addr = handle.addr();
+
+    // Unknown path.
+    let (status, _) = http(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+
+    // Wrong method on /predict.
+    let (status, _) = http(addr, "GET", "/predict", "");
+    assert_eq!(status, 405);
+
+    // Unknown categorical value.
+    let (status, body) = http(addr, "POST", "/predict", "purple,v1,v0\n");
+    assert_eq!(status, 400);
+    assert!(body.contains("purple"), "{body}");
+
+    // Wrong column count.
+    let (status, _) = http(addr, "POST", "/predict", "v1,v1\n");
+    assert_eq!(status, 400);
+
+    // Empty body.
+    let (status, _) = http(addr, "POST", "/predict", "\n");
+    assert_eq!(status, 400);
+
+    // The server still works after all that.
+    let (status, body) = http(addr, "POST", "/predict", "v1,v1,v0\n");
+    assert_eq!(status, 200);
+    assert_eq!(body, "c0\n");
+
+    let (_, metrics) = http(addr, "GET", "/metrics", "");
+    assert_counter_at_least(&metrics, "dfp_serve_errors_total", 4);
+
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_joins_cleanly_and_frees_the_port() {
+    let handle = serve_fitted();
+    let addr = handle.addr();
+    let (status, _) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    handle.shutdown();
+    // After shutdown the port no longer accepts predict traffic.
+    let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err();
+    assert!(refused, "listener still accepting after shutdown");
+}

@@ -35,8 +35,8 @@ fn main() {
             let test = data.subset(&fold.test);
 
             // Framework path: raw dataset in, discretization inside.
-            let model = PatternClassifier::fit(&train, &FrameworkConfig::pat_fs())
-                .expect("framework fit");
+            let model =
+                PatternClassifier::fit(&train, &FrameworkConfig::pat_fs()).expect("framework fit");
             acc[0] += model.accuracy(&test);
 
             // Baselines operate on itemized transactions; fit the

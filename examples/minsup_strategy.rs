@@ -32,10 +32,7 @@ fn main() {
     for ig0 in [0.01, 0.02, 0.05, 0.10, 0.20, 0.40] {
         let s = theta_star(ig0, &priors, n);
         let bound = ig_upper_bound_for(s as f64 / n as f64, &priors);
-        println!(
-            "{ig0:<8} {s:<10} {:<10.4} {bound:.4}",
-            s as f64 / n as f64
-        );
+        println!("{ig0:<8} {s:<10} {:<10.4} {bound:.4}", s as f64 / n as f64);
     }
 
     // Safety check: mine everything at min_sup = 1 (bounded length to stay

@@ -35,7 +35,10 @@ fn main() {
             )
         })
         .collect();
-    grid.push(("Pat_FS / C4.5".to_string(), FrameworkConfig::pat_fs().with_c45()));
+    grid.push((
+        "Pat_FS / C4.5".to_string(),
+        FrameworkConfig::pat_fs().with_c45(),
+    ));
 
     let configs: Vec<FrameworkConfig> = grid.iter().map(|(_, c)| c.clone()).collect();
     let (model, winner) =
@@ -44,7 +47,10 @@ fn main() {
     println!("held-out accuracy    : {:.4}\n", model.accuracy(&test));
 
     // Relevance-measure ablation: same pipeline, different S(α) in MMRFS.
-    println!("{:<22} {:>10} {:>10}", "relevance measure", "selected", "test acc");
+    println!(
+        "{:<22} {:>10} {:>10}",
+        "relevance measure", "selected", "test acc"
+    );
     for measure in [
         RelevanceMeasure::InfoGain,
         RelevanceMeasure::FisherScore,

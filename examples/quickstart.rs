@@ -52,7 +52,10 @@ fn main() {
         println!("  {w:>7.3}  {d}");
     }
 
-    println!("train accuracy              : {:.4}", model.accuracy(&train));
+    println!(
+        "train accuracy              : {:.4}",
+        model.accuracy(&train)
+    );
     println!("test  accuracy              : {:.4}", model.accuracy(&test));
 
     // Compare against the single-feature baseline on the same split.
@@ -62,4 +65,19 @@ fn main() {
         "Item_All test accuracy      : {:.4}",
         baseline.accuracy(&test)
     );
+
+    // Persist the fitted model as a DFPM artifact and load it back: the
+    // loaded model reproduces the in-memory predictions exactly. This is
+    // the artifact `dfp-serve` and `dfpc-score` consume.
+    let artifact = std::env::temp_dir().join(format!("quickstart-{}.dfpm", std::process::id()));
+    dfpc::model::save(&model, &artifact).expect("artifact saves");
+    let loaded = dfpc::model::load(&artifact).expect("artifact loads");
+    let size = std::fs::metadata(&artifact).map(|m| m.len()).unwrap_or(0);
+    std::fs::remove_file(&artifact).ok();
+    assert_eq!(
+        loaded.predict(&test).expect("loaded model predicts"),
+        model.predict(&test).expect("fitted model predicts"),
+        "artifact round-trip must preserve predictions"
+    );
+    println!("artifact round-trip         : {size} bytes, predictions identical");
 }

@@ -24,7 +24,10 @@ fn main() {
         data.schema.n_items().unwrap_or(0)
     );
 
-    println!("{:<10} {:>10} {:>12} {:>10}", "min_sup", "#patterns", "time (s)", "SVM (%)");
+    println!(
+        "{:<10} {:>10} {:>12} {:>10}",
+        "min_sup", "#patterns", "time (s)", "SVM (%)"
+    );
     for min_sup in [2400usize, 2600, 2800] {
         // Relative support, so the threshold scales down with the CV folds'
         // training-set size (an absolute count would clamp to 100% there).

@@ -68,13 +68,23 @@ fn main() {
         .map(|(k, p)| (info_gain(&class_counts, &p.class_supports), k))
         .collect();
     ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
-    let selected: Vec<_> = ranked.iter().take(40).map(|&(_, k)| patterns[k].clone()).collect();
-    println!("top subsequence by IG: {:?} (IG = {:.3})", selected[0].symbols, ranked[0].0);
+    let selected: Vec<_> = ranked
+        .iter()
+        .take(40)
+        .map(|&(_, k)| patterns[k].clone())
+        .collect();
+    println!(
+        "top subsequence by IG: {:?} (IG = {:.3})",
+        selected[0].symbols, ranked[0].0
+    );
 
     let train_m = train.transform(&selected);
     let test_m = test.transform(&selected);
     let svm = LinearSvm::fit(&train_m, &LinearSvmParams::default());
     println!("train accuracy: {:.4}", svm.accuracy(&train_m));
     println!("test  accuracy: {:.4}", svm.accuracy(&test_m));
-    assert!(svm.accuracy(&test_m) > 0.8, "sequential features should separate the classes");
+    assert!(
+        svm.accuracy(&test_m) > 0.8,
+        "sequential features should separate the classes"
+    );
 }

@@ -17,7 +17,11 @@
 //! * [`baselines`] — associative classifiers (CBA-, CMAR- and
 //!   HARMONY-style) the paper compares against;
 //! * [`core`] — the end-to-end framework: feature generation → feature
-//!   selection → model learning, with the paper's experimental variants.
+//!   selection → model learning, with the paper's experimental variants;
+//! * [`model`] — the versioned `DFPM` binary artifact format for saving and
+//!   loading fitted classifiers;
+//! * [`serve`] — a std-only threaded HTTP inference server and batch scorer
+//!   over saved artifacts (binaries `dfp-serve` and `dfpc-score`).
 //!
 //! ## Quickstart
 //!
@@ -43,4 +47,6 @@ pub use dfp_core as core;
 pub use dfp_data as data;
 pub use dfp_measures as measures;
 pub use dfp_mining as mining;
+pub use dfp_model as model;
 pub use dfp_select as select;
+pub use dfp_serve as serve;

@@ -13,7 +13,10 @@ use proptest::prelude::*;
 fn random_labelled_db() -> impl Strategy<Value = TransactionSet> {
     let n_items = 6usize;
     prop::collection::vec(
-        (prop::collection::btree_set(0u32..n_items as u32, 1..=4), 0u32..2),
+        (
+            prop::collection::btree_set(0u32..n_items as u32, 1..=4),
+            0u32..2,
+        ),
         6..=20,
     )
     .prop_map(move |rows| {

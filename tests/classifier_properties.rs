@@ -15,7 +15,10 @@ use proptest::prelude::*;
 fn separable(n_classes: usize) -> impl Strategy<Value = SparseBinaryMatrix> {
     let noise_features = 4u32;
     prop::collection::vec(
-        (0..n_classes as u32, prop::collection::btree_set(0..noise_features, 0..=3)),
+        (
+            0..n_classes as u32,
+            prop::collection::btree_set(0..noise_features, 0..=3),
+        ),
         (n_classes * 4)..=40,
     )
     .prop_map(move |rows| {

@@ -10,8 +10,7 @@ use dfpc::data::split::stratified_k_fold;
 use proptest::prelude::*;
 
 fn bits(len: usize) -> impl Strategy<Value = Bitset> {
-    prop::collection::btree_set(0..len, 0..=len)
-        .prop_map(move |s| Bitset::from_indices(len, s))
+    prop::collection::btree_set(0..len, 0..=len).prop_map(move |s| Bitset::from_indices(len, s))
 }
 
 proptest! {

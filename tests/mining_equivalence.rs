@@ -12,15 +12,18 @@ use proptest::prelude::*;
 /// Strategy: a random database of up to 12 transactions over up to 8 items.
 fn random_db() -> impl Strategy<Value = TransactionSet> {
     let n_items = 8usize;
-    prop::collection::vec(prop::collection::btree_set(0u32..n_items as u32, 0..=6), 1..=12)
-        .prop_map(move |txs| {
-            let transactions: Vec<Vec<Item>> = txs
-                .into_iter()
-                .map(|set| set.into_iter().map(Item).collect())
-                .collect();
-            let n = transactions.len();
-            TransactionSet::new(n_items, 1, transactions, vec![ClassId(0); n])
-        })
+    prop::collection::vec(
+        prop::collection::btree_set(0u32..n_items as u32, 0..=6),
+        1..=12,
+    )
+    .prop_map(move |txs| {
+        let transactions: Vec<Vec<Item>> = txs
+            .into_iter()
+            .map(|set| set.into_iter().map(Item).collect())
+            .collect();
+        let n = transactions.len();
+        TransactionSet::new(n_items, 1, transactions, vec![ClassId(0); n])
+    })
 }
 
 proptest! {

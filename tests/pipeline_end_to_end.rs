@@ -3,9 +3,7 @@
 //! baseline interoperability.
 
 use dfpc::baselines::harmony::{HarmonyClassifier, HarmonyParams};
-use dfpc::core::{
-    cross_validate_framework, FrameworkConfig, PatternClassifier,
-};
+use dfpc::core::{cross_validate_framework, FrameworkConfig, PatternClassifier};
 use dfpc::data::csv::{read_dataset, write_dataset};
 use dfpc::data::split::stratified_holdout;
 use dfpc::data::synth::{profile_by_name, AttrSpec, SynthConfig};
@@ -18,7 +16,13 @@ use dfpc::mining::MiningConfig;
 /// the pairs are decisive. This is exactly the paper's §3.1.1 argument for
 /// combined features.
 fn pattern_heavy_dataset() -> dfpc::data::Dataset {
-    let attrs = vec![AttrSpec { arity: 2, numeric: false }; 8];
+    let attrs = vec![
+        AttrSpec {
+            arity: 2,
+            numeric: false
+        };
+        8
+    ];
     let xor_plant = |class: u32, va: u32, vb: u32| dfpc::data::synth::PlantedPattern {
         class,
         attr_values: vec![(0, va), (1, vb)],
@@ -68,8 +72,8 @@ fn pat_fs_dominates_item_all_on_pattern_heavy_data() {
 #[test]
 fn c45_variant_also_benefits_from_patterns() {
     let data = pattern_heavy_dataset();
-    let item = cross_validate_framework(&data, &FrameworkConfig::item_all().with_c45(), 5, 3)
-        .unwrap();
+    let item =
+        cross_validate_framework(&data, &FrameworkConfig::item_all().with_c45(), 5, 3).unwrap();
     let pat = cross_validate_framework(
         &data,
         &FrameworkConfig::pat_fs()
@@ -174,8 +178,7 @@ fn min_sup_strategy_equivalence_in_pipeline() {
     // InfoGainThreshold resolves to an absolute support; running with that
     // absolute support explicitly must give the identical model structure.
     let data = profile_by_name("labor").unwrap().generate();
-    let cfg_ig =
-        FrameworkConfig::pat_fs().with_min_sup(MinSupStrategy::InfoGainThreshold(0.1));
+    let cfg_ig = FrameworkConfig::pat_fs().with_min_sup(MinSupStrategy::InfoGainThreshold(0.1));
     let m_ig = PatternClassifier::fit(&data, &cfg_ig).unwrap();
     let resolved = m_ig.info().min_sup_abs.unwrap();
     let cfg_abs = FrameworkConfig::pat_fs().with_min_sup(MinSupStrategy::Absolute(resolved));

@@ -11,7 +11,10 @@ use proptest::prelude::*;
 fn random_labelled_db() -> impl Strategy<Value = TransactionSet> {
     let n_items = 6usize;
     prop::collection::vec(
-        (prop::collection::btree_set(0u32..n_items as u32, 1..=4), 0u32..2),
+        (
+            prop::collection::btree_set(0u32..n_items as u32, 1..=4),
+            0u32..2,
+        ),
         4..=16,
     )
     .prop_map(move |rows| {

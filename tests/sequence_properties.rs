@@ -10,14 +10,15 @@ use proptest::prelude::*;
 fn random_seq_db() -> impl Strategy<Value = SequenceDb> {
     let n_symbols = 4usize;
     prop::collection::vec(
-        (prop::collection::vec(0u32..n_symbols as u32, 0..=6), 0u32..2),
+        (
+            prop::collection::vec(0u32..n_symbols as u32, 0..=6),
+            0u32..2,
+        ),
         1..=10,
     )
     .prop_map(move |rows| {
-        let (sequences, labels): (Vec<Vec<u32>>, Vec<ClassId>) = rows
-            .into_iter()
-            .map(|(s, l)| (s, ClassId(l)))
-            .unzip();
+        let (sequences, labels): (Vec<Vec<u32>>, Vec<ClassId>) =
+            rows.into_iter().map(|(s, l)| (s, ClassId(l))).unzip();
         SequenceDb::new(n_symbols, sequences, labels, 2)
     })
 }
