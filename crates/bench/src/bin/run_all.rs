@@ -1,6 +1,26 @@
 //! Runs the full experiment battery: Figures 1-3, Tables 1-5, and the
 //! HARMONY comparison. Respects DFP_FAST / DFP_FOLDS.
+//!
+//! `run_all [--threads 1,2,4]` additionally sweeps the thread-scaling
+//! benchmark over the listed `DFP_THREADS` values, recording the speedup
+//! curve in `experiments/out/BENCH_speedup.json`.
 fn main() {
+    let mut sweep: Option<Vec<usize>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                sweep = Some(dfp_bench::speedup::parse_thread_list(
+                    args.next().as_deref(),
+                ));
+            }
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                eprintln!("usage: run_all [--threads 1,2,4]");
+                std::process::exit(2);
+            }
+        }
+    }
     dfp_bench::figures::run_figure1();
     dfp_bench::figures::run_figure2();
     dfp_bench::figures::run_figure3();
@@ -10,5 +30,8 @@ fn main() {
     dfp_bench::scalability::run_table4();
     dfp_bench::scalability::run_table5();
     dfp_bench::tables::run_harmony_comparison();
+    if let Some(counts) = sweep {
+        dfp_bench::speedup::run_speedup(&counts);
+    }
     println!("all experiments complete; CSV artifacts in experiments/out/");
 }

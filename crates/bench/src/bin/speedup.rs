@@ -1,0 +1,21 @@
+//! Thread-scaling benchmark: `speedup [--threads 1,2,4,8]`.
+//!
+//! Sweeps `DFP_THREADS` over the list (default `1,2,4,N`), asserts the
+//! pipeline outputs are bit-identical across counts, and writes the curve
+//! to `experiments/out/BENCH_speedup.json`.
+fn main() {
+    let mut list: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => list = args.next(),
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                eprintln!("usage: speedup [--threads 1,2,4]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let counts = dfp_bench::speedup::parse_thread_list(list.as_deref());
+    dfp_bench::speedup::run_speedup(&counts);
+}

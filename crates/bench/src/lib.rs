@@ -25,6 +25,7 @@
 pub mod figures;
 pub mod report;
 pub mod scalability;
+pub mod speedup;
 pub mod tables;
 
 /// Number of CV folds from the environment (default `10`, `3` under

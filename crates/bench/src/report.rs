@@ -1,9 +1,106 @@
-//! Output helpers: aligned stdout tables and CSV files under
+//! Output helpers: aligned stdout tables, CSV files, and JSON reports under
 //! `experiments/out/`.
 
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
+
+/// A JSON value for benchmark reports — hand-rolled (no external deps),
+/// rendered pretty-printed with stable field order.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A float (rendered via `{:?}`, so round-trippable).
+    Num(f64),
+    /// An unsigned integer.
+    Int(u64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; fields render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience object constructor.
+    pub fn obj<S: Into<String>>(fields: Vec<(S, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Renders with two-space indentation.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, 0);
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Num(x) => {
+                if x.is_finite() {
+                    out.push_str(&format!("{x:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&pad);
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&pad);
+                    out.push_str(&format!("\"{k}\": "));
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes a JSON report to `experiments/out/<name>.json`.
+pub fn write_json(name: &str, value: &Json) -> std::io::Result<PathBuf> {
+    let path = out_path_ext(name, "json");
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{}", value.render())?;
+    Ok(path)
+}
 
 /// A simple text table with a header and string rows.
 pub struct Table {
@@ -81,11 +178,16 @@ impl Table {
 /// `experiments/out/<name>.csv`, creating the directory as needed. Resolves
 /// relative to the workspace root when run via `cargo run -p dfp-bench`.
 pub fn out_path(name: &str) -> PathBuf {
+    out_path_ext(name, "csv")
+}
+
+/// `experiments/out/<name>.<ext>`, creating the directory as needed.
+pub fn out_path_ext(name: &str, ext: &str) -> PathBuf {
     let mut dir = workspace_root();
     dir.push("experiments");
     dir.push("out");
     let _ = fs::create_dir_all(&dir);
-    dir.push(format!("{name}.csv"));
+    dir.push(format!("{name}.{ext}"));
     dir
 }
 
@@ -140,6 +242,33 @@ mod tests {
     fn pct_format() {
         assert_eq!(pct(0.9145), "91.45");
         assert_eq!(pct(1.0), "100.00");
+    }
+
+    #[test]
+    fn json_renders_and_escapes() {
+        let v = Json::obj(vec![
+            ("name", Json::Str("a \"b\"\n".into())),
+            ("n", Json::Int(3)),
+            ("x", Json::Num(0.5)),
+            ("nan", Json::Num(f64::NAN)),
+            ("rows", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = v.render();
+        assert!(s.contains("\"name\": \"a \\\"b\\\"\\n\""), "{s}");
+        assert!(s.contains("\"n\": 3"));
+        assert!(s.contains("\"x\": 0.5"));
+        assert!(s.contains("\"nan\": null"));
+        assert!(s.contains("\"empty\": []"));
+    }
+
+    #[test]
+    fn json_written() {
+        let v = Json::obj(vec![("k", Json::Int(1))]);
+        let path = write_json("report_json_test", &v).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "{\n  \"k\": 1\n}\n");
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! counting-only enumeration under a budget either yields the raw frequent
 //! count (waveform / letter) or aborts (chess, "could not complete").
 
-use crate::report::Table;
+use crate::report::{write_json, Json, Table};
 use dfp_classify::svm::{LinearSvm, LinearSvmParams};
 use dfp_classify::tree::{C45Params, C45};
 use dfp_classify::Classifier;
@@ -42,27 +42,35 @@ fn selection_cfg() -> MmrfsConfig {
     }
 }
 
-/// Mining + MMRFS on `ts` at an absolute global support; returns
-/// `(n_patterns, n_selected, elapsed_seconds)`.
-fn mine_and_select(
-    ts: &TransactionSet,
-    abs_sup: usize,
-) -> Result<(usize, usize, f64), MiningError> {
+/// One measured scalability row: counts plus per-stage wall-clock seconds.
+struct StageRow {
+    n_patterns: usize,
+    n_selected: usize,
+    mine_s: f64,
+    select_s: f64,
+}
+
+/// Mining + MMRFS on `ts` at an absolute global support, timing each stage.
+fn mine_and_select(ts: &TransactionSet, abs_sup: usize) -> Result<StageRow, MiningError> {
     let rel = abs_sup as f64 / ts.len().max(1) as f64;
     let t0 = Instant::now();
     let candidates = mine_features(ts, &mining_cfg(rel))?;
+    let mine_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
     let selected = mmrfs(ts, &candidates, &selection_cfg());
-    Ok((
-        candidates.len(),
-        selected.selected.len(),
-        t0.elapsed().as_secs_f64(),
-    ))
+    Ok(StageRow {
+        n_patterns: candidates.len(),
+        n_selected: selected.selected.len(),
+        mine_s,
+        select_s: t1.elapsed().as_secs_f64(),
+    })
 }
 
 /// Holdout accuracies (SVM, C4.5) of the Pat_FS feature space built at an
-/// absolute support. Mining/selection happen once on the training split and
-/// both models share the transformed matrices.
-fn holdout_accuracy(ts: &TransactionSet, abs_sup: usize) -> Result<(f64, f64), MiningError> {
+/// absolute support, plus the model-training wall clock. Mining/selection
+/// happen once on the training split and both models share the transformed
+/// matrices.
+fn holdout_accuracy(ts: &TransactionSet, abs_sup: usize) -> Result<(f64, f64, f64), MiningError> {
     let fold = stratified_holdout(ts.labels(), 0.3, 23);
     let train = ts.subset(&fold.train);
     let test = ts.subset(&fold.test);
@@ -73,9 +81,11 @@ fn holdout_accuracy(ts: &TransactionSet, abs_sup: usize) -> Result<(f64, f64), M
     let fs = FeatureSpace::new(train.n_items(), train.n_classes(), &selected);
     let train_m = fs.transform(&train);
     let test_m = fs.transform(&test);
+    let t0 = Instant::now();
     let svm = LinearSvm::fit(&train_m, &LinearSvmParams::default());
     let tree = C45::fit(&train_m, &C45Params::default());
-    Ok((svm.accuracy(&test_m), tree.accuracy(&test_m)))
+    let train_s = t0.elapsed().as_secs_f64();
+    Ok((svm.accuracy(&test_m), tree.accuracy(&test_m), train_s))
 }
 
 /// Runs one scalability table.
@@ -108,6 +118,7 @@ pub fn run_scalability(profile_name: &str, min_sups: &[usize], csv_name: &str, t
     } else {
         min_sups.to_vec()
     };
+    let mut json_rows: Vec<Json> = Vec::new();
     for &min_sup in &min_sups {
         if min_sup <= 1 {
             // The paper's intractability row: enumerate (count-only) under a
@@ -132,23 +143,40 @@ pub fn run_scalability(profile_name: &str, min_sups: &[usize], csv_name: &str, t
             };
             table.row(row);
         } else {
-            let (n_patterns, n_selected, secs) = mine_and_select(&ts, min_sup).expect("mining");
-            let (svm, c45) = holdout_accuracy(&ts, min_sup).expect("accuracy");
+            let m = mine_and_select(&ts, min_sup).expect("mining");
+            let (svm, c45, train_s) = holdout_accuracy(&ts, min_sup).expect("accuracy");
             table.row(vec![
                 min_sup.to_string(),
-                n_patterns.to_string(),
-                n_selected.to_string(),
-                format!("{secs:.3}"),
+                m.n_patterns.to_string(),
+                m.n_selected.to_string(),
+                format!("{:.3}", m.mine_s + m.select_s),
                 format!("{:.2}", svm * 100.0),
                 format!("{:.2}", c45 * 100.0),
             ]);
+            json_rows.push(Json::obj(vec![
+                ("min_sup", Json::Int(min_sup as u64)),
+                ("n_patterns", Json::Int(m.n_patterns as u64)),
+                ("n_selected", Json::Int(m.n_selected as u64)),
+                ("mine_s", Json::Num(m.mine_s)),
+                ("select_s", Json::Num(m.select_s)),
+                ("train_s", Json::Num(train_s)),
+                ("svm_acc", Json::Num(svm)),
+                ("c45_acc", Json::Num(c45)),
+            ]));
         }
         println!("{}", table.render().lines().last().unwrap_or(""));
     }
     println!();
     table.print();
     let path = table.write_csv(csv_name).expect("csv");
-    println!("\ncsv written to {}\n", path.display());
+    println!("\ncsv written to {}", path.display());
+    let report = Json::obj(vec![
+        ("profile", Json::Str(profile_name.into())),
+        ("threads", Json::Int(dfp_par::worker_threads() as u64)),
+        ("rows", Json::Arr(json_rows)),
+    ]);
+    let jpath = write_json(&format!("BENCH_{csv_name}"), &report).expect("json");
+    println!("json written to {}\n", jpath.display());
 }
 
 /// Table 3 (chess): paper sweeps min_sup ∈ {1, 2000, 2200, 2500, 2800, 3000}.

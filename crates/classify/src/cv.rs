@@ -46,22 +46,21 @@ impl CvResult {
 /// Stratified k-fold cross validation of a training procedure.
 ///
 /// `fit` is called once per fold on the training part; the returned model is
-/// scored on the held-out part.
-pub fn cross_validate<M, F>(data: &SparseBinaryMatrix, k: usize, seed: u64, mut fit: F) -> CvResult
+/// scored on the held-out part. Folds are independent (the split is fixed by
+/// `seed` up front), so each runs on its own worker; accuracies land in fold
+/// order regardless of thread count.
+pub fn cross_validate<M, F>(data: &SparseBinaryMatrix, k: usize, seed: u64, fit: F) -> CvResult
 where
     M: Classifier,
-    F: FnMut(&SparseBinaryMatrix) -> M,
+    F: Fn(&SparseBinaryMatrix) -> M + Sync,
 {
     let folds = stratified_k_fold(&data.labels, k, seed);
-    let fold_accuracies = folds
-        .iter()
-        .map(|fold| {
-            let train = data.subset(&fold.train);
-            let test = data.subset(&fold.test);
-            let model = fit(&train);
-            accuracy(&model.predict_all(&test), &test.labels)
-        })
-        .collect();
+    let fold_accuracies = dfp_par::par_map(&folds, |fold| {
+        let train = data.subset(&fold.train);
+        let test = data.subset(&fold.test);
+        let model = fit(&train);
+        accuracy(&model.predict_all(&test), &test.labels)
+    });
     CvResult { fold_accuracies }
 }
 
@@ -76,11 +75,12 @@ pub fn select_best<T, M, F>(
     k: usize,
     seed: u64,
     configs: &[T],
-    mut fit: F,
+    fit: F,
 ) -> (usize, f64)
 where
+    T: Sync,
     M: Classifier,
-    F: FnMut(&T, &SparseBinaryMatrix) -> M,
+    F: Fn(&T, &SparseBinaryMatrix) -> M + Sync,
 {
     assert!(!configs.is_empty(), "need at least one configuration");
     let mut best = 0usize;

@@ -46,6 +46,12 @@ impl Classifier for TrainedModel {
             TrainedModel::Knn(m) => m.predict(row),
         }
     }
+
+    /// Rows are scored independently, so batch scoring (`dfpc-score`, the
+    /// `/predict` endpoint, CV evaluation) shards them across workers.
+    fn predict_batch(&self, rows: &[Vec<u32>]) -> Vec<ClassId> {
+        dfp_par::par_chunks_map(rows, 256, |r| self.predict(r))
+    }
 }
 
 /// Diagnostics from a pipeline fit — the numbers the paper's tables report.
@@ -399,14 +405,21 @@ pub fn cross_validate_framework(
     seed: u64,
 ) -> Result<FrameworkCv, FrameworkError> {
     let folds = stratified_k_fold(&data.labels, k, seed);
-    let mut fold_accuracies = Vec::with_capacity(k);
-    let mut infos = Vec::with_capacity(k);
-    for fold in &folds {
+    // Every fold re-fits the whole pipeline from the fixed split, so folds
+    // run on separate workers; results merge in fold order and the first
+    // failing fold (in that order) decides the error, as sequentially.
+    let per_fold: Vec<Result<(f64, FitInfo), FrameworkError>> = dfp_par::par_map(&folds, |fold| {
         let train = data.subset(&fold.train);
         let test = data.subset(&fold.test);
         let model = PatternClassifier::fit(&train, cfg)?;
-        fold_accuracies.push(model.accuracy(&test));
-        infos.push(model.info().clone());
+        Ok((model.accuracy(&test), model.info().clone()))
+    });
+    let mut fold_accuracies = Vec::with_capacity(k);
+    let mut infos = Vec::with_capacity(k);
+    for r in per_fold {
+        let (acc, info) = r?;
+        fold_accuracies.push(acc);
+        infos.push(info);
     }
     Ok(FrameworkCv {
         fold_accuracies,

@@ -145,8 +145,21 @@ impl Bencher {
     }
 }
 
+/// `true` under `DFP_BENCH_SMOKE=1`: benches run with minimal calibration
+/// and two samples each — a fast correctness pass for CI, not a measurement.
+fn smoke_mode() -> bool {
+    std::env::var("DFP_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
-    // Calibration: grow the iteration count until one sample takes ≥ ~5 ms
+    let (samples, target) = if smoke_mode() {
+        (samples.min(2), Duration::from_micros(100))
+    } else {
+        (samples, Duration::from_millis(5))
+    };
+    // Calibration: grow the iteration count until one sample takes ≥ target
     // (or a single iteration is already slower than that).
     let mut iters = 1u64;
     loop {
@@ -155,7 +168,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F)
             elapsed: Duration::ZERO,
         };
         f(&mut b);
-        if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+        if b.elapsed >= target || iters >= 1 << 20 {
             break;
         }
         iters = iters.saturating_mul(2);

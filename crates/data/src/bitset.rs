@@ -135,6 +135,47 @@ impl Bitset {
             .sum()
     }
 
+    /// `|self ∩ other| >= min` with per-block early exit.
+    ///
+    /// The support-pruning kernel: a DFS node that only needs to know
+    /// whether an extension stays frequent can stop counting as soon as
+    /// the running intersection count reaches `min`, without materialising
+    /// the intersection. `min == 0` is trivially `true`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn intersection_count_at_least(&self, other: &Bitset, min: usize) -> bool {
+        self.check_same_len(other);
+        if min == 0 {
+            return true;
+        }
+        let mut count = 0usize;
+        for (a, b) in self.blocks.iter().zip(&other.blocks) {
+            count += (a & b).count_ones() as usize;
+            if count >= min {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// `(|self ∩ other|, |self ∪ other|)` in a single pass over the blocks.
+    ///
+    /// Fuses the two popcount loops of Jaccard (Eq. 9) into one.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn intersection_union_count(&self, other: &Bitset) -> (usize, usize) {
+        self.check_same_len(other);
+        let mut inter = 0usize;
+        let mut union = 0usize;
+        for (a, b) in self.blocks.iter().zip(&other.blocks) {
+            inter += (a & b).count_ones() as usize;
+            union += (a | b).count_ones() as usize;
+        }
+        (inter, union)
+    }
+
     /// In-place `self &= other`.
     ///
     /// # Panics
@@ -144,6 +185,22 @@ impl Bitset {
         for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
             *a &= b;
         }
+    }
+
+    /// In-place `self &= other`, returning the resulting `count_ones` from
+    /// the same pass — the incremental-tidset kernel of the vertical miners
+    /// (fuses the former `intersect_with` + `count_ones` pair).
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn intersect_with_count(&mut self, other: &Bitset) -> usize {
+        self.check_same_len(other);
+        let mut count = 0usize;
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+            count += a.count_ones() as usize;
+        }
+        count
     }
 
     /// In-place `self |= other`.
@@ -188,11 +245,11 @@ impl Bitset {
     /// # Panics
     /// Panics if the lengths differ.
     pub fn jaccard(&self, other: &Bitset) -> f64 {
-        let union = self.union_count(other);
+        let (inter, union) = self.intersection_union_count(other);
         if union == 0 {
             return 0.0;
         }
-        self.intersection_count(other) as f64 / union as f64
+        inter as f64 / union as f64
     }
 
     /// Iterates over the indices of set bits in ascending order.
@@ -350,6 +407,66 @@ mod tests {
         let a = Bitset::new(10);
         let b = Bitset::new(11);
         a.intersection_count(&b);
+    }
+
+    #[test]
+    fn intersection_count_at_least_thresholds() {
+        let a = Bitset::from_indices(200, [0, 63, 64, 65, 127, 128, 199]);
+        let b = Bitset::from_indices(200, [63, 64, 128, 199, 5]);
+        // |a ∩ b| = 4 ({63, 64, 128, 199})
+        assert_eq!(a.intersection_count(&b), 4);
+        for min in 0..=4 {
+            assert!(a.intersection_count_at_least(&b, min), "min={min}");
+        }
+        assert!(!a.intersection_count_at_least(&b, 5));
+        assert!(!a.intersection_count_at_least(&b, 100));
+    }
+
+    #[test]
+    fn intersection_count_at_least_empty_and_full() {
+        let empty = Bitset::new(130);
+        let full = Bitset::full(130);
+        assert!(empty.intersection_count_at_least(&full, 0));
+        assert!(!empty.intersection_count_at_least(&full, 1));
+        assert!(full.intersection_count_at_least(&full, 130));
+        assert!(!full.intersection_count_at_least(&full, 131));
+        let zero = Bitset::new(0);
+        assert!(zero.intersection_count_at_least(&zero, 0));
+        assert!(!zero.intersection_count_at_least(&zero, 1));
+    }
+
+    #[test]
+    fn intersection_union_count_matches_separate_kernels() {
+        let cases = [
+            (Bitset::new(100), Bitset::new(100)),
+            (Bitset::full(100), Bitset::full(100)),
+            (Bitset::full(128), Bitset::new(128)),
+            (
+                Bitset::from_indices(200, [1, 5, 64, 99, 128, 150]),
+                Bitset::from_indices(200, [5, 64, 70, 150, 199]),
+            ),
+        ];
+        for (a, b) in &cases {
+            let (inter, union) = a.intersection_union_count(b);
+            assert_eq!(inter, a.intersection_count(b));
+            assert_eq!(union, a.union_count(b));
+        }
+    }
+
+    #[test]
+    fn intersect_with_count_fused() {
+        let mut a = Bitset::from_indices(200, [1, 5, 64, 99, 128, 150]);
+        let b = Bitset::from_indices(200, [5, 64, 70, 150, 199]);
+        let expect = a.intersection_count(&b);
+        let got = a.intersect_with_count(&b);
+        assert_eq!(got, expect);
+        assert_eq!(a.count_ones(), expect);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![5, 64, 150]);
+        // empty / all-ones edges
+        let mut e = Bitset::new(70);
+        assert_eq!(e.intersect_with_count(&Bitset::full(70)), 0);
+        let mut f = Bitset::full(70);
+        assert_eq!(f.intersect_with_count(&Bitset::full(70)), 70);
     }
 
     #[test]

@@ -42,9 +42,73 @@ pub fn mine_closed(
         })
         .collect();
 
+    // The root DFS node, expanded inline so each top-level branch becomes an
+    // independent worker task (candidate generation below any branch only
+    // touches that branch's tidsets, so branches share nothing mutable).
+    // Task outputs are concatenated in the sequential branch order, keeping
+    // the candidate stream — and therefore the result — bit-identical to a
+    // single-threaded run.
+    let prefix_support = ts.len();
+    let mut root_prefix: Vec<Item> = Vec::new();
+    let mut rest: Vec<(Item, Bitset, usize)> = Vec::with_capacity(cands.len());
+    for (item, t) in cands {
+        let c = t.count_ones();
+        if c == prefix_support {
+            root_prefix.push(item);
+        } else {
+            rest.push((item, t, c));
+        }
+    }
+
     let mut out: Vec<RawPattern> = Vec::new();
-    let full = Bitset::full(ts.len());
-    dfs(&mut Vec::new(), &full, cands, min_sup, opts, &mut out)?;
+    if !root_prefix.is_empty() {
+        let mut items = root_prefix.clone();
+        items.sort_unstable();
+        out.push(RawPattern {
+            items,
+            support: prefix_support as u32,
+        });
+        if let Some(cap) = opts.max_patterns {
+            if out.len() as u64 > cap {
+                return Err(MiningError::PatternLimitExceeded { limit: cap });
+            }
+        }
+    }
+
+    if opts.may_extend(root_prefix.len()) {
+        // Ascending-support order maximises later merge opportunities (CHARM).
+        rest.sort_by_key(|&(item, _, c)| (c, item));
+        let branches: Vec<usize> = (0..rest.len()).collect();
+        let results: Vec<Result<Vec<RawPattern>, MiningError>> =
+            dfp_par::par_map(&branches, |&i| {
+                let (item, ref t, _) = rest[i];
+                let mut prefix = root_prefix.clone();
+                prefix.push(item);
+                let child_cands: Vec<(Item, Bitset)> = rest[i + 1..]
+                    .iter()
+                    .filter_map(|(j, tj, _)| {
+                        let mut inter = tj.clone();
+                        let n = inter.intersect_with_count(t);
+                        (n >= min_sup).then_some((*j, inter))
+                    })
+                    .collect();
+                let mut task_out = Vec::new();
+                dfs(&mut prefix, t, child_cands, min_sup, opts, &mut task_out)?;
+                Ok(task_out)
+            });
+        for r in results {
+            out.extend(r?);
+            // Per-task budget checks only see their own branch; re-check the
+            // cumulative candidate count so the Ok/Err outcome matches the
+            // sequential run (any cumulative overflow overflows in both).
+            if let Some(cap) = opts.max_patterns {
+                if out.len() as u64 > cap {
+                    return Err(MiningError::PatternLimitExceeded { limit: cap });
+                }
+            }
+        }
+    }
+
     let mut closed = closed_filter(out);
     closed.retain(|p| p.len() >= opts.min_len);
     Ok(closed)
@@ -99,8 +163,8 @@ fn dfs(
                 .iter()
                 .filter_map(|(j, tj, _)| {
                     let mut inter = tj.clone();
-                    inter.intersect_with(t);
-                    (inter.count_ones() >= min_sup).then_some((*j, inter))
+                    let n = inter.intersect_with_count(t);
+                    (n >= min_sup).then_some((*j, inter))
                 })
                 .collect();
             dfs(prefix, t, child_cands, min_sup, opts, out)?;

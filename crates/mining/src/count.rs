@@ -9,9 +9,14 @@
 use crate::{MiningError, RawPattern};
 use dfp_data::bitset::Bitset;
 use dfp_data::transactions::{Item, TransactionSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counts the frequent itemsets with support `>= min_sup`, giving up once the
 /// count exceeds `budget` (returning [`MiningError::PatternLimitExceeded`]).
+///
+/// Top-level items are counted on separate workers sharing one atomic budget
+/// counter. The exact count (a sum) and the abort outcome (`total > budget`)
+/// are both order-independent, so the result is identical at any thread count.
 pub fn count_frequent(
     ts: &TransactionSet,
     min_sup: usize,
@@ -25,44 +30,56 @@ pub fn count_frequent(
     let frequent: Vec<usize> = (0..ts.n_items())
         .filter(|&i| cands[i].count_ones() >= min_sup)
         .collect();
-    let mut count = 0u64;
-    count_dfs(&cands, &frequent, None, min_sup, budget, &mut count)?;
-    Ok(count)
+    let count = AtomicU64::new(0);
+    let slots: Vec<usize> = (0..frequent.len()).collect();
+    let results = dfp_par::par_map(&slots, |&i| {
+        bump(&count, budget)?;
+        if i + 1 < frequent.len() {
+            count_dfs(
+                &cands,
+                &frequent[i + 1..],
+                &cands[frequent[i]],
+                min_sup,
+                budget,
+                &count,
+            )?;
+        }
+        Ok::<(), MiningError>(())
+    });
+    for r in results {
+        r?;
+    }
+    Ok(count.load(Ordering::Relaxed))
+}
+
+/// Adds one pattern to the shared counter, aborting past the budget.
+fn bump(count: &AtomicU64, budget: u64) -> Result<(), MiningError> {
+    if count.fetch_add(1, Ordering::Relaxed) + 1 > budget {
+        return Err(MiningError::PatternLimitExceeded { limit: budget });
+    }
+    Ok(())
 }
 
 fn count_dfs(
     vertical: &[Bitset],
     cands: &[usize],
-    prefix_tids: Option<&Bitset>,
+    prefix_tids: &Bitset,
     min_sup: usize,
     budget: u64,
-    count: &mut u64,
+    count: &AtomicU64,
 ) -> Result<(), MiningError> {
     for (i, &item) in cands.iter().enumerate() {
-        let tids = match prefix_tids {
-            None => vertical[item].clone(),
-            Some(pt) => {
-                let mut t = pt.clone();
-                t.intersect_with(&vertical[item]);
-                t
-            }
-        };
-        if tids.count_ones() < min_sup {
+        // Early-exit threshold kernel: infrequent extensions and leaf nodes
+        // are decided without materialising the intersection, so no
+        // allocation happens per candidate — only per *internal* node.
+        if !prefix_tids.intersection_count_at_least(&vertical[item], min_sup) {
             continue;
         }
-        *count += 1;
-        if *count > budget {
-            return Err(MiningError::PatternLimitExceeded { limit: budget });
-        }
+        bump(count, budget)?;
         if i + 1 < cands.len() {
-            count_dfs(
-                vertical,
-                &cands[i + 1..],
-                Some(&tids),
-                min_sup,
-                budget,
-                count,
-            )?;
+            let mut t = prefix_tids.clone();
+            t.intersect_with(&vertical[item]);
+            count_dfs(vertical, &cands[i + 1..], &t, min_sup, budget, count)?;
         }
     }
     Ok(())

@@ -48,15 +48,14 @@ fn dfs(
     out: &mut Vec<RawPattern>,
 ) -> Result<(), MiningError> {
     for (i, (item, tids)) in cands.iter().enumerate() {
-        let ext_tids = match prefix_tids {
-            None => tids.clone(),
+        let (ext_tids, support) = match prefix_tids {
+            None => (tids.clone(), tids.count_ones()),
             Some(pt) => {
                 let mut t = pt.clone();
-                t.intersect_with(tids);
-                t
+                let n = t.intersect_with_count(tids);
+                (t, n)
             }
         };
-        let support = ext_tids.count_ones();
         if support < min_sup {
             continue;
         }

@@ -1,6 +1,13 @@
 //! FP-growth: frequent itemset mining by recursive pattern growth over
 //! conditional FP-trees (Han, Pei, Yin — SIGMOD 2000). This is the
 //! paper-faithful miner (the paper's FPClose is its closed-set variant).
+//!
+//! The top level fans out across workers: each frequent item's conditional
+//! tree is an independent task (the natural FP-growth task granularity —
+//! subtrees share nothing but the read-only level-0 tree), and per-task
+//! outputs are concatenated in the sequential processing order, so results
+//! are bit-identical for any `DFP_THREADS`. Recursion below the top level
+//! stays sequential inside its task.
 
 use crate::fptree::FpTree;
 use crate::{MineOptions, MiningError, RawPattern};
@@ -24,30 +31,53 @@ pub fn mine(
         .iter()
         .map(|tx| (tx.iter().map(|i| i.0).collect(), 1u64))
         .collect();
+    let Some(level) = build_level(&db, ts.n_items(), min_sup as u64) else {
+        return Ok(Vec::new());
+    };
+
+    // One task per top-level frequent item, in the sequential processing
+    // order (least frequent first — bottom of the tree upward).
+    let locals: Vec<u32> = (0..level.frequent.len() as u32).rev().collect();
+    let results: Vec<Result<Vec<RawPattern>, MiningError>> = dfp_par::par_map(&locals, |&local| {
+        let mut task_out = Vec::new();
+        let mut suffix: Vec<Item> = Vec::new();
+        grow_item(
+            &level,
+            local,
+            ts.n_items(),
+            min_sup as u64,
+            opts,
+            &mut suffix,
+            &mut task_out,
+        )?;
+        Ok(task_out)
+    });
+
     let mut out = Vec::new();
-    let mut suffix: Vec<Item> = Vec::new();
-    grow(
-        &db,
-        ts.n_items(),
-        min_sup as u64,
-        opts,
-        &mut suffix,
-        &mut out,
-    )?;
+    for r in results {
+        out.extend(r?);
+        // The per-task budget check only sees its own subtree; re-check the
+        // cumulative count so the Ok/Err outcome matches the sequential run
+        // (any cumulative overflow is an overflow in both).
+        if let Some(cap) = opts.max_patterns {
+            if out.len() as u64 > cap {
+                return Err(MiningError::PatternLimitExceeded { limit: cap });
+            }
+        }
+    }
     Ok(out)
 }
 
-/// One FP-growth level: count items in the (conditional) database, build the
-/// FP-tree over frequent ones, then for every frequent item emit
-/// `suffix ∪ {item}` and recurse on its conditional pattern base.
-fn grow(
-    db: &[(Vec<u32>, u64)],
-    n_items: usize,
-    min_sup: u64,
-    opts: &MineOptions,
-    suffix: &mut Vec<Item>,
-    out: &mut Vec<RawPattern>,
-) -> Result<(), MiningError> {
+/// One prepared FP-growth level: the frequent items of a (conditional)
+/// database in descending-frequency order and the FP-tree over them.
+struct Level {
+    frequent: Vec<u32>,
+    tree: FpTree,
+}
+
+/// Counts items in the (conditional) database and builds the FP-tree over
+/// the frequent ones; `None` when nothing is frequent.
+fn build_level(db: &[(Vec<u32>, u64)], n_items: usize, min_sup: u64) -> Option<Level> {
     // Weighted item counts in this conditional database.
     let mut counts = vec![0u64; n_items];
     for (items, w) in db {
@@ -60,7 +90,7 @@ fn grow(
         .filter(|&i| counts[i as usize] >= min_sup)
         .collect();
     if frequent.is_empty() {
-        return Ok(());
+        return None;
     }
     frequent.sort_by(|&a, &b| counts[b as usize].cmp(&counts[a as usize]).then(a.cmp(&b)));
     let mut local_of = vec![u32::MAX; n_items];
@@ -87,44 +117,75 @@ fn grow(
         })
         .collect();
     let tree = FpTree::build(&projected, frequent.len());
+    Some(Level { frequent, tree })
+}
 
+/// Emits `suffix ∪ {item}` and recurses on the item's conditional pattern
+/// base — the per-item body of one FP-growth level.
+fn grow_item(
+    level: &Level,
+    local: u32,
+    n_items: usize,
+    min_sup: u64,
+    opts: &MineOptions,
+    suffix: &mut Vec<Item>,
+    out: &mut Vec<RawPattern>,
+) -> Result<(), MiningError> {
+    let global = level.frequent[local as usize];
+    let support = level.tree.item_count(local);
+    suffix.push(Item(global));
+    if opts.len_ok(suffix.len()) {
+        let mut items = suffix.clone();
+        items.sort_unstable();
+        out.push(RawPattern {
+            items,
+            support: support as u32,
+        });
+        if let Some(cap) = opts.max_patterns {
+            if out.len() as u64 > cap {
+                return Err(MiningError::PatternLimitExceeded { limit: cap });
+            }
+        }
+    }
+    if opts.may_extend(suffix.len()) {
+        // Conditional pattern base in *global* ids for the recursion.
+        let base: Vec<(Vec<u32>, u64)> = level
+            .tree
+            .prefix_paths(local)
+            .into_iter()
+            .map(|(path, w)| {
+                (
+                    path.iter()
+                        .map(|&l| level.frequent[l as usize])
+                        .collect::<Vec<u32>>(),
+                    w,
+                )
+            })
+            .collect();
+        if !base.is_empty() {
+            grow(&base, n_items, min_sup, opts, suffix, out)?;
+        }
+    }
+    suffix.pop();
+    Ok(())
+}
+
+/// One sequential FP-growth level below the parallel top: prepare the
+/// conditional level and process every frequent item in order.
+fn grow(
+    db: &[(Vec<u32>, u64)],
+    n_items: usize,
+    min_sup: u64,
+    opts: &MineOptions,
+    suffix: &mut Vec<Item>,
+    out: &mut Vec<RawPattern>,
+) -> Result<(), MiningError> {
+    let Some(level) = build_level(db, n_items, min_sup) else {
+        return Ok(());
+    };
     // Process items from least frequent (bottom of the tree) upward.
-    for local in (0..frequent.len() as u32).rev() {
-        let global = frequent[local as usize];
-        let support = tree.item_count(local);
-        suffix.push(Item(global));
-        if opts.len_ok(suffix.len()) {
-            let mut items = suffix.clone();
-            items.sort_unstable();
-            out.push(RawPattern {
-                items,
-                support: support as u32,
-            });
-            if let Some(cap) = opts.max_patterns {
-                if out.len() as u64 > cap {
-                    return Err(MiningError::PatternLimitExceeded { limit: cap });
-                }
-            }
-        }
-        if opts.may_extend(suffix.len()) {
-            // Conditional pattern base in *global* ids for the recursion.
-            let base: Vec<(Vec<u32>, u64)> = tree
-                .prefix_paths(local)
-                .into_iter()
-                .map(|(path, w)| {
-                    (
-                        path.iter()
-                            .map(|&l| frequent[l as usize])
-                            .collect::<Vec<u32>>(),
-                        w,
-                    )
-                })
-                .collect();
-            if !base.is_empty() {
-                grow(&base, n_items, min_sup, opts, suffix, out)?;
-            }
-        }
-        suffix.pop();
+    for local in (0..level.frequent.len() as u32).rev() {
+        grow_item(&level, local, n_items, min_sup, opts, suffix, out)?;
     }
     Ok(())
 }

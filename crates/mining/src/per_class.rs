@@ -103,12 +103,20 @@ pub fn mine_features(
     };
 
     if cfg.per_class {
-        for part in ts.class_partitions() {
-            if part.is_empty() {
-                continue;
-            }
+        // Each class partition is an independent mining problem — run them on
+        // separate workers and merge in class order so the dedup (first class
+        // to produce a pattern wins) matches the sequential loop exactly.
+        let parts: Vec<TransactionSet> = ts
+            .class_partitions()
+            .into_iter()
+            .filter(|p| !p.is_empty())
+            .collect();
+        let results: Vec<Result<Vec<RawPattern>, MiningError>> = dfp_par::par_map(&parts, |part| {
             let min_sup = cfg.abs_min_sup(part.len());
-            add_all(run_miner(cfg.miner, &part, min_sup, &cfg.options)?);
+            run_miner(cfg.miner, part, min_sup, &cfg.options)
+        });
+        for r in results {
+            add_all(r?);
         }
     } else {
         let min_sup = cfg.abs_min_sup(ts.len());

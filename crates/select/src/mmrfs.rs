@@ -109,19 +109,15 @@ pub fn mmrfs(
         .iter()
         .map(|idx| Bitset::from_indices(n, idx.iter().copied()))
         .collect();
-    let tids: Vec<Bitset> = pool
-        .iter()
-        .map(|&i| pattern_tids(&vertical, n, &candidates[i].items))
-        .collect();
-    let correct: Vec<Bitset> = pool
-        .iter()
-        .zip(&tids)
-        .map(|(&i, t)| {
-            let mut c = t.clone();
-            c.intersect_with(&class_tids[candidates[i].majority_class().index()]);
-            c
-        })
-        .collect();
+    let tids: Vec<Bitset> = dfp_par::par_chunks_map(&pool, 64, |&i| {
+        pattern_tids(&vertical, n, &candidates[i].items)
+    });
+    let pool_slots: Vec<usize> = (0..pool.len()).collect();
+    let correct: Vec<Bitset> = dfp_par::par_chunks_map(&pool_slots, 64, |&j| {
+        let mut c = tids[j].clone();
+        c.intersect_with(&class_tids[candidates[pool[j]].majority_class().index()]);
+        c
+    });
 
     let mut max_red = vec![0.0f64; pool.len()]; // max_{γ∈Fs} R(·, γ) so far
     let mut alive = vec![true; pool.len()];
@@ -129,27 +125,47 @@ pub fn mmrfs(
     let mut uncovered = n; // instances with coverage < δ
     let mut selected = Vec::new();
 
-    while uncovered > 0 && selected.len() < cfg.max_features.unwrap_or(usize::MAX) {
-        // argmax gain over the remaining pool (deterministic tie-break).
-        let mut best: Option<usize> = None;
-        let mut best_gain = f64::NEG_INFINITY;
-        for (j, &cand) in pool.iter().enumerate() {
-            if !alive[j] {
-                continue;
+    // A challenger replaces the incumbent iff strictly greater under the
+    // total order (gain; support; Reverse(candidate index)) — the same rule
+    // the sequential scan applies, so chunked fold + in-order reduce picks
+    // the identical maximum (distinct indices make the order total, and a
+    // NaN/−∞ gain never wins any comparison, hence is never admitted).
+    let challenge = |best: Option<(usize, f64)>, j: usize, gain: f64| -> Option<(usize, f64)> {
+        let wins = match best {
+            None => gain > f64::NEG_INFINITY,
+            Some((b, best_gain)) => {
+                gain > best_gain
+                    || (gain == best_gain
+                        && (candidates[pool[j]].support, std::cmp::Reverse(pool[j]))
+                            > (candidates[pool[b]].support, std::cmp::Reverse(pool[b])))
             }
-            let gain = relevance[cand] - max_red[j];
-            if gain > best_gain
-                || (gain == best_gain
-                    && best.is_some_and(|b| {
-                        (candidates[cand].support, std::cmp::Reverse(cand))
-                            > (candidates[pool[b]].support, std::cmp::Reverse(pool[b]))
-                    }))
-            {
-                best = Some(j);
-                best_gain = gain;
-            }
+        };
+        if wins {
+            Some((j, gain))
+        } else {
+            best
         }
-        let Some(j) = best else { break }; // F = ∅
+    };
+
+    while uncovered > 0 && selected.len() < cfg.max_features.unwrap_or(usize::MAX) {
+        // argmax gain over the remaining pool (deterministic tie-break),
+        // chunked across workers.
+        let best = dfp_par::par_map_reduce(
+            &pool,
+            256,
+            || None,
+            |acc: Option<(usize, f64)>, j, &cand| {
+                if !alive[j] {
+                    return acc;
+                }
+                challenge(acc, j, relevance[cand] - max_red[j])
+            },
+            |left, right| match right {
+                Some((j, gain)) => challenge(left, j, gain),
+                None => left,
+            },
+        );
+        let Some((j, _)) = best else { break }; // F = ∅
         alive[j] = false;
 
         // Does β correctly cover at least one not-yet-saturated instance?
@@ -165,17 +181,24 @@ pub fn mmrfs(
                 uncovered -= 1;
             }
         }
+        // Redundancy-cache update: each slot only reads shared state and
+        // writes its own cell, so sharding `max_red` across workers leaves
+        // every cell's value — and thus later rounds — unchanged.
         let sel_rel = relevance[pool[j]];
-        for (k, a) in alive.iter().enumerate() {
-            if !a {
-                continue;
+        let sel_tids = &tids[j];
+        dfp_par::par_chunks_mut(&mut max_red, 256, |offset, cells| {
+            for (d, cell) in cells.iter_mut().enumerate() {
+                let k = offset + d;
+                if !alive[k] {
+                    continue;
+                }
+                let jac = sel_tids.jaccard(&tids[k]);
+                let r = redundancy_from_overlap(jac, relevance[pool[k]], sel_rel);
+                if r > *cell {
+                    *cell = r;
+                }
             }
-            let jac = tids[j].jaccard(&tids[k]);
-            let r = redundancy_from_overlap(jac, relevance[pool[k]], sel_rel);
-            if r > max_red[k] {
-                max_red[k] = r;
-            }
-        }
+        });
         selected.push(pool[j]);
     }
 

@@ -9,7 +9,8 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut model_path = None;
     let mut addr = "127.0.0.1:8080".to_string();
-    let mut threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    // One source of truth for worker counts: DFP_THREADS, else the machine.
+    let mut threads = dfp_par::resolve_workers(None);
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -21,7 +22,7 @@ fn main() -> ExitCode {
                 }
             }
             "--threads" => match args.next().as_deref().map(str::parse) {
-                Some(Ok(n)) if n > 0 => threads = n,
+                Some(Ok(n)) if n > 0 => threads = dfp_par::resolve_workers(Some(n)),
                 _ => return usage("--threads expects a positive integer"),
             },
             "--help" | "-h" => return usage(""),

@@ -43,6 +43,14 @@ impl ThreadPool {
         }
     }
 
+    /// Spawns one worker per resolved runtime thread — the same
+    /// `DFP_THREADS` / `available_parallelism` resolution the parallel
+    /// runtime uses, so one knob sizes both the mining/CV combinators and
+    /// the serving pool.
+    pub fn auto() -> Self {
+        Self::new(dfp_par::worker_threads())
+    }
+
     /// Number of worker threads.
     pub fn size(&self) -> usize {
         self.workers.len()
@@ -90,6 +98,11 @@ mod tests {
     fn size_clamped_to_one() {
         assert_eq!(ThreadPool::new(0).size(), 1);
         assert_eq!(ThreadPool::new(3).size(), 3);
+    }
+
+    #[test]
+    fn auto_matches_runtime_resolution() {
+        assert_eq!(ThreadPool::auto().size(), dfp_par::worker_threads());
     }
 
     #[test]

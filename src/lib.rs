@@ -20,6 +20,8 @@
 //!   selection → model learning, with the paper's experimental variants;
 //! * [`model`] — the versioned `DFPM` binary artifact format for saving and
 //!   loading fitted classifiers;
+//! * [`par`] — the std-only scoped-thread parallel runtime behind mining,
+//!   MMRFS, cross-validation, and batch scoring (`DFP_THREADS` to pin);
 //! * [`serve`] — a std-only threaded HTTP inference server and batch scorer
 //!   over saved artifacts (binaries `dfp-serve` and `dfpc-score`).
 //!
@@ -48,5 +50,6 @@ pub use dfp_data as data;
 pub use dfp_measures as measures;
 pub use dfp_mining as mining;
 pub use dfp_model as model;
+pub use dfp_par as par;
 pub use dfp_select as select;
 pub use dfp_serve as serve;
