@@ -56,6 +56,10 @@ where
 {
     let folds = stratified_k_fold(&data.labels, k, seed);
     let fold_accuracies = dfp_par::par_map(&folds, |fold| {
+        // Inner-CV folds return plain accuracies (no Result channel), so the
+        // failpoint here can only panic or sleep — enough for chaos testing
+        // the panic path through the parallel runtime.
+        dfp_fault::faultpoint!("cv.inner_fold");
         let train = data.subset(&fold.train);
         let test = data.subset(&fold.test);
         let model = fit(&train);

@@ -60,6 +60,13 @@ pub struct PatternMining {
     pub options: MineOptions,
     /// Per-class partition mining (paper default `true`).
     pub per_class: bool,
+    /// Degrade gracefully: when `true`, a pattern budget or deadline stop
+    /// keeps the best-so-far feature set (recorded in the fitted model's
+    /// [`crate::pipeline::DegradationReport`]) instead of failing the fit.
+    pub anytime: bool,
+    /// Wall-clock budget for the mining step, resolved into an absolute
+    /// deadline when mining starts. `None` = unbounded.
+    pub time_budget: Option<std::time::Duration>,
 }
 
 impl Default for PatternMining {
@@ -72,17 +79,25 @@ impl Default for PatternMining {
                 .with_min_len(2)
                 .with_max_patterns(2_000_000),
             per_class: true,
+            anytime: false,
+            time_budget: None,
         }
     }
 }
 
 impl PatternMining {
     /// Resolves into the `dfp-mining` configuration at a relative support.
+    /// A `time_budget` becomes an absolute deadline at this point (i.e. the
+    /// clock starts when the mining step starts).
     pub fn to_mining_config(&self, min_sup_rel: f64) -> MiningConfig {
+        let mut options = self.options.clone();
+        if let Some(budget) = self.time_budget {
+            options = options.with_time_budget(budget);
+        }
         MiningConfig {
             min_sup_rel,
             miner: self.miner,
-            options: self.options.clone(),
+            options,
             per_class: self.per_class,
         }
     }
@@ -201,6 +216,26 @@ impl FrameworkConfig {
     /// Replaces the discretizer.
     pub fn with_discretizer(mut self, d: DiscretizerKind) -> Self {
         self.discretizer = d;
+        self
+    }
+
+    /// Enables or disables anytime (best-so-far) mining: with it on, a
+    /// pattern-budget or deadline stop degrades the feature set instead of
+    /// failing the fit (no-op for items-only modes).
+    pub fn with_anytime_mining(mut self, on: bool) -> Self {
+        if let FeatureMode::Patterns { mining, .. } = &mut self.features {
+            mining.anytime = on;
+        }
+        self
+    }
+
+    /// Sets a wall-clock budget for the mining step (no-op for items-only
+    /// modes). Combine with [`Self::with_anytime_mining`] to degrade instead
+    /// of erroring when the budget expires.
+    pub fn with_mining_time_budget(mut self, budget: std::time::Duration) -> Self {
+        if let FeatureMode::Patterns { mining, .. } = &mut self.features {
+            mining.time_budget = Some(budget);
+        }
         self
     }
 

@@ -11,6 +11,8 @@ pub enum FrameworkError {
     Mining(MiningError),
     /// Test data is not compatible with the fitted feature space.
     SchemaMismatch(String),
+    /// A `dfp-fault` failpoint injected a failure at the named site.
+    Injected(&'static str),
 }
 
 impl std::fmt::Display for FrameworkError {
@@ -19,6 +21,9 @@ impl std::fmt::Display for FrameworkError {
             FrameworkError::EmptyTrainingSet => write!(f, "training dataset is empty"),
             FrameworkError::Mining(e) => write!(f, "pattern mining failed: {e}"),
             FrameworkError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            FrameworkError::Injected(site) => {
+                write!(f, "fault injected at failpoint '{site}'")
+            }
         }
     }
 }

@@ -26,6 +26,6 @@ mod pipeline;
 pub use config::{DiscretizerKind, FeatureMode, FrameworkConfig, ModelKind, SelectionStrategy};
 pub use error::FrameworkError;
 pub use pipeline::{
-    cross_validate_framework, fit_with_model_selection, FitInfo, FrameworkCv, PatternClassifier,
-    TrainedModel,
+    cross_validate_framework, fit_with_model_selection, DegradationReport, FitInfo, FrameworkCv,
+    PatternClassifier, TrainedModel,
 };

@@ -16,7 +16,7 @@ use dfp_data::schema::{ClassId, Schema};
 use dfp_data::split::stratified_k_fold;
 use dfp_data::transactions::{ItemMap, TransactionSet};
 use dfp_mining::count::attach_class_supports;
-use dfp_mining::{mine_features, MinedPattern, RawPattern};
+use dfp_mining::{mine_features, mine_features_anytime, MinedPattern, RawPattern, StopReason};
 use dfp_select::baseline::top_k_by_relevance;
 use dfp_select::{mmrfs, FeatureSpace};
 
@@ -70,6 +70,33 @@ pub struct FitInfo {
     pub min_sup_abs: Option<usize>,
 }
 
+/// How much of the configured pipeline actually ran during a fit — the
+/// degradation contract for anytime mining (see DESIGN.md §10). A default
+/// report means nothing was degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// `true` iff the mining step (if any) ran to completion.
+    pub mining_complete: bool,
+    /// Why mining stopped early, when `mining_complete == false`.
+    pub mining_stopped_by: Option<StopReason>,
+}
+
+impl Default for DegradationReport {
+    fn default() -> Self {
+        DegradationReport {
+            mining_complete: true,
+            mining_stopped_by: None,
+        }
+    }
+}
+
+impl DegradationReport {
+    /// `true` iff any pipeline step was degraded.
+    pub fn is_degraded(&self) -> bool {
+        !self.mining_complete
+    }
+}
+
 /// A fitted frequent pattern-based classifier.
 #[derive(Debug, Clone)]
 pub struct PatternClassifier {
@@ -81,6 +108,8 @@ pub struct PatternClassifier {
     /// model can parse and predict new rows without the training data.
     schema: Option<Schema>,
     info: FitInfo,
+    /// In-memory only — not persisted in model artifacts.
+    degradation: DegradationReport,
 }
 
 impl PatternClassifier {
@@ -119,6 +148,7 @@ impl PatternClassifier {
             n_items: ts.n_items(),
             ..FitInfo::default()
         };
+        let mut degradation = DegradationReport::default();
 
         let feature_space = match &cfg.features {
             FeatureMode::ItemsOnly => FeatureSpace::items_only(ts.n_items(), ts.n_classes()),
@@ -146,7 +176,17 @@ impl PatternClassifier {
                 let abs = min_sup.resolve(ts.len(), &priors);
                 info.min_sup_abs = Some(abs);
                 let rel = abs as f64 / ts.len().max(1) as f64;
-                let candidates = mine_features(ts, &mining.to_mining_config(rel))?;
+                let mining_cfg = mining.to_mining_config(rel);
+                let candidates = if mining.anytime {
+                    let feats = mine_features_anytime(ts, &mining_cfg)?;
+                    degradation = DegradationReport {
+                        mining_complete: feats.complete,
+                        mining_stopped_by: feats.stopped_by,
+                    };
+                    feats.patterns
+                } else {
+                    mine_features(ts, &mining_cfg)?
+                };
                 info.n_patterns_mined = candidates.len();
                 let selected: Vec<MinedPattern> = match selection {
                     SelectionStrategy::None => candidates,
@@ -182,6 +222,7 @@ impl PatternClassifier {
             item_map: None,
             schema: None,
             info,
+            degradation,
         })
     }
 
@@ -202,12 +243,20 @@ impl PatternClassifier {
             item_map,
             schema,
             info,
+            degradation: DegradationReport::default(),
         }
     }
 
     /// The trained model variant.
     pub fn model(&self) -> &TrainedModel {
         &self.model
+    }
+
+    /// What (if anything) was degraded while fitting this model. Models
+    /// loaded from artifacts report the default (nothing degraded) — the
+    /// report is a fit-time diagnostic and is not persisted.
+    pub fn degradation(&self) -> &DegradationReport {
+        &self.degradation
     }
 
     /// The fitted discretization, if the training data was numeric.
@@ -409,6 +458,7 @@ pub fn cross_validate_framework(
     // run on separate workers; results merge in fold order and the first
     // failing fold (in that order) decides the error, as sequentially.
     let per_fold: Vec<Result<(f64, FitInfo), FrameworkError>> = dfp_par::par_map(&folds, |fold| {
+        dfp_fault::faultpoint!("cv.fold", FrameworkError::Injected("cv.fold"));
         let train = data.subset(&fold.train);
         let test = data.subset(&fold.test);
         let model = PatternClassifier::fit(&train, cfg)?;

@@ -2,6 +2,7 @@
 //! level-wise baseline, kept for the feature-generation ablation benchmark
 //! and as a third independent miner for cross-checking.
 
+use crate::anytime::{self, Mined, StopReason};
 use crate::{MineOptions, MiningError, RawPattern};
 use dfp_data::transactions::{contains_sorted, Item, TransactionSet};
 use std::collections::HashMap;
@@ -14,11 +15,33 @@ pub fn mine(
     min_sup: usize,
     opts: &MineOptions,
 ) -> Result<Vec<RawPattern>, MiningError> {
+    anytime::strict(mine_anytime(ts, min_sup, opts)?, opts, "mining.apriori")
+}
+
+/// Anytime variant of [`mine`]: the pattern budget and deadline stop the
+/// level-wise search and return the patterns found so far instead of failing.
+pub fn mine_anytime(
+    ts: &TransactionSet,
+    min_sup: usize,
+    opts: &MineOptions,
+) -> Result<Mined, MiningError> {
     if min_sup == 0 {
         return Err(MiningError::ZeroMinSup);
     }
     let mut out: Vec<RawPattern> = Vec::new();
+    Ok(match levels(ts, min_sup, opts, &mut out) {
+        Ok(()) => Mined::complete(out),
+        Err(reason) => anytime::stopped_sequential(out, reason, opts),
+    })
+}
 
+/// The level-wise loop; emits into `out` and stops on budget/deadline.
+fn levels(
+    ts: &TransactionSet,
+    min_sup: usize,
+    opts: &MineOptions,
+    out: &mut Vec<RawPattern>,
+) -> Result<(), StopReason> {
     // Level 1.
     let mut counts = vec![0usize; ts.n_items()];
     for tx in ts.transactions() {
@@ -31,7 +54,7 @@ pub fn mine(
         .map(|i| vec![Item(i as u32)])
         .collect();
     for set in &level {
-        emit(set, counts[set[0].index()] as u32, opts, &mut out)?;
+        emit(set, counts[set[0].index()] as u32, opts, out)?;
     }
 
     let mut k = 1usize;
@@ -93,12 +116,12 @@ pub fn mine(
             })
             .collect();
         for (set, n) in &next {
-            emit(set, *n as u32, opts, &mut out)?;
+            emit(set, *n as u32, opts, out)?;
         }
         level = next.into_iter().map(|(s, _)| s).collect();
         level.sort();
     }
-    Ok(out)
+    Ok(())
 }
 
 fn emit(
@@ -106,7 +129,7 @@ fn emit(
     support: u32,
     opts: &MineOptions,
     out: &mut Vec<RawPattern>,
-) -> Result<(), MiningError> {
+) -> Result<(), StopReason> {
     if !opts.len_ok(items.len()) {
         return Ok(());
     }
@@ -114,12 +137,7 @@ fn emit(
         items: items.to_vec(),
         support,
     });
-    if let Some(cap) = opts.max_patterns {
-        if out.len() as u64 > cap {
-            return Err(MiningError::PatternLimitExceeded { limit: cap });
-        }
-    }
-    Ok(())
+    anytime::check_stop(out.len(), opts)
 }
 
 #[cfg(test)]

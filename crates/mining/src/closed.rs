@@ -14,6 +14,7 @@
 //! frequent set is provably among the candidates, see the module tests which
 //! verify equality against a brute-force definition of closedness).
 
+use crate::anytime::{self, Mined, StopReason};
 use crate::{MineOptions, MiningError, RawPattern};
 use dfp_data::bitset::Bitset;
 use dfp_data::transactions::{Item, TransactionSet};
@@ -31,8 +32,28 @@ pub fn mine_closed(
     min_sup: usize,
     opts: &MineOptions,
 ) -> Result<Vec<RawPattern>, MiningError> {
+    anytime::strict(
+        mine_closed_anytime(ts, min_sup, opts)?,
+        opts,
+        "mining.closed",
+    )
+}
+
+/// Anytime variant of [`mine_closed`]: the budget, the deadline, and an
+/// armed `mining.closed` failpoint stop the DFS and run the closedness
+/// post-filter on the candidates found so far. A truncated candidate stream
+/// still yields exact supports; closedness is then relative to the explored
+/// part of the search space.
+pub fn mine_closed_anytime(
+    ts: &TransactionSet,
+    min_sup: usize,
+    opts: &MineOptions,
+) -> Result<Mined, MiningError> {
     if min_sup == 0 {
         return Err(MiningError::ZeroMinSup);
+    }
+    if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("mining.closed") {
+        return Ok(Mined::stopped(Vec::new(), StopReason::Fault));
     }
     let vertical = ts.vertical();
     let cands: Vec<(Item, Bitset)> = (0..ts.n_items())
@@ -60,26 +81,30 @@ pub fn mine_closed(
         }
     }
 
-    let mut out: Vec<RawPattern> = Vec::new();
+    let mut seeded: Vec<RawPattern> = Vec::new();
     if !root_prefix.is_empty() {
         let mut items = root_prefix.clone();
         items.sort_unstable();
-        out.push(RawPattern {
+        seeded.push(RawPattern {
             items,
             support: prefix_support as u32,
         });
-        if let Some(cap) = opts.max_patterns {
-            if out.len() as u64 > cap {
-                return Err(MiningError::PatternLimitExceeded { limit: cap });
-            }
+        if let Err(reason) = anytime::check_stop(seeded.len(), opts) {
+            return Ok(finish(
+                anytime::stopped_sequential(seeded, reason, opts),
+                opts,
+            ));
         }
     }
 
-    if opts.may_extend(root_prefix.len()) {
+    let mined = if opts.may_extend(root_prefix.len()) {
         // Ascending-support order maximises later merge opportunities (CHARM).
         rest.sort_by_key(|&(item, _, c)| (c, item));
         let branches: Vec<usize> = (0..rest.len()).collect();
-        let results: Vec<Result<Vec<RawPattern>, MiningError>> =
+        // A stopped branch keeps its best-so-far candidates; the merge
+        // truncates the concatenated stream at the cumulative budget, so the
+        // surviving prefix is identical to a sequential run's.
+        let results: Vec<(Vec<RawPattern>, Option<StopReason>)> =
             dfp_par::par_map(&branches, |&i| {
                 let (item, ref t, _) = rest[i];
                 let mut prefix = root_prefix.clone();
@@ -93,25 +118,26 @@ pub fn mine_closed(
                     })
                     .collect();
                 let mut task_out = Vec::new();
-                dfs(&mut prefix, t, child_cands, min_sup, opts, &mut task_out)?;
-                Ok(task_out)
+                let stop = dfs(&mut prefix, t, child_cands, min_sup, opts, &mut task_out).err();
+                (task_out, stop)
             });
-        for r in results {
-            out.extend(r?);
-            // Per-task budget checks only see their own branch; re-check the
-            // cumulative candidate count so the Ok/Err outcome matches the
-            // sequential run (any cumulative overflow overflows in both).
-            if let Some(cap) = opts.max_patterns {
-                if out.len() as u64 > cap {
-                    return Err(MiningError::PatternLimitExceeded { limit: cap });
-                }
-            }
-        }
-    }
+        anytime::merge_task_outputs(seeded, results, opts)
+    } else {
+        Mined::complete(seeded)
+    };
+    Ok(finish(mined, opts))
+}
 
-    let mut closed = closed_filter(out);
+/// Applies the closedness post-filter and the `min_len` cut to a (possibly
+/// truncated) candidate stream.
+fn finish(mined: Mined, opts: &MineOptions) -> Mined {
+    let mut closed = closed_filter(mined.patterns);
     closed.retain(|p| p.len() >= opts.min_len);
-    Ok(closed)
+    Mined {
+        patterns: closed,
+        complete: mined.complete,
+        stopped_by: mined.stopped_by,
+    }
 }
 
 /// DFS node. `cands` tidsets are already intersected with `tids` (the prefix
@@ -123,7 +149,7 @@ fn dfs(
     min_sup: usize,
     opts: &MineOptions,
     out: &mut Vec<RawPattern>,
-) -> Result<(), MiningError> {
+) -> Result<(), StopReason> {
     let prefix_support = tids.count_ones();
 
     // Closure merge: items present in every covering transaction.
@@ -146,11 +172,7 @@ fn dfs(
             items,
             support: prefix_support as u32,
         });
-        if let Some(cap) = opts.max_patterns {
-            if out.len() as u64 > cap {
-                return Err(MiningError::PatternLimitExceeded { limit: cap });
-            }
-        }
+        anytime::check_stop(out.len(), opts)?;
     }
 
     if opts.may_extend(prefix.len()) {

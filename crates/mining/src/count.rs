@@ -6,10 +6,25 @@
 //! materialising them, aborting once a budget is exceeded, so the harness
 //! can print either the count or `N/A`.
 
+use crate::anytime::StopReason;
 use crate::{MiningError, RawPattern};
 use dfp_data::bitset::Bitset;
 use dfp_data::transactions::{Item, TransactionSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Outcome of an anytime count: the number of frequent itemsets seen so far
+/// and whether the enumeration ran to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counted {
+    /// Patterns counted. Exact when `complete`; clamped to the budget when
+    /// stopped by it (the true total is strictly larger).
+    pub count: u64,
+    /// `true` iff the full enumeration finished within budget and deadline.
+    pub complete: bool,
+    /// Why the count stopped early, when `complete == false`.
+    pub stopped_by: Option<StopReason>,
+}
 
 /// Counts the frequent itemsets with support `>= min_sup`, giving up once the
 /// count exceeds `budget` (returning [`MiningError::PatternLimitExceeded`]).
@@ -22,42 +37,108 @@ pub fn count_frequent(
     min_sup: usize,
     budget: u64,
 ) -> Result<u64, MiningError> {
+    let counted = count_frequent_anytime(ts, min_sup, budget, None)?;
+    match counted.stopped_by {
+        None => Ok(counted.count),
+        Some(StopReason::PatternBudget) => Err(MiningError::PatternLimitExceeded { limit: budget }),
+        Some(StopReason::Fault) => Err(MiningError::Injected("mining.count")),
+        Some(StopReason::Deadline) => Err(MiningError::DeadlineExceeded),
+    }
+}
+
+/// Anytime variant of [`count_frequent`]: a hit budget, an expired deadline,
+/// or an armed `mining.count` failpoint stop the enumeration and return the
+/// best-so-far [`Counted`] instead of failing.
+///
+/// The budget outcome (`true total > budget`) is order-independent and hence
+/// deterministic at any thread count; the deadline outcome depends on wall
+/// clock, so only the `complete`/`stopped_by` contract is guaranteed there.
+pub fn count_frequent_anytime(
+    ts: &TransactionSet,
+    min_sup: usize,
+    budget: u64,
+    deadline: Option<Instant>,
+) -> Result<Counted, MiningError> {
     if min_sup == 0 {
         return Err(MiningError::ZeroMinSup);
+    }
+    if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("mining.count") {
+        return Ok(Counted {
+            count: 0,
+            complete: false,
+            stopped_by: Some(StopReason::Fault),
+        });
     }
     let vertical = ts.vertical();
     let cands: Vec<Bitset> = (0..ts.n_items()).map(|i| vertical[i].clone()).collect();
     let frequent: Vec<usize> = (0..ts.n_items())
         .filter(|&i| cands[i].count_ones() >= min_sup)
         .collect();
-    let count = AtomicU64::new(0);
+    let meter = Meter {
+        count: AtomicU64::new(0),
+        budget,
+        deadline,
+    };
     let slots: Vec<usize> = (0..frequent.len()).collect();
     let results = dfp_par::par_map(&slots, |&i| {
-        bump(&count, budget)?;
+        meter.bump()?;
         if i + 1 < frequent.len() {
             count_dfs(
                 &cands,
                 &frequent[i + 1..],
                 &cands[frequent[i]],
                 min_sup,
-                budget,
-                &count,
+                &meter,
             )?;
         }
-        Ok::<(), MiningError>(())
+        Ok::<(), StopReason>(())
     });
+    // Budget stops dominate deadline stops: "total > budget" holds in every
+    // run that observed it, while deadline expiry is timing-dependent.
+    let mut stopped_by = None;
     for r in results {
-        r?;
+        match r {
+            Err(StopReason::PatternBudget) => {
+                stopped_by = Some(StopReason::PatternBudget);
+                break;
+            }
+            Err(reason) if stopped_by.is_none() => stopped_by = Some(reason),
+            _ => {}
+        }
     }
-    Ok(count.load(Ordering::Relaxed))
+    let raw = meter.count.load(Ordering::Relaxed);
+    Ok(Counted {
+        count: if stopped_by == Some(StopReason::PatternBudget) {
+            budget
+        } else {
+            raw.min(budget)
+        },
+        complete: stopped_by.is_none(),
+        stopped_by,
+    })
 }
 
-/// Adds one pattern to the shared counter, aborting past the budget.
-fn bump(count: &AtomicU64, budget: u64) -> Result<(), MiningError> {
-    if count.fetch_add(1, Ordering::Relaxed) + 1 > budget {
-        return Err(MiningError::PatternLimitExceeded { limit: budget });
+/// Shared stop state for one counting run: an atomic pattern counter with a
+/// budget cap plus an optional wall-clock deadline.
+struct Meter {
+    count: AtomicU64,
+    budget: u64,
+    deadline: Option<Instant>,
+}
+
+impl Meter {
+    /// Adds one pattern, stopping past the budget or the deadline.
+    fn bump(&self) -> Result<(), StopReason> {
+        if self.count.fetch_add(1, Ordering::Relaxed) + 1 > self.budget {
+            return Err(StopReason::PatternBudget);
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Err(StopReason::Deadline);
+            }
+        }
+        Ok(())
     }
-    Ok(())
 }
 
 fn count_dfs(
@@ -65,9 +146,8 @@ fn count_dfs(
     cands: &[usize],
     prefix_tids: &Bitset,
     min_sup: usize,
-    budget: u64,
-    count: &AtomicU64,
-) -> Result<(), MiningError> {
+    meter: &Meter,
+) -> Result<(), StopReason> {
     for (i, &item) in cands.iter().enumerate() {
         // Early-exit threshold kernel: infrequent extensions and leaf nodes
         // are decided without materialising the intersection, so no
@@ -75,11 +155,11 @@ fn count_dfs(
         if !prefix_tids.intersection_count_at_least(&vertical[item], min_sup) {
             continue;
         }
-        bump(count, budget)?;
+        meter.bump()?;
         if i + 1 < cands.len() {
             let mut t = prefix_tids.clone();
             t.intersect_with(&vertical[item]);
-            count_dfs(vertical, &cands[i + 1..], &t, min_sup, budget, count)?;
+            count_dfs(vertical, &cands[i + 1..], &t, min_sup, meter)?;
         }
     }
     Ok(())

@@ -6,6 +6,7 @@
 //! Serves as an independently-implemented cross-check for the FP-growth
 //! miner (property tests assert equality of outputs).
 
+use crate::anytime::{self, Mined, StopReason};
 use crate::{MineOptions, MiningError, RawPattern};
 use dfp_data::bitset::Bitset;
 use dfp_data::transactions::{Item, TransactionSet};
@@ -20,6 +21,16 @@ pub fn mine(
     min_sup: usize,
     opts: &MineOptions,
 ) -> Result<Vec<RawPattern>, MiningError> {
+    anytime::strict(mine_anytime(ts, min_sup, opts)?, opts, "mining.eclat")
+}
+
+/// Anytime variant of [`mine`]: the pattern budget and deadline stop the
+/// search and return the patterns found so far instead of failing.
+pub fn mine_anytime(
+    ts: &TransactionSet,
+    min_sup: usize,
+    opts: &MineOptions,
+) -> Result<Mined, MiningError> {
     if min_sup == 0 {
         return Err(MiningError::ZeroMinSup);
     }
@@ -33,8 +44,12 @@ pub fn mine(
 
     let mut out = Vec::new();
     let mut prefix = Vec::new();
-    dfs(&frequent, min_sup, opts, &mut prefix, None, &mut out)?;
-    Ok(out)
+    Ok(
+        match dfs(&frequent, min_sup, opts, &mut prefix, None, &mut out) {
+            Ok(()) => Mined::complete(out),
+            Err(reason) => anytime::stopped_sequential(out, reason, opts),
+        },
+    )
 }
 
 /// DFS over extensions. `prefix_tids == None` means the empty prefix (full
@@ -46,7 +61,7 @@ fn dfs(
     prefix: &mut Vec<Item>,
     prefix_tids: Option<&Bitset>,
     out: &mut Vec<RawPattern>,
-) -> Result<(), MiningError> {
+) -> Result<(), StopReason> {
     for (i, (item, tids)) in cands.iter().enumerate() {
         let (ext_tids, support) = match prefix_tids {
             None => (tids.clone(), tids.count_ones()),
@@ -65,11 +80,7 @@ fn dfs(
                 items: prefix.clone(),
                 support: support as u32,
             });
-            if let Some(cap) = opts.max_patterns {
-                if out.len() as u64 > cap {
-                    return Err(MiningError::PatternLimitExceeded { limit: cap });
-                }
-            }
+            anytime::check_stop(out.len(), opts)?;
         }
         if opts.may_extend(prefix.len()) && i + 1 < cands.len() {
             dfs(&cands[i + 1..], min_sup, opts, prefix, Some(&ext_tids), out)?;

@@ -9,6 +9,7 @@
 //! are bit-identical for any `DFP_THREADS`. Recursion below the top level
 //! stays sequential inside its task.
 
+use crate::anytime::{self, Mined, StopReason};
 use crate::fptree::FpTree;
 use crate::{MineOptions, MiningError, RawPattern};
 use dfp_data::transactions::{Item, TransactionSet};
@@ -23,8 +24,22 @@ pub fn mine(
     min_sup: usize,
     opts: &MineOptions,
 ) -> Result<Vec<RawPattern>, MiningError> {
+    anytime::strict(mine_anytime(ts, min_sup, opts)?, opts, "mining.growth")
+}
+
+/// Anytime variant of [`mine`]: the pattern budget, the deadline, and an
+/// armed `mining.growth` failpoint stop the search and return the patterns
+/// found so far instead of failing.
+pub fn mine_anytime(
+    ts: &TransactionSet,
+    min_sup: usize,
+    opts: &MineOptions,
+) -> Result<Mined, MiningError> {
     if min_sup == 0 {
         return Err(MiningError::ZeroMinSup);
+    }
+    if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("mining.growth") {
+        return Ok(Mined::stopped(Vec::new(), StopReason::Fault));
     }
     let db: Vec<(Vec<u32>, u64)> = ts
         .transactions()
@@ -32,16 +47,19 @@ pub fn mine(
         .map(|tx| (tx.iter().map(|i| i.0).collect(), 1u64))
         .collect();
     let Some(level) = build_level(&db, ts.n_items(), min_sup as u64) else {
-        return Ok(Vec::new());
+        return Ok(Mined::complete(Vec::new()));
     };
 
     // One task per top-level frequent item, in the sequential processing
-    // order (least frequent first — bottom of the tree upward).
+    // order (least frequent first — bottom of the tree upward). A stopped
+    // task keeps its best-so-far output; the merge below truncates the
+    // concatenated stream at the cumulative budget, so the surviving prefix
+    // is identical to a sequential run's.
     let locals: Vec<u32> = (0..level.frequent.len() as u32).rev().collect();
-    let results: Vec<Result<Vec<RawPattern>, MiningError>> = dfp_par::par_map(&locals, |&local| {
+    let results: Vec<(Vec<RawPattern>, Option<StopReason>)> = dfp_par::par_map(&locals, |&local| {
         let mut task_out = Vec::new();
         let mut suffix: Vec<Item> = Vec::new();
-        grow_item(
+        let stop = grow_item(
             &level,
             local,
             ts.n_items(),
@@ -49,23 +67,11 @@ pub fn mine(
             opts,
             &mut suffix,
             &mut task_out,
-        )?;
-        Ok(task_out)
+        )
+        .err();
+        (task_out, stop)
     });
-
-    let mut out = Vec::new();
-    for r in results {
-        out.extend(r?);
-        // The per-task budget check only sees its own subtree; re-check the
-        // cumulative count so the Ok/Err outcome matches the sequential run
-        // (any cumulative overflow is an overflow in both).
-        if let Some(cap) = opts.max_patterns {
-            if out.len() as u64 > cap {
-                return Err(MiningError::PatternLimitExceeded { limit: cap });
-            }
-        }
-    }
-    Ok(out)
+    Ok(anytime::merge_task_outputs(Vec::new(), results, opts))
 }
 
 /// One prepared FP-growth level: the frequent items of a (conditional)
@@ -130,7 +136,7 @@ fn grow_item(
     opts: &MineOptions,
     suffix: &mut Vec<Item>,
     out: &mut Vec<RawPattern>,
-) -> Result<(), MiningError> {
+) -> Result<(), StopReason> {
     let global = level.frequent[local as usize];
     let support = level.tree.item_count(local);
     suffix.push(Item(global));
@@ -141,11 +147,7 @@ fn grow_item(
             items,
             support: support as u32,
         });
-        if let Some(cap) = opts.max_patterns {
-            if out.len() as u64 > cap {
-                return Err(MiningError::PatternLimitExceeded { limit: cap });
-            }
-        }
+        anytime::check_stop(out.len(), opts)?;
     }
     if opts.may_extend(suffix.len()) {
         // Conditional pattern base in *global* ids for the recursion.
@@ -179,7 +181,7 @@ fn grow(
     opts: &MineOptions,
     suffix: &mut Vec<Item>,
     out: &mut Vec<RawPattern>,
-) -> Result<(), MiningError> {
+) -> Result<(), StopReason> {
     let Some(level) = build_level(db, n_items, min_sup) else {
         return Ok(());
     };

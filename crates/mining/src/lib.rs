@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod anytime;
 pub mod apriori;
 pub mod closed;
 pub mod count;
@@ -39,8 +40,9 @@ pub mod reference;
 pub mod sequence;
 pub mod top_k;
 
+pub use anytime::{Mined, StopReason};
 pub use pattern::{MinedPattern, RawPattern};
-pub use per_class::{mine_features, MiningConfig};
+pub use per_class::{mine_features, mine_features_anytime, MinedFeatures, MiningConfig};
 
 /// Errors produced by the miners.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +53,11 @@ pub enum MiningError {
         /// The configured cap that was hit.
         limit: u64,
     },
+    /// The miner ran past its configured deadline (strict mode only — the
+    /// anytime entry points return best-so-far results instead).
+    DeadlineExceeded,
+    /// A `dfp-fault` failpoint injected a failure at the named site.
+    Injected(&'static str),
     /// `min_sup` of zero is meaningless for absolute thresholds.
     ZeroMinSup,
 }
@@ -60,6 +67,10 @@ impl std::fmt::Display for MiningError {
         match self {
             MiningError::PatternLimitExceeded { limit } => {
                 write!(f, "pattern budget of {limit} exceeded")
+            }
+            MiningError::DeadlineExceeded => write!(f, "mining deadline exceeded"),
+            MiningError::Injected(site) => {
+                write!(f, "fault injected at failpoint '{site}'")
             }
             MiningError::ZeroMinSup => write!(f, "absolute min_sup must be at least 1"),
         }
@@ -77,6 +88,10 @@ pub struct MineOptions {
     pub max_len: Option<usize>,
     /// Abort once this many patterns have been emitted; `None` = unbounded.
     pub max_patterns: Option<u64>,
+    /// Stop searching at this instant; `None` = unbounded. Strict miners
+    /// fail with [`MiningError::DeadlineExceeded`]; anytime miners return
+    /// best-so-far.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for MineOptions {
@@ -85,6 +100,7 @@ impl Default for MineOptions {
             min_len: 1,
             max_len: None,
             max_patterns: None,
+            deadline: None,
         }
     }
 }
@@ -106,6 +122,17 @@ impl MineOptions {
     pub fn with_min_len(mut self, min_len: usize) -> Self {
         self.min_len = min_len;
         self
+    }
+
+    /// Options with an absolute search deadline.
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Options with a deadline of `budget` from now.
+    pub fn with_time_budget(self, budget: std::time::Duration) -> Self {
+        self.with_deadline(std::time::Instant::now() + budget)
     }
 
     pub(crate) fn len_ok(&self, len: usize) -> bool {

@@ -9,6 +9,7 @@
 //! support, merges the per-class results (deduplicating shared patterns),
 //! and recounts global and per-class supports on the full database.
 
+use crate::anytime::{Mined, StopReason};
 use crate::count::attach_class_supports;
 use crate::{apriori, closed, eclat, fpgrowth, MineOptions, MinedPattern, MiningError, RawPattern};
 use dfp_data::transactions::{Item, TransactionSet};
@@ -69,33 +70,80 @@ impl MiningConfig {
     }
 }
 
-fn run_miner(
+fn run_miner_anytime(
     kind: MinerKind,
     ts: &TransactionSet,
     min_sup: usize,
     opts: &MineOptions,
-) -> Result<Vec<RawPattern>, MiningError> {
+) -> Result<Mined, MiningError> {
     match kind {
-        MinerKind::Closed => closed::mine_closed(ts, min_sup, opts),
-        MinerKind::FpGrowth => fpgrowth::mine(ts, min_sup, opts),
-        MinerKind::Eclat => eclat::mine(ts, min_sup, opts),
-        MinerKind::Apriori => apriori::mine(ts, min_sup, opts),
+        MinerKind::Closed => closed::mine_closed_anytime(ts, min_sup, opts),
+        MinerKind::FpGrowth => fpgrowth::mine_anytime(ts, min_sup, opts),
+        MinerKind::Eclat => eclat::mine_anytime(ts, min_sup, opts),
+        MinerKind::Apriori => apriori::mine_anytime(ts, min_sup, opts),
     }
+}
+
+/// The feature-candidate set produced by anytime feature generation, with
+/// the degradation outcome attached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinedFeatures {
+    /// Deduplicated features with full-database global/per-class supports.
+    pub patterns: Vec<MinedPattern>,
+    /// `true` iff every class partition was mined to completion.
+    pub complete: bool,
+    /// Why mining stopped early (first stopped partition in class order),
+    /// when `complete == false`.
+    pub stopped_by: Option<StopReason>,
 }
 
 /// Runs feature generation: per-class (or global) mining, merge, and
 /// global/per-class support recounting. The returned patterns' `support`
 /// and `class_supports` refer to the **full** database `ts`, not the
 /// partition they were discovered in.
+///
+/// Strict counterpart of [`mine_features_anytime`]: a budget, deadline, or
+/// fault stop in any partition becomes an error.
 pub fn mine_features(
     ts: &TransactionSet,
     cfg: &MiningConfig,
 ) -> Result<Vec<MinedPattern>, MiningError> {
+    let feats = mine_features_anytime(ts, cfg)?;
+    match feats.stopped_by {
+        None => Ok(feats.patterns),
+        Some(StopReason::PatternBudget) => Err(MiningError::PatternLimitExceeded {
+            limit: cfg.options.max_patterns.unwrap_or(0),
+        }),
+        Some(StopReason::Deadline) => Err(MiningError::DeadlineExceeded),
+        Some(StopReason::Fault) => Err(MiningError::Injected("mining.per_class")),
+    }
+}
+
+/// Anytime feature generation: partitions that hit the pattern budget or the
+/// deadline contribute their best-so-far patterns, and the outcome is
+/// reported in [`MinedFeatures::complete`] / [`MinedFeatures::stopped_by`]
+/// instead of an error. An armed `mining.per_class` failpoint degrades the
+/// whole step to an empty, incomplete feature set.
+pub fn mine_features_anytime(
+    ts: &TransactionSet,
+    cfg: &MiningConfig,
+) -> Result<MinedFeatures, MiningError> {
+    if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("mining.per_class") {
+        return Ok(MinedFeatures {
+            patterns: Vec::new(),
+            complete: false,
+            stopped_by: Some(StopReason::Fault),
+        });
+    }
     let mut merged: Vec<Vec<Item>> = Vec::new();
     let mut seen: HashSet<Vec<Item>> = HashSet::new();
+    let mut stopped_by: Option<StopReason> = None;
 
-    let mut add_all = |patterns: Vec<RawPattern>| {
-        for p in patterns {
+    let mut add_all = |mined: Mined, stopped_by: &mut Option<StopReason>| {
+        if stopped_by.is_none() {
+            *stopped_by = mined.stopped_by;
+        }
+        for p in mined.patterns {
             if seen.insert(p.items.clone()) {
                 merged.push(p.items);
             }
@@ -111,16 +159,17 @@ pub fn mine_features(
             .into_iter()
             .filter(|p| !p.is_empty())
             .collect();
-        let results: Vec<Result<Vec<RawPattern>, MiningError>> = dfp_par::par_map(&parts, |part| {
+        let results: Vec<Result<Mined, MiningError>> = dfp_par::par_map(&parts, |part| {
             let min_sup = cfg.abs_min_sup(part.len());
-            run_miner(cfg.miner, part, min_sup, &cfg.options)
+            run_miner_anytime(cfg.miner, part, min_sup, &cfg.options)
         });
         for r in results {
-            add_all(r?);
+            add_all(r?, &mut stopped_by);
         }
     } else {
         let min_sup = cfg.abs_min_sup(ts.len());
-        add_all(run_miner(cfg.miner, ts, min_sup, &cfg.options)?);
+        let mined = run_miner_anytime(cfg.miner, ts, min_sup, &cfg.options)?;
+        add_all(mined, &mut stopped_by);
     }
 
     let raws: Vec<RawPattern> = merged
@@ -135,7 +184,11 @@ pub fn mine_features(
             .then_with(|| a.items.len().cmp(&b.items.len()))
             .then_with(|| a.items.cmp(&b.items))
     });
-    Ok(mined)
+    Ok(MinedFeatures {
+        patterns: mined,
+        complete: stopped_by.is_none(),
+        stopped_by,
+    })
 }
 
 #[cfg(test)]

@@ -37,12 +37,38 @@ use dfp_core::PatternClassifier;
 use std::path::Path;
 
 /// Saves a fitted classifier to `path` in the `DFPM` format.
+///
+/// The `model.save` failpoint can inject an I/O error (`err`) or write a
+/// truncated artifact (`trunc`) to exercise crash-during-save recovery.
 pub fn save(model: &PatternClassifier, path: impl AsRef<Path>) -> Result<(), ModelError> {
-    std::fs::write(path, to_bytes(model))?;
+    let mut bytes = to_bytes(model);
+    match dfp_fault::evaluate("model.save") {
+        Some(dfp_fault::Action::Err) => {
+            return Err(ModelError::Io(std::io::Error::other(
+                "fault injected at failpoint 'model.save'",
+            )))
+        }
+        Some(dfp_fault::Action::Trunc) => bytes.truncate(bytes.len() / 2),
+        _ => {}
+    }
+    std::fs::write(path, bytes)?;
     Ok(())
 }
 
 /// Loads a fitted classifier from a `DFPM` file.
+///
+/// The `model.load` failpoint can inject an I/O error (`err`) or truncate
+/// the bytes before decoding (`trunc` — surfaces as a typed decode error).
 pub fn load(path: impl AsRef<Path>) -> Result<PatternClassifier, ModelError> {
-    from_bytes(&std::fs::read(path)?)
+    let mut bytes = std::fs::read(path)?;
+    match dfp_fault::evaluate("model.load") {
+        Some(dfp_fault::Action::Err) => {
+            return Err(ModelError::Io(std::io::Error::other(
+                "fault injected at failpoint 'model.load'",
+            )))
+        }
+        Some(dfp_fault::Action::Trunc) => bytes.truncate(bytes.len() / 2),
+        _ => {}
+    }
+    from_bytes(&bytes)
 }

@@ -1,0 +1,182 @@
+//! Artifact corruption sweep: for **every** model kind, every single-byte
+//! flip and every truncation point of its `DFPM` artifact must surface a
+//! typed [`ModelError`] or decode to a usable model — never panic, never
+//! attempt an absurd allocation. Also exercises the `model.save` /
+//! `model.load` failpoints end to end.
+
+use dfp_classify::svm::KernelSvmParams;
+use dfp_classify::tree::C45Params;
+use dfp_core::{FrameworkConfig, ModelKind, PatternClassifier};
+use dfp_data::dataset::{categorical_dataset, Dataset};
+use dfp_model::{from_bytes, load, save, to_bytes, ModelError};
+use std::sync::{Mutex, MutexGuard};
+
+/// Failpoint state is process-global; tests that arm sites serialise here.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_faults() -> MutexGuard<'static, ()> {
+    FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Two-class categorical data where the pair (a0=1, a1=1) marks class 0 and
+/// (a0=1, a1=2) marks class 1.
+fn confusable() -> Dataset {
+    let mut rows: Vec<(Vec<u32>, u32)> = Vec::new();
+    for i in 0..60u32 {
+        let (vals, label) = if i % 2 == 0 {
+            (vec![1, 1, i % 3], 0)
+        } else {
+            (vec![1, 2, i % 3], 1)
+        };
+        rows.push((vals, label));
+    }
+    let borrowed: Vec<(&[u32], u32)> = rows.iter().map(|(v, l)| (&v[..], *l)).collect();
+    categorical_dataset(&[3, 3, 3], 2, &borrowed)
+}
+
+fn artifact_for(kind: ModelKind) -> Vec<u8> {
+    let data = confusable();
+    let cfg = FrameworkConfig::pat_fs().with_model(kind);
+    let fitted = PatternClassifier::fit(&data, &cfg).expect("fit");
+    to_bytes(&fitted)
+}
+
+fn all_model_kinds() -> Vec<ModelKind> {
+    vec![
+        ModelKind::default(), // LinearSvm
+        ModelKind::KernelSvm(KernelSvmParams::rbf(1.0, 0.5)),
+        ModelKind::C45(C45Params::default()),
+        ModelKind::NaiveBayes,
+        ModelKind::Knn(3),
+    ]
+}
+
+#[test]
+fn every_byte_flip_is_typed_for_every_model_kind() {
+    for kind in all_model_kinds() {
+        let bytes = artifact_for(kind.clone());
+        for pos in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0xA5;
+            // Every flip must yield a typed error — a flip can land in the
+            // magic, the version, a length, the payload, or the CRC itself,
+            // and each path must degrade to Err, not panic.
+            match from_bytes(&corrupt) {
+                Err(
+                    ModelError::BadMagic
+                    | ModelError::UnsupportedVersion(_)
+                    | ModelError::ChecksumMismatch
+                    | ModelError::Truncated
+                    | ModelError::Malformed(_),
+                ) => {}
+                Err(other) => panic!("{kind:?}: flip at {pos} gave unexpected error {other:?}"),
+                Ok(_) => panic!("{kind:?}: flip at {pos} decoded successfully (CRC missed it)"),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_truncation_is_typed_for_every_model_kind() {
+    for kind in all_model_kinds() {
+        let bytes = artifact_for(kind.clone());
+        for n in 0..bytes.len() {
+            assert!(
+                from_bytes(&bytes[..n]).is_err(),
+                "{kind:?}: prefix of length {n} decoded successfully"
+            );
+        }
+    }
+}
+
+#[test]
+fn oversized_length_prefix_does_not_balloon_memory() {
+    // Write an absurd section length and repair nothing: the decoder must
+    // bounds-check against the remaining bytes instead of pre-allocating.
+    let mut bytes = artifact_for(ModelKind::default());
+    // First section length sits after magic(4)+version(2)+count(2)+tag(1).
+    bytes[9..17].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(from_bytes(&bytes).is_err());
+}
+
+#[test]
+fn save_failpoint_surfaces_io_error() {
+    let _guard = lock_faults();
+    let data = confusable();
+    let fitted = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs()).unwrap();
+    let path = std::env::temp_dir().join(format!("dfpm-fp-save-{}.dfpm", std::process::id()));
+
+    dfp_fault::arm("model.save", dfp_fault::Action::Err);
+    let r = save(&fitted, &path);
+    dfp_fault::disarm("model.save");
+    std::fs::remove_file(&path).ok();
+    assert!(matches!(r, Err(ModelError::Io(_))), "{r:?}");
+}
+
+#[test]
+fn truncated_save_fails_the_reload_checksum() {
+    let _guard = lock_faults();
+    let data = confusable();
+    let fitted = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs()).unwrap();
+    let path = std::env::temp_dir().join(format!("dfpm-fp-trunc-{}.dfpm", std::process::id()));
+
+    dfp_fault::arm("model.save", dfp_fault::Action::Trunc);
+    let saved = save(&fitted, &path);
+    dfp_fault::disarm("model.save");
+    assert!(
+        saved.is_ok(),
+        "truncation is silent at save time: {saved:?}"
+    );
+
+    // The torn write is caught on load as truncation/checksum damage.
+    let r = load(&path);
+    std::fs::remove_file(&path).ok();
+    assert!(
+        matches!(
+            r,
+            Err(ModelError::Truncated | ModelError::ChecksumMismatch | ModelError::Malformed(_))
+        ),
+        "{r:?}"
+    );
+}
+
+#[test]
+fn load_failpoint_surfaces_io_error() {
+    let _guard = lock_faults();
+    let data = confusable();
+    let fitted = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs()).unwrap();
+    let path = std::env::temp_dir().join(format!("dfpm-fp-load-{}.dfpm", std::process::id()));
+    save(&fitted, &path).unwrap();
+
+    dfp_fault::arm("model.load", dfp_fault::Action::Err);
+    let r = load(&path);
+    dfp_fault::disarm("model.load");
+    assert!(matches!(r, Err(ModelError::Io(_))), "{r:?}");
+
+    // Once disarmed, the same artifact loads cleanly — the fault was
+    // injected, not real damage.
+    let ok = load(&path);
+    std::fs::remove_file(&path).ok();
+    assert!(ok.is_ok());
+}
+
+#[test]
+fn load_trunc_failpoint_is_caught_by_decoder() {
+    let _guard = lock_faults();
+    let data = confusable();
+    let fitted = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs()).unwrap();
+    let path = std::env::temp_dir().join(format!("dfpm-fp-ltrunc-{}.dfpm", std::process::id()));
+    save(&fitted, &path).unwrap();
+
+    dfp_fault::arm("model.load", dfp_fault::Action::Trunc);
+    let r = load(&path);
+    dfp_fault::disarm("model.load");
+    std::fs::remove_file(&path).ok();
+    assert!(
+        matches!(
+            r,
+            Err(ModelError::Truncated | ModelError::ChecksumMismatch | ModelError::Malformed(_))
+        ),
+        "{r:?}"
+    );
+}

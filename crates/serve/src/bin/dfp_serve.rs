@@ -3,14 +3,19 @@
 //! ```text
 //! dfp-serve --model model.dfpm [--addr 127.0.0.1:8080] [--threads 4]
 //! ```
+//!
+//! Limits (queue depth, body/row caps, request deadline, I/O timeouts) come
+//! from the `DFP_SERVE_*` environment variables; see
+//! [`dfp_serve::ServerConfig::from_env`].
 
+use dfp_serve::ServerConfig;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut model_path = None;
     let mut addr = "127.0.0.1:8080".to_string();
     // One source of truth for worker counts: DFP_THREADS, else the machine.
-    let mut threads = dfp_par::resolve_workers(None);
+    let mut cfg = ServerConfig::from_env();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -22,7 +27,7 @@ fn main() -> ExitCode {
                 }
             }
             "--threads" => match args.next().as_deref().map(str::parse) {
-                Some(Ok(n)) if n > 0 => threads = dfp_par::resolve_workers(Some(n)),
+                Some(Ok(n)) if n > 0 => cfg = cfg.with_threads(n),
                 _ => return usage("--threads expects a positive integer"),
             },
             "--help" | "-h" => return usage(""),
@@ -45,7 +50,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let handle = match dfp_serve::serve(model, &addr, threads) {
+    let threads = cfg.resolved_threads();
+    let handle = match dfp_serve::serve_with_config(model, &addr, cfg) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("error: cannot bind {addr}: {e}");
@@ -53,7 +59,7 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "dfp-serve listening on {} with {threads} workers (endpoints: POST /predict, GET /healthz, GET /metrics)",
+        "dfp-serve listening on {} with {threads} workers (endpoints: POST /predict, GET /healthz, GET /readyz, GET /metrics)",
         handle.addr()
     );
     // Serve until the process is killed.

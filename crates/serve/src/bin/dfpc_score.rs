@@ -1,37 +1,64 @@
-//! `dfpc-score` — offline batch scoring of a CSV file against a `.dfpm`
-//! artifact. Prints one predicted class name per row to stdout and a
-//! rows/sec throughput summary to stderr.
+//! `dfpc-score` — batch scoring of a CSV file, either offline against a
+//! `.dfpm` artifact or remotely against a running `dfp-serve` instance.
+//! Prints one predicted class name per row to stdout and a rows/sec
+//! throughput summary to stderr.
 //!
 //! ```text
 //! dfpc-score --model model.dfpm --input rows.csv
+//! dfpc-score --url 127.0.0.1:8080 --input rows.csv [--retries 3]
 //! ```
 //!
 //! The input contains attribute columns only (no class column), in the
 //! model schema's order; `?` or an empty field marks a missing value.
+//! Remote scoring retries transient failures (connect errors, `5xx` load
+//! shedding) with exponential backoff and jitter before giving up.
 
 use dfp_classify::Classifier;
 use dfp_serve::rows::{parse_rows, render_labels};
+use dfp_serve::{Client, ClientError, RetryPolicy};
 use std::process::ExitCode;
 use std::time::Instant;
 
 fn main() -> ExitCode {
     let mut model_path = None;
     let mut input_path = None;
+    let mut url = None;
+    let mut retries = RetryPolicy::default().retries;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--model" => model_path = args.next(),
             "--input" => input_path = args.next(),
+            "--url" => url = args.next(),
+            "--retries" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => retries = n,
+                _ => return usage("--retries expects a non-negative integer"),
+            },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument '{other}'")),
         }
     }
-    let (Some(model_path), Some(input_path)) = (model_path, input_path) else {
-        return usage("--model and --input are required");
+    let Some(input_path) = input_path else {
+        return usage("--input is required");
+    };
+    let text = match std::fs::read_to_string(&input_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read '{input_path}': {e}");
+            return ExitCode::FAILURE;
+        }
     };
 
-    let model = match dfp_model::load(&model_path) {
+    match (model_path, url) {
+        (Some(model_path), None) => score_offline(&model_path, &text),
+        (None, Some(url)) => score_remote(&url, &text, retries),
+        _ => usage("exactly one of --model (offline) or --url (remote) is required"),
+    }
+}
+
+fn score_offline(model_path: &str, text: &str) -> ExitCode {
+    let model = match dfp_model::load(model_path) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("error: cannot load '{model_path}': {e}");
@@ -42,15 +69,8 @@ fn main() -> ExitCode {
         eprintln!("error: artifact carries no schema; refit the model from a raw dataset");
         return ExitCode::FAILURE;
     };
-    let text = match std::fs::read_to_string(&input_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read '{input_path}': {e}");
-            return ExitCode::FAILURE;
-        }
-    };
 
-    let dataset = match parse_rows(&schema, &text) {
+    let dataset = match parse_rows(&schema, text) {
         Ok(d) => d,
         Err(why) => {
             eprintln!("error: {why}");
@@ -70,8 +90,46 @@ fn main() -> ExitCode {
     let elapsed = start.elapsed();
 
     print!("{}", render_labels(&schema, &labels));
-    let rows = labels.len();
-    let secs = elapsed.as_secs_f64();
+    report_throughput(labels.len(), elapsed.as_secs_f64());
+    ExitCode::SUCCESS
+}
+
+fn score_remote(url: &str, text: &str, retries: u32) -> ExitCode {
+    let mut client = Client::with_policy(
+        url,
+        RetryPolicy {
+            retries,
+            ..RetryPolicy::default()
+        },
+    );
+    let start = Instant::now();
+    let response = match client.post("/predict", "text/csv", text.as_bytes()) {
+        Ok(r) => r,
+        Err(e @ ClientError::ServerError(_)) => {
+            eprintln!("error: {e} (server overloaded or failing; try again later)");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = start.elapsed();
+    if response.status != 200 {
+        eprintln!(
+            "error: server answered {}: {}",
+            response.status,
+            response.text().trim()
+        );
+        return ExitCode::FAILURE;
+    }
+    let body = response.text();
+    print!("{body}");
+    report_throughput(body.lines().count(), elapsed.as_secs_f64());
+    ExitCode::SUCCESS
+}
+
+fn report_throughput(rows: usize, secs: f64) {
     eprintln!(
         "scored {rows} rows in {:.3} ms ({:.0} rows/sec)",
         secs * 1e3,
@@ -81,14 +139,15 @@ fn main() -> ExitCode {
             f64::INFINITY
         }
     );
-    ExitCode::SUCCESS
 }
 
 fn usage(problem: &str) -> ExitCode {
     if !problem.is_empty() {
         eprintln!("error: {problem}");
     }
-    eprintln!("usage: dfpc-score --model <model.dfpm> --input <rows.csv>");
+    eprintln!(
+        "usage: dfpc-score --model <model.dfpm> --input <rows.csv>\n       dfpc-score --url <host:port> --input <rows.csv> [--retries <n>]"
+    );
     if problem.is_empty() {
         ExitCode::SUCCESS
     } else {

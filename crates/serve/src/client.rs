@@ -1,0 +1,273 @@
+//! A minimal std-only HTTP client for `dfp-serve` endpoints, with bounded
+//! retries.
+//!
+//! Transient failures — connect refusals, mid-request I/O errors, and `5xx`
+//! answers (the server sheds load with `503` when saturated) — are retried
+//! with exponential backoff plus jitter, so a fleet of clients hammering a
+//! recovering server does not retry in lockstep. `4xx` answers are client
+//! errors and are returned immediately: retrying a malformed batch cannot
+//! help.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Retry policy for [`Client`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts beyond the first (0 disables retries).
+    pub retries: u32,
+    /// Backoff before retry `n` is `base_backoff * 2^n`, jittered.
+    pub base_backoff: Duration,
+    /// Per-attempt connect/read/write timeout.
+    pub timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 3,
+            base_backoff: Duration::from_millis(100),
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A successful HTTP exchange (any status — check [`Response::status`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Body as UTF-8, lossily.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Why a request ultimately failed after all retries.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure on the final attempt.
+    Io(std::io::Error),
+    /// The server kept answering `5xx` through every attempt.
+    ServerError(Response),
+    /// The response could not be parsed as HTTP.
+    BadResponse(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "request failed: {e}"),
+            ClientError::ServerError(r) => {
+                write!(
+                    f,
+                    "server error {} after retries: {}",
+                    r.status,
+                    r.text().trim()
+                )
+            }
+            ClientError::BadResponse(why) => write!(f, "malformed response: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A retrying HTTP client bound to one `host:port` address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    policy: RetryPolicy,
+    /// Jitter state; advanced per backoff (xorshift64*).
+    seed: u64,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`) with the default retry policy.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self::with_policy(addr, RetryPolicy::default())
+    }
+
+    /// A client with an explicit retry policy.
+    pub fn with_policy(addr: impl Into<String>, policy: RetryPolicy) -> Self {
+        let seed = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15)
+            | 1; // xorshift must not start at 0
+        Client {
+            addr: addr.into(),
+            policy,
+            seed,
+        }
+    }
+
+    /// POSTs `body` to `path`, retrying transient failures per the policy.
+    /// Returns the first non-`5xx` response (including `4xx` — those are
+    /// the caller's bug, not the network's).
+    pub fn post(
+        &mut self,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> Result<Response, ClientError> {
+        let mut last: Option<ClientError> = None;
+        for attempt in 0..=self.policy.retries {
+            if attempt > 0 {
+                std::thread::sleep(self.backoff(attempt - 1));
+            }
+            match self.attempt(path, content_type, body) {
+                Ok(r) if r.status >= 500 => last = Some(ClientError::ServerError(r)),
+                Ok(r) => return Ok(r),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or(ClientError::BadResponse("no attempts made")))
+    }
+
+    /// GETs `path` once (no body, no retries) — probes like `/readyz`.
+    pub fn get(&self, path: &str) -> Result<Response, ClientError> {
+        let head = format!(
+            "GET {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            self.addr
+        );
+        self.exchange(head.as_bytes(), &[])
+    }
+
+    fn attempt(
+        &self,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> Result<Response, ClientError> {
+        // Chaos hook: a simulated transport failure, exercised by the retry
+        // loop exactly like a real refused or stalled connection would be.
+        if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("client.request") {
+            return Err(ClientError::Io(std::io::Error::other(
+                "fault injected at failpoint 'client.request'",
+            )));
+        }
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        self.exchange(head.as_bytes(), body)
+    }
+
+    fn exchange(&self, head: &[u8], body: &[u8]) -> Result<Response, ClientError> {
+        let mut stream = TcpStream::connect(&self.addr).map_err(ClientError::Io)?;
+        let _ = stream.set_read_timeout(Some(self.policy.timeout));
+        let _ = stream.set_write_timeout(Some(self.policy.timeout));
+        stream.write_all(head).map_err(ClientError::Io)?;
+        stream.write_all(body).map_err(ClientError::Io)?;
+        // The server closes every connection, so read-to-end frames the
+        // response without needing chunked/keep-alive handling.
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).map_err(ClientError::Io)?;
+        parse_response(&raw)
+    }
+
+    /// `base * 2^n`, then jittered to 50–100 % so concurrent clients spread
+    /// out; capped at 10 s.
+    fn backoff(&mut self, exp: u32) -> Duration {
+        let base = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32 << exp.min(16))
+            .min(Duration::from_secs(10));
+        // xorshift64* step
+        let mut x = self.seed;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.seed = x;
+        let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let frac = 0.5 + (r >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+        base.mul_f64(frac)
+    }
+}
+
+fn parse_response(raw: &[u8]) -> Result<Response, ClientError> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or(ClientError::BadResponse("no header terminator"))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| ClientError::BadResponse("non-UTF-8 response head"))?;
+    let status_line = head
+        .split("\r\n")
+        .next()
+        .ok_or(ClientError::BadResponse("empty head"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or(ClientError::BadResponse("bad status line"))?;
+    Ok(Response {
+        status,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nyes";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, b"yes");
+        assert_eq!(r.text(), "yes");
+    }
+
+    #[test]
+    fn rejects_garbage_response() {
+        assert!(matches!(
+            parse_response(b"not http at all"),
+            Err(ClientError::BadResponse(_))
+        ));
+    }
+
+    #[test]
+    fn backoff_grows_and_jitters_within_bounds() {
+        let mut c = Client::with_policy(
+            "127.0.0.1:1",
+            RetryPolicy {
+                retries: 3,
+                base_backoff: Duration::from_millis(100),
+                timeout: Duration::from_secs(1),
+            },
+        );
+        for exp in 0..4 {
+            let base = Duration::from_millis(100 * (1 << exp));
+            let d = c.backoff(exp);
+            assert!(d >= base.mul_f64(0.5) && d <= base, "exp {exp}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn connect_refused_is_io_error() {
+        // Port 1 is never listening in the test environment.
+        let mut c = Client::with_policy(
+            "127.0.0.1:1",
+            RetryPolicy {
+                retries: 1,
+                base_backoff: Duration::from_millis(1),
+                timeout: Duration::from_millis(200),
+            },
+        );
+        assert!(matches!(
+            c.post("/predict", "text/csv", b"x"),
+            Err(ClientError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,158 @@
+//! Server tuning knobs, with environment overrides.
+//!
+//! Every limit that used to be a hard-coded constant lives here: per-stream
+//! I/O timeouts, the pending-work queue depth (load shedding), the maximum
+//! request body, the maximum rows per prediction batch, and the per-request
+//! deadline. [`ServerConfig::from_env`] reads the `DFP_SERVE_*` variables so
+//! deployments can retune without a rebuild; defaults preserve the
+//! historical behavior.
+
+use std::time::Duration;
+
+/// Tuning knobs for [`crate::serve_with_config`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Per-connection read/write timeout (`DFP_SERVE_IO_TIMEOUT_MS`).
+    pub io_timeout: Duration,
+    /// Pending connections allowed in the worker queue before new ones are
+    /// shed with `503` (`DFP_SERVE_QUEUE_DEPTH`).
+    pub queue_depth: usize,
+    /// Largest accepted request body in bytes (`DFP_SERVE_MAX_BODY_BYTES`);
+    /// bigger bodies get `413`.
+    pub max_body_bytes: usize,
+    /// Most CSV rows accepted per `/predict` batch (`DFP_SERVE_MAX_ROWS`);
+    /// bigger batches get `413`.
+    pub max_rows: usize,
+    /// Wall-clock budget per request, measured from accept
+    /// (`DFP_SERVE_DEADLINE_MS`); requests still unanswered at the deadline
+    /// get `503` instead of holding a worker.
+    pub request_deadline: Duration,
+    /// Worker threads; `0` resolves like the parallel runtime
+    /// (`DFP_THREADS`, else the machine).
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            io_timeout: Duration::from_secs(10),
+            queue_depth: 1024,
+            max_body_bytes: 16 * 1024 * 1024,
+            max_rows: 1_000_000,
+            request_deadline: Duration::from_secs(30),
+            threads: 0,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Defaults overridden by any `DFP_SERVE_*` variables that are set.
+    /// Unparseable values fall back to the default (serving must come up
+    /// even with a typo in the environment).
+    pub fn from_env() -> Self {
+        let mut cfg = ServerConfig::default();
+        if let Some(ms) = env_u64("DFP_SERVE_IO_TIMEOUT_MS") {
+            cfg.io_timeout = Duration::from_millis(ms.max(1));
+        }
+        if let Some(n) = env_u64("DFP_SERVE_QUEUE_DEPTH") {
+            cfg.queue_depth = (n as usize).max(1);
+        }
+        if let Some(n) = env_u64("DFP_SERVE_MAX_BODY_BYTES") {
+            cfg.max_body_bytes = n as usize;
+        }
+        if let Some(n) = env_u64("DFP_SERVE_MAX_ROWS") {
+            cfg.max_rows = (n as usize).max(1);
+        }
+        if let Some(ms) = env_u64("DFP_SERVE_DEADLINE_MS") {
+            cfg.request_deadline = Duration::from_millis(ms.max(1));
+        }
+        cfg
+    }
+
+    /// Replaces the per-connection I/O timeout.
+    pub fn with_io_timeout(mut self, t: Duration) -> Self {
+        self.io_timeout = t;
+        self
+    }
+
+    /// Replaces the pending-queue depth.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Replaces the maximum request body size.
+    pub fn with_max_body_bytes(mut self, bytes: usize) -> Self {
+        self.max_body_bytes = bytes;
+        self
+    }
+
+    /// Replaces the per-batch row cap.
+    pub fn with_max_rows(mut self, rows: usize) -> Self {
+        self.max_rows = rows.max(1);
+        self
+    }
+
+    /// Replaces the per-request deadline.
+    pub fn with_request_deadline(mut self, d: Duration) -> Self {
+        self.request_deadline = d;
+        self
+    }
+
+    /// Replaces the worker-thread count (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The resolved worker count.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            dfp_par::worker_threads()
+        } else {
+            dfp_par::resolve_workers(Some(self.threads))
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_preserve_historical_limits() {
+        let cfg = ServerConfig::default();
+        assert_eq!(cfg.io_timeout, Duration::from_secs(10));
+        assert_eq!(cfg.max_body_bytes, 16 * 1024 * 1024);
+        assert!(cfg.queue_depth >= 1);
+        assert!(cfg.max_rows >= 1);
+    }
+
+    #[test]
+    fn builders_mutate() {
+        let cfg = ServerConfig::default()
+            .with_io_timeout(Duration::from_millis(250))
+            .with_queue_depth(2)
+            .with_max_body_bytes(1024)
+            .with_max_rows(10)
+            .with_request_deadline(Duration::from_secs(1))
+            .with_threads(3);
+        assert_eq!(cfg.io_timeout, Duration::from_millis(250));
+        assert_eq!(cfg.queue_depth, 2);
+        assert_eq!(cfg.max_body_bytes, 1024);
+        assert_eq!(cfg.max_rows, 10);
+        assert_eq!(cfg.request_deadline, Duration::from_secs(1));
+        assert_eq!(cfg.threads, 3);
+    }
+
+    #[test]
+    fn zeroes_clamped() {
+        let cfg = ServerConfig::default().with_queue_depth(0).with_max_rows(0);
+        assert_eq!(cfg.queue_depth, 1);
+        assert_eq!(cfg.max_rows, 1);
+    }
+}

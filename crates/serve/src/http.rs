@@ -7,8 +7,9 @@ use std::io::{Read, Write};
 
 /// Upper bound on request-head bytes (request line + headers).
 const MAX_HEAD: usize = 16 * 1024;
-/// Upper bound on body bytes (a prediction batch).
-const MAX_BODY: usize = 16 * 1024 * 1024;
+/// Default upper bound on body bytes (a prediction batch); configurable per
+/// server via [`crate::config::ServerConfig::max_body_bytes`].
+pub const DEFAULT_MAX_BODY: usize = 16 * 1024 * 1024;
 
 /// A parsed request.
 #[derive(Debug, PartialEq, Eq)]
@@ -32,8 +33,17 @@ pub enum HttpError {
     TooLarge,
 }
 
-/// Reads one request from the stream.
+/// Reads one request from the stream with the default body limit.
 pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, HttpError> {
+    read_request_limited(stream, DEFAULT_MAX_BODY)
+}
+
+/// Reads one request from the stream, rejecting bodies over `max_body`
+/// bytes with [`HttpError::TooLarge`] — before buffering them.
+pub fn read_request_limited<S: Read>(
+    stream: &mut S,
+    max_body: usize,
+) -> Result<Request, HttpError> {
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
     let head_end = loop {
@@ -81,7 +91,7 @@ pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, HttpError> {
             }
         }
     }
-    if content_length > MAX_BODY {
+    if content_length > max_body {
         return Err(HttpError::TooLarge);
     }
 
@@ -110,10 +120,29 @@ pub fn write_response<S: Write>(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with(stream, status, reason, content_type, &[], body)
+}
+
+/// Like [`write_response`], with extra headers (e.g. `Retry-After`).
+pub fn write_response_with<S: Write>(
+    stream: &mut S,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -163,6 +192,16 @@ mod tests {
     }
 
     #[test]
+    fn custom_body_limit_applies() {
+        let raw = b"POST /p HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        assert_eq!(
+            read_request_limited(&mut &raw[..], 4),
+            Err(HttpError::TooLarge)
+        );
+        assert!(read_request_limited(&mut &raw[..], 5).is_ok());
+    }
+
+    #[test]
     fn eof_mid_request_is_io() {
         let raw = b"GET /x HTTP/1.1\r\n";
         assert_eq!(read_request(&mut &raw[..]), Err(HttpError::Io));
@@ -176,5 +215,22 @@ mod tests {
         assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(s.contains("Content-Length: 3\r\n"));
         assert!(s.ends_with("\r\n\r\nyes"));
+    }
+
+    #[test]
+    fn extra_headers_land_in_head() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            503,
+            "Service Unavailable",
+            "text/plain",
+            &[("Retry-After", "1")],
+            b"busy",
+        )
+        .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("Retry-After: 1\r\n"));
+        assert!(s.ends_with("\r\n\r\nbusy"));
     }
 }

@@ -16,19 +16,31 @@
 //! # }
 //! ```
 //!
+//! The serving layer degrades by refusal, never by collapse: the worker
+//! pool heals panicking workers in place, saturation sheds connections with
+//! `503` + `Retry-After`, oversized payloads get `413`, and every request
+//! carries a deadline from accept time. Limits live in [`ServerConfig`]
+//! (env-overridable via `DFP_SERVE_*`), and [`client::Client`] retries
+//! transient failures with exponential backoff plus jitter.
+//!
 //! Two binaries ship with the crate: `dfp-serve` (the server) and
-//! `dfpc-score` (offline batch scoring of a CSV file, reporting rows/sec).
+//! `dfpc-score` (batch scoring of a CSV file — offline against an artifact,
+//! or remote against a running server).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
+pub mod config;
 pub mod http;
 pub mod metrics;
 pub mod pool;
 pub mod rows;
 pub mod server;
 
+pub use client::{Client, ClientError, Response, RetryPolicy};
+pub use config::ServerConfig;
 pub use metrics::Metrics;
 pub use pool::ThreadPool;
 pub use rows::{parse_rows, render_labels};
-pub use server::{serve, ServerHandle};
+pub use server::{serve, serve_with_config, ServerHandle};

@@ -19,6 +19,10 @@ pub struct Metrics {
     pub predictions_total: AtomicU64,
     /// Requests answered with a 4xx/5xx status.
     pub errors_total: AtomicU64,
+    /// Worker recoveries after a panicking job (self-healing pool).
+    pub worker_respawns_total: AtomicU64,
+    /// Requests shed with `503` because the pending queue was full.
+    pub shed_total: AtomicU64,
     latency_buckets: [AtomicU64; LATENCY_BUCKETS.len() + 1],
     latency_sum_nanos: AtomicU64,
     latency_count: AtomicU64,
@@ -66,6 +70,16 @@ impl Metrics {
                 "dfp_serve_errors_total",
                 "Requests answered with an error status",
                 self.errors_total.load(Ordering::Relaxed),
+            ),
+            (
+                "dfp_serve_worker_respawns_total",
+                "Worker recoveries after a panicking job",
+                self.worker_respawns_total.load(Ordering::Relaxed),
+            ),
+            (
+                "dfp_serve_shed_total",
+                "Requests shed because the pending queue was full",
+                self.shed_total.load(Ordering::Relaxed),
             ),
         ] {
             out.push_str(&format!(

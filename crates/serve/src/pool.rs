@@ -1,7 +1,15 @@
 //! A fixed-size worker thread pool over an `mpsc` channel. Workers pull
 //! boxed jobs from a shared receiver; dropping the pool closes the channel
 //! and joins every worker, so shutdown is deterministic.
+//!
+//! The pool is **self-healing**: a job that panics is caught inside the
+//! worker loop, the worker keeps serving (counted in
+//! [`ThreadPool::respawns`]), and the panic never crosses a thread boundary.
+//! An optional pending-work bound turns [`ThreadPool::try_execute`] into a
+//! load-shedding admission check.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -13,24 +21,54 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct ThreadPool {
     sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    /// Jobs accepted but not yet finished (queued + running).
+    pending: Arc<AtomicUsize>,
+    /// Worker recoveries after a panicking job.
+    respawns: Arc<AtomicU64>,
+    /// `try_execute` admits a job only below this many pending jobs.
+    queue_depth: usize,
 }
 
 impl ThreadPool {
-    /// Spawns `size` workers (clamped to at least 1).
+    /// Spawns `size` workers (clamped to at least 1) with an unbounded
+    /// pending queue.
     pub fn new(size: usize) -> Self {
+        Self::bounded(size, usize::MAX)
+    }
+
+    /// Spawns `size` workers whose [`Self::try_execute`] sheds load once
+    /// `queue_depth` jobs are pending.
+    pub fn bounded(size: usize, queue_depth: usize) -> Self {
         let size = size.max(1);
         let (sender, receiver) = channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
+        let pending = Arc::new(AtomicUsize::new(0));
+        let respawns = Arc::new(AtomicU64::new(0));
         let workers = (0..size)
             .map(|i| {
                 let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
+                let pending = Arc::clone(&pending);
+                let respawns = Arc::clone(&respawns);
                 std::thread::Builder::new()
                     .name(format!("dfp-serve-worker-{i}"))
                     .spawn(move || loop {
-                        // Holding the lock only for the recv keeps handoff fair.
-                        let job = receiver.lock().expect("pool receiver poisoned").recv();
+                        // Holding the lock only for the recv keeps handoff
+                        // fair. A lock poisoned by a panicking sibling is
+                        // still usable: the receiver behind it is intact.
+                        let job = receiver
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .recv();
                         match job {
-                            Ok(job) => job(),
+                            Ok(job) => {
+                                // A panicking job must not take the worker
+                                // down with it — recover in place and count
+                                // the respawn.
+                                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                    respawns.fetch_add(1, Ordering::Relaxed);
+                                }
+                                pending.fetch_sub(1, Ordering::Relaxed);
+                            }
                             Err(_) => break, // channel closed → shut down
                         }
                     })
@@ -40,6 +78,9 @@ impl ThreadPool {
         ThreadPool {
             sender: Some(sender),
             workers,
+            pending,
+            respawns,
+            queue_depth,
         }
     }
 
@@ -56,13 +97,38 @@ impl ThreadPool {
         self.workers.len()
     }
 
-    /// Queues a job; some idle worker will run it.
+    /// Jobs accepted but not yet finished.
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    /// Worker recoveries after panicking jobs so far.
+    pub fn respawns(&self) -> u64 {
+        self.respawns.load(Ordering::Relaxed)
+    }
+
+    /// Queues a job unconditionally; some idle worker will run it.
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.pending.fetch_add(1, Ordering::Relaxed);
         if let Some(sender) = &self.sender {
             // Send fails only if all workers died; jobs are then dropped,
             // which closes their connections — an acceptable shutdown race.
-            let _ = sender.send(Box::new(job));
+            if sender.send(Box::new(job)).is_err() {
+                self.pending.fetch_sub(1, Ordering::Relaxed);
+            }
+        } else {
+            self.pending.fetch_sub(1, Ordering::Relaxed);
         }
+    }
+
+    /// Queues a job unless the pending bound is reached; returns `false`
+    /// (job dropped) when the pool is saturated — the caller sheds load.
+    pub fn try_execute<F: FnOnce() + Send + 'static>(&self, job: F) -> bool {
+        if self.pending.load(Ordering::Relaxed) >= self.queue_depth {
+            return false;
+        }
+        self.execute(job);
+        true
     }
 }
 
@@ -121,5 +187,49 @@ mod tests {
             rx_a.recv().unwrap();
         });
         drop(pool); // would deadlock with a single worker
+    }
+
+    #[test]
+    fn panicking_job_recovers_worker() {
+        let pool = ThreadPool::new(1);
+        pool.execute(|| panic!("injected"));
+        // The single worker must survive to run this second job.
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        let respawns = Arc::clone(&pool.respawns);
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        assert_eq!(respawns.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn bounded_pool_sheds_past_queue_depth() {
+        use std::sync::mpsc::channel;
+        let pool = ThreadPool::bounded(1, 2);
+        // Park the only worker so pending stays high.
+        let (tx, rx) = channel::<()>();
+        assert!(pool.try_execute(move || {
+            rx.recv().unwrap();
+        }));
+        assert!(pool.try_execute(|| {})); // queued (pending = 2)
+        assert!(!pool.try_execute(|| {})); // shed
+        tx.send(()).unwrap();
+        drop(pool);
+    }
+
+    #[test]
+    fn pending_drains_to_zero() {
+        let pool = ThreadPool::new(2);
+        for _ in 0..10 {
+            pool.execute(|| {});
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while pool.pending() > 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.pending(), 0);
     }
 }

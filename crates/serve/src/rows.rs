@@ -9,25 +9,62 @@
 use dfp_data::dataset::{Dataset, Value};
 use dfp_data::schema::{AttributeKind, ClassId, Schema};
 
+/// Why a CSV payload was rejected.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RowsError {
+    /// More data rows than the server's per-batch cap — a `413`, not a `400`.
+    TooManyRows {
+        /// The configured cap that was exceeded.
+        limit: usize,
+    },
+    /// A malformed row; client-facing message with row/column context.
+    Bad(String),
+}
+
+impl std::fmt::Display for RowsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RowsError::TooManyRows { limit } => {
+                write!(f, "batch exceeds the server limit of {limit} rows")
+            }
+            RowsError::Bad(why) => f.write_str(why),
+        }
+    }
+}
+
 /// Parses a CSV payload into a [`Dataset`] with placeholder labels, ready
 /// for [`dfp_core::PatternClassifier::predict`].
 ///
 /// Returns a client-facing error message on the first malformed row.
 pub fn parse_rows(schema: &Schema, text: &str) -> Result<Dataset, String> {
+    parse_rows_limited(schema, text, usize::MAX).map_err(|e| e.to_string())
+}
+
+/// Like [`parse_rows`], but stops at `max_rows` data rows so one oversized
+/// batch cannot balloon server memory past the configured bound.
+pub fn parse_rows_limited(
+    schema: &Schema,
+    text: &str,
+    max_rows: usize,
+) -> Result<Dataset, RowsError> {
+    let bad = |why: String| RowsError::Bad(why);
     let mut rows = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim_end_matches('\r');
         if line.trim().is_empty() {
             continue;
         }
+        if rows.len() >= max_rows {
+            return Err(RowsError::TooManyRows { limit: max_rows });
+        }
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         if fields.len() != schema.n_attributes() {
-            return Err(format!(
+            return Err(bad(format!(
                 "row {}: expected {} fields, got {}",
                 lineno + 1,
                 schema.n_attributes(),
                 fields.len()
-            ));
+            )));
         }
         let mut row = Vec::with_capacity(fields.len());
         for (a, (field, attr)) in fields.iter().zip(&schema.attributes).enumerate() {
@@ -38,22 +75,22 @@ pub fn parse_rows(schema: &Schema, text: &str) -> Result<Dataset, String> {
             let value = match &attr.kind {
                 AttributeKind::Numeric => {
                     let v: f64 = field.parse().map_err(|_| {
-                        format!(
+                        bad(format!(
                             "row {}: attribute '{}' (column {}) expects a number, got '{field}'",
                             lineno + 1,
                             attr.name,
                             a + 1
-                        )
+                        ))
                     })?;
                     Value::Num(v)
                 }
                 AttributeKind::Categorical { values } => {
                     let idx = values.iter().position(|v| v == field).ok_or_else(|| {
-                        format!(
+                        bad(format!(
                             "row {}: '{field}' is not a known value of attribute '{}'",
                             lineno + 1,
                             attr.name
-                        )
+                        ))
                     })?;
                     Value::Cat(idx as u32)
                 }
@@ -63,7 +100,7 @@ pub fn parse_rows(schema: &Schema, text: &str) -> Result<Dataset, String> {
         rows.push(row);
     }
     if rows.is_empty() {
-        return Err("no data rows in request body".to_string());
+        return Err(bad("no data rows in request body".to_string()));
     }
     let labels = vec![ClassId(0); rows.len()];
     Ok(Dataset::new(schema.clone(), rows, labels))
@@ -137,5 +174,15 @@ mod tests {
         let s = schema();
         let out = render_labels(&s, &[ClassId(1), ClassId(0)]);
         assert_eq!(out, "no\nyes\n");
+    }
+
+    #[test]
+    fn row_cap_enforced() {
+        let s = schema();
+        let err = parse_rows_limited(&s, "red,1\nblue,2\nred,3\n", 2).unwrap_err();
+        assert_eq!(err, RowsError::TooManyRows { limit: 2 });
+        assert!(parse_rows_limited(&s, "red,1\nblue,2\n", 2).is_ok());
+        // blank lines don't count against the cap
+        assert!(parse_rows_limited(&s, "\n\nred,1\n\n", 1).is_ok());
     }
 }

@@ -1,34 +1,45 @@
 //! The serving loop: a `TcpListener` accept thread feeding a fixed worker
-//! pool, three routes, and graceful shutdown.
+//! pool, four routes, and graceful shutdown.
 //!
 //! Routes:
 //!
 //! * `POST /predict` — body is CSV attribute rows (no class column), answer
 //!   is one predicted class name per line;
 //! * `GET /healthz` — liveness probe, always `ok`;
+//! * `GET /readyz` — readiness probe: `200` once the model can serve
+//!   predictions (it carries a schema), `503` otherwise;
 //! * `GET /metrics` — Prometheus text exposition of the serving counters.
 //!
-//! Shutdown: [`ServerHandle::shutdown`] raises a flag and pokes the listener
-//! with a loopback connection so the blocking `accept` observes it; the
-//! accept thread then drops the pool, which joins every worker.
+//! Robustness: all limits come from [`ServerConfig`] (env-overridable);
+//! the pool recovers panicking workers in place (`worker_respawns_total`);
+//! connections beyond the pending-queue depth are shed with `503` +
+//! `Retry-After` instead of queueing unboundedly; and each request carries a
+//! deadline from accept time so an overloaded server answers `503` rather
+//! than holding a worker past its budget.
+//!
+//! Shutdown: [`ServerHandle::shutdown`] (or dropping the handle) raises a
+//! flag and pokes the listener with a loopback connection so the blocking
+//! `accept` observes it; the accept thread then drops the pool, which joins
+//! every worker.
 
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::config::ServerConfig;
+use crate::http::{read_request_limited, write_response, write_response_with, HttpError, Request};
 use crate::metrics::Metrics;
 use crate::pool::ThreadPool;
-use crate::rows::{parse_rows, render_labels};
+use crate::rows::{parse_rows_limited, render_labels, RowsError};
 use dfp_core::PatternClassifier;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-/// Per-connection I/O timeout.
-const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// The `Retry-After` seconds suggested to shed or deadline-expired clients.
+const RETRY_AFTER_SECS: &str = "1";
 
-/// A running server; dropping it without calling [`Self::shutdown`] detaches
-/// the accept thread (the process exit reaps it).
+/// A running server. Dropping the handle shuts the server down exactly like
+/// [`Self::shutdown`]: stop accepting, drain in-flight work, join threads.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
@@ -49,7 +60,15 @@ impl ServerHandle {
     }
 
     /// Stops accepting, drains in-flight work and joins all threads.
-    pub fn shutdown(mut self) {
+    /// Equivalent to dropping the handle; kept for explicitness at call
+    /// sites.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
@@ -60,14 +79,27 @@ impl ServerHandle {
 }
 
 /// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves `model` on a pool of
-/// `threads` workers. Returns once the listener is bound — serving continues
-/// on background threads until [`ServerHandle::shutdown`].
+/// `threads` workers, with all other limits taken from the environment
+/// ([`ServerConfig::from_env`]). Returns once the listener is bound —
+/// serving continues on background threads until [`ServerHandle::shutdown`]
+/// or the handle is dropped.
 pub fn serve(model: PatternClassifier, addr: &str, threads: usize) -> io::Result<ServerHandle> {
+    serve_with_config(model, addr, ServerConfig::from_env().with_threads(threads))
+}
+
+/// Binds `addr` and serves `model` with explicit [`ServerConfig`] limits.
+pub fn serve_with_config(
+    model: PatternClassifier,
+    addr: &str,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let model = Arc::new(model);
     let metrics = Arc::new(Metrics::new());
     let stop = Arc::new(AtomicBool::new(false));
+    let threads = cfg.resolved_threads();
+    let cfg = Arc::new(cfg);
 
     let accept_thread = {
         let stop = Arc::clone(&stop);
@@ -75,15 +107,49 @@ pub fn serve(model: PatternClassifier, addr: &str, threads: usize) -> io::Result
         std::thread::Builder::new()
             .name("dfp-serve-accept".into())
             .spawn(move || {
-                let pool = ThreadPool::new(threads);
+                let pool = ThreadPool::bounded(threads, cfg.queue_depth);
                 for stream in listener.incoming() {
                     if stop.load(Ordering::SeqCst) {
                         break;
                     }
-                    let Ok(stream) = stream else { continue };
+                    let Ok(mut stream) = stream else { continue };
+                    // Chaos hook: a simulated accept-path failure drops the
+                    // connection as a flaky network would.
+                    if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("serve.accept") {
+                        continue;
+                    }
+                    // Surface pool self-healing in /metrics; refreshed on
+                    // every accept so scrapes observe earlier respawns.
+                    metrics
+                        .worker_respawns_total
+                        .store(pool.respawns(), Ordering::Relaxed);
+                    // Load shedding: a full pending queue answers 503 right
+                    // here on the accept thread instead of queueing without
+                    // bound (the check is approximate under races, which
+                    // only flexes the bound by the number of accepts in
+                    // flight — there is exactly one accept thread).
+                    if pool.pending() >= cfg.queue_depth {
+                        metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+                        metrics.errors_total.fetch_add(1, Ordering::Relaxed);
+                        metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.set_write_timeout(Some(cfg.io_timeout));
+                        let _ = write_response_with(
+                            &mut stream,
+                            503,
+                            "Service Unavailable",
+                            "text/plain",
+                            &[("Retry-After", RETRY_AFTER_SECS)],
+                            b"server overloaded, retry later\n",
+                        );
+                        continue;
+                    }
+                    let accepted = Instant::now();
                     let model = Arc::clone(&model);
                     let metrics = Arc::clone(&metrics);
-                    pool.execute(move || handle_connection(stream, &model, &metrics));
+                    let cfg = Arc::clone(&cfg);
+                    pool.execute(move || {
+                        handle_connection(stream, &model, &metrics, &cfg, accepted)
+                    });
                 }
                 // pool drops here: channel closes, workers drain and join
             })?
@@ -97,10 +163,20 @@ pub fn serve(model: PatternClassifier, addr: &str, threads: usize) -> io::Result
     })
 }
 
-fn handle_connection(mut stream: TcpStream, model: &PatternClassifier, metrics: &Metrics) {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let request = match read_request(&mut stream) {
+fn handle_connection(
+    mut stream: TcpStream,
+    model: &PatternClassifier,
+    metrics: &Metrics,
+    cfg: &ServerConfig,
+    accepted: Instant,
+) {
+    // Chaos hook on the worker path: `panic` exercises pool self-healing,
+    // `sleep` exercises queue backpressure and request deadlines.
+    dfp_fault::faultpoint!("serve.worker");
+    let deadline = accepted + cfg.request_deadline;
+    let _ = stream.set_read_timeout(Some(cfg.io_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.io_timeout));
+    let request = match read_request_limited(&mut stream, cfg.max_body_bytes) {
         Ok(r) => r,
         Err(HttpError::Io) => return, // peer went away (includes shutdown wake)
         Err(HttpError::TooLarge) => {
@@ -130,22 +206,55 @@ fn handle_connection(mut stream: TcpStream, model: &PatternClassifier, metrics: 
     };
     metrics.requests_total.fetch_add(1, Ordering::Relaxed);
 
-    let (status, reason, body): (u16, &str, String) = route(&request, model, metrics);
+    let (status, reason, body): (u16, &str, String) = if Instant::now() > deadline {
+        // Queue wait alone exhausted the request budget — answer cheaply.
+        (
+            503,
+            "Service Unavailable",
+            "request deadline exceeded\n".to_string(),
+        )
+    } else {
+        route(&request, model, metrics, cfg, deadline)
+    };
     if status >= 400 {
         metrics.errors_total.fetch_add(1, Ordering::Relaxed);
     }
-    let _ = write_response(&mut stream, status, reason, "text/plain", body.as_bytes());
+    if status == 503 {
+        let _ = write_response_with(
+            &mut stream,
+            status,
+            reason,
+            "text/plain",
+            &[("Retry-After", RETRY_AFTER_SECS)],
+            body.as_bytes(),
+        );
+    } else {
+        let _ = write_response(&mut stream, status, reason, "text/plain", body.as_bytes());
+    }
 }
 
 fn route(
     request: &Request,
     model: &PatternClassifier,
     metrics: &Metrics,
+    cfg: &ServerConfig,
+    deadline: Instant,
 ) -> (u16, &'static str, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (200, "OK", "ok\n".to_string()),
+        ("GET", "/readyz") => {
+            if model.schema().is_some() {
+                (200, "OK", "ready\n".to_string())
+            } else {
+                (
+                    503,
+                    "Service Unavailable",
+                    "model artifact carries no schema; not ready\n".to_string(),
+                )
+            }
+        }
         ("GET", "/metrics") => (200, "OK", metrics.render()),
-        ("POST", "/predict") => predict(request, model, metrics),
+        ("POST", "/predict") => predict(request, model, metrics, cfg, deadline),
         ("GET", "/predict") => (
             405,
             "Method Not Allowed",
@@ -159,7 +268,16 @@ fn predict(
     request: &Request,
     model: &PatternClassifier,
     metrics: &Metrics,
+    cfg: &ServerConfig,
+    deadline: Instant,
 ) -> (u16, &'static str, String) {
+    if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("serve.predict") {
+        return (
+            500,
+            "Internal Server Error",
+            "fault injected at failpoint 'serve.predict'\n".to_string(),
+        );
+    }
     let Some(schema) = model.schema() else {
         return (
             500,
@@ -171,10 +289,20 @@ fn predict(
         return (400, "Bad Request", "body is not UTF-8\n".to_string());
     };
     let start = Instant::now();
-    let dataset = match parse_rows(schema, text) {
+    let dataset = match parse_rows_limited(schema, text, cfg.max_rows) {
         Ok(d) => d,
+        Err(e @ RowsError::TooManyRows { .. }) => {
+            return (413, "Payload Too Large", format!("{e}\n"))
+        }
         Err(why) => return (400, "Bad Request", format!("{why}\n")),
     };
+    if Instant::now() > deadline {
+        return (
+            503,
+            "Service Unavailable",
+            "request deadline exceeded\n".to_string(),
+        );
+    }
     match model.predict(&dataset) {
         Ok(labels) => {
             metrics.observe_latency(start.elapsed());

@@ -20,6 +20,8 @@
 //!   selection → model learning, with the paper's experimental variants;
 //! * [`model`] — the versioned `DFPM` binary artifact format for saving and
 //!   loading fitted classifiers;
+//! * [`fault`] — named failpoints (`DFP_FAILPOINTS`) for fault-injection
+//!   testing across mining, persistence, and serving;
 //! * [`par`] — the std-only scoped-thread parallel runtime behind mining,
 //!   MMRFS, cross-validation, and batch scoring (`DFP_THREADS` to pin);
 //! * [`serve`] — a std-only threaded HTTP inference server and batch scorer
@@ -47,6 +49,7 @@ pub use dfp_baselines as baselines;
 pub use dfp_classify as classify;
 pub use dfp_core as core;
 pub use dfp_data as data;
+pub use dfp_fault as fault;
 pub use dfp_measures as measures;
 pub use dfp_mining as mining;
 pub use dfp_model as model;

@@ -13,7 +13,7 @@ use dfpc::data::schema::ClassId;
 use dfpc::data::transactions::{Item, TransactionSet};
 use dfpc::mining::count::count_frequent;
 use dfpc::mining::per_class::MinerKind;
-use dfpc::mining::{mine_features, MiningConfig};
+use dfpc::mining::{mine_features, mine_features_anytime, MiningConfig};
 use dfpc::select::{mmrfs, MmrfsConfig};
 use proptest::prelude::*;
 use std::sync::{Mutex, MutexGuard};
@@ -116,6 +116,40 @@ proptest! {
         let seq_bits: Vec<u64> = seq.relevance.iter().map(|x| x.to_bits()).collect();
         let par_bits: Vec<u64> = par.relevance.iter().map(|x| x.to_bits()).collect();
         prop_assert_eq!(seq_bits, par_bits);
+    }
+
+    /// Anytime mining under a pattern budget is deterministic across thread
+    /// counts: identical best-so-far feature sets (order included), the same
+    /// completeness flag, and the same stop reason at 1 and 4 threads.
+    #[test]
+    fn anytime_mining_identical_across_thread_counts(
+        ts in random_labelled_db(),
+        budget in 1u64..40,
+    ) {
+        let _guard = lock_env();
+        for kind in [
+            MinerKind::Closed,
+            MinerKind::FpGrowth,
+            MinerKind::Eclat,
+            MinerKind::Apriori,
+        ] {
+            let mut cfg = MiningConfig {
+                miner: kind,
+                ..MiningConfig::with_min_sup(0.2)
+            };
+            cfg.options = cfg.options.with_max_patterns(budget);
+            let seq = with_threads(1, || mine_features_anytime(&ts, &cfg).unwrap());
+            let par = with_threads(4, || mine_features_anytime(&ts, &cfg).unwrap());
+            prop_assert_eq!(&seq.patterns, &par.patterns, "{:?}", kind);
+            prop_assert_eq!(seq.complete, par.complete, "{:?}", kind);
+            prop_assert_eq!(seq.stopped_by, par.stopped_by, "{:?}", kind);
+            // A budget stop is honest: over-budget ⇔ flagged incomplete.
+            prop_assert_eq!(
+                seq.complete,
+                seq.stopped_by.is_none(),
+                "{:?}", kind
+            );
+        }
     }
 
     /// Counting-only enumeration returns the same count — and the same
