@@ -1,0 +1,79 @@
+//! `pipeline_profile` — per-stage pipeline timings → `BENCH_pipeline.json`.
+//!
+//! Fits the full framework pipeline (discretize → itemize → mine → select →
+//! transform → train) on a dense synthetic profile, scores the training set,
+//! and reads each stage's wall-clock out of the process-wide
+//! `dfp_pipeline_stage_seconds` histograms. The per-stage breakdown lands in
+//! `BENCH_pipeline.json` at the repo root so the bench trajectory
+//! accumulates comparable timings across commits.
+//!
+//! `DFP_FAST=1` switches to a smaller profile; `DFP_TRACE=<path>` also
+//! exports the run's span tree as JSONL.
+
+use dfp_bench::report::{write_root_json, Json, Table};
+use dfp_core::{FrameworkConfig, PatternClassifier};
+use dfp_data::synth::profile_by_name;
+use std::time::Instant;
+
+fn main() {
+    let trace = dfp_obs::TraceSession::from_env().expect("DFP_TRACE file");
+    let profile_name = if dfp_bench::fast_mode() {
+        "labor"
+    } else {
+        "austral"
+    };
+    let data = profile_by_name(profile_name).expect("profile").generate();
+    eprintln!(
+        "pipeline_profile: {profile_name} ({} instances, {} attributes)",
+        data.len(),
+        data.schema.n_attributes()
+    );
+
+    let start = Instant::now();
+    let model = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs()).expect("fit");
+    let labels = model.predict(&data).expect("predict");
+    let total = start.elapsed().as_secs_f64();
+
+    let mut table = Table::new(vec!["stage", "calls", "seconds", "% of total"]);
+    let mut stages = Vec::new();
+    let mut covered = 0.0;
+    for stage in dfp_obs::metrics::dfp::STAGES {
+        let h = dfp_obs::metrics::dfp::pipeline_stage(stage);
+        let secs = h.sum_nanos() as f64 / 1e9;
+        covered += secs;
+        table.row(vec![
+            stage.to_string(),
+            h.count().to_string(),
+            format!("{secs:.6}"),
+            format!("{:.1}", 100.0 * secs / total.max(f64::MIN_POSITIVE)),
+        ]);
+        stages.push((
+            stage.to_string(),
+            Json::obj(vec![
+                ("calls", Json::Int(h.count())),
+                ("seconds", Json::Num(secs)),
+            ]),
+        ));
+    }
+    table.print();
+    eprintln!(
+        "total {total:.6}s, {:.1}% covered by stage histograms",
+        100.0 * covered / total.max(f64::MIN_POSITIVE)
+    );
+
+    let report = Json::obj(vec![
+        ("profile", Json::Str(profile_name.into())),
+        ("instances", Json::Int(data.len() as u64)),
+        ("rows_scored", Json::Int(labels.len() as u64)),
+        ("total_seconds", Json::Num(total)),
+        ("stage_seconds_covered", Json::Num(covered)),
+        ("stages", Json::Obj(stages)),
+    ]);
+    let path = write_root_json("BENCH_pipeline", &report).expect("write BENCH_pipeline.json");
+    eprintln!("wrote {}", path.display());
+
+    if let Some(session) = trace {
+        let spans = session.flush().expect("trace flush");
+        eprintln!("traced {spans} spans to {}", session.path().display());
+    }
+}

@@ -102,6 +102,17 @@ pub fn write_json(name: &str, value: &Json) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Writes a JSON report to `<name>.json` at the workspace root — for
+/// trajectory files like `BENCH_pipeline.json` that tooling expects to find
+/// next to `Cargo.toml` rather than under `experiments/out/`.
+pub fn write_root_json(name: &str, value: &Json) -> std::io::Result<PathBuf> {
+    let mut path = workspace_root();
+    path.push(format!("{name}.json"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{}", value.render())?;
+    Ok(path)
+}
+
 /// A simple text table with a header and string rows.
 pub struct Table {
     header: Vec<String>,

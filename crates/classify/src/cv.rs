@@ -60,6 +60,7 @@ where
         // failpoint here can only panic or sleep — enough for chaos testing
         // the panic path through the parallel runtime.
         dfp_fault::faultpoint!("cv.inner_fold");
+        let _sp = dfp_obs::span("cv.inner_fold");
         let train = data.subset(&fold.train);
         let test = data.subset(&fold.test);
         let model = fit(&train);

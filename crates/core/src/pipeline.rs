@@ -19,6 +19,28 @@ use dfp_mining::count::attach_class_supports;
 use dfp_mining::{mine_features, mine_features_anytime, MinedPattern, RawPattern, StopReason};
 use dfp_select::baseline::top_k_by_relevance;
 use dfp_select::{mmrfs, FeatureSpace};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Runs `f` under a named span and records its wall-clock duration in the
+/// `dfp_pipeline_stage_seconds{stage=...}` histogram. Both names must be
+/// `'static` so span records stay allocation-free and histogram series stay
+/// bounded.
+fn timed_stage<T>(span_name: &'static str, stage: &'static str, f: impl FnOnce() -> T) -> T {
+    let _sp = dfp_obs::span(span_name);
+    let start = Instant::now();
+    let out = f();
+    dfp_obs::metrics::dfp::pipeline_stage(stage).observe(start.elapsed());
+    out
+}
+
+/// The `stage="predict"` histogram handle, cached because `predict_batch`
+/// runs once per serving request — the registry lookup must not sit on that
+/// path.
+fn predict_stage_hist() -> &'static Arc<dfp_obs::Histogram> {
+    static CELL: OnceLock<Arc<dfp_obs::Histogram>> = OnceLock::new();
+    CELL.get_or_init(|| dfp_obs::metrics::dfp::pipeline_stage("predict"))
+}
 
 /// The trained model behind a [`PatternClassifier`] — one variant per
 /// [`ModelKind`]. Public so model serialization can reach the fitted state.
@@ -50,7 +72,12 @@ impl Classifier for TrainedModel {
     /// Rows are scored independently, so batch scoring (`dfpc-score`, the
     /// `/predict` endpoint, CV evaluation) shards them across workers.
     fn predict_batch(&self, rows: &[Vec<u32>]) -> Vec<ClassId> {
-        dfp_par::par_chunks_map(rows, 256, |r| self.predict(r))
+        let mut sp = dfp_obs::span("pipeline.predict_batch");
+        sp.attr("rows", rows.len());
+        let start = Instant::now();
+        let out = dfp_par::par_chunks_map(rows, 256, |r| self.predict(r));
+        predict_stage_hist().observe(start.elapsed());
+        out
     }
 }
 
@@ -118,17 +145,26 @@ impl PatternClassifier {
         if train.is_empty() {
             return Err(FrameworkError::EmptyTrainingSet);
         }
-        let (categorical, discretization) = if train.schema.has_numeric() {
-            let (d, m) = match cfg.discretizer {
-                DiscretizerKind::Mdl => train.discretize(&MdlDiscretizer::new()),
-                DiscretizerKind::EqualWidth(b) => train.discretize(&EqualWidth::new(b)),
-                DiscretizerKind::EqualFrequency(b) => train.discretize(&EqualFrequency::new(b)),
-            };
-            (d, Some(m))
-        } else {
-            (train.clone(), None)
-        };
-        let (ts, map) = categorical.to_transactions();
+        let mut sp = dfp_obs::span("pipeline.fit");
+        sp.attr("rows", train.len());
+        let (categorical, discretization) =
+            timed_stage("pipeline.discretize", "discretize", || {
+                if train.schema.has_numeric() {
+                    let (d, m) = match cfg.discretizer {
+                        DiscretizerKind::Mdl => train.discretize(&MdlDiscretizer::new()),
+                        DiscretizerKind::EqualWidth(b) => train.discretize(&EqualWidth::new(b)),
+                        DiscretizerKind::EqualFrequency(b) => {
+                            train.discretize(&EqualFrequency::new(b))
+                        }
+                    };
+                    (d, Some(m))
+                } else {
+                    (train.clone(), None)
+                }
+            });
+        let (ts, map) = timed_stage("pipeline.itemize", "itemize", || {
+            categorical.to_transactions()
+        });
         let mut fitted = Self::fit_transactions(&ts, cfg)?;
         fitted.discretization = discretization;
         fitted.item_map = Some(map);
@@ -144,6 +180,7 @@ impl PatternClassifier {
         if ts.is_empty() {
             return Err(FrameworkError::EmptyTrainingSet);
         }
+        let _sp = dfp_obs::span("pipeline.fit_transactions");
         let mut info = FitInfo {
             n_items: ts.n_items(),
             ..FitInfo::default()
@@ -153,19 +190,21 @@ impl PatternClassifier {
         let feature_space = match &cfg.features {
             FeatureMode::ItemsOnly => FeatureSpace::items_only(ts.n_items(), ts.n_classes()),
             FeatureMode::ItemsSelected(mmrfs_cfg) => {
-                // Treat every single item as a length-1 pattern and run MMRFS.
-                let singletons: Vec<RawPattern> = (0..ts.n_items())
-                    .map(|i| RawPattern {
-                        items: vec![dfp_data::transactions::Item(i as u32)],
-                        support: 0,
-                    })
-                    .collect();
-                let candidates = attach_class_supports(ts, &singletons);
-                let result = mmrfs(ts, &candidates, mmrfs_cfg);
-                let selected = result.patterns(&candidates);
-                info.n_patterns_mined = candidates.len();
-                info.n_selected = selected.len();
-                FeatureSpace::selected_only(ts.n_items(), ts.n_classes(), &selected)
+                timed_stage("pipeline.select", "select", || {
+                    // Treat every single item as a length-1 pattern and run MMRFS.
+                    let singletons: Vec<RawPattern> = (0..ts.n_items())
+                        .map(|i| RawPattern {
+                            items: vec![dfp_data::transactions::Item(i as u32)],
+                            support: 0,
+                        })
+                        .collect();
+                    let candidates = attach_class_supports(ts, &singletons);
+                    let result = mmrfs(ts, &candidates, mmrfs_cfg);
+                    let selected = result.patterns(&candidates);
+                    info.n_patterns_mined = candidates.len();
+                    info.n_selected = selected.len();
+                    FeatureSpace::selected_only(ts.n_items(), ts.n_classes(), &selected)
+                })
             }
             FeatureMode::Patterns {
                 min_sup,
@@ -177,44 +216,69 @@ impl PatternClassifier {
                 info.min_sup_abs = Some(abs);
                 let rel = abs as f64 / ts.len().max(1) as f64;
                 let mining_cfg = mining.to_mining_config(rel);
-                let candidates = if mining.anytime {
-                    let feats = mine_features_anytime(ts, &mining_cfg)?;
-                    degradation = DegradationReport {
-                        mining_complete: feats.complete,
-                        mining_stopped_by: feats.stopped_by,
+                let candidates = {
+                    let _sp = dfp_obs::span("pipeline.mine");
+                    let start = Instant::now();
+                    let candidates = if mining.anytime {
+                        let feats = mine_features_anytime(ts, &mining_cfg)?;
+                        degradation = DegradationReport {
+                            mining_complete: feats.complete,
+                            mining_stopped_by: feats.stopped_by,
+                        };
+                        feats.patterns
+                    } else {
+                        mine_features(ts, &mining_cfg)?
                     };
-                    feats.patterns
-                } else {
-                    mine_features(ts, &mining_cfg)?
+                    dfp_obs::metrics::dfp::pipeline_stage("mine").observe(start.elapsed());
+                    candidates
                 };
                 info.n_patterns_mined = candidates.len();
-                let selected: Vec<MinedPattern> = match selection {
-                    SelectionStrategy::None => candidates,
-                    SelectionStrategy::Mmrfs(mmrfs_cfg) => {
-                        let result = mmrfs(ts, &candidates, mmrfs_cfg);
-                        result.patterns(&candidates)
-                    }
-                    SelectionStrategy::TopK(k, measure) => {
-                        top_k_by_relevance(ts, &candidates, *measure, *k)
-                            .into_iter()
-                            .map(|i| candidates[i].clone())
-                            .collect()
-                    }
-                };
+                let selected: Vec<MinedPattern> =
+                    timed_stage("pipeline.select", "select", || match selection {
+                        SelectionStrategy::None => candidates,
+                        SelectionStrategy::Mmrfs(mmrfs_cfg) => {
+                            let result = mmrfs(ts, &candidates, mmrfs_cfg);
+                            result.patterns(&candidates)
+                        }
+                        SelectionStrategy::TopK(k, measure) => {
+                            top_k_by_relevance(ts, &candidates, *measure, *k)
+                                .into_iter()
+                                .map(|i| candidates[i].clone())
+                                .collect()
+                        }
+                    });
                 info.n_selected = selected.len();
                 FeatureSpace::new(ts.n_items(), ts.n_classes(), &selected)
             }
         };
         info.n_features = feature_space.n_features();
 
-        let matrix = feature_space.transform(ts);
-        let model = match &cfg.model {
+        // Surface the degradation outcome: gauge reflects the most recent fit
+        // in this process, and a WARN event names the stop reason.
+        dfp_obs::metrics::dfp::pipeline_degraded().set(i64::from(degradation.is_degraded()));
+        if let Some(reason) = degradation.mining_stopped_by {
+            let reason = format!("{reason:?}");
+            dfp_obs::log::warn(
+                "dfp_core::pipeline",
+                "anytime mining stopped early; model fitted on partial pattern set",
+                &[
+                    ("stopped_by", reason.as_str()),
+                    ("patterns", &info.n_patterns_mined.to_string()),
+                ],
+            );
+        }
+
+        let matrix = timed_stage("pipeline.transform", "transform", || {
+            feature_space.transform(ts)
+        });
+        let model = timed_stage("pipeline.train", "train", || match &cfg.model {
             ModelKind::LinearSvm(p) => TrainedModel::Linear(LinearSvm::fit(&matrix, p)),
             ModelKind::KernelSvm(p) => TrainedModel::Kernel(KernelSvm::fit(&matrix, p)),
             ModelKind::C45(p) => TrainedModel::Tree(C45::fit(&matrix, p)),
             ModelKind::NaiveBayes => TrainedModel::Nb(BernoulliNb::fit(&matrix)),
             ModelKind::Knn(k) => TrainedModel::Knn(Knn::fit(&matrix, *k)),
-        };
+        });
+        dfp_obs::metrics::dfp::pipeline_fits().inc();
         Ok(PatternClassifier {
             model,
             feature_space,
@@ -453,12 +517,18 @@ pub fn cross_validate_framework(
     k: usize,
     seed: u64,
 ) -> Result<FrameworkCv, FrameworkError> {
+    let mut sp = dfp_obs::span("cv.run");
+    sp.attr("folds", k);
     let folds = stratified_k_fold(&data.labels, k, seed);
     // Every fold re-fits the whole pipeline from the fixed split, so folds
     // run on separate workers; results merge in fold order and the first
     // failing fold (in that order) decides the error, as sequentially.
     let per_fold: Vec<Result<(f64, FitInfo), FrameworkError>> = dfp_par::par_map(&folds, |fold| {
         dfp_fault::faultpoint!("cv.fold", FrameworkError::Injected("cv.fold"));
+        let mut sp = dfp_obs::span("cv.fold");
+        sp.attr("train", fold.train.len());
+        sp.attr("test", fold.test.len());
+        dfp_obs::metrics::dfp::cv_folds().inc();
         let train = data.subset(&fold.train);
         let test = data.subset(&fold.test);
         let model = PatternClassifier::fit(&train, cfg)?;

@@ -28,19 +28,30 @@ pub fn mine_anytime(
     if min_sup == 0 {
         return Err(MiningError::ZeroMinSup);
     }
+    let mut sp = dfp_obs::span("mine.apriori");
     let mut out: Vec<RawPattern> = Vec::new();
-    Ok(match levels(ts, min_sup, opts, &mut out) {
+    let mut nodes = 0u64;
+    let mined = match levels(ts, min_sup, opts, &mut out, &mut nodes) {
         Ok(()) => Mined::complete(out),
         Err(reason) => anytime::stopped_sequential(out, reason, opts),
-    })
+    };
+    dfp_obs::metrics::dfp::mine_nodes_explored().add(nodes);
+    dfp_obs::metrics::dfp::mine_patterns_emitted().add(mined.patterns.len() as u64);
+    sp.attr("min_sup", min_sup);
+    sp.attr("candidates", nodes);
+    sp.attr("patterns", mined.patterns.len());
+    Ok(mined)
 }
 
 /// The level-wise loop; emits into `out` and stops on budget/deadline.
+/// `nodes` tallies candidates considered (level-1 singletons plus every
+/// joined candidate that survives Apriori pruning).
 fn levels(
     ts: &TransactionSet,
     min_sup: usize,
     opts: &MineOptions,
     out: &mut Vec<RawPattern>,
+    nodes: &mut u64,
 ) -> Result<(), StopReason> {
     // Level 1.
     let mut counts = vec![0usize; ts.n_items()];
@@ -53,6 +64,7 @@ fn levels(
         .filter(|&i| counts[i] >= min_sup)
         .map(|i| vec![Item(i as u32)])
         .collect();
+    *nodes += ts.n_items() as u64;
     for set in &level {
         emit(set, counts[set[0].index()] as u32, opts, out)?;
     }
@@ -95,6 +107,7 @@ fn levels(
         if candidates.is_empty() {
             break;
         }
+        *nodes += candidates.len() as u64;
         // Count step.
         let mut cand_counts: HashMap<&[Item], usize> =
             candidates.iter().map(|c| (c.as_slice(), 0)).collect();

@@ -52,6 +52,7 @@ pub fn mine_closed_anytime(
     if min_sup == 0 {
         return Err(MiningError::ZeroMinSup);
     }
+    let mut sp = dfp_obs::span("mine.closed");
     if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("mining.closed") {
         return Ok(Mined::stopped(Vec::new(), StopReason::Fault));
     }
@@ -70,9 +71,13 @@ pub fn mine_closed_anytime(
     // the candidate stream — and therefore the result — bit-identical to a
     // single-threaded run.
     let prefix_support = ts.len();
+    // Stats stay plain u64s threaded through the recursion; they flush into
+    // the global counters with one atomic add each at the end of the call.
+    let mut stats = DfsStats::default();
     let mut root_prefix: Vec<Item> = Vec::new();
     let mut rest: Vec<(Item, Bitset, usize)> = Vec::with_capacity(cands.len());
     for (item, t) in cands {
+        stats.closure_checks += 1;
         let c = t.count_ones();
         if c == prefix_support {
             root_prefix.push(item);
@@ -104,7 +109,7 @@ pub fn mine_closed_anytime(
         // A stopped branch keeps its best-so-far candidates; the merge
         // truncates the concatenated stream at the cumulative budget, so the
         // surviving prefix is identical to a sequential run's.
-        let results: Vec<(Vec<RawPattern>, Option<StopReason>)> =
+        let results: Vec<(Vec<RawPattern>, Option<StopReason>, DfsStats)> =
             dfp_par::par_map(&branches, |&i| {
                 let (item, ref t, _) = rest[i];
                 let mut prefix = root_prefix.clone();
@@ -118,14 +123,53 @@ pub fn mine_closed_anytime(
                     })
                     .collect();
                 let mut task_out = Vec::new();
-                let stop = dfs(&mut prefix, t, child_cands, min_sup, opts, &mut task_out).err();
-                (task_out, stop)
+                let mut task_stats = DfsStats::default();
+                let stop = dfs(
+                    &mut prefix,
+                    t,
+                    child_cands,
+                    min_sup,
+                    opts,
+                    &mut task_out,
+                    &mut task_stats,
+                )
+                .err();
+                (task_out, stop, task_stats)
             });
-        anytime::merge_task_outputs(seeded, results, opts)
+        for (_, _, task_stats) in &results {
+            stats.nodes += task_stats.nodes;
+            stats.closure_checks += task_stats.closure_checks;
+        }
+        anytime::merge_task_outputs(
+            seeded,
+            results
+                .into_iter()
+                .map(|(out, stop, _)| (out, stop))
+                .collect(),
+            opts,
+        )
     } else {
         Mined::complete(seeded)
     };
-    Ok(finish(mined, opts))
+    let finished = finish(mined, opts);
+    dfp_obs::metrics::dfp::mine_nodes_explored().add(stats.nodes);
+    dfp_obs::metrics::dfp::mine_closure_checks().add(stats.closure_checks);
+    dfp_obs::metrics::dfp::mine_patterns_emitted().add(finished.patterns.len() as u64);
+    sp.attr("min_sup", min_sup);
+    sp.attr("nodes", stats.nodes);
+    sp.attr("closure_checks", stats.closure_checks);
+    sp.attr("patterns", finished.patterns.len());
+    Ok(finished)
+}
+
+/// Per-task search statistics, merged and flushed to the global counters
+/// once per mining call.
+#[derive(Debug, Default, Clone, Copy)]
+struct DfsStats {
+    /// DFS nodes entered (one per [`dfs`] invocation plus the root).
+    nodes: u64,
+    /// Closure-merge candidate comparisons (`tidset == prefix tidset`).
+    closure_checks: u64,
 }
 
 /// Applies the closedness post-filter and the `min_len` cut to a (possibly
@@ -149,13 +193,16 @@ fn dfs(
     min_sup: usize,
     opts: &MineOptions,
     out: &mut Vec<RawPattern>,
+    stats: &mut DfsStats,
 ) -> Result<(), StopReason> {
+    stats.nodes += 1;
     let prefix_support = tids.count_ones();
 
     // Closure merge: items present in every covering transaction.
     let mut rest: Vec<(Item, Bitset, usize)> = Vec::with_capacity(cands.len());
     let base_len = prefix.len();
     for (item, t) in cands.drain(..) {
+        stats.closure_checks += 1;
         let c = t.count_ones();
         if c == prefix_support {
             prefix.push(item);
@@ -189,7 +236,7 @@ fn dfs(
                     (n >= min_sup).then_some((*j, inter))
                 })
                 .collect();
-            dfs(prefix, t, child_cands, min_sup, opts, out)?;
+            dfs(prefix, t, child_cands, min_sup, opts, out, stats)?;
             prefix.pop();
         }
     }

@@ -34,6 +34,7 @@ pub fn mine_anytime(
     if min_sup == 0 {
         return Err(MiningError::ZeroMinSup);
     }
+    let mut sp = dfp_obs::span("mine.eclat");
     let vertical = ts.vertical();
     let frequent: Vec<(Item, Bitset)> = (0..ts.n_items())
         .filter_map(|i| {
@@ -44,16 +45,30 @@ pub fn mine_anytime(
 
     let mut out = Vec::new();
     let mut prefix = Vec::new();
-    Ok(
-        match dfs(&frequent, min_sup, opts, &mut prefix, None, &mut out) {
-            Ok(()) => Mined::complete(out),
-            Err(reason) => anytime::stopped_sequential(out, reason, opts),
-        },
-    )
+    let mut nodes = 0u64;
+    let mined = match dfs(
+        &frequent,
+        min_sup,
+        opts,
+        &mut prefix,
+        None,
+        &mut out,
+        &mut nodes,
+    ) {
+        Ok(()) => Mined::complete(out),
+        Err(reason) => anytime::stopped_sequential(out, reason, opts),
+    };
+    dfp_obs::metrics::dfp::mine_nodes_explored().add(nodes);
+    dfp_obs::metrics::dfp::mine_patterns_emitted().add(mined.patterns.len() as u64);
+    sp.attr("min_sup", min_sup);
+    sp.attr("nodes", nodes);
+    sp.attr("patterns", mined.patterns.len());
+    Ok(mined)
 }
 
 /// DFS over extensions. `prefix_tids == None` means the empty prefix (full
 /// database) so item tidsets are used directly without an extra intersection.
+#[allow(clippy::too_many_arguments)]
 fn dfs(
     cands: &[(Item, Bitset)],
     min_sup: usize,
@@ -61,8 +76,10 @@ fn dfs(
     prefix: &mut Vec<Item>,
     prefix_tids: Option<&Bitset>,
     out: &mut Vec<RawPattern>,
+    nodes: &mut u64,
 ) -> Result<(), StopReason> {
     for (i, (item, tids)) in cands.iter().enumerate() {
+        *nodes += 1;
         let (ext_tids, support) = match prefix_tids {
             None => (tids.clone(), tids.count_ones()),
             Some(pt) => {
@@ -83,7 +100,15 @@ fn dfs(
             anytime::check_stop(out.len(), opts)?;
         }
         if opts.may_extend(prefix.len()) && i + 1 < cands.len() {
-            dfs(&cands[i + 1..], min_sup, opts, prefix, Some(&ext_tids), out)?;
+            dfs(
+                &cands[i + 1..],
+                min_sup,
+                opts,
+                prefix,
+                Some(&ext_tids),
+                out,
+                nodes,
+            )?;
         }
         prefix.pop();
     }

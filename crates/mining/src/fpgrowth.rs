@@ -38,6 +38,7 @@ pub fn mine_anytime(
     if min_sup == 0 {
         return Err(MiningError::ZeroMinSup);
     }
+    let mut sp = dfp_obs::span("mine.fpgrowth");
     if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("mining.growth") {
         return Ok(Mined::stopped(Vec::new(), StopReason::Fault));
     }
@@ -56,22 +57,42 @@ pub fn mine_anytime(
     // concatenated stream at the cumulative budget, so the surviving prefix
     // is identical to a sequential run's.
     let locals: Vec<u32> = (0..level.frequent.len() as u32).rev().collect();
-    let results: Vec<(Vec<RawPattern>, Option<StopReason>)> = dfp_par::par_map(&locals, |&local| {
-        let mut task_out = Vec::new();
-        let mut suffix: Vec<Item> = Vec::new();
-        let stop = grow_item(
-            &level,
-            local,
-            ts.n_items(),
-            min_sup as u64,
-            opts,
-            &mut suffix,
-            &mut task_out,
-        )
-        .err();
-        (task_out, stop)
-    });
-    Ok(anytime::merge_task_outputs(Vec::new(), results, opts))
+    let results: Vec<(Vec<RawPattern>, Option<StopReason>, u64)> =
+        dfp_par::par_map(&locals, |&local| {
+            let mut task_out = Vec::new();
+            let mut suffix: Vec<Item> = Vec::new();
+            // Node tallies stay task-local (one plain u64 bump per DFS node)
+            // and flush into the global counter with a single atomic add
+            // below, keeping the recursion free of shared-state traffic.
+            let mut nodes = 0u64;
+            let stop = grow_item(
+                &level,
+                local,
+                ts.n_items(),
+                min_sup as u64,
+                opts,
+                &mut suffix,
+                &mut task_out,
+                &mut nodes,
+            )
+            .err();
+            (task_out, stop, nodes)
+        });
+    let nodes: u64 = results.iter().map(|(_, _, n)| n).sum();
+    let merged = anytime::merge_task_outputs(
+        Vec::new(),
+        results
+            .into_iter()
+            .map(|(out, stop, _)| (out, stop))
+            .collect(),
+        opts,
+    );
+    dfp_obs::metrics::dfp::mine_nodes_explored().add(nodes);
+    dfp_obs::metrics::dfp::mine_patterns_emitted().add(merged.patterns.len() as u64);
+    sp.attr("min_sup", min_sup);
+    sp.attr("nodes", nodes);
+    sp.attr("patterns", merged.patterns.len());
+    Ok(merged)
 }
 
 /// One prepared FP-growth level: the frequent items of a (conditional)
@@ -127,7 +148,10 @@ fn build_level(db: &[(Vec<u32>, u64)], n_items: usize, min_sup: u64) -> Option<L
 }
 
 /// Emits `suffix ∪ {item}` and recurses on the item's conditional pattern
-/// base — the per-item body of one FP-growth level.
+/// base — the per-item body of one FP-growth level. `nodes` tallies DFS
+/// nodes (one per invocation) for the `dfp_mine_nodes_explored_total`
+/// counter.
+#[allow(clippy::too_many_arguments)]
 fn grow_item(
     level: &Level,
     local: u32,
@@ -136,7 +160,9 @@ fn grow_item(
     opts: &MineOptions,
     suffix: &mut Vec<Item>,
     out: &mut Vec<RawPattern>,
+    nodes: &mut u64,
 ) -> Result<(), StopReason> {
+    *nodes += 1;
     let global = level.frequent[local as usize];
     let support = level.tree.item_count(local);
     suffix.push(Item(global));
@@ -165,7 +191,7 @@ fn grow_item(
             })
             .collect();
         if !base.is_empty() {
-            grow(&base, n_items, min_sup, opts, suffix, out)?;
+            grow(&base, n_items, min_sup, opts, suffix, out, nodes)?;
         }
     }
     suffix.pop();
@@ -181,13 +207,14 @@ fn grow(
     opts: &MineOptions,
     suffix: &mut Vec<Item>,
     out: &mut Vec<RawPattern>,
+    nodes: &mut u64,
 ) -> Result<(), StopReason> {
     let Some(level) = build_level(db, n_items, min_sup) else {
         return Ok(());
     };
     // Process items from least frequent (bottom of the tree) upward.
     for local in (0..level.frequent.len() as u32).rev() {
-        grow_item(&level, local, n_items, min_sup, opts, suffix, out)?;
+        grow_item(&level, local, n_items, min_sup, opts, suffix, out, nodes)?;
     }
     Ok(())
 }

@@ -128,6 +128,7 @@ pub fn mine_features_anytime(
     ts: &TransactionSet,
     cfg: &MiningConfig,
 ) -> Result<MinedFeatures, MiningError> {
+    let mut sp = dfp_obs::span("mine.per_class");
     if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("mining.per_class") {
         return Ok(MinedFeatures {
             patterns: Vec::new(),
@@ -184,6 +185,8 @@ pub fn mine_features_anytime(
             .then_with(|| a.items.len().cmp(&b.items.len()))
             .then_with(|| a.items.cmp(&b.items))
     });
+    sp.attr("features", mined.len());
+    sp.attr("complete", stopped_by.is_none());
     Ok(MinedFeatures {
         patterns: mined,
         complete: stopped_by.is_none(),

@@ -41,7 +41,9 @@ use std::path::Path;
 /// The `model.save` failpoint can inject an I/O error (`err`) or write a
 /// truncated artifact (`trunc`) to exercise crash-during-save recovery.
 pub fn save(model: &PatternClassifier, path: impl AsRef<Path>) -> Result<(), ModelError> {
+    let mut sp = dfp_obs::span("model.save");
     let mut bytes = to_bytes(model);
+    sp.attr("bytes", bytes.len());
     match dfp_fault::evaluate("model.save") {
         Some(dfp_fault::Action::Err) => {
             return Err(ModelError::Io(std::io::Error::other(
@@ -52,6 +54,7 @@ pub fn save(model: &PatternClassifier, path: impl AsRef<Path>) -> Result<(), Mod
         _ => {}
     }
     std::fs::write(path, bytes)?;
+    dfp_obs::metrics::dfp::model_saves().inc();
     Ok(())
 }
 
@@ -60,7 +63,9 @@ pub fn save(model: &PatternClassifier, path: impl AsRef<Path>) -> Result<(), Mod
 /// The `model.load` failpoint can inject an I/O error (`err`) or truncate
 /// the bytes before decoding (`trunc` — surfaces as a typed decode error).
 pub fn load(path: impl AsRef<Path>) -> Result<PatternClassifier, ModelError> {
+    let mut sp = dfp_obs::span("model.load");
     let mut bytes = std::fs::read(path)?;
+    sp.attr("bytes", bytes.len());
     match dfp_fault::evaluate("model.load") {
         Some(dfp_fault::Action::Err) => {
             return Err(ModelError::Io(std::io::Error::other(
@@ -70,5 +75,7 @@ pub fn load(path: impl AsRef<Path>) -> Result<PatternClassifier, ModelError> {
         Some(dfp_fault::Action::Trunc) => bytes.truncate(bytes.len() / 2),
         _ => {}
     }
-    from_bytes(&bytes)
+    let model = from_bytes(&bytes)?;
+    dfp_obs::metrics::dfp::model_loads().inc();
+    Ok(model)
 }

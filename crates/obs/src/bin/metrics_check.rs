@@ -1,0 +1,94 @@
+//! `dfp-metrics-check` — runs the Prometheus conformance checker over a
+//! scraped `/metrics` payload.
+//!
+//! ```text
+//! dfp-metrics-check [<file>|-] [--require FAMILY]...
+//! ```
+//!
+//! Reads the exposition from the file (or stdin when `-`/omitted), checks
+//! it with [`dfp_obs::promcheck`], and additionally asserts each
+//! `--require`d family is announced. Exits non-zero listing every
+//! violation.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use dfp_obs::promcheck;
+
+fn main() -> ExitCode {
+    let mut source: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--require" => match argv.next() {
+                Some(name) => required.push(name),
+                None => {
+                    eprintln!("dfp-metrics-check: --require needs a family name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: dfp-metrics-check [<file>|-] [--require FAMILY]...");
+                return ExitCode::SUCCESS;
+            }
+            other if source.is_none() => source = Some(other.to_string()),
+            other => {
+                eprintln!("dfp-metrics-check: unknown argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let text = match source.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("dfp-metrics-check: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            buf
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("dfp-metrics-check: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    if text.trim().is_empty() {
+        eprintln!("dfp-metrics-check: empty exposition");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    match promcheck::check(&text) {
+        Ok(stats) => {
+            println!(
+                "ok: {} families, {} series, {} samples",
+                stats.families, stats.series, stats.samples
+            );
+        }
+        Err(errors) => {
+            for error in &errors {
+                eprintln!("dfp-metrics-check: {error}");
+            }
+            failed = true;
+        }
+    }
+    for family in &required {
+        if !text.contains(&format!("# TYPE {family} ")) {
+            eprintln!("dfp-metrics-check: required family '{family}' not exposed");
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

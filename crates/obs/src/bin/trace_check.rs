@@ -1,0 +1,243 @@
+//! `dfp-trace-check` — validates a JSONL span trace and optionally converts
+//! it to the Chrome trace-event format.
+//!
+//! ```text
+//! dfp-trace-check <trace.jsonl> [--min-spans N] [--require NAME]...
+//!                 [--chrome <out.json>]
+//! ```
+//!
+//! Checks that every line is a well-formed span object, ids are unique,
+//! every referenced parent exists on the same thread, and child intervals
+//! nest inside their parents. Exits non-zero with a diagnostic on the first
+//! class of failure. `--chrome` writes a `chrome://tracing` / Perfetto
+//! compatible JSON array of `ph:"X"` complete events.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use dfp_obs::json::{self, Value};
+
+struct SpanLine {
+    name: String,
+    id: i128,
+    parent: i128,
+    tid: i128,
+    start_ns: i128,
+    end_ns: i128,
+    attrs: Vec<(String, String)>,
+    line_no: usize,
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("dfp-trace-check: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut path = None;
+    let mut min_spans = 1usize;
+    let mut required: Vec<String> = Vec::new();
+    let mut chrome_out: Option<String> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--min-spans" => match argv.next().and_then(|v| v.parse().ok()) {
+                Some(n) => min_spans = n,
+                None => return fail("--min-spans needs an integer"),
+            },
+            "--require" => match argv.next() {
+                Some(name) => required.push(name),
+                None => return fail("--require needs a span name"),
+            },
+            "--chrome" => match argv.next() {
+                Some(out) => chrome_out = Some(out),
+                None => return fail("--chrome needs an output path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: dfp-trace-check <trace.jsonl> [--min-spans N] \
+                     [--require NAME]... [--chrome out.json]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(arg),
+            other => return fail(&format!("unknown argument '{other}'")),
+        }
+    }
+    let Some(path) = path else {
+        return fail("missing trace file argument");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+
+    let mut spans = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            return fail(&format!("line {line_no}: blank line in JSONL trace"));
+        }
+        let value = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return fail(&format!("line {line_no}: {e}")),
+        };
+        match to_span(&value, line_no) {
+            Ok(span) => spans.push(span),
+            Err(msg) => return fail(&format!("line {line_no}: {msg}")),
+        }
+    }
+
+    if spans.len() < min_spans {
+        return fail(&format!(
+            "only {} span(s), expected at least {min_spans}",
+            spans.len()
+        ));
+    }
+    for name in &required {
+        if !spans.iter().any(|s| &s.name == name) {
+            return fail(&format!("required span '{name}' not found"));
+        }
+    }
+
+    let mut by_id: HashMap<i128, &SpanLine> = HashMap::new();
+    for span in &spans {
+        if by_id.insert(span.id, span).is_some() {
+            return fail(&format!(
+                "line {}: duplicate span id {}",
+                span.line_no, span.id
+            ));
+        }
+    }
+    let mut roots = 0usize;
+    for span in &spans {
+        if span.parent == 0 {
+            roots += 1;
+            continue;
+        }
+        let Some(parent) = by_id.get(&span.parent) else {
+            return fail(&format!(
+                "line {}: span {} references missing parent {}",
+                span.line_no, span.id, span.parent
+            ));
+        };
+        if parent.tid != span.tid {
+            return fail(&format!(
+                "line {}: span {} has parent on a different thread",
+                span.line_no, span.id
+            ));
+        }
+        if span.start_ns < parent.start_ns || span.end_ns > parent.end_ns {
+            return fail(&format!(
+                "line {}: span '{}' [{}, {}] not nested inside parent '{}' [{}, {}]",
+                span.line_no,
+                span.name,
+                span.start_ns,
+                span.end_ns,
+                parent.name,
+                parent.start_ns,
+                parent.end_ns
+            ));
+        }
+    }
+
+    if let Some(out) = chrome_out {
+        let rendered = to_chrome(&spans);
+        if let Err(e) = std::fs::write(&out, rendered) {
+            return fail(&format!("cannot write {out}: {e}"));
+        }
+        println!("wrote chrome trace to {out}");
+    }
+
+    println!(
+        "ok: {} spans, {} roots, {} threads",
+        spans.len(),
+        roots,
+        spans
+            .iter()
+            .map(|s| s.tid)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn to_span(value: &Value, line_no: usize) -> Result<SpanLine, String> {
+    let name = value
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("missing 'name'")?
+        .to_string();
+    let int = |key: &str| -> Result<i128, String> {
+        value
+            .get(key)
+            .and_then(Value::as_int)
+            .ok_or_else(|| format!("missing integer '{key}'"))
+    };
+    let (id, parent, tid) = (int("id")?, int("parent")?, int("tid")?);
+    let (start_ns, end_ns) = (int("start_ns")?, int("end_ns")?);
+    if id <= 0 {
+        return Err(format!("span id {id} must be positive"));
+    }
+    if parent < 0 {
+        return Err("negative parent id".into());
+    }
+    if end_ns < start_ns {
+        return Err(format!("end_ns {end_ns} precedes start_ns {start_ns}"));
+    }
+    let mut attrs = Vec::new();
+    match value.get("attrs") {
+        Some(Value::Obj(map)) => {
+            for (k, v) in map {
+                let v = v
+                    .as_str()
+                    .ok_or_else(|| format!("attr '{k}' is not a string"))?;
+                attrs.push((k.clone(), v.to_string()));
+            }
+        }
+        Some(_) => return Err("'attrs' is not an object".into()),
+        None => return Err("missing 'attrs'".into()),
+    }
+    Ok(SpanLine {
+        name,
+        id,
+        parent,
+        tid,
+        start_ns,
+        end_ns,
+        attrs,
+        line_no,
+    })
+}
+
+/// Renders spans as a Chrome trace-event JSON array (`ph:"X"` complete
+/// events, microsecond timestamps).
+fn to_chrome(spans: &[SpanLine]) -> String {
+    let mut out = String::from("[\n");
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let mut event = String::from("{\"name\":");
+        json::escape_into(&mut event, &span.name);
+        event.push_str(&format!(
+            ",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{",
+            span.tid,
+            span.start_ns as f64 / 1000.0,
+            (span.end_ns - span.start_ns) as f64 / 1000.0
+        ));
+        for (j, (k, v)) in span.attrs.iter().enumerate() {
+            if j > 0 {
+                event.push(',');
+            }
+            json::escape_into(&mut event, k);
+            event.push(':');
+            json::escape_into(&mut event, v);
+        }
+        event.push_str("}}");
+        out.push_str(&event);
+    }
+    out.push_str("\n]\n");
+    out
+}

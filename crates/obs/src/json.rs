@@ -1,0 +1,358 @@
+//! A minimal JSON value, writer, and recursive-descent parser.
+//!
+//! The workspace deliberately avoids external dependencies (see DESIGN.md),
+//! so the observability layer carries its own JSON: the writer emits span
+//! and event lines, and the parser validates them in tests, in the
+//! `dfp-trace-check` binary, and in the JSONL round-trip suite. Numbers are
+//! kept as `f64` except that integers up to 2^63 round-trip through a
+//! dedicated variant, since span timestamps in nanoseconds exceed the 2^53
+//! exact-integer range of doubles.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed or constructed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer that fits `i128` (covers `u64` nanosecond timestamps).
+    Int(i128),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object. `BTreeMap` gives deterministic iteration in tests.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The value under `key` when `self` is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The integer value, when `self` is [`Value::Int`] (or an integral
+    /// [`Value::Num`]).
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::Num(x) if x.fract() == 0.0 && x.is_finite() => Some(*x as i128),
+            _ => None,
+        }
+    }
+
+    /// The float value of any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, when `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal (quotes included).
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Why a document failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one complete JSON document (trailing whitespace allowed).
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters after document"));
+    }
+    Ok(value)
+}
+
+fn err(offset: usize, message: &'static str) -> ParseError {
+    ParseError { offset, message }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, ch: u8, message: &'static str) -> Result<(), ParseError> {
+    if *pos < bytes.len() && bytes[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, message))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, b"true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, b"false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, b"null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &[u8],
+    value: Value,
+) -> Result<Value, ParseError> {
+    if bytes.len() >= *pos + lit.len() && &bytes[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, "invalid literal"))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    expect(bytes, pos, b'{', "expected '{'")?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':', "expected ':' after object key")?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}' in object")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    expect(bytes, pos, b'[', "expected '['")?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']' in array")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    expect(bytes, pos, b'"', "expected '\"'")?;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(err(*pos, "unterminated string"));
+        };
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(err(*pos, "unterminated escape"));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        if bytes.len() < *pos + 4 {
+                            return Err(err(*pos, "truncated \\u escape"));
+                        }
+                        let hex = std::str::from_utf8(&bytes[*pos..*pos + 4])
+                            .map_err(|_| err(*pos, "non-ASCII \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "bad \\u escape"))?;
+                        *pos += 4;
+                        // Surrogate pairs are not needed for our own output;
+                        // unpaired surrogates map to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(err(*pos, "unknown escape")),
+                }
+            }
+            _ => {
+                // Re-synchronise on UTF-8 boundaries: back up and take the
+                // full scalar from the source.
+                let start = *pos - 1;
+                let s = std::str::from_utf8(&bytes[start..])
+                    .map_err(|_| err(start, "invalid UTF-8 in string"))?;
+                let c = s.chars().next().expect("non-empty suffix");
+                if (c as u32) < 0x20 {
+                    return Err(err(start, "unescaped control character"));
+                }
+                out.push(c);
+                *pos = start + c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| err(start, "bad number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(err(start, "expected a value"));
+    }
+    if !is_float {
+        if let Ok(n) = text.parse::<i128>() {
+            return Ok(Value::Int(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| err(start, "bad number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("-3").unwrap(), Value::Int(-3));
+        assert_eq!(parse("2.5").unwrap(), Value::Num(2.5));
+        assert_eq!(parse("1e3").unwrap(), Value::Num(1000.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn large_timestamps_are_exact() {
+        let ns: u64 = 1_234_567_890_123_456_789;
+        let v = parse(&ns.to_string()).unwrap();
+        assert_eq!(v.as_int(), Some(ns as i128));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a":[1,{"b":"c"},null],"d":true}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Value::Arr(vec![
+                Value::Int(1),
+                Value::Obj([("b".to_string(), Value::Str("c".into()))].into()),
+                Value::Null,
+            ])
+        );
+        assert_eq!(v.get("d"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let nasty = "a \"b\"\\\n\tπ\u{1}";
+        let mut doc = String::from("{\"k\":");
+        escape_into(&mut doc, nasty);
+        doc.push('}');
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "{", "[1,", "\"open", "{\"a\" 1}", "1 2", "nul"] {
+            assert!(parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn rejects_unescaped_control_chars() {
+        assert!(parse("\"a\u{1}b\"").is_err());
+    }
+}

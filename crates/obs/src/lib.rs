@@ -1,0 +1,42 @@
+//! # dfp-obs — observability for the dfp workspace
+//!
+//! A std-only observability layer threaded through every crate of the
+//! framework: mining, selection, the pipeline, model persistence, and
+//! serving. Three instruments, one contract:
+//!
+//! * **Spans** ([`span`]) — monotonic wall-clock intervals with
+//!   parent/child nesting, buffered per thread and exported as JSONL
+//!   (`DFP_TRACE=<path>`, or [`trace::TraceSession`] programmatically).
+//!   When tracing is disabled — the default — creating a span costs a
+//!   single relaxed atomic load, exactly like `dfp-fault`'s disarmed path.
+//! * **Metrics** ([`metrics`]) — named counters, gauges and histograms in
+//!   a registry rendered in the Prometheus text exposition format. The
+//!   process-wide [`metrics::global`] registry carries the mining /
+//!   selection / pipeline families; `dfp-serve` additionally keeps a
+//!   per-server registry so tests observe isolated counters.
+//! * **Events** ([`log`]) — structured JSONL lines on stderr, levelled via
+//!   `DFP_LOG=<error|warn|info|debug|trace>` (silent when unset).
+//!
+//! ## Determinism contract
+//!
+//! Observability never alters results. Span guards and counters only read
+//! clocks and bump atomics — they never branch on data, never allocate on
+//! the disabled path, and are safe to leave in the hottest loops. The
+//! workspace-level proptest suite (`tests/observability.rs`) enforces that
+//! miner / MMRFS / CV outputs are bit-identical with tracing on vs off and
+//! at 1 vs 4 worker threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod promcheck;
+pub mod span;
+pub mod trace;
+
+pub use log::{debug, error, info, trace_event, warn, Level};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use span::{set_tracing, span, tracing_enabled, Span};
+pub use trace::TraceSession;

@@ -1,0 +1,175 @@
+//! Structured JSONL event logging, levelled via `DFP_LOG`.
+//!
+//! Events are single JSON objects written to stderr:
+//!
+//! ```json
+//! {"ts_ns":123456,"level":"warn","target":"dfp_core::pipeline",
+//!  "msg":"anytime mining stopped early","fields":{"stopped_by":"deadline"}}
+//! ```
+//!
+//! Logging is **off** unless `DFP_LOG` is set to one of `error`, `warn`,
+//! `info`, `debug`, `trace` (or programmatically via [`set_level`]). The
+//! disabled path is one relaxed atomic load per call site.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::json::escape_into;
+use crate::span::now_ns;
+
+/// Event severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or dropped work.
+    Error = 1,
+    /// Degraded but continuing (e.g. anytime mining stopped early).
+    Warn = 2,
+    /// Lifecycle milestones (server started, model loaded).
+    Info = 3,
+    /// Per-operation detail (per-request access lines).
+    Debug = 4,
+    /// Highest-volume diagnostics.
+    Trace = 5,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a `DFP_LOG` value (case-insensitive). `"off"`/`"none"`/`""`
+    /// mean disabled; unknown values also disable, rather than guess.
+    pub fn parse(text: &str) -> Option<Level> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// Environment variable controlling the log level.
+pub const LOG_ENV: &str = "DFP_LOG";
+
+/// 0 = off, 1..=5 = max enabled level, UNINIT = read DFP_LOG on first use.
+const UNINIT: u8 = u8::MAX;
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+
+fn current_max() -> u8 {
+    let v = MAX_LEVEL.load(Ordering::Relaxed);
+    if v != UNINIT {
+        return v;
+    }
+    let from_env = std::env::var(LOG_ENV)
+        .ok()
+        .and_then(|s| Level::parse(&s))
+        .map_or(0, |l| l as u8);
+    MAX_LEVEL.store(from_env, Ordering::Relaxed);
+    from_env
+}
+
+/// Overrides the level (`None` disables). Wins over `DFP_LOG`.
+pub fn set_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Whether events at `level` are currently emitted.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= current_max()
+}
+
+/// Emits one structured event. `fields` become the `"fields"` object.
+///
+/// Prefer the level helpers ([`error`], [`warn`], [`info`], [`debug`],
+/// [`trace_event`]); this is the escape hatch for computed levels.
+pub fn event(level: Level, target: &str, msg: &str, fields: &[(&str, &str)]) {
+    if !enabled(level) {
+        return;
+    }
+    let mut line = String::with_capacity(128);
+    line.push_str(&format!("{{\"ts_ns\":{},\"level\":\"", now_ns()));
+    line.push_str(level.as_str());
+    line.push_str("\",\"target\":");
+    escape_into(&mut line, target);
+    line.push_str(",\"msg\":");
+    escape_into(&mut line, msg);
+    line.push_str(",\"fields\":{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        escape_into(&mut line, key);
+        line.push(':');
+        escape_into(&mut line, value);
+    }
+    line.push_str("}}");
+    // One write per event keeps lines intact across threads.
+    eprintln!("{line}");
+}
+
+/// Emits an [`Level::Error`] event.
+pub fn error(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    event(Level::Error, target, msg, fields);
+}
+
+/// Emits a [`Level::Warn`] event.
+pub fn warn(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    event(Level::Warn, target, msg, fields);
+}
+
+/// Emits a [`Level::Info`] event.
+pub fn info(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    event(Level::Info, target, msg, fields);
+}
+
+/// Emits a [`Level::Debug`] event.
+pub fn debug(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    event(Level::Debug, target, msg, fields);
+}
+
+/// Emits a [`Level::Trace`] event (named to avoid clashing with span
+/// tracing in glob imports).
+pub fn trace_event(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    event(Level::Trace, target, msg, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_levels() {
+        assert_eq!(Level::parse("warn"), Some(Level::Warn));
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse(" debug "), Some(Level::Debug));
+        assert_eq!(Level::parse("off"), None);
+        assert_eq!(Level::parse(""), None);
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn levels_order_by_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn set_level_gates_enabled() {
+        set_level(Some(Level::Warn));
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_level(None);
+        assert!(!enabled(Level::Error));
+    }
+}

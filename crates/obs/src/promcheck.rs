@@ -1,0 +1,444 @@
+//! A Prometheus text-exposition conformance checker.
+//!
+//! [`check`] parses an entire `/metrics` payload and verifies the
+//! invariants a real Prometheus scraper relies on:
+//!
+//! * every sample belongs to a family announced by a `# HELP` **and**
+//!   `# TYPE` pair appearing before its first sample;
+//! * every sample value parses as a float; no series appears twice;
+//! * histograms are well-formed: `le` labels parse, are strictly
+//!   ascending, never use scientific notation, buckets are cumulative,
+//!   a `+Inf` bucket exists and equals `_count`, and `_sum` is present.
+//!
+//! Used by the serve conformance tests and the `dfp-metrics-check` binary
+//! that CI runs against a live scrape.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// What the checker verified, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Families with a HELP/TYPE header.
+    pub families: usize,
+    /// Distinct (name, labels) series seen.
+    pub series: usize,
+    /// Total sample lines.
+    pub samples: usize,
+}
+
+/// One conformance violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// 1-based line number (0 for whole-document errors).
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+#[derive(Debug)]
+struct Sample {
+    name: String,
+    labels: BTreeMap<String, String>,
+    value: f64,
+    line: usize,
+}
+
+/// Checks `text` as a Prometheus text exposition.
+pub fn check(text: &str) -> Result<Stats, Vec<CheckError>> {
+    let mut errors = Vec::new();
+    let mut helped: HashSet<String> = HashSet::new();
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            match rest.split_once(' ') {
+                Some((name, help)) if !help.is_empty() => {
+                    if !helped.insert(name.to_string()) {
+                        errors.push(err(line_no, format!("duplicate HELP for '{name}'")));
+                    }
+                }
+                _ => errors.push(err(line_no, "HELP line missing name or text".into())),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            match rest.split_once(' ') {
+                Some((name, kind))
+                    if matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) =>
+                {
+                    if !helped.contains(name) {
+                        errors.push(err(line_no, format!("TYPE for '{name}' precedes its HELP")));
+                    }
+                    if types.insert(name.to_string(), kind.to_string()).is_some() {
+                        errors.push(err(line_no, format!("duplicate TYPE for '{name}'")));
+                    }
+                }
+                _ => errors.push(err(
+                    line_no,
+                    "TYPE line with missing or unknown kind".into(),
+                )),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        match parse_sample(line) {
+            Ok((name, labels, value)) => samples.push(Sample {
+                name,
+                labels,
+                value,
+                line: line_no,
+            }),
+            Err(message) => errors.push(err(line_no, message)),
+        }
+    }
+
+    // Families announced but orphaned either way.
+    for name in &helped {
+        if !types.contains_key(name) {
+            errors.push(err(0, format!("'{name}' has HELP but no TYPE")));
+        }
+    }
+
+    let mut seen_series: HashSet<String> = HashSet::new();
+    for sample in &samples {
+        let family = resolve_family(&sample.name, &types);
+        match family {
+            Some(_) => {}
+            None => errors.push(err(
+                sample.line,
+                format!("sample '{}' has no HELP/TYPE header", sample.name),
+            )),
+        }
+        let key = format!("{}{:?}", sample.name, sample.labels);
+        if !seen_series.insert(key) {
+            errors.push(err(
+                sample.line,
+                format!("duplicate series for '{}'", sample.name),
+            ));
+        }
+    }
+
+    check_histograms(&samples, &types, &mut errors);
+
+    if errors.is_empty() {
+        Ok(Stats {
+            families: types.len(),
+            series: seen_series.len(),
+            samples: samples.len(),
+        })
+    } else {
+        errors.sort_by_key(|e| e.line);
+        Err(errors)
+    }
+}
+
+fn err(line: usize, message: String) -> CheckError {
+    CheckError { line, message }
+}
+
+/// Maps a sample name to its announced family, handling histogram suffixes.
+fn resolve_family<'a>(name: &'a str, types: &HashMap<String, String>) -> Option<&'a str> {
+    if types.contains_key(name) {
+        return Some(name);
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return Some(base);
+            }
+        }
+    }
+    None
+}
+
+fn check_histograms(
+    samples: &[Sample],
+    types: &HashMap<String, String>,
+    errors: &mut Vec<CheckError>,
+) {
+    // Group by (histogram family, labels-without-le).
+    type Group = (Vec<(f64, f64, usize, String)>, Option<f64>, Option<f64>);
+    let mut groups: BTreeMap<(String, String), Group> = BTreeMap::new();
+    for sample in samples {
+        let Some(base) = resolve_family(&sample.name, types) else {
+            continue;
+        };
+        if types.get(base).map(String::as_str) != Some("histogram") {
+            continue;
+        }
+        let mut labels = sample.labels.clone();
+        let le = labels.remove("le");
+        let group_key = (base.to_string(), format!("{labels:?}"));
+        let entry = groups.entry(group_key).or_default();
+        if sample.name.ends_with("_bucket") {
+            let Some(le_text) = le else {
+                errors.push(err(
+                    sample.line,
+                    format!("'{}' bucket without le", sample.name),
+                ));
+                continue;
+            };
+            let bound = if le_text == "+Inf" {
+                f64::INFINITY
+            } else {
+                if le_text.contains('e') || le_text.contains('E') {
+                    errors.push(err(
+                        sample.line,
+                        format!("scientific-notation le label '{le_text}'"),
+                    ));
+                }
+                match le_text.parse::<f64>() {
+                    Ok(b) => b,
+                    Err(_) => {
+                        errors.push(err(sample.line, format!("unparseable le '{le_text}'")));
+                        continue;
+                    }
+                }
+            };
+            entry.0.push((bound, sample.value, sample.line, le_text));
+        } else if sample.name.ends_with("_sum") {
+            entry.1 = Some(sample.value);
+        } else if sample.name.ends_with("_count") {
+            entry.2 = Some(sample.value);
+        }
+    }
+
+    for ((family, labels), (mut buckets, sum, count)) in groups {
+        let ctx = if labels == "{}" {
+            family.clone()
+        } else {
+            format!("{family}{labels}")
+        };
+        if buckets.is_empty() {
+            errors.push(err(0, format!("histogram '{ctx}' has no buckets")));
+            continue;
+        }
+        buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("le bounds are not NaN"));
+        for window in buckets.windows(2) {
+            if window[0].0 == window[1].0 {
+                errors.push(err(
+                    window[1].2,
+                    format!("histogram '{ctx}' repeats le=\"{}\"", window[1].3),
+                ));
+            }
+            if window[1].1 < window[0].1 {
+                errors.push(err(
+                    window[1].2,
+                    format!(
+                        "histogram '{ctx}' buckets not cumulative: le=\"{}\" ({}) < le=\"{}\" ({})",
+                        window[1].3, window[1].1, window[0].3, window[0].1
+                    ),
+                ));
+            }
+        }
+        let last = buckets.last().expect("non-empty");
+        if !last.0.is_infinite() {
+            errors.push(err(
+                last.2,
+                format!("histogram '{ctx}' missing +Inf bucket"),
+            ));
+        }
+        match count {
+            None => errors.push(err(0, format!("histogram '{ctx}' missing _count"))),
+            Some(c) if last.0.is_infinite() && c != last.1 => errors.push(err(
+                last.2,
+                format!("histogram '{ctx}' _count {c} != +Inf bucket {}", last.1),
+            )),
+            Some(_) => {}
+        }
+        if sum.is_none() {
+            errors.push(err(0, format!("histogram '{ctx}' missing _sum")));
+        }
+    }
+}
+
+/// Parses `name{k="v",...} value` (labels optional).
+fn parse_sample(line: &str) -> Result<(String, BTreeMap<String, String>, f64), String> {
+    let bytes = line.as_bytes();
+    let name_end = bytes
+        .iter()
+        .position(|&b| b == b'{' || b == b' ')
+        .ok_or_else(|| "sample line without value".to_string())?;
+    let name = &line[..name_end];
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        || name.starts_with(|c: char| c.is_ascii_digit())
+    {
+        return Err(format!("invalid metric name '{name}'"));
+    }
+    let mut labels = BTreeMap::new();
+    let mut rest = &line[name_end..];
+    if let Some(body) = rest.strip_prefix('{') {
+        let (parsed, after) = parse_labels(body)?;
+        labels = parsed;
+        rest = after;
+    }
+    let value_text = rest.trim();
+    if value_text.is_empty() {
+        return Err("missing sample value".to_string());
+    }
+    let value = match value_text {
+        "+Inf" | "Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("unparseable value '{other}'"))?,
+    };
+    Ok((name.to_string(), labels, value))
+}
+
+/// Parses the inside of a label set; returns remaining text after `}`.
+fn parse_labels(body: &str) -> Result<(BTreeMap<String, String>, &str), String> {
+    let mut labels = BTreeMap::new();
+    let mut rest = body;
+    loop {
+        rest = rest.trim_start_matches([' ', ',']);
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok((labels, after));
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| "label without '='".to_string())?;
+        let key = rest[..eq].trim().to_string();
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| "label value not quoted".to_string())?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        loop {
+            let (i, c) = chars
+                .next()
+                .ok_or_else(|| "unterminated label value".to_string())?;
+            match c {
+                '"' => {
+                    rest = &rest[i + 1..];
+                    break;
+                }
+                '\\' => {
+                    let (_, esc) = chars
+                        .next()
+                        .ok_or_else(|| "dangling escape in label".to_string())?;
+                    match esc {
+                        '"' => value.push('"'),
+                        '\\' => value.push('\\'),
+                        'n' => value.push('\n'),
+                        other => return Err(format!("unknown label escape '\\{other}'")),
+                    }
+                }
+                c => value.push(c),
+            }
+        }
+        if labels.insert(key.clone(), value).is_some() {
+            return Err(format!("duplicate label '{key}'"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# HELP req_total Requests.\n\
+# TYPE req_total counter\n\
+req_total 4\n\
+# HELP lat_seconds Latency.\n\
+# TYPE lat_seconds histogram\n\
+lat_seconds_bucket{le=\"0.001\"} 1\n\
+lat_seconds_bucket{le=\"0.1\"} 3\n\
+lat_seconds_bucket{le=\"+Inf\"} 4\n\
+lat_seconds_sum 0.123456789\n\
+lat_seconds_count 4\n";
+
+    #[test]
+    fn accepts_conformant_text() {
+        let stats = check(GOOD).unwrap();
+        assert_eq!(stats.families, 2);
+        assert_eq!(stats.samples, 6);
+    }
+
+    #[test]
+    fn rejects_sample_without_header() {
+        let errs = check("orphan_total 1\n").unwrap_err();
+        assert!(errs[0].message.contains("no HELP/TYPE"), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_type_without_help() {
+        let errs = check("# TYPE x counter\nx 1\n").unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("precedes its HELP")));
+    }
+
+    #[test]
+    fn rejects_non_cumulative_buckets() {
+        let text = GOOD.replace("le=\"0.1\"} 3", "le=\"0.1\"} 0");
+        let errs = check(&text).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.message.contains("not cumulative")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let text = GOOD.replace("lat_seconds_count 4", "lat_seconds_count 5");
+        let errs = check(&text).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.message.contains("_count")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_missing_inf_bucket() {
+        let text = GOOD.replace("lat_seconds_bucket{le=\"+Inf\"} 4\n", "");
+        let errs = check(&text).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("+Inf")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_scientific_le() {
+        let text = GOOD.replace("le=\"0.001\"", "le=\"1e-3\"");
+        let errs = check(&text).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.message.contains("scientific")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_series() {
+        let text = format!("{GOOD}req_total 9\n");
+        let errs = check(&text).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("duplicate series")));
+    }
+
+    #[test]
+    fn parses_labelled_samples() {
+        let (name, labels, value) = parse_sample("x_total{a=\"1\",b=\"two \\\"2\\\"\"} 7").unwrap();
+        assert_eq!(name, "x_total");
+        assert_eq!(labels.get("a").map(String::as_str), Some("1"));
+        assert_eq!(labels.get("b").map(String::as_str), Some("two \"2\""));
+        assert_eq!(value, 7.0);
+    }
+}

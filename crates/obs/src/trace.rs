@@ -1,0 +1,182 @@
+//! Span export: JSONL trace files and the `DFP_TRACE` environment hook.
+//!
+//! A [`TraceSession`] owns a trace file, enables span recording for its
+//! lifetime, and appends one JSON object per completed span. Lines look
+//! like:
+//!
+//! ```json
+//! {"name":"pipeline.fit","id":7,"parent":3,"tid":1,
+//!  "start_ns":12000,"end_ns":98000,"attrs":{"rows":"150"}}
+//! ```
+//!
+//! The format converts losslessly to the Chrome trace-event format
+//! (`chrome://tracing` / Perfetto): `dfp-trace-check --chrome out.json`
+//! performs the conversion, mapping each line to a `ph:"X"` complete event
+//! with microsecond `ts`/`dur`.
+//!
+//! Sessions are cheap handles over a shared writer, so a long-running
+//! server can hand a clone to a background flusher thread; the file is
+//! finalised when the last handle drops.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::json::escape_into;
+use crate::span::{self, SpanRecord};
+
+/// Environment variable naming the trace output path.
+pub const TRACE_ENV: &str = "DFP_TRACE";
+
+/// Renders one span as a single JSONL line (no trailing newline).
+pub fn record_to_json(record: &SpanRecord) -> String {
+    let mut line = String::with_capacity(128);
+    line.push_str("{\"name\":");
+    escape_into(&mut line, record.name);
+    line.push_str(&format!(
+        ",\"id\":{},\"parent\":{},\"tid\":{},\"start_ns\":{},\"end_ns\":{},\"attrs\":{{",
+        record.id, record.parent, record.tid, record.start_ns, record.end_ns
+    ));
+    for (i, (key, value)) in record.attrs.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        escape_into(&mut line, key);
+        line.push(':');
+        escape_into(&mut line, value);
+    }
+    line.push_str("}}");
+    line
+}
+
+struct Inner {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl Inner {
+    fn flush(&self) -> io::Result<usize> {
+        let records = span::drain();
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        for record in &records {
+            writer.write_all(record_to_json(record).as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        writer.flush()?;
+        Ok(records.len())
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        span::set_tracing(false);
+        let _ = self.flush();
+    }
+}
+
+/// An active trace export: enables span recording on creation, streams
+/// completed spans to a JSONL file, disables recording and finalises the
+/// file when the last clone drops.
+#[derive(Clone)]
+pub struct TraceSession {
+    inner: Arc<Inner>,
+}
+
+impl TraceSession {
+    /// Starts tracing to `path` (created or truncated).
+    pub fn begin(path: impl AsRef<Path>) -> io::Result<TraceSession> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        // Discard spans completed before this session so the file only
+        // covers its own lifetime.
+        span::drain();
+        span::set_tracing(true);
+        Ok(TraceSession {
+            inner: Arc::new(Inner {
+                path,
+                writer: Mutex::new(BufWriter::new(file)),
+            }),
+        })
+    }
+
+    /// Starts tracing to the file named by `DFP_TRACE`, when set.
+    ///
+    /// Returns `Ok(None)` when the variable is unset or empty.
+    pub fn from_env() -> io::Result<Option<TraceSession>> {
+        match std::env::var(TRACE_ENV) {
+            Ok(path) if !path.is_empty() => Self::begin(path).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &Path {
+        &self.inner.path
+    }
+
+    /// Drains completed spans to the file now; returns how many were
+    /// written. Called automatically on drop — use this from a periodic
+    /// flusher in long-running processes.
+    pub fn flush(&self) -> io::Result<usize> {
+        self.inner.flush()
+    }
+}
+
+impl std::fmt::Debug for TraceSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSession")
+            .field("path", &self.inner.path)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dfp-obs-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn session_writes_parseable_jsonl() {
+        let _guard = span::TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let path = temp_path("session");
+        {
+            let session = TraceSession::begin(&path).unwrap();
+            {
+                let mut s = span::span("test.trace.root");
+                s.attr("note", "a \"quoted\" value");
+                let _child = span::span("test.trace.child");
+            }
+            session.flush().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let mut names = Vec::new();
+        for line in text.lines().filter(|l| !l.is_empty()) {
+            let v = json::parse(line).expect("line parses");
+            let name = v.get("name").unwrap().as_str().unwrap().to_string();
+            let start = v.get("start_ns").unwrap().as_int().unwrap();
+            let end = v.get("end_ns").unwrap().as_int().unwrap();
+            assert!(end >= start, "{name}");
+            names.push(name);
+        }
+        assert!(names.contains(&"test.trace.root".to_string()), "{names:?}");
+        assert!(names.contains(&"test.trace.child".to_string()));
+        assert!(text.contains("a \\\"quoted\\\" value"));
+        assert!(!span::tracing_enabled(), "drop disables tracing");
+    }
+
+    #[test]
+    fn from_env_unset_is_none() {
+        let _guard = span::TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // TRACE_ENV is never set by the test harness.
+        assert!(std::env::var(TRACE_ENV).is_err());
+        assert!(TraceSession::from_env().unwrap().is_none());
+    }
+}

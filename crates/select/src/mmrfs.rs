@@ -82,6 +82,7 @@ pub fn mmrfs(
     candidates: &[MinedPattern],
     cfg: &MmrfsConfig,
 ) -> SelectionResult {
+    let mut sp = dfp_obs::span("select.mmrfs");
     let n = ts.len();
     let class_counts = ts.class_counts();
     let relevance = cfg.relevance.score_all(candidates, &class_counts);
@@ -147,7 +148,15 @@ pub fn mmrfs(
         }
     };
 
+    // Selection-loop tallies, flushed to the global counters once at the end
+    // (plain u64 bumps keep the loop free of atomic traffic).
+    let mut argmax_rounds = 0u64;
+    let mut cand_scanned = 0u64;
+    let mut red_updates = 0u64;
+
     while uncovered > 0 && selected.len() < cfg.max_features.unwrap_or(usize::MAX) {
+        argmax_rounds += 1;
+        cand_scanned += pool.len() as u64;
         // argmax gain over the remaining pool (deterministic tie-break),
         // chunked across workers.
         let best = dfp_par::par_map_reduce(
@@ -184,6 +193,7 @@ pub fn mmrfs(
         // Redundancy-cache update: each slot only reads shared state and
         // writes its own cell, so sharding `max_red` across workers leaves
         // every cell's value — and thus later rounds — unchanged.
+        red_updates += alive.iter().filter(|&&a| a).count() as u64;
         let sel_rel = relevance[pool[j]];
         let sel_tids = &tids[j];
         dfp_par::par_chunks_mut(&mut max_red, 256, |offset, cells| {
@@ -201,6 +211,13 @@ pub fn mmrfs(
         });
         selected.push(pool[j]);
     }
+
+    dfp_obs::metrics::dfp::select_argmax_rounds().add(argmax_rounds);
+    dfp_obs::metrics::dfp::select_candidates_scanned().add(cand_scanned);
+    dfp_obs::metrics::dfp::select_redundancy_updates().add(red_updates);
+    sp.attr("candidates", pool.len());
+    sp.attr("selected", selected.len());
+    sp.attr("rounds", argmax_rounds);
 
     let fully_covered = coverage.iter().filter(|&&c| c >= cfg.coverage).count();
     SelectionResult {

@@ -7,9 +7,14 @@
 //! Limits (queue depth, body/row caps, request deadline, I/O timeouts) come
 //! from the `DFP_SERVE_*` environment variables; see
 //! [`dfp_serve::ServerConfig::from_env`].
+//!
+//! Observability: `DFP_LOG=<level>` turns on JSONL logs (access logs at
+//! `info`), and `DFP_TRACE=<path>` exports every request's span tree as
+//! JSONL (flushed to disk twice a second by a background thread).
 
 use dfp_serve::ServerConfig;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let mut model_path = None;
@@ -48,6 +53,33 @@ fn main() -> ExitCode {
     if model.schema().is_none() {
         eprintln!("error: artifact carries no schema; refit the model from a raw dataset");
         return ExitCode::FAILURE;
+    }
+
+    // DFP_TRACE=<path> exports spans for the life of the process. The
+    // session handle lives until exit; a background flusher drains the span
+    // sink so long-running servers don't buffer spans unboundedly.
+    match dfp_obs::TraceSession::from_env() {
+        Ok(Some(session)) => {
+            eprintln!("dfp-serve tracing to {}", session.path().display());
+            let flusher = session.clone();
+            let spawned = std::thread::Builder::new()
+                .name("dfp-serve-trace-flush".into())
+                .spawn(move || loop {
+                    std::thread::sleep(Duration::from_millis(500));
+                    let _ = flusher.flush();
+                });
+            if spawned.is_err() {
+                eprintln!("warning: could not start trace flusher; spans flush on exit only");
+            }
+            // Leak the session: the server runs until the process dies, and
+            // the flusher thread keeps the trace file current.
+            std::mem::forget(session);
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: cannot open DFP_TRACE file: {e}");
+            return ExitCode::FAILURE;
+        }
     }
 
     let threads = cfg.resolved_threads();

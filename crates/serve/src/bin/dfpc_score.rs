@@ -4,9 +4,12 @@
 //! throughput summary to stderr.
 //!
 //! ```text
-//! dfpc-score --model model.dfpm --input rows.csv
+//! dfpc-score --model model.dfpm --input rows.csv [--trace spans.jsonl]
 //! dfpc-score --url 127.0.0.1:8080 --input rows.csv [--retries 3]
 //! ```
+//!
+//! `--trace <path>` (or `DFP_TRACE=<path>`) writes the run's span tree as
+//! JSONL — one object per span — for `dfp-trace-check` or chrome://tracing.
 //!
 //! The input contains attribute columns only (no class column), in the
 //! model schema's order; `?` or an empty field marks a missing value.
@@ -23,6 +26,7 @@ fn main() -> ExitCode {
     let mut model_path = None;
     let mut input_path = None;
     let mut url = None;
+    let mut trace_path = None;
     let mut retries = RetryPolicy::default().retries;
 
     let mut args = std::env::args().skip(1);
@@ -31,6 +35,7 @@ fn main() -> ExitCode {
             "--model" => model_path = args.next(),
             "--input" => input_path = args.next(),
             "--url" => url = args.next(),
+            "--trace" => trace_path = args.next(),
             "--retries" => match args.next().as_deref().map(str::parse) {
                 Some(Ok(n)) => retries = n,
                 _ => return usage("--retries expects a non-negative integer"),
@@ -50,14 +55,40 @@ fn main() -> ExitCode {
         }
     };
 
-    match (model_path, url) {
+    // --trace wins over the ambient DFP_TRACE variable; either exports the
+    // run's spans as JSONL. The session flushes on drop at process exit.
+    let _trace = match trace_path {
+        Some(path) => match dfp_obs::TraceSession::begin(&path) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("error: cannot open trace file '{path}': {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => match dfp_obs::TraceSession::from_env() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot open DFP_TRACE file: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let code = match (model_path, url) {
         (Some(model_path), None) => score_offline(&model_path, &text),
         (None, Some(url)) => score_remote(&url, &text, retries),
         _ => usage("exactly one of --model (offline) or --url (remote) is required"),
+    };
+    if let Some(session) = &_trace {
+        if let Err(e) = session.flush() {
+            eprintln!("warning: trace flush failed: {e}");
+        }
     }
+    code
 }
 
 fn score_offline(model_path: &str, text: &str) -> ExitCode {
+    let mut sp = dfp_obs::span("score.offline");
     let model = match dfp_model::load(model_path) {
         Ok(m) => m,
         Err(e) => {
@@ -70,24 +101,34 @@ fn score_offline(model_path: &str, text: &str) -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let dataset = match parse_rows(&schema, text) {
-        Ok(d) => d,
-        Err(why) => {
-            eprintln!("error: {why}");
-            return ExitCode::FAILURE;
+    let dataset = {
+        let _sp = dfp_obs::span("score.parse");
+        match parse_rows(&schema, text) {
+            Ok(d) => d,
+            Err(why) => {
+                eprintln!("error: {why}");
+                return ExitCode::FAILURE;
+            }
         }
     };
-    let matrix = match model.transform(&dataset) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+    let matrix = {
+        let _sp = dfp_obs::span("score.transform");
+        match model.transform(&dataset) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
     let start = Instant::now();
-    let labels = model.model().predict_batch(&matrix.rows);
+    let labels = {
+        let _sp = dfp_obs::span("score.predict");
+        model.model().predict_batch(&matrix.rows)
+    };
     let elapsed = start.elapsed();
+    sp.attr("rows", labels.len());
 
     print!("{}", render_labels(&schema, &labels));
     report_throughput(labels.len(), elapsed.as_secs_f64());
@@ -146,7 +187,7 @@ fn usage(problem: &str) -> ExitCode {
         eprintln!("error: {problem}");
     }
     eprintln!(
-        "usage: dfpc-score --model <model.dfpm> --input <rows.csv>\n       dfpc-score --url <host:port> --input <rows.csv> [--retries <n>]"
+        "usage: dfpc-score --model <model.dfpm> --input <rows.csv> [--trace <spans.jsonl>]\n       dfpc-score --url <host:port> --input <rows.csv> [--retries <n>]"
     );
     if problem.is_empty() {
         ExitCode::SUCCESS

@@ -18,8 +18,20 @@ pub struct Request {
     pub method: String,
     /// Request path, query string included if any.
     pub path: String,
+    /// Headers in arrival order, names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
     /// Body bytes (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of `name` (case-insensitive), if the header was sent.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Why a request could not be parsed.
@@ -81,14 +93,17 @@ pub fn read_request_limited<S: Read>(
     }
 
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
                 content_length = value
-                    .trim()
                     .parse()
                     .map_err(|_| HttpError::BadRequest("bad content-length"))?;
             }
+            headers.push((name, value.to_string()));
         }
     }
     if content_length > max_body {
@@ -105,7 +120,12 @@ pub fn read_request_limited<S: Read>(
     }
     body.truncate(content_length);
 
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -159,6 +179,17 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
         assert!(req.body.is_empty());
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.header("x-request-id"), None);
+    }
+
+    #[test]
+    fn headers_are_lowercased_and_trimmed() {
+        let raw = b"GET / HTTP/1.1\r\nX-Request-Id:  abc-123 \r\n\r\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.header("X-Request-Id"), Some("abc-123"));
+        assert_eq!(req.headers[0].0, "x-request-id");
     }
 
     #[test]

@@ -1,113 +1,154 @@
-//! Lock-free serving metrics: request/prediction/error counters and a
-//! fixed-bucket latency histogram, rendered in the Prometheus text
-//! exposition format. Everything is `AtomicU64` with relaxed ordering —
-//! counters tolerate torn cross-counter reads; each individual value is
-//! always consistent.
+//! Serving metrics on the unified [`dfp_obs`] registry: request/prediction
+//! counters, split client/server error counters (with the historical
+//! `dfp_serve_errors_total` kept as their sum), a queue-depth gauge and
+//! latency + queue-wait histograms, rendered in the Prometheus text
+//! exposition format.
+//!
+//! Each server owns its own [`dfp_obs::Registry`] so concurrent servers in
+//! one process (tests, embedded use) report independent counters; the
+//! process-wide pipeline/mining families from [`dfp_obs::metrics::global`]
+//! are appended to every render so one `/metrics` scrape shows the whole
+//! stack.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use dfp_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Upper bounds (seconds) of the latency histogram buckets; `+Inf` implied.
 pub const LATENCY_BUCKETS: [f64; 8] = [0.000_1, 0.000_5, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5];
 
 /// Shared serving metrics.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
+    registry: Registry,
     /// Requests received, any endpoint.
-    pub requests_total: AtomicU64,
+    pub requests_total: Arc<Counter>,
     /// Rows successfully predicted.
-    pub predictions_total: AtomicU64,
-    /// Requests answered with a 4xx/5xx status.
-    pub errors_total: AtomicU64,
+    pub predictions_total: Arc<Counter>,
+    /// Requests answered with a 4xx status.
+    pub client_errors_total: Arc<Counter>,
+    /// Requests answered with a 5xx status.
+    pub server_errors_total: Arc<Counter>,
     /// Worker recoveries after a panicking job (self-healing pool).
-    pub worker_respawns_total: AtomicU64,
+    pub worker_respawns_total: Arc<Counter>,
     /// Requests shed with `503` because the pending queue was full.
-    pub shed_total: AtomicU64,
-    latency_buckets: [AtomicU64; LATENCY_BUCKETS.len() + 1],
-    latency_sum_nanos: AtomicU64,
-    latency_count: AtomicU64,
+    pub shed_total: Arc<Counter>,
+    /// Jobs queued or running in the worker pool, sampled on accept.
+    pub queue_depth: Arc<Gauge>,
+    /// `/predict` parse+predict latency (excludes queue wait).
+    pub predict_latency: Arc<Histogram>,
+    /// Time between accept and a worker picking the connection up.
+    pub queue_wait: Arc<Histogram>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
 }
 
 impl Metrics {
-    /// Fresh, zeroed metrics.
+    /// Fresh, zeroed metrics backed by a private registry.
     pub fn new() -> Self {
-        Metrics::default()
+        let registry = Registry::new();
+        let requests_total = registry.counter("dfp_serve_requests_total", "Requests received");
+        let predictions_total = registry.counter("dfp_serve_predictions_total", "Rows predicted");
+        let client_errors_total = registry.counter(
+            "dfp_serve_client_errors_total",
+            "Requests answered with a 4xx status",
+        );
+        let server_errors_total = registry.counter(
+            "dfp_serve_server_errors_total",
+            "Requests answered with a 5xx status",
+        );
+        let worker_respawns_total = registry.counter(
+            "dfp_serve_worker_respawns_total",
+            "Worker recoveries after a panicking job",
+        );
+        let shed_total = registry.counter(
+            "dfp_serve_shed_total",
+            "Requests shed because the pending queue was full",
+        );
+        let queue_depth = registry.gauge(
+            "dfp_serve_queue_depth",
+            "Jobs queued or running in the worker pool, sampled on accept",
+        );
+        let predict_latency = registry.histogram(
+            "dfp_serve_predict_latency_seconds",
+            "Predict call latency",
+            &LATENCY_BUCKETS,
+        );
+        let queue_wait = registry.histogram(
+            "dfp_serve_queue_wait_seconds",
+            "Time between accept and worker pickup",
+            &LATENCY_BUCKETS,
+        );
+        Metrics {
+            registry,
+            requests_total,
+            predictions_total,
+            client_errors_total,
+            server_errors_total,
+            worker_respawns_total,
+            shed_total,
+            queue_depth,
+            predict_latency,
+            queue_wait,
+        }
+    }
+
+    /// Counts one error response, split by status class (4xx vs 5xx).
+    pub fn observe_error(&self, status: u16) {
+        if (400..500).contains(&status) {
+            self.client_errors_total.inc();
+        } else if status >= 500 {
+            self.server_errors_total.inc();
+        }
+    }
+
+    /// Total error responses (client + server) — the value rendered under
+    /// the historical `dfp_serve_errors_total` name.
+    pub fn errors_total(&self) -> u64 {
+        self.client_errors_total.get() + self.server_errors_total.get()
+    }
+
+    /// Folds the pool's monotonic respawn total into the counter. Called
+    /// only from the accept thread, so the read-then-add is race-free.
+    pub fn record_respawns(&self, total: u64) {
+        let seen = self.worker_respawns_total.get();
+        if total > seen {
+            self.worker_respawns_total.add(total - seen);
+        }
     }
 
     /// Records one `/predict` call's latency.
     pub fn observe_latency(&self, elapsed: Duration) {
-        let secs = elapsed.as_secs_f64();
-        let idx = LATENCY_BUCKETS
-            .iter()
-            .position(|&ub| secs <= ub)
-            .unwrap_or(LATENCY_BUCKETS.len());
-        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.latency_sum_nanos
-            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
-        self.latency_count.fetch_add(1, Ordering::Relaxed);
+        self.predict_latency.observe(elapsed);
+    }
+
+    /// Records one request's accept→worker queue wait.
+    pub fn observe_queue_wait(&self, elapsed: Duration) {
+        self.queue_wait.observe(elapsed);
     }
 
     /// Number of latency observations so far.
     pub fn latency_count(&self) -> u64 {
-        self.latency_count.load(Ordering::Relaxed)
+        self.predict_latency.count()
     }
 
-    /// Renders the Prometheus text exposition.
+    /// Renders the Prometheus text exposition: this server's families, the
+    /// compatibility `dfp_serve_errors_total` sum, then the process-wide
+    /// pipeline/mining families.
     pub fn render(&self) -> String {
-        let mut out = String::with_capacity(1024);
-        for (name, help, value) in [
-            (
-                "dfp_serve_requests_total",
-                "Requests received",
-                self.requests_total.load(Ordering::Relaxed),
-            ),
-            (
-                "dfp_serve_predictions_total",
-                "Rows predicted",
-                self.predictions_total.load(Ordering::Relaxed),
-            ),
-            (
-                "dfp_serve_errors_total",
-                "Requests answered with an error status",
-                self.errors_total.load(Ordering::Relaxed),
-            ),
-            (
-                "dfp_serve_worker_respawns_total",
-                "Worker recoveries after a panicking job",
-                self.worker_respawns_total.load(Ordering::Relaxed),
-            ),
-            (
-                "dfp_serve_shed_total",
-                "Requests shed because the pending queue was full",
-                self.shed_total.load(Ordering::Relaxed),
-            ),
-        ] {
-            out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
-            ));
-        }
-
-        out.push_str("# HELP dfp_serve_predict_latency_seconds Predict call latency\n");
-        out.push_str("# TYPE dfp_serve_predict_latency_seconds histogram\n");
-        let mut cumulative = 0u64;
-        for (i, &ub) in LATENCY_BUCKETS.iter().enumerate() {
-            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
-            out.push_str(&format!(
-                "dfp_serve_predict_latency_seconds_bucket{{le=\"{ub}\"}} {cumulative}\n"
-            ));
-        }
-        cumulative += self.latency_buckets[LATENCY_BUCKETS.len()].load(Ordering::Relaxed);
-        out.push_str(&format!(
-            "dfp_serve_predict_latency_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"
-        ));
-        out.push_str(&format!(
-            "dfp_serve_predict_latency_seconds_sum {}\n",
-            self.latency_sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
-        ));
-        out.push_str(&format!(
-            "dfp_serve_predict_latency_seconds_count {}\n",
-            self.latency_count.load(Ordering::Relaxed)
-        ));
+        let mut out = self.registry.render();
+        out.push_str("# HELP dfp_serve_errors_total Requests answered with an error status\n");
+        out.push_str("# TYPE dfp_serve_errors_total counter\n");
+        out.push_str(&format!("dfp_serve_errors_total {}\n", self.errors_total()));
+        // The global registry carries mining/selection/pipeline families;
+        // touch() pre-registers the well-known ones so a scrape shows the
+        // full schema even before the first fit or predict.
+        dfp_obs::metrics::dfp::touch();
+        dfp_obs::metrics::global().render_into(&mut out);
         out
     }
 }
@@ -119,12 +160,26 @@ mod tests {
     #[test]
     fn counters_render() {
         let m = Metrics::new();
-        m.requests_total.fetch_add(3, Ordering::Relaxed);
-        m.errors_total.fetch_add(1, Ordering::Relaxed);
+        m.requests_total.add(3);
+        m.observe_error(404);
         let text = m.render();
         assert!(text.contains("dfp_serve_requests_total 3"));
+        assert!(text.contains("dfp_serve_client_errors_total 1"));
+        assert!(text.contains("dfp_serve_server_errors_total 0"));
         assert!(text.contains("dfp_serve_errors_total 1"));
         assert!(text.contains("dfp_serve_predictions_total 0"));
+    }
+
+    #[test]
+    fn errors_total_is_the_sum_of_both_classes() {
+        let m = Metrics::new();
+        m.observe_error(400);
+        m.observe_error(413);
+        m.observe_error(503);
+        assert_eq!(m.client_errors_total.get(), 2);
+        assert_eq!(m.server_errors_total.get(), 1);
+        assert_eq!(m.errors_total(), 3);
+        assert!(m.render().contains("dfp_serve_errors_total 3\n"));
     }
 
     #[test]
@@ -136,8 +191,43 @@ mod tests {
         let text = m.render();
         assert!(text.contains("le=\"0.0001\"} 1\n"));
         assert!(text.contains("le=\"0.005\"} 2\n"));
-        assert!(text.contains("le=\"+Inf\"} 3\n"));
-        assert!(text.contains("latency_seconds_count 3\n"));
+        assert!(text.contains("dfp_serve_predict_latency_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("dfp_serve_predict_latency_seconds_count 3\n"));
         assert_eq!(m.latency_count(), 3);
+    }
+
+    #[test]
+    fn histogram_sum_is_exact_decimal() {
+        let m = Metrics::new();
+        m.observe_latency(Duration::from_nanos(1_500_000_001));
+        let text = m.render();
+        assert!(
+            text.contains("dfp_serve_predict_latency_seconds_sum 1.500000001\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn respawns_fold_monotonically() {
+        let m = Metrics::new();
+        m.record_respawns(2);
+        m.record_respawns(2); // no change
+        m.record_respawns(5);
+        assert_eq!(m.worker_respawns_total.get(), 5);
+    }
+
+    #[test]
+    fn render_passes_conformance_check() {
+        let m = Metrics::new();
+        m.requests_total.inc();
+        m.observe_error(400);
+        m.observe_error(500);
+        m.observe_latency(Duration::from_millis(3));
+        m.observe_queue_wait(Duration::from_micros(40));
+        m.queue_depth.set(7);
+        let text = m.render();
+        let stats = dfp_obs::promcheck::check(&text)
+            .unwrap_or_else(|errs| panic!("conformance errors: {errs:?}\n{text}"));
+        assert!(stats.families >= 10, "{stats:?}");
     }
 }

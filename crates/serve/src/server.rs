@@ -23,20 +23,51 @@
 //! every worker.
 
 use crate::config::ServerConfig;
-use crate::http::{read_request_limited, write_response, write_response_with, HttpError, Request};
+use crate::http::{read_request_limited, write_response_with, HttpError, Request};
 use crate::metrics::Metrics;
 use crate::pool::ThreadPool;
 use crate::rows::{parse_rows_limited, render_labels, RowsError};
 use dfp_core::PatternClassifier;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// The `Retry-After` seconds suggested to shed or deadline-expired clients.
 const RETRY_AFTER_SECS: &str = "1";
+
+/// Longest propagated `X-Request-Id` accepted verbatim; anything longer (or
+/// containing non-printable bytes) is replaced by a generated id.
+const MAX_REQUEST_ID: usize = 64;
+
+/// Monotonic per-process sequence for generated request ids.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Generates a process-unique request id (`<pid hex>-<seq hex>`).
+fn fresh_request_id() -> String {
+    format!(
+        "{:x}-{:06x}",
+        std::process::id(),
+        NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// The id to tag this request with: the client's `X-Request-Id` when it is
+/// short and printable (trace continuity across services), otherwise fresh.
+fn request_id_for(request: &Request) -> String {
+    match request.header("x-request-id") {
+        Some(id)
+            if !id.is_empty()
+                && id.len() <= MAX_REQUEST_ID
+                && id.bytes().all(|b| (0x21..=0x7e).contains(&b)) =>
+        {
+            id.to_string()
+        }
+        _ => fresh_request_id(),
+    }
+}
 
 /// A running server. Dropping the handle shuts the server down exactly like
 /// [`Self::shutdown`]: stop accepting, drain in-flight work, join threads.
@@ -120,26 +151,31 @@ pub fn serve_with_config(
                     }
                     // Surface pool self-healing in /metrics; refreshed on
                     // every accept so scrapes observe earlier respawns.
-                    metrics
-                        .worker_respawns_total
-                        .store(pool.respawns(), Ordering::Relaxed);
+                    metrics.record_respawns(pool.respawns());
+                    metrics.queue_depth.set(pool.pending() as i64);
                     // Load shedding: a full pending queue answers 503 right
                     // here on the accept thread instead of queueing without
                     // bound (the check is approximate under races, which
                     // only flexes the bound by the number of accepts in
                     // flight — there is exactly one accept thread).
                     if pool.pending() >= cfg.queue_depth {
-                        metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-                        metrics.errors_total.fetch_add(1, Ordering::Relaxed);
-                        metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+                        let rid = fresh_request_id();
+                        metrics.requests_total.inc();
+                        metrics.observe_error(503);
+                        metrics.shed_total.inc();
                         let _ = stream.set_write_timeout(Some(cfg.io_timeout));
                         let _ = write_response_with(
                             &mut stream,
                             503,
                             "Service Unavailable",
                             "text/plain",
-                            &[("Retry-After", RETRY_AFTER_SECS)],
+                            &[("Retry-After", RETRY_AFTER_SECS), ("X-Request-Id", &rid)],
                             b"server overloaded, retry later\n",
+                        );
+                        dfp_obs::log::warn(
+                            "dfp_serve",
+                            "request shed: pending queue full",
+                            &[("request_id", &rid), ("status", "503")],
                         );
                         continue;
                     }
@@ -173,6 +209,12 @@ fn handle_connection(
     // Chaos hook on the worker path: `panic` exercises pool self-healing,
     // `sleep` exercises queue backpressure and request deadlines.
     dfp_fault::faultpoint!("serve.worker");
+    // Accept→worker pickup time is the backpressure signal: it grows before
+    // requests start missing deadlines, so it gets its own histogram.
+    let queue_wait = accepted.elapsed();
+    metrics.observe_queue_wait(queue_wait);
+    let mut sp = dfp_obs::span("serve.request");
+    sp.attr("queue_wait_ns", queue_wait.as_nanos());
     let deadline = accepted + cfg.request_deadline;
     let _ = stream.set_read_timeout(Some(cfg.io_timeout));
     let _ = stream.set_write_timeout(Some(cfg.io_timeout));
@@ -180,33 +222,45 @@ fn handle_connection(
         Ok(r) => r,
         Err(HttpError::Io) => return, // peer went away (includes shutdown wake)
         Err(HttpError::TooLarge) => {
-            metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-            metrics.errors_total.fetch_add(1, Ordering::Relaxed);
-            let _ = write_response(
+            metrics.requests_total.inc();
+            respond(
                 &mut stream,
+                metrics,
+                &fresh_request_id(),
+                "-",
+                "-",
                 413,
                 "Payload Too Large",
-                "text/plain",
-                b"request too large\n",
+                "request too large\n",
+                accepted,
             );
             return;
         }
         Err(HttpError::BadRequest(why)) => {
-            metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-            metrics.errors_total.fetch_add(1, Ordering::Relaxed);
-            let _ = write_response(
+            metrics.requests_total.inc();
+            respond(
                 &mut stream,
+                metrics,
+                &fresh_request_id(),
+                "-",
+                "-",
                 400,
                 "Bad Request",
-                "text/plain",
-                format!("{why}\n").as_bytes(),
+                &format!("{why}\n"),
+                accepted,
             );
             return;
         }
     };
-    metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    metrics.requests_total.inc();
+    let rid = request_id_for(&request);
+    if sp.is_active() {
+        sp.attr("method", &request.method);
+        sp.attr("path", &request.path);
+        sp.attr("request_id", &rid);
+    }
 
-    let (status, reason, body): (u16, &str, String) = if Instant::now() > deadline {
+    let (status, reason, body): (u16, &'static str, String) = if Instant::now() > deadline {
         // Queue wait alone exhausted the request budget — answer cheaply.
         (
             503,
@@ -216,20 +270,64 @@ fn handle_connection(
     } else {
         route(&request, model, metrics, cfg, deadline)
     };
+    sp.attr("status", status);
+    respond(
+        &mut stream,
+        metrics,
+        &rid,
+        &request.method,
+        &request.path,
+        status,
+        reason,
+        &body,
+        accepted,
+    );
+}
+
+/// Writes the response (always tagged `X-Request-Id`; `Retry-After` on
+/// `503`), counts 4xx/5xx in the split error counters, and emits one
+/// structured access-log event.
+#[allow(clippy::too_many_arguments)]
+fn respond(
+    stream: &mut TcpStream,
+    metrics: &Metrics,
+    rid: &str,
+    method: &str,
+    path: &str,
+    status: u16,
+    reason: &str,
+    body: &str,
+    accepted: Instant,
+) {
     if status >= 400 {
-        metrics.errors_total.fetch_add(1, Ordering::Relaxed);
+        metrics.observe_error(status);
     }
+    let mut headers: Vec<(&str, &str)> = vec![("X-Request-Id", rid)];
     if status == 503 {
-        let _ = write_response_with(
-            &mut stream,
-            status,
-            reason,
-            "text/plain",
-            &[("Retry-After", RETRY_AFTER_SECS)],
-            body.as_bytes(),
+        headers.push(("Retry-After", RETRY_AFTER_SECS));
+    }
+    let _ = write_response_with(
+        stream,
+        status,
+        reason,
+        "text/plain",
+        &headers,
+        body.as_bytes(),
+    );
+    if dfp_obs::log::enabled(dfp_obs::log::Level::Info) {
+        let status = status.to_string();
+        let elapsed_us = accepted.elapsed().as_micros().to_string();
+        dfp_obs::log::info(
+            "dfp_serve",
+            "request",
+            &[
+                ("method", method),
+                ("path", path),
+                ("status", &status),
+                ("request_id", rid),
+                ("elapsed_us", &elapsed_us),
+            ],
         );
-    } else {
-        let _ = write_response(&mut stream, status, reason, "text/plain", body.as_bytes());
     }
 }
 
@@ -244,7 +342,23 @@ fn route(
         ("GET", "/healthz") => (200, "OK", "ok\n".to_string()),
         ("GET", "/readyz") => {
             if model.schema().is_some() {
-                (200, "OK", "ready\n".to_string())
+                // Ready but degraded is still ready — the model answers
+                // predictions — so the report rides in the body, not the
+                // status, and the `dfp_pipeline_degraded` gauge in /metrics.
+                let report = model.degradation();
+                if report.is_degraded() {
+                    let why = report
+                        .mining_stopped_by
+                        .map(|r| format!("{r:?}"))
+                        .unwrap_or_else(|| "unknown".to_string());
+                    (
+                        200,
+                        "OK",
+                        format!("ready (degraded: mining stopped by {why})\n"),
+                    )
+                } else {
+                    (200, "OK", "ready\n".to_string())
+                }
             } else {
                 (
                     503,
@@ -289,12 +403,16 @@ fn predict(
         return (400, "Bad Request", "body is not UTF-8\n".to_string());
     };
     let start = Instant::now();
-    let dataset = match parse_rows_limited(schema, text, cfg.max_rows) {
-        Ok(d) => d,
-        Err(e @ RowsError::TooManyRows { .. }) => {
-            return (413, "Payload Too Large", format!("{e}\n"))
+    let dataset = {
+        let mut sp = dfp_obs::span("serve.parse");
+        sp.attr("bytes", text.len());
+        match parse_rows_limited(schema, text, cfg.max_rows) {
+            Ok(d) => d,
+            Err(e @ RowsError::TooManyRows { .. }) => {
+                return (413, "Payload Too Large", format!("{e}\n"))
+            }
+            Err(why) => return (400, "Bad Request", format!("{why}\n")),
         }
-        Err(why) => return (400, "Bad Request", format!("{why}\n")),
     };
     if Instant::now() > deadline {
         return (
@@ -303,12 +421,15 @@ fn predict(
             "request deadline exceeded\n".to_string(),
         );
     }
-    match model.predict(&dataset) {
+    let predicted = {
+        let _sp = dfp_obs::span("serve.predict");
+        model.predict(&dataset)
+    };
+    match predicted {
         Ok(labels) => {
             metrics.observe_latency(start.elapsed());
-            metrics
-                .predictions_total
-                .fetch_add(labels.len() as u64, Ordering::Relaxed);
+            metrics.predictions_total.add(labels.len() as u64);
+            let _sp = dfp_obs::span("serve.render");
             (200, "OK", render_labels(schema, &labels))
         }
         Err(e) => (400, "Bad Request", format!("{e}\n")),

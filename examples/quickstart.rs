@@ -4,13 +4,41 @@
 //!
 //! ```sh
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --trace spans.jsonl
 //! ```
+//!
+//! `--trace <path>` (or `DFP_TRACE=<path>`) exports the run's span tree —
+//! per-stage fit timings, mining recursion, model save/load — as JSONL for
+//! `dfp-trace-check` or chrome://tracing.
 
 use dfpc::core::{FrameworkConfig, PatternClassifier};
 use dfpc::data::split::stratified_holdout;
 use dfpc::data::synth::profile_by_name;
 
 fn main() {
+    let mut trace_path = None;
+    let mut save_path = None;
+    let mut rows_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => trace_path = args.next(),
+            "--save" => save_path = args.next(),
+            "--emit-rows" => rows_path = args.next(),
+            other => {
+                eprintln!(
+                    "unknown argument '{other}'; usage: quickstart \
+                     [--trace <spans.jsonl>] [--save <model.dfpm>] [--emit-rows <rows.csv>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let trace = match trace_path {
+        Some(path) => Some(dfpc::obs::TraceSession::begin(&path).expect("trace file opens")),
+        None => dfpc::obs::TraceSession::from_env().expect("DFP_TRACE file opens"),
+    };
+
     // The `iris` profile replays the UCI iris shape (150 × 4 numeric, 3
     // classes) with planted discriminative patterns — see DESIGN.md §4.
     let data = profile_by_name("iris").expect("catalog profile").generate();
@@ -80,4 +108,49 @@ fn main() {
         "artifact round-trip must preserve predictions"
     );
     println!("artifact round-trip         : {size} bytes, predictions identical");
+
+    // --save keeps a servable artifact; --emit-rows writes the held-out
+    // attribute rows as CSV in the shape `dfp-serve` / `dfpc-score` accept.
+    if let Some(path) = save_path {
+        dfpc::model::save(&model, &path).expect("artifact saves to --save path");
+        println!("artifact saved              : {path}");
+    }
+    if let Some(path) = rows_path {
+        std::fs::write(&path, render_rows_csv(&test)).expect("rows write to --emit-rows path");
+        println!("rows emitted                : {} → {path}", test.len());
+    }
+
+    if let Some(session) = trace {
+        let spans = session.flush().expect("trace flushes");
+        println!(
+            "trace                       : {spans} spans → {}",
+            session.path().display()
+        );
+    }
+}
+
+/// Renders attribute rows (no class column) as the CSV `parse_rows` accepts:
+/// categorical cells by value name, numeric cells as plain floats, `?` for
+/// missing.
+fn render_rows_csv(data: &dfpc::data::dataset::Dataset) -> String {
+    use dfpc::data::dataset::Value;
+    use dfpc::data::schema::AttributeKind;
+    let mut out = String::new();
+    for row in &data.rows {
+        for (a, cell) in row.iter().enumerate() {
+            if a > 0 {
+                out.push(',');
+            }
+            match (cell, &data.schema.attributes[a].kind) {
+                (Value::Cat(v), AttributeKind::Categorical { values }) => {
+                    out.push_str(&values[*v as usize])
+                }
+                (Value::Num(x), _) => out.push_str(&format!("{x}")),
+                (Value::Missing, _) => out.push('?'),
+                (Value::Cat(_), AttributeKind::Numeric) => unreachable!("validated by Dataset"),
+            }
+        }
+        out.push('\n');
+    }
+    out
 }

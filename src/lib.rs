@@ -22,6 +22,8 @@
 //!   loading fitted classifiers;
 //! * [`fault`] — named failpoints (`DFP_FAILPOINTS`) for fault-injection
 //!   testing across mining, persistence, and serving;
+//! * [`obs`] — structured tracing spans (`DFP_TRACE`), the unified metrics
+//!   registry behind `/metrics`, and JSONL event logging (`DFP_LOG`);
 //! * [`par`] — the std-only scoped-thread parallel runtime behind mining,
 //!   MMRFS, cross-validation, and batch scoring (`DFP_THREADS` to pin);
 //! * [`serve`] — a std-only threaded HTTP inference server and batch scorer
@@ -53,6 +55,7 @@ pub use dfp_fault as fault;
 pub use dfp_measures as measures;
 pub use dfp_mining as mining;
 pub use dfp_model as model;
+pub use dfp_obs as obs;
 pub use dfp_par as par;
 pub use dfp_select as select;
 pub use dfp_serve as serve;

@@ -1,0 +1,256 @@
+//! The observability layer's two contracts:
+//!
+//! 1. **Inertness** — enabling span tracing never changes a result. Mined
+//!    feature sets, MMRFS selections (bit-equal relevance scores), and CV
+//!    accuracies must be identical with tracing on vs off, at 1 and 4
+//!    threads (proptest-enforced).
+//! 2. **Well-formedness** — a traced pipeline run emits JSONL where every
+//!    line parses, spans carry monotone intervals, parents exist on the
+//!    same thread and contain their children, and the global `/metrics`
+//!    rendering passes the Prometheus conformance checker.
+
+use dfpc::core::{cross_validate_framework, FrameworkConfig, PatternClassifier};
+use dfpc::data::dataset::{categorical_dataset, Dataset};
+use dfpc::data::schema::ClassId;
+use dfpc::data::transactions::{Item, TransactionSet};
+use dfpc::mining::{mine_features, MiningConfig};
+use dfpc::obs::TraceSession;
+use dfpc::select::{mmrfs, MmrfsConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+/// Tracing enablement and `DFP_THREADS` are process-global; every test here
+/// serialises through this lock (recovered if a holder panicked).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_env() -> MutexGuard<'static, ()> {
+    ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` with `DFP_THREADS=n`, restoring the previous value after.
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let saved = std::env::var("DFP_THREADS").ok();
+    std::env::set_var("DFP_THREADS", n.to_string());
+    let r = f();
+    match saved {
+        Some(v) => std::env::set_var("DFP_THREADS", v),
+        None => std::env::remove_var("DFP_THREADS"),
+    }
+    r
+}
+
+/// Runs `f` with span tracing exporting to a throwaway file, then disables
+/// tracing again (session drop) and removes the file.
+fn with_tracing<R>(tag: &str, f: impl FnOnce() -> R) -> R {
+    let path = temp_path(tag);
+    let session = TraceSession::begin(&path).expect("trace file opens");
+    assert!(dfpc::obs::tracing_enabled());
+    let r = f();
+    drop(session);
+    assert!(!dfpc::obs::tracing_enabled());
+    std::fs::remove_file(&path).ok();
+    r
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "dfp-obs-test-{tag}-{}-{:?}.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+fn random_labelled_db() -> impl Strategy<Value = TransactionSet> {
+    let n_items = 8usize;
+    prop::collection::vec(
+        (
+            prop::collection::btree_set(0u32..n_items as u32, 1..=5),
+            0u32..3,
+        ),
+        6..=40,
+    )
+    .prop_map(move |rows| {
+        let (transactions, labels): (Vec<Vec<Item>>, Vec<ClassId>) = rows
+            .into_iter()
+            .map(|(set, l)| (set.into_iter().map(Item).collect::<Vec<_>>(), ClassId(l)))
+            .unzip();
+        TransactionSet::new(n_items, 3, transactions, labels)
+    })
+}
+
+/// The (a0, a1) pair marks the class; singles are weak. Enough structure
+/// for mining + selection + CV to all have real work.
+fn confusable() -> Dataset {
+    let mut rows: Vec<(Vec<u32>, u32)> = Vec::new();
+    for i in 0..60u32 {
+        let (vals, label) = if i % 2 == 0 {
+            (vec![1, 1, i % 3], 0)
+        } else {
+            (vec![1, 2, i % 3], 1)
+        };
+        rows.push((vals, label));
+    }
+    let borrowed: Vec<(&[u32], u32)> = rows.iter().map(|(v, l)| (&v[..], *l)).collect();
+    categorical_dataset(&[3, 3, 3], 2, &borrowed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Mining and MMRFS results are bit-identical with tracing on vs off,
+    /// sequential and parallel.
+    #[test]
+    fn tracing_is_inert_for_mining_and_selection(ts in random_labelled_db()) {
+        let _guard = lock_env();
+        let mine_cfg = MiningConfig::with_min_sup(0.2);
+        let sel_cfg = MmrfsConfig::default();
+        for threads in [1usize, 4] {
+            let off = with_threads(threads, || {
+                let feats = mine_features(&ts, &mine_cfg).unwrap();
+                let sel = mmrfs(&ts, &feats, &sel_cfg);
+                (feats, sel)
+            });
+            let on = with_tracing("inert-mine", || {
+                with_threads(threads, || {
+                    let feats = mine_features(&ts, &mine_cfg).unwrap();
+                    let sel = mmrfs(&ts, &feats, &sel_cfg);
+                    (feats, sel)
+                })
+            });
+            prop_assert_eq!(&off.0, &on.0, "mined features differ at {} threads", threads);
+            prop_assert_eq!(&off.1.selected, &on.1.selected);
+            prop_assert_eq!(off.1.fully_covered, on.1.fully_covered);
+            let off_bits: Vec<u64> = off.1.relevance.iter().map(|x| x.to_bits()).collect();
+            let on_bits: Vec<u64> = on.1.relevance.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(off_bits, on_bits);
+        }
+    }
+}
+
+/// Framework CV accuracies are bit-identical with tracing on vs off at 1
+/// and 4 threads.
+#[test]
+fn tracing_is_inert_for_cross_validation() {
+    let _guard = lock_env();
+    let data = confusable();
+    let cfg = FrameworkConfig::pat_fs();
+    for threads in [1usize, 4] {
+        let off = with_threads(threads, || {
+            cross_validate_framework(&data, &cfg, 5, 9).unwrap()
+        });
+        let on = with_tracing("inert-cv", || {
+            with_threads(threads, || {
+                cross_validate_framework(&data, &cfg, 5, 9).unwrap()
+            })
+        });
+        let off_bits: Vec<u64> = off.fold_accuracies.iter().map(|x| x.to_bits()).collect();
+        let on_bits: Vec<u64> = on.fold_accuracies.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(
+            off_bits, on_bits,
+            "CV accuracies differ at {threads} threads"
+        );
+    }
+}
+
+/// A traced fit+predict emits JSONL where every line parses, intervals are
+/// monotone, parents exist on the same thread and contain their children,
+/// and the expected pipeline spans are present.
+#[test]
+fn trace_export_round_trips_and_nests() {
+    let _guard = lock_env();
+    let path = temp_path("roundtrip");
+    let session = TraceSession::begin(&path).expect("trace file opens");
+    let data = confusable();
+    let model = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs()).expect("fit");
+    let predicted = model.predict(&data).expect("predict");
+    assert_eq!(predicted.len(), data.len());
+    let written = session.flush().expect("flush");
+    assert!(written > 0, "traced run wrote no spans");
+    drop(session); // disables tracing, final flush
+
+    struct Span {
+        name: String,
+        parent: i128,
+        tid: i128,
+        start: i128,
+        end: i128,
+    }
+    let text = std::fs::read_to_string(&path).expect("trace readable");
+    std::fs::remove_file(&path).ok();
+    let mut spans: HashMap<i128, Span> = HashMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let v = dfpc::obs::json::parse(line)
+            .unwrap_or_else(|e| panic!("line {}: bad JSON ({e:?}): {line}", i + 1));
+        let name = v.get("name").and_then(|n| n.as_str()).expect("name");
+        assert!(!name.is_empty());
+        let id = v.get("id").and_then(|n| n.as_int()).expect("id");
+        let parent = v.get("parent").and_then(|n| n.as_int()).expect("parent");
+        let tid = v.get("tid").and_then(|n| n.as_int()).expect("tid");
+        let start = v.get("start_ns").and_then(|n| n.as_int()).expect("start");
+        let end = v.get("end_ns").and_then(|n| n.as_int()).expect("end");
+        assert!(id > 0 && end >= start, "line {}: bad interval", i + 1);
+        let prev = spans.insert(
+            id,
+            Span {
+                name: name.to_string(),
+                parent,
+                tid,
+                start,
+                end,
+            },
+        );
+        assert!(prev.is_none(), "duplicate span id {id}");
+    }
+    for s in spans.values() {
+        if s.parent != 0 {
+            let p = spans
+                .get(&s.parent)
+                .unwrap_or_else(|| panic!("span '{}' orphaned (parent {})", s.name, s.parent));
+            assert_eq!(p.tid, s.tid, "parent of '{}' on another thread", s.name);
+            assert!(
+                p.start <= s.start && s.end <= p.end,
+                "span '{}' [{}, {}] escapes parent '{}' [{}, {}]",
+                s.name,
+                s.start,
+                s.end,
+                p.name,
+                p.start,
+                p.end
+            );
+        }
+    }
+    for expected in ["pipeline.fit", "mine.per_class", "select.mmrfs"] {
+        assert!(
+            spans.values().any(|s| s.name == expected),
+            "span '{expected}' missing from trace"
+        );
+    }
+}
+
+/// The process-wide registry renders valid Prometheus text including the
+/// mining, selection, and pipeline-stage families.
+#[test]
+fn global_metrics_pass_prometheus_conformance() {
+    let _guard = lock_env();
+    let data = confusable();
+    let _ = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs()).expect("fit");
+    dfpc::obs::metrics::dfp::touch();
+    let text = dfpc::obs::metrics::global().render();
+    let stats = dfpc::obs::promcheck::check(&text)
+        .unwrap_or_else(|errs| panic!("conformance errors: {errs:?}\n{text}"));
+    assert!(stats.families >= 10, "{stats:?}");
+    for family in [
+        "dfp_mine_patterns_emitted_total",
+        "dfp_mine_nodes_explored_total",
+        "dfp_select_candidates_scanned_total",
+        "dfp_pipeline_stage_seconds",
+        "dfp_pipeline_degraded",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {family} ")),
+            "family {family} missing:\n{text}"
+        );
+    }
+}
