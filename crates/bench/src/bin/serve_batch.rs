@@ -1,0 +1,258 @@
+//! Micro-batching + caching throughput benchmark: `serve_batch`.
+//!
+//! Compares single-request dequeue serving (each request parsed,
+//! transformed and predicted on its own, no caching) against the batched +
+//! cached path: the [`dfp_serve::TransformCache`] answering repeated
+//! feature rows and the [`dfp_serve::BatchScheduler`] fusing concurrent
+//! requests into one `predict_rows` call. Also times a cold vs warm
+//! `PatternClassifier::fit` on identical data to measure the mining
+//! memoization cache.
+//!
+//! Writes `BENCH_serve_batch.json` at the workspace root.
+
+use dfp_bench::report::{self, Json, Table};
+use dfp_core::{FrameworkConfig, PatternClassifier};
+use dfp_data::dataset::{categorical_dataset, Dataset};
+use dfp_data::schema::{ClassId, Schema};
+use dfp_mining::memo;
+use dfp_serve::rows::parse_row_line;
+use dfp_serve::{BatchScheduler, Metrics, TransformCache};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const REQUESTS: usize = 512;
+const UNIQUE_ROWS: usize = 16;
+const BATCH_MAX: usize = 8;
+const CLIENTS: usize = 8;
+const N_ATTRS: usize = 64;
+
+/// Decorrelated pseudo-random noise value for cell `(i, a)` — a mixing
+/// hash, so no two noise columns co-vary and mining stays tractable (noise
+/// pairs land well under min_sup).
+fn noise(i: u32, a: u32) -> u32 {
+    let mut x = i
+        .wrapping_mul(2_654_435_761)
+        .wrapping_add(a.wrapping_mul(40_503));
+    x ^= x >> 13;
+    x = x.wrapping_mul(2_246_822_519);
+    x ^= x >> 11;
+    x % 4
+}
+
+/// The (a0, a1) pair decides the class; the other 62 columns are noise.
+/// A wide schema makes per-request parsing and transformation the real
+/// cost — exactly what the transform cache exists to amortize.
+fn training_data() -> Dataset {
+    let mut rows: Vec<(Vec<u32>, u32)> = Vec::new();
+    for i in 0..400u32 {
+        let mut vals = vec![1, if i % 2 == 0 { 1 } else { 2 }];
+        vals.extend((2..N_ATTRS as u32).map(|a| noise(i, a)));
+        rows.push((vals, i % 2));
+    }
+    let borrowed: Vec<(&[u32], u32)> = rows.iter().map(|(v, l)| (&v[..], *l)).collect();
+    let mut arities = vec![3usize, 3];
+    arities.resize(N_ATTRS, 4);
+    categorical_dataset(&arities, 2, &borrowed)
+}
+
+/// The request stream: `REQUESTS` single-row bodies cycling through
+/// `UNIQUE_ROWS` distinct lines, so a cache sees each line repeatedly.
+fn workload() -> Vec<String> {
+    (0..REQUESTS)
+        .map(|r| {
+            let i = (r % UNIQUE_ROWS) as u32;
+            let mut fields = vec![format!("v{}", i % 3), format!("v{}", (i / 3) % 3)];
+            fields.extend((2..N_ATTRS as u32).map(|a| format!("v{}", noise(i + 1000, a))));
+            fields.join(",")
+        })
+        .collect()
+}
+
+/// Parse + transform one CSV line against the fitted model.
+fn transform_line(model: &PatternClassifier, schema: &Schema, line: &str) -> Vec<u32> {
+    let values = parse_row_line(schema, 0, line).expect("benchmark rows are valid");
+    let dataset = Dataset::new(schema.clone(), vec![values], vec![ClassId(0)]);
+    let matrix = model.transform(&dataset).expect("transform");
+    matrix.rows.into_iter().next().expect("one row")
+}
+
+/// The baseline: every request parsed, transformed and predicted on its
+/// own, exactly what a batching-off, cache-off worker does.
+fn run_single(model: &PatternClassifier, schema: &Schema, lines: &[String]) -> (Duration, u64) {
+    let start = Instant::now();
+    let mut label_sum = 0u64;
+    for line in lines {
+        let row = transform_line(model, schema, line);
+        let labels = model.predict_rows(&[row]);
+        label_sum += u64::from(labels[0].0);
+    }
+    (start.elapsed(), label_sum)
+}
+
+/// The batched + cached path: `CLIENTS` concurrent submitters sharing one
+/// transform cache, the scheduler fusing their requests.
+fn run_batched(
+    model: &Arc<PatternClassifier>,
+    schema: &Schema,
+    metrics: &Arc<Metrics>,
+    lines: &[String],
+) -> (Duration, u64) {
+    let scheduler = BatchScheduler::start(
+        Arc::clone(model),
+        Arc::clone(metrics),
+        BATCH_MAX,
+        Duration::from_micros(100),
+    );
+    let cache = TransformCache::new(dfp_serve::cache::DEFAULT_CAP);
+    let start = Instant::now();
+    let chunk = lines.len().div_ceil(CLIENTS);
+    let label_sum: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = lines
+            .chunks(chunk)
+            .map(|mine| {
+                let (scheduler, cache, model) = (&scheduler, &cache, model);
+                s.spawn(move || {
+                    let mut sum = 0u64;
+                    for line in mine {
+                        let row = match cache.get(line) {
+                            Some(row) => {
+                                metrics.transform_cache_hits_total.inc();
+                                row
+                            }
+                            None => {
+                                metrics.transform_cache_misses_total.inc();
+                                let row = transform_line(model, schema, line);
+                                cache.insert(line, row.clone());
+                                row
+                            }
+                        };
+                        let deadline = Instant::now() + Duration::from_secs(30);
+                        let labels = scheduler
+                            .submit(vec![row], deadline)
+                            .recv()
+                            .expect("scheduler reply");
+                        sum += u64::from(labels[0].0);
+                    }
+                    sum
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    });
+    (start.elapsed(), label_sum)
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+fn main() {
+    // --- Cold vs warm fit: the mining memoization cache. ---
+    memo::set_enabled(Some(true));
+    memo::clear();
+    let data = training_data();
+    let cfg = FrameworkConfig::pat_fs();
+    let hits_before = dfp_obs::metrics::dfp::cache_mining_hits().get();
+
+    let t = Instant::now();
+    let model = PatternClassifier::fit(&data, &cfg).expect("cold fit");
+    let cold_fit = t.elapsed();
+    let t = Instant::now();
+    let _warm_model = PatternClassifier::fit(&data, &cfg).expect("warm fit");
+    let warm_fit = t.elapsed();
+    let fit_cache_hits = dfp_obs::metrics::dfp::cache_mining_hits().get() - hits_before;
+
+    // --- Serving throughput: single dequeue vs batched + cached. ---
+    let model = Arc::new(model);
+    let schema = model.schema().expect("fitted model has a schema").clone();
+    let lines = workload();
+    let metrics = Arc::new(Metrics::new());
+
+    // Warm both paths once so lazy initialisation isn't billed to either.
+    let _ = run_single(&model, &schema, &lines[..UNIQUE_ROWS.min(lines.len())]);
+
+    let (single_time, single_sum) = run_single(&model, &schema, &lines);
+    let (batched_time, batched_sum) = run_batched(&model, &schema, &metrics, &lines);
+    assert_eq!(
+        single_sum, batched_sum,
+        "batching/caching changed predictions"
+    );
+
+    let single_rps = REQUESTS as f64 / secs(single_time);
+    let batched_rps = REQUESTS as f64 / secs(batched_time);
+    let speedup = secs(single_time) / secs(batched_time);
+    let fit_speedup = secs(cold_fit) / secs(warm_fit).max(1e-9);
+
+    let mut table = Table::new(vec!["path", "seconds", "req/s"]);
+    table.row(vec![
+        "single dequeue".to_string(),
+        format!("{:.4}", secs(single_time)),
+        format!("{single_rps:.0}"),
+    ]);
+    table.row(vec![
+        "batched + cached".to_string(),
+        format!("{:.4}", secs(batched_time)),
+        format!("{batched_rps:.0}"),
+    ]);
+    table.print();
+    println!("serving speedup: {speedup:.2}x");
+    println!(
+        "fit: cold {:.4}s, warm {:.4}s ({fit_speedup:.1}x, {fit_cache_hits} mining-cache hits)",
+        secs(cold_fit),
+        secs(warm_fit)
+    );
+
+    let json = Json::obj(vec![
+        (
+            "workload",
+            Json::obj(vec![
+                ("requests", Json::Int(REQUESTS as u64)),
+                ("unique_rows", Json::Int(UNIQUE_ROWS as u64)),
+                ("batch_max", Json::Int(BATCH_MAX as u64)),
+                ("clients", Json::Int(CLIENTS as u64)),
+            ]),
+        ),
+        (
+            "single",
+            Json::obj(vec![
+                ("seconds", Json::Num(secs(single_time))),
+                ("requests_per_sec", Json::Num(single_rps)),
+            ]),
+        ),
+        (
+            "batched",
+            Json::obj(vec![
+                ("seconds", Json::Num(secs(batched_time))),
+                ("requests_per_sec", Json::Num(batched_rps)),
+                ("batches", Json::Int(metrics.batches_total.get())),
+                (
+                    "transform_cache_hits",
+                    Json::Int(metrics.transform_cache_hits_total.get()),
+                ),
+                (
+                    "transform_cache_misses",
+                    Json::Int(metrics.transform_cache_misses_total.get()),
+                ),
+            ]),
+        ),
+        ("speedup", Json::Num(speedup)),
+        (
+            "fit",
+            Json::obj(vec![
+                ("cold_seconds", Json::Num(secs(cold_fit))),
+                ("warm_seconds", Json::Num(secs(warm_fit))),
+                ("warm_speedup", Json::Num(fit_speedup)),
+                ("mining_cache_hits", Json::Int(fit_cache_hits)),
+            ]),
+        ),
+    ]);
+    let path = report::write_root_json("BENCH_serve_batch", &json).expect("write report");
+    println!("wrote {}", path.display());
+
+    // The batched path must beat single dequeue by a clear margin; fail the
+    // run loudly if the optimization regresses.
+    assert!(
+        speedup >= 1.5,
+        "batched+cached speedup {speedup:.2}x fell below the 1.5x floor"
+    );
+}

@@ -137,6 +137,10 @@ pub struct PatternClassifier {
     info: FitInfo,
     /// In-memory only — not persisted in model artifacts.
     degradation: DegradationReport,
+    /// FNV-1a fingerprint of the itemized training transactions
+    /// ([`dfp_mining::memo::fingerprint`]), recorded at fit time so a saved
+    /// artifact can assert mining-cache compatibility on load.
+    dataset_fingerprint: Option<u64>,
 }
 
 impl PatternClassifier {
@@ -181,6 +185,7 @@ impl PatternClassifier {
             return Err(FrameworkError::EmptyTrainingSet);
         }
         let _sp = dfp_obs::span("pipeline.fit_transactions");
+        let dataset_fingerprint = Some(dfp_mining::memo::fingerprint(ts));
         let mut info = FitInfo {
             n_items: ts.n_items(),
             ..FitInfo::default()
@@ -287,6 +292,7 @@ impl PatternClassifier {
             schema: None,
             info,
             degradation,
+            dataset_fingerprint,
         })
     }
 
@@ -308,6 +314,7 @@ impl PatternClassifier {
             schema,
             info,
             degradation: DegradationReport::default(),
+            dataset_fingerprint: None,
         }
     }
 
@@ -343,6 +350,21 @@ impl PatternClassifier {
     /// Fit diagnostics.
     pub fn info(&self) -> &FitInfo {
         &self.info
+    }
+
+    /// The training-data fingerprint recorded at fit time (the mining
+    /// cache's dataset key), if this model was fitted in-process or loaded
+    /// from an artifact whose cache-key section matched the current
+    /// fingerprint algorithm version.
+    pub fn dataset_fingerprint(&self) -> Option<u64> {
+        self.dataset_fingerprint
+    }
+
+    /// Sets the training-data fingerprint — used by the artifact codec when
+    /// reassembling a model whose stored cache key passed the compatibility
+    /// check.
+    pub fn set_dataset_fingerprint(&mut self, fp: Option<u64>) {
+        self.dataset_fingerprint = fp;
     }
 
     /// Feature importances for linear-SVM models: per feature, the largest
@@ -425,6 +447,14 @@ impl PatternClassifier {
     pub fn accuracy(&self, data: &Dataset) -> f64 {
         let pred = self.predict(data).expect("dataset incompatible with model");
         dfp_classify::eval::accuracy(&pred, &data.labels)
+    }
+
+    /// Predicts labels for already-transformed feature rows (the output of
+    /// [`Self::transform`]'s row encoding). This is the batch-scheduler
+    /// entry point: the serving layer transforms each request's rows once,
+    /// coalesces many requests, and scores them in a single call.
+    pub fn predict_rows(&self, rows: &[Vec<u32>]) -> Vec<ClassId> {
+        self.model.predict_batch(rows)
     }
 
     /// Predicts labels for already-itemized transactions.

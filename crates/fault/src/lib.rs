@@ -84,6 +84,10 @@ pub const REGISTRY: &[(&str, &str)] = &[
         "worker thread, before request handling (dfp-serve)",
     ),
     ("serve.predict", "/predict route body (dfp-serve)"),
+    (
+        "serve.batch",
+        "batch scheduler dispatch, before predict (dfp-serve)",
+    ),
     ("cv.fold", "outer cross-validation fold fit (dfp-core)"),
     (
         "cv.inner_fold",
@@ -198,6 +202,15 @@ pub fn disarm_all() {
 pub fn is_armed(site: &str) -> bool {
     ensure_env_init();
     ANY_ARMED.load(Ordering::Acquire) && lock_table().contains_key(site)
+}
+
+/// `true` when *any* site is armed (programmatically or via
+/// `DFP_FAILPOINTS`). Caching layers consult this to disable themselves
+/// while chaos testing is active: a cache hit would silently skip armed
+/// sites on the cached path, masking the very faults being injected.
+pub fn any_armed() -> bool {
+    ensure_env_init();
+    ANY_ARMED.load(Ordering::Acquire)
 }
 
 fn lock_table() -> std::sync::MutexGuard<'static, HashMap<String, Armed>> {

@@ -297,6 +297,45 @@ pub fn closed_filter(patterns: Vec<RawPattern>) -> Vec<RawPattern> {
     out
 }
 
+/// Expands a closed-set listing back into the **full** frequent collection:
+/// every non-empty subset of every closed set, with each subset's support
+/// equal to the *maximum* support among the closed sets containing it (the
+/// defining property of the closed representation).
+///
+/// Exponential in the longest closed set — this is the differential-oracle
+/// counterpart of [`closed_filter`], meant for test-scale databases, not
+/// production feature generation. Returns canonical order (length, then
+/// lexicographic).
+pub fn expand_frequent(closed: &[RawPattern]) -> Vec<RawPattern> {
+    let mut best: HashMap<Vec<Item>, u32> = HashMap::new();
+    let mut subset = Vec::new();
+    for p in closed {
+        expand_subsets(&p.items, p.support, 0, &mut subset, &mut best);
+    }
+    let mut out: Vec<RawPattern> = best
+        .into_iter()
+        .map(|(items, support)| RawPattern { items, support })
+        .collect();
+    crate::pattern::sort_canonical(&mut out);
+    out
+}
+
+fn expand_subsets(
+    items: &[Item],
+    support: u32,
+    start: usize,
+    subset: &mut Vec<Item>,
+    best: &mut HashMap<Vec<Item>, u32>,
+) {
+    for i in start..items.len() {
+        subset.push(items[i]);
+        let entry = best.entry(subset.clone()).or_insert(0);
+        *entry = (*entry).max(support);
+        expand_subsets(items, support, i + 1, subset, best);
+        subset.pop();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

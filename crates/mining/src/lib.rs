@@ -34,6 +34,7 @@ pub mod count;
 pub mod eclat;
 pub mod fpgrowth;
 pub mod fptree;
+pub mod memo;
 pub mod pattern;
 pub mod per_class;
 pub mod reference;
@@ -43,6 +44,9 @@ pub mod top_k;
 pub use anytime::{Mined, StopReason};
 pub use pattern::{MinedPattern, RawPattern};
 pub use per_class::{mine_features, mine_features_anytime, MinedFeatures, MiningConfig};
+
+/// Re-export: which algorithm feature generation runs.
+pub use per_class::MinerKind;
 
 /// Errors produced by the miners.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -70,18 +70,22 @@ impl MiningConfig {
     }
 }
 
+/// Dispatches to the configured miner through the memoization cache: an
+/// identical `(dataset, miner, min_sup, options)` call seen before — e.g. a
+/// CV fold whose class partition matches a previous fold's — is answered
+/// from [`crate::memo`] without re-mining.
 fn run_miner_anytime(
     kind: MinerKind,
     ts: &TransactionSet,
     min_sup: usize,
     opts: &MineOptions,
 ) -> Result<Mined, MiningError> {
-    match kind {
+    crate::memo::mine_cached(kind, ts, min_sup, opts, || match kind {
         MinerKind::Closed => closed::mine_closed_anytime(ts, min_sup, opts),
         MinerKind::FpGrowth => fpgrowth::mine_anytime(ts, min_sup, opts),
         MinerKind::Eclat => eclat::mine_anytime(ts, min_sup, opts),
         MinerKind::Apriori => apriori::mine_anytime(ts, min_sup, opts),
-    }
+    })
 }
 
 /// The feature-candidate set produced by anytime feature generation, with

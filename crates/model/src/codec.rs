@@ -38,6 +38,12 @@ const SEC_ITEM_MAP: u8 = 3;
 const SEC_FEATURE_SPACE: u8 = 4;
 const SEC_MODEL: u8 = 5;
 const SEC_FIT_INFO: u8 = 6;
+/// Optional training-data cache key: fingerprint algorithm version (u16) +
+/// FNV-1a dataset fingerprint (u64). Old readers skip the unknown tag; new
+/// readers drop the fingerprint when the algorithm version disagrees with
+/// [`dfp_mining::memo::FINGERPRINT_VERSION`], so a stale key can never be
+/// compared against freshly computed fingerprints.
+const SEC_CACHE_KEY: u8 = 7;
 
 const MODEL_LINEAR: u8 = 0;
 const MODEL_KERNEL: u8 = 1;
@@ -260,6 +266,12 @@ pub fn to_bytes(model: &PatternClassifier) -> Vec<u8> {
     ));
     sections.push((SEC_MODEL, encode_model(model.model())));
     sections.push((SEC_FIT_INFO, encode_fit_info(model.info())));
+    if let Some(fp) = model.dataset_fingerprint() {
+        let mut w = Writer::new();
+        w.u16(dfp_mining::memo::FINGERPRINT_VERSION);
+        w.u64(fp);
+        sections.push((SEC_CACHE_KEY, w));
+    }
 
     out.u16(sections.len() as u16);
     for (tag, body) in sections {
@@ -554,6 +566,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<PatternClassifier, ModelError> {
     let mut feature_space = None;
     let mut model = None;
     let mut info = None;
+    let mut dataset_fingerprint = None;
 
     for _ in 0..n_sections {
         let tag = r.u8()?;
@@ -566,6 +579,15 @@ pub fn from_bytes(bytes: &[u8]) -> Result<PatternClassifier, ModelError> {
             SEC_FEATURE_SPACE => feature_space = Some(decode_feature_space(&mut sec)?),
             SEC_MODEL => model = Some(decode_model(&mut sec)?),
             SEC_FIT_INFO => info = Some(decode_fit_info(&mut sec)?),
+            SEC_CACHE_KEY => {
+                // Compatibility check: only a fingerprint computed by the
+                // algorithm version this build runs is meaningful to keep.
+                // A future version's body layout is unknown — skip it whole.
+                if sec.u16()? != dfp_mining::memo::FINGERPRINT_VERSION {
+                    continue;
+                }
+                dataset_fingerprint = Some(sec.u64()?);
+            }
             // Unknown sections from future minor revisions are skipped.
             _ => continue,
         }
@@ -587,12 +609,8 @@ pub fn from_bytes(bytes: &[u8]) -> Result<PatternClassifier, ModelError> {
     let model = model.ok_or_else(|| ModelError::Malformed("missing model section".into()))?;
     let info = info.ok_or_else(|| ModelError::Malformed("missing fit-info section".into()))?;
 
-    Ok(PatternClassifier::from_parts(
-        model,
-        feature_space,
-        discretization,
-        item_map,
-        schema,
-        info,
-    ))
+    let mut classifier =
+        PatternClassifier::from_parts(model, feature_space, discretization, item_map, schema, info);
+    classifier.set_dataset_fingerprint(dataset_fingerprint);
+    Ok(classifier)
 }

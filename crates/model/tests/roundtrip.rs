@@ -113,6 +113,47 @@ fn loaded_model_keeps_schema_and_diagnostics() {
     );
 }
 
+#[test]
+fn dataset_fingerprint_roundtrips() {
+    let data = confusable();
+    let fitted = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs()).unwrap();
+    assert!(fitted.dataset_fingerprint().is_some());
+    let loaded = from_bytes(&to_bytes(&fitted)).unwrap();
+    assert_eq!(loaded.dataset_fingerprint(), fitted.dataset_fingerprint());
+}
+
+#[test]
+fn incompatible_fingerprint_version_is_dropped_on_load() {
+    let data = confusable();
+    let fitted = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs()).unwrap();
+    let mut bytes = to_bytes(&fitted);
+    // Walk the sections to the cache-key section (tag 7) and bump its
+    // algorithm version field; the loader must drop the stale fingerprint
+    // rather than compare it against freshly computed ones.
+    let mut cursor = 8;
+    let mut patched = false;
+    while cursor + 9 <= bytes.len() - 4 {
+        let tag = bytes[cursor];
+        let len = u64::from_le_bytes(bytes[cursor + 1..cursor + 9].try_into().unwrap()) as usize;
+        if tag == 7 {
+            bytes[cursor + 9] = 0xFE;
+            bytes[cursor + 10] = 0xFF;
+            patched = true;
+            break;
+        }
+        cursor += 9 + len;
+    }
+    assert!(patched, "cache-key section not found in artifact");
+    fix_checksum(&mut bytes);
+    let loaded = from_bytes(&bytes).expect("artifact still loads");
+    assert_eq!(loaded.dataset_fingerprint(), None);
+    // Everything else is intact.
+    assert_eq!(
+        loaded.predict(&data).unwrap(),
+        fitted.predict(&data).unwrap()
+    );
+}
+
 // ---------------------------------------------------------------------------
 // negative coverage
 // ---------------------------------------------------------------------------

@@ -416,6 +416,18 @@ pub mod dfp {
         "Incremental redundancy-cache cell updates performed by MMRFS"
     );
     counter_fn!(
+        /// Mining-memoization cache hits (a mine call answered from cache).
+        cache_mining_hits,
+        "dfp_cache_mining_hits_total",
+        "Mining-memoization cache hits (mine calls answered from the cache)"
+    );
+    counter_fn!(
+        /// Mining-memoization cache misses (a mine call ran the miner).
+        cache_mining_misses,
+        "dfp_cache_mining_misses_total",
+        "Mining-memoization cache misses (mine calls that ran the miner)"
+    );
+    counter_fn!(
         /// Pipeline fits completed.
         pipeline_fits,
         "dfp_pipeline_fits_total",
@@ -485,6 +497,8 @@ pub mod dfp {
         select_candidates_scanned();
         select_argmax_rounds();
         select_redundancy_updates();
+        cache_mining_hits();
+        cache_mining_misses();
         pipeline_fits();
         cv_folds();
         model_saves();

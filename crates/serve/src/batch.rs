@@ -1,0 +1,197 @@
+//! Adaptive micro-batching for `/predict`.
+//!
+//! Model inference amortizes well: one `predict_rows` call over N rows is
+//! much cheaper than N calls over one row (shared per-call setup, better
+//! locality in the classifier kernels). The scheduler exploits that by
+//! coalescing concurrently queued requests into one batched predict call.
+//!
+//! Protocol: workers [`BatchScheduler::submit`] their already-transformed
+//! feature rows and block on a reply channel. A single batcher thread
+//! drains the queue, lingering up to `batch_wait` for more requests after
+//! the first arrives — but never past the **earliest deadline** of any
+//! queued request, so batching can add latency only within a request's
+//! existing budget. Batches are capped at `batch_max` requests.
+//!
+//! Determinism contract: predictions are computed by the same
+//! `predict_rows` entry point serving uses directly, and every row's
+//! position inside the concatenated batch is tracked exactly, so a batched
+//! answer is bit-identical to the sequential one. The `serve.batch`
+//! failpoint sits on the dispatch path for chaos coverage: `err` drops the
+//! reply channels (workers observe the disconnect and answer `500`),
+//! `sleep` injects scheduler latency.
+
+use crate::metrics::Metrics;
+use dfp_core::PatternClassifier;
+use dfp_data::schema::ClassId;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often the idle batcher re-checks the stop flag.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// One queued request: its feature rows and where to send the labels.
+struct Pending {
+    rows: Vec<Vec<u32>>,
+    deadline: Instant,
+    reply: mpsc::Sender<Vec<ClassId>>,
+}
+
+struct Inner {
+    queue: Mutex<VecDeque<Pending>>,
+    available: Condvar,
+    stop: AtomicBool,
+    model: Arc<PatternClassifier>,
+    metrics: Arc<Metrics>,
+    batch_max: usize,
+    batch_wait: Duration,
+}
+
+impl Inner {
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Pending>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A running batch scheduler; dropping it drains the queue and joins the
+/// batcher thread.
+#[derive(Debug)]
+pub struct BatchScheduler {
+    inner: Arc<Inner>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("batch_max", &self.batch_max)
+            .field("batch_wait", &self.batch_wait)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BatchScheduler {
+    /// Spawns the batcher thread. `batch_max` is the most requests fused
+    /// into one predict call; `batch_wait` the linger budget after the
+    /// first request arrives.
+    pub fn start(
+        model: Arc<PatternClassifier>,
+        metrics: Arc<Metrics>,
+        batch_max: usize,
+        batch_wait: Duration,
+    ) -> Self {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            model,
+            metrics,
+            batch_max: batch_max.max(1),
+            batch_wait,
+        });
+        let batcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("dfp-serve-batcher".into())
+                .spawn(move || run(&inner))
+                .expect("spawn batcher thread")
+        };
+        BatchScheduler {
+            inner,
+            batcher: Some(batcher),
+        }
+    }
+
+    /// Queues `rows` for the next batch and returns the channel the
+    /// predicted labels arrive on. Callers should bound their wait by
+    /// `deadline` (`recv_timeout`); a dropped channel means the scheduler
+    /// abandoned the batch (only under fault injection).
+    pub fn submit(&self, rows: Vec<Vec<u32>>, deadline: Instant) -> mpsc::Receiver<Vec<ClassId>> {
+        let (reply, rx) = mpsc::channel();
+        let mut q = self.inner.lock_queue();
+        q.push_back(Pending {
+            rows,
+            deadline,
+            reply,
+        });
+        drop(q);
+        self.inner.available.notify_all();
+        rx
+    }
+}
+
+impl Drop for BatchScheduler {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        self.inner.available.notify_all();
+        if let Some(t) = self.batcher.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The batcher loop: wait for work, linger, drain one batch, dispatch.
+/// On stop it finishes everything already queued before exiting.
+fn run(inner: &Inner) {
+    loop {
+        let batch: Vec<Pending> = {
+            let mut q = inner.lock_queue();
+            while q.is_empty() {
+                if inner.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                let (guard, _) = inner
+                    .available
+                    .wait_timeout(q, IDLE_POLL)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+            // Linger for co-arrivals, clamped so no queued request is held
+            // past its deadline.
+            let earliest = q.iter().map(|p| p.deadline).min().expect("non-empty");
+            let linger_end = (Instant::now() + inner.batch_wait).min(earliest);
+            while q.len() < inner.batch_max && !inner.stop.load(Ordering::Acquire) {
+                let now = Instant::now();
+                if now >= linger_end {
+                    break;
+                }
+                let (guard, _) = inner
+                    .available
+                    .wait_timeout(q, linger_end - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+            let take = q.len().min(inner.batch_max);
+            q.drain(..take).collect()
+        };
+        dispatch(inner, batch);
+    }
+}
+
+/// Runs one fused predict over `batch` and scatters the labels back to
+/// each request's reply channel.
+fn dispatch(inner: &Inner, batch: Vec<Pending>) {
+    inner.metrics.batches_total.inc();
+    inner.metrics.observe_batch_size(batch.len());
+    // Chaos hook: `err` abandons the batch (dropping the reply senders, so
+    // waiting workers observe the disconnect); `sleep` injects latency.
+    if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("serve.batch") {
+        return;
+    }
+    let total: usize = batch.iter().map(|p| p.rows.len()).sum();
+    let mut all: Vec<Vec<u32>> = Vec::with_capacity(total);
+    let mut replies: Vec<(usize, mpsc::Sender<Vec<ClassId>>)> = Vec::with_capacity(batch.len());
+    for p in batch {
+        replies.push((p.rows.len(), p.reply));
+        all.extend(p.rows);
+    }
+    let labels = inner.model.predict_rows(&all);
+    let mut offset = 0;
+    for (count, reply) in replies {
+        // A send error just means the worker gave up (deadline) — fine.
+        let _ = reply.send(labels[offset..offset + count].to_vec());
+        offset += count;
+    }
+}

@@ -1,0 +1,106 @@
+//! In-memory transform cache for repeated `/predict` feature rows.
+//!
+//! Serving workloads are heavily repetitive: the same CSV row shows up
+//! across requests (health-check probes, hot entities, replayed traffic).
+//! Parsing and discretizing such a row again is pure waste, so the server
+//! keys the **transformed** feature row by the raw CSV line and replays it
+//! on the next sighting.
+//!
+//! Soundness rests on two facts about the pipeline: the feature transform
+//! is per-row independent (no cross-row state), and the item space is
+//! derived from the schema alone, so a row transforms identically whether
+//! it arrives alone or inside a batch. The cache therefore cannot change
+//! any prediction — only skip recomputing one.
+//!
+//! The cache is bounded; when full it is cleared wholesale rather than
+//! evicted piecemeal (repetitive serving traffic re-warms it in one pass,
+//! and wholesale clearing needs no recency bookkeeping on the hot path).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Default bound on distinct cached rows per server.
+pub const DEFAULT_CAP: usize = 4096;
+
+/// A bounded map from raw CSV line to its transformed feature row.
+#[derive(Debug)]
+pub struct TransformCache {
+    map: Mutex<HashMap<String, Vec<u32>>>,
+    cap: usize,
+}
+
+impl TransformCache {
+    /// An empty cache holding at most `cap` rows (`0` is clamped to `1`).
+    pub fn new(cap: usize) -> Self {
+        TransformCache {
+            map: Mutex::new(HashMap::new()),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The cached feature row for `line`, if present.
+    pub fn get(&self, line: &str) -> Option<Vec<u32>> {
+        self.lock().get(line).cloned()
+    }
+
+    /// Caches `row` as the transform of `line`, clearing the cache first
+    /// when it is full and `line` is new.
+    pub fn insert(&self, line: &str, row: Vec<u32>) {
+        let mut map = self.lock();
+        if map.len() >= self.cap && !map.contains_key(line) {
+            map.clear();
+        }
+        map.insert(line.to_string(), row);
+    }
+
+    /// Number of cached rows.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Vec<u32>>> {
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let c = TransformCache::new(8);
+        assert_eq!(c.get("red,1"), None);
+        c.insert("red,1", vec![0, 3]);
+        assert_eq!(c.get("red,1"), Some(vec![0, 3]));
+        assert_eq!(c.get("red,2"), None);
+    }
+
+    #[test]
+    fn full_cache_clears_then_rewarns() {
+        let c = TransformCache::new(2);
+        c.insert("a", vec![1]);
+        c.insert("b", vec![2]);
+        assert_eq!(c.len(), 2);
+        // Overwriting a present key does not clear…
+        c.insert("b", vec![9]);
+        assert_eq!(c.get("a"), Some(vec![1]));
+        // …but a new key at capacity does.
+        c.insert("c", vec![3]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("c"), Some(vec![3]));
+        assert_eq!(c.get("a"), None);
+    }
+
+    #[test]
+    fn zero_capacity_clamped() {
+        let c = TransformCache::new(0);
+        c.insert("a", vec![1]);
+        assert_eq!(c.get("a"), Some(vec![1]));
+    }
+}

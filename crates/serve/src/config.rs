@@ -30,6 +30,17 @@ pub struct ServerConfig {
     /// Worker threads; `0` resolves like the parallel runtime
     /// (`DFP_THREADS`, else the machine).
     pub threads: usize,
+    /// Most queued `/predict` requests coalesced into one batched predict
+    /// call (`DFP_SERVE_BATCH_MAX`); `1` disables the batch scheduler and
+    /// every worker predicts inline, the historical behavior.
+    pub batch_max: usize,
+    /// Longest the batch scheduler lingers for more requests after the
+    /// first arrives (`DFP_SERVE_BATCH_WAIT_US`, microseconds). The linger
+    /// is always clamped so no queued request waits past its deadline.
+    pub batch_wait: Duration,
+    /// Whether the in-memory transform cache for repeated feature rows is
+    /// on (`DFP_CACHE`; `0`/`off`/`false` disables, anything else enables).
+    pub cache: bool,
 }
 
 impl Default for ServerConfig {
@@ -41,6 +52,9 @@ impl Default for ServerConfig {
             max_rows: 1_000_000,
             request_deadline: Duration::from_secs(30),
             threads: 0,
+            batch_max: 8,
+            batch_wait: Duration::from_micros(200),
+            cache: true,
         }
     }
 }
@@ -65,6 +79,16 @@ impl ServerConfig {
         }
         if let Some(ms) = env_u64("DFP_SERVE_DEADLINE_MS") {
             cfg.request_deadline = Duration::from_millis(ms.max(1));
+        }
+        if let Some(n) = env_u64("DFP_SERVE_BATCH_MAX") {
+            cfg.batch_max = (n as usize).max(1);
+        }
+        if let Some(us) = env_u64("DFP_SERVE_BATCH_WAIT_US") {
+            cfg.batch_wait = Duration::from_micros(us);
+        }
+        if let Ok(v) = std::env::var("DFP_CACHE") {
+            let v = v.trim().to_ascii_lowercase();
+            cfg.cache = !(v == "0" || v == "off" || v == "false");
         }
         cfg
     }
@@ -102,6 +126,24 @@ impl ServerConfig {
     /// Replaces the worker-thread count (`0` = auto).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Replaces the batch coalescing cap (`1` disables batching).
+    pub fn with_batch_max(mut self, n: usize) -> Self {
+        self.batch_max = n.max(1);
+        self
+    }
+
+    /// Replaces the batch linger budget.
+    pub fn with_batch_wait(mut self, d: Duration) -> Self {
+        self.batch_wait = d;
+        self
+    }
+
+    /// Enables or disables the serving transform cache.
+    pub fn with_cache(mut self, on: bool) -> Self {
+        self.cache = on;
         self
     }
 
@@ -151,8 +193,26 @@ mod tests {
 
     #[test]
     fn zeroes_clamped() {
-        let cfg = ServerConfig::default().with_queue_depth(0).with_max_rows(0);
+        let cfg = ServerConfig::default()
+            .with_queue_depth(0)
+            .with_max_rows(0)
+            .with_batch_max(0);
         assert_eq!(cfg.queue_depth, 1);
         assert_eq!(cfg.max_rows, 1);
+        assert_eq!(cfg.batch_max, 1);
+    }
+
+    #[test]
+    fn batching_knobs_default_on() {
+        let cfg = ServerConfig::default();
+        assert!(cfg.batch_max > 1);
+        assert!(cfg.cache);
+        let off = cfg
+            .with_batch_max(1)
+            .with_batch_wait(Duration::from_micros(50))
+            .with_cache(false);
+        assert_eq!(off.batch_max, 1);
+        assert_eq!(off.batch_wait, Duration::from_micros(50));
+        assert!(!off.cache);
     }
 }

@@ -30,6 +30,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
+pub mod cache;
 pub mod client;
 pub mod config;
 pub mod http;
@@ -38,6 +40,8 @@ pub mod pool;
 pub mod rows;
 pub mod server;
 
+pub use batch::BatchScheduler;
+pub use cache::TransformCache;
 pub use client::{Client, ClientError, Response, RetryPolicy};
 pub use config::ServerConfig;
 pub use metrics::Metrics;

@@ -17,6 +17,9 @@ use std::time::Duration;
 /// Upper bounds (seconds) of the latency histogram buckets; `+Inf` implied.
 pub const LATENCY_BUCKETS: [f64; 8] = [0.000_1, 0.000_5, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5];
 
+/// Upper bounds (requests) of the batch-size histogram; `+Inf` implied.
+pub const BATCH_SIZE_BUCKETS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
 /// Shared serving metrics.
 #[derive(Debug)]
 pub struct Metrics {
@@ -39,6 +42,14 @@ pub struct Metrics {
     pub predict_latency: Arc<Histogram>,
     /// Time between accept and a worker picking the connection up.
     pub queue_wait: Arc<Histogram>,
+    /// Fused predict calls dispatched by the batch scheduler.
+    pub batches_total: Arc<Counter>,
+    /// Requests coalesced per fused predict call.
+    pub batch_size: Arc<Histogram>,
+    /// `/predict` rows answered from the transform cache.
+    pub transform_cache_hits_total: Arc<Counter>,
+    /// `/predict` rows that had to be parsed and transformed.
+    pub transform_cache_misses_total: Arc<Counter>,
 }
 
 impl Default for Metrics {
@@ -83,6 +94,23 @@ impl Metrics {
             "Time between accept and worker pickup",
             &LATENCY_BUCKETS,
         );
+        let batches_total = registry.counter(
+            "dfp_serve_batches_total",
+            "Fused predict calls dispatched by the batch scheduler",
+        );
+        let batch_size = registry.histogram(
+            "dfp_serve_batch_size",
+            "Requests coalesced per fused predict call",
+            &BATCH_SIZE_BUCKETS,
+        );
+        let transform_cache_hits_total = registry.counter(
+            "dfp_serve_transform_cache_hits_total",
+            "Predict rows answered from the transform cache",
+        );
+        let transform_cache_misses_total = registry.counter(
+            "dfp_serve_transform_cache_misses_total",
+            "Predict rows parsed and transformed on a cache miss",
+        );
         Metrics {
             registry,
             requests_total,
@@ -94,6 +122,10 @@ impl Metrics {
             queue_depth,
             predict_latency,
             queue_wait,
+            batches_total,
+            batch_size,
+            transform_cache_hits_total,
+            transform_cache_misses_total,
         }
     }
 
@@ -129,6 +161,14 @@ impl Metrics {
     /// Records one request's accept→worker queue wait.
     pub fn observe_queue_wait(&self, elapsed: Duration) {
         self.queue_wait.observe(elapsed);
+    }
+
+    /// Records the number of requests fused into one batch. The histogram
+    /// machinery is nanos-backed; scaling by 1e9 stores the exact integer
+    /// count in its "seconds" unit, so buckets and sum render precisely.
+    pub fn observe_batch_size(&self, requests: usize) {
+        self.batch_size
+            .observe_nanos((requests as u64) * 1_000_000_000);
     }
 
     /// Number of latency observations so far.
@@ -205,6 +245,43 @@ mod tests {
             text.contains("dfp_serve_predict_latency_seconds_sum 1.500000001\n"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn batch_size_histogram_counts_requests_exactly() {
+        let m = Metrics::new();
+        m.batches_total.inc();
+        m.observe_batch_size(1);
+        m.observe_batch_size(8);
+        m.observe_batch_size(100); // beyond the last bound → +Inf only
+        let text = m.render();
+        assert!(
+            text.contains("dfp_serve_batch_size_bucket{le=\"1\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dfp_serve_batch_size_bucket{le=\"8\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dfp_serve_batch_size_bucket{le=\"+Inf\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dfp_serve_batch_size_sum 109.000000000\n"),
+            "{text}"
+        );
+        assert!(text.contains("dfp_serve_batches_total 1\n"));
+    }
+
+    #[test]
+    fn cache_counters_render() {
+        let m = Metrics::new();
+        m.transform_cache_hits_total.add(5);
+        m.transform_cache_misses_total.inc();
+        let text = m.render();
+        assert!(text.contains("dfp_serve_transform_cache_hits_total 5"));
+        assert!(text.contains("dfp_serve_transform_cache_misses_total 1"));
     }
 
     #[test]

@@ -47,63 +47,76 @@ pub fn parse_rows_limited(
     text: &str,
     max_rows: usize,
 ) -> Result<Dataset, RowsError> {
-    let bad = |why: String| RowsError::Bad(why);
     let mut rows = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim_end_matches('\r');
-        if line.trim().is_empty() {
-            continue;
-        }
+    for (lineno, line) in data_lines(text) {
         if rows.len() >= max_rows {
             return Err(RowsError::TooManyRows { limit: max_rows });
         }
-        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        if fields.len() != schema.n_attributes() {
-            return Err(bad(format!(
-                "row {}: expected {} fields, got {}",
-                lineno + 1,
-                schema.n_attributes(),
-                fields.len()
-            )));
-        }
-        let mut row = Vec::with_capacity(fields.len());
-        for (a, (field, attr)) in fields.iter().zip(&schema.attributes).enumerate() {
-            if field.is_empty() || *field == "?" {
-                row.push(Value::Missing);
-                continue;
-            }
-            let value = match &attr.kind {
-                AttributeKind::Numeric => {
-                    let v: f64 = field.parse().map_err(|_| {
-                        bad(format!(
-                            "row {}: attribute '{}' (column {}) expects a number, got '{field}'",
-                            lineno + 1,
-                            attr.name,
-                            a + 1
-                        ))
-                    })?;
-                    Value::Num(v)
-                }
-                AttributeKind::Categorical { values } => {
-                    let idx = values.iter().position(|v| v == field).ok_or_else(|| {
-                        bad(format!(
-                            "row {}: '{field}' is not a known value of attribute '{}'",
-                            lineno + 1,
-                            attr.name
-                        ))
-                    })?;
-                    Value::Cat(idx as u32)
-                }
-            };
-            row.push(value);
-        }
-        rows.push(row);
+        rows.push(parse_row_line(schema, lineno, line)?);
     }
     if rows.is_empty() {
-        return Err(bad("no data rows in request body".to_string()));
+        return Err(RowsError::Bad("no data rows in request body".to_string()));
     }
     let labels = vec![ClassId(0); rows.len()];
     Ok(Dataset::new(schema.clone(), rows, labels))
+}
+
+/// Iterates the non-blank data lines of a CSV payload as
+/// `(zero-based line number, line)` pairs, with trailing `\r` stripped.
+/// Line numbers count *all* lines (blank ones included) so error messages
+/// match what the client sent.
+pub fn data_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(lineno, line)| (lineno, line.trim_end_matches('\r')))
+        .filter(|(_, line)| !line.trim().is_empty())
+}
+
+/// Parses one non-blank, `\r`-stripped CSV line against the schema.
+/// `lineno` is the zero-based line index used in client-facing errors.
+pub fn parse_row_line(schema: &Schema, lineno: usize, line: &str) -> Result<Vec<Value>, RowsError> {
+    let bad = |why: String| RowsError::Bad(why);
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    if fields.len() != schema.n_attributes() {
+        return Err(bad(format!(
+            "row {}: expected {} fields, got {}",
+            lineno + 1,
+            schema.n_attributes(),
+            fields.len()
+        )));
+    }
+    let mut row = Vec::with_capacity(fields.len());
+    for (a, (field, attr)) in fields.iter().zip(&schema.attributes).enumerate() {
+        if field.is_empty() || *field == "?" {
+            row.push(Value::Missing);
+            continue;
+        }
+        let value = match &attr.kind {
+            AttributeKind::Numeric => {
+                let v: f64 = field.parse().map_err(|_| {
+                    bad(format!(
+                        "row {}: attribute '{}' (column {}) expects a number, got '{field}'",
+                        lineno + 1,
+                        attr.name,
+                        a + 1
+                    ))
+                })?;
+                Value::Num(v)
+            }
+            AttributeKind::Categorical { values } => {
+                let idx = values.iter().position(|v| v == field).ok_or_else(|| {
+                    bad(format!(
+                        "row {}: '{field}' is not a known value of attribute '{}'",
+                        lineno + 1,
+                        attr.name
+                    ))
+                })?;
+                Value::Cat(idx as u32)
+            }
+        };
+        row.push(value);
+    }
+    Ok(row)
 }
 
 /// Renders predicted class ids as class names, one per line.

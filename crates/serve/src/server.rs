@@ -22,21 +22,29 @@
 //! `accept` observes it; the accept thread then drops the pool, which joins
 //! every worker.
 
+use crate::batch::BatchScheduler;
+use crate::cache::TransformCache;
 use crate::config::ServerConfig;
 use crate::http::{read_request_limited, write_response_with, HttpError, Request};
 use crate::metrics::Metrics;
 use crate::pool::ThreadPool;
-use crate::rows::{parse_rows_limited, render_labels, RowsError};
+use crate::rows::{data_lines, parse_row_line, render_labels, RowsError};
 use dfp_core::PatternClassifier;
+use dfp_data::dataset::{Dataset, Value};
+use dfp_data::schema::ClassId;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// The `Retry-After` seconds suggested to shed or deadline-expired clients.
 const RETRY_AFTER_SECS: &str = "1";
+
+/// Longest the accept thread spends draining a shed connection so its
+/// close is a clean FIN instead of an RST.
+const SHED_DRAIN_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(250);
 
 /// Longest propagated `X-Request-Id` accepted verbatim; anything longer (or
 /// containing non-printable bytes) is replaced by a generated id.
@@ -77,6 +85,9 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     metrics: Arc<Metrics>,
     accept_thread: Option<JoinHandle<()>>,
+    // Held so the batcher thread outlives every worker; joined when the
+    // last Arc drops, after the accept thread (and its pool) are gone.
+    scheduler: Option<Arc<BatchScheduler>>,
 }
 
 impl ServerHandle {
@@ -106,6 +117,9 @@ impl Drop for ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // With the pool drained, this is the last scheduler reference:
+        // dropping it stops and joins the batcher thread.
+        self.scheduler.take();
     }
 }
 
@@ -130,11 +144,25 @@ pub fn serve_with_config(
     let metrics = Arc::new(Metrics::new());
     let stop = Arc::new(AtomicBool::new(false));
     let threads = cfg.resolved_threads();
+    // batch_max == 1 disables the scheduler entirely: every worker predicts
+    // inline, the historical behavior.
+    let scheduler = (cfg.batch_max > 1).then(|| {
+        Arc::new(BatchScheduler::start(
+            Arc::clone(&model),
+            Arc::clone(&metrics),
+            cfg.batch_max,
+            cfg.batch_wait,
+        ))
+    });
+    let cache = cfg
+        .cache
+        .then(|| Arc::new(TransformCache::new(crate::cache::DEFAULT_CAP)));
     let cfg = Arc::new(cfg);
 
     let accept_thread = {
         let stop = Arc::clone(&stop);
         let metrics = Arc::clone(&metrics);
+        let scheduler = scheduler.clone();
         std::thread::Builder::new()
             .name("dfp-serve-accept".into())
             .spawn(move || {
@@ -172,6 +200,20 @@ pub fn serve_with_config(
                             &[("Retry-After", RETRY_AFTER_SECS), ("X-Request-Id", &rid)],
                             b"server overloaded, retry later\n",
                         );
+                        // The request was never read; closing now would RST
+                        // the socket and can destroy the 503 still in
+                        // flight. Signal end-of-response and drain what the
+                        // client sent so the close is a clean FIN. The read
+                        // timeout bounds how long a misbehaving client can
+                        // hold the accept thread.
+                        let _ = stream.shutdown(std::net::Shutdown::Write);
+                        let _ = stream.set_read_timeout(Some(SHED_DRAIN_TIMEOUT));
+                        let mut sink = [0u8; 4096];
+                        while let Ok(n) = io::Read::read(&mut stream, &mut sink) {
+                            if n == 0 {
+                                break;
+                            }
+                        }
                         dfp_obs::log::warn(
                             "dfp_serve",
                             "request shed: pending queue full",
@@ -183,8 +225,18 @@ pub fn serve_with_config(
                     let model = Arc::clone(&model);
                     let metrics = Arc::clone(&metrics);
                     let cfg = Arc::clone(&cfg);
+                    let scheduler = scheduler.clone();
+                    let cache = cache.clone();
                     pool.execute(move || {
-                        handle_connection(stream, &model, &metrics, &cfg, accepted)
+                        handle_connection(
+                            stream,
+                            &model,
+                            &metrics,
+                            &cfg,
+                            accepted,
+                            scheduler.as_deref(),
+                            cache.as_deref(),
+                        )
                     });
                 }
                 // pool drops here: channel closes, workers drain and join
@@ -196,6 +248,7 @@ pub fn serve_with_config(
         stop,
         metrics,
         accept_thread: Some(accept_thread),
+        scheduler,
     })
 }
 
@@ -205,6 +258,8 @@ fn handle_connection(
     metrics: &Metrics,
     cfg: &ServerConfig,
     accepted: Instant,
+    scheduler: Option<&BatchScheduler>,
+    cache: Option<&TransformCache>,
 ) {
     // Chaos hook on the worker path: `panic` exercises pool self-healing,
     // `sleep` exercises queue backpressure and request deadlines.
@@ -268,7 +323,7 @@ fn handle_connection(
             "request deadline exceeded\n".to_string(),
         )
     } else {
-        route(&request, model, metrics, cfg, deadline)
+        route(&request, model, metrics, cfg, deadline, scheduler, cache)
     };
     sp.attr("status", status);
     respond(
@@ -331,12 +386,15 @@ fn respond(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn route(
     request: &Request,
     model: &PatternClassifier,
     metrics: &Metrics,
     cfg: &ServerConfig,
     deadline: Instant,
+    scheduler: Option<&BatchScheduler>,
+    cache: Option<&TransformCache>,
 ) -> (u16, &'static str, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (200, "OK", "ok\n".to_string()),
@@ -368,7 +426,7 @@ fn route(
             }
         }
         ("GET", "/metrics") => (200, "OK", metrics.render()),
-        ("POST", "/predict") => predict(request, model, metrics, cfg, deadline),
+        ("POST", "/predict") => predict(request, model, metrics, cfg, deadline, scheduler, cache),
         ("GET", "/predict") => (
             405,
             "Method Not Allowed",
@@ -378,12 +436,15 @@ fn route(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn predict(
     request: &Request,
     model: &PatternClassifier,
     metrics: &Metrics,
     cfg: &ServerConfig,
     deadline: Instant,
+    scheduler: Option<&BatchScheduler>,
+    cache: Option<&TransformCache>,
 ) -> (u16, &'static str, String) {
     if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("serve.predict") {
         return (
@@ -403,17 +464,51 @@ fn predict(
         return (400, "Bad Request", "body is not UTF-8\n".to_string());
     };
     let start = Instant::now();
-    let dataset = {
+    // The transform cache disables itself while any failpoint is armed so
+    // chaos runs always exercise the uncached path.
+    let cache = cache.filter(|_| !dfp_fault::any_armed());
+
+    // Parse, answering cached rows from the transform cache. `rows[i]` is
+    // `Some` for hits; misses are collected (in line order, so the first
+    // malformed row still wins) for one fused transform below.
+    let mut rows: Vec<Option<Vec<u32>>> = Vec::new();
+    let mut miss_values: Vec<Vec<Value>> = Vec::new();
+    let mut miss_slots: Vec<(usize, &str)> = Vec::new();
+    {
         let mut sp = dfp_obs::span("serve.parse");
         sp.attr("bytes", text.len());
-        match parse_rows_limited(schema, text, cfg.max_rows) {
-            Ok(d) => d,
-            Err(e @ RowsError::TooManyRows { .. }) => {
-                return (413, "Payload Too Large", format!("{e}\n"))
+        for (lineno, line) in data_lines(text) {
+            if rows.len() >= cfg.max_rows {
+                let e = RowsError::TooManyRows {
+                    limit: cfg.max_rows,
+                };
+                return (413, "Payload Too Large", format!("{e}\n"));
             }
-            Err(why) => return (400, "Bad Request", format!("{why}\n")),
+            if let Some(cached) = cache.and_then(|c| c.get(line)) {
+                metrics.transform_cache_hits_total.inc();
+                rows.push(Some(cached));
+                continue;
+            }
+            if cache.is_some() {
+                metrics.transform_cache_misses_total.inc();
+            }
+            match parse_row_line(schema, lineno, line) {
+                Ok(values) => {
+                    miss_slots.push((rows.len(), line));
+                    miss_values.push(values);
+                    rows.push(None);
+                }
+                Err(why) => return (400, "Bad Request", format!("{why}\n")),
+            }
         }
-    };
+        if rows.is_empty() {
+            return (
+                400,
+                "Bad Request",
+                "no data rows in request body\n".to_string(),
+            );
+        }
+    }
     if Instant::now() > deadline {
         return (
             503,
@@ -421,17 +516,57 @@ fn predict(
             "request deadline exceeded\n".to_string(),
         );
     }
-    let predicted = {
-        let _sp = dfp_obs::span("serve.predict");
-        model.predict(&dataset)
-    };
-    match predicted {
-        Ok(labels) => {
-            metrics.observe_latency(start.elapsed());
-            metrics.predictions_total.add(labels.len() as u64);
-            let _sp = dfp_obs::span("serve.render");
-            (200, "OK", render_labels(schema, &labels))
+    // Transform the misses in one pass and scatter them back into place.
+    if !miss_values.is_empty() {
+        let labels = vec![ClassId(0); miss_values.len()];
+        let dataset = Dataset::new(schema.clone(), miss_values, labels);
+        let matrix = match model.transform(&dataset) {
+            Ok(m) => m,
+            Err(e) => return (400, "Bad Request", format!("{e}\n")),
+        };
+        for ((idx, line), feature_row) in miss_slots.into_iter().zip(matrix.rows) {
+            if let Some(c) = cache {
+                c.insert(line, feature_row.clone());
+            }
+            rows[idx] = Some(feature_row);
         }
-        Err(e) => (400, "Bad Request", format!("{e}\n")),
     }
+    let rows: Vec<Vec<u32>> = rows
+        .into_iter()
+        .map(|r| r.expect("every row cached or transformed"))
+        .collect();
+
+    let labels = {
+        let _sp = dfp_obs::span("serve.predict");
+        // Requests already at the batch cap gain nothing from coalescing;
+        // they predict inline and leave the scheduler to small requests.
+        match scheduler.filter(|_| rows.len() < cfg.batch_max) {
+            Some(s) => {
+                let reply = s.submit(rows, deadline);
+                let budget = deadline.saturating_duration_since(Instant::now());
+                match reply.recv_timeout(budget) {
+                    Ok(labels) => labels,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        return (
+                            503,
+                            "Service Unavailable",
+                            "request deadline exceeded\n".to_string(),
+                        )
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        return (
+                            500,
+                            "Internal Server Error",
+                            "batch scheduler dropped the request\n".to_string(),
+                        )
+                    }
+                }
+            }
+            None => model.predict_rows(&rows),
+        }
+    };
+    metrics.observe_latency(start.elapsed());
+    metrics.predictions_total.add(labels.len() as u64);
+    let _sp = dfp_obs::span("serve.render");
+    (200, "OK", render_labels(schema, &labels))
 }

@@ -1,0 +1,124 @@
+//! Golden tests for the discretizers: hand-computed Fayyad–Irani MDL
+//! fixtures (including a must-not-cut case) and boundary off-by-one
+//! regressions for equal-width / equal-frequency binning.
+
+use dfpc::data::discretize::{
+    DiscretizationModel, Discretizer, EqualFrequency, EqualWidth, MdlDiscretizer,
+};
+use dfpc::data::schema::ClassId;
+
+fn labeled(pairs: &[(f64, u32)]) -> Vec<(f64, ClassId)> {
+    pairs.iter().map(|&(v, c)| (v, ClassId(c))).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fayyad–Irani MDL, worked by hand.
+// ---------------------------------------------------------------------------
+
+/// Values 1..6, labels 000111: the only sensible cut is 3.5.
+///
+/// Worked numbers: Ent(S) = 1 bit; the 3/3 split leaves two pure halves,
+/// so the information gain is exactly 1.0. MDLPC acceptance threshold is
+/// (log2(N−1) + Δ)/N with Δ = log2(3^k − 2) − [k·Ent(S) − k1·Ent(S1)
+/// − k2·Ent(S2)] = log2(7) − 2 ≈ 0.807, giving (log2(5) + 0.807)/6
+/// ≈ 0.522. Gain 1.0 clears it; both halves are pure so recursion stops.
+#[test]
+fn mdl_clean_split_cuts_at_midpoint() {
+    let values = labeled(&[(1.0, 0), (2.0, 0), (3.0, 0), (4.0, 1), (5.0, 1), (6.0, 1)]);
+    let cuts = MdlDiscretizer::new().cut_points(&values, 2);
+    assert_eq!(cuts, vec![3.5]);
+}
+
+/// Values 1,2,3,4 with alternating labels 0,1,0,1: every candidate cut
+/// fails the MDL criterion, so the column must stay a single bin.
+///
+/// Best candidate is 1.5 (or symmetrically 3.5) with gain
+/// 1 − (3/4)·H(1/3) ≈ 0.311, while the acceptance threshold is
+/// (log2(3) + Δ)/4 with Δ = log2(7) − (2·1 − 2·H(1/3)) ≈ 2.644, i.e.
+/// ≈ 1.057. No cut comes close.
+#[test]
+fn mdl_alternating_labels_refuses_to_cut() {
+    let values = labeled(&[(1.0, 0), (2.0, 1), (3.0, 0), (4.0, 1)]);
+    let cuts = MdlDiscretizer::new().cut_points(&values, 2);
+    assert!(cuts.is_empty(), "expected no cut, got {cuts:?}");
+}
+
+/// Tied values [1,1,1,2,2,2] with labels 000111: the only boundary
+/// between distinct values is 1↔2, so the cut lands at 1.5 — never
+/// inside a run of equal values. Same gain/threshold arithmetic as the
+/// clean-split fixture (3/3 pure halves, N = 6).
+#[test]
+fn mdl_never_cuts_inside_a_tie_run() {
+    let values = labeled(&[(1.0, 0), (1.0, 0), (1.0, 0), (2.0, 1), (2.0, 1), (2.0, 1)]);
+    let cuts = MdlDiscretizer::new().cut_points(&values, 2);
+    assert_eq!(cuts, vec![1.5]);
+}
+
+/// A pure column never splits regardless of how values spread.
+#[test]
+fn mdl_pure_column_single_bin() {
+    let values = labeled(&[(1.0, 0), (5.0, 0), (9.0, 0), (13.0, 0)]);
+    let cuts = MdlDiscretizer::new().cut_points(&values, 2);
+    assert!(cuts.is_empty(), "expected no cut, got {cuts:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Unsupervised binning: exact boundaries and inclusive-left binning.
+// ---------------------------------------------------------------------------
+
+/// Equal-width on [0, 8] with 4 bins puts cuts at exactly 2, 4, 6 — and
+/// `bin` treats a value equal to a cut as belonging to the *left* bin
+/// (intervals are (prev, cut]), the classic off-by-one to regress.
+#[test]
+fn equal_width_boundaries_are_inclusive_left() {
+    let values = labeled(&[(0.0, 0), (3.0, 0), (5.0, 0), (8.0, 0)]);
+    let cuts = EqualWidth::new(4).cut_points(&values, 1);
+    assert_eq!(cuts, vec![2.0, 4.0, 6.0]);
+
+    let model = DiscretizationModel::from_cuts(vec![Some(cuts)]);
+    assert_eq!(model.n_bins(0), Some(4));
+    assert_eq!(model.bin(0, 0.0), 0);
+    assert_eq!(model.bin(0, 2.0), 0, "cut value belongs to the left bin");
+    assert_eq!(model.bin(0, 2.0001), 1);
+    assert_eq!(model.bin(0, 4.0), 1, "cut value belongs to the left bin");
+    assert_eq!(model.bin(0, 6.0), 2);
+    assert_eq!(model.bin(0, 8.0), 3);
+    // Out-of-range values clamp into the edge bins, never panic.
+    assert_eq!(model.bin(0, -100.0), 0);
+    assert_eq!(model.bin(0, 100.0), 3);
+}
+
+/// Equal-frequency quartiles over 1..=8 land midway between neighbours
+/// (2.5, 4.5, 6.5), and each successive cut covers exactly one more
+/// quarter of the data — the counting regression for the quantile index.
+#[test]
+fn equal_frequency_quartiles_count_exactly() {
+    let data: Vec<f64> = (1..=8).map(|v| v as f64).collect();
+    let values: Vec<(f64, ClassId)> = data.iter().map(|&v| (v, ClassId(0))).collect();
+    let cuts = EqualFrequency::new(4).cut_points(&values, 1);
+    assert_eq!(cuts, vec![2.5, 4.5, 6.5]);
+    for (i, cut) in cuts.iter().enumerate() {
+        let at_or_below = data.iter().filter(|&&v| v <= *cut).count();
+        assert_eq!(at_or_below, 2 * (i + 1), "cut {cut} covers a ragged bin");
+    }
+}
+
+/// Equal-frequency must not place a cut inside a run of equal values:
+/// with half the mass on one value, the 4-quantile cut set degrades
+/// gracefully instead of splitting the tie.
+#[test]
+fn equal_frequency_ties_never_split() {
+    let values = labeled(&[
+        (1.0, 0),
+        (1.0, 0),
+        (1.0, 0),
+        (1.0, 0),
+        (2.0, 0),
+        (3.0, 0),
+        (4.0, 0),
+        (5.0, 0),
+    ]);
+    let cuts = EqualFrequency::new(4).cut_points(&values, 1);
+    // Quartile indices 2, 4, 6 → boundaries 1|1 (tie, skipped), 1|2, 3|4.
+    assert_eq!(cuts, vec![1.5, 3.5]);
+}

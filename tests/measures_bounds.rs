@@ -4,11 +4,14 @@
 //! (Eq. 8) is safe — no feature an IG filter would keep can be lost by
 //! mining at `θ*`.
 
+use dfpc::data::schema::ClassId;
+use dfpc::data::transactions::{contains_sorted, Item, TransactionSet};
 use dfpc::measures::bounds::{
     fisher_upper_bound, ig_upper_bound, ig_upper_bound_for, ig_upper_bound_multiclass,
 };
 use dfpc::measures::minsup::ig_threshold_of;
 use dfpc::measures::{binary_entropy, fisher_score, info_gain, theta_star};
+use dfpc::mining::{eclat, MineOptions};
 use proptest::prelude::*;
 
 proptest! {
@@ -101,5 +104,134 @@ proptest! {
         prop_assert!((tight - direct).abs() < 1e-12);
         // And never exceeds H(C).
         prop_assert!(tight <= binary_entropy(p) + 1e-12);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounds against *mined* patterns (paper §3.1.2, Figures 3–5): every pattern
+// a miner emits at support θ must measure at or below IGub(θ) / FRub(θ).
+// The earlier properties cover synthetic (n1, n2, s1, s2) grids; these go
+// through the real mining path, so support bookkeeping, per-class counting
+// and measure evaluation are all exercised together.
+// ---------------------------------------------------------------------------
+
+/// A random labelled database over up to 8 items with `n_classes` classes.
+fn random_labeled_db(n_classes: usize) -> impl Strategy<Value = TransactionSet> {
+    let n_items = 8usize;
+    prop::collection::vec(
+        (
+            prop::collection::btree_set(0u32..n_items as u32, 1..=5),
+            0u32..n_classes as u32,
+        ),
+        4..=16,
+    )
+    .prop_map(move |rows| {
+        let mut transactions = Vec::with_capacity(rows.len());
+        let mut labels = Vec::with_capacity(rows.len());
+        for (set, label) in rows {
+            transactions.push(set.into_iter().map(Item).collect::<Vec<Item>>());
+            labels.push(ClassId(label));
+        }
+        TransactionSet::new(n_items, n_classes, transactions, labels)
+    })
+}
+
+/// Class-conditional supports of `items`: how many transactions of each
+/// class contain the pattern.
+fn per_class_supports(ts: &TransactionSet, items: &[Item]) -> Vec<u32> {
+    let mut supports = vec![0u32; ts.n_classes()];
+    for (t, l) in ts.transactions().iter().zip(ts.labels()) {
+        if contains_sorted(t, items) {
+            supports[l.index()] += 1;
+        }
+    }
+    supports
+}
+
+/// Per-class transaction counts.
+fn class_counts(ts: &TransactionSet) -> Vec<usize> {
+    let mut counts = vec![0usize; ts.n_classes()];
+    for l in ts.labels() {
+        counts[l.index()] += 1;
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binary problems: every mined pattern's information gain lies at or
+    /// below IGub evaluated at the pattern's own support θ.
+    #[test]
+    fn mined_patterns_never_beat_the_ig_bound(
+        ts in random_labeled_db(2), min_sup in 1usize..4
+    ) {
+        let counts = class_counts(&ts);
+        prop_assume!(counts.iter().all(|&c| c > 0));
+        let n = ts.len();
+        let p = counts[1] as f64 / n as f64;
+        for pat in eclat::mine(&ts, min_sup, &MineOptions::default()).unwrap() {
+            let supports = per_class_supports(&ts, &pat.items);
+            prop_assert_eq!(supports.iter().sum::<u32>(), pat.support);
+            let ig = info_gain(&counts, &supports);
+            let theta = pat.support as f64 / n as f64;
+            let bound = ig_upper_bound(theta, p);
+            prop_assert!(
+                ig <= bound + 1e-9,
+                "pattern {:?}: IG {} > IGub({}) = {}", pat.items, ig, theta, bound
+            );
+        }
+    }
+
+    /// Binary problems: every mined pattern's Fisher score lies at or
+    /// below FRub at the pattern's support (infinite scores only where the
+    /// bound is infinite too).
+    #[test]
+    fn mined_patterns_never_beat_the_fisher_bound(
+        ts in random_labeled_db(2), min_sup in 1usize..4
+    ) {
+        let counts = class_counts(&ts);
+        prop_assume!(counts.iter().all(|&c| c > 0));
+        let n = ts.len();
+        let p = counts[1] as f64 / n as f64;
+        for pat in eclat::mine(&ts, min_sup, &MineOptions::default()).unwrap() {
+            let supports = per_class_supports(&ts, &pat.items);
+            let fr = fisher_score(&counts, &supports);
+            let theta = pat.support as f64 / n as f64;
+            let bound = fisher_upper_bound(theta, p);
+            if fr.is_finite() {
+                prop_assert!(
+                    fr <= bound + 1e-6,
+                    "pattern {:?}: Fr {} > FRub({}) = {}", pat.items, fr, theta, bound
+                );
+            } else {
+                prop_assert!(
+                    bound.is_infinite(),
+                    "pattern {:?}: infinite Fr but finite bound {}", pat.items, bound
+                );
+            }
+        }
+    }
+
+    /// Multiclass problems use the dispatching bound; mined patterns must
+    /// respect it too.
+    #[test]
+    fn mined_patterns_respect_the_multiclass_bound(
+        ts in random_labeled_db(3), min_sup in 1usize..4
+    ) {
+        let counts = class_counts(&ts);
+        prop_assume!(counts.iter().all(|&c| c > 0));
+        let n = ts.len();
+        let priors: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        for pat in eclat::mine(&ts, min_sup, &MineOptions::default()).unwrap() {
+            let supports = per_class_supports(&ts, &pat.items);
+            let ig = info_gain(&counts, &supports);
+            let theta = pat.support as f64 / n as f64;
+            let bound = ig_upper_bound_for(theta, &priors);
+            prop_assert!(
+                ig <= bound + 1e-9,
+                "pattern {:?}: IG {} > bound({}) = {}", pat.items, ig, theta, bound
+            );
+        }
     }
 }

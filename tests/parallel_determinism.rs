@@ -23,7 +23,12 @@ use std::sync::{Mutex, MutexGuard};
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 fn lock_env() -> MutexGuard<'static, ()> {
-    ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    let guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Comparing runs at different thread counts only proves determinism if
+    // every run does real work — a memoized second run would trivially
+    // match the first. Keep the mining cache off throughout this binary.
+    dfpc::mining::memo::set_enabled(Some(false));
+    guard
 }
 
 /// Runs `f` with `DFP_THREADS=n`, restoring the previous value after.
