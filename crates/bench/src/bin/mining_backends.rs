@@ -1,0 +1,180 @@
+//! `mining_backends` — all five miners over UCI profiles → `BENCH_mining_backends.json`.
+//!
+//! Sweeps every `MinerKind` backend (closed, FP-growth, Eclat, Apriori,
+//! nodeset) over a mix of sparse small-UCI profiles, the paper's dense
+//! scalability profiles (chess / waveform / letter), and a synthetic
+//! engineered to be extremely dense, mining each at the profile's default
+//! relative support. Per profile the report records the PPC-tree density
+//! (the statistic the nodeset engine's auto mode switches on), per-miner
+//! wall-clock / pattern counts / completeness, and the nodeset-vs-FP-growth
+//! speedup — the headline the nodeset backend exists for on dense data.
+//!
+//! `DFP_FAST=1` shrinks the profile list and iteration count for CI smoke;
+//! each run is capped by a deadline so a pathological backend degrades to a
+//! partial (flagged incomplete) result instead of hanging the sweep.
+
+use dfp_bench::report::{write_root_json, Json, Table};
+use dfp_data::discretize::MdlDiscretizer;
+use dfp_data::synth::{profile_by_name, UciProfile};
+use dfp_data::transactions::TransactionSet;
+use dfp_mining::anytime::Mined;
+use dfp_mining::{apriori, closed, eclat, fpgrowth, nodeset, MineOptions, MinerKind};
+use std::time::{Duration, Instant};
+
+/// A synthetic regime denser than chess: binary attributes with heavily
+/// concentrated values, so nearly every item clears `min_sup` and
+/// DiffNodesets stay tiny while conditional FP-trees stay bushy.
+fn dense_synth() -> UciProfile {
+    UciProfile {
+        name: "dense-synth",
+        n_instances: 2000,
+        n_attrs: 18,
+        arity: 2,
+        numeric_fraction: 0.0,
+        n_classes: 2,
+        priors: &[0.5, 0.5],
+        default_min_sup: 0.55,
+        value_concentration: 0.08,
+        class_skew: 0.15,
+        patterns_per_class: 3,
+        pattern_len: (2, 4),
+        expr_in: 0.8,
+        expr_out: 0.1,
+        missing_rate: 0.0,
+    }
+}
+
+fn itemize(profile: &UciProfile) -> TransactionSet {
+    let data = profile.generate();
+    let (cat, _) = data.discretize(&MdlDiscretizer::new());
+    cat.to_transactions().0
+}
+
+fn main() {
+    let fast = dfp_bench::fast_mode();
+    // Memoization would let the second backend answer from the first
+    // backend's timing run; the sweep must measure every engine cold.
+    dfp_mining::memo::set_enabled(Some(false));
+
+    let profile_names: &[&str] = if fast {
+        &["labor", "breast", "chess"]
+    } else {
+        &["austral", "breast", "sonar", "chess", "waveform", "letter"]
+    };
+    let mut profiles: Vec<UciProfile> = profile_names
+        .iter()
+        .map(|n| profile_by_name(n).expect("catalog profile"))
+        .collect();
+    profiles.push(dense_synth());
+
+    let iters = if fast { 1 } else { 3 };
+    let per_run_deadline = if fast {
+        Duration::from_secs(10)
+    } else {
+        Duration::from_secs(60)
+    };
+
+    let miners = [
+        MinerKind::Closed,
+        MinerKind::FpGrowth,
+        MinerKind::Eclat,
+        MinerKind::Apriori,
+        MinerKind::Nodeset,
+    ];
+
+    let mut table = Table::new(vec![
+        "profile", "items", "min_sup", "density", "miner", "seconds", "patterns", "complete",
+    ]);
+    let mut rows = Vec::new();
+    for profile in &profiles {
+        let ts = itemize(profile);
+        let min_sup = ((ts.len() as f64 * profile.default_min_sup).ceil() as usize).max(1);
+        let density = dfp_nodeset::tree::PpcTree::build(&ts, min_sup).density();
+
+        let mut per_miner = Vec::new();
+        let mut fp_secs = f64::NAN;
+        let mut nodeset_secs = f64::NAN;
+        for kind in miners {
+            // Best-of-N wall clock; patterns/complete are run-invariant.
+            let mut best = f64::INFINITY;
+            let mut last: Option<Mined> = None;
+            for _ in 0..iters {
+                let opts = MineOptions::default().with_time_budget(per_run_deadline);
+                let start = Instant::now();
+                let mined = run(kind, &ts, min_sup, &opts);
+                let secs = start.elapsed().as_secs_f64();
+                best = best.min(secs);
+                last = Some(mined);
+            }
+            let mined = last.expect("at least one iteration");
+            match kind {
+                MinerKind::FpGrowth => fp_secs = best,
+                MinerKind::Nodeset => nodeset_secs = best,
+                _ => {}
+            }
+            table.row(vec![
+                profile.name.to_string(),
+                ts.n_items().to_string(),
+                min_sup.to_string(),
+                format!("{density:.3}"),
+                kind.name().to_string(),
+                format!("{best:.4}"),
+                mined.patterns.len().to_string(),
+                mined.complete.to_string(),
+            ]);
+            per_miner.push((
+                kind.name().to_string(),
+                Json::obj(vec![
+                    ("seconds", Json::Num(best)),
+                    ("patterns", Json::Int(mined.patterns.len() as u64)),
+                    ("complete", Json::Str(mined.complete.to_string())),
+                ]),
+            ));
+        }
+
+        let speedup = fp_secs / nodeset_secs;
+        eprintln!(
+            "{}: density {density:.3}, nodeset vs fpgrowth speedup {speedup:.2}x",
+            profile.name
+        );
+        rows.push(Json::obj(vec![
+            ("profile", Json::Str(profile.name.into())),
+            ("instances", Json::Int(ts.len() as u64)),
+            ("items", Json::Int(ts.n_items() as u64)),
+            ("min_sup_abs", Json::Int(min_sup as u64)),
+            ("ppc_density", Json::Num(density)),
+            (
+                "dense",
+                Json::Str((density >= dfp_nodeset::mine::DENSE_DIFF_THRESHOLD).to_string()),
+            ),
+            ("nodeset_vs_fpgrowth_speedup", Json::Num(speedup)),
+            ("miners", Json::Obj(per_miner)),
+        ]));
+    }
+    table.print();
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("mining_backends".into())),
+        ("fast_mode", Json::Str(fast.to_string())),
+        ("iterations", Json::Int(iters as u64)),
+        (
+            "deadline_seconds",
+            Json::Num(per_run_deadline.as_secs_f64()),
+        ),
+        ("profiles", Json::Arr(rows)),
+    ]);
+    let path =
+        write_root_json("BENCH_mining_backends", &report).expect("write BENCH_mining_backends");
+    eprintln!("wrote {}", path.display());
+}
+
+fn run(kind: MinerKind, ts: &TransactionSet, min_sup: usize, opts: &MineOptions) -> Mined {
+    match kind {
+        MinerKind::Closed => closed::mine_closed_anytime(ts, min_sup, opts),
+        MinerKind::FpGrowth => fpgrowth::mine_anytime(ts, min_sup, opts),
+        MinerKind::Eclat => eclat::mine_anytime(ts, min_sup, opts),
+        MinerKind::Apriori => apriori::mine_anytime(ts, min_sup, opts),
+        MinerKind::Nodeset => nodeset::mine_anytime(ts, min_sup, opts),
+    }
+    .expect("anytime mining succeeds")
+}

@@ -72,7 +72,9 @@ pub struct PatternMining {
 impl Default for PatternMining {
     fn default() -> Self {
         PatternMining {
-            miner: MinerKind::Closed,
+            // Closed mining per the paper, unless a valid `DFP_MINER`
+            // environment override selects another backend.
+            miner: MinerKind::env_default(),
             // A generous safety budget: mining aborts (instead of hanging)
             // if a pathologically low min_sup explodes the pattern count.
             options: MineOptions::default()
@@ -216,6 +218,15 @@ impl FrameworkConfig {
     /// Replaces the discretizer.
     pub fn with_discretizer(mut self, d: DiscretizerKind) -> Self {
         self.discretizer = d;
+        self
+    }
+
+    /// Replaces the mining backend (no-op for items-only modes). Overrides
+    /// both the paper default and any `DFP_MINER` environment setting.
+    pub fn with_miner(mut self, miner: MinerKind) -> Self {
+        if let FeatureMode::Patterns { mining, .. } = &mut self.features {
+            mining.miner = miner;
+        }
         self
     }
 

@@ -73,6 +73,10 @@ pub const REGISTRY: &[(&str, &str)] = &[
     ("mining.growth", "FP-growth top-level task (dfp-mining)"),
     ("mining.closed", "closed-set DFS branch task (dfp-mining)"),
     (
+        "mining.nodeset",
+        "PPC-tree nodeset mining engine (dfp-nodeset)",
+    ),
+    (
         "mining.per_class",
         "per-class partition mining (dfp-mining)",
     ),

@@ -96,6 +96,8 @@ pub fn mine_closed_anytime(
         });
         if let Err(reason) = anytime::check_stop(seeded.len(), opts) {
             return Ok(finish(
+                ts,
+                min_sup,
                 anytime::stopped_sequential(seeded, reason, opts),
                 opts,
             ));
@@ -151,7 +153,7 @@ pub fn mine_closed_anytime(
     } else {
         Mined::complete(seeded)
     };
-    let finished = finish(mined, opts);
+    let finished = finish(ts, min_sup, mined, opts);
     dfp_obs::metrics::dfp::mine_nodes_explored().add(stats.nodes);
     dfp_obs::metrics::dfp::mine_closure_checks().add(stats.closure_checks);
     dfp_obs::metrics::dfp::mine_patterns_emitted().add(finished.patterns.len() as u64);
@@ -174,8 +176,44 @@ struct DfsStats {
 
 /// Applies the closedness post-filter and the `min_len` cut to a (possibly
 /// truncated) candidate stream.
-fn finish(mined: Mined, opts: &MineOptions) -> Mined {
-    let mut closed = closed_filter(mined.patterns);
+///
+/// The filter of choice is the PPC-tree **cover filter** from
+/// `dfp-nodeset`: it canonicalises each candidate's tidset as fused
+/// transaction-id intervals, so subsumption checks collapse to hash-map
+/// grouping instead of the portable filter's per-support subset scans.
+/// Both filters implement the same semantics (drop a pattern iff a strict
+/// superset of equal support exists among the candidates); the portable
+/// [`closed_filter`] remains as the fallback for candidate streams that
+/// mention items outside the tree (possible only for hand-built streams,
+/// never for candidates mined from `ts` at `min_sup`).
+fn finish(ts: &TransactionSet, min_sup: usize, mined: Mined, opts: &MineOptions) -> Mined {
+    let cands: Vec<dfp_nodeset::Pattern> = mined
+        .patterns
+        .into_iter()
+        .map(|p| dfp_nodeset::Pattern {
+            items: p.items,
+            support: p.support,
+        })
+        .collect();
+    let mut closed: Vec<RawPattern> =
+        match dfp_nodeset::cover::closed_cover_filter(ts, min_sup, cands) {
+            Ok(filtered) => filtered
+                .into_iter()
+                .map(|p| RawPattern {
+                    items: p.items,
+                    support: p.support,
+                })
+                .collect(),
+            Err(unfiltered) => closed_filter(
+                unfiltered
+                    .into_iter()
+                    .map(|p| RawPattern {
+                        items: p.items,
+                        support: p.support,
+                    })
+                    .collect(),
+            ),
+        };
     closed.retain(|p| p.len() >= opts.min_len);
     Mined {
         patterns: closed,

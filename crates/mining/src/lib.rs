@@ -11,6 +11,8 @@
 //! * [`closed`] — FPClose/CHARM-style **closed** itemset mining: DFS with
 //!   full-support closure merging plus an exact subsumption post-filter;
 //! * [`apriori`] — the classic level-wise baseline (ablation + testing);
+//! * [`nodeset`] — PPC-tree (Diff)Nodeset mining (the `dfp-nodeset`
+//!   engine behind a uniform adapter): the fastest backend on dense data;
 //! * [`count`] — counting-only enumeration with an abort cap, used by the
 //!   scalability tables to reproduce the paper's "min_sup = 1 cannot
 //!   complete" rows;
@@ -35,6 +37,7 @@ pub mod eclat;
 pub mod fpgrowth;
 pub mod fptree;
 pub mod memo;
+pub mod nodeset;
 pub mod pattern;
 pub mod per_class;
 pub mod reference;

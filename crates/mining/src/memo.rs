@@ -104,6 +104,7 @@ fn miner_tag(kind: MinerKind) -> u8 {
         MinerKind::FpGrowth => 1,
         MinerKind::Eclat => 2,
         MinerKind::Apriori => 3,
+        MinerKind::Nodeset => 4,
     }
 }
 

@@ -1,0 +1,113 @@
+//! # dfp-nodeset — PPC-tree + (Diff)Nodeset frequent itemset mining
+//!
+//! The nodeset family (Deng's FIN / dFIN) is the fastest published
+//! successor line to FP-growth on dense data. This crate builds a single
+//! **PPC-tree** — an FP-tree-shaped prefix tree whose nodes carry
+//! *pre-order* and *post-order* codes — over the itemized transaction
+//! store and mines frequent itemsets by merging per-item node lists
+//! instead of re-projecting conditional databases:
+//!
+//! * [`tree::PpcTree`] — the coded prefix tree. Ancestor containment is
+//!   a two-comparison test (`anc.pre < desc.pre && anc.post > desc.post`),
+//!   which also powers the O(1)-containment closed-set filter in
+//!   [`cover`];
+//! * [`mine`] — set-enumeration mining over **nodesets** (the node lists
+//!   themselves, intersected by node identity) or **DiffNodesets** (the
+//!   set differences between a pattern's nodeset and its parent's —
+//!   much smaller on dense data). [`Mode::Auto`] picks per database
+//!   from the projected item density;
+//! * [`cover`] — maps a pattern's covering nodes to transaction-id
+//!   intervals, giving a canonical tidset key and an exact closedness
+//!   filter without pairwise subset scans.
+//!
+//! The crate sits *below* `dfp-mining` (which adapts it into the shared
+//! `MinerKind` dispatch), so it defines its own small limit/stop/result
+//! types mirroring the workspace anytime-mining contract: budget stops
+//! are bit-identical across thread counts because parallel top-level
+//! tasks emit their sequential streams, the streams are concatenated in
+//! task order, and the budget truncates the concatenation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cover;
+pub mod mine;
+pub mod tree;
+
+pub use mine::{mine_anytime, mine_anytime_in, Mode};
+
+use dfp_data::transactions::Item;
+
+/// Search limits mirroring `dfp-mining`'s `MineOptions` (this crate sits
+/// below `dfp-mining` in the dependency order, so it carries its own copy).
+#[derive(Debug, Clone, Default)]
+pub struct Limits {
+    /// Minimum pattern length to *emit* (shorter prefixes are explored).
+    /// `0` behaves as `1`.
+    pub min_len: usize,
+    /// Maximum pattern length to explore; `None` = unbounded.
+    pub max_len: Option<usize>,
+    /// Stop once this many patterns have been emitted; `None` = unbounded.
+    pub max_patterns: Option<u64>,
+    /// Stop searching at this instant; `None` = unbounded.
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl Limits {
+    pub(crate) fn len_ok(&self, len: usize) -> bool {
+        len >= self.min_len
+    }
+
+    pub(crate) fn may_extend(&self, len: usize) -> bool {
+        self.max_len.is_none_or(|m| len < m)
+    }
+}
+
+/// Why the search stopped before exhausting the pattern space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stop {
+    /// [`Limits::max_patterns`] was reached.
+    PatternBudget,
+    /// [`Limits::deadline`] passed.
+    Deadline,
+    /// The `mining.nodeset` failpoint injected a failure.
+    Fault,
+}
+
+/// One mined pattern: items ascending by global id, exact support.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// Items of the pattern, sorted ascending.
+    pub items: Vec<Item>,
+    /// Exact absolute support in the mined database.
+    pub support: u32,
+}
+
+/// Best-so-far result of an anytime nodeset mine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodesetMined {
+    /// Patterns found before the stop (everything, when `complete`).
+    pub patterns: Vec<Pattern>,
+    /// `true` when the search space was exhausted.
+    pub complete: bool,
+    /// Why mining stopped early; `None` when `complete`.
+    pub stopped_by: Option<Stop>,
+}
+
+impl NodesetMined {
+    pub(crate) fn complete(patterns: Vec<Pattern>) -> Self {
+        NodesetMined {
+            patterns,
+            complete: true,
+            stopped_by: None,
+        }
+    }
+
+    pub(crate) fn stopped(patterns: Vec<Pattern>, reason: Stop) -> Self {
+        NodesetMined {
+            patterns,
+            complete: false,
+            stopped_by: Some(reason),
+        }
+    }
+}

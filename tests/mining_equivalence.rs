@@ -1,4 +1,4 @@
-//! Property tests: the four miners agree with each other and with a
+//! Property tests: the five miners agree with each other and with a
 //! brute-force reference on random transaction databases, and the closed-set
 //! invariants of §3.3 hold.
 
@@ -6,7 +6,7 @@ use dfpc::data::schema::ClassId;
 use dfpc::data::transactions::{contains_sorted, Item, TransactionSet};
 use dfpc::mining::pattern::sort_canonical;
 use dfpc::mining::reference::{mine_brute_force, mine_closed_brute_force};
-use dfpc::mining::{apriori, closed, count, eclat, fpgrowth, MineOptions};
+use dfpc::mining::{apriori, closed, count, eclat, fpgrowth, nodeset, MineOptions};
 use proptest::prelude::*;
 
 /// Strategy: a random database of up to 12 transactions over up to 8 items.
@@ -37,6 +37,7 @@ proptest! {
             ("eclat", eclat::mine(&ts, min_sup, &opts).unwrap()),
             ("fpgrowth", fpgrowth::mine(&ts, min_sup, &opts).unwrap()),
             ("apriori", apriori::mine(&ts, min_sup, &opts).unwrap()),
+            ("nodeset", nodeset::mine(&ts, min_sup, &opts).unwrap()),
         ] {
             let mut got = got;
             sort_canonical(&mut got);
@@ -93,6 +94,9 @@ proptest! {
     #[test]
     fn supports_are_exact(ts in random_db(), min_sup in 1usize..4) {
         for p in eclat::mine(&ts, min_sup, &MineOptions::default()).unwrap() {
+            prop_assert_eq!(p.support as usize, ts.support(&p.items));
+        }
+        for p in nodeset::mine(&ts, min_sup, &MineOptions::default()).unwrap() {
             prop_assert_eq!(p.support as usize, ts.support(&p.items));
         }
         for p in closed::mine_closed(&ts, min_sup, &MineOptions::default()).unwrap() {

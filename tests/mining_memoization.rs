@@ -95,6 +95,48 @@ fn disabled_cache_never_hits() {
     memo::set_enabled(Some(true));
 }
 
+/// Switching the mining backend on identical data must never be answered
+/// from another miner's cache entry: the `MinerKind` is part of the memo
+/// key, so a backend switch is a miss, not a (stale) hit.
+#[test]
+fn backend_switch_on_identical_data_misses_the_cache() {
+    let _guard = lock_memo();
+    let data = small_dataset();
+    use dfpc::core::MinerKind;
+
+    let closed_cfg = FrameworkConfig::pat_fs().with_miner(MinerKind::Closed);
+    let nodeset_cfg = FrameworkConfig::pat_fs().with_miner(MinerKind::Nodeset);
+
+    let _warm = PatternClassifier::fit(&data, &closed_cfg).expect("closed fit");
+    let hits_after_closed = cache_mining_hits().get();
+    let misses_after_closed = cache_mining_misses().get();
+
+    let _switched = PatternClassifier::fit(&data, &nodeset_cfg).expect("nodeset fit");
+    assert_eq!(
+        cache_mining_hits().get(),
+        hits_after_closed,
+        "a different backend must not reuse the closed miner's entry"
+    );
+    assert!(
+        cache_mining_misses().get() > misses_after_closed,
+        "the nodeset fit must mine (and populate its own entry)"
+    );
+
+    // Same backend again: now it is a hit, proving the switch above missed
+    // because of the miner tag and not some other key component.
+    let misses_after_nodeset = cache_mining_misses().get();
+    let _again = PatternClassifier::fit(&data, &nodeset_cfg).expect("nodeset refit");
+    assert!(
+        cache_mining_hits().get() > hits_after_closed,
+        "identical backend + data must hit"
+    );
+    assert_eq!(
+        cache_mining_misses().get(),
+        misses_after_nodeset,
+        "the repeat nodeset fit must not re-mine"
+    );
+}
+
 /// Different data means different fingerprints — a changed label flips the
 /// cache key, so the cache cannot serve stale patterns.
 #[test]

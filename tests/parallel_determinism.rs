@@ -89,6 +89,7 @@ proptest! {
             MinerKind::FpGrowth,
             MinerKind::Eclat,
             MinerKind::Apriori,
+            MinerKind::Nodeset,
         ] {
             let cfg = MiningConfig {
                 miner: kind,
@@ -137,6 +138,7 @@ proptest! {
             MinerKind::FpGrowth,
             MinerKind::Eclat,
             MinerKind::Apriori,
+            MinerKind::Nodeset,
         ] {
             let mut cfg = MiningConfig {
                 miner: kind,
