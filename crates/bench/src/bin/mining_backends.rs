@@ -127,7 +127,7 @@ fn main() {
                 Json::obj(vec![
                     ("seconds", Json::Num(best)),
                     ("patterns", Json::Int(mined.patterns.len() as u64)),
-                    ("complete", Json::Str(mined.complete.to_string())),
+                    ("complete", Json::Bool(mined.complete)),
                 ]),
             ));
         }
@@ -145,7 +145,7 @@ fn main() {
             ("ppc_density", Json::Num(density)),
             (
                 "dense",
-                Json::Str((density >= dfp_nodeset::mine::DENSE_DIFF_THRESHOLD).to_string()),
+                Json::Bool(density >= dfp_nodeset::mine::DENSE_DIFF_THRESHOLD),
             ),
             ("nodeset_vs_fpgrowth_speedup", Json::Num(speedup)),
             ("miners", Json::Obj(per_miner)),
@@ -155,7 +155,7 @@ fn main() {
 
     let report = Json::obj(vec![
         ("bench", Json::Str("mining_backends".into())),
-        ("fast_mode", Json::Str(fast.to_string())),
+        ("fast_mode", Json::Bool(fast)),
         ("iterations", Json::Int(iters as u64)),
         (
             "deadline_seconds",

@@ -13,6 +13,8 @@ pub enum Json {
     Num(f64),
     /// An unsigned integer.
     Int(u64),
+    /// A boolean (rendered as a bare `true`/`false`, not a string).
+    Bool(bool),
     /// A string (escaped on render).
     Str(String),
     /// An array.
@@ -46,6 +48,7 @@ impl Json {
                 }
             }
             Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Str(s) => {
                 out.push('"');
                 for c in s.chars() {
@@ -260,6 +263,8 @@ mod tests {
         let v = Json::obj(vec![
             ("name", Json::Str("a \"b\"\n".into())),
             ("n", Json::Int(3)),
+            ("yes", Json::Bool(true)),
+            ("no", Json::Bool(false)),
             ("x", Json::Num(0.5)),
             ("nan", Json::Num(f64::NAN)),
             ("rows", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
@@ -268,6 +273,8 @@ mod tests {
         let s = v.render();
         assert!(s.contains("\"name\": \"a \\\"b\\\"\\n\""), "{s}");
         assert!(s.contains("\"n\": 3"));
+        assert!(s.contains("\"yes\": true"), "{s}");
+        assert!(s.contains("\"no\": false"), "{s}");
         assert!(s.contains("\"x\": 0.5"));
         assert!(s.contains("\"nan\": null"));
         assert!(s.contains("\"empty\": []"));

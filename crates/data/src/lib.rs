@@ -31,6 +31,9 @@ pub mod csv;
 pub mod dataset;
 pub mod discretize;
 pub mod features;
+pub mod ingest;
+mod kernels;
+pub mod rowset;
 pub mod schema;
 pub mod split;
 pub mod synth;
@@ -38,5 +41,6 @@ pub mod transactions;
 
 pub use bitset::Bitset;
 pub use dataset::{Dataset, Value};
+pub use rowset::{BitsetMode, RowSet};
 pub use schema::{Attribute, AttributeKind, ClassId, Schema};
 pub use transactions::{Item, ItemMap, Transaction, TransactionSet};

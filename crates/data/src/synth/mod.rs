@@ -26,13 +26,14 @@
 
 mod uci;
 
-pub use uci::{dense_profiles, profile_by_name, small_uci_profiles, UciProfile};
+pub use uci::{dense_profiles, profile_by_name, small_uci_profiles, stream_profile, UciProfile};
 
 use crate::dataset::{Dataset, Value};
 use crate::schema::{Attribute, ClassId, Schema};
 use rand::rngs::StdRng;
 use rand::seq::{IndexedRandom, SliceRandom};
 use rand::{Rng, SeedableRng};
+use std::io::{self, Write};
 
 /// Specification of one synthetic attribute.
 #[derive(Debug, Clone, Copy)]
@@ -87,11 +88,35 @@ pub struct SynthConfig {
 }
 
 impl SynthConfig {
-    /// Generates the dataset.
+    /// The schema of the generated dataset (no data generation involved).
+    pub fn schema(&self) -> Schema {
+        let attributes: Vec<Attribute> = self
+            .attrs
+            .iter()
+            .enumerate()
+            .map(|(a, spec)| {
+                if spec.numeric {
+                    Attribute::numeric(format!("{}_n{a}", self.name))
+                } else {
+                    Attribute::categorical_anon(format!("{}_c{a}", self.name), spec.arity)
+                }
+            })
+            .collect();
+        Schema::new(
+            attributes,
+            (0..self.class_priors.len())
+                .map(|c| format!("class{c}"))
+                .collect(),
+        )
+    }
+
+    /// Streaming row generator: yields `(row, label)` pairs one at a time
+    /// without materialising the dataset, in exactly the order and with
+    /// exactly the values [`generate`](Self::generate) produces.
     ///
     /// # Panics
     /// Panics on empty attribute/class lists or non-positive priors.
-    pub fn generate(&self) -> Dataset {
+    pub fn rows(&self) -> RowGen<'_> {
         assert!(!self.attrs.is_empty(), "need at least one attribute");
         assert!(!self.class_priors.is_empty(), "need at least one class");
         assert!(
@@ -150,84 +175,142 @@ impl SynthConfig {
             })
             .collect();
 
-        // Group planted patterns for quick per-instance iteration.
+        RowGen {
+            cfg: self,
+            rng,
+            cum,
+            base_cum,
+            pref,
+            pattern_order: (0..self.planted.len()).collect(),
+            remaining: self.n_instances,
+        }
+    }
+
+    /// Generates the dataset.
+    ///
+    /// # Panics
+    /// Panics on empty attribute/class lists or non-positive priors.
+    pub fn generate(&self) -> Dataset {
         let mut rows = Vec::with_capacity(self.n_instances);
         let mut labels = Vec::with_capacity(self.n_instances);
-        let mut pattern_order: Vec<usize> = (0..self.planted.len()).collect();
-        for _ in 0..self.n_instances {
-            let u: f64 = rng.random();
-            let class = cum.partition_point(|&c| c < u).min(n_classes - 1) as u32;
+        for (row, label) in self.rows() {
+            rows.push(row);
+            labels.push(label);
+        }
+        Dataset::new(self.schema(), rows, labels)
+    }
 
-            // Background draw.
-            let mut cells: Vec<u32> = (0..self.attrs.len())
-                .map(|a| {
-                    if self.class_skew > 0.0 && rng.random::<f64>() < self.class_skew {
-                        pref[class as usize][a]
-                    } else {
-                        let u: f64 = rng.random();
-                        base_cum[a]
-                            .partition_point(|&c| c < u)
-                            .min(self.attrs[a].arity - 1) as u32
-                    }
-                })
-                .collect();
-
-            // Express planted patterns (random order so overlapping plants
-            // don't systematically shadow each other).
-            pattern_order.shuffle(&mut rng);
-            for &pi in &pattern_order {
-                let p = &self.planted[pi];
-                let prob = if p.class == class {
-                    p.expr_in
-                } else {
-                    p.expr_out
-                };
-                if prob > 0.0 && rng.random::<f64>() < prob {
-                    for &(a, v) in &p.attr_values {
-                        cells[a] = v;
-                    }
+    /// Streams the dataset as CSV (header, one row per instance, class last)
+    /// without ever holding more than one row in memory — the producer side
+    /// of the out-of-core ingestion path ([`crate::ingest::ingest_csv`]).
+    ///
+    /// Categorical cells are written as their `v{k}` value names (so they
+    /// re-ingest as categorical, not numeric), numeric cells as shortest
+    /// round-trip decimals, missing cells as `?`.
+    pub fn write_csv_stream<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut w = io::BufWriter::new(w);
+        let schema = self.schema();
+        for attr in &schema.attributes {
+            write!(w, "{},", attr.name)?;
+        }
+        writeln!(w, "class")?;
+        for (row, label) in self.rows() {
+            for cell in &row {
+                match cell {
+                    Value::Missing => write!(w, "?,")?,
+                    Value::Num(x) => write!(w, "{x},")?,
+                    Value::Cat(v) => write!(w, "v{v},")?,
                 }
             }
-
-            // Materialise values (numeric jitter, missingness).
-            let row: Vec<Value> = cells
-                .iter()
-                .enumerate()
-                .map(|(a, &v)| {
-                    if self.missing_rate > 0.0 && rng.random::<f64>() < self.missing_rate {
-                        return Value::Missing;
-                    }
-                    if self.attrs[a].numeric {
-                        // Triangular jitter around the bin center.
-                        let j =
-                            (rng.random::<f64>() + rng.random::<f64>() - 1.0) * self.numeric_jitter;
-                        Value::Num(v as f64 + j)
-                    } else {
-                        Value::Cat(v)
-                    }
-                })
-                .collect();
-            rows.push(row);
-            labels.push(ClassId(class));
+            writeln!(w, "{}", schema.class_names[label.index()])?;
         }
+        w.flush()
+    }
+}
 
-        let attributes: Vec<Attribute> = self
-            .attrs
-            .iter()
-            .enumerate()
-            .map(|(a, spec)| {
-                if spec.numeric {
-                    Attribute::numeric(format!("{}_n{a}", self.name))
+/// Streaming iterator over synthetic `(row, label)` pairs.
+///
+/// Created by [`SynthConfig::rows`]; replays the exact RNG call sequence of
+/// [`SynthConfig::generate`], so collecting it reproduces the dataset
+/// row-for-row.
+#[derive(Debug)]
+pub struct RowGen<'a> {
+    cfg: &'a SynthConfig,
+    rng: StdRng,
+    cum: Vec<f64>,
+    base_cum: Vec<Vec<f64>>,
+    pref: Vec<Vec<u32>>,
+    pattern_order: Vec<usize>,
+    remaining: usize,
+}
+
+impl Iterator for RowGen<'_> {
+    type Item = (Vec<Value>, ClassId);
+
+    fn next(&mut self) -> Option<(Vec<Value>, ClassId)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let cfg = self.cfg;
+        let n_classes = cfg.class_priors.len();
+        let rng = &mut self.rng;
+        let u: f64 = rng.random();
+        let class = self.cum.partition_point(|&c| c < u).min(n_classes - 1) as u32;
+
+        // Background draw.
+        let mut cells: Vec<u32> = (0..cfg.attrs.len())
+            .map(|a| {
+                if cfg.class_skew > 0.0 && rng.random::<f64>() < cfg.class_skew {
+                    self.pref[class as usize][a]
                 } else {
-                    Attribute::categorical_anon(format!("{}_c{a}", self.name), spec.arity)
+                    let u: f64 = rng.random();
+                    self.base_cum[a]
+                        .partition_point(|&c| c < u)
+                        .min(cfg.attrs[a].arity - 1) as u32
                 }
             })
             .collect();
-        let schema = Schema::new(
-            attributes,
-            (0..n_classes).map(|c| format!("class{c}")).collect(),
-        );
-        Dataset::new(schema, rows, labels)
+
+        // Express planted patterns (random order so overlapping plants
+        // don't systematically shadow each other).
+        self.pattern_order.shuffle(rng);
+        for &pi in &self.pattern_order {
+            let p = &cfg.planted[pi];
+            let prob = if p.class == class {
+                p.expr_in
+            } else {
+                p.expr_out
+            };
+            if prob > 0.0 && rng.random::<f64>() < prob {
+                for &(a, v) in &p.attr_values {
+                    cells[a] = v;
+                }
+            }
+        }
+
+        // Materialise values (numeric jitter, missingness).
+        let row: Vec<Value> = cells
+            .iter()
+            .enumerate()
+            .map(|(a, &v)| {
+                if cfg.missing_rate > 0.0 && rng.random::<f64>() < cfg.missing_rate {
+                    return Value::Missing;
+                }
+                if cfg.attrs[a].numeric {
+                    // Triangular jitter around the bin center.
+                    let j = (rng.random::<f64>() + rng.random::<f64>() - 1.0) * cfg.numeric_jitter;
+                    Value::Num(v as f64 + j)
+                } else {
+                    Value::Cat(v)
+                }
+            })
+            .collect();
+        Some((row, ClassId(class)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
     }
 }
 
@@ -373,6 +456,52 @@ mod tests {
             }
         }
         assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn streaming_rows_match_generate() {
+        let c = small_config();
+        let d = c.generate();
+        let mut n = 0;
+        for ((row, label), (drow, dlabel)) in c.rows().zip(d.rows.iter().zip(&d.labels)) {
+            assert_eq!(&row, drow);
+            assert_eq!(&label, dlabel);
+            n += 1;
+        }
+        assert_eq!(n, d.rows.len());
+    }
+
+    #[test]
+    fn csv_stream_round_trips_through_ingest() {
+        let mut c = small_config();
+        c.missing_rate = 0.05;
+        let mut buf = Vec::new();
+        c.write_csv_stream(&mut buf).unwrap();
+        let ing =
+            crate::ingest::ingest_bytes(&buf, &crate::ingest::IngestOptions::default()).unwrap();
+        assert_eq!(ing.transactions.len(), c.n_instances);
+        assert_eq!(ing.schema.n_attributes(), c.attrs.len());
+        // Class distribution survives the round trip: count label names.
+        let d = c.generate();
+        let mut want = vec![0usize; d.schema.n_classes()];
+        for l in &d.labels {
+            want[l.index()] += 1;
+        }
+        let mut got = vec![0usize; ing.schema.n_classes()];
+        for l in ing.transactions.labels() {
+            got[l.index()] += 1;
+        }
+        // Ingest discovers class names in first-appearance order, so compare
+        // by name rather than by id.
+        for (c_id, name) in d.schema.class_names.iter().enumerate() {
+            let ing_id = ing
+                .schema
+                .class_names
+                .iter()
+                .position(|n| n == name)
+                .unwrap();
+            assert_eq!(want[c_id], got[ing_id], "class {name}");
+        }
     }
 
     #[test]

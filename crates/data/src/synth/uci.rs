@@ -529,6 +529,34 @@ pub fn dense_profiles() -> Vec<UciProfile> {
     ]
 }
 
+/// Out-of-core ingestion stress profile: `n_instances` rows of a sparse,
+/// letter-like shape (16 attributes, arity 10, 2 classes, a quarter
+/// numeric).
+///
+/// Streamed to disk with [`SynthConfig::write_csv_stream`] and read back
+/// with [`crate::ingest::ingest_csv`], it exercises the bounded-resident-
+/// memory `fit` path at sizes (a million rows and up) that never exist as a
+/// `Dataset` in memory.
+pub fn stream_profile(n_instances: usize) -> UciProfile {
+    UciProfile {
+        name: "stream",
+        n_instances,
+        n_attrs: 16,
+        arity: 10,
+        numeric_fraction: 0.25,
+        n_classes: 2,
+        priors: &[0.55, 0.45],
+        default_min_sup: 0.4,
+        value_concentration: 0.5,
+        class_skew: 0.10,
+        patterns_per_class: 2,
+        pattern_len: (2, 3),
+        expr_in: 0.6,
+        expr_out: 0.05,
+        missing_rate: 0.01,
+    }
+}
+
 /// Looks up a profile by name across both catalogs.
 pub fn profile_by_name(name: &str) -> Option<UciProfile> {
     small_uci_profiles()

@@ -66,6 +66,7 @@ pub enum Action {
 /// Every failpoint site wired into the workspace, with the layer it lives
 /// in. CI's fault-injection matrix and the operations docs iterate this.
 pub const REGISTRY: &[(&str, &str)] = &[
+    ("data.ingest", "streaming CSV segment refill (dfp-data)"),
     (
         "mining.count",
         "counting-only enumeration worker (dfp-mining)",

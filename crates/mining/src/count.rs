@@ -9,6 +9,7 @@
 use crate::anytime::StopReason;
 use crate::{MiningError, RawPattern};
 use dfp_data::bitset::Bitset;
+use dfp_data::rowset::RowSet;
 use dfp_data::transactions::{Item, TransactionSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -166,29 +167,27 @@ fn count_dfs(
 }
 
 /// Attaches per-class supports to raw patterns by recounting on the full
-/// database (vertical bitset intersections).
+/// database (vertical row-set intersections).
+///
+/// The per-class counts come from one batched "pattern tidset vs. all class
+/// masks" scan; because the classes partition the rows, the total support is
+/// their sum — no separate counting pass.
 pub fn attach_class_supports(
     ts: &TransactionSet,
     patterns: &[RawPattern],
 ) -> Vec<crate::MinedPattern> {
-    let vertical = ts.vertical();
-    let class_tids: Vec<Bitset> = ts
-        .class_partition_indices()
-        .iter()
-        .map(|idx| Bitset::from_indices(ts.len(), idx.iter().copied()))
-        .collect();
+    let vertical = ts.vertical_rowsets();
+    let class_masks = ts.class_masks();
     patterns
         .iter()
         .map(|p| {
-            let tids = pattern_tids(&vertical, ts.len(), &p.items);
-            let class_supports: Vec<u32> = class_tids
-                .iter()
-                .map(|ct| ct.intersection_count(&tids) as u32)
-                .collect();
+            let tids = pattern_rowset(&vertical, ts.len(), &p.items);
+            let counts = tids.batch_intersection_counts(&class_masks);
+            let support: usize = counts.iter().sum();
             crate::MinedPattern {
                 items: p.items.clone(),
-                support: tids.count_ones() as u32,
-                class_supports,
+                support: support as u32,
+                class_supports: counts.into_iter().map(|c| c as u32).collect(),
             }
         })
         .collect()
@@ -199,6 +198,23 @@ pub fn pattern_tids(vertical: &[Bitset], n: usize, items: &[Item]) -> Bitset {
     let mut tids = Bitset::full(n);
     for item in items {
         tids.intersect_with(&vertical[item.index()]);
+    }
+    tids
+}
+
+/// Row set of an itemset from a vertical [`RowSet`] representation.
+///
+/// The empty itemset covers every row. Otherwise the first item's rows seed
+/// the result and each further item intersects into a reused scratch slot.
+pub fn pattern_rowset(vertical: &[RowSet], n: usize, items: &[Item]) -> RowSet {
+    let Some((first, rest)) = items.split_first() else {
+        return RowSet::Dense(Bitset::full(n));
+    };
+    let mut tids = vertical[first.index()].clone();
+    let mut scratch = RowSet::new_scratch(n);
+    for item in rest {
+        tids.intersect_into(&vertical[item.index()], &mut scratch);
+        std::mem::swap(&mut tids, &mut scratch);
     }
     tids
 }

@@ -1,14 +1,19 @@
 //! Vertical (tidset) depth-first frequent itemset mining — Eclat.
 //!
-//! Each item carries a [`Bitset`] of the transactions containing it; a DFS
+//! Each item carries a [`RowSet`] of the transactions containing it — dense
+//! or roaring-compressed per the active `DFP_BITSET` mode — and a DFS
 //! extends the current prefix with items of higher id, intersecting tidsets.
 //! Simple, exact, and fast at the dataset sizes of the paper's evaluation.
 //! Serves as an independently-implemented cross-check for the FP-growth
 //! miner (property tests assert equality of outputs).
+//!
+//! The candidate-extension loop writes each `prefix ∩ candidate` into a
+//! per-depth scratch slot instead of cloning the prefix tidset per
+//! candidate, so the dense-mode inner loop is allocation-free.
 
 use crate::anytime::{self, Mined, StopReason};
 use crate::{MineOptions, MiningError, RawPattern};
-use dfp_data::bitset::Bitset;
+use dfp_data::rowset::RowSet;
 use dfp_data::transactions::{Item, TransactionSet};
 
 /// Mines all frequent itemsets with absolute support `>= min_sup`.
@@ -35,14 +40,19 @@ pub fn mine_anytime(
         return Err(MiningError::ZeroMinSup);
     }
     let mut sp = dfp_obs::span("mine.eclat");
-    let vertical = ts.vertical();
-    let frequent: Vec<(Item, Bitset)> = (0..ts.n_items())
-        .filter_map(|i| {
-            let tids = &vertical[i];
-            (tids.count_ones() >= min_sup).then(|| (Item(i as u32), tids.clone()))
-        })
+    let vertical = ts.vertical_rowsets();
+    let frequent: Vec<(Item, RowSet)> = vertical
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, tids)| (tids.count_ones() >= min_sup).then_some((Item(i as u32), tids)))
         .collect();
 
+    // One scratch tidset per DFS depth: depth `d` intersects into
+    // `scratch[d]`, so extensions reuse storage instead of cloning the
+    // prefix tidset for every candidate.
+    let mut scratch: Vec<RowSet> = (0..frequent.len())
+        .map(|_| RowSet::new_scratch(ts.len()))
+        .collect();
     let mut out = Vec::new();
     let mut prefix = Vec::new();
     let mut nodes = 0u64;
@@ -52,6 +62,7 @@ pub fn mine_anytime(
         opts,
         &mut prefix,
         None,
+        &mut scratch,
         &mut out,
         &mut nodes,
     ) {
@@ -67,25 +78,27 @@ pub fn mine_anytime(
 }
 
 /// DFS over extensions. `prefix_tids == None` means the empty prefix (full
-/// database) so item tidsets are used directly without an extra intersection.
+/// database) so item tidsets are used directly without an extra
+/// intersection; otherwise `prefix ∩ candidate` lands in `scratch[0]` and
+/// the recursion continues with `scratch[1..]`.
 #[allow(clippy::too_many_arguments)]
 fn dfs(
-    cands: &[(Item, Bitset)],
+    cands: &[(Item, RowSet)],
     min_sup: usize,
     opts: &MineOptions,
     prefix: &mut Vec<Item>,
-    prefix_tids: Option<&Bitset>,
+    prefix_tids: Option<&RowSet>,
+    scratch: &mut [RowSet],
     out: &mut Vec<RawPattern>,
     nodes: &mut u64,
 ) -> Result<(), StopReason> {
     for (i, (item, tids)) in cands.iter().enumerate() {
         *nodes += 1;
-        let (ext_tids, support) = match prefix_tids {
-            None => (tids.clone(), tids.count_ones()),
+        let support = match prefix_tids {
+            None => tids.count_ones(),
             Some(pt) => {
-                let mut t = pt.clone();
-                let n = t.intersect_with_count(tids);
-                (t, n)
+                let (slot, _) = scratch.split_first_mut().expect("scratch covers DFS depth");
+                pt.intersect_into(tids, slot)
             }
         };
         if support < min_sup {
@@ -100,15 +113,33 @@ fn dfs(
             anytime::check_stop(out.len(), opts)?;
         }
         if opts.may_extend(prefix.len()) && i + 1 < cands.len() {
-            dfs(
-                &cands[i + 1..],
-                min_sup,
-                opts,
-                prefix,
-                Some(&ext_tids),
-                out,
-                nodes,
-            )?;
+            match prefix_tids {
+                // Top level: the candidate's own tidset IS the new prefix
+                // tidset — no copy, scratch untouched.
+                None => dfs(
+                    &cands[i + 1..],
+                    min_sup,
+                    opts,
+                    prefix,
+                    Some(tids),
+                    scratch,
+                    out,
+                    nodes,
+                )?,
+                Some(_) => {
+                    let (slot, rest) = scratch.split_first_mut().expect("scratch covers DFS depth");
+                    dfs(
+                        &cands[i + 1..],
+                        min_sup,
+                        opts,
+                        prefix,
+                        Some(slot),
+                        rest,
+                        out,
+                        nodes,
+                    )?;
+                }
+            }
         }
         prefix.pop();
     }

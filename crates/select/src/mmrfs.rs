@@ -18,11 +18,11 @@
 //! incrementally — one update pass over the remaining candidates per
 //! selection — so a full run costs `O(|Fs| · |F|)` tidset intersections.
 
-use dfp_data::bitset::Bitset;
+use dfp_data::rowset::RowSet;
 use dfp_data::transactions::TransactionSet;
 use dfp_measures::redundancy::redundancy_from_overlap;
 use dfp_measures::RelevanceMeasure;
-use dfp_mining::count::pattern_tids;
+use dfp_mining::count::pattern_rowset;
 use dfp_mining::MinedPattern;
 
 /// MMRFS configuration.
@@ -103,21 +103,16 @@ pub fn mmrfs(
         }
     }
 
-    // Tidsets and correct-cover tidsets.
-    let vertical = ts.vertical();
-    let class_tids: Vec<Bitset> = ts
-        .class_partition_indices()
-        .iter()
-        .map(|idx| Bitset::from_indices(n, idx.iter().copied()))
-        .collect();
-    let tids: Vec<Bitset> = dfp_par::par_chunks_map(&pool, 64, |&i| {
-        pattern_tids(&vertical, n, &candidates[i].items)
+    // Tidsets and correct-cover tidsets (dense or compressed row sets,
+    // following the active `DFP_BITSET` mode).
+    let vertical = ts.vertical_rowsets();
+    let class_masks = ts.class_masks();
+    let tids: Vec<RowSet> = dfp_par::par_chunks_map(&pool, 64, |&i| {
+        pattern_rowset(&vertical, n, &candidates[i].items)
     });
     let pool_slots: Vec<usize> = (0..pool.len()).collect();
-    let correct: Vec<Bitset> = dfp_par::par_chunks_map(&pool_slots, 64, |&j| {
-        let mut c = tids[j].clone();
-        c.intersect_with(&class_tids[candidates[pool[j]].majority_class().index()]);
-        c
+    let correct: Vec<RowSet> = dfp_par::par_chunks_map(&pool_slots, 64, |&j| {
+        tids[j].and(&class_masks[candidates[pool[j]].majority_class().index()])
     });
 
     let mut max_red = vec![0.0f64; pool.len()]; // max_{γ∈Fs} R(·, γ) so far

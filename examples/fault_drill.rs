@@ -37,6 +37,38 @@ fn main() -> ExitCode {
     let spec = std::env::var("DFP_FAILPOINTS").unwrap_or_default();
     println!("chaos drill with DFP_FAILPOINTS='{spec}'");
 
+    // 0. Out-of-core ingestion: stream a synthetic CSV to disk and read it
+    //    back through the segmented reader. A truncated or failed segment
+    //    read (the `data.ingest` failpoint) surfaces as a typed IngestError
+    //    — never a panic — and the drill continues on in-memory data.
+    {
+        use dfpc::data::ingest::{ingest_csv, IngestOptions};
+        use dfpc::data::synth::stream_profile;
+        let csv_path =
+            std::env::temp_dir().join(format!("dfp-fault-drill-{}.csv", std::process::id()));
+        let cfg = stream_profile(500).config(0);
+        let mut f = match std::fs::File::create(&csv_path) {
+            Ok(f) => f,
+            Err(e) => {
+                println!("csv create failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = cfg.write_csv_stream(&mut f) {
+            println!("csv stream failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        match ingest_csv(&csv_path, &IngestOptions::default()) {
+            Ok(ing) => println!(
+                "streamed ingest ok: {} rows, {} items",
+                ing.transactions.len(),
+                ing.transactions.n_items()
+            ),
+            Err(e) => println!("ingest failed with a typed error: {e}"),
+        }
+        std::fs::remove_file(&csv_path).ok();
+    }
+
     // 1. Fit with anytime mining on: mining faults and budgets degrade to a
     //    best-so-far model instead of failing the fit.
     let data = planted();
