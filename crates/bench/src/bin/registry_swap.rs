@@ -1,0 +1,259 @@
+//! Hot-swap latency benchmark: `registry_swap`.
+//!
+//! Measures `/m/{name}/predict` tail latency through a registry-backed
+//! server in two phases — steady state (no swaps) and churn (a background
+//! publisher hot-swapping the model continuously) — and asserts the two
+//! robustness guarantees of the swap protocol: **zero failed requests**
+//! while swaps are in flight, and **p99 inflation under 2×** relative to
+//! steady state (in-flight requests hold the old version's `Arc`, so a
+//! swap never blocks the serving path).
+//!
+//! `DFP_FAST=1` shrinks the request count to CI-smoke size. Writes
+//! `BENCH_registry_swap.json` at the workspace root.
+
+use dfp_bench::report::{self, Json, Table};
+use dfp_core::{FrameworkConfig, PatternClassifier};
+use dfp_data::dataset::{categorical_dataset, Dataset};
+use dfp_registry::{ModelRegistry, RegistryConfig, SwapError};
+use dfp_serve::ServerConfig;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 4;
+const MODEL: &str = "bench";
+
+/// (a0=v1, a1=v1) → c0 and (a0=v1, a1=v2) → c1; `flip` swaps the labels so
+/// consecutive swap versions are distinguishable.
+fn confusable(flip: bool) -> Dataset {
+    let mut rows: Vec<(Vec<u32>, u32)> = Vec::new();
+    for i in 0..60u32 {
+        let (vals, mut label) = if i % 2 == 0 {
+            (vec![1, 1, i % 3], 0)
+        } else {
+            (vec![1, 2, i % 3], 1)
+        };
+        if flip {
+            label = 1 - label;
+        }
+        rows.push((vals, label));
+    }
+    let borrowed: Vec<(&[u32], u32)> = rows.iter().map(|(v, l)| (&v[..], *l)).collect();
+    categorical_dataset(&[3, 3, 3], 2, &borrowed)
+}
+
+/// One `POST /m/bench/predict`; `Ok` carries the latency, `Err` describes
+/// the failure (non-200 status or transport error).
+fn predict_once(addr: SocketAddr) -> Result<Duration, String> {
+    let body = "v1,v1,v0\n";
+    let request = format!(
+        "POST /m/{MODEL}/predict HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("recv: {e}"))?;
+    let elapsed = start.elapsed();
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .ok_or_else(|| format!("no status line in {response:?}"))?;
+    if status != "200" {
+        return Err(format!("status {status}"));
+    }
+    let answer = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or_default();
+    // Whatever version served, the answer is one model's — never torn.
+    if answer != "c0\n" && answer != "c1\n" {
+        return Err(format!("torn answer {answer:?}"));
+    }
+    Ok(elapsed)
+}
+
+/// Drives `requests` predicts from `CLIENTS` threads; returns every latency
+/// plus the failures seen.
+fn run_load(addr: SocketAddr, requests: usize) -> (Vec<Duration>, Vec<String>) {
+    let per_client = requests / CLIENTS;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut failures = Vec::new();
+                    for _ in 0..per_client {
+                        match predict_once(addr) {
+                            Ok(d) => latencies.push(d),
+                            Err(e) => failures.push(e),
+                        }
+                    }
+                    (latencies, failures)
+                })
+            })
+            .collect();
+        let mut latencies = Vec::new();
+        let mut failures = Vec::new();
+        for h in handles {
+            let (l, f) = h.join().expect("client thread");
+            latencies.extend(l);
+            failures.extend(f);
+        }
+        (latencies, failures)
+    })
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+fn phase_json(latencies: &mut [Duration], failures: usize) -> (f64, Json) {
+    latencies.sort_unstable();
+    let p50 = percentile(latencies, 50.0);
+    let p99 = percentile(latencies, 99.0);
+    let json = Json::obj(vec![
+        ("requests", Json::Int(latencies.len() as u64)),
+        ("failures", Json::Int(failures as u64)),
+        ("p50_seconds", Json::Num(secs(p50))),
+        ("p99_seconds", Json::Num(secs(p99))),
+        (
+            "max_seconds",
+            Json::Num(secs(*latencies.last().expect("nonempty"))),
+        ),
+    ]);
+    (secs(p99), json)
+}
+
+fn main() {
+    let requests = if dfp_bench::fast_mode() { 400 } else { 2000 };
+
+    let root = std::env::temp_dir().join(format!("dfp-bench-registry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let registry = Arc::new(
+        ModelRegistry::open_with_validator(
+            RegistryConfig::new(&root),
+            Some(dfp_serve::registry_validator()),
+        )
+        .expect("open registry"),
+    );
+    let v1 = PatternClassifier::fit(&confusable(false), &FrameworkConfig::pat_fs()).expect("fit");
+    let v2 = PatternClassifier::fit(&confusable(true), &FrameworkConfig::pat_fs()).expect("fit");
+    registry
+        .publish_model(MODEL, &v1, Some("v1,v1,v0"))
+        .expect("seed publish");
+
+    let handle = dfp_serve::serve_registry_with_config(
+        None,
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ServerConfig::default().with_threads(CLIENTS),
+    )
+    .expect("bind");
+    let addr = handle.addr();
+
+    // Warm-up: connection setup, lazy metric registration, page-in.
+    let (_, warm_failures) = run_load(addr, CLIENTS * 8);
+    assert!(
+        warm_failures.is_empty(),
+        "warm-up failed: {warm_failures:?}"
+    );
+
+    // --- Phase 1: steady state, no swaps. ---
+    let (mut steady, steady_failures) = run_load(addr, requests);
+
+    // --- Phase 2: identical load under continuous hot-swaps. ---
+    let stop = Arc::new(AtomicBool::new(false));
+    let swaps = Arc::new(AtomicU64::new(0));
+    let swapper = {
+        let registry = Arc::clone(&registry);
+        let (stop, swaps) = (Arc::clone(&stop), Arc::clone(&swaps));
+        let (b1, b2) = (dfp_model::to_bytes(&v1), dfp_model::to_bytes(&v2));
+        std::thread::spawn(move || {
+            let mut flip = true;
+            while !stop.load(Ordering::Relaxed) {
+                let bytes = if flip { &b2 } else { &b1 };
+                match registry.publish_bytes(MODEL, bytes, None) {
+                    Ok(_) => {
+                        swaps.fetch_add(1, Ordering::Relaxed);
+                        flip = !flip;
+                    }
+                    Err(SwapError::Busy) => {}
+                    Err(e) => panic!("swap failed mid-benchmark: {e}"),
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+    let (mut churn, churn_failures) = run_load(addr, requests);
+    stop.store(true, Ordering::Relaxed);
+    swapper.join().expect("swapper thread");
+    let swap_count = swaps.load(Ordering::Relaxed);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+
+    // --- Report. ---
+    let (steady_p99, steady_json) = phase_json(&mut steady, steady_failures.len());
+    let (churn_p99, churn_json) = phase_json(&mut churn, churn_failures.len());
+    // Floor the baseline so sub-millisecond debug-build jitter can't turn
+    // the ratio into noise.
+    let inflation = churn_p99 / steady_p99.max(200e-6);
+
+    let mut table = Table::new(vec!["phase", "p50 ms", "p99 ms", "failures"]);
+    for (name, lat, fails) in [
+        ("steady", &steady, &steady_failures),
+        ("swap churn", &churn, &churn_failures),
+    ] {
+        table.row(vec![
+            name.to_string(),
+            format!("{:.3}", secs(percentile(lat, 50.0)) * 1e3),
+            format!("{:.3}", secs(percentile(lat, 99.0)) * 1e3),
+            format!("{}", fails.len()),
+        ]);
+    }
+    table.print();
+    println!("hot-swaps completed during churn phase: {swap_count}");
+    println!("p99 inflation under churn: {inflation:.2}x");
+
+    let json = Json::obj(vec![
+        (
+            "workload",
+            Json::obj(vec![
+                ("requests_per_phase", Json::Int(requests as u64)),
+                ("clients", Json::Int(CLIENTS as u64)),
+                ("swaps", Json::Int(swap_count)),
+            ]),
+        ),
+        ("steady", steady_json),
+        ("churn", churn_json),
+        ("p99_inflation", Json::Num(inflation)),
+    ]);
+    let path = report::write_root_json("BENCH_registry_swap", &json).expect("write report");
+    println!("wrote {}", path.display());
+
+    // The two acceptance gates: swaps must be invisible to correctness and
+    // nearly invisible to tail latency.
+    assert!(
+        steady_failures.is_empty() && churn_failures.is_empty(),
+        "failed requests — steady: {steady_failures:?}, churn: {churn_failures:?}"
+    );
+    assert!(swap_count >= 1, "churn phase completed no swaps");
+    assert!(
+        inflation < 2.0,
+        "p99 inflated {inflation:.2}x under hot-swap churn (steady {steady_p99:.6}s, churn {churn_p99:.6}s)"
+    );
+}

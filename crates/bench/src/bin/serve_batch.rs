@@ -129,6 +129,7 @@ fn run_batched(
                         let deadline = Instant::now() + Duration::from_secs(30);
                         let labels = scheduler
                             .submit(vec![row], deadline)
+                            .expect("scheduler running")
                             .recv()
                             .expect("scheduler reply");
                         sum += u64::from(labels[0].0);

@@ -102,6 +102,22 @@ pub const REGISTRY: &[(&str, &str)] = &[
         "client.request",
         "dfpc-score remote request attempt (dfp-serve)",
     ),
+    (
+        "registry.write",
+        "registry artifact/pointer tmp write (dfp-registry)",
+    ),
+    (
+        "registry.rename",
+        "registry atomic rename into place (dfp-registry)",
+    ),
+    (
+        "registry.validate",
+        "registry canary validation before pointer flip (dfp-registry)",
+    ),
+    (
+        "registry.drain",
+        "registry old-version drain after swap (dfp-registry)",
+    ),
 ];
 
 /// One armed site: the action plus an optional remaining-trigger budget.

@@ -537,6 +537,30 @@ fn decode_fit_info(r: &mut Reader) -> Result<FitInfo, ModelError> {
     })
 }
 
+/// Verifies the `DFPM` envelope — magic, format version and trailing
+/// CRC-32 — without decoding the payload. The cheap integrity pre-check
+/// admin upload paths run before accepting bytes for a swap; a passing
+/// envelope does not guarantee [`from_bytes`] succeeds (the payload may
+/// still be structurally malformed), only that the bytes arrived intact.
+pub fn verify_bytes(bytes: &[u8]) -> Result<(), ModelError> {
+    if bytes.len() < 12 {
+        return Err(ModelError::Truncated);
+    }
+    if bytes[..4] != MAGIC {
+        return Err(ModelError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != FORMAT_VERSION {
+        return Err(ModelError::UnsupportedVersion(version));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
+    if crc32(body) != stored {
+        return Err(ModelError::ChecksumMismatch);
+    }
+    Ok(())
+}
+
 /// Deserializes a classifier from `DFPM` bytes, verifying magic, version and
 /// checksum before touching the payload.
 pub fn from_bytes(bytes: &[u8]) -> Result<PatternClassifier, ModelError> {

@@ -30,7 +30,7 @@ mod crc32;
 mod error;
 mod wire;
 
-pub use codec::{from_bytes, to_bytes, FORMAT_VERSION, MAGIC};
+pub use codec::{from_bytes, to_bytes, verify_bytes, FORMAT_VERSION, MAGIC};
 pub use error::ModelError;
 
 use dfp_core::PatternClassifier;

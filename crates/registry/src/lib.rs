@@ -1,0 +1,771 @@
+//! # dfp-registry — crash-safe multi-model artifact registry with atomic
+//! hot-swap
+//!
+//! Owns N named, versioned `DFPM` artifacts in a managed directory and hands
+//! the serving layer an always-valid snapshot per model. The two contracts:
+//!
+//! * **Atomic hot-swap.** [`ModelRegistry::publish_bytes`] writes the new
+//!   artifact via temp-file + fsync + rename, loads it back **from disk**
+//!   and smoke-validates it (one canary `predict_rows` — against the stored
+//!   `PROBE` row when one exists) *before* the `CURRENT` pointer flips. A
+//!   failed validation quarantines the rejected artifact and leaves the
+//!   pointer — and the serving snapshot — untouched
+//!   (`dfp_registry_swap_failures_total`). After the flip the old model
+//!   keeps serving every in-flight request (snapshots are `Arc`s) and is
+//!   retired only once the last reference drains.
+//! * **Crash-safe boot.** [`ModelRegistry::open`] runs a recovery scan:
+//!   every artifact is CRC-verified (a full typed decode), corrupt files are
+//!   quarantined to `models/<name>/quarantine/`, `.tmp` leftovers from a
+//!   crash mid-write are swept, and a torn or missing `CURRENT` pointer is
+//!   re-derived to the newest valid version and rewritten. A SIGKILL at any
+//!   byte offset during save or swap therefore leaves the process
+//!   restartable with either the old or the new model — never a torn one.
+//!
+//! Failpoint sites for chaos testing: `registry.write` (artifact/pointer
+//! tmp write; `trunc` tears the payload), `registry.rename` (the atomic
+//! rename), `registry.validate` (canary validation; `err` forces a
+//! rollback, `panic` is contained), `registry.drain` (old-model retirement;
+//! `sleep` widens the drain window).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod store;
+
+use dfp_core::PatternClassifier;
+use dfp_model::ModelError;
+use dfp_obs::{Counter, Gauge, Histogram};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, TryLockError};
+use std::time::{Duration, Instant};
+
+/// Upper bounds (seconds) of per-model latency histogram buckets; matches
+/// the serve-layer buckets so dashboards can overlay them. `+Inf` implied.
+pub const LATENCY_BUCKETS: [f64; 8] = [0.000_1, 0.000_5, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5];
+
+/// How often the drain loop re-checks the old snapshot's reference count.
+const DRAIN_POLL: Duration = Duration::from_millis(1);
+
+/// A pluggable load-validation hook: given the freshly loaded candidate and
+/// the model's stored `PROBE` row (a CSV line, when one exists), decide
+/// whether the artifact is servable. The serving layer installs a hook that
+/// parses the probe against the candidate's schema and predicts it; without
+/// a hook the registry falls back to [`default_canary`].
+pub type Validator =
+    Arc<dyn Fn(&PatternClassifier, Option<&str>) -> Result<(), String> + Send + Sync>;
+
+/// The built-in canary: the artifact must carry a schema (it cannot answer
+/// `/predict` without one) and must predict a featureless row without
+/// panicking. Cheap, model-kind-agnostic, and exactly what serving does.
+pub fn default_canary(model: &PatternClassifier, _probe: Option<&str>) -> Result<(), String> {
+    if model.schema().is_none() {
+        return Err("artifact carries no schema; not servable".to_string());
+    }
+    let labels = model.predict_rows(&[Vec::new()]);
+    if labels.len() != 1 {
+        return Err(format!(
+            "canary predict returned {} labels, expected 1",
+            labels.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Registry tuning knobs, with `DFP_REGISTRY_*` environment overrides.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Managed directory holding one subdirectory per model name.
+    pub root: PathBuf,
+    /// Artifact versions kept on disk per model after a successful swap
+    /// (`DFP_REGISTRY_KEEP`, default 4, min 1); older ones are pruned.
+    pub keep_versions: usize,
+    /// Longest a swap waits for in-flight requests on the old model to
+    /// drain before giving up on retirement accounting
+    /// (`DFP_REGISTRY_DRAIN_MS`, default 5000).
+    pub drain_timeout: Duration,
+}
+
+impl RegistryConfig {
+    /// Defaults rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        RegistryConfig {
+            root: root.into(),
+            keep_versions: 4,
+            drain_timeout: Duration::from_millis(5000),
+        }
+    }
+
+    /// Defaults overridden by any `DFP_REGISTRY_*` variables that are set;
+    /// unparseable values keep the default.
+    pub fn from_env(root: impl Into<PathBuf>) -> Self {
+        let mut cfg = RegistryConfig::new(root);
+        if let Some(n) = env_u64("DFP_REGISTRY_KEEP") {
+            cfg.keep_versions = (n as usize).max(1);
+        }
+        if let Some(ms) = env_u64("DFP_REGISTRY_DRAIN_MS") {
+            cfg.drain_timeout = Duration::from_millis(ms);
+        }
+        cfg
+    }
+
+    /// Replaces the per-model kept-version count.
+    pub fn with_keep_versions(mut self, keep: usize) -> Self {
+        self.keep_versions = keep.max(1);
+        self
+    }
+
+    /// Replaces the drain wait budget.
+    pub fn with_drain_timeout(mut self, d: Duration) -> Self {
+        self.drain_timeout = d;
+        self
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Why the registry could not be opened.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Underlying filesystem error on the root or a model directory.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "registry i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<std::io::Error> for RegistryError {
+    fn from(e: std::io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}
+
+/// Why a publish (hot-swap) failed. Every variant leaves the previous
+/// version serving: the `CURRENT` pointer and the in-memory snapshot flip
+/// only after validation passes.
+#[derive(Debug)]
+pub enum SwapError {
+    /// Another swap of the same model is in flight (admin answers `409`).
+    Busy,
+    /// The model name is not usable as a directory name.
+    InvalidName(String),
+    /// The uploaded bytes are not a valid `DFPM` artifact (CRC mismatch,
+    /// truncation, bad magic, …) — rejected before any disk mutation.
+    InvalidArtifact(ModelError),
+    /// The artifact decoded but failed smoke validation; it was quarantined
+    /// and the swap rolled back.
+    Rejected(String),
+    /// Filesystem failure mid-swap; the pointer was not flipped.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapError::Busy => write!(f, "another swap of this model is in progress"),
+            SwapError::InvalidName(n) => write!(f, "invalid model name '{n}'"),
+            SwapError::InvalidArtifact(e) => write!(f, "invalid artifact: {e}"),
+            SwapError::Rejected(why) => {
+                write!(f, "artifact failed validation and was rolled back: {why}")
+            }
+            SwapError::Io(e) => write!(f, "swap i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
+/// Outcome of a successful hot-swap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapReport {
+    /// Model name swapped.
+    pub name: String,
+    /// Version now serving.
+    pub version: u64,
+    /// Version serving before the swap, if any.
+    pub previous: Option<u64>,
+    /// Whether every in-flight request on the old version drained within
+    /// the budget (`false` only under extreme load or a `registry.drain`
+    /// stall — the old model still serves its stragglers safely either way).
+    pub drained: bool,
+}
+
+/// One loaded, immutable model version. Serving snapshots are `Arc`s of
+/// this, so an in-flight request keeps its version alive across a swap.
+#[derive(Debug)]
+pub struct ModelVersion {
+    /// Monotonic artifact version (the `NNNNNN.dfpm` number).
+    pub version: u64,
+    /// The loaded classifier.
+    pub model: PatternClassifier,
+}
+
+/// Per-model serving state: the current snapshot plus cached metric handles
+/// (hot-path: one hash lookup, no registry scan per request).
+#[derive(Debug)]
+pub struct ModelSlot {
+    name: String,
+    /// Serializes the entire swap protocol (write → validate → flip →
+    /// drain); `try_lock` failure is the admin `409`.
+    swap: Mutex<()>,
+    current: RwLock<Option<Arc<ModelVersion>>>,
+    requests: Arc<Counter>,
+    predictions: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
+
+impl ModelSlot {
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Snapshot of the currently served version (`None` = not ready).
+    pub fn current(&self) -> Option<Arc<ModelVersion>> {
+        self.current
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Requests routed to this model (`dfp_registry_requests_total`).
+    pub fn requests(&self) -> &Counter {
+        &self.requests
+    }
+
+    /// Rows predicted by this model (`dfp_registry_predictions_total`).
+    pub fn predictions(&self) -> &Counter {
+        &self.predictions
+    }
+
+    /// Per-model predict latency (`dfp_registry_predict_latency_seconds`).
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    fn set_current(&self, v: Option<Arc<ModelVersion>>) -> Option<Arc<ModelVersion>> {
+        let mut cur = self.current.write().unwrap_or_else(|e| e.into_inner());
+        std::mem::replace(&mut *cur, v)
+    }
+}
+
+/// What the boot-time recovery scan found and did for one model.
+#[derive(Debug, Clone, Default)]
+pub struct ModelRecovery {
+    /// Version chosen to serve, if any survived verification.
+    pub chosen: Option<u64>,
+    /// Files moved to `quarantine/` with the typed reason.
+    pub quarantined: Vec<(String, String)>,
+    /// `true` when `CURRENT` was missing, torn, or pointed at an invalid
+    /// version and had to be re-derived and rewritten.
+    pub pointer_rewritten: bool,
+}
+
+/// The full recovery scan outcome, per model name.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Per-model recovery actions, sorted by name.
+    pub models: Vec<(String, ModelRecovery)>,
+}
+
+impl RecoveryReport {
+    /// Total files quarantined across all models.
+    pub fn total_quarantined(&self) -> usize {
+        self.models.iter().map(|(_, m)| m.quarantined.len()).sum()
+    }
+}
+
+/// The multi-model registry. See the crate docs for the two contracts.
+pub struct ModelRegistry {
+    cfg: RegistryConfig,
+    models: RwLock<HashMap<String, Arc<ModelSlot>>>,
+    metrics: dfp_obs::Registry,
+    validator: Option<Validator>,
+    recovery: RecoveryReport,
+    /// Highest version ever observed per model (survives pruning), so a
+    /// republish after deep pruning can never reuse a version number.
+    high_water: Mutex<HashMap<String, u64>>,
+    swaps_epoch: AtomicI64,
+}
+
+impl fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("root", &self.cfg.root)
+            .field("models", &self.names())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ModelRegistry {
+    /// Opens (creating if needed) the registry at `cfg.root` and runs the
+    /// recovery scan with the built-in canary validator.
+    pub fn open(cfg: RegistryConfig) -> Result<Self, RegistryError> {
+        Self::open_with_validator(cfg, None)
+    }
+
+    /// Like [`Self::open`], with a serving-layer validation hook that
+    /// replaces [`default_canary`] for both recovery and publish.
+    pub fn open_with_validator(
+        cfg: RegistryConfig,
+        validator: Option<Validator>,
+    ) -> Result<Self, RegistryError> {
+        let _sp = dfp_obs::span("registry.open");
+        fs::create_dir_all(&cfg.root)?;
+        let mut registry = ModelRegistry {
+            cfg,
+            models: RwLock::new(HashMap::new()),
+            metrics: dfp_obs::Registry::new(),
+            validator,
+            recovery: RecoveryReport::default(),
+            high_water: Mutex::new(HashMap::new()),
+            swaps_epoch: AtomicI64::new(0),
+        };
+        let mut names: Vec<String> = Vec::new();
+        for entry in fs::read_dir(&registry.cfg.root)? {
+            let entry = entry?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            if let Some(name) = entry.file_name().to_str().filter(|n| store::valid_name(n)) {
+                names.push(name.to_string());
+            }
+        }
+        names.sort();
+        let mut report = RecoveryReport::default();
+        for name in names {
+            let outcome = registry.recover_model(&name)?;
+            report.models.push((name, outcome));
+        }
+        registry.recovery = report;
+        Ok(registry)
+    }
+
+    /// The managed root directory.
+    pub fn root(&self) -> &Path {
+        &self.cfg.root
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .models
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// The per-model slot, if `name` is registered.
+    pub fn model(&self, name: &str) -> Option<Arc<ModelSlot>> {
+        self.models
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// What the boot-time recovery scan found and did.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Serializes a fitted classifier and publishes it as the next version
+    /// of `name`.
+    pub fn publish_model(
+        &self,
+        name: &str,
+        model: &PatternClassifier,
+        probe: Option<&str>,
+    ) -> Result<SwapReport, SwapError> {
+        self.publish_bytes(name, &dfp_model::to_bytes(model), probe)
+    }
+
+    /// Publishes raw `DFPM` bytes as the next version of `name`, performing
+    /// the full atomic hot-swap protocol; `probe` (a CSV row in the model
+    /// schema's order) replaces the stored canary row when given.
+    ///
+    /// Swap protocol — the pointer flips only at step 5, so every failure
+    /// before it is an automatic rollback:
+    /// 1. acquire the per-model swap lock (`Err(Busy)` when contended);
+    /// 2. decode + CRC-verify the bytes in memory (`Err(InvalidArtifact)`);
+    /// 3. write `NNNNNN.dfpm` via temp-file + fsync + rename
+    ///    (`registry.write` / `registry.rename` failpoints);
+    /// 4. reload **from disk** and smoke-validate (`registry.validate`;
+    ///    failure quarantines the new file, `Err(Rejected)`);
+    /// 5. flip `CURRENT` atomically, then swap the in-memory snapshot;
+    /// 6. drain: wait for in-flight requests on the old version
+    ///    (`registry.drain`), then retire it and prune old artifacts.
+    pub fn publish_bytes(
+        &self,
+        name: &str,
+        bytes: &[u8],
+        probe: Option<&str>,
+    ) -> Result<SwapReport, SwapError> {
+        let mut sp = dfp_obs::span("registry.swap");
+        sp.attr("model", name);
+        if !store::valid_name(name) {
+            return Err(SwapError::InvalidName(name.to_string()));
+        }
+        let slot = self.slot(name).map_err(SwapError::Io)?;
+        let _guard = match slot.swap.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::WouldBlock) => return Err(SwapError::Busy),
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        };
+
+        // Reject garbage before any disk mutation: a full typed decode
+        // covers magic, version, structure and the trailing CRC-32.
+        if let Err(e) = dfp_model::from_bytes(bytes) {
+            self.swap_failures(name).inc();
+            return Err(SwapError::InvalidArtifact(e));
+        }
+
+        let dir = self.cfg.root.join(name);
+        let previous = slot.current().map(|v| v.version);
+        let version = self.next_version(name, &dir).map_err(SwapError::Io)?;
+        let file = store::artifact_name(version);
+        if let Some(row) = probe {
+            let body = format!("{}\n", row.trim_end());
+            store::write_atomic(
+                &dir,
+                store::PROBE,
+                body.as_bytes(),
+                "registry.write",
+                "registry.rename",
+            )
+            .map_err(|e| self.swap_io_failure(name, &dir, e))?;
+        }
+        store::write_atomic(&dir, &file, bytes, "registry.write", "registry.rename")
+            .map_err(|e| self.swap_io_failure(name, &dir, e))?;
+
+        // Validate what is actually on disk — the artifact a restart would
+        // boot from — not the in-memory decode of the uploaded bytes.
+        let model = match self.validate_artifact(&dir, version, true) {
+            Ok(m) => m,
+            Err(why) => {
+                let _ = store::quarantine(&dir, &dir.join(&file));
+                self.swap_failures(name).inc();
+                dfp_obs::log::warn(
+                    "dfp_registry",
+                    "swap rolled back: artifact failed validation",
+                    &[("model", name), ("why", &why)],
+                );
+                return Err(SwapError::Rejected(why));
+            }
+        };
+
+        store::write_current(&dir, version).map_err(|e| self.swap_io_failure(name, &dir, e))?;
+        let fresh = Arc::new(ModelVersion { version, model });
+        let old = slot.set_current(Some(fresh));
+        self.swaps(name).inc();
+        self.current_version(name).set(version as i64);
+        self.swaps_epoch.fetch_add(1, Ordering::Relaxed);
+        sp.attr("version", version);
+
+        let had_previous = old.is_some();
+        let drained = self.drain(old);
+        if drained && had_previous {
+            self.retired(name).inc();
+        }
+        self.prune(name, &dir, version);
+        dfp_obs::log::info(
+            "dfp_registry",
+            "hot-swap complete",
+            &[("model", name), ("version", &version.to_string())],
+        );
+        Ok(SwapReport {
+            name: name.to_string(),
+            version,
+            previous,
+            drained,
+        })
+    }
+
+    /// Monotonic count of completed swaps across all models — a cheap
+    /// change detector for pollers.
+    pub fn swaps_observed(&self) -> i64 {
+        self.swaps_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Appends the registry's Prometheus families (per-model labels) to
+    /// `out`.
+    pub fn render_metrics_into(&self, out: &mut String) {
+        self.metrics.render_into(out);
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    /// Get-or-create the slot (and directory) for `name`.
+    fn slot(&self, name: &str) -> std::io::Result<Arc<ModelSlot>> {
+        if let Some(slot) = self.model(name) {
+            return Ok(slot);
+        }
+        fs::create_dir_all(self.cfg.root.join(name))?;
+        store::sync_dir(&self.cfg.root);
+        let mut models = self.models.write().unwrap_or_else(|e| e.into_inner());
+        Ok(Arc::clone(models.entry(name.to_string()).or_insert_with(
+            || {
+                Arc::new(ModelSlot {
+                    name: name.to_string(),
+                    swap: Mutex::new(()),
+                    current: RwLock::new(None),
+                    requests: self.metrics.counter_with(
+                        "dfp_registry_requests_total",
+                        "Requests routed to this model",
+                        &[("model", name)],
+                    ),
+                    predictions: self.metrics.counter_with(
+                        "dfp_registry_predictions_total",
+                        "Rows predicted by this model",
+                        &[("model", name)],
+                    ),
+                    latency: self.metrics.histogram_with(
+                        "dfp_registry_predict_latency_seconds",
+                        "Per-model predict latency",
+                        &LATENCY_BUCKETS,
+                        &[("model", name)],
+                    ),
+                })
+            },
+        )))
+    }
+
+    /// The next artifact version for `name`: above everything on disk and
+    /// everything ever seen in this process (pruning must not recycle).
+    fn next_version(&self, name: &str, dir: &Path) -> std::io::Result<u64> {
+        let on_disk = store::list_versions(dir)?.last().copied().unwrap_or(0);
+        let mut hw = self.high_water.lock().unwrap_or_else(|e| e.into_inner());
+        let next = on_disk.max(*hw.get(name).unwrap_or(&0)) + 1;
+        hw.insert(name.to_string(), next);
+        Ok(next)
+    }
+
+    fn swap_io_failure(&self, name: &str, dir: &Path, e: std::io::Error) -> SwapError {
+        // A failed write may strand a `.tmp`; sweep it now rather than
+        // waiting for the next boot.
+        let _ = store::sweep_tmp(dir);
+        self.swap_failures(name).inc();
+        SwapError::Io(e)
+    }
+
+    /// Loads `dir/NNNNNN.dfpm` and runs the canary. `with_failpoint` arms
+    /// the `registry.validate` site (publish path only — an armed failpoint
+    /// must not make the boot scan quarantine healthy artifacts). Panics
+    /// from the site or from a broken model are contained and reported as
+    /// validation failures.
+    fn validate_artifact(
+        &self,
+        dir: &Path,
+        version: u64,
+        with_failpoint: bool,
+    ) -> Result<PatternClassifier, String> {
+        let path = dir.join(store::artifact_name(version));
+        let validator = self.validator.clone();
+        let probe = fs::read_to_string(dir.join(store::PROBE))
+            .ok()
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty());
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<PatternClassifier, String> {
+            let model =
+                dfp_model::load(&path).map_err(|e| format!("artifact failed verification: {e}"))?;
+            if with_failpoint {
+                if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("registry.validate") {
+                    return Err("fault injected at failpoint 'registry.validate'".to_string());
+                }
+            }
+            match &validator {
+                Some(v) => v(&model, probe.as_deref())?,
+                None => default_canary(&model, probe.as_deref())?,
+            }
+            Ok(model)
+        }));
+        match outcome {
+            Ok(r) => r,
+            Err(panic) => Err(format!(
+                "validation panicked: {}",
+                panic_message(panic.as_ref())
+            )),
+        }
+    }
+
+    /// Waits (bounded) for every in-flight request holding the old snapshot
+    /// to finish; returns `true` when the old version fully retired.
+    fn drain(&self, old: Option<Arc<ModelVersion>>) -> bool {
+        let Some(old) = old else { return true };
+        let _sp = dfp_obs::span("registry.drain");
+        // `sleep` widens the drain window for chaos tests; `err` skips the
+        // wait entirely (simulating an operator-forced immediate retire).
+        if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("registry.drain") {
+            return Arc::strong_count(&old) <= 1;
+        }
+        let deadline = Instant::now() + self.cfg.drain_timeout;
+        while Arc::strong_count(&old) > 1 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(DRAIN_POLL);
+        }
+        true
+    }
+
+    /// Deletes artifacts beyond `keep_versions`, newest first, never the
+    /// one `CURRENT` names. Prune errors are ignored — an undeleted old
+    /// version costs disk, not correctness.
+    fn prune(&self, _name: &str, dir: &Path, current: u64) {
+        let Ok(versions) = store::list_versions(dir) else {
+            return;
+        };
+        let mut keep: Vec<u64> = versions.iter().rev().copied().collect();
+        keep.truncate(self.cfg.keep_versions);
+        for v in versions {
+            if v != current && !keep.contains(&v) {
+                let _ = fs::remove_file(dir.join(store::artifact_name(v)));
+            }
+        }
+    }
+
+    /// Boot-time recovery for one model directory. See the crate docs.
+    fn recover_model(&mut self, name: &str) -> Result<ModelRecovery, RegistryError> {
+        let dir = self.cfg.root.join(name);
+        let mut outcome = ModelRecovery::default();
+        store::sweep_tmp(&dir)?;
+
+        // CRC-verify (full decode) every artifact; quarantine corrupt ones.
+        let mut valid: Vec<u64> = Vec::new();
+        for v in store::list_versions(&dir)? {
+            let path = dir.join(store::artifact_name(v));
+            match dfp_model::load(&path) {
+                Ok(_) => valid.push(v),
+                Err(e) => {
+                    let why = e.to_string();
+                    let _ = store::quarantine(&dir, &path);
+                    dfp_obs::log::warn(
+                        "dfp_registry",
+                        "quarantined corrupt artifact",
+                        &[
+                            ("model", name),
+                            ("file", &store::artifact_name(v)),
+                            ("why", &why),
+                        ],
+                    );
+                    outcome.quarantined.push((store::artifact_name(v), why));
+                }
+            }
+        }
+
+        // Resolve the pointer: trust it when it names a valid version, else
+        // fall back to the newest valid one. Candidates that fail the
+        // serving canary are quarantined and the next one is tried.
+        let pointed = store::read_current(&dir);
+        let mut candidates: Vec<u64> = Vec::new();
+        if let Some(p) = pointed.filter(|p| valid.contains(p)) {
+            candidates.push(p);
+        }
+        for &v in valid.iter().rev() {
+            if !candidates.contains(&v) {
+                candidates.push(v);
+            }
+        }
+        let mut chosen: Option<(u64, PatternClassifier)> = None;
+        for v in candidates {
+            match self.validate_artifact(&dir, v, false) {
+                Ok(m) => {
+                    chosen = Some((v, m));
+                    break;
+                }
+                Err(why) => {
+                    let _ = store::quarantine(&dir, &dir.join(store::artifact_name(v)));
+                    outcome.quarantined.push((store::artifact_name(v), why));
+                }
+            }
+        }
+
+        let slot = self.slot(name)?;
+        if let Some((version, model)) = chosen {
+            if pointed != Some(version) {
+                store::write_current(&dir, version)?;
+                outcome.pointer_rewritten = true;
+            }
+            slot.set_current(Some(Arc::new(ModelVersion { version, model })));
+            self.current_version(name).set(version as i64);
+            outcome.chosen = Some(version);
+            self.high_water
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(name.to_string(), version);
+        }
+        if !outcome.quarantined.is_empty() {
+            self.quarantined(name).add(outcome.quarantined.len() as u64);
+        }
+        Ok(outcome)
+    }
+
+    // -- per-model swap metrics (cold path; looked up on use) --------------
+
+    fn swaps(&self, name: &str) -> Arc<Counter> {
+        self.metrics.counter_with(
+            "dfp_registry_swaps_total",
+            "Completed atomic hot-swaps",
+            &[("model", name)],
+        )
+    }
+
+    fn swap_failures(&self, name: &str) -> Arc<Counter> {
+        self.metrics.counter_with(
+            "dfp_registry_swap_failures_total",
+            "Swaps rejected or rolled back before the pointer flip",
+            &[("model", name)],
+        )
+    }
+
+    fn quarantined(&self, name: &str) -> Arc<Counter> {
+        self.metrics.counter_with(
+            "dfp_registry_quarantined_total",
+            "Artifacts quarantined as corrupt or unservable",
+            &[("model", name)],
+        )
+    }
+
+    fn retired(&self, name: &str) -> Arc<Counter> {
+        self.metrics.counter_with(
+            "dfp_registry_retired_total",
+            "Old versions fully drained and retired after a swap",
+            &[("model", name)],
+        )
+    }
+
+    fn current_version(&self, name: &str) -> Arc<Gauge> {
+        self.metrics.gauge_with(
+            "dfp_registry_current_version",
+            "Artifact version currently serving",
+            &[("model", name)],
+        )
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

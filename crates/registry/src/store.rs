@@ -1,0 +1,231 @@
+//! On-disk layout and crash-safe filesystem primitives.
+//!
+//! One registry root holds one directory per model name:
+//!
+//! ```text
+//! <root>/<name>/000001.dfpm       versioned artifacts (6-digit, ascending)
+//! <root>/<name>/CURRENT           pointer file: "<version file name>\n"
+//! <root>/<name>/PROBE             optional canary CSV row for validation
+//! <root>/<name>/quarantine/       corrupt artifacts moved aside at boot
+//! ```
+//!
+//! Every mutation goes through [`write_atomic`]: the payload is written to a
+//! `.tmp` sibling, fsynced, renamed into place, and the directory is fsynced
+//! so the rename itself is durable. A crash at any byte offset therefore
+//! leaves either the old file, the new file, or a `.tmp` leftover that the
+//! boot-time recovery scan deletes — never a torn visible file. (A torn
+//! `CURRENT` can still appear if something outside this module scribbles on
+//! it; recovery treats any unreadable pointer as absent and re-derives it.)
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the current-version pointer inside a model directory.
+pub const CURRENT: &str = "CURRENT";
+/// File name of the optional canary probe row inside a model directory.
+pub const PROBE: &str = "PROBE";
+/// Subdirectory corrupt artifacts are quarantined into.
+pub const QUARANTINE: &str = "quarantine";
+/// Extension of model artifacts.
+pub const ARTIFACT_EXT: &str = "dfpm";
+
+/// `true` when `name` is usable as a model name (and therefore a directory
+/// name): 1–64 ASCII alphanumerics, `_`, `-` or `.` — with no leading dot,
+/// so names can never traverse (`..`) or hide themselves.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && !name.starts_with('.')
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.')
+}
+
+/// `000007.dfpm` for version 7.
+pub fn artifact_name(version: u64) -> String {
+    format!("{version:06}.{ARTIFACT_EXT}")
+}
+
+/// Parses `000007.dfpm` back to 7; `None` for anything else.
+pub fn parse_artifact_name(name: &str) -> Option<u64> {
+    let stem = name.strip_suffix(&format!(".{ARTIFACT_EXT}"))?;
+    if stem.is_empty() || !stem.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    stem.parse().ok()
+}
+
+/// Fsyncs `dir` so a rename inside it is durable. Best-effort: on platforms
+/// where directories cannot be opened this is a no-op (the rename is still
+/// atomic, just not guaranteed ordered with respect to a crash).
+pub fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Writes `bytes` to `dir/final_name` crash-safely: `.tmp` sibling, fsync,
+/// rename, directory fsync. `site_write` / `site_rename` are the failpoint
+/// sites evaluated before the write and the rename respectively —
+/// `registry.write=trunc` produces a torn payload (exercising recovery),
+/// `registry.rename=err` fails after the tmp file exists (exercising the
+/// `.tmp` sweep).
+pub fn write_atomic(
+    dir: &Path,
+    final_name: &str,
+    bytes: &[u8],
+    site_write: &str,
+    site_rename: &str,
+) -> io::Result<PathBuf> {
+    let tmp = dir.join(format!("{final_name}.tmp"));
+    let dest = dir.join(final_name);
+    let mut payload = bytes;
+    match dfp_fault::evaluate(site_write) {
+        Some(dfp_fault::Action::Err) => {
+            return Err(io::Error::other(format!(
+                "fault injected at failpoint '{site_write}'"
+            )))
+        }
+        Some(dfp_fault::Action::Trunc) => payload = &bytes[..bytes.len() / 2],
+        _ => {}
+    }
+    let mut f = File::create(&tmp)?;
+    f.write_all(payload)?;
+    f.sync_all()?;
+    drop(f);
+    if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate(site_rename) {
+        return Err(io::Error::other(format!(
+            "fault injected at failpoint '{site_rename}'"
+        )));
+    }
+    fs::rename(&tmp, &dest)?;
+    sync_dir(dir);
+    Ok(dest)
+}
+
+/// Moves `path` into `dir/quarantine/`, creating the subdirectory on first
+/// use. A name collision gets a numeric suffix so repeated quarantines of
+/// equally-named files never clobber evidence.
+pub fn quarantine(dir: &Path, path: &Path) -> io::Result<PathBuf> {
+    let qdir = dir.join(QUARANTINE);
+    fs::create_dir_all(&qdir)?;
+    let base = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("artifact")
+        .to_string();
+    let mut dest = qdir.join(&base);
+    let mut n = 1u32;
+    while dest.exists() {
+        dest = qdir.join(format!("{base}.{n}"));
+        n += 1;
+    }
+    fs::rename(path, &dest)?;
+    sync_dir(&qdir);
+    sync_dir(dir);
+    Ok(dest)
+}
+
+/// Deletes every `*.tmp` leftover in `dir` (a crash mid-write strands one).
+pub fn sweep_tmp(dir: &Path) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if name.to_str().is_some_and(|n| n.ends_with(".tmp")) {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+    Ok(())
+}
+
+/// All artifact versions present in `dir`, ascending.
+pub fn list_versions(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut versions = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(v) = entry
+            .file_name()
+            .to_str()
+            .and_then(parse_artifact_name)
+            .filter(|_| entry.path().is_file())
+        {
+            versions.push(v);
+        }
+    }
+    versions.sort_unstable();
+    Ok(versions)
+}
+
+/// Reads the `CURRENT` pointer: the version it names, if the file exists,
+/// is readable and parses. Any torn, empty or garbage pointer is `None` —
+/// the recovery scan then re-derives and rewrites it.
+pub fn read_current(dir: &Path) -> Option<u64> {
+    let text = fs::read_to_string(dir.join(CURRENT)).ok()?;
+    parse_artifact_name(text.trim())
+}
+
+/// Atomically points `CURRENT` at `version`.
+pub fn write_current(dir: &Path, version: u64) -> io::Result<()> {
+    let body = format!("{}\n", artifact_name(version));
+    write_atomic(
+        dir,
+        CURRENT,
+        body.as_bytes(),
+        "registry.write",
+        "registry.rename",
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_validate() {
+        assert!(valid_name("iris"));
+        assert!(valid_name("model-v2.1_final"));
+        assert!(!valid_name(""));
+        assert!(!valid_name(".hidden"));
+        assert!(!valid_name("a/b"));
+        assert!(!valid_name("a b"));
+        assert!(!valid_name(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn artifact_names_round_trip() {
+        assert_eq!(artifact_name(7), "000007.dfpm");
+        assert_eq!(parse_artifact_name("000007.dfpm"), Some(7));
+        assert_eq!(parse_artifact_name("1234567.dfpm"), Some(1_234_567));
+        assert_eq!(parse_artifact_name("CURRENT"), None);
+        assert_eq!(parse_artifact_name("x.dfpm"), None);
+        assert_eq!(parse_artifact_name(".dfpm"), None);
+        assert_eq!(parse_artifact_name("000007.dfpm.tmp"), None);
+    }
+
+    #[test]
+    fn atomic_write_round_trips_and_sweeps() {
+        let dir = std::env::temp_dir().join(format!("dfp-store-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        write_atomic(&dir, "a.bin", b"hello", "t.none", "t.none").unwrap();
+        assert_eq!(fs::read(dir.join("a.bin")).unwrap(), b"hello");
+        fs::write(dir.join("b.bin.tmp"), b"torn").unwrap();
+        sweep_tmp(&dir).unwrap();
+        assert!(!dir.join("b.bin.tmp").exists());
+        assert!(dir.join("a.bin").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn current_pointer_round_trips_and_rejects_torn() {
+        let dir = std::env::temp_dir().join(format!("dfp-store-cur-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(read_current(&dir), None);
+        write_current(&dir, 3).unwrap();
+        assert_eq!(read_current(&dir), Some(3));
+        fs::write(dir.join(CURRENT), b"0000").unwrap(); // torn
+        assert_eq!(read_current(&dir), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

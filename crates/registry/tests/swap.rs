@@ -1,0 +1,328 @@
+//! Atomic hot-swap protocol: validation gates the pointer flip, every
+//! failure mode rolls back to the previous version, and boot-time recovery
+//! restores a valid serving state from arbitrary on-disk damage.
+
+use dfp_core::{FrameworkConfig, PatternClassifier};
+use dfp_data::dataset::{categorical_dataset, Dataset};
+use dfp_registry::{store, ModelRegistry, RegistryConfig, SwapError};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Failpoint state is process-global; every test that arms one serialises.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_faults() -> MutexGuard<'static, ()> {
+    let guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    dfp_fault::disarm_all();
+    guard
+}
+
+static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dfp-registry-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// (a0=v1, a1=v1) → c0 and (a0=v1, a1=v2) → c1; a2 is noise. `flip` swaps
+/// the labels so the two fitted models are distinguishable by prediction.
+fn confusable(flip: bool) -> Dataset {
+    let mut rows: Vec<(Vec<u32>, u32)> = Vec::new();
+    for i in 0..60u32 {
+        let (vals, mut label) = if i % 2 == 0 {
+            (vec![1, 1, i % 3], 0)
+        } else {
+            (vec![1, 2, i % 3], 1)
+        };
+        if flip {
+            label = 1 - label;
+        }
+        rows.push((vals, label));
+    }
+    let borrowed: Vec<(&[u32], u32)> = rows.iter().map(|(v, l)| (&v[..], *l)).collect();
+    categorical_dataset(&[3, 3, 3], 2, &borrowed)
+}
+
+fn fit(flip: bool) -> PatternClassifier {
+    PatternClassifier::fit(&confusable(flip), &FrameworkConfig::pat_fs()).expect("fit")
+}
+
+/// Prediction for the first canonical row (a0=v1, a1=v1): class 0 from the
+/// unflipped model, class 1 from the flipped one.
+fn predict_one(reg: &ModelRegistry, name: &str) -> u32 {
+    let slot = reg.model(name).expect("slot");
+    let version = slot.current().expect("current");
+    version.model.predict(&confusable(false)).expect("predict")[0].0
+}
+
+#[test]
+fn publish_swaps_and_versions_are_monotonic() {
+    let _g = lock_faults();
+    let root = scratch("swap");
+    let reg = ModelRegistry::open(RegistryConfig::new(&root)).unwrap();
+    let a = reg.publish_model("iris", &fit(false), None).unwrap();
+    assert_eq!(a.version, 1);
+    assert_eq!(a.previous, None);
+    assert!(a.drained);
+    let before = predict_one(&reg, "iris");
+
+    let b = reg.publish_model("iris", &fit(true), None).unwrap();
+    assert_eq!(b.version, 2);
+    assert_eq!(b.previous, Some(1));
+    let after = predict_one(&reg, "iris");
+    assert_ne!(
+        before, after,
+        "flipped-label model must predict differently"
+    );
+    assert_eq!(store::read_current(&root.join("iris")), Some(2));
+    assert_eq!(reg.names(), vec!["iris".to_string()]);
+}
+
+#[test]
+fn in_flight_snapshot_survives_a_swap() {
+    let _g = lock_faults();
+    let root = scratch("inflight");
+    let reg = ModelRegistry::open(
+        RegistryConfig::new(&root).with_drain_timeout(Duration::from_millis(50)),
+    )
+    .unwrap();
+    reg.publish_model("m", &fit(false), None).unwrap();
+    let held = reg.model("m").unwrap().current().unwrap(); // in-flight request
+    let report = reg.publish_model("m", &fit(true), None).unwrap();
+    assert!(!report.drained, "held snapshot must block full drain");
+    // The old snapshot still answers — bit-identical to before the swap.
+    assert_eq!(held.model.predict(&confusable(false)).unwrap()[0].0, 0);
+    assert_eq!(held.version, 1);
+    assert_eq!(reg.model("m").unwrap().current().unwrap().version, 2);
+}
+
+#[test]
+fn garbage_bytes_are_rejected_before_any_disk_mutation() {
+    let _g = lock_faults();
+    let root = scratch("garbage");
+    let reg = ModelRegistry::open(RegistryConfig::new(&root)).unwrap();
+    reg.publish_model("m", &fit(false), None).unwrap();
+
+    // Flip one payload byte: CRC catches it, nothing lands on disk.
+    let mut bytes = dfp_model::to_bytes(&fit(true));
+    bytes[10] ^= 0xFF;
+    match reg.publish_bytes("m", &bytes, None) {
+        Err(SwapError::InvalidArtifact(_)) => {}
+        other => panic!("expected InvalidArtifact, got {other:?}"),
+    }
+    assert_eq!(store::list_versions(&root.join("m")).unwrap(), vec![1]);
+    assert_eq!(reg.model("m").unwrap().current().unwrap().version, 1);
+}
+
+#[test]
+fn validation_failure_quarantines_and_rolls_back() {
+    let _g = lock_faults();
+    let root = scratch("reject");
+    let reg = ModelRegistry::open(RegistryConfig::new(&root)).unwrap();
+    reg.publish_model("m", &fit(false), None).unwrap();
+
+    for action in [dfp_fault::Action::Err, dfp_fault::Action::Panic] {
+        dfp_fault::arm_times("registry.validate", action, Some(1));
+        match reg.publish_model("m", &fit(true), None) {
+            Err(SwapError::Rejected(_)) => {}
+            other => panic!("expected Rejected under {action:?}, got {other:?}"),
+        }
+    }
+    dfp_fault::disarm_all();
+
+    let dir = root.join("m");
+    assert_eq!(store::read_current(&dir), Some(1), "pointer must not flip");
+    assert_eq!(store::list_versions(&dir).unwrap(), vec![1]);
+    assert_eq!(
+        fs::read_dir(dir.join(store::QUARANTINE)).unwrap().count(),
+        2,
+        "both rejected artifacts quarantined"
+    );
+    assert_eq!(reg.model("m").unwrap().current().unwrap().version, 1);
+    // And the next clean publish still works, with a fresh version number.
+    let report = reg.publish_model("m", &fit(true), None).unwrap();
+    assert!(report.version > 1);
+
+    let mut metrics = String::new();
+    reg.render_metrics_into(&mut metrics);
+    assert!(metrics.contains("dfp_registry_swap_failures_total{model=\"m\"} 2"));
+    assert!(metrics.contains("dfp_registry_swaps_total{model=\"m\"} 2"));
+}
+
+#[test]
+fn torn_write_fails_crc_and_rolls_back() {
+    let _g = lock_faults();
+    let root = scratch("torn");
+    let reg = ModelRegistry::open(RegistryConfig::new(&root)).unwrap();
+    reg.publish_model("m", &fit(false), None).unwrap();
+
+    dfp_fault::arm_times("registry.write", dfp_fault::Action::Trunc, Some(1));
+    match reg.publish_model("m", &fit(true), None) {
+        Err(SwapError::Rejected(_)) => {}
+        other => panic!("expected Rejected for torn artifact, got {other:?}"),
+    }
+    dfp_fault::disarm_all();
+    assert_eq!(store::read_current(&root.join("m")), Some(1));
+    assert_eq!(reg.model("m").unwrap().current().unwrap().version, 1);
+}
+
+#[test]
+fn rename_failure_leaves_no_tmp_and_rolls_back() {
+    let _g = lock_faults();
+    let root = scratch("rename");
+    let reg = ModelRegistry::open(RegistryConfig::new(&root)).unwrap();
+    reg.publish_model("m", &fit(false), None).unwrap();
+
+    dfp_fault::arm_times("registry.rename", dfp_fault::Action::Err, Some(1));
+    match reg.publish_model("m", &fit(true), None) {
+        Err(SwapError::Io(_)) => {}
+        other => panic!("expected Io, got {other:?}"),
+    }
+    dfp_fault::disarm_all();
+    let dir = root.join("m");
+    let tmps = fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.ends_with(".tmp"))
+        })
+        .count();
+    assert_eq!(tmps, 0, "failed swap must sweep its tmp file");
+    assert_eq!(store::read_current(&dir), Some(1));
+}
+
+#[test]
+fn concurrent_swap_is_busy() {
+    let _g = lock_faults();
+    let root = scratch("busy");
+    let reg = std::sync::Arc::new(ModelRegistry::open(RegistryConfig::new(&root)).unwrap());
+    reg.publish_model("m", &fit(false), None).unwrap();
+
+    // First swap stalls in drain (holding the swap lock) via the failpoint;
+    // the second must answer Busy, not block.
+    let held = reg.model("m").unwrap().current().unwrap();
+    dfp_fault::arm_times("registry.drain", dfp_fault::Action::Sleep(400), Some(1));
+    let bg = {
+        let reg = std::sync::Arc::clone(&reg);
+        let bytes = dfp_model::to_bytes(&fit(true));
+        std::thread::spawn(move || reg.publish_bytes("m", &bytes, None))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    match reg.publish_model("m", &fit(false), None) {
+        Err(SwapError::Busy) => {}
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    drop(held);
+    bg.join().unwrap().unwrap();
+    dfp_fault::disarm_all();
+}
+
+#[test]
+fn prune_keeps_the_newest_versions() {
+    let _g = lock_faults();
+    let root = scratch("prune");
+    let reg = ModelRegistry::open(RegistryConfig::new(&root).with_keep_versions(2)).unwrap();
+    let model = fit(false);
+    for _ in 0..5 {
+        reg.publish_model("m", &model, None).unwrap();
+    }
+    assert_eq!(store::list_versions(&root.join("m")).unwrap(), vec![4, 5]);
+    // Version numbers never recycle even past pruned history.
+    assert_eq!(reg.publish_model("m", &model, None).unwrap().version, 6);
+}
+
+#[test]
+fn recovery_quarantines_corrupt_and_resolves_torn_pointer() {
+    let _g = lock_faults();
+    let root = scratch("recover");
+    {
+        let reg = ModelRegistry::open(RegistryConfig::new(&root)).unwrap();
+        reg.publish_model("m", &fit(false), None).unwrap();
+        reg.publish_model("m", &fit(true), None).unwrap();
+    }
+    let dir = root.join("m");
+    // Corrupt the newest artifact and tear the pointer that names it.
+    let newest = dir.join(store::artifact_name(2));
+    let mut bytes = fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&newest, &bytes).unwrap();
+    fs::write(dir.join(store::CURRENT), b"0000").unwrap();
+    fs::write(dir.join("junk.tmp"), b"leftover").unwrap();
+
+    let reg = ModelRegistry::open(RegistryConfig::new(&root)).unwrap();
+    let slot = reg.model("m").expect("model survives");
+    assert_eq!(slot.current().unwrap().version, 1, "falls back to valid v1");
+    assert_eq!(store::read_current(&dir), Some(1), "pointer rewritten");
+    assert!(!dir.join("junk.tmp").exists(), "tmp swept");
+    assert!(dir
+        .join(store::QUARANTINE)
+        .join(store::artifact_name(2))
+        .exists());
+    let (_, m) = &reg.recovery().models[0];
+    assert_eq!(m.chosen, Some(1));
+    assert!(m.pointer_rewritten);
+    assert_eq!(m.quarantined.len(), 1);
+    // Predictions from the recovered model are the old model's.
+    assert_eq!(predict_one(&reg, "m"), 0);
+}
+
+#[test]
+fn recovery_with_everything_corrupt_leaves_model_not_ready() {
+    let _g = lock_faults();
+    let root = scratch("allbad");
+    {
+        let reg = ModelRegistry::open(RegistryConfig::new(&root)).unwrap();
+        reg.publish_model("m", &fit(false), None).unwrap();
+    }
+    let dir = root.join("m");
+    fs::write(dir.join(store::artifact_name(1)), b"DFPMgarbage").unwrap();
+
+    let reg = ModelRegistry::open(RegistryConfig::new(&root)).unwrap();
+    let slot = reg.model("m").expect("slot still registered");
+    assert!(slot.current().is_none(), "nothing valid to serve");
+    assert_eq!(reg.recovery().total_quarantined(), 1);
+}
+
+#[test]
+fn probe_row_is_stored_and_survives_swaps() {
+    let _g = lock_faults();
+    let root = scratch("probe");
+    let reg = ModelRegistry::open(RegistryConfig::new(&root)).unwrap();
+    reg.publish_model("m", &fit(false), Some("v1,v1,v0"))
+        .unwrap();
+    assert_eq!(
+        fs::read_to_string(root.join("m").join(store::PROBE)).unwrap(),
+        "v1,v1,v0\n"
+    );
+    // A probe-less republish keeps the stored row.
+    reg.publish_model("m", &fit(true), None).unwrap();
+    assert_eq!(
+        fs::read_to_string(root.join("m").join(store::PROBE)).unwrap(),
+        "v1,v1,v0\n"
+    );
+}
+
+#[test]
+fn invalid_names_are_refused() {
+    let _g = lock_faults();
+    let root = scratch("names");
+    let reg = ModelRegistry::open(RegistryConfig::new(&root)).unwrap();
+    for bad in ["", "../up", "a/b", ".hidden", "a b"] {
+        match reg.publish_model(bad, &fit(false), None) {
+            Err(SwapError::InvalidName(_)) => {}
+            other => panic!("expected InvalidName for {bad:?}, got {other:?}"),
+        }
+    }
+}

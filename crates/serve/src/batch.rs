@@ -55,12 +55,12 @@ impl Inner {
     }
 }
 
-/// A running batch scheduler; dropping it drains the queue and joins the
-/// batcher thread.
+/// A running batch scheduler; [`Self::shutdown`] (or drop) drains the queue
+/// and joins the batcher thread.
 #[derive(Debug)]
 pub struct BatchScheduler {
     inner: Arc<Inner>,
-    batcher: Option<JoinHandle<()>>,
+    batcher: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for Inner {
@@ -100,7 +100,7 @@ impl BatchScheduler {
         };
         BatchScheduler {
             inner,
-            batcher: Some(batcher),
+            batcher: Mutex::new(Some(batcher)),
         }
     }
 
@@ -108,9 +108,23 @@ impl BatchScheduler {
     /// predicted labels arrive on. Callers should bound their wait by
     /// `deadline` (`recv_timeout`); a dropped channel means the scheduler
     /// abandoned the batch (only under fault injection).
-    pub fn submit(&self, rows: Vec<Vec<u32>>, deadline: Instant) -> mpsc::Receiver<Vec<ClassId>> {
+    ///
+    /// After [`Self::shutdown`] the submission is refused and the rows come
+    /// back in `Err` so the caller can predict them inline — a request that
+    /// raced server shutdown still gets a correct answer, never a spurious
+    /// `500`. The stop check happens under the queue lock, which is also
+    /// where the batcher makes its exit decision, so there is no window
+    /// where an accepted submission goes unprocessed.
+    pub fn submit(
+        &self,
+        rows: Vec<Vec<u32>>,
+        deadline: Instant,
+    ) -> Result<mpsc::Receiver<Vec<ClassId>>, Vec<Vec<u32>>> {
         let (reply, rx) = mpsc::channel();
         let mut q = self.inner.lock_queue();
+        if self.inner.stop.load(Ordering::Acquire) {
+            return Err(rows);
+        }
         q.push_back(Pending {
             rows,
             deadline,
@@ -118,17 +132,37 @@ impl BatchScheduler {
         });
         drop(q);
         self.inner.available.notify_all();
-        rx
+        Ok(rx)
+    }
+
+    /// Stops the batcher and joins its thread: everything already queued is
+    /// answered first, and later [`Self::submit`] calls are refused. Safe to
+    /// call from shared references and more than once; the server shutdown
+    /// path runs this *before* joining the worker pool so no worker can
+    /// block on a reply that will never come.
+    pub fn shutdown(&self) {
+        {
+            // Raise the flag under the queue lock: every submit either
+            // happens-before this (the batcher drains it) or observes stop
+            // and is refused.
+            let _q = self.inner.lock_queue();
+            self.inner.stop.store(true, Ordering::Release);
+        }
+        self.inner.available.notify_all();
+        let handle = self
+            .batcher
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(t) = handle {
+            let _ = t.join();
+        }
     }
 }
 
 impl Drop for BatchScheduler {
     fn drop(&mut self) {
-        self.inner.stop.store(true, Ordering::Release);
-        self.inner.available.notify_all();
-        if let Some(t) = self.batcher.take() {
-            let _ = t.join();
-        }
+        self.shutdown();
     }
 }
 

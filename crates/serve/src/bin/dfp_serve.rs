@@ -1,12 +1,22 @@
-//! `dfp-serve` — serve a `.dfpm` model artifact over HTTP.
+//! `dfp-serve` — serve `.dfpm` model artifacts over HTTP.
 //!
 //! ```text
 //! dfp-serve --model model.dfpm [--addr 127.0.0.1:8080] [--threads 4]
+//! dfp-serve --registry models/ [--model model.dfpm] [--addr …]
 //! ```
+//!
+//! With `--registry <dir>` (or `DFP_REGISTRY_ROOT`) the server opens a
+//! crash-safe multi-model registry there: boot runs a recovery scan
+//! (quarantining corrupt artifacts, resolving a torn `CURRENT` pointer),
+//! models serve under `POST /m/{name}/predict` with per-model
+//! `GET /m/{name}/readyz`, and `PUT /m/{name}` hot-swaps a new artifact
+//! atomically with health-gated promotion. `--model` is optional in this
+//! mode and serves behind the classic root routes.
 //!
 //! Limits (queue depth, body/row caps, request deadline, I/O timeouts) come
 //! from the `DFP_SERVE_*` environment variables; see
-//! [`dfp_serve::ServerConfig::from_env`].
+//! [`dfp_serve::ServerConfig::from_env`]. Registry knobs are the
+//! `DFP_REGISTRY_*` variables (see `dfp_registry::RegistryConfig`).
 //!
 //! Observability: `DFP_LOG=<level>` turns on JSONL logs (access logs at
 //! `info`), and `DFP_TRACE=<path>` exports every request's span tree as
@@ -26,6 +36,11 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--model" => model_path = args.next(),
+            "--registry" => {
+                if let Some(root) = args.next() {
+                    cfg = cfg.with_registry_root(root);
+                }
+            }
             "--addr" => {
                 if let Some(a) = args.next() {
                     addr = a;
@@ -39,21 +54,28 @@ fn main() -> ExitCode {
             other => return usage(&format!("unknown argument '{other}'")),
         }
     }
-    let Some(model_path) = model_path else {
-        return usage("--model is required");
-    };
-
-    let model = match dfp_model::load(&model_path) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("error: cannot load '{model_path}': {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if model.schema().is_none() {
-        eprintln!("error: artifact carries no schema; refit the model from a raw dataset");
-        return ExitCode::FAILURE;
+    if model_path.is_none() && cfg.registry_root.is_none() {
+        return usage("--model or --registry is required");
     }
+
+    let model = match &model_path {
+        Some(path) => match dfp_model::load(path) {
+            Ok(m) => {
+                if m.schema().is_none() {
+                    eprintln!(
+                        "error: artifact carries no schema; refit the model from a raw dataset"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Some(m)
+            }
+            Err(e) => {
+                eprintln!("error: cannot load '{path}': {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     // DFP_TRACE=<path> exports spans for the life of the process. The
     // session handle lives until exit; a background flusher drains the span
@@ -83,7 +105,50 @@ fn main() -> ExitCode {
     }
 
     let threads = cfg.resolved_threads();
-    let handle = match dfp_serve::serve_with_config(model, &addr, cfg) {
+    let registry = match &cfg.registry_root {
+        Some(root) => {
+            let rcfg = dfp_registry::RegistryConfig::from_env(root);
+            match dfp_registry::ModelRegistry::open_with_validator(
+                rcfg,
+                Some(dfp_serve::registry_validator()),
+            ) {
+                Ok(reg) => {
+                    for (name, outcome) in &reg.recovery().models {
+                        match outcome.chosen {
+                            Some(v) => eprintln!(
+                                "dfp-serve registry: model '{name}' at version {v}{}{}",
+                                if outcome.pointer_rewritten {
+                                    " (pointer recovered)"
+                                } else {
+                                    ""
+                                },
+                                if outcome.quarantined.is_empty() {
+                                    String::new()
+                                } else {
+                                    format!(", {} file(s) quarantined", outcome.quarantined.len())
+                                },
+                            ),
+                            None => {
+                                eprintln!("dfp-serve registry: model '{name}' has no valid version")
+                            }
+                        }
+                    }
+                    Some(std::sync::Arc::new(reg))
+                }
+                Err(e) => {
+                    eprintln!("error: cannot open registry '{root}': {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    let handle = match (model, registry) {
+        (Some(m), None) => dfp_serve::serve_with_config(m, &addr, cfg),
+        (m, Some(reg)) => dfp_serve::serve_registry_with_config(m, reg, &addr, cfg),
+        (None, None) => unreachable!("checked above"),
+    };
+    let handle = match handle {
         Ok(h) => h,
         Err(e) => {
             eprintln!("error: cannot bind {addr}: {e}");
@@ -91,7 +156,7 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "dfp-serve listening on {} with {threads} workers (endpoints: POST /predict, GET /healthz, GET /readyz, GET /metrics)",
+        "dfp-serve listening on {} with {threads} workers (endpoints: POST /predict, GET /healthz, GET /readyz, GET /metrics, /m/{{name}}/…)",
         handle.addr()
     );
     // Serve until the process is killed.
@@ -104,7 +169,9 @@ fn usage(problem: &str) -> ExitCode {
     if !problem.is_empty() {
         eprintln!("error: {problem}");
     }
-    eprintln!("usage: dfp-serve --model <model.dfpm> [--addr <host:port>] [--threads <n>]");
+    eprintln!(
+        "usage: dfp-serve --model <model.dfpm> | --registry <dir> [--addr <host:port>] [--threads <n>]"
+    );
     if problem.is_empty() {
         ExitCode::SUCCESS
     } else {

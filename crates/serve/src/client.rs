@@ -1,12 +1,16 @@
 //! A minimal std-only HTTP client for `dfp-serve` endpoints, with bounded
 //! retries.
 //!
-//! Transient failures — connect refusals, mid-request I/O errors, and `5xx`
-//! answers (the server sheds load with `503` when saturated) — are retried
-//! with exponential backoff plus jitter, so a fleet of clients hammering a
-//! recovering server does not retry in lockstep. `4xx` answers are client
-//! errors and are returned immediately: retrying a malformed batch cannot
-//! help.
+//! Transient failures — connect refusals, mid-request I/O errors, `5xx`
+//! answers (the server sheds load with `503` when saturated) and `409`
+//! (a concurrent model hot-swap holds the admin lock) — are retried with
+//! exponential backoff plus jitter, so a fleet of clients hammering a
+//! recovering server does not retry in lockstep. When the server names its
+//! own recovery horizon with a `Retry-After` header, that hint replaces the
+//! computed backoff for the next attempt: the server knows how loaded it is
+//! better than a client-side doubling schedule does. Other `4xx` answers
+//! are client errors and are returned immediately: retrying a malformed
+//! batch cannot help.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -40,6 +44,9 @@ pub struct Response {
     pub status: u16,
     /// Response body bytes.
     pub body: Vec<u8>,
+    /// Parsed `Retry-After` header (seconds form), when the server sent
+    /// one — its own estimate of when a retry could succeed.
+    pub retry_after: Option<Duration>,
 }
 
 impl Response {
@@ -109,21 +116,63 @@ impl Client {
     }
 
     /// POSTs `body` to `path`, retrying transient failures per the policy.
-    /// Returns the first non-`5xx` response (including `4xx` — those are
-    /// the caller's bug, not the network's).
+    /// Returns the first non-retryable response (including `4xx` — those
+    /// are the caller's bug, not the network's).
     pub fn post(
         &mut self,
         path: &str,
         content_type: &str,
         body: &[u8],
     ) -> Result<Response, ClientError> {
+        self.send_with_retries("POST", path, content_type, &[], body)
+    }
+
+    /// PUTs `body` to `path` with extra request headers, retrying transient
+    /// failures (including `409` — a concurrent hot-swap that will release
+    /// the admin lock shortly) per the policy. This is the admin upload
+    /// path: `client.put("/m/iris", "application/octet-stream",
+    /// &[("X-Probe-Row", "5.1,3.5,1.4,0.2")], &artifact)`.
+    pub fn put(
+        &mut self,
+        path: &str,
+        content_type: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<Response, ClientError> {
+        self.send_with_retries("PUT", path, content_type, headers, body)
+    }
+
+    /// `503` and `5xx` generally (overload, fault) and `409` (swap lock)
+    /// are worth retrying; everything else is final.
+    fn retryable(status: u16) -> bool {
+        status >= 500 || status == 409
+    }
+
+    fn send_with_retries(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<Response, ClientError> {
         let mut last: Option<ClientError> = None;
+        // The server's Retry-After hint (if any) from the previous attempt;
+        // it replaces the computed exponential backoff for the next sleep.
+        let mut hint: Option<Duration> = None;
         for attempt in 0..=self.policy.retries {
             if attempt > 0 {
-                std::thread::sleep(self.backoff(attempt - 1));
+                let delay = match hint.take() {
+                    Some(h) => h.min(Duration::from_secs(10)),
+                    None => self.backoff(attempt - 1),
+                };
+                std::thread::sleep(delay);
             }
-            match self.attempt(path, content_type, body) {
-                Ok(r) if r.status >= 500 => last = Some(ClientError::ServerError(r)),
+            match self.attempt(method, path, content_type, headers, body) {
+                Ok(r) if Self::retryable(r.status) => {
+                    hint = r.retry_after;
+                    last = Some(ClientError::ServerError(r));
+                }
                 Ok(r) => return Ok(r),
                 Err(e) => last = Some(e),
             }
@@ -142,8 +191,10 @@ impl Client {
 
     fn attempt(
         &self,
+        method: &str,
         path: &str,
         content_type: &str,
+        headers: &[(&str, &str)],
         body: &[u8],
     ) -> Result<Response, ClientError> {
         // Chaos hook: a simulated transport failure, exercised by the retry
@@ -153,11 +204,15 @@ impl Client {
                 "fault injected at failpoint 'client.request'",
             )));
         }
-        let head = format!(
-            "POST {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
             self.addr,
             body.len()
         );
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("Connection: close\r\n\r\n");
         self.exchange(head.as_bytes(), body)
     }
 
@@ -210,9 +265,19 @@ fn parse_response(raw: &[u8]) -> Result<Response, ClientError> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or(ClientError::BadResponse("bad status line"))?;
+    // RFC 9110 Retry-After, delay-seconds form only (the date form never
+    // comes out of dfp-serve).
+    let retry_after = head
+        .split("\r\n")
+        .skip(1)
+        .filter_map(|line| line.split_once(':'))
+        .find(|(name, _)| name.trim().eq_ignore_ascii_case("retry-after"))
+        .and_then(|(_, value)| value.trim().parse::<u64>().ok())
+        .map(Duration::from_secs);
     Ok(Response {
         status,
         body: raw[head_end + 4..].to_vec(),
+        retry_after,
     })
 }
 
@@ -227,6 +292,39 @@ mod tests {
         assert_eq!(r.status, 200);
         assert_eq!(r.body, b"yes");
         assert_eq!(r.text(), "yes");
+    }
+
+    #[test]
+    fn parses_retry_after_hint() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 2\r\n\r\nbusy";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 503);
+        assert_eq!(r.retry_after, Some(Duration::from_secs(2)));
+        // Case-insensitive header name, and absent means None.
+        let raw = b"HTTP/1.1 409 Conflict\r\nretry-after: 1\r\n\r\nswap";
+        assert_eq!(
+            parse_response(raw).unwrap().retry_after,
+            Some(Duration::from_secs(1))
+        );
+        assert_eq!(
+            parse_response(b"HTTP/1.1 200 OK\r\n\r\nok")
+                .unwrap()
+                .retry_after,
+            None
+        );
+        // The HTTP-date form is ignored rather than misparsed.
+        let raw = b"HTTP/1.1 503 X\r\nRetry-After: Fri, 01 Jan 2027 00:00:00 GMT\r\n\r\n";
+        assert_eq!(parse_response(raw).unwrap().retry_after, None);
+    }
+
+    #[test]
+    fn retryable_statuses() {
+        assert!(Client::retryable(500));
+        assert!(Client::retryable(503));
+        assert!(Client::retryable(409));
+        assert!(!Client::retryable(200));
+        assert!(!Client::retryable(400));
+        assert!(!Client::retryable(422));
     }
 
     #[test]

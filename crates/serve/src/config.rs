@@ -41,6 +41,11 @@ pub struct ServerConfig {
     /// Whether the in-memory transform cache for repeated feature rows is
     /// on (`DFP_CACHE`; `0`/`off`/`false` disables, anything else enables).
     pub cache: bool,
+    /// Managed model-registry root directory (`DFP_REGISTRY_ROOT`). When
+    /// set, `dfp-serve` opens a multi-model registry there and exposes the
+    /// `/m/{name}/…` routes; `None` (the default) keeps the classic
+    /// single-model server.
+    pub registry_root: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +60,7 @@ impl Default for ServerConfig {
             batch_max: 8,
             batch_wait: Duration::from_micros(200),
             cache: true,
+            registry_root: None,
         }
     }
 }
@@ -89,6 +95,12 @@ impl ServerConfig {
         if let Ok(v) = std::env::var("DFP_CACHE") {
             let v = v.trim().to_ascii_lowercase();
             cfg.cache = !(v == "0" || v == "off" || v == "false");
+        }
+        if let Ok(root) = std::env::var("DFP_REGISTRY_ROOT") {
+            let root = root.trim().to_string();
+            if !root.is_empty() {
+                cfg.registry_root = Some(root);
+            }
         }
         cfg
     }
@@ -144,6 +156,13 @@ impl ServerConfig {
     /// Enables or disables the serving transform cache.
     pub fn with_cache(mut self, on: bool) -> Self {
         self.cache = on;
+        self
+    }
+
+    /// Points the server at a managed model-registry root (enables the
+    /// `/m/{name}/…` routes in `dfp-serve`).
+    pub fn with_registry_root(mut self, root: impl Into<String>) -> Self {
+        self.registry_root = Some(root.into());
         self
     }
 

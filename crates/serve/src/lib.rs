@@ -47,4 +47,6 @@ pub use config::ServerConfig;
 pub use metrics::Metrics;
 pub use pool::ThreadPool;
 pub use rows::{parse_rows, render_labels};
-pub use server::{serve, serve_with_config, ServerHandle};
+pub use server::{
+    registry_validator, serve, serve_registry_with_config, serve_with_config, ServerHandle,
+};

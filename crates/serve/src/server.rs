@@ -32,6 +32,7 @@ use crate::rows::{data_lines, parse_row_line, render_labels, RowsError};
 use dfp_core::PatternClassifier;
 use dfp_data::dataset::{Dataset, Value};
 use dfp_data::schema::ClassId;
+use dfp_registry::{ModelRegistry, SwapError};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -114,11 +115,18 @@ impl Drop for ServerHandle {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
+        // Retire the batcher BEFORE joining the worker pool. Everything
+        // already queued is answered, and any worker that submits after
+        // this point is refused and predicts inline — so no worker can
+        // block on (or spuriously 500 from) a reply channel whose batcher
+        // is gone. The old order (pool first) had a window where a drained
+        // batch's reply raced the join.
+        if let Some(s) = &self.scheduler {
+            s.shutdown();
+        }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        // With the pool drained, this is the last scheduler reference:
-        // dropping it stops and joins the batcher thread.
         self.scheduler.take();
     }
 }
@@ -138,22 +146,48 @@ pub fn serve_with_config(
     addr: &str,
     cfg: ServerConfig,
 ) -> io::Result<ServerHandle> {
+    serve_impl(Some(model), None, addr, cfg)
+}
+
+/// Binds `addr` and serves a multi-model [`ModelRegistry`] (routes under
+/// `/m/{name}/…` plus the `PUT /m/{name}` admin hot-swap endpoint), with an
+/// optional default `model` behind the classic root routes. Without a
+/// default model, root `/predict` answers `404` and root `/readyz` reports
+/// readiness as "at least one registry model can serve".
+pub fn serve_registry_with_config(
+    model: Option<PatternClassifier>,
+    registry: Arc<ModelRegistry>,
+    addr: &str,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    serve_impl(model, Some(registry), addr, cfg)
+}
+
+fn serve_impl(
+    model: Option<PatternClassifier>,
+    registry: Option<Arc<ModelRegistry>>,
+    addr: &str,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
-    let model = Arc::new(model);
+    let model = model.map(Arc::new);
     let metrics = Arc::new(Metrics::new());
     let stop = Arc::new(AtomicBool::new(false));
     let threads = cfg.resolved_threads();
     // batch_max == 1 disables the scheduler entirely: every worker predicts
-    // inline, the historical behavior.
-    let scheduler = (cfg.batch_max > 1).then(|| {
-        Arc::new(BatchScheduler::start(
-            Arc::clone(&model),
+    // inline, the historical behavior. The scheduler is bound to the default
+    // model; registry-routed requests always predict inline against their
+    // own version snapshot.
+    let scheduler = match &model {
+        Some(model) if cfg.batch_max > 1 => Some(Arc::new(BatchScheduler::start(
+            Arc::clone(model),
             Arc::clone(&metrics),
             cfg.batch_max,
             cfg.batch_wait,
-        ))
-    });
+        ))),
+        _ => None,
+    };
     let cache = cfg
         .cache
         .then(|| Arc::new(TransformCache::new(crate::cache::DEFAULT_CAP)));
@@ -163,6 +197,7 @@ pub fn serve_with_config(
         let stop = Arc::clone(&stop);
         let metrics = Arc::clone(&metrics);
         let scheduler = scheduler.clone();
+        let registry = registry.clone();
         std::thread::Builder::new()
             .name("dfp-serve-accept".into())
             .spawn(move || {
@@ -222,7 +257,8 @@ pub fn serve_with_config(
                         continue;
                     }
                     let accepted = Instant::now();
-                    let model = Arc::clone(&model);
+                    let model = model.clone();
+                    let registry = registry.clone();
                     let metrics = Arc::clone(&metrics);
                     let cfg = Arc::clone(&cfg);
                     let scheduler = scheduler.clone();
@@ -230,7 +266,8 @@ pub fn serve_with_config(
                     pool.execute(move || {
                         handle_connection(
                             stream,
-                            &model,
+                            model.as_deref(),
+                            registry.as_deref(),
                             &metrics,
                             &cfg,
                             accepted,
@@ -252,9 +289,11 @@ pub fn serve_with_config(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     mut stream: TcpStream,
-    model: &PatternClassifier,
+    model: Option<&PatternClassifier>,
+    registry: Option<&ModelRegistry>,
     metrics: &Metrics,
     cfg: &ServerConfig,
     accepted: Instant,
@@ -323,7 +362,9 @@ fn handle_connection(
             "request deadline exceeded\n".to_string(),
         )
     } else {
-        route(&request, model, metrics, cfg, deadline, scheduler, cache)
+        route(
+            &request, model, registry, metrics, cfg, deadline, scheduler, cache,
+        )
     };
     sp.attr("status", status);
     respond(
@@ -358,7 +399,9 @@ fn respond(
         metrics.observe_error(status);
     }
     let mut headers: Vec<(&str, &str)> = vec![("X-Request-Id", rid)];
-    if status == 503 {
+    // 503 = shed/overload, 409 = concurrent swap: both are retryable-later
+    // conditions the client backoff honors.
+    if status == 503 || status == 409 {
         headers.push(("Retry-After", RETRY_AFTER_SECS));
     }
     let _ = write_response_with(
@@ -389,16 +432,23 @@ fn respond(
 #[allow(clippy::too_many_arguments)]
 fn route(
     request: &Request,
-    model: &PatternClassifier,
+    model: Option<&PatternClassifier>,
+    registry: Option<&ModelRegistry>,
     metrics: &Metrics,
     cfg: &ServerConfig,
     deadline: Instant,
     scheduler: Option<&BatchScheduler>,
     cache: Option<&TransformCache>,
 ) -> (u16, &'static str, String) {
+    if request.path.starts_with("/m/") {
+        return route_model(request, registry, metrics, cfg, deadline);
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (200, "OK", "ok\n".to_string()),
         ("GET", "/readyz") => {
+            let Some(model) = model else {
+                return registry_readyz(registry);
+            };
             if model.schema().is_some() {
                 // Ready but degraded is still ready — the model answers
                 // predictions — so the report rides in the body, not the
@@ -425,14 +475,201 @@ fn route(
                 )
             }
         }
-        ("GET", "/metrics") => (200, "OK", metrics.render()),
-        ("POST", "/predict") => predict(request, model, metrics, cfg, deadline, scheduler, cache),
+        ("GET", "/metrics") => {
+            let mut out = metrics.render();
+            if let Some(reg) = registry {
+                reg.render_metrics_into(&mut out);
+            }
+            (200, "OK", out)
+        }
+        ("POST", "/predict") => match model {
+            Some(m) => predict(request, m, metrics, cfg, deadline, scheduler, cache),
+            None => (
+                404,
+                "Not Found",
+                "no default model loaded; POST to /m/{name}/predict\n".to_string(),
+            ),
+        },
         ("GET", "/predict") => (
             405,
             "Method Not Allowed",
             "POST CSV rows to /predict\n".to_string(),
         ),
         _ => (404, "Not Found", "not found\n".to_string()),
+    }
+}
+
+/// Root `/readyz` for a registry-only server: ready when at least one model
+/// has a valid current version.
+fn registry_readyz(registry: Option<&ModelRegistry>) -> (u16, &'static str, String) {
+    let Some(registry) = registry else {
+        return (
+            503,
+            "Service Unavailable",
+            "no model and no registry configured; not ready\n".to_string(),
+        );
+    };
+    let ready: Vec<String> = registry
+        .names()
+        .into_iter()
+        .filter(|n| registry.model(n).and_then(|s| s.current()).is_some())
+        .collect();
+    if ready.is_empty() {
+        (
+            503,
+            "Service Unavailable",
+            "no registry model has a valid version; not ready\n".to_string(),
+        )
+    } else {
+        (200, "OK", format!("ready (models: {})\n", ready.join(",")))
+    }
+}
+
+/// Routes `/m/{name}/predict`, `/m/{name}/readyz` and the `PUT /m/{name}`
+/// admin hot-swap endpoint.
+fn route_model(
+    request: &Request,
+    registry: Option<&ModelRegistry>,
+    metrics: &Metrics,
+    cfg: &ServerConfig,
+    deadline: Instant,
+) -> (u16, &'static str, String) {
+    let Some(registry) = registry else {
+        return (
+            404,
+            "Not Found",
+            "no model registry configured\n".to_string(),
+        );
+    };
+    let rest = &request.path["/m/".len()..];
+    let (name, action) = match rest.split_once('/') {
+        Some((n, a)) => (n, a),
+        None => (rest, ""),
+    };
+    match (request.method.as_str(), action) {
+        ("PUT", "") => admin_swap(request, registry, name),
+        ("GET", "readyz") => match registry.model(name) {
+            None => (404, "Not Found", format!("unknown model '{name}'\n")),
+            Some(slot) => match slot.current() {
+                Some(v) => (200, "OK", format!("ready (version {})\n", v.version)),
+                None => (
+                    503,
+                    "Service Unavailable",
+                    format!("model '{name}' has no valid version; not ready\n"),
+                ),
+            },
+        },
+        ("POST", "predict") => {
+            let Some(slot) = registry.model(name) else {
+                return (404, "Not Found", format!("unknown model '{name}'\n"));
+            };
+            // Holding the version Arc for the whole request is the drain
+            // contract: a concurrent swap retires this version only after
+            // the last in-flight reference drops.
+            let Some(version) = slot.current() else {
+                return (
+                    503,
+                    "Service Unavailable",
+                    format!("model '{name}' has no valid version; not ready\n"),
+                );
+            };
+            slot.requests().inc();
+            let start = Instant::now();
+            // Registry models predict inline: the batch scheduler and the
+            // transform cache are bound to the default model, and neither
+            // is version-safe across hot-swaps.
+            let answer = predict(request, &version.model, metrics, cfg, deadline, None, None);
+            slot.latency().observe(start.elapsed());
+            if answer.0 == 200 {
+                slot.predictions().add(answer.2.lines().count() as u64);
+            }
+            answer
+        }
+        ("GET", "predict") => (
+            405,
+            "Method Not Allowed",
+            "POST CSV rows to /m/{name}/predict\n".to_string(),
+        ),
+        _ => (404, "Not Found", "not found\n".to_string()),
+    }
+}
+
+/// The serving layer's registry validation hook: the canary a candidate
+/// artifact must pass before a hot-swap flips the `CURRENT` pointer (and
+/// before recovery chooses it at boot). It exercises exactly the serving
+/// path — parse the stored probe CSV row against the candidate's schema,
+/// then predict it; without a stored probe it falls back to a featureless
+/// predict. Install with
+/// [`dfp_registry::ModelRegistry::open_with_validator`].
+pub fn registry_validator() -> dfp_registry::Validator {
+    Arc::new(
+        |model: &PatternClassifier, probe: Option<&str>| -> Result<(), String> {
+            let Some(schema) = model.schema() else {
+                return Err("artifact carries no schema; not servable".to_string());
+            };
+            match probe {
+                Some(text) => {
+                    let dataset = crate::rows::parse_rows(schema, text)
+                        .map_err(|e| format!("probe row rejected by candidate schema: {e}"))?;
+                    let labels = model
+                        .predict(&dataset)
+                        .map_err(|e| format!("canary predict failed: {e}"))?;
+                    if labels.is_empty() {
+                        return Err("canary predict returned no labels".to_string());
+                    }
+                }
+                None => {
+                    let labels = model.predict_rows(&[Vec::new()]);
+                    if labels.len() != 1 {
+                        return Err(format!(
+                            "canary predict returned {} labels, expected 1",
+                            labels.len()
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        },
+    )
+}
+
+/// `PUT /m/{name}`: body is a complete `DFPM` artifact; the optional
+/// `X-Probe-Row` header stores a canary CSV row validated before every
+/// future swap of this model. The envelope (magic/version/CRC) is checked
+/// before the registry is touched, so a corrupted upload is a cheap `400`.
+fn admin_swap(
+    request: &Request,
+    registry: &ModelRegistry,
+    name: &str,
+) -> (u16, &'static str, String) {
+    if let Err(e) = dfp_model::verify_bytes(&request.body) {
+        return (400, "Bad Request", format!("artifact rejected: {e}\n"));
+    }
+    let probe = request.header("x-probe-row").map(str::to_string);
+    match registry.publish_bytes(name, &request.body, probe.as_deref()) {
+        Ok(report) => (
+            200,
+            "OK",
+            format!(
+                "model '{}' now at version {} (previous: {}, drained: {})\n",
+                report.name,
+                report.version,
+                report
+                    .previous
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "none".to_string()),
+                report.drained
+            ),
+        ),
+        Err(SwapError::Busy) => (
+            409,
+            "Conflict",
+            "another swap of this model is in progress; retry later\n".to_string(),
+        ),
+        Err(e @ SwapError::InvalidName(_)) => (400, "Bad Request", format!("{e}\n")),
+        Err(e @ SwapError::InvalidArtifact(_)) => (400, "Bad Request", format!("{e}\n")),
+        Err(e @ SwapError::Rejected(_)) => (422, "Unprocessable Entity", format!("{e}\n")),
+        Err(e @ SwapError::Io(_)) => (500, "Internal Server Error", format!("{e}\n")),
     }
 }
 
@@ -541,27 +778,31 @@ fn predict(
         // Requests already at the batch cap gain nothing from coalescing;
         // they predict inline and leave the scheduler to small requests.
         match scheduler.filter(|_| rows.len() < cfg.batch_max) {
-            Some(s) => {
-                let reply = s.submit(rows, deadline);
-                let budget = deadline.saturating_duration_since(Instant::now());
-                match reply.recv_timeout(budget) {
-                    Ok(labels) => labels,
-                    Err(mpsc::RecvTimeoutError::Timeout) => {
-                        return (
-                            503,
-                            "Service Unavailable",
-                            "request deadline exceeded\n".to_string(),
-                        )
-                    }
-                    Err(mpsc::RecvTimeoutError::Disconnected) => {
-                        return (
-                            500,
-                            "Internal Server Error",
-                            "batch scheduler dropped the request\n".to_string(),
-                        )
+            Some(s) => match s.submit(rows, deadline) {
+                Ok(reply) => {
+                    let budget = deadline.saturating_duration_since(Instant::now());
+                    match reply.recv_timeout(budget) {
+                        Ok(labels) => labels,
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            return (
+                                503,
+                                "Service Unavailable",
+                                "request deadline exceeded\n".to_string(),
+                            )
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => {
+                            return (
+                                500,
+                                "Internal Server Error",
+                                "batch scheduler dropped the request\n".to_string(),
+                            )
+                        }
                     }
                 }
-            }
+                // The scheduler is shutting down (server drop raced this
+                // request): predict inline, the answer is identical.
+                Err(rows) => model.predict_rows(&rows),
+            },
             None => model.predict_rows(&rows),
         }
     };

@@ -243,3 +243,74 @@ fn parse_errors_survive_the_cached_path() {
     assert!(body.contains("expected 3 fields, got 2"), "{body}");
     handle.shutdown();
 }
+
+/// Shutdown-order regression: requests racing server shutdown must either
+/// get a full correct `200` or a connection refusal — never a spurious
+/// `500` from a batch drained after the batcher is gone. The batcher is
+/// joined before the worker pool, and refused submissions predict inline.
+#[test]
+fn shutdown_never_yields_spurious_500() {
+    let _guard = lock_faults();
+    for round in 0..5 {
+        let handle = serve_with(
+            ServerConfig::default()
+                .with_threads(4)
+                .with_batch_max(8)
+                // A long linger keeps requests parked in the batcher queue
+                // when shutdown lands, maximizing the drain window.
+                .with_batch_wait(Duration::from_millis(20)),
+        );
+        let addr = handle.addr();
+        let clients: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    // Some of these race the listener teardown: a refused /
+                    // reset connection is fine, a served answer must be
+                    // complete and correct.
+                    let mut stream = match TcpStream::connect(addr) {
+                        Ok(s) => s,
+                        Err(_) => return None,
+                    };
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(30)))
+                        .unwrap();
+                    let body = "v1,v1,v0\n";
+                    let request = format!(
+                        "POST /predict HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                        body.len()
+                    );
+                    if stream.write_all(request.as_bytes()).is_err() {
+                        return None;
+                    }
+                    let mut response = String::new();
+                    if stream.read_to_string(&mut response).is_err() || response.is_empty() {
+                        return None;
+                    }
+                    let status: u16 = response
+                        .split_whitespace()
+                        .nth(1)
+                        .expect("status line")
+                        .parse()
+                        .expect("numeric status");
+                    let payload = response
+                        .split_once("\r\n\r\n")
+                        .map(|(_, b)| b.to_string())
+                        .unwrap_or_default();
+                    Some((status, payload))
+                })
+            })
+            .collect();
+        // Let some requests reach the batcher queue, then pull the plug
+        // while others are still mid-flight.
+        std::thread::sleep(Duration::from_millis(5));
+        handle.shutdown();
+        for c in clients {
+            if let Some((status, body)) = c.join().expect("client thread") {
+                assert_ne!(status, 500, "round {round}: spurious 500: {body}");
+                if status == 200 {
+                    assert_eq!(body, "c0\n", "round {round}: truncated answer");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Multi-model registry serving: `/m/{name}/…` routing, the `PUT /m/{name}`
+//! admin hot-swap (health-gated, 409 under contention), and per-model
+//! metrics — all through real HTTP against a bound server.
+
+use dfp_core::{FrameworkConfig, PatternClassifier};
+use dfp_data::dataset::{categorical_dataset, Dataset};
+use dfp_registry::{ModelRegistry, RegistryConfig};
+use dfp_serve::client::{Client, ClientError, RetryPolicy};
+use dfp_serve::ServerConfig;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Failpoint state is process-global; every test that arms one serialises.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_faults() -> MutexGuard<'static, ()> {
+    let guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    dfp_fault::disarm_all();
+    guard
+}
+
+static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dfp-serve-registry-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// (a0=v1, a1=v1) → c0 and (a0=v1, a1=v2) → c1; a2 is noise. `flip` swaps
+/// the labels so the two fitted models answer differently.
+fn confusable(flip: bool) -> Dataset {
+    let mut rows: Vec<(Vec<u32>, u32)> = Vec::new();
+    for i in 0..60u32 {
+        let (vals, mut label) = if i % 2 == 0 {
+            (vec![1, 1, i % 3], 0)
+        } else {
+            (vec![1, 2, i % 3], 1)
+        };
+        if flip {
+            label = 1 - label;
+        }
+        rows.push((vals, label));
+    }
+    let borrowed: Vec<(&[u32], u32)> = rows.iter().map(|(v, l)| (&v[..], *l)).collect();
+    categorical_dataset(&[3, 3, 3], 2, &borrowed)
+}
+
+fn fit(flip: bool) -> PatternClassifier {
+    PatternClassifier::fit(&confusable(flip), &FrameworkConfig::pat_fs()).expect("fit")
+}
+
+fn open_registry(root: &PathBuf) -> Arc<ModelRegistry> {
+    Arc::new(
+        ModelRegistry::open_with_validator(
+            RegistryConfig::new(root),
+            Some(dfp_serve::registry_validator()),
+        )
+        .expect("open registry"),
+    )
+}
+
+fn one_shot_client(addr: std::net::SocketAddr) -> Client {
+    Client::with_policy(
+        addr.to_string(),
+        RetryPolicy {
+            retries: 0,
+            base_backoff: Duration::from_millis(1),
+            timeout: Duration::from_secs(10),
+        },
+    )
+}
+
+#[test]
+fn routes_swap_and_per_model_metrics_end_to_end() {
+    let _g = lock_faults();
+    let root = scratch("e2e");
+    let registry = open_registry(&root);
+    registry
+        .publish_model("iris", &fit(false), Some("v1,v1,v0"))
+        .unwrap();
+
+    let handle = dfp_serve::serve_registry_with_config(
+        None,
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ServerConfig::default().with_threads(2),
+    )
+    .expect("bind");
+    let mut client = one_shot_client(handle.addr());
+
+    // Per-model readiness and routing.
+    let r = client.get("/m/iris/readyz").unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert!(r.text().contains("version 1"), "{}", r.text());
+    let r = client.get("/m/ghost/readyz").unwrap();
+    assert_eq!(r.status, 404);
+
+    // Root routes in registry-only mode.
+    let r = client.get("/readyz").unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert!(r.text().contains("iris"), "{}", r.text());
+    let r = client.post("/predict", "text/csv", b"v1,v1,v0\n").unwrap();
+    assert_eq!(r.status, 404, "no default model behind /predict");
+
+    let r = client
+        .post("/m/iris/predict", "text/csv", b"v1,v1,v0\n")
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert_eq!(r.text(), "c0\n");
+
+    // Hot-swap to the flipped model through the admin endpoint.
+    let flipped = dfp_model::to_bytes(&fit(true));
+    let r = client
+        .put(
+            "/m/iris",
+            "application/octet-stream",
+            &[("X-Probe-Row", "v1,v1,v0")],
+            &flipped,
+        )
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert!(r.text().contains("version 2"), "{}", r.text());
+
+    let r = client
+        .post("/m/iris/predict", "text/csv", b"v1,v1,v0\n")
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert_eq!(r.text(), "c1\n", "swapped model must answer");
+    let r = client.get("/m/iris/readyz").unwrap();
+    assert!(r.text().contains("version 2"), "{}", r.text());
+
+    // Corrupt upload: rejected by the CRC pre-check, registry untouched.
+    let mut torn = dfp_model::to_bytes(&fit(false));
+    torn.truncate(torn.len() / 2);
+    let r = client
+        .put("/m/iris", "application/octet-stream", &[], &torn)
+        .unwrap();
+    assert_eq!(r.status, 400, "{}", r.text());
+    let r = client.get("/m/iris/readyz").unwrap();
+    assert!(r.text().contains("version 2"), "{}", r.text());
+
+    // Per-model metrics ride the same /metrics exposition.
+    let metrics = client.get("/metrics").unwrap().text();
+    for needle in [
+        "dfp_registry_swaps_total{model=\"iris\"} 2",
+        "dfp_registry_requests_total{model=\"iris\"}",
+        "dfp_registry_current_version{model=\"iris\"} 2",
+        "dfp_registry_predict_latency_seconds_bucket",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle} in:\n{metrics}");
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn default_model_and_registry_serve_side_by_side() {
+    let _g = lock_faults();
+    let root = scratch("both");
+    let registry = open_registry(&root);
+    registry.publish_model("flipped", &fit(true), None).unwrap();
+
+    let handle = dfp_serve::serve_registry_with_config(
+        Some(fit(false)),
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ServerConfig::default().with_threads(2),
+    )
+    .expect("bind");
+    let mut client = one_shot_client(handle.addr());
+
+    let r = client.post("/predict", "text/csv", b"v1,v1,v0\n").unwrap();
+    assert_eq!((r.status, r.text().as_str()), (200, "c0\n"));
+    let r = client
+        .post("/m/flipped/predict", "text/csv", b"v1,v1,v0\n")
+        .unwrap();
+    assert_eq!((r.status, r.text().as_str()), (200, "c1\n"));
+    let r = client.get("/readyz").unwrap();
+    assert_eq!(r.status, 200);
+
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_swap_answers_409_with_retry_after_hint() {
+    let _g = lock_faults();
+    let root = scratch("busy");
+    let registry = open_registry(&root);
+    registry.publish_model("iris", &fit(false), None).unwrap();
+
+    let handle = dfp_serve::serve_registry_with_config(
+        None,
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ServerConfig::default().with_threads(2),
+    )
+    .expect("bind");
+
+    // Stall a direct swap inside drain (it holds the per-model swap lock)
+    // while the admin endpoint gets a competing upload.
+    dfp_fault::arm_times("registry.drain", dfp_fault::Action::Sleep(500), Some(1));
+    let bg = {
+        let registry = Arc::clone(&registry);
+        let bytes = dfp_model::to_bytes(&fit(true));
+        std::thread::spawn(move || registry.publish_bytes("iris", &bytes, None))
+    };
+    std::thread::sleep(Duration::from_millis(120));
+
+    let mut client = one_shot_client(handle.addr());
+    let bytes = dfp_model::to_bytes(&fit(false));
+    match client.put("/m/iris", "application/octet-stream", &[], &bytes) {
+        Err(ClientError::ServerError(r)) => {
+            assert_eq!(r.status, 409, "{}", r.text());
+            assert_eq!(
+                r.retry_after,
+                Some(Duration::from_secs(1)),
+                "409 must carry the Retry-After hint the client backoff uses"
+            );
+        }
+        other => panic!("expected 409 ServerError, got {other:?}"),
+    }
+    bg.join().unwrap().unwrap();
+    dfp_fault::disarm_all();
+
+    // With the lock free, a retrying client succeeds.
+    let mut retrying = Client::with_policy(
+        handle.addr().to_string(),
+        RetryPolicy {
+            retries: 3,
+            base_backoff: Duration::from_millis(10),
+            timeout: Duration::from_secs(10),
+        },
+    );
+    let r = retrying
+        .put("/m/iris", "application/octet-stream", &[], &bytes)
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+
+    handle.shutdown();
+}
+
+#[test]
+fn not_ready_model_answers_503_on_predict() {
+    let _g = lock_faults();
+    let root = scratch("notready");
+    // A model directory with only a corrupt artifact: recovery quarantines
+    // it and the slot stays registered but empty.
+    fs::create_dir_all(root.join("bad")).unwrap();
+    fs::write(root.join("bad").join("000001.dfpm"), b"DFPMjunk").unwrap();
+    let registry = open_registry(&root);
+
+    let handle = dfp_serve::serve_registry_with_config(
+        None,
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ServerConfig::default().with_threads(2),
+    )
+    .expect("bind");
+    let mut client = one_shot_client(handle.addr());
+
+    let r = client.get("/m/bad/readyz").unwrap();
+    assert_eq!(r.status, 503, "{}", r.text());
+    match client.post("/m/bad/predict", "text/csv", b"v1,v1,v0\n") {
+        Err(ClientError::ServerError(r)) => assert_eq!(r.status, 503, "{}", r.text()),
+        Ok(r) => panic!("expected 503, got {} {}", r.status, r.text()),
+        Err(e) => panic!("expected 503 ServerError, got {e}"),
+    }
+    // Root readiness mirrors it: no model can serve.
+    let r = client.get("/readyz").unwrap();
+    assert_eq!(r.status, 503, "{}", r.text());
+
+    handle.shutdown();
+}

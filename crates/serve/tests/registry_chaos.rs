@@ -1,0 +1,225 @@
+//! Kill-during-swap chaos: SIGKILL the real `dfp-serve` binary at arbitrary
+//! points while hot-swaps are in flight (with `registry.*` failpoints
+//! widening every window of the swap protocol), then restart it on the same
+//! registry root and assert the crash-recovery invariant: `/m/{name}/readyz`
+//! reaches 200 and `/m/{name}/predict` answers bit-identically from either
+//! the old or the new version — never a torn model, never a predict error.
+
+#![cfg(unix)] // Child::kill is SIGKILL on unix; that's the point of the test.
+
+use dfp_core::{FrameworkConfig, PatternClassifier};
+use dfp_data::dataset::{categorical_dataset, Dataset};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dfp-registry-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// (a0=v1, a1=v1) → c0 and (a0=v1, a1=v2) → c1; `flip` swaps the labels.
+fn confusable(flip: bool) -> Dataset {
+    let mut rows: Vec<(Vec<u32>, u32)> = Vec::new();
+    for i in 0..60u32 {
+        let (vals, mut label) = if i % 2 == 0 {
+            (vec![1, 1, i % 3], 0)
+        } else {
+            (vec![1, 2, i % 3], 1)
+        };
+        if flip {
+            label = 1 - label;
+        }
+        rows.push((vals, label));
+    }
+    let borrowed: Vec<(&[u32], u32)> = rows.iter().map(|(v, l)| (&v[..], *l)).collect();
+    categorical_dataset(&[3, 3, 3], 2, &borrowed)
+}
+
+fn artifact(flip: bool) -> Vec<u8> {
+    let model = PatternClassifier::fit(&confusable(flip), &FrameworkConfig::pat_fs()).unwrap();
+    dfp_model::to_bytes(&model)
+}
+
+/// A running `dfp-serve --registry` child plus its bound address.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    /// Spawns the real binary against `root`, with optional `DFP_FAILPOINTS`,
+    /// and parses the bound address off its startup banner.
+    fn spawn(root: &Path, failpoints: Option<&str>) -> Server {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_dfp-serve"));
+        cmd.args([
+            "--registry",
+            root.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+        match failpoints {
+            Some(spec) => cmd.env("DFP_FAILPOINTS", spec),
+            None => cmd.env_remove("DFP_FAILPOINTS"),
+        };
+        let mut child = cmd.spawn().expect("spawn dfp-serve");
+        let stderr = child.stderr.take().expect("stderr piped");
+        let mut lines = BufReader::new(stderr).lines();
+        let mut addr = None;
+        for line in lines.by_ref() {
+            let line = line.expect("read banner");
+            if let Some(rest) = line.strip_prefix("dfp-serve listening on ") {
+                addr = rest.split_whitespace().next().map(str::to_string);
+                break;
+            }
+        }
+        // Keep draining stderr so the child never blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        Server {
+            child,
+            addr: addr.expect("startup banner with address"),
+        }
+    }
+
+    /// SIGKILL — no shutdown handler runs, exactly like a crash.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One raw HTTP exchange; `None` when the connection fails (server down or
+/// killed mid-response).
+fn http(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> Option<(u16, String)> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .ok()?;
+    stream
+        .set_write_timeout(Some(Duration::from_secs(10)))
+        .ok()?;
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: chaos\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("Connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes()).ok()?;
+    stream.write_all(body).ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let status: u16 = response.split_whitespace().nth(1)?.parse().ok()?;
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())?;
+    Some((status, payload))
+}
+
+/// Polls `/m/m/readyz` until 200 or the deadline; returns the body.
+fn await_ready(addr: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if let Some((200, body)) = http(addr, "GET", "/m/m/readyz", &[], b"") {
+            return body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server at {addr} never became ready"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sigkill_mid_swap_always_restarts_clean() {
+    let root = scratch("kill");
+    std::fs::create_dir_all(&root).unwrap();
+    let old = artifact(false); // answers c0
+    let new = artifact(true); // answers c1
+
+    // Seed version 1 through a clean server run.
+    {
+        let mut server = Server::spawn(&root, None);
+        let (status, body) = http(
+            &server.addr,
+            "PUT",
+            "/m/m",
+            &[("X-Probe-Row", "v1,v1,v0")],
+            &old,
+        )
+        .expect("seed upload");
+        assert_eq!(status, 200, "{body}");
+        server.kill();
+    }
+
+    // Each round widens a different window of the swap protocol with a
+    // failpoint, starts a swap, and SIGKILLs the server inside it. The
+    // invariant after every restart: readyz 200, and the prediction is
+    // bit-identically the old or the new model's answer.
+    let rounds: &[(Option<&str>, u64)] = &[
+        (None, 0),
+        (None, 3),
+        (Some("registry.write=sleep:30"), 10),
+        (Some("registry.rename=sleep:30"), 10),
+        (Some("registry.validate=sleep:40"), 20),
+        (Some("registry.drain=sleep:60"), 30),
+    ];
+    for (round, (failpoints, kill_after_ms)) in rounds.iter().enumerate() {
+        let mut server = Server::spawn(&root, *failpoints);
+        await_ready(&server.addr);
+
+        // Alternate the upload so every round really changes the artifact.
+        let upload = if round % 2 == 0 { &new } else { &old };
+        let swapper = {
+            let addr = server.addr.clone();
+            let upload = upload.clone();
+            std::thread::spawn(move || {
+                // Outcome intentionally ignored: the kill may land anywhere
+                // in this request.
+                let _ = http(&addr, "PUT", "/m/m", &[], &upload);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(*kill_after_ms));
+        server.kill();
+        let _ = swapper.join();
+
+        // Restart on the same root (no failpoints: recovery must not need
+        // them) and verify the invariant.
+        let mut server = Server::spawn(&root, None);
+        let ready = await_ready(&server.addr);
+        assert!(ready.starts_with("ready"), "round {round}: {ready}");
+        let (status, answer) = http(&server.addr, "POST", "/m/m/predict", &[], b"v1,v1,v0\n")
+            .expect("predict after restart");
+        assert_eq!(status, 200, "round {round}: {answer}");
+        assert!(
+            answer == "c0\n" || answer == "c1\n",
+            "round {round}: torn or wrong answer {answer:?}"
+        );
+        server.kill();
+    }
+
+    // After all that violence the registry still swaps cleanly end to end.
+    let mut server = Server::spawn(&root, None);
+    await_ready(&server.addr);
+    let (status, body) = http(&server.addr, "PUT", "/m/m", &[], &new).expect("final swap");
+    assert_eq!(status, 200, "{body}");
+    let (status, answer) =
+        http(&server.addr, "POST", "/m/m/predict", &[], b"v1,v1,v0\n").expect("final predict");
+    assert_eq!((status, answer.as_str()), (200, "c1\n"));
+    server.kill();
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -146,6 +146,74 @@ fn main() -> ExitCode {
         }
     }
     handle.shutdown();
+
+    // 4. Registry hot-swap under fire: publish into a crash-safe registry
+    //    and swap it over HTTP while the `registry.*` failpoints are armed.
+    //    A failed rename or a rejected/panicking canary rolls back to the
+    //    serving version with a typed error; a slow drain just takes longer.
+    {
+        use dfpc::registry::{ModelRegistry, RegistryConfig};
+        let root = std::env::temp_dir().join(format!("dfp-fault-drill-reg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let registry = match ModelRegistry::open_with_validator(
+            RegistryConfig::new(&root),
+            Some(dfpc::serve::registry_validator()),
+        ) {
+            Ok(r) => std::sync::Arc::new(r),
+            Err(e) => {
+                println!("registry open failed with a typed error: {e}");
+                return ExitCode::SUCCESS;
+            }
+        };
+        let refit = match PatternClassifier::fit(&planted(), &FrameworkConfig::pat_fs()) {
+            Ok(m) => m,
+            Err(e) => {
+                println!("registry drill fit failed with a typed error: {e}");
+                return ExitCode::SUCCESS;
+            }
+        };
+        match registry.publish_model("drill", &refit, Some("v1,v1,v0")) {
+            Ok(report) => println!("registry publish ok: version {}", report.version),
+            Err(e) => println!("registry publish failed with a typed error: {e}"),
+        }
+        let handle = match dfpc::serve::serve_registry_with_config(
+            None,
+            std::sync::Arc::clone(&registry),
+            "127.0.0.1:0",
+            ServerConfig::default().with_threads(2),
+        ) {
+            Ok(h) => h,
+            Err(e) => {
+                println!("registry bind failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut client = Client::with_policy(
+            handle.addr().to_string(),
+            RetryPolicy {
+                retries: 4,
+                base_backoff: Duration::from_millis(20),
+                timeout: Duration::from_secs(5),
+            },
+        );
+        let bytes = dfpc::model::to_bytes(&refit);
+        match client.put("/m/drill", "application/octet-stream", &[], &bytes) {
+            Ok(r) => println!("hot-swap ok ({}): {}", r.status, r.text().trim()),
+            Err(e) => println!("hot-swap refused with a typed error: {e}"),
+        }
+        match client.post("/m/drill/predict", "text/csv", b"v1,v1,v0\n") {
+            Ok(r) if r.status == 200 => println!("registry prediction ok: {}", r.text().trim()),
+            Ok(r) => println!(
+                "registry prediction refused with {}: {}",
+                r.status,
+                r.text().trim()
+            ),
+            Err(e) => println!("registry prediction failed after retries (typed): {e}"),
+        }
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
     println!("drill complete: every injected failure stayed typed and local");
     ExitCode::SUCCESS
 }

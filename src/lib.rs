@@ -60,5 +60,6 @@ pub use dfp_model as model;
 pub use dfp_nodeset as nodeset;
 pub use dfp_obs as obs;
 pub use dfp_par as par;
+pub use dfp_registry as registry;
 pub use dfp_select as select;
 pub use dfp_serve as serve;
