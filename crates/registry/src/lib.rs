@@ -6,13 +6,18 @@
 //!
 //! * **Atomic hot-swap.** [`ModelRegistry::publish_bytes`] writes the new
 //!   artifact via temp-file + fsync + rename, loads it back **from disk**
-//!   and smoke-validates it (one canary `predict_rows` — against the stored
-//!   `PROBE` row when one exists) *before* the `CURRENT` pointer flips. A
-//!   failed validation quarantines the rejected artifact and leaves the
-//!   pointer — and the serving snapshot — untouched
-//!   (`dfp_registry_swap_failures_total`). After the flip the old model
-//!   keeps serving every in-flight request (snapshots are `Arc`s) and is
-//!   retired only once the last reference drains.
+//!   and smoke-validates it (one canary `predict_rows` — against the
+//!   incoming probe row, or the stored `PROBE` row when none came with the
+//!   publish) *before* anything else mutates: a new probe row reaches disk
+//!   only after validation passes, so a rolled-back swap can never leave a
+//!   poisoned `PROBE` behind for boot recovery to trip over. A failed
+//!   validation quarantines the rejected artifact and leaves the pointer —
+//!   and the serving snapshot — untouched
+//!   (`dfp_registry_swap_failures_total`). The publish returns as soon as
+//!   the `CURRENT` pointer flips; the old model keeps serving every
+//!   in-flight request (snapshots are `Arc`s) and is drained and retired on
+//!   a background retire thread, so neither the swap lock nor the calling
+//!   worker is held for the drain window.
 //! * **Crash-safe boot.** [`ModelRegistry::open`] runs a recovery scan:
 //!   every artifact is CRC-verified (a full typed decode), corrupt files are
 //!   quarantined to `models/<name>/quarantine/`, `.tmp` leftovers from a
@@ -20,6 +25,11 @@
 //!   re-derived to the newest valid version and rewritten. A SIGKILL at any
 //!   byte offset during save or swap therefore leaves the process
 //!   restartable with either the old or the new model — never a torn one.
+//!   Only decode/CRC failures quarantine an artifact; a canary failure at
+//!   boot is environmental (a stale `PROBE` row, a broken validator hook)
+//!   and **skips** the candidate instead of destroying it — and when the
+//!   stored probe is what fails an otherwise servable artifact, the probe
+//!   itself is quarantined and the artifact promoted without it.
 //!
 //! Failpoint sites for chaos testing: `registry.write` (artifact/pointer
 //! tmp write; `trunc` tears the payload), `registry.rename` (the atomic
@@ -41,7 +51,8 @@ use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::{Arc, Mutex, RwLock, TryLockError};
+use std::sync::{mpsc, Arc, Mutex, RwLock, TryLockError};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Upper bounds (seconds) of per-model latency histogram buckets; matches
@@ -197,9 +208,10 @@ pub struct SwapReport {
     pub version: u64,
     /// Version serving before the swap, if any.
     pub previous: Option<u64>,
-    /// Whether every in-flight request on the old version drained within
-    /// the budget (`false` only under extreme load or a `registry.drain`
-    /// stall — the old model still serves its stragglers safely either way).
+    /// Whether the old version was already free of in-flight requests when
+    /// the pointer flipped. `false` means retirement was handed to the
+    /// background retire thread (bounded by the drain budget) — the old
+    /// model still serves its stragglers safely either way.
     pub drained: bool,
 }
 
@@ -267,8 +279,16 @@ impl ModelSlot {
 pub struct ModelRecovery {
     /// Version chosen to serve, if any survived verification.
     pub chosen: Option<u64>,
-    /// Files moved to `quarantine/` with the typed reason.
+    /// Files moved to `quarantine/` with the typed reason — corrupt
+    /// artifacts (decode/CRC failures) and, when a stored `PROBE` row fails
+    /// an otherwise servable artifact, the poisoned probe itself.
     pub quarantined: Vec<(String, String)>,
+    /// Versions left on disk that decoded cleanly but failed canary
+    /// validation even without the stored probe. These are environmental
+    /// failures (e.g. a broken validator hook), so the evidence is kept in
+    /// place rather than quarantined; a later boot with a healthy
+    /// environment serves them again.
+    pub skipped: Vec<(String, String)>,
     /// `true` when `CURRENT` was missing, torn, or pointed at an invalid
     /// version and had to be re-derived and rewritten.
     pub pointer_rewritten: bool,
@@ -299,6 +319,32 @@ pub struct ModelRegistry {
     /// republish after deep pruning can never reuse a version number.
     high_water: Mutex<HashMap<String, u64>>,
     swaps_epoch: AtomicI64,
+    /// Feed to the background retire thread; `None` only during
+    /// construction and after `Drop` closes the channel.
+    retire_tx: Option<mpsc::Sender<RetireJob>>,
+    retire_thread: Option<JoinHandle<()>>,
+}
+
+/// One retirement handed to the background retire thread: wait (bounded)
+/// for in-flight requests to leave `old`, then count it retired. The job
+/// carries everything it needs so the thread never reaches back into the
+/// registry.
+struct RetireJob {
+    name: String,
+    old: Arc<ModelVersion>,
+    retired: Arc<Counter>,
+}
+
+impl Drop for ModelRegistry {
+    fn drop(&mut self) {
+        // Close the retire channel, then wait out any queued retirements so
+        // no drain outlives the registry. Each job's wait is bounded by the
+        // drain budget, so the join is too.
+        self.retire_tx.take();
+        if let Some(t) = self.retire_thread.take() {
+            let _ = t.join();
+        }
+    }
 }
 
 impl fmt::Debug for ModelRegistry {
@@ -333,6 +379,8 @@ impl ModelRegistry {
             recovery: RecoveryReport::default(),
             high_water: Mutex::new(HashMap::new()),
             swaps_epoch: AtomicI64::new(0),
+            retire_tx: None,
+            retire_thread: None,
         };
         let mut names: Vec<String> = Vec::new();
         for entry in fs::read_dir(&registry.cfg.root)? {
@@ -351,6 +399,14 @@ impl ModelRegistry {
             report.models.push((name, outcome));
         }
         registry.recovery = report;
+        let (tx, rx) = mpsc::channel();
+        let drain_timeout = registry.cfg.drain_timeout;
+        registry.retire_thread = Some(
+            std::thread::Builder::new()
+                .name("dfp-registry-retire".into())
+                .spawn(move || retire_loop(rx, drain_timeout))?,
+        );
+        registry.retire_tx = Some(tx);
         Ok(registry)
     }
 
@@ -399,19 +455,24 @@ impl ModelRegistry {
 
     /// Publishes raw `DFPM` bytes as the next version of `name`, performing
     /// the full atomic hot-swap protocol; `probe` (a CSV row in the model
-    /// schema's order) replaces the stored canary row when given.
+    /// schema's order) replaces the stored canary row when given — but only
+    /// lands on disk once the new artifact has passed validation with it.
     ///
     /// Swap protocol — the pointer flips only at step 5, so every failure
     /// before it is an automatic rollback:
-    /// 1. acquire the per-model swap lock (`Err(Busy)` when contended);
-    /// 2. decode + CRC-verify the bytes in memory (`Err(InvalidArtifact)`);
+    /// 1. decode + CRC-verify the bytes in memory (`Err(InvalidArtifact)`)
+    ///    — before the model's slot or directory even exists, so a failed
+    ///    first publish registers nothing;
+    /// 2. acquire the per-model swap lock (`Err(Busy)` when contended);
     /// 3. write `NNNNNN.dfpm` via temp-file + fsync + rename
     ///    (`registry.write` / `registry.rename` failpoints);
-    /// 4. reload **from disk** and smoke-validate (`registry.validate`;
-    ///    failure quarantines the new file, `Err(Rejected)`);
+    /// 4. reload **from disk** and smoke-validate against the incoming
+    ///    probe row, or the stored one when none was given
+    ///    (`registry.validate`; failure quarantines the new file,
+    ///    `Err(Rejected)`), then persist the incoming probe;
     /// 5. flip `CURRENT` atomically, then swap the in-memory snapshot;
-    /// 6. drain: wait for in-flight requests on the old version
-    ///    (`registry.drain`), then retire it and prune old artifacts.
+    /// 6. prune old artifacts and return; the old version drains and
+    ///    retires on the background retire thread (`registry.drain`).
     pub fn publish_bytes(
         &self,
         name: &str,
@@ -423,6 +484,19 @@ impl ModelRegistry {
         if !store::valid_name(name) {
             return Err(SwapError::InvalidName(name.to_string()));
         }
+        // Reject garbage before any disk mutation — and before the slot
+        // (and its directory) exists, so a failed first publish under a
+        // brand-new name cannot register a phantom model. The full typed
+        // decode covers magic, version, structure and the trailing CRC-32.
+        if let Err(e) = dfp_model::from_bytes(bytes) {
+            // Counted only against already-registered names: minting the
+            // labelled counter here would itself leak the phantom name
+            // into /metrics.
+            if self.model(name).is_some() {
+                self.swap_failures(name).inc();
+            }
+            return Err(SwapError::InvalidArtifact(e));
+        }
         let slot = self.slot(name).map_err(SwapError::Io)?;
         let _guard = match slot.swap.try_lock() {
             Ok(g) => g,
@@ -430,34 +504,24 @@ impl ModelRegistry {
             Err(TryLockError::Poisoned(p)) => p.into_inner(),
         };
 
-        // Reject garbage before any disk mutation: a full typed decode
-        // covers magic, version, structure and the trailing CRC-32.
-        if let Err(e) = dfp_model::from_bytes(bytes) {
-            self.swap_failures(name).inc();
-            return Err(SwapError::InvalidArtifact(e));
-        }
-
         let dir = self.cfg.root.join(name);
         let previous = slot.current().map(|v| v.version);
         let version = self.next_version(name, &dir).map_err(SwapError::Io)?;
         let file = store::artifact_name(version);
-        if let Some(row) = probe {
-            let body = format!("{}\n", row.trim_end());
-            store::write_atomic(
-                &dir,
-                store::PROBE,
-                body.as_bytes(),
-                "registry.write",
-                "registry.rename",
-            )
-            .map_err(|e| self.swap_io_failure(name, &dir, e))?;
-        }
         store::write_atomic(&dir, &file, bytes, "registry.write", "registry.rename")
             .map_err(|e| self.swap_io_failure(name, &dir, e))?;
 
         // Validate what is actually on disk — the artifact a restart would
-        // boot from — not the in-memory decode of the uploaded bytes.
-        let model = match self.validate_artifact(&dir, version, true) {
+        // boot from — against the incoming probe row (or the stored one
+        // when this publish carries none). The incoming probe stays in
+        // memory until validation passes: writing it first would leave a
+        // poisoned PROBE behind a rolled-back swap, for boot recovery to
+        // fail every healthy version against.
+        let incoming_probe = probe
+            .map(|row| row.trim().to_string())
+            .filter(|row| !row.is_empty());
+        let effective_probe = incoming_probe.clone().or_else(|| read_probe(&dir));
+        let model = match self.validate_artifact(&dir, version, true, effective_probe.as_deref()) {
             Ok(m) => m,
             Err(why) => {
                 let _ = store::quarantine(&dir, &dir.join(&file));
@@ -470,6 +534,17 @@ impl ModelRegistry {
                 return Err(SwapError::Rejected(why));
             }
         };
+        if let Some(row) = &incoming_probe {
+            let body = format!("{row}\n");
+            store::write_atomic(
+                &dir,
+                store::PROBE,
+                body.as_bytes(),
+                "registry.write",
+                "registry.rename",
+            )
+            .map_err(|e| self.swap_io_failure(name, &dir, e))?;
+        }
 
         store::write_current(&dir, version).map_err(|e| self.swap_io_failure(name, &dir, e))?;
         let fresh = Arc::new(ModelVersion { version, model });
@@ -479,11 +554,22 @@ impl ModelRegistry {
         self.swaps_epoch.fetch_add(1, Ordering::Relaxed);
         sp.attr("version", version);
 
-        let had_previous = old.is_some();
-        let drained = self.drain(old);
-        if drained && had_previous {
-            self.retired(name).inc();
-        }
+        // Retirement (drain + the retired accounting) runs on the
+        // background retire thread, so the swap lock and the calling worker
+        // are free the moment the pointer flips. Pruning is cheap and stays
+        // inline so the on-disk version bound holds as soon as we return.
+        let drained = match old {
+            None => true,
+            Some(old) => {
+                let idle = Arc::strong_count(&old) <= 1;
+                self.enqueue_retire(RetireJob {
+                    name: name.to_string(),
+                    old,
+                    retired: self.retired(name),
+                });
+                idle
+            }
+        };
         self.prune(name, &dir, version);
         dfp_obs::log::info(
             "dfp_registry",
@@ -565,36 +651,46 @@ impl ModelRegistry {
         SwapError::Io(e)
     }
 
-    /// Loads `dir/NNNNNN.dfpm` and runs the canary. `with_failpoint` arms
-    /// the `registry.validate` site (publish path only — an armed failpoint
-    /// must not make the boot scan quarantine healthy artifacts). Panics
-    /// from the site or from a broken model are contained and reported as
-    /// validation failures.
+    /// Loads `dir/NNNNNN.dfpm` and runs the canary against `probe`.
+    /// `with_failpoint` arms the `registry.validate` site (publish path
+    /// only — an armed failpoint must not make the boot scan reject healthy
+    /// artifacts). Panics from the site or from a broken model are
+    /// contained and reported as validation failures.
     fn validate_artifact(
         &self,
         dir: &Path,
         version: u64,
         with_failpoint: bool,
+        probe: Option<&str>,
     ) -> Result<PatternClassifier, String> {
         let path = dir.join(store::artifact_name(version));
-        let validator = self.validator.clone();
-        let probe = fs::read_to_string(dir.join(store::PROBE))
-            .ok()
-            .map(|s| s.trim().to_string())
-            .filter(|s| !s.is_empty());
-        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<PatternClassifier, String> {
-            let model =
-                dfp_model::load(&path).map_err(|e| format!("artifact failed verification: {e}"))?;
-            if with_failpoint {
-                if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("registry.validate") {
-                    return Err("fault injected at failpoint 'registry.validate'".to_string());
+        let model =
+            dfp_model::load(&path).map_err(|e| format!("artifact failed verification: {e}"))?;
+        if with_failpoint {
+            match catch_unwind(|| dfp_fault::evaluate("registry.validate")) {
+                Ok(Some(dfp_fault::Action::Err)) => {
+                    return Err("fault injected at failpoint 'registry.validate'".to_string())
+                }
+                Ok(_) => {}
+                Err(panic) => {
+                    return Err(format!(
+                        "validation panicked: {}",
+                        panic_message(panic.as_ref())
+                    ))
                 }
             }
-            match &validator {
-                Some(v) => v(&model, probe.as_deref())?,
-                None => default_canary(&model, probe.as_deref())?,
-            }
-            Ok(model)
+        }
+        self.run_canary(&model, probe)?;
+        Ok(model)
+    }
+
+    /// Runs the installed validator (or [`default_canary`]) on an
+    /// already-loaded model, containing panics.
+    fn run_canary(&self, model: &PatternClassifier, probe: Option<&str>) -> Result<(), String> {
+        let validator = self.validator.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| match &validator {
+            Some(v) => v(model, probe),
+            None => default_canary(model, probe),
         }));
         match outcome {
             Ok(r) => r,
@@ -605,24 +701,13 @@ impl ModelRegistry {
         }
     }
 
-    /// Waits (bounded) for every in-flight request holding the old snapshot
-    /// to finish; returns `true` when the old version fully retired.
-    fn drain(&self, old: Option<Arc<ModelVersion>>) -> bool {
-        let Some(old) = old else { return true };
-        let _sp = dfp_obs::span("registry.drain");
-        // `sleep` widens the drain window for chaos tests; `err` skips the
-        // wait entirely (simulating an operator-forced immediate retire).
-        if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("registry.drain") {
-            return Arc::strong_count(&old) <= 1;
+    /// Hands an old version to the background retire thread. A send can
+    /// only fail once `Drop` has closed the channel; the old `Arc` then
+    /// simply drops here, which retires it just as finally.
+    fn enqueue_retire(&self, job: RetireJob) {
+        if let Some(tx) = &self.retire_tx {
+            let _ = tx.send(job);
         }
-        let deadline = Instant::now() + self.cfg.drain_timeout;
-        while Arc::strong_count(&old) > 1 {
-            if Instant::now() >= deadline {
-                return false;
-            }
-            std::thread::sleep(DRAIN_POLL);
-        }
-        true
     }
 
     /// Deletes artifacts beyond `keep_versions`, newest first, never the
@@ -671,8 +756,15 @@ impl ModelRegistry {
         }
 
         // Resolve the pointer: trust it when it names a valid version, else
-        // fall back to the newest valid one. Candidates that fail the
-        // serving canary are quarantined and the next one is tried.
+        // fall back to the newest valid one. Quarantine is reserved for
+        // decode/CRC failures — proof the file itself is corrupt. A canary
+        // failure here is environmental (a stale or poisoned `PROBE` row, a
+        // broken validator hook) and says nothing about the artifact, so
+        // the candidate is skipped in place, never destroyed; and when the
+        // stored probe is what fails an otherwise servable artifact, the
+        // probe is quarantined and the artifact promoted without it, so one
+        // bad probe can never cascade into quarantining every good version.
+        let probe = read_probe(&dir);
         let pointed = store::read_current(&dir);
         let mut candidates: Vec<u64> = Vec::new();
         if let Some(p) = pointed.filter(|p| valid.contains(p)) {
@@ -684,17 +776,58 @@ impl ModelRegistry {
             }
         }
         let mut chosen: Option<(u64, PatternClassifier)> = None;
+        let mut probe_poisoned = false;
         for v in candidates {
-            match self.validate_artifact(&dir, v, false) {
-                Ok(m) => {
-                    chosen = Some((v, m));
+            let path = dir.join(store::artifact_name(v));
+            let model = match dfp_model::load(&path) {
+                Ok(m) => m,
+                Err(e) => {
+                    // Corruption that slipped past (or raced) the CRC pass
+                    // above: the one case quarantine is for.
+                    let _ = store::quarantine(&dir, &path);
+                    outcome
+                        .quarantined
+                        .push((store::artifact_name(v), e.to_string()));
+                    continue;
+                }
+            };
+            match self.run_canary(&model, probe.as_deref()) {
+                Ok(()) => {
+                    chosen = Some((v, model));
                     break;
                 }
-                Err(why) => {
-                    let _ = store::quarantine(&dir, &dir.join(store::artifact_name(v)));
-                    outcome.quarantined.push((store::artifact_name(v), why));
-                }
+                Err(why) if probe.is_some() => match self.run_canary(&model, None) {
+                    Ok(()) => {
+                        probe_poisoned = true;
+                        chosen = Some((v, model));
+                        break;
+                    }
+                    Err(why_bare) => {
+                        outcome
+                            .skipped
+                            .push((store::artifact_name(v), format!("{why}; {why_bare}")));
+                    }
+                },
+                Err(why) => outcome.skipped.push((store::artifact_name(v), why)),
             }
+        }
+        if probe_poisoned {
+            let why =
+                "stored PROBE row fails canary validation against a servable artifact".to_string();
+            let _ = store::quarantine(&dir, &dir.join(store::PROBE));
+            dfp_obs::log::warn(
+                "dfp_registry",
+                "quarantined poisoned probe row; serving without it",
+                &[("model", name), ("why", &why)],
+            );
+            outcome.quarantined.push((store::PROBE.to_string(), why));
+        }
+        for (file, why) in &outcome.skipped {
+            dfp_obs::log::warn(
+                "dfp_registry",
+                "skipped unservable (but intact) artifact during recovery",
+                &[("model", name), ("file", file), ("why", why)],
+            );
         }
 
         let slot = self.slot(name)?;
@@ -758,6 +891,52 @@ impl ModelRegistry {
             &[("model", name)],
         )
     }
+}
+
+/// The stored `PROBE` row for a model directory, if a non-empty one exists.
+fn read_probe(dir: &Path) -> Option<String> {
+    fs::read_to_string(dir.join(store::PROBE))
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+}
+
+/// The background retire thread: drains each old version off the publish
+/// path and keeps the `dfp_registry_retired_total` accounting.
+fn retire_loop(rx: mpsc::Receiver<RetireJob>, drain_timeout: Duration) {
+    for job in rx {
+        let _sp = dfp_obs::span("registry.drain");
+        if drain(&job.old, drain_timeout) {
+            job.retired.inc();
+        } else {
+            dfp_obs::log::warn(
+                "dfp_registry",
+                "old version still referenced past the drain budget; released to its stragglers",
+                &[
+                    ("model", job.name.as_str()),
+                    ("version", &job.old.version.to_string()),
+                ],
+            );
+        }
+    }
+}
+
+/// Waits (bounded) for every in-flight request holding the old snapshot to
+/// finish; returns `true` when the old version fully retired in budget.
+/// `registry.drain=sleep` widens the window for chaos tests; `err` skips
+/// the wait entirely (an operator-forced immediate retire).
+fn drain(old: &Arc<ModelVersion>, timeout: Duration) -> bool {
+    if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("registry.drain") {
+        return Arc::strong_count(old) <= 1;
+    }
+    let deadline = Instant::now() + timeout;
+    while Arc::strong_count(old) > 1 {
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(DRAIN_POLL);
+    }
+    true
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {

@@ -209,10 +209,11 @@ fn concurrent_swap_is_busy() {
     let reg = std::sync::Arc::new(ModelRegistry::open(RegistryConfig::new(&root)).unwrap());
     reg.publish_model("m", &fit(false), None).unwrap();
 
-    // First swap stalls in drain (holding the swap lock) via the failpoint;
-    // the second must answer Busy, not block.
-    let held = reg.model("m").unwrap().current().unwrap();
-    dfp_fault::arm_times("registry.drain", dfp_fault::Action::Sleep(400), Some(1));
+    // First swap stalls inside canary validation (holding the swap lock)
+    // via the failpoint — drain no longer runs under the lock, so
+    // validation is the widest window a competing swap can observe. The
+    // second swap must answer Busy, not block.
+    dfp_fault::arm_times("registry.validate", dfp_fault::Action::Sleep(400), Some(1));
     let bg = {
         let reg = std::sync::Arc::clone(&reg);
         let bytes = dfp_model::to_bytes(&fit(true));
@@ -223,7 +224,6 @@ fn concurrent_swap_is_busy() {
         Err(SwapError::Busy) => {}
         other => panic!("expected Busy, got {other:?}"),
     }
-    drop(held);
     bg.join().unwrap().unwrap();
     dfp_fault::disarm_all();
 }
@@ -312,6 +312,158 @@ fn probe_row_is_stored_and_survives_swaps() {
         fs::read_to_string(root.join("m").join(store::PROBE)).unwrap(),
         "v1,v1,v0\n"
     );
+}
+
+#[test]
+fn rejected_swap_leaves_stored_probe_intact() {
+    let _g = lock_faults();
+    let root = scratch("probekeep");
+    // A validator that accepts the stored probe but refuses the poisoned
+    // replacement a bad publish carries.
+    let validator: dfp_registry::Validator = std::sync::Arc::new(|_m, probe| match probe {
+        Some("poison") => Err("poisoned probe".to_string()),
+        _ => Ok(()),
+    });
+    let reg = ModelRegistry::open_with_validator(
+        RegistryConfig::new(&root),
+        Some(std::sync::Arc::clone(&validator)),
+    )
+    .unwrap();
+    reg.publish_model("m", &fit(false), Some("good")).unwrap();
+
+    match reg.publish_model("m", &fit(true), Some("poison")) {
+        Err(SwapError::Rejected(_)) => {}
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    assert_eq!(
+        fs::read_to_string(root.join("m").join(store::PROBE)).unwrap(),
+        "good\n",
+        "a rolled-back publish must never overwrite the stored PROBE"
+    );
+    assert_eq!(reg.model("m").unwrap().current().unwrap().version, 1);
+    drop(reg);
+
+    // A restart finds the healthy probe: v1 keeps serving, nothing new is
+    // quarantined. (Before the fix, the poisoned probe survived rollback
+    // and boot recovery then failed — and destroyed — every version.)
+    let reg =
+        ModelRegistry::open_with_validator(RegistryConfig::new(&root), Some(validator)).unwrap();
+    assert_eq!(reg.model("m").unwrap().current().unwrap().version, 1);
+    let (_, m) = &reg.recovery().models[0];
+    assert_eq!(m.chosen, Some(1));
+    assert!(m.quarantined.is_empty());
+    assert!(m.skipped.is_empty());
+}
+
+#[test]
+fn rejected_first_publish_registers_no_phantom_model() {
+    let _g = lock_faults();
+    let root = scratch("phantom");
+    let reg = ModelRegistry::open(RegistryConfig::new(&root)).unwrap();
+    match reg.publish_bytes("ghost", b"DFPMnot-really-an-artifact", None) {
+        Err(SwapError::InvalidArtifact(_)) => {}
+        other => panic!("expected InvalidArtifact, got {other:?}"),
+    }
+    assert!(reg.names().is_empty(), "phantom model registered");
+    assert!(reg.model("ghost").is_none());
+    assert!(!root.join("ghost").exists(), "phantom directory created");
+    let mut metrics = String::new();
+    reg.render_metrics_into(&mut metrics);
+    assert!(
+        !metrics.contains("ghost"),
+        "phantom metrics label:\n{metrics}"
+    );
+}
+
+#[test]
+fn poisoned_probe_at_boot_is_quarantined_not_the_artifacts() {
+    let _g = lock_faults();
+    let root = scratch("staleprobe");
+    {
+        let reg = ModelRegistry::open(RegistryConfig::new(&root)).unwrap();
+        reg.publish_model("m", &fit(false), None).unwrap();
+        reg.publish_model("m", &fit(true), None).unwrap();
+    }
+    let dir = root.join("m");
+    // Poison the stored probe, then boot with a validator that chokes on
+    // it (the serving validator does exactly this on a schema mismatch).
+    fs::write(dir.join(store::PROBE), b"poison\n").unwrap();
+    let validator: dfp_registry::Validator = std::sync::Arc::new(|_m, probe| match probe {
+        Some("poison") => Err("probe rejected by schema".to_string()),
+        _ => Ok(()),
+    });
+    let reg =
+        ModelRegistry::open_with_validator(RegistryConfig::new(&root), Some(validator)).unwrap();
+
+    // Both artifacts survive on disk and the newest serves; the probe —
+    // not the artifacts — was quarantined.
+    assert_eq!(store::list_versions(&dir).unwrap(), vec![1, 2]);
+    assert_eq!(reg.model("m").unwrap().current().unwrap().version, 2);
+    assert!(!dir.join(store::PROBE).exists());
+    assert!(dir.join(store::QUARANTINE).join(store::PROBE).exists());
+    let (_, m) = &reg.recovery().models[0];
+    assert_eq!(m.chosen, Some(2));
+    assert!(m.skipped.is_empty());
+    assert_eq!(m.quarantined.len(), 1);
+    assert_eq!(m.quarantined[0].0, store::PROBE);
+    // Publishing with a fresh probe works normally afterwards.
+    reg.publish_model("m", &fit(false), Some("fresh")).unwrap();
+}
+
+#[test]
+fn canary_failure_at_boot_skips_without_destroying_artifacts() {
+    let _g = lock_faults();
+    let root = scratch("envfail");
+    {
+        let reg = ModelRegistry::open(RegistryConfig::new(&root)).unwrap();
+        reg.publish_model("m", &fit(false), None).unwrap();
+        reg.publish_model("m", &fit(true), None).unwrap();
+    }
+    let dir = root.join("m");
+    // A broken validator hook fails every candidate with no probe in play:
+    // purely environmental, so nothing may be quarantined.
+    let broken: dfp_registry::Validator =
+        std::sync::Arc::new(|_m, _p| Err("validator hook is broken".to_string()));
+    let reg = ModelRegistry::open_with_validator(RegistryConfig::new(&root), Some(broken)).unwrap();
+    assert!(reg.model("m").unwrap().current().is_none(), "not servable");
+    let (_, m) = &reg.recovery().models[0];
+    assert_eq!(m.chosen, None);
+    assert_eq!(m.skipped.len(), 2, "both versions skipped in place");
+    assert!(m.quarantined.is_empty(), "evidence must not be destroyed");
+    assert_eq!(
+        store::list_versions(&dir).unwrap(),
+        vec![1, 2],
+        "artifacts must survive an environmental canary failure"
+    );
+    drop(reg);
+
+    // A later boot with a healthy environment serves the newest again.
+    let reg = ModelRegistry::open(RegistryConfig::new(&root)).unwrap();
+    assert_eq!(reg.model("m").unwrap().current().unwrap().version, 2);
+}
+
+#[test]
+fn swap_returns_at_flip_without_waiting_for_drain() {
+    let _g = lock_faults();
+    let root = scratch("bgdrain");
+    let reg =
+        ModelRegistry::open(RegistryConfig::new(&root).with_drain_timeout(Duration::from_secs(5)))
+            .unwrap();
+    reg.publish_model("m", &fit(false), None).unwrap();
+    let held = reg.model("m").unwrap().current().unwrap(); // in-flight request
+    let start = std::time::Instant::now();
+    let report = reg.publish_model("m", &fit(true), None).unwrap();
+    assert!(!report.drained, "held snapshot cannot have drained already");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "publish must return at the pointer flip, not wait out the 5s drain budget"
+    );
+    // The swap lock is free immediately: a follow-up swap succeeds while
+    // the old version still drains in the background.
+    let report = reg.publish_model("m", &fit(false), None).unwrap();
+    assert_eq!(report.version, 3);
+    assert_eq!(held.model.predict(&confusable(false)).unwrap()[0].0, 0);
+    drop(held);
 }
 
 #[test]

@@ -46,6 +46,13 @@ pub struct ServerConfig {
     /// `/m/{name}/…` routes; `None` (the default) keeps the classic
     /// single-model server.
     pub registry_root: Option<String>,
+    /// Shared-secret admin token (`DFP_ADMIN_TOKEN`). When set, the
+    /// `PUT /m/{name}` hot-swap endpoint requires a matching
+    /// `X-Admin-Token` header and answers `401` otherwise. When unset the
+    /// admin route is open to anything that can reach the listener — the
+    /// data plane and the admin plane share one bind address, so set the
+    /// token (or keep the listener on loopback) in production.
+    pub admin_token: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +68,7 @@ impl Default for ServerConfig {
             batch_wait: Duration::from_micros(200),
             cache: true,
             registry_root: None,
+            admin_token: None,
         }
     }
 }
@@ -100,6 +108,12 @@ impl ServerConfig {
             let root = root.trim().to_string();
             if !root.is_empty() {
                 cfg.registry_root = Some(root);
+            }
+        }
+        if let Ok(token) = std::env::var("DFP_ADMIN_TOKEN") {
+            let token = token.trim().to_string();
+            if !token.is_empty() {
+                cfg.admin_token = Some(token);
             }
         }
         cfg
@@ -163,6 +177,13 @@ impl ServerConfig {
     /// `/m/{name}/…` routes in `dfp-serve`).
     pub fn with_registry_root(mut self, root: impl Into<String>) -> Self {
         self.registry_root = Some(root.into());
+        self
+    }
+
+    /// Requires `X-Admin-Token: <token>` on the `PUT /m/{name}` admin
+    /// hot-swap endpoint (`401` otherwise).
+    pub fn with_admin_token(mut self, token: impl Into<String>) -> Self {
+        self.admin_token = Some(token.into());
         self
     }
 

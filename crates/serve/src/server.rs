@@ -547,7 +547,17 @@ fn route_model(
         None => (rest, ""),
     };
     match (request.method.as_str(), action) {
-        ("PUT", "") => admin_swap(request, registry, name),
+        // The hot-swap endpoint shares the data-plane listener, so when an
+        // admin token is configured it is what stands between any client
+        // that can reach /predict and replacing the production model.
+        ("PUT", "") => match &cfg.admin_token {
+            Some(expected) if request.header("x-admin-token") != Some(expected.as_str()) => (
+                401,
+                "Unauthorized",
+                "missing or invalid X-Admin-Token\n".to_string(),
+            ),
+            _ => admin_swap(request, registry, name),
+        },
         ("GET", "readyz") => match registry.model(name) {
             None => (404, "Not Found", format!("unknown model '{name}'\n")),
             Some(slot) => match slot.current() {
@@ -634,9 +644,11 @@ pub fn registry_validator() -> dfp_registry::Validator {
 }
 
 /// `PUT /m/{name}`: body is a complete `DFPM` artifact; the optional
-/// `X-Probe-Row` header stores a canary CSV row validated before every
-/// future swap of this model. The envelope (magic/version/CRC) is checked
-/// before the registry is touched, so a corrupted upload is a cheap `400`.
+/// `X-Probe-Row` header carries a canary CSV row that is validated against
+/// the new artifact and stored only on promotion. The envelope
+/// (magic/version/CRC) is checked before the registry is touched, so a
+/// corrupted upload is a cheap `400`. When `DFP_ADMIN_TOKEN` is set the
+/// route is reached only with a matching `X-Admin-Token` header.
 fn admin_swap(
     request: &Request,
     registry: &ModelRegistry,

@@ -204,9 +204,10 @@ fn concurrent_swap_answers_409_with_retry_after_hint() {
     )
     .expect("bind");
 
-    // Stall a direct swap inside drain (it holds the per-model swap lock)
-    // while the admin endpoint gets a competing upload.
-    dfp_fault::arm_times("registry.drain", dfp_fault::Action::Sleep(500), Some(1));
+    // Stall a direct swap inside canary validation (it holds the per-model
+    // swap lock; drain is backgrounded and no longer does) while the admin
+    // endpoint gets a competing upload.
+    dfp_fault::arm_times("registry.validate", dfp_fault::Action::Sleep(500), Some(1));
     let bg = {
         let registry = Arc::clone(&registry);
         let bytes = dfp_model::to_bytes(&fit(true));
@@ -243,6 +244,59 @@ fn concurrent_swap_answers_409_with_retry_after_hint() {
         .put("/m/iris", "application/octet-stream", &[], &bytes)
         .unwrap();
     assert_eq!(r.status, 200, "{}", r.text());
+
+    handle.shutdown();
+}
+
+#[test]
+fn admin_swap_requires_token_when_configured() {
+    let _g = lock_faults();
+    let root = scratch("token");
+    let registry = open_registry(&root);
+    registry
+        .publish_model("iris", &fit(false), Some("v1,v1,v0"))
+        .unwrap();
+
+    let handle = dfp_serve::serve_registry_with_config(
+        None,
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ServerConfig::default()
+            .with_threads(2)
+            .with_admin_token("s3cret"),
+    )
+    .expect("bind");
+    let mut client = one_shot_client(handle.addr());
+    let bytes = dfp_model::to_bytes(&fit(true));
+
+    // Missing or wrong token: refused before the registry is touched.
+    for headers in [&[][..], &[("X-Admin-Token", "wrong")][..]] {
+        let r = client
+            .put("/m/iris", "application/octet-stream", headers, &bytes)
+            .unwrap();
+        assert_eq!(r.status, 401, "{}", r.text());
+    }
+    let r = client.get("/m/iris/readyz").unwrap();
+    assert!(r.text().contains("version 1"), "{}", r.text());
+
+    // The data plane stays open without the token.
+    let r = client
+        .post("/m/iris/predict", "text/csv", b"v1,v1,v0\n")
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+
+    // The right token swaps.
+    let r = client
+        .put(
+            "/m/iris",
+            "application/octet-stream",
+            &[("X-Admin-Token", "s3cret")],
+            &bytes,
+        )
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    let r = client.get("/m/iris/readyz").unwrap();
+    assert!(r.text().contains("version 2"), "{}", r.text());
 
     handle.shutdown();
 }
