@@ -1,0 +1,226 @@
+//! Hot-path cost of the temporal observability stack: `obs_overhead`.
+//!
+//! Measures the per-request work the server does (CSV parse → predict →
+//! render, on a batch-scoring-shaped body) in two configurations,
+//! interleaved round-robin with min-of-rounds timing:
+//!
+//! * **disabled** — the metrics the server always records (latency
+//!   histogram + exemplar), with the tail sampler off: its `begin()` is the
+//!   one relaxed atomic load the real disabled path pays.
+//! * **enabled** — the full stack: an enabled tail sampler running its
+//!   begin/mark/finish lifecycle around every request, plus a live TSDB
+//!   collector sampling the same registry every 25 ms from its own thread.
+//!
+//! Asserts the two guarantees the design document promises: the enabled
+//! stack stays within 1% of disabled wall time (min-of-rounds), and the
+//! disabled `begin()` fast path performs **zero** heap allocations
+//! (counted by a wrapping global allocator — the one place in the
+//! workspace that needs `unsafe`, confined to this measurement binary).
+//!
+//! `DFP_FAST=1` shrinks iteration counts to CI-smoke size (and relaxes the
+//! ratio gate to 5% — small samples on shared runners jitter more). Writes
+//! `BENCH_obs_overhead.json` at the workspace root.
+
+use dfp_bench::report::{self, Json};
+use dfp_core::{FrameworkConfig, PatternClassifier};
+use dfp_data::dataset::{categorical_dataset, Dataset};
+use dfp_obs::tsdb::{Collector, Source};
+use dfp_obs::{TailSampler, Tsdb, TsdbConfig};
+use dfp_serve::rows::{parse_rows, render_labels};
+use dfp_serve::Metrics;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Counts every heap allocation so the disabled fast path can be proven
+/// allocation-free. Measurement-only `unsafe`: it delegates straight to
+/// [`System`] and touches nothing else.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// (a0=v1, a1=v1) → c0 and (a0=v1, a1=v2) → c1; a2 is noise.
+fn confusable() -> Dataset {
+    let mut rows: Vec<(Vec<u32>, u32)> = Vec::new();
+    for i in 0..60u32 {
+        let (vals, label) = if i % 2 == 0 {
+            (vec![1, 1, i % 3], 0)
+        } else {
+            (vec![1, 2, i % 3], 1)
+        };
+        rows.push((vals, label));
+    }
+    let borrowed: Vec<(&[u32], u32)> = rows.iter().map(|(v, l)| (&v[..], *l)).collect();
+    categorical_dataset(&[3, 3, 3], 2, &borrowed)
+}
+
+/// The server's per-request work: parse the CSV body against the schema,
+/// predict, render the label lines. Returns the rendered length so the
+/// optimizer cannot discard the work.
+fn request_work(model: &PatternClassifier, body: &str) -> usize {
+    let schema = model.schema().expect("fitted from a raw dataset");
+    let dataset = parse_rows(schema, body).expect("valid rows");
+    let labels = model.predict(&dataset).expect("predict");
+    render_labels(schema, &labels).len()
+}
+
+/// One instrumented request: the always-on metrics (histogram + exemplar)
+/// plus whatever the given sampler's lifecycle costs. With a disabled
+/// sampler this is exactly the real server's `DFP_TAIL=0` hot path.
+fn instrumented_request(
+    model: &PatternClassifier,
+    body: &str,
+    metrics: &Metrics,
+    sampler: &TailSampler,
+) -> usize {
+    let started = Instant::now();
+    let mut capture = sampler.begin();
+    let len = request_work(model, body);
+    if let Some(cap) = capture.as_mut() {
+        cap.mark_since("predict", started);
+    }
+    let elapsed = started.elapsed();
+    metrics.requests_total.add(1);
+    metrics.observe_latency(elapsed);
+    metrics.predict_latency.set_exemplar(
+        "request_id",
+        "bench-0000",
+        elapsed.as_secs_f64(),
+        dfp_obs::tsdb::now_unix_ms(),
+    );
+    if let Some(cap) = capture.take() {
+        sampler.finish(cap, "bench-0000", "POST", "/predict", 200, 0);
+    }
+    len
+}
+
+fn time_round(
+    model: &PatternClassifier,
+    body: &str,
+    metrics: &Metrics,
+    sampler: &TailSampler,
+    iters: usize,
+) -> (Duration, usize) {
+    let started = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..iters {
+        sink = sink.wrapping_add(instrumented_request(model, body, metrics, sampler));
+    }
+    (started.elapsed(), sink)
+}
+
+fn main() {
+    let fast = std::env::var("DFP_FAST").map(|v| v == "1").unwrap_or(false);
+    let (rounds, iters) = if fast { (8, 60) } else { (30, 250) };
+    let ratio_gate = if fast { 1.05 } else { 1.01 };
+    let rows_per_request = 128usize;
+
+    let data = confusable();
+    let model = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs()).expect("fit");
+    let body: String = (0..rows_per_request)
+        .map(|i| {
+            if i % 2 == 0 {
+                "v1,v1,v0\n"
+            } else {
+                "v1,v2,v1\n"
+            }
+        })
+        .collect();
+
+    // ── Allocation-freeness of the disabled fast path ────────────────────
+    // Counted before any collector thread exists, so nothing else
+    // allocates concurrently.
+    let disabled_sampler = TailSampler::new(0);
+    assert!(disabled_sampler.begin().is_none());
+    let begin_calls = 100_000u64;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..begin_calls {
+        std::hint::black_box(disabled_sampler.begin());
+    }
+    let begin_allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        begin_allocs, 0,
+        "disabled TailSampler::begin() must be allocation-free"
+    );
+
+    // ── Wall-time ratio, interleaved min-of-rounds ───────────────────────
+    let dis_metrics = Metrics::new();
+    let en_metrics = Arc::new(Metrics::new());
+    let en_sampler = TailSampler::new(64);
+    // A sane threshold so finish() walks its normal keep-decision (and
+    // almost never copies a trace into the reservoir, like production).
+    en_sampler.set_slow_threshold_ns(u64::MAX);
+
+    // The enabled configuration also pays for a live collector sampling a
+    // registry snapshot every 25 ms on its own thread.
+    let tsdb = Arc::new(Tsdb::new(
+        &TsdbConfig::default()
+            .with_interval(Duration::from_millis(25))
+            .with_retain(Duration::from_secs(60)),
+    ));
+    let snapshot_source = Arc::clone(&en_metrics);
+    let sources: Vec<Source> = vec![Box::new(move || snapshot_source.snapshot())];
+    let collector = Collector::start(Arc::clone(&tsdb), sources, vec![]).expect("collector starts");
+
+    // Warm-up: touch every code path once so lazy init is off the clock.
+    time_round(&model, &body, &dis_metrics, &disabled_sampler, 10);
+    time_round(&model, &body, &en_metrics, &en_sampler, 10);
+
+    let mut min_disabled = Duration::MAX;
+    let mut min_enabled = Duration::MAX;
+    let mut sink = 0usize;
+    for _ in 0..rounds {
+        let (d, s1) = time_round(&model, &body, &dis_metrics, &disabled_sampler, iters);
+        let (e, s2) = time_round(&model, &body, &en_metrics, &en_sampler, iters);
+        min_disabled = min_disabled.min(d);
+        min_enabled = min_enabled.min(e);
+        sink = sink.wrapping_add(s1).wrapping_add(s2);
+    }
+    drop(collector);
+    std::hint::black_box(sink);
+
+    let ratio = min_enabled.as_secs_f64() / min_disabled.as_secs_f64();
+    let overhead_pct = (ratio - 1.0) * 100.0;
+    println!(
+        "obs_overhead: disabled {:?}, enabled {:?} per {iters}×{rows_per_request}-row round \
+         → ratio {ratio:.4} ({overhead_pct:+.2}%), disabled begin(): {begin_allocs} allocs / {begin_calls} calls",
+        min_disabled, min_enabled
+    );
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("obs_overhead".to_string())),
+        ("fast_mode", Json::Bool(fast)),
+        ("rounds", Json::Int(rounds as u64)),
+        ("iters_per_round", Json::Int(iters as u64)),
+        ("rows_per_request", Json::Int(rows_per_request as u64)),
+        ("disabled_secs", Json::Num(min_disabled.as_secs_f64())),
+        ("enabled_secs", Json::Num(min_enabled.as_secs_f64())),
+        ("ratio", Json::Num(ratio)),
+        ("overhead_pct", Json::Num(overhead_pct)),
+        ("ratio_gate", Json::Num(ratio_gate)),
+        ("disabled_begin_calls", Json::Int(begin_calls)),
+        ("disabled_begin_allocs", Json::Int(begin_allocs)),
+    ]);
+    let path = report::write_root_json("BENCH_obs_overhead", &report).expect("write report");
+    println!("wrote {}", path.display());
+
+    assert!(
+        ratio <= ratio_gate,
+        "enabled obs stack exceeded the wall-time gate: ratio {ratio:.4} > {ratio_gate}"
+    );
+}

@@ -1,0 +1,158 @@
+//! Structured audit events for control-plane actions.
+//!
+//! The model registry records every swap / promote / rollback / quarantine
+//! / prune here. Each event goes two places at once: a JSONL log line (via
+//! [`crate::log`], so `DFP_LOG=info` operators see them in the stream) and
+//! a process-global bounded ring that the dashboard and `/metrics/history`
+//! read back to annotate timelines. The ring is deliberately small — audit
+//! events are rare, human-scale actions, not metrics.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Maximum events retained in the process-global ring.
+pub const RING_CAP: usize = 256;
+
+/// One control-plane action, as recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditEvent {
+    /// Wall-clock time of the action, Unix milliseconds.
+    pub unix_ms: u64,
+    /// Action kind: `swap`, `rollback`, `quarantine`, `prune`, `recover`.
+    pub kind: String,
+    /// Model name the action applied to.
+    pub model: String,
+    /// Artifact version, when one is in play.
+    pub version: Option<u64>,
+    /// Outcome: `promoted`, `rejected`, `quarantined`, `deleted`, …
+    pub outcome: String,
+    /// How long the action took, milliseconds.
+    pub duration_ms: f64,
+    /// Free-form detail (error text, file names).
+    pub detail: String,
+}
+
+impl AuditEvent {
+    /// Appends this event as a JSON object.
+    pub fn render_json_into(&self, out: &mut String) {
+        out.push_str(&format!("{{\"unix_ms\":{},\"kind\":", self.unix_ms));
+        crate::json::escape_into(out, &self.kind);
+        out.push_str(",\"model\":");
+        crate::json::escape_into(out, &self.model);
+        match self.version {
+            Some(v) => out.push_str(&format!(",\"version\":{v}")),
+            None => out.push_str(",\"version\":null"),
+        }
+        out.push_str(",\"outcome\":");
+        crate::json::escape_into(out, &self.outcome);
+        out.push_str(&format!(
+            ",\"duration_ms\":{}",
+            if self.duration_ms.is_finite() {
+                format!("{}", self.duration_ms)
+            } else {
+                "0".to_string()
+            }
+        ));
+        out.push_str(",\"detail\":");
+        crate::json::escape_into(out, &self.detail);
+        out.push('}');
+    }
+}
+
+fn ring() -> &'static Mutex<VecDeque<AuditEvent>> {
+    static RING: OnceLock<Mutex<VecDeque<AuditEvent>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::new()))
+}
+
+/// Records one control-plane action: pushes it onto the global ring and
+/// emits a JSONL log event (WARN for failure outcomes, INFO otherwise).
+pub fn record(
+    kind: &str,
+    model: &str,
+    version: Option<u64>,
+    outcome: &str,
+    duration: Duration,
+    detail: &str,
+) {
+    let event = AuditEvent {
+        unix_ms: crate::tsdb::now_unix_ms(),
+        kind: kind.to_string(),
+        model: model.to_string(),
+        version,
+        outcome: outcome.to_string(),
+        duration_ms: duration.as_secs_f64() * 1000.0,
+        detail: detail.to_string(),
+    };
+    let version_text = version.map(|v| v.to_string()).unwrap_or_default();
+    let duration_text = format!("{:.3}", event.duration_ms);
+    let fields: &[(&str, &str)] = &[
+        ("kind", kind),
+        ("model", model),
+        ("version", &version_text),
+        ("outcome", outcome),
+        ("duration_ms", &duration_text),
+        ("detail", detail),
+    ];
+    let failed = matches!(outcome, "rejected" | "quarantined" | "io_error" | "error");
+    if failed {
+        crate::log::warn("dfp_registry::audit", "registry action", fields);
+    } else {
+        crate::log::info("dfp_registry::audit", "registry action", fields);
+    }
+    let mut ring = ring().lock().unwrap_or_else(|e| e.into_inner());
+    ring.push_back(event);
+    while ring.len() > RING_CAP {
+        ring.pop_front();
+    }
+}
+
+/// The newest `limit` events, oldest first.
+pub fn recent(limit: usize) -> Vec<AuditEvent> {
+    let ring = ring().lock().unwrap_or_else(|e| e.into_inner());
+    let skip = ring.len().saturating_sub(limit);
+    ring.iter().skip(skip).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_ring_and_render() {
+        record(
+            "swap",
+            "audit-test-model",
+            Some(3),
+            "promoted",
+            Duration::from_millis(12),
+            "",
+        );
+        let events = recent(usize::MAX);
+        let mine: Vec<_> = events
+            .iter()
+            .filter(|e| e.model == "audit-test-model")
+            .collect();
+        assert!(!mine.is_empty());
+        let mut out = String::new();
+        mine[0].render_json_into(&mut out);
+        let parsed = crate::json::parse(&out).expect("event JSON parses");
+        assert_eq!(parsed.get("kind").and_then(|v| v.as_str()), Some("swap"));
+        assert_eq!(parsed.get("version").and_then(|v| v.as_int()), Some(3));
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        for i in 0..(RING_CAP + 50) {
+            record(
+                "prune",
+                "audit-bound-model",
+                Some(i as u64),
+                "deleted",
+                Duration::ZERO,
+                "",
+            );
+        }
+        assert!(recent(usize::MAX).len() <= RING_CAP);
+    }
+}

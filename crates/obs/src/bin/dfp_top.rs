@@ -1,0 +1,221 @@
+//! `dfp-top` — a terminal live view of a running `dfp-serve`.
+//!
+//! ```text
+//! dfp-top --addr 127.0.0.1:8080 [--interval-ms 1000] [--once]
+//! ```
+//!
+//! Polls `GET /metrics/history` and `GET /alerts`, parses the JSON with the
+//! in-tree `dfp_obs::json` parser, and renders counters as rates, gauges
+//! raw, histograms with their windowed p50/p99 — plus firing alerts and the
+//! most recent registry events. `--once` prints a single frame and exits
+//! (used by CI to prove the endpoint round-trips).
+
+use dfp_obs::json::{self, Value};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut interval = Duration::from_millis(1000);
+    let mut once = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                if let Some(a) = args.next() {
+                    addr = a
+                        .trim_start_matches("http://")
+                        .trim_end_matches('/')
+                        .to_string();
+                }
+            }
+            "--interval-ms" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(ms)) => interval = Duration::from_millis(ms),
+                _ => return usage("--interval-ms expects a number"),
+            },
+            "--once" => once = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    loop {
+        match frame(&addr) {
+            Ok(text) => {
+                if !once {
+                    // ANSI clear + home.
+                    print!("\x1b[2J\x1b[H");
+                }
+                println!("{text}");
+            }
+            Err(e) => {
+                eprintln!("dfp-top: {e}");
+                if once {
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if once {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!("usage: dfp-top --addr <host:port> [--interval-ms <n>] [--once]");
+    if problem.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// One GET over a fresh connection (the server closes after each response).
+fn get(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("recv: {e}"))?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("malformed status line")?;
+    if status != 200 {
+        return Err(format!("{path} answered {status}"));
+    }
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .ok_or_else(|| "no body".to_string())
+}
+
+fn frame(addr: &str) -> Result<String, String> {
+    let history = json::parse(&get(addr, "/metrics/history")?)
+        .map_err(|e| format!("/metrics/history JSON: {e:?}"))?;
+    let alerts = get(addr, "/alerts")
+        .ok()
+        .and_then(|body| json::parse(&body).ok());
+    let mut out = String::new();
+
+    let now_ms = history.get("now_ms").and_then(|v| v.as_int()).unwrap_or(0);
+    let interval_ms = history
+        .get("interval_ms")
+        .and_then(|v| v.as_int())
+        .unwrap_or(0);
+    out.push_str(&format!(
+        "dfp-top · {addr} · now {now_ms} ms · tsdb interval {interval_ms} ms\n"
+    ));
+
+    if let Some(alerts) = &alerts {
+        let firing = alerts.get("firing").and_then(|v| v.as_int()).unwrap_or(0);
+        out.push_str(&format!("alerts firing: {firing}\n"));
+        if let Some(Value::Arr(items)) = alerts.get("alerts") {
+            for a in items {
+                let state = a.get("state").and_then(|v| v.as_str()).unwrap_or("?");
+                if state == "firing" {
+                    out.push_str(&format!(
+                        "  FIRING {} [{}] burn short {:.2} long {:.2}\n",
+                        a.get("slo").and_then(|v| v.as_str()).unwrap_or("?"),
+                        a.get("severity").and_then(|v| v.as_str()).unwrap_or("?"),
+                        a.get("burn_short").and_then(|v| v.as_f64()).unwrap_or(0.0),
+                        a.get("burn_long").and_then(|v| v.as_f64()).unwrap_or(0.0),
+                    ));
+                }
+            }
+        }
+    }
+
+    out.push_str(&format!(
+        "\n{:<44} {:<28} {:>14}\n",
+        "series", "labels", "value"
+    ));
+    let Some(Value::Arr(series)) = history.get("series") else {
+        return Err("history JSON missing series".to_string());
+    };
+    for s in series {
+        let name = s.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+        let labels = s.get("labels").and_then(|v| v.as_str()).unwrap_or("");
+        let kind = s.get("kind").and_then(|v| v.as_str()).unwrap_or("?");
+        let Some(Value::Arr(points)) = s.get("points") else {
+            continue;
+        };
+        let cell = match kind {
+            "counter" => counter_rate_cell(points),
+            "gauge" => points
+                .last()
+                .and_then(|p| pt_val(p, 1))
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_default(),
+            "histogram" => {
+                let windows = s.get("windows");
+                let p99 = windows
+                    .and_then(|w| w.get("1m"))
+                    .and_then(|w| w.get("p99"))
+                    .and_then(|v| v.as_f64());
+                match p99 {
+                    Some(p99) => format!("p99(1m) {p99:.4}s"),
+                    None => "—".to_string(),
+                }
+            }
+            _ => String::new(),
+        };
+        if !cell.is_empty() {
+            out.push_str(&format!("{name:<44} {labels:<28} {cell:>14}\n"));
+        }
+    }
+
+    if let Some(Value::Arr(events)) = history.get("events") {
+        if !events.is_empty() {
+            out.push_str("\nrecent registry events:\n");
+            for e in events.iter().rev().take(5) {
+                out.push_str(&format!(
+                    "  {} {} v{} → {}\n",
+                    e.get("kind").and_then(|v| v.as_str()).unwrap_or("?"),
+                    e.get("model").and_then(|v| v.as_str()).unwrap_or("?"),
+                    e.get("version").and_then(|v| v.as_int()).unwrap_or(0),
+                    e.get("outcome").and_then(|v| v.as_str()).unwrap_or("?"),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn pt_val(point: &Value, idx: usize) -> Option<f64> {
+    match point {
+        Value::Arr(fields) => fields.get(idx).and_then(|v| v.as_f64()),
+        _ => None,
+    }
+}
+
+/// Rate between the last two raw counter points, per second.
+fn counter_rate_cell(points: &[Value]) -> String {
+    if points.len() < 2 {
+        return "—".to_string();
+    }
+    let (a, b) = (&points[points.len() - 2], &points[points.len() - 1]);
+    let (Some(t0), Some(v0), Some(t1), Some(v1)) =
+        (pt_val(a, 0), pt_val(a, 1), pt_val(b, 0), pt_val(b, 1))
+    else {
+        return "—".to_string();
+    };
+    let dt = ((t1 - t0) / 1000.0).max(1e-9);
+    let dv = if v1 >= v0 { v1 - v0 } else { v1 };
+    format!("{:.2}/s", dv / dt)
+}

@@ -2,13 +2,14 @@
 //! scraped `/metrics` payload.
 //!
 //! ```text
-//! dfp-metrics-check [<file>|-] [--require FAMILY]...
+//! dfp-metrics-check [<file>|-] [--require FAMILY]... [--min-exemplars N]
 //! ```
 //!
 //! Reads the exposition from the file (or stdin when `-`/omitted), checks
 //! it with [`dfp_obs::promcheck`], and additionally asserts each
-//! `--require`d family is announced. Exits non-zero listing every
-//! violation.
+//! `--require`d family is announced and that at least `--min-exemplars`
+//! well-formed OpenMetrics exemplars ride the bucket lines. Exits non-zero
+//! listing every violation.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -18,6 +19,7 @@ use dfp_obs::promcheck;
 fn main() -> ExitCode {
     let mut source: Option<String> = None;
     let mut required: Vec<String> = Vec::new();
+    let mut min_exemplars = 0usize;
 
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -29,8 +31,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--min-exemplars" => match argv.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => min_exemplars = n,
+                _ => {
+                    eprintln!("dfp-metrics-check: --min-exemplars needs a count");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: dfp-metrics-check [<file>|-] [--require FAMILY]...");
+                println!(
+                    "usage: dfp-metrics-check [<file>|-] [--require FAMILY]... [--min-exemplars N]"
+                );
                 return ExitCode::SUCCESS;
             }
             other if source.is_none() => source = Some(other.to_string()),
@@ -68,9 +79,16 @@ fn main() -> ExitCode {
     match promcheck::check(&text) {
         Ok(stats) => {
             println!(
-                "ok: {} families, {} series, {} samples",
-                stats.families, stats.series, stats.samples
+                "ok: {} families, {} series, {} samples, {} exemplars",
+                stats.families, stats.series, stats.samples, stats.exemplars
             );
+            if stats.exemplars < min_exemplars {
+                eprintln!(
+                    "dfp-metrics-check: {} exemplar(s) found, --min-exemplars {min_exemplars}",
+                    stats.exemplars
+                );
+                failed = true;
+            }
         }
         Err(errors) => {
             for error in &errors {

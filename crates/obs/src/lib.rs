@@ -17,6 +17,14 @@
 //! * **Events** ([`log`]) — structured JSONL lines on stderr, levelled via
 //!   `DFP_LOG=<error|warn|info|debug|trace>` (silent when unset).
 //!
+//! Layered on top, the temporal stack: [`tsdb`] (a background collector
+//! samples registries into ring-buffered history with windowed
+//! percentiles), [`slo`] (multi-window multi-burn-rate alerting over that
+//! history), [`tail`] (tail-sampled slow/5xx request capture), [`audit`]
+//! (control-plane event ring), and [`dashboard`] (a self-contained HTML
+//! operator view). The `dfp-top` binary renders `/metrics/history` live in
+//! a terminal.
+//!
 //! ## Determinism contract
 //!
 //! Observability never alters results. Span guards and counters only read
@@ -29,14 +37,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
+pub mod dashboard;
 pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod promcheck;
+pub mod slo;
 pub mod span;
+pub mod tail;
 pub mod trace;
+pub mod tsdb;
 
 pub use log::{debug, error, info, trace_event, warn, Level};
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{Counter, Gauge, GaugeF, Histogram, Registry};
+pub use slo::{SloEngine, SloSpec};
 pub use span::{set_tracing, span, tracing_enabled, Span};
+pub use tail::TailSampler;
 pub use trace::TraceSession;
+pub use tsdb::{Collector, Tsdb, TsdbConfig};

@@ -64,6 +64,37 @@ impl Gauge {
     }
 }
 
+/// A float-valued gauge (f64 bits behind an atomic), for derived values
+/// that are not integral — SLO burn rates, ratios, seconds-since.
+#[derive(Debug, Default)]
+pub struct GaugeF(AtomicU64);
+
+impl GaugeF {
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// An OpenMetrics exemplar: one traced observation attached to the bucket
+/// that contains it, rendered as `… # {request_id="…"} 0.12 1700000000.000`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// Single exemplar label key (we only ever attach one label).
+    pub label_key: String,
+    /// Label value — for serving, the `X-Request-Id` of a captured trace.
+    pub label_value: String,
+    /// Observed value in seconds.
+    pub value: f64,
+    /// Unix timestamp of the observation, in milliseconds.
+    pub unix_ms: u64,
+}
+
 /// A fixed-bucket histogram of durations, stored in nanoseconds so the
 /// rendered `_sum` is exact.
 #[derive(Debug)]
@@ -74,6 +105,8 @@ pub struct Histogram {
     counts: Box<[AtomicU64]>,
     sum_nanos: AtomicU64,
     count: AtomicU64,
+    /// Most recent exemplar, set off the hot path (tail-sampled keeps only).
+    exemplar: Mutex<Option<Exemplar>>,
 }
 
 impl Histogram {
@@ -87,6 +120,7 @@ impl Histogram {
             counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             sum_nanos: AtomicU64::new(0),
             count: AtomicU64::new(0),
+            exemplar: Mutex::new(None),
         }
     }
 
@@ -117,6 +151,87 @@ impl Histogram {
     pub fn sum_nanos(&self) -> u64 {
         self.sum_nanos.load(Ordering::Relaxed)
     }
+
+    /// Attaches an exemplar (replacing any previous one). Called off the
+    /// request hot path — only when a tail-sampled trace is kept — so the
+    /// mutex never contends with `observe`.
+    pub fn set_exemplar(&self, label_key: &str, label_value: &str, value_secs: f64, unix_ms: u64) {
+        if !value_secs.is_finite() {
+            return;
+        }
+        let mut slot = self.exemplar.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(Exemplar {
+            label_key: label_key.to_string(),
+            label_value: label_value.to_string(),
+            value: value_secs,
+            unix_ms,
+        });
+    }
+
+    /// The currently attached exemplar, if any.
+    pub fn exemplar(&self) -> Option<Exemplar> {
+        self.exemplar
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// A point-in-time copy with *cumulative* bucket counts. Relaxed reads:
+    /// the snapshot may be torn against concurrent observes, but every slot
+    /// is individually monotone over successive snapshots, which is all the
+    /// TSDB window diffing needs.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut cumulative = Vec::with_capacity(self.counts.len());
+        let mut acc = 0u64;
+        for c in self.counts.iter() {
+            acc += c.load(Ordering::Relaxed);
+            cumulative.push(acc);
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
+            cumulative,
+            sum_nanos: self.sum_nanos(),
+            count: self.count(),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram series with cumulative bucket
+/// counts (the `+Inf` slot last).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds in seconds; `+Inf` implied after the last.
+    pub bounds: Vec<f64>,
+    /// Cumulative count per bound plus the `+Inf` slot (`bounds.len() + 1`).
+    pub cumulative: Vec<u64>,
+    /// Sum of all observations, in nanoseconds.
+    pub sum_nanos: u64,
+    /// Total observation count.
+    pub count: u64,
+}
+
+/// The value part of a [`Sample`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Gauge value (integer gauges widen to `f64`).
+    Gauge(f64),
+    /// Histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// One series sampled from a [`Registry`] — the read side consumed by the
+/// TSDB collector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Family name, e.g. `dfp_serve_requests_total`.
+    pub name: String,
+    /// Rendered label pairs without braces (possibly empty), e.g.
+    /// `stage="mine"`.
+    pub labels: String,
+    /// The sampled value.
+    pub value: SampleValue,
 }
 
 /// Formats a float in plain decimal notation — Prometheus label values such
@@ -139,6 +254,7 @@ pub fn fmt_secs_from_nanos(nanos: u64) -> String {
 enum Kind {
     Counter,
     Gauge,
+    GaugeF,
     Histogram,
 }
 
@@ -146,7 +262,8 @@ impl Kind {
     fn as_str(self) -> &'static str {
         match self {
             Kind::Counter => "counter",
-            Kind::Gauge => "gauge",
+            // Integer and float gauges are one exposition TYPE.
+            Kind::Gauge | Kind::GaugeF => "gauge",
             Kind::Histogram => "histogram",
         }
     }
@@ -156,6 +273,7 @@ impl Kind {
 enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
+    GaugeF(Arc<GaugeF>),
     Histogram(Arc<Histogram>),
 }
 
@@ -206,6 +324,22 @@ impl Registry {
             Metric::Gauge(Arc::new(Gauge::default()))
         }) {
             Metric::Gauge(g) => g,
+            _ => unreachable!("kind enforced by series()"),
+        }
+    }
+
+    /// Returns the unlabelled float gauge `name`, registering it on first
+    /// use.
+    pub fn gauge_f(&self, name: &str, help: &str) -> Arc<GaugeF> {
+        self.gauge_f_with(name, help, &[])
+    }
+
+    /// Returns the float gauge `name{labels}`, registering it on first use.
+    pub fn gauge_f_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<GaugeF> {
+        match self.series(name, help, Kind::GaugeF, labels, || {
+            Metric::GaugeF(Arc::new(GaugeF::default()))
+        }) {
+            Metric::GaugeF(g) => g,
             _ => unreachable!("kind enforced by series()"),
         }
     }
@@ -295,11 +429,62 @@ impl Registry {
                     Metric::Gauge(g) => {
                         push_series_line(out, name, labels, &g.get().to_string());
                     }
+                    Metric::GaugeF(g) => {
+                        push_series_line(out, name, labels, &fmt_float_value(g.get()));
+                    }
                     Metric::Histogram(h) => render_histogram(out, name, labels, h),
                 }
             }
         }
     }
+
+    /// Samples every registered series into owned [`Sample`]s — the read
+    /// side used by the TSDB collector. Reads are relaxed atomics; tearing
+    /// across series is tolerated (each sample is individually consistent).
+    pub fn snapshot(&self) -> Vec<Sample> {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::new();
+        for family in families.iter() {
+            for (labels, metric) in &family.series {
+                let value = match metric {
+                    Metric::Counter(c) => SampleValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampleValue::Gauge(g.get() as f64),
+                    Metric::GaugeF(g) => SampleValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                };
+                out.push(Sample {
+                    name: family.name.clone(),
+                    labels: labels.clone(),
+                    value,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Formats an exposition float value: plain decimal for finite values,
+/// Prometheus spellings for the non-finite ones (`+Inf`/`-Inf`/`NaN` — the
+/// Rust `Display` forms `inf`/`NaN` are not parser-safe).
+fn fmt_float_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        fmt_decimal(v)
+    }
+}
+
+fn push_exemplar(out: &mut String, e: &Exemplar) {
+    out.push_str(&format!(
+        " # {{{}=\"{}\"}} {} {}.{:03}",
+        e.label_key,
+        e.label_value.replace('\\', "\\\\").replace('"', "\\\""),
+        fmt_decimal(e.value),
+        e.unix_ms / 1000,
+        e.unix_ms % 1000
+    ));
 }
 
 fn render_labels(labels: &[(&str, &str)]) -> String {
@@ -320,18 +505,35 @@ fn push_series_line(out: &mut String, name: &str, labels: &str, value: &str) {
 
 fn render_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
     let joiner = if labels.is_empty() { "" } else { "," };
+    // The exemplar rides on the first bucket whose bound contains its value
+    // (OpenMetrics-style `… # {k="v"} value ts` suffix on the bucket line).
+    let exemplar = h.exemplar();
+    let exemplar_idx = exemplar.as_ref().map(|e| {
+        h.bounds
+            .iter()
+            .position(|&ub| e.value <= ub)
+            .unwrap_or(h.bounds.len())
+    });
     let mut cumulative = 0u64;
     for (i, &ub) in h.bounds.iter().enumerate() {
         cumulative += h.counts[i].load(Ordering::Relaxed);
         out.push_str(&format!(
-            "{name}_bucket{{{labels}{joiner}le=\"{}\"}} {cumulative}\n",
+            "{name}_bucket{{{labels}{joiner}le=\"{}\"}} {cumulative}",
             fmt_decimal(ub)
         ));
+        if exemplar_idx == Some(i) {
+            push_exemplar(out, exemplar.as_ref().expect("index implies exemplar"));
+        }
+        out.push('\n');
     }
     cumulative += h.counts[h.bounds.len()].load(Ordering::Relaxed);
     out.push_str(&format!(
-        "{name}_bucket{{{labels}{joiner}le=\"+Inf\"}} {cumulative}\n"
+        "{name}_bucket{{{labels}{joiner}le=\"+Inf\"}} {cumulative}"
     ));
+    if exemplar_idx == Some(h.bounds.len()) {
+        push_exemplar(out, exemplar.as_ref().expect("index implies exemplar"));
+    }
+    out.push('\n');
     push_series_line(
         out,
         &format!("{name}_sum"),
@@ -616,5 +818,62 @@ mod tests {
         let r = Registry::new();
         r.counter("z_metric", "z");
         r.gauge("z_metric", "z");
+    }
+
+    #[test]
+    fn float_gauge_renders_plain_decimal() {
+        let r = Registry::new();
+        let g = r.gauge_f_with("burn", "burn rate", &[("slo", "avail")]);
+        g.set(14.4);
+        let text = r.render();
+        assert!(text.contains("# TYPE burn gauge\n"), "{text}");
+        assert!(text.contains("burn{slo=\"avail\"} 14.4\n"), "{text}");
+        g.set(f64::INFINITY);
+        assert!(r.render().contains("burn{slo=\"avail\"} +Inf\n"));
+        g.set(f64::NAN);
+        assert!(r.render().contains("burn{slo=\"avail\"} NaN\n"));
+    }
+
+    #[test]
+    fn exemplar_rides_containing_bucket() {
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", "latency", &[0.001, 0.1]);
+        h.observe(Duration::from_millis(20));
+        h.set_exemplar("request_id", "req-1", 0.02, 1_700_000_000_123);
+        let text = r.render();
+        assert!(
+            text.contains(
+                "lat_seconds_bucket{le=\"0.1\"} 1 # {request_id=\"req-1\"} 0.02 1700000000.123\n"
+            ),
+            "{text}"
+        );
+        // The other bucket lines carry no exemplar.
+        assert!(text.contains("lat_seconds_bucket{le=\"0.001\"} 0\n"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 1\n"));
+    }
+
+    #[test]
+    fn snapshot_captures_all_kinds_cumulatively() {
+        let r = Registry::new();
+        r.counter("c_total", "c").add(7);
+        r.gauge("g", "g").set(-3);
+        r.gauge_f("gf", "gf").set(0.5);
+        let h = r.histogram("h_seconds", "h", &[0.001, 0.1]);
+        h.observe(Duration::from_micros(500));
+        h.observe(Duration::from_secs(1));
+        let samples = r.snapshot();
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples[0].value, SampleValue::Counter(7));
+        assert_eq!(samples[1].value, SampleValue::Gauge(-3.0));
+        assert_eq!(samples[2].value, SampleValue::Gauge(0.5));
+        match &samples[3].value {
+            SampleValue::Histogram(s) => {
+                assert_eq!(s.bounds, vec![0.001, 0.1]);
+                assert_eq!(s.cumulative, vec![1, 1, 2]);
+                assert_eq!(s.count, 2);
+                assert_eq!(s.sum_nanos, 1_000_500_000);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 }

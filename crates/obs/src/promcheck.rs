@@ -8,7 +8,10 @@
 //! * every sample value parses as a float; no series appears twice;
 //! * histograms are well-formed: `le` labels parse, are strictly
 //!   ascending, never use scientific notation, buckets are cumulative,
-//!   a `+Inf` bucket exists and equals `_count`, and `_sum` is present.
+//!   a `+Inf` bucket exists and equals `_count`, and `_sum` is present;
+//! * OpenMetrics exemplar suffixes (`… # {k="v"} value ts`) are accepted
+//!   on `_bucket` lines only, and their label set, value, and timestamp
+//!   must themselves parse.
 //!
 //! Used by the serve conformance tests and the `dfp-metrics-check` binary
 //! that CI runs against a live scrape.
@@ -24,6 +27,8 @@ pub struct Stats {
     pub series: usize,
     /// Total sample lines.
     pub samples: usize,
+    /// Bucket lines carrying a well-formed exemplar suffix.
+    pub exemplars: usize,
 }
 
 /// One conformance violation.
@@ -55,6 +60,7 @@ pub fn check(text: &str) -> Result<Stats, Vec<CheckError>> {
     let mut helped: HashSet<String> = HashSet::new();
     let mut types: HashMap<String, String> = HashMap::new();
     let mut samples: Vec<Sample> = Vec::new();
+    let mut exemplars = 0usize;
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -98,13 +104,33 @@ pub fn check(text: &str) -> Result<Stats, Vec<CheckError>> {
         if line.starts_with('#') {
             continue; // plain comment
         }
-        match parse_sample(line) {
-            Ok((name, labels, value)) => samples.push(Sample {
-                name,
-                labels,
-                value,
-                line: line_no,
-            }),
+        // An OpenMetrics exemplar rides after ` # ` on a bucket line; split
+        // it off so the sample itself parses, then validate it separately.
+        let (sample_part, exemplar_part) = match line.split_once(" # ") {
+            Some((s, e)) => (s, Some(e)),
+            None => (line, None),
+        };
+        match parse_sample(sample_part) {
+            Ok((name, labels, value)) => {
+                if let Some(ex) = exemplar_part {
+                    if !name.ends_with("_bucket") {
+                        errors.push(err(
+                            line_no,
+                            format!("exemplar on non-bucket sample '{name}'"),
+                        ));
+                    }
+                    match check_exemplar(ex) {
+                        Ok(()) => exemplars += 1,
+                        Err(message) => errors.push(err(line_no, message)),
+                    }
+                }
+                samples.push(Sample {
+                    name,
+                    labels,
+                    value,
+                    line: line_no,
+                });
+            }
             Err(message) => errors.push(err(line_no, message)),
         }
     }
@@ -142,11 +168,40 @@ pub fn check(text: &str) -> Result<Stats, Vec<CheckError>> {
             families: types.len(),
             series: seen_series.len(),
             samples: samples.len(),
+            exemplars,
         })
     } else {
         errors.sort_by_key(|e| e.line);
         Err(errors)
     }
+}
+
+/// Validates the text after a bucket line's ` # ` separator:
+/// `{k="v",…} value [unix_ts]`, with a non-empty label set and finite
+/// decimal value.
+fn check_exemplar(text: &str) -> Result<(), String> {
+    let body = text
+        .strip_prefix('{')
+        .ok_or_else(|| "exemplar missing label set".to_string())?;
+    let (labels, after) = parse_labels(body).map_err(|e| format!("exemplar {e}"))?;
+    if labels.is_empty() {
+        return Err("exemplar with empty label set".to_string());
+    }
+    let mut fields = after.split_ascii_whitespace();
+    let value = fields
+        .next()
+        .ok_or_else(|| "exemplar missing value".to_string())?;
+    value
+        .parse::<f64>()
+        .map_err(|_| format!("unparseable exemplar value '{value}'"))?;
+    if let Some(ts) = fields.next() {
+        ts.parse::<f64>()
+            .map_err(|_| format!("unparseable exemplar timestamp '{ts}'"))?;
+    }
+    if fields.next().is_some() {
+        return Err("trailing tokens after exemplar timestamp".to_string());
+    }
+    Ok(())
 }
 
 fn err(line: usize, message: String) -> CheckError {
@@ -431,6 +486,40 @@ lat_seconds_count 4\n";
         let text = format!("{GOOD}req_total 9\n");
         let errs = check(&text).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("duplicate series")));
+    }
+
+    #[test]
+    fn accepts_exemplar_on_bucket_lines() {
+        let text = GOOD.replace(
+            "lat_seconds_bucket{le=\"0.1\"} 3",
+            "lat_seconds_bucket{le=\"0.1\"} 3 # {request_id=\"req-7\"} 0.02 1700000000.123",
+        );
+        let stats = check(&text).unwrap();
+        assert_eq!(stats.exemplars, 1);
+        assert_eq!(stats.samples, 6);
+    }
+
+    #[test]
+    fn rejects_exemplar_off_bucket_lines() {
+        let text = GOOD.replace("req_total 4", "req_total 4 # {request_id=\"x\"} 1");
+        let errs = check(&text).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.message.contains("non-bucket")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_exemplar() {
+        let text = GOOD.replace(
+            "lat_seconds_bucket{le=\"0.1\"} 3",
+            "lat_seconds_bucket{le=\"0.1\"} 3 # {} 0.02",
+        );
+        let errs = check(&text).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.message.contains("empty label set")),
+            "{errs:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,641 @@
+//! Declarative SLOs evaluated with multi-window multi-burn-rate rules.
+//!
+//! An [`SloSpec`] names an availability objective (an error-ratio budget
+//! over a pair of counters) and optionally a latency objective (fraction of
+//! requests under a threshold, from a histogram). The [`SloEngine`]
+//! re-evaluates every spec after each TSDB collection tick using the
+//! classic two-rule scheme from the Google SRE workbook:
+//!
+//! * **page** — burn rate > 14.4 sustained on *both* the 5 m and 1 h
+//!   windows (exhausts a 30-day budget in ~6 h);
+//! * **ticket** — burn rate > 6 on both 30 m and 6 h windows.
+//!
+//! *Burn rate* is `observed error ratio / allowed error ratio`; 1.0 means
+//! spending budget exactly at the objective. Requiring both the short and
+//! long window keeps alerts fast **and** hysteretic: the short window
+//! trips quickly, the long window suppresses one-scrape blips, and after
+//! recovery the short window also un-trips quickly.
+//!
+//! Windows clamp to retained data (see [`crate::tsdb`]), which is what
+//! makes a burst fire within one collection interval of being sampled.
+//! Specs loaded from `DFP_SLO_FILE` may override the rule windows — CI uses
+//! second-scale windows so firing *and* resolution are demonstrable in a
+//! smoke test.
+//!
+//! Evaluation surfaces three ways: `dfp_slo_burn_rate{slo=…,window=…}`
+//! gauges on `/metrics`, WARN/INFO JSONL transitions on the log stream, and
+//! the `GET /alerts` JSON document.
+
+use crate::metrics::{GaugeF, Registry};
+use crate::tsdb::Tsdb;
+use std::sync::{Arc, Mutex};
+
+/// One burn-rate rule: fire when both windows exceed `factor`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnRule {
+    /// Alert severity label (`page`, `ticket`).
+    pub severity: String,
+    /// Short (fast-trip) window, milliseconds.
+    pub short_ms: u64,
+    /// Long (confirmation) window, milliseconds.
+    pub long_ms: u64,
+    /// Burn-rate threshold both windows must exceed.
+    pub factor: f64,
+}
+
+/// The standard two-rule set: page on 5 m/1 h > 14.4, ticket on
+/// 30 m/6 h > 6.
+pub fn default_rules() -> Vec<BurnRule> {
+    vec![
+        BurnRule {
+            severity: "page".to_string(),
+            short_ms: 5 * 60 * 1000,
+            long_ms: 60 * 60 * 1000,
+            factor: 14.4,
+        },
+        BurnRule {
+            severity: "ticket".to_string(),
+            short_ms: 30 * 60 * 1000,
+            long_ms: 6 * 60 * 60 * 1000,
+            factor: 6.0,
+        },
+    ]
+}
+
+/// A latency objective riding on an availability spec: at least
+/// `objective` of observations must sit at or under `threshold` seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyObjective {
+    /// Histogram family to read (e.g. `dfp_serve_predict_latency_seconds`).
+    pub histogram: String,
+    /// Rendered label pairs selecting the series (possibly empty).
+    pub labels: String,
+    /// Latency threshold in seconds.
+    pub threshold: f64,
+    /// Fraction of requests that must be ≤ threshold; defaults to the
+    /// spec's availability objective when `None`.
+    pub objective: Option<f64>,
+}
+
+/// One service-level objective over counters (+ optional latency).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Alert/gauge label for this SLO.
+    pub name: String,
+    /// Availability objective, e.g. `0.999` (99.9 % non-error).
+    pub objective: f64,
+    /// Counter family counting all requests.
+    pub total: String,
+    /// Label selector for `total` (possibly empty).
+    pub total_labels: String,
+    /// Counter family counting failed requests.
+    pub errors: String,
+    /// Label selector for `errors` (possibly empty).
+    pub errors_labels: String,
+    /// Optional latency objective.
+    pub latency: Option<LatencyObjective>,
+    /// Burn-rate rules; [`default_rules`] unless overridden.
+    pub rules: Vec<BurnRule>,
+}
+
+impl SloSpec {
+    /// An availability spec over two counters, with the default rules.
+    pub fn new(
+        name: impl Into<String>,
+        objective: f64,
+        total: impl Into<String>,
+        errors: impl Into<String>,
+    ) -> Self {
+        SloSpec {
+            name: name.into(),
+            objective,
+            total: total.into(),
+            total_labels: String::new(),
+            errors: errors.into(),
+            errors_labels: String::new(),
+            latency: None,
+            rules: default_rules(),
+        }
+    }
+
+    /// Adds a latency objective.
+    pub fn with_latency(mut self, latency: LatencyObjective) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Replaces the burn-rate rules (empty input keeps the defaults).
+    pub fn with_rules(mut self, rules: Vec<BurnRule>) -> Self {
+        if !rules.is_empty() {
+            self.rules = rules;
+        }
+        self
+    }
+
+    /// Parses a `DFP_SLO_FILE` document: a JSON array of spec objects.
+    ///
+    /// ```json
+    /// [{"name": "predict-availability", "objective": 0.999,
+    ///   "total": "dfp_serve_requests_total",
+    ///   "errors": "dfp_serve_errors_total",
+    ///   "latency": {"histogram": "dfp_serve_predict_latency_seconds",
+    ///               "threshold_seconds": 0.25, "objective": 0.99},
+    ///   "rules": [{"severity": "page", "short_ms": 300000,
+    ///              "long_ms": 3600000, "factor": 14.4}]}]
+    /// ```
+    ///
+    /// `total_labels` / `errors_labels` / `labels` select labelled series
+    /// and default to the unlabelled one; `rules` defaults to
+    /// [`default_rules`].
+    pub fn parse_file(text: &str) -> Result<Vec<SloSpec>, String> {
+        use crate::json::Value;
+        let root = crate::json::parse(text).map_err(|e| format!("SLO file: {e:?}"))?;
+        let Value::Arr(items) = root else {
+            return Err("SLO file must be a JSON array of spec objects".to_string());
+        };
+        let mut specs = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let ctx = |field: &str| format!("SLO spec #{i}: missing or invalid '{field}'");
+            let name = item
+                .get("name")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| ctx("name"))?;
+            let objective = item
+                .get("objective")
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| ctx("objective"))?;
+            if !(0.0..1.0).contains(&objective) {
+                return Err(format!("SLO spec #{i}: objective must be in [0, 1)"));
+            }
+            let total = item
+                .get("total")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| ctx("total"))?;
+            let errors = item
+                .get("errors")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| ctx("errors"))?;
+            let mut spec = SloSpec::new(name, objective, total, errors);
+            if let Some(l) = item.get("total_labels").and_then(|v| v.as_str()) {
+                spec.total_labels = l.to_string();
+            }
+            if let Some(l) = item.get("errors_labels").and_then(|v| v.as_str()) {
+                spec.errors_labels = l.to_string();
+            }
+            if let Some(lat) = item.get("latency") {
+                let histogram = lat
+                    .get("histogram")
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| ctx("latency.histogram"))?;
+                let threshold = lat
+                    .get("threshold_seconds")
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| ctx("latency.threshold_seconds"))?;
+                spec.latency = Some(LatencyObjective {
+                    histogram: histogram.to_string(),
+                    labels: lat
+                        .get("labels")
+                        .and_then(|v| v.as_str())
+                        .unwrap_or_default()
+                        .to_string(),
+                    threshold,
+                    objective: lat.get("objective").and_then(|v| v.as_f64()),
+                });
+            }
+            if let Some(Value::Arr(rules)) = item.get("rules") {
+                let mut parsed = Vec::with_capacity(rules.len());
+                for rule in rules {
+                    parsed.push(BurnRule {
+                        severity: rule
+                            .get("severity")
+                            .and_then(|v| v.as_str())
+                            .unwrap_or("page")
+                            .to_string(),
+                        short_ms: rule
+                            .get("short_ms")
+                            .and_then(|v| v.as_int())
+                            .ok_or_else(|| ctx("rules[].short_ms"))?
+                            as u64,
+                        long_ms: rule
+                            .get("long_ms")
+                            .and_then(|v| v.as_int())
+                            .ok_or_else(|| ctx("rules[].long_ms"))?
+                            as u64,
+                        factor: rule
+                            .get("factor")
+                            .and_then(|v| v.as_f64())
+                            .ok_or_else(|| ctx("rules[].factor"))?,
+                    });
+                }
+                spec = spec.with_rules(parsed);
+            }
+            specs.push(spec);
+        }
+        Ok(specs)
+    }
+}
+
+/// Formats a window width for labels: `5m`, `1h`, `90s`, `250ms`.
+pub fn fmt_window(ms: u64) -> String {
+    if ms >= 3_600_000 && ms.is_multiple_of(3_600_000) {
+        format!("{}h", ms / 3_600_000)
+    } else if ms >= 60_000 && ms.is_multiple_of(60_000) {
+        format!("{}m", ms / 60_000)
+    } else if ms >= 1000 && ms.is_multiple_of(1000) {
+        format!("{}s", ms / 1000)
+    } else {
+        format!("{ms}ms")
+    }
+}
+
+/// Fraction of windowed observations strictly over `threshold` seconds,
+/// interpolating inside the bucket that straddles the threshold.
+/// Observations in the `+Inf` overflow bucket always count as over.
+pub fn fraction_over(bounds: &[f64], cumulative: &[u64], threshold: f64) -> f64 {
+    let total = cumulative.last().copied().unwrap_or(0);
+    if total == 0 {
+        return 0.0;
+    }
+    let le_estimate = match bounds.iter().position(|&ub| threshold <= ub) {
+        Some(idx) => {
+            let lower = if idx == 0 { 0.0 } else { bounds[idx - 1] };
+            let prev = if idx == 0 { 0 } else { cumulative[idx - 1] };
+            let in_bucket = (cumulative[idx] - prev) as f64;
+            let width = bounds[idx] - lower;
+            let frac = if width > 0.0 {
+                ((threshold - lower) / width).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            prev as f64 + in_bucket * frac
+        }
+        // Threshold beyond the last finite bound: everything in the
+        // overflow bucket is (conservatively) over.
+        None => cumulative[bounds.len().saturating_sub(1)] as f64,
+    };
+    ((total as f64 - le_estimate) / total as f64).clamp(0.0, 1.0)
+}
+
+#[derive(Debug, Clone, Default)]
+struct AlertState {
+    firing: bool,
+    since_ms: u64,
+    burn_short: f64,
+    burn_long: f64,
+}
+
+/// A read-only view of one alert instance (spec × rule) for rendering.
+#[derive(Debug, Clone)]
+pub struct AlertView {
+    /// SLO name.
+    pub slo: String,
+    /// Rule severity.
+    pub severity: String,
+    /// Short window, milliseconds.
+    pub short_window_ms: u64,
+    /// Long window, milliseconds.
+    pub long_window_ms: u64,
+    /// Burn-rate threshold.
+    pub factor: f64,
+    /// Whether the alert is currently firing.
+    pub firing: bool,
+    /// When the current firing episode began (Unix ms; 0 when not firing).
+    pub since_ms: u64,
+    /// Last evaluated short-window burn rate.
+    pub burn_short: f64,
+    /// Last evaluated long-window burn rate.
+    pub burn_long: f64,
+}
+
+/// Evaluates a fixed set of [`SloSpec`]s against a [`Tsdb`] after each
+/// collection tick and owns the alert state machine.
+pub struct SloEngine {
+    specs: Vec<SloSpec>,
+    /// Per spec, per rule: `(short-window gauge, long-window gauge)`.
+    gauges: Vec<Vec<(Arc<GaugeF>, Arc<GaugeF>)>>,
+    states: Mutex<Vec<Vec<AlertState>>>,
+}
+
+impl std::fmt::Debug for SloEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloEngine")
+            .field("specs", &self.specs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SloEngine {
+    /// Builds the engine and registers one `dfp_slo_burn_rate` gauge per
+    /// (SLO, window) in `registry` so burn rates are scrapeable.
+    pub fn new(specs: Vec<SloSpec>, registry: &Registry) -> SloEngine {
+        const HELP: &str =
+            "Error-budget burn rate per SLO and window (1 = spending exactly at objective)";
+        let gauges = specs
+            .iter()
+            .map(|spec| {
+                spec.rules
+                    .iter()
+                    .map(|rule| {
+                        let short = fmt_window(rule.short_ms);
+                        let long = fmt_window(rule.long_ms);
+                        (
+                            registry.gauge_f_with(
+                                "dfp_slo_burn_rate",
+                                HELP,
+                                &[("slo", &spec.name), ("window", &short)],
+                            ),
+                            registry.gauge_f_with(
+                                "dfp_slo_burn_rate",
+                                HELP,
+                                &[("slo", &spec.name), ("window", &long)],
+                            ),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let states = specs
+            .iter()
+            .map(|s| vec![AlertState::default(); s.rules.len()])
+            .collect();
+        SloEngine {
+            specs,
+            gauges,
+            states: Mutex::new(states),
+        }
+    }
+
+    /// The configured specs.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// Burn rate of `spec` over one window ending at `now_ms`: the max of
+    /// the availability burn and (when configured) the latency burn.
+    fn burn(&self, spec: &SloSpec, tsdb: &Tsdb, window_ms: u64, now_ms: u64) -> f64 {
+        let budget = (1.0 - spec.objective).max(1e-9);
+        let total = tsdb
+            .counter_increase(&spec.total, &spec.total_labels, window_ms, now_ms)
+            .map(|(v, _)| v)
+            .unwrap_or(0);
+        let errors = tsdb
+            .counter_increase(&spec.errors, &spec.errors_labels, window_ms, now_ms)
+            .map(|(v, _)| v)
+            .unwrap_or(0);
+        let availability_burn = if total == 0 {
+            0.0
+        } else {
+            (errors.min(total) as f64 / total as f64) / budget
+        };
+        let latency_burn = spec
+            .latency
+            .as_ref()
+            .and_then(|lat| {
+                let (bounds, cumulative) =
+                    tsdb.window_buckets(&lat.histogram, &lat.labels, window_ms, now_ms)?;
+                let bad = fraction_over(&bounds, &cumulative, lat.threshold);
+                let lat_budget = (1.0 - lat.objective.unwrap_or(spec.objective)).max(1e-9);
+                Some(bad / lat_budget)
+            })
+            .unwrap_or(0.0);
+        availability_burn.max(latency_burn)
+    }
+
+    /// Re-evaluates every rule: updates gauges, flips alert states, and
+    /// logs WARN on fire / INFO on resolve transitions.
+    pub fn evaluate(&self, tsdb: &Tsdb, now_ms: u64) {
+        let mut states = self.states.lock().unwrap_or_else(|e| e.into_inner());
+        for (si, spec) in self.specs.iter().enumerate() {
+            for (ri, rule) in spec.rules.iter().enumerate() {
+                let burn_short = self.burn(spec, tsdb, rule.short_ms, now_ms);
+                let burn_long = self.burn(spec, tsdb, rule.long_ms, now_ms);
+                let (g_short, g_long) = &self.gauges[si][ri];
+                g_short.set(burn_short);
+                g_long.set(burn_long);
+                let firing = burn_short > rule.factor && burn_long > rule.factor;
+                let state = &mut states[si][ri];
+                state.burn_short = burn_short;
+                state.burn_long = burn_long;
+                if firing && !state.firing {
+                    state.firing = true;
+                    state.since_ms = now_ms;
+                    crate::log::warn(
+                        "dfp_obs::slo",
+                        "slo burn-rate alert firing",
+                        &[
+                            ("slo", &spec.name),
+                            ("severity", &rule.severity),
+                            ("burn_short", &format!("{burn_short:.2}")),
+                            ("burn_long", &format!("{burn_long:.2}")),
+                            ("factor", &format!("{}", rule.factor)),
+                        ],
+                    );
+                } else if !firing && state.firing {
+                    state.firing = false;
+                    state.since_ms = 0;
+                    crate::log::info(
+                        "dfp_obs::slo",
+                        "slo burn-rate alert resolved",
+                        &[("slo", &spec.name), ("severity", &rule.severity)],
+                    );
+                }
+            }
+        }
+    }
+
+    /// Current state of every alert instance.
+    pub fn alerts(&self) -> Vec<AlertView> {
+        let states = self.states.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::new();
+        for (si, spec) in self.specs.iter().enumerate() {
+            for (ri, rule) in spec.rules.iter().enumerate() {
+                let state = &states[si][ri];
+                out.push(AlertView {
+                    slo: spec.name.clone(),
+                    severity: rule.severity.clone(),
+                    short_window_ms: rule.short_ms,
+                    long_window_ms: rule.long_ms,
+                    factor: rule.factor,
+                    firing: state.firing,
+                    since_ms: state.since_ms,
+                    burn_short: state.burn_short,
+                    burn_long: state.burn_long,
+                });
+            }
+        }
+        out
+    }
+
+    /// Number of currently firing alert instances.
+    pub fn firing_count(&self) -> usize {
+        self.alerts().iter().filter(|a| a.firing).count()
+    }
+
+    /// The `GET /alerts` document (parseable by [`crate::json`]).
+    pub fn render_alerts_json(&self, now_ms: u64) -> String {
+        let alerts = self.alerts();
+        let firing = alerts.iter().filter(|a| a.firing).count();
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!(
+            "{{\"now_ms\":{now_ms},\"firing\":{firing},\"alerts\":["
+        ));
+        for (i, a) in alerts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"slo\":");
+            crate::json::escape_into(&mut out, &a.slo);
+            out.push_str(",\"severity\":");
+            crate::json::escape_into(&mut out, &a.severity);
+            out.push_str(&format!(
+                ",\"state\":\"{}\",\"since_ms\":{},\"burn_short\":{},\"burn_long\":{},\"short_window_ms\":{},\"long_window_ms\":{},\"factor\":{}}}",
+                if a.firing { "firing" } else { "ok" },
+                a.since_ms,
+                finite(a.burn_short),
+                finite(a.burn_long),
+                a.short_window_ms,
+                a.long_window_ms,
+                finite(a.factor)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn finite(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::tsdb::TsdbConfig;
+    use std::time::Duration;
+
+    fn tsdb() -> Tsdb {
+        Tsdb::new(
+            &TsdbConfig::default()
+                .with_interval(Duration::from_millis(1000))
+                .with_retain(Duration::from_secs(3600)),
+        )
+    }
+
+    #[test]
+    fn parse_file_round_trip() {
+        let text = r#"[
+          {"name": "avail", "objective": 0.999,
+           "total": "req_total", "errors": "err_total",
+           "latency": {"histogram": "lat_seconds", "threshold_seconds": 0.25},
+           "rules": [{"severity": "page", "short_ms": 1000, "long_ms": 4000, "factor": 2.0}]}
+        ]"#;
+        let specs = SloSpec::parse_file(text).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].name, "avail");
+        assert_eq!(specs[0].rules.len(), 1);
+        assert_eq!(specs[0].rules[0].short_ms, 1000);
+        let lat = specs[0].latency.as_ref().unwrap();
+        assert_eq!(lat.threshold, 0.25);
+        assert!(SloSpec::parse_file("{}").is_err());
+        assert!(SloSpec::parse_file(r#"[{"name":"x"}]"#).is_err());
+    }
+
+    #[test]
+    fn window_labels() {
+        assert_eq!(fmt_window(300_000), "5m");
+        assert_eq!(fmt_window(3_600_000), "1h");
+        assert_eq!(fmt_window(90_000), "90s");
+        assert_eq!(fmt_window(250), "250ms");
+    }
+
+    #[test]
+    fn fraction_over_interpolates() {
+        let bounds = [0.1, 0.2];
+        // 50 ≤ 0.1, 50 in (0.1, 0.2], none over.
+        let cum = [50, 100, 100];
+        assert!((fraction_over(&bounds, &cum, 0.2) - 0.0).abs() < 1e-12);
+        assert!((fraction_over(&bounds, &cum, 0.15) - 0.25).abs() < 1e-12);
+        // Overflow bucket counts as over.
+        assert!((fraction_over(&bounds, &[0, 0, 10], 0.5) - 1.0).abs() < 1e-12);
+        assert_eq!(fraction_over(&bounds, &[0, 0, 0], 0.1), 0.0);
+    }
+
+    #[test]
+    fn burst_fires_then_recovery_resolves() {
+        let r = Registry::new();
+        let total = r.counter("req_total", "t");
+        let errors = r.counter("err_total", "e");
+        let store = tsdb();
+        let spec =
+            SloSpec::new("avail", 0.99, "req_total", "err_total").with_rules(vec![BurnRule {
+                severity: "page".to_string(),
+                short_ms: 2_000,
+                long_ms: 4_000,
+                factor: 2.0,
+            }]);
+        let engine = SloEngine::new(vec![spec], &r);
+
+        // Clean baseline.
+        store.ingest(1_000, r.snapshot());
+        total.add(100);
+        store.ingest(2_000, r.snapshot());
+        engine.evaluate(&store, 2_000);
+        assert_eq!(engine.firing_count(), 0);
+
+        // Error burst: next tick must fire (windows clamp to data).
+        total.add(100);
+        errors.add(100);
+        store.ingest(3_000, r.snapshot());
+        engine.evaluate(&store, 3_000);
+        assert_eq!(engine.firing_count(), 1, "{:?}", engine.alerts());
+
+        // Recovery: healthy traffic until the burst ages out of both
+        // windows (ticks every second; windows are 2 s / 4 s).
+        for i in 0..8u64 {
+            total.add(100);
+            store.ingest(4_000 + i * 1_000, r.snapshot());
+            engine.evaluate(&store, 4_000 + i * 1_000);
+        }
+        assert_eq!(engine.firing_count(), 0, "{:?}", engine.alerts());
+        let json = engine.render_alerts_json(12_000);
+        let parsed = crate::json::parse(&json).expect("alerts JSON parses");
+        assert_eq!(parsed.get("firing").and_then(|v| v.as_int()), Some(0));
+    }
+
+    #[test]
+    fn latency_objective_burns_budget() {
+        let r = Registry::new();
+        let total = r.counter("req_total", "t");
+        let h = r.histogram("lat_seconds", "l", &[0.01, 0.1, 1.0]);
+        let store = tsdb();
+        let spec = SloSpec::new("lat", 0.9, "req_total", "err_total")
+            .with_latency(LatencyObjective {
+                histogram: "lat_seconds".to_string(),
+                labels: String::new(),
+                threshold: 0.1,
+                objective: None,
+            })
+            .with_rules(vec![BurnRule {
+                severity: "page".to_string(),
+                short_ms: 2_000,
+                long_ms: 4_000,
+                factor: 2.0,
+            }]);
+        let engine = SloEngine::new(vec![spec], &r);
+        store.ingest(1_000, r.snapshot());
+        // All requests succeed (no error counter) but are slow: 100% over
+        // the 0.1 s threshold against a 10% budget → burn 10.
+        total.add(10);
+        for _ in 0..10 {
+            h.observe_nanos(500_000_000);
+        }
+        store.ingest(2_000, r.snapshot());
+        engine.evaluate(&store, 2_000);
+        assert_eq!(engine.firing_count(), 1, "{:?}", engine.alerts());
+    }
+}

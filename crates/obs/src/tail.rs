@@ -1,0 +1,299 @@
+//! Tail-sampled slow-request capture.
+//!
+//! Head sampling (decide at request start) cannot catch "the slow one in a
+//! thousand" without keeping everything. Tail sampling decides at request
+//! *end*, when the verdict is in: every request offers its timing capture,
+//! and the sampler keeps it only if the response was a 5xx or the duration
+//! beat the live windowed p99 (pushed down from the TSDB after each
+//! collection tick). Kept captures land in a bounded ring exported via
+//! `GET /debug/traces`, and serving attaches the request id as an exemplar
+//! on the latency histogram so a dashboard can jump from a p99 spike to a
+//! concrete trace.
+//!
+//! Cost contract: when disabled, [`TailSampler::begin`] is one relaxed
+//! atomic load returning `None` — no allocation, no clock read (the
+//! workspace overhead bench asserts allocation-freeness). When enabled, a
+//! capture is one `Instant` plus an empty `Vec` (which does not allocate
+//! until the first stage mark), and the ring mutex is only taken for
+//! requests that are actually kept.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A per-request timing capture; create via [`TailSampler::begin`], mark
+/// stages as they finish, hand back via [`TailSampler::finish`].
+#[derive(Debug)]
+pub struct TailCapture {
+    started: Instant,
+    /// `(stage, start offset ns, duration ns)` relative to capture start.
+    stages: Vec<(&'static str, u64, u64)>,
+}
+
+impl TailCapture {
+    /// Records `name` as having run from `started` until now.
+    pub fn mark_since(&mut self, name: &'static str, started: Instant) {
+        let start_ns = started
+            .saturating_duration_since(self.started)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        let dur_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.stages.push((name, start_ns, dur_ns));
+    }
+
+    /// Nanoseconds since the capture began.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+/// One kept trace, as exported on `/debug/traces`.
+#[derive(Debug, Clone)]
+pub struct KeptTrace {
+    /// Wall-clock completion time, Unix milliseconds.
+    pub unix_ms: u64,
+    /// The request's `X-Request-Id`.
+    pub request_id: String,
+    /// HTTP method.
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Response status.
+    pub status: u16,
+    /// End-to-end duration, nanoseconds.
+    pub duration_ns: u64,
+    /// Queue wait before a worker picked the request up, nanoseconds.
+    pub queue_wait_ns: u64,
+    /// Why it was kept: `5xx` or `slow_p99`.
+    pub reason: &'static str,
+    /// `(stage, start offset ns, duration ns)` marks.
+    pub stages: Vec<(&'static str, u64, u64)>,
+}
+
+#[derive(Debug, Default)]
+struct TailInner {
+    ring: VecDeque<KeptTrace>,
+}
+
+/// The bounded tail-sampling reservoir.
+#[derive(Debug)]
+pub struct TailSampler {
+    enabled: AtomicBool,
+    slow_threshold_ns: AtomicU64,
+    // Counters live outside the ring mutex: the overwhelmingly common
+    // discard path in [`TailSampler::finish`] must not contend a lock.
+    offered: AtomicU64,
+    kept: AtomicU64,
+    cap: usize,
+    inner: Mutex<TailInner>,
+}
+
+impl TailSampler {
+    /// A sampler keeping at most `cap` traces; `cap == 0` builds a
+    /// permanently disabled sampler.
+    pub fn new(cap: usize) -> Self {
+        TailSampler {
+            enabled: AtomicBool::new(cap > 0),
+            slow_threshold_ns: AtomicU64::new(0),
+            offered: AtomicU64::new(0),
+            kept: AtomicU64::new(0),
+            cap,
+            inner: Mutex::new(TailInner::default()),
+        }
+    }
+
+    /// Turns sampling on or off (off wins over a nonzero cap).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on && self.cap > 0, Ordering::Relaxed);
+    }
+
+    /// Whether [`TailSampler::begin`] currently hands out captures.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Starts a capture, or `None` when disabled — the disabled path is a
+    /// single relaxed load with no allocation.
+    pub fn begin(&self) -> Option<TailCapture> {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        Some(TailCapture {
+            started: Instant::now(),
+            stages: Vec::new(),
+        })
+    }
+
+    /// Updates the slow-keep threshold — the collector pushes the live
+    /// windowed p99 here after each tick. `0` disables slow keeps (5xx
+    /// keeps still apply).
+    pub fn set_slow_threshold_ns(&self, ns: u64) {
+        self.slow_threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// The current slow-keep threshold in nanoseconds.
+    pub fn slow_threshold_ns(&self) -> u64 {
+        self.slow_threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Ends a capture: keeps it if the status is 5xx or the duration met
+    /// the slow threshold. Returns the end-to-end duration in nanoseconds
+    /// when kept (callers use it to attach histogram exemplars).
+    pub fn finish(
+        &self,
+        capture: TailCapture,
+        request_id: &str,
+        method: &str,
+        path: &str,
+        status: u16,
+        queue_wait_ns: u64,
+    ) -> Option<u64> {
+        let duration_ns = capture.elapsed_ns();
+        let threshold = self.slow_threshold_ns.load(Ordering::Relaxed);
+        self.offered.fetch_add(1, Ordering::Relaxed);
+        let reason = if status >= 500 {
+            "5xx"
+        } else if threshold > 0 && duration_ns >= threshold {
+            "slow_p99"
+        } else {
+            // Discard: no lock on the hot path.
+            return None;
+        };
+        let trace = KeptTrace {
+            unix_ms: crate::tsdb::now_unix_ms(),
+            request_id: request_id.to_string(),
+            method: method.to_string(),
+            path: path.to_string(),
+            status,
+            duration_ns,
+            queue_wait_ns,
+            reason,
+            stages: capture.stages,
+        };
+        self.kept.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.ring.push_back(trace);
+        while inner.ring.len() > self.cap {
+            inner.ring.pop_front();
+        }
+        Some(duration_ns)
+    }
+
+    /// `(offered, kept)` counts since start.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.offered.load(Ordering::Relaxed),
+            self.kept.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The retained traces, oldest first.
+    pub fn traces(&self) -> Vec<KeptTrace> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.ring.iter().cloned().collect()
+    }
+
+    /// The `GET /debug/traces` document (parseable by [`crate::json`]).
+    pub fn render_traces_json(&self, now_ms: u64) -> String {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!(
+            "{{\"now_ms\":{now_ms},\"enabled\":{},\"slow_threshold_ns\":{},\"offered\":{},\"kept\":{},\"traces\":[",
+            self.is_enabled(),
+            self.slow_threshold_ns(),
+            self.offered.load(Ordering::Relaxed),
+            self.kept.load(Ordering::Relaxed)
+        ));
+        for (i, t) in inner.ring.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"unix_ms\":{},\"request_id\":", t.unix_ms));
+            crate::json::escape_into(&mut out, &t.request_id);
+            out.push_str(",\"method\":");
+            crate::json::escape_into(&mut out, &t.method);
+            out.push_str(",\"path\":");
+            crate::json::escape_into(&mut out, &t.path);
+            out.push_str(&format!(
+                ",\"status\":{},\"duration_ns\":{},\"queue_wait_ns\":{},\"reason\":\"{}\",\"stages\":[",
+                t.status, t.duration_ns, t.queue_wait_ns, t.reason
+            ));
+            for (si, (name, start_ns, dur_ns)) in t.stages.iter().enumerate() {
+                if si > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"start_ns\":{start_ns},\"dur_ns\":{dur_ns}}}"
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_sampler_hands_out_nothing() {
+        let sampler = TailSampler::new(0);
+        assert!(!sampler.is_enabled());
+        assert!(sampler.begin().is_none());
+        let live = TailSampler::new(4);
+        live.set_enabled(false);
+        assert!(live.begin().is_none());
+    }
+
+    #[test]
+    fn keeps_5xx_and_slow_drops_fast_ok() {
+        let sampler = TailSampler::new(4);
+        // Fast 200 → dropped.
+        let cap = sampler.begin().unwrap();
+        assert!(sampler.finish(cap, "r1", "GET", "/ok", 200, 0).is_none());
+        // 500 → kept regardless of threshold.
+        let cap = sampler.begin().unwrap();
+        assert!(sampler
+            .finish(cap, "r2", "POST", "/boom", 500, 10)
+            .is_some());
+        // Slow 200 with threshold armed → kept.
+        sampler.set_slow_threshold_ns(1_000_000); // 1 ms
+        let mut cap = sampler.begin().unwrap();
+        let stage_start = Instant::now();
+        std::thread::sleep(Duration::from_millis(5));
+        cap.mark_since("predict", stage_start);
+        assert!(sampler
+            .finish(cap, "r3", "POST", "/predict", 200, 0)
+            .is_some());
+        let traces = sampler.traces();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].reason, "5xx");
+        assert_eq!(traces[1].reason, "slow_p99");
+        assert_eq!(traces[1].stages.len(), 1);
+        assert_eq!(traces[1].stages[0].0, "predict");
+        assert_eq!(sampler.stats(), (3, 2));
+    }
+
+    #[test]
+    fn ring_bounded_and_json_parses() {
+        let sampler = TailSampler::new(2);
+        for i in 0..5 {
+            let cap = sampler.begin().unwrap();
+            sampler.finish(cap, &format!("r{i}"), "GET", "/x", 503, 0);
+        }
+        let traces = sampler.traces();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[1].request_id, "r4");
+        let json = sampler.render_traces_json(1_000);
+        let parsed = crate::json::parse(&json).expect("traces JSON parses");
+        assert_eq!(parsed.get("kept").and_then(|v| v.as_int()), Some(5));
+        let Some(crate::json::Value::Arr(items)) = parsed.get("traces") else {
+            panic!("traces array missing");
+        };
+        assert_eq!(items.len(), 2);
+    }
+}

@@ -1,0 +1,994 @@
+//! In-process metrics history: ring-buffered time series sampled from
+//! [`crate::metrics::Registry`] snapshots by a background collector.
+//!
+//! The TSDB is deliberately boring: one mutex around a vector of series,
+//! touched only by the collector thread (once per `interval`) and by the
+//! query endpoints (`/metrics/history`, `/dashboard`, the SLO evaluator).
+//! The request hot path never takes the lock — instrumented code keeps
+//! writing plain relaxed atomics in the registry, and the collector reads
+//! them out-of-band via [`crate::metrics::Registry::snapshot`].
+//!
+//! * **Counters** are stored raw and differenced at query time with reset
+//!   awareness (a later value smaller than an earlier one means the counter
+//!   restarted; the increase is then the later value itself).
+//! * **Gauges** are stored raw.
+//! * **Histograms** store the full cumulative bucket vector per point, so a
+//!   window is the *difference of two snapshots* — from which
+//!   [`bucket_quantile`] interpolates p50/p90/p99/p999 exactly the way
+//!   Prometheus' `histogram_quantile` would.
+//!
+//! Retention is bounded twice over: points older than `retain` are evicted,
+//! and each series keeps at most `capacity()` points, so a misconfigured
+//! interval cannot grow memory without bound. Windows *clamp* to the data
+//! actually retained: asking for a 1 h window two minutes after boot
+//! answers over those two minutes (this is what lets SLO burn alerts fire
+//! within one collection interval of an error burst).
+
+use crate::metrics::{HistogramSnapshot, Sample, SampleValue};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Collector cadence and retention knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TsdbConfig {
+    /// Sampling cadence (`DFP_TSDB_INTERVAL_MS`, default 1 s, min 10 ms).
+    pub interval: Duration,
+    /// How much history each series keeps (`DFP_TSDB_RETAIN`, default 1 h;
+    /// accepts `3600`, `90s`, `15m`, `2h`).
+    pub retain: Duration,
+}
+
+impl Default for TsdbConfig {
+    fn default() -> Self {
+        TsdbConfig {
+            interval: Duration::from_secs(1),
+            retain: Duration::from_secs(3600),
+        }
+    }
+}
+
+impl TsdbConfig {
+    /// Defaults overridden by `DFP_TSDB_INTERVAL_MS` / `DFP_TSDB_RETAIN`.
+    /// Unparseable values keep the default.
+    pub fn from_env() -> Self {
+        let mut cfg = TsdbConfig::default();
+        if let Some(ms) = std::env::var("DFP_TSDB_INTERVAL_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+        {
+            cfg.interval = Duration::from_millis(ms.max(10));
+        }
+        if let Some(d) = std::env::var("DFP_TSDB_RETAIN")
+            .ok()
+            .and_then(|v| parse_duration(&v))
+        {
+            cfg.retain = d;
+        }
+        cfg
+    }
+
+    /// Replaces the sampling cadence (clamped to ≥ 10 ms).
+    pub fn with_interval(mut self, interval: Duration) -> Self {
+        self.interval = interval.max(Duration::from_millis(10));
+        self
+    }
+
+    /// Replaces the retention horizon.
+    pub fn with_retain(mut self, retain: Duration) -> Self {
+        self.retain = retain.max(Duration::from_secs(1));
+        self
+    }
+
+    /// Points per series implied by `retain / interval`, bounded to
+    /// `[2, 100_000]` so pathological configs stay cheap.
+    pub fn capacity(&self) -> usize {
+        let ticks = self.retain.as_millis() / self.interval.as_millis().max(1);
+        (ticks as usize + 1).clamp(2, 100_000)
+    }
+}
+
+/// Parses `"3600"` (seconds), `"250ms"`, `"90s"`, `"15m"`, or `"2h"`.
+pub fn parse_duration(text: &str) -> Option<Duration> {
+    let t = text.trim();
+    let (digits, scale_ms) = if let Some(n) = t.strip_suffix("ms") {
+        (n, 1u64)
+    } else if let Some(n) = t.strip_suffix('s') {
+        (n, 1000)
+    } else if let Some(n) = t.strip_suffix('m') {
+        (n, 60_000)
+    } else if let Some(n) = t.strip_suffix('h') {
+        (n, 3_600_000)
+    } else {
+        (t, 1000)
+    };
+    let n: u64 = digits.trim().parse().ok()?;
+    Some(Duration::from_millis(n.checked_mul(scale_ms)?))
+}
+
+/// Milliseconds since the Unix epoch (wall clock; the collector stamps
+/// every tick with this so exported history lines up with external logs).
+pub fn now_unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO)
+        .as_millis() as u64
+}
+
+/// What a series stores per point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Monotonic counter (differenced at query time).
+    Counter,
+    /// Instantaneous value.
+    Gauge,
+    /// Cumulative bucket snapshot.
+    Histogram,
+}
+
+impl SeriesKind {
+    /// Lowercase name used in exported JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PointValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram {
+        cumulative: Box<[u64]>,
+        sum_nanos: u64,
+        count: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Point {
+    ts_ms: u64,
+    value: PointValue,
+}
+
+#[derive(Debug)]
+struct Series {
+    name: String,
+    labels: String,
+    kind: SeriesKind,
+    /// Histogram bucket bounds (empty for counters/gauges). If a histogram
+    /// is ever re-registered with different bounds its history resets.
+    bounds: Vec<f64>,
+    points: VecDeque<Point>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    series: Vec<Series>,
+    last_ts_ms: u64,
+}
+
+/// The ring-buffered store. Cheap to share (`Arc<Tsdb>`); all mutation goes
+/// through [`Tsdb::ingest`].
+#[derive(Debug)]
+pub struct Tsdb {
+    interval_ms: u64,
+    retain_ms: u64,
+    cap: usize,
+    inner: Mutex<Inner>,
+}
+
+/// Windowed quantiles for one histogram series, derived from the snapshot
+/// difference across the window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantileSet {
+    /// Observations inside the window.
+    pub count: u64,
+    /// Sum of observations inside the window, nanoseconds.
+    pub sum_nanos: u64,
+    /// 50th percentile, seconds.
+    pub p50: f64,
+    /// 90th percentile, seconds.
+    pub p90: f64,
+    /// 99th percentile, seconds.
+    pub p99: f64,
+    /// 99.9th percentile, seconds.
+    pub p999: f64,
+}
+
+/// The quantile windows exported on `/metrics/history` (label, width ms).
+pub const WINDOWS: [(&str, u64); 3] = [("1m", 60_000), ("5m", 300_000), ("1h", 3_600_000)];
+
+impl Tsdb {
+    /// An empty store with the given cadence/retention.
+    pub fn new(config: &TsdbConfig) -> Self {
+        Tsdb {
+            interval_ms: config.interval.as_millis().max(1) as u64,
+            retain_ms: config.retain.as_millis().max(1) as u64,
+            cap: config.capacity(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Configured sampling cadence in milliseconds.
+    pub fn interval_ms(&self) -> u64 {
+        self.interval_ms
+    }
+
+    /// Configured retention horizon in milliseconds.
+    pub fn retain_ms(&self) -> u64 {
+        self.retain_ms
+    }
+
+    /// Appends one tick of samples at wall-clock `ts_ms`. Timestamps are
+    /// forced strictly monotone (a wall clock stepping backwards is clamped
+    /// to `last + 1 ms`) so window lookups stay well-defined. Eviction
+    /// enforces both the retention horizon and the per-series point cap.
+    pub fn ingest(&self, ts_ms: u64, samples: Vec<Sample>) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let ts_ms = if ts_ms <= inner.last_ts_ms {
+            inner.last_ts_ms + 1
+        } else {
+            ts_ms
+        };
+        inner.last_ts_ms = ts_ms;
+        let retain_ms = self.retain_ms;
+        let cap = self.cap;
+        for sample in samples {
+            let (kind, value, bounds) = match sample.value {
+                SampleValue::Counter(v) => (SeriesKind::Counter, PointValue::Counter(v), None),
+                SampleValue::Gauge(v) => (SeriesKind::Gauge, PointValue::Gauge(v), None),
+                SampleValue::Histogram(snap) => {
+                    let HistogramSnapshot {
+                        bounds,
+                        cumulative,
+                        sum_nanos,
+                        count,
+                    } = snap;
+                    (
+                        SeriesKind::Histogram,
+                        PointValue::Histogram {
+                            cumulative: cumulative.into(),
+                            sum_nanos,
+                            count,
+                        },
+                        Some(bounds),
+                    )
+                }
+            };
+            let series = match inner
+                .series
+                .iter_mut()
+                .find(|s| s.name == sample.name && s.labels == sample.labels)
+            {
+                Some(s) => s,
+                None => {
+                    inner.series.push(Series {
+                        name: sample.name,
+                        labels: sample.labels,
+                        kind,
+                        bounds: bounds.clone().unwrap_or_default(),
+                        points: VecDeque::new(),
+                    });
+                    inner.series.last_mut().expect("just pushed")
+                }
+            };
+            if series.kind != kind {
+                continue; // name/label collision across kinds; drop sample
+            }
+            if let Some(b) = &bounds {
+                if series.bounds != *b {
+                    // Re-registered with different buckets: history resets.
+                    series.bounds = b.clone();
+                    series.points.clear();
+                }
+            }
+            series.points.push_back(Point { ts_ms, value });
+            while series.points.len() > cap
+                || series
+                    .points
+                    .front()
+                    .is_some_and(|p| p.ts_ms.saturating_add(retain_ms) < ts_ms)
+            {
+                series.points.pop_front();
+            }
+        }
+    }
+
+    /// Number of retained points for a series, if it exists (test hook).
+    pub fn series_len(&self, name: &str, labels: &str) -> Option<usize> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .series
+            .iter()
+            .find(|s| s.name == name && s.labels == labels)
+            .map(|s| s.points.len())
+    }
+
+    /// Timestamp of the most recent ingested tick (0 before the first).
+    pub fn last_ts_ms(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .last_ts_ms
+    }
+
+    /// Counter increase over the trailing window, with reset handling, plus
+    /// the actual span the increase was measured over (clamped to retained
+    /// data). `None` until the series has two points.
+    pub fn counter_increase(
+        &self,
+        name: &str,
+        labels: &str,
+        window_ms: u64,
+        now_ms: u64,
+    ) -> Option<(u64, u64)> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let series = inner
+            .series
+            .iter()
+            .find(|s| s.name == name && s.labels == labels && s.kind == SeriesKind::Counter)?;
+        let (base, end) = window_endpoints(&series.points, window_ms, now_ms)?;
+        let (PointValue::Counter(b), PointValue::Counter(e)) = (&base.value, &end.value) else {
+            return None;
+        };
+        let increase = counter_delta(*e, *b);
+        Some((increase, end.ts_ms.saturating_sub(base.ts_ms).max(1)))
+    }
+
+    /// Counter rate (per second) over the trailing window.
+    pub fn counter_rate(
+        &self,
+        name: &str,
+        labels: &str,
+        window_ms: u64,
+        now_ms: u64,
+    ) -> Option<f64> {
+        let (increase, span_ms) = self.counter_increase(name, labels, window_ms, now_ms)?;
+        Some(increase as f64 / (span_ms as f64 / 1000.0))
+    }
+
+    /// Most recent gauge value.
+    pub fn gauge_last(&self, name: &str, labels: &str) -> Option<f64> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let series = inner
+            .series
+            .iter()
+            .find(|s| s.name == name && s.labels == labels && s.kind == SeriesKind::Gauge)?;
+        match series.points.back()?.value {
+            PointValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Windowed quantiles for a histogram series: the bucket-count
+    /// difference between the window's endpoints, interpolated by
+    /// [`bucket_quantile`]. `None` until two points exist or when the
+    /// window saw no observations.
+    pub fn window_quantiles(
+        &self,
+        name: &str,
+        labels: &str,
+        window_ms: u64,
+        now_ms: u64,
+    ) -> Option<QuantileSet> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let series = inner
+            .series
+            .iter()
+            .find(|s| s.name == name && s.labels == labels && s.kind == SeriesKind::Histogram)?;
+        let (base, end) = window_endpoints(&series.points, window_ms, now_ms)?;
+        let (
+            PointValue::Histogram {
+                cumulative: bc,
+                sum_nanos: bs,
+                count: bn,
+            },
+            PointValue::Histogram {
+                cumulative: ec,
+                sum_nanos: es,
+                count: en,
+            },
+        ) = (&base.value, &end.value)
+        else {
+            return None;
+        };
+        if bc.len() != ec.len() {
+            return None;
+        }
+        // A reset anywhere (restart) invalidates the base snapshot: fall
+        // back to the end snapshot alone, exactly like counter resets.
+        let reset = ec.iter().zip(bc.iter()).any(|(e, b)| e < b);
+        let deltas: Vec<u64> = if reset {
+            ec.to_vec()
+        } else {
+            ec.iter().zip(bc.iter()).map(|(e, b)| e - b).collect()
+        };
+        let count = if reset { *en } else { counter_delta(*en, *bn) };
+        let sum_nanos = if reset { *es } else { counter_delta(*es, *bs) };
+        if deltas.last().copied().unwrap_or(0) == 0 {
+            return None;
+        }
+        Some(QuantileSet {
+            count,
+            sum_nanos,
+            p50: bucket_quantile(&series.bounds, &deltas, 0.50),
+            p90: bucket_quantile(&series.bounds, &deltas, 0.90),
+            p99: bucket_quantile(&series.bounds, &deltas, 0.99),
+            p999: bucket_quantile(&series.bounds, &deltas, 0.999),
+        })
+    }
+
+    /// The bucket-count difference across the trailing window for a
+    /// histogram series: `(bounds, cumulative deltas)` with the `+Inf` slot
+    /// last. Same clamping and reset rules as [`Tsdb::window_quantiles`];
+    /// `None` until two points exist.
+    pub fn window_buckets(
+        &self,
+        name: &str,
+        labels: &str,
+        window_ms: u64,
+        now_ms: u64,
+    ) -> Option<(Vec<f64>, Vec<u64>)> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let series = inner
+            .series
+            .iter()
+            .find(|s| s.name == name && s.labels == labels && s.kind == SeriesKind::Histogram)?;
+        let (base, end) = window_endpoints(&series.points, window_ms, now_ms)?;
+        let (
+            PointValue::Histogram { cumulative: bc, .. },
+            PointValue::Histogram { cumulative: ec, .. },
+        ) = (&base.value, &end.value)
+        else {
+            return None;
+        };
+        if bc.len() != ec.len() {
+            return None;
+        }
+        let reset = ec.iter().zip(bc.iter()).any(|(e, b)| e < b);
+        let deltas: Vec<u64> = if reset {
+            ec.to_vec()
+        } else {
+            ec.iter().zip(bc.iter()).map(|(e, b)| e - b).collect()
+        };
+        Some((series.bounds.clone(), deltas))
+    }
+
+    /// Derived plottable series for dashboards: counters become
+    /// per-interval rates (per second), gauges raw values, histograms the
+    /// per-interval mean observation in seconds. At most `max_points` of
+    /// the newest points per series.
+    pub fn plot_series(&self, max_points: usize) -> Vec<PlotSeries> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::with_capacity(inner.series.len());
+        for series in &inner.series {
+            let pts: Vec<&Point> = series.points.iter().collect();
+            let mut plotted: Vec<(u64, f64)> = Vec::new();
+            match series.kind {
+                SeriesKind::Gauge => {
+                    for p in &pts {
+                        if let PointValue::Gauge(v) = p.value {
+                            plotted.push((p.ts_ms, v));
+                        }
+                    }
+                }
+                SeriesKind::Counter => {
+                    for pair in pts.windows(2) {
+                        let (PointValue::Counter(a), PointValue::Counter(b)) =
+                            (&pair[0].value, &pair[1].value)
+                        else {
+                            continue;
+                        };
+                        let dt = pair[1].ts_ms.saturating_sub(pair[0].ts_ms).max(1);
+                        plotted.push((
+                            pair[1].ts_ms,
+                            counter_delta(*b, *a) as f64 * 1000.0 / dt as f64,
+                        ));
+                    }
+                }
+                SeriesKind::Histogram => {
+                    for pair in pts.windows(2) {
+                        let (
+                            PointValue::Histogram {
+                                sum_nanos: s0,
+                                count: n0,
+                                ..
+                            },
+                            PointValue::Histogram {
+                                sum_nanos: s1,
+                                count: n1,
+                                ..
+                            },
+                        ) = (&pair[0].value, &pair[1].value)
+                        else {
+                            continue;
+                        };
+                        let dn = counter_delta(*n1, *n0);
+                        if dn == 0 {
+                            plotted.push((pair[1].ts_ms, 0.0));
+                        } else {
+                            let ds = counter_delta(*s1, *s0);
+                            plotted.push((pair[1].ts_ms, ds as f64 / dn as f64 / 1e9));
+                        }
+                    }
+                }
+            }
+            if plotted.len() > max_points {
+                plotted.drain(..plotted.len() - max_points);
+            }
+            out.push(PlotSeries {
+                name: series.name.clone(),
+                labels: series.labels.clone(),
+                kind: series.kind,
+                unit: match series.kind {
+                    SeriesKind::Counter => "/s",
+                    SeriesKind::Gauge => "",
+                    SeriesKind::Histogram => "s (mean)",
+                },
+                points: plotted,
+            });
+        }
+        out
+    }
+
+    /// Serializes retained history as JSON (parseable by [`crate::json`]):
+    /// raw points per series, windowed quantiles for histograms, and recent
+    /// audit events for timeline annotation. At most `max_points` newest
+    /// points per series.
+    pub fn render_history_json(&self, now_ms: u64, max_points: usize) -> String {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::with_capacity(4096);
+        out.push_str(&format!(
+            "{{\"now_ms\":{now_ms},\"interval_ms\":{},\"retain_ms\":{},\"series\":[",
+            self.interval_ms, self.retain_ms
+        ));
+        for (si, series) in inner.series.iter().enumerate() {
+            if si > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            crate::json::escape_into(&mut out, &series.name);
+            out.push_str(",\"labels\":");
+            crate::json::escape_into(&mut out, &series.labels);
+            out.push_str(&format!(
+                ",\"kind\":\"{}\",\"points\":[",
+                series.kind.as_str()
+            ));
+            let skip = series.points.len().saturating_sub(max_points);
+            for (pi, point) in series.points.iter().skip(skip).enumerate() {
+                if pi > 0 {
+                    out.push(',');
+                }
+                match &point.value {
+                    PointValue::Counter(v) => out.push_str(&format!("[{},{v}]", point.ts_ms)),
+                    PointValue::Gauge(v) => {
+                        out.push_str(&format!("[{},{}]", point.ts_ms, json_num(*v)))
+                    }
+                    PointValue::Histogram {
+                        sum_nanos, count, ..
+                    } => out.push_str(&format!("[{},{count},{sum_nanos}]", point.ts_ms)),
+                }
+            }
+            out.push(']');
+            if series.kind == SeriesKind::Histogram {
+                out.push_str(",\"windows\":{");
+                let mut first = true;
+                for (label, width) in WINDOWS {
+                    let Some((base, end)) = window_endpoints(&series.points, width, now_ms) else {
+                        continue;
+                    };
+                    let q = quantiles_between(&series.bounds, base, end);
+                    let Some(q) = q else { continue };
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push_str(&format!(
+                        "\"{label}\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+                        q.count,
+                        json_num(q.p50),
+                        json_num(q.p90),
+                        json_num(q.p99),
+                        json_num(q.p999)
+                    ));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        drop(inner);
+        out.push_str("],\"events\":[");
+        for (i, event) in crate::audit::recent(64).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            event.render_json_into(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// One derived, directly plottable series (see [`Tsdb::plot_series`]).
+#[derive(Debug, Clone)]
+pub struct PlotSeries {
+    /// Family name.
+    pub name: String,
+    /// Rendered label pairs (possibly empty).
+    pub labels: String,
+    /// Underlying series kind.
+    pub kind: SeriesKind,
+    /// Unit suffix for display.
+    pub unit: &'static str,
+    /// `(unix_ms, value)` points, oldest first.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// `later - earlier` with counter-reset handling: a later value below the
+/// earlier one means the process restarted, so the increase is the later
+/// value alone.
+pub fn counter_delta(later: u64, earlier: u64) -> u64 {
+    if later >= earlier {
+        later - earlier
+    } else {
+        later
+    }
+}
+
+/// Picks the window's endpoints from a point ring: the newest point as the
+/// end, and the youngest point at-or-before `now - window` as the base —
+/// falling back to the oldest retained point when the window predates the
+/// data (window clamping). `None` when fewer than two points exist.
+fn window_endpoints(
+    points: &VecDeque<Point>,
+    window_ms: u64,
+    now_ms: u64,
+) -> Option<(&Point, &Point)> {
+    let end = points.back()?;
+    let start_ts = now_ms.saturating_sub(window_ms);
+    let mut base = points.front()?;
+    for p in points.iter() {
+        if p.ts_ms <= start_ts {
+            base = p;
+        } else {
+            break;
+        }
+    }
+    if std::ptr::eq(base, end) {
+        return None;
+    }
+    Some((base, end))
+}
+
+fn quantiles_between(bounds: &[f64], base: &Point, end: &Point) -> Option<QuantileSet> {
+    let (
+        PointValue::Histogram {
+            cumulative: bc,
+            sum_nanos: bs,
+            count: bn,
+        },
+        PointValue::Histogram {
+            cumulative: ec,
+            sum_nanos: es,
+            count: en,
+        },
+    ) = (&base.value, &end.value)
+    else {
+        return None;
+    };
+    if bc.len() != ec.len() {
+        return None;
+    }
+    let reset = ec.iter().zip(bc.iter()).any(|(e, b)| e < b);
+    let deltas: Vec<u64> = if reset {
+        ec.to_vec()
+    } else {
+        ec.iter().zip(bc.iter()).map(|(e, b)| e - b).collect()
+    };
+    if deltas.last().copied().unwrap_or(0) == 0 {
+        return None;
+    }
+    Some(QuantileSet {
+        count: if reset { *en } else { counter_delta(*en, *bn) },
+        sum_nanos: if reset { *es } else { counter_delta(*es, *bs) },
+        p50: bucket_quantile(bounds, &deltas, 0.50),
+        p90: bucket_quantile(bounds, &deltas, 0.90),
+        p99: bucket_quantile(bounds, &deltas, 0.99),
+        p999: bucket_quantile(bounds, &deltas, 0.999),
+    })
+}
+
+/// Interpolated quantile over cumulative bucket counts, following the
+/// `histogram_quantile` convention: linear interpolation inside the bucket
+/// containing the rank, and the largest finite bound when the rank lands in
+/// the `+Inf` overflow bucket. `cumulative` has `bounds.len() + 1` slots.
+/// Returns `0.0` for an empty histogram.
+pub fn bucket_quantile(bounds: &[f64], cumulative: &[u64], q: f64) -> f64 {
+    debug_assert_eq!(cumulative.len(), bounds.len() + 1);
+    let total = cumulative.last().copied().unwrap_or(0);
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = q.clamp(0.0, 1.0) * total as f64;
+    let idx = cumulative
+        .iter()
+        .position(|&c| c as f64 >= rank)
+        .unwrap_or(cumulative.len() - 1);
+    if idx >= bounds.len() {
+        // Rank falls in the +Inf bucket: report the largest finite bound.
+        return bounds.last().copied().unwrap_or(0.0);
+    }
+    let lower = if idx == 0 { 0.0 } else { bounds[idx - 1] };
+    let upper = bounds[idx];
+    let prev = if idx == 0 { 0 } else { cumulative[idx - 1] };
+    let in_bucket = cumulative[idx] - prev;
+    if in_bucket == 0 {
+        return upper;
+    }
+    lower + (upper - lower) * ((rank - prev as f64) / in_bucket as f64)
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Produces one tick's worth of samples (e.g. a registry snapshot closure).
+pub type Source = Box<dyn Fn() -> Vec<Sample> + Send>;
+
+/// Runs after each tick with the store and the tick timestamp — SLO
+/// evaluation and tail-sampler threshold updates hang off this.
+pub type OnTick = Box<dyn Fn(&Tsdb, u64) + Send>;
+
+#[derive(Default)]
+struct StopFlag {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// The background collector thread: samples every source into the store at
+/// the configured cadence, then runs the `on_tick` callbacks. The first
+/// tick happens immediately on start. Dropping the handle stops the thread
+/// promptly (condvar wakeup, not a sleep timeout).
+pub struct Collector {
+    stop: Arc<StopFlag>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector").finish_non_exhaustive()
+    }
+}
+
+impl Collector {
+    /// Spawns the collector thread. Fails only if the OS refuses a thread.
+    pub fn start(
+        tsdb: Arc<Tsdb>,
+        sources: Vec<Source>,
+        on_tick: Vec<OnTick>,
+    ) -> std::io::Result<Collector> {
+        let stop = Arc::new(StopFlag::default());
+        let thread_stop = Arc::clone(&stop);
+        let interval = Duration::from_millis(tsdb.interval_ms());
+        let handle = std::thread::Builder::new()
+            .name("dfp-tsdb-collect".into())
+            .spawn(move || loop {
+                let now = now_unix_ms();
+                let mut samples = Vec::new();
+                for source in &sources {
+                    samples.extend(source());
+                }
+                tsdb.ingest(now, samples);
+                for hook in &on_tick {
+                    hook(&tsdb, now);
+                }
+                let guard = thread_stop
+                    .stopped
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                let (guard, _) = thread_stop
+                    .cv
+                    .wait_timeout_while(guard, interval, |stopped| !*stopped)
+                    .unwrap_or_else(|e| e.into_inner());
+                if *guard {
+                    return;
+                }
+            })?;
+        Ok(Collector {
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        *self.stop.stopped.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.stop.cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn cfg(interval_ms: u64, retain_ms: u64) -> TsdbConfig {
+        TsdbConfig::default()
+            .with_interval(Duration::from_millis(interval_ms))
+            .with_retain(Duration::from_millis(retain_ms.max(1000)))
+    }
+
+    #[test]
+    fn duration_parsing_units() {
+        assert_eq!(parse_duration("3600"), Some(Duration::from_secs(3600)));
+        assert_eq!(parse_duration("250ms"), Some(Duration::from_millis(250)));
+        assert_eq!(parse_duration("90s"), Some(Duration::from_secs(90)));
+        assert_eq!(parse_duration("15m"), Some(Duration::from_secs(900)));
+        assert_eq!(parse_duration("2h"), Some(Duration::from_secs(7200)));
+        assert_eq!(parse_duration("nope"), None);
+    }
+
+    #[test]
+    fn counter_windows_difference_and_clamp() {
+        let r = Registry::new();
+        let c = r.counter("req_total", "x");
+        let tsdb = Tsdb::new(&cfg(1000, 3_600_000));
+        tsdb.ingest(1_000, r.snapshot());
+        c.add(10);
+        tsdb.ingest(2_000, r.snapshot());
+        c.add(30);
+        tsdb.ingest(3_000, r.snapshot());
+        // Full window: 40 over 2 s.
+        assert_eq!(
+            tsdb.counter_increase("req_total", "", 10_000, 3_000),
+            Some((40, 2_000))
+        );
+        // 1 s window: base is the point at ts=2000.
+        assert_eq!(
+            tsdb.counter_increase("req_total", "", 1_000, 3_000),
+            Some((30, 1_000))
+        );
+        // Single point → no answer.
+        let fresh = Tsdb::new(&cfg(1000, 3_600_000));
+        fresh.ingest(1_000, r.snapshot());
+        assert_eq!(fresh.counter_increase("req_total", "", 1_000, 1_000), None);
+    }
+
+    #[test]
+    fn counter_reset_counts_later_value() {
+        assert_eq!(counter_delta(5, 100), 5);
+        assert_eq!(counter_delta(100, 5), 95);
+    }
+
+    #[test]
+    fn retention_evicts_old_points_and_caps_length() {
+        let r = Registry::new();
+        let c = r.counter("x_total", "x");
+        let tsdb = Tsdb::new(&cfg(1000, 5_000));
+        let cap = cfg(1000, 5_000).capacity();
+        for i in 0..50u64 {
+            c.inc();
+            tsdb.ingest(1_000 * (i + 1), r.snapshot());
+        }
+        let len = tsdb.series_len("x_total", "").unwrap();
+        assert!(len <= cap, "{len} > cap {cap}");
+        // Oldest retained point must be within the horizon.
+        let (increase, span) = tsdb
+            .counter_increase("x_total", "", u64::MAX, 50_000)
+            .unwrap();
+        assert!(span <= 5_000, "span {span} exceeds retention");
+        assert!(increase <= 6);
+    }
+
+    #[test]
+    fn monotone_timestamps_enforced() {
+        let r = Registry::new();
+        r.counter("t_total", "t").inc();
+        let tsdb = Tsdb::new(&cfg(1000, 3_600_000));
+        tsdb.ingest(5_000, r.snapshot());
+        tsdb.ingest(4_000, r.snapshot()); // clock stepped back
+        assert_eq!(tsdb.last_ts_ms(), 5_001);
+    }
+
+    #[test]
+    fn bucket_quantile_interpolates() {
+        let bounds = [0.1, 0.2, 0.4];
+        // 10 obs ≤0.1, 10 in (0.1,0.2], none in (0.2,0.4], 0 overflow.
+        let cumulative = [10, 20, 20, 20];
+        assert!((bucket_quantile(&bounds, &cumulative, 0.5) - 0.1).abs() < 1e-12);
+        // p75 → rank 15 → bucket (0.1,0.2], halfway.
+        assert!((bucket_quantile(&bounds, &cumulative, 0.75) - 0.15).abs() < 1e-12);
+        // Rank in overflow → largest finite bound.
+        assert_eq!(bucket_quantile(&bounds, &[0, 0, 0, 5], 0.99), 0.4);
+        // Empty histogram.
+        assert_eq!(bucket_quantile(&bounds, &[0, 0, 0, 0], 0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_windows_diff_snapshots() {
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", "x", &[0.1, 0.2, 0.4]);
+        let tsdb = Tsdb::new(&cfg(1000, 3_600_000));
+        tsdb.ingest(10, r.snapshot()); // empty baseline tick
+        for _ in 0..100 {
+            h.observe_nanos(50_000_000); // 0.05 s, all in first bucket
+        }
+        tsdb.ingest(1_000, r.snapshot());
+        for _ in 0..100 {
+            h.observe_nanos(300_000_000); // 0.3 s, third bucket
+        }
+        tsdb.ingest(2_000, r.snapshot());
+        // Over the last second only the 0.3 s observations count.
+        let q = tsdb
+            .window_quantiles("lat_seconds", "", 1_000, 2_000)
+            .unwrap();
+        assert_eq!(q.count, 100);
+        assert!(q.p50 > 0.2 && q.p50 <= 0.4, "{q:?}");
+        // Over everything, the median sits in the first bucket.
+        let q = tsdb
+            .window_quantiles("lat_seconds", "", 10_000, 2_000)
+            .unwrap();
+        assert_eq!(q.count, 200);
+        assert!(q.p50 <= 0.1, "{q:?}");
+    }
+
+    #[test]
+    fn history_json_parses_and_round_trips() {
+        let r = Registry::new();
+        r.counter("a_total", "a").add(3);
+        r.gauge("g", "g").set(7);
+        let h = r.histogram("lat_seconds", "x", &[0.1]);
+        h.observe_nanos(50_000_000);
+        let tsdb = Tsdb::new(&cfg(1000, 3_600_000));
+        tsdb.ingest(1_000, r.snapshot());
+        tsdb.ingest(2_000, r.snapshot());
+        let text = tsdb.render_history_json(2_000, 100);
+        let value = crate::json::parse(&text).expect("history JSON parses");
+        assert!(value.get("events").is_some());
+        let Some(crate::json::Value::Arr(series)) = value.get("series") else {
+            panic!("series array missing in {text}");
+        };
+        assert_eq!(series.len(), 3);
+    }
+
+    #[test]
+    fn collector_samples_and_stops() {
+        let r = Arc::new(Registry::new());
+        let c = r.counter("bg_total", "bg");
+        c.add(5);
+        let tsdb = Arc::new(Tsdb::new(
+            &cfg(10, 60_000), // 10 ms cadence
+        ));
+        let src = Arc::clone(&r);
+        let collector = Collector::start(
+            Arc::clone(&tsdb),
+            vec![Box::new(move || src.snapshot())],
+            vec![],
+        )
+        .expect("spawn");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while tsdb.series_len("bg_total", "").unwrap_or(0) < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "collector never ticked"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(collector); // joins promptly
+        let frozen = tsdb.series_len("bg_total", "").unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(tsdb.series_len("bg_total", "").unwrap(), frozen);
+    }
+}

@@ -479,6 +479,7 @@ impl ModelRegistry {
         bytes: &[u8],
         probe: Option<&str>,
     ) -> Result<SwapReport, SwapError> {
+        let started = Instant::now();
         let mut sp = dfp_obs::span("registry.swap");
         sp.attr("model", name);
         if !store::valid_name(name) {
@@ -491,10 +492,19 @@ impl ModelRegistry {
         if let Err(e) = dfp_model::from_bytes(bytes) {
             // Counted only against already-registered names: minting the
             // labelled counter here would itself leak the phantom name
-            // into /metrics.
+            // into /metrics. The audit ring is free-form, so the rejection
+            // is still recorded there.
             if self.model(name).is_some() {
                 self.swap_failures(name).inc();
             }
+            dfp_obs::audit::record(
+                "swap",
+                name,
+                None,
+                "rejected",
+                started.elapsed(),
+                &e.to_string(),
+            );
             return Err(SwapError::InvalidArtifact(e));
         }
         let slot = self.slot(name).map_err(SwapError::Io)?;
@@ -509,7 +519,7 @@ impl ModelRegistry {
         let version = self.next_version(name, &dir).map_err(SwapError::Io)?;
         let file = store::artifact_name(version);
         store::write_atomic(&dir, &file, bytes, "registry.write", "registry.rename")
-            .map_err(|e| self.swap_io_failure(name, &dir, e))?;
+            .map_err(|e| self.swap_io_failure(name, &dir, started, e))?;
 
         // Validate what is actually on disk — the artifact a restart would
         // boot from — against the incoming probe row (or the stored one
@@ -531,6 +541,14 @@ impl ModelRegistry {
                     "swap rolled back: artifact failed validation",
                     &[("model", name), ("why", &why)],
                 );
+                dfp_obs::audit::record(
+                    "rollback",
+                    name,
+                    Some(version),
+                    "rejected",
+                    started.elapsed(),
+                    &why,
+                );
                 return Err(SwapError::Rejected(why));
             }
         };
@@ -543,10 +561,11 @@ impl ModelRegistry {
                 "registry.write",
                 "registry.rename",
             )
-            .map_err(|e| self.swap_io_failure(name, &dir, e))?;
+            .map_err(|e| self.swap_io_failure(name, &dir, started, e))?;
         }
 
-        store::write_current(&dir, version).map_err(|e| self.swap_io_failure(name, &dir, e))?;
+        store::write_current(&dir, version)
+            .map_err(|e| self.swap_io_failure(name, &dir, started, e))?;
         let fresh = Arc::new(ModelVersion { version, model });
         let old = slot.set_current(Some(fresh));
         self.swaps(name).inc();
@@ -576,6 +595,17 @@ impl ModelRegistry {
             "hot-swap complete",
             &[("model", name), ("version", &version.to_string())],
         );
+        dfp_obs::audit::record(
+            "swap",
+            name,
+            Some(version),
+            "promoted",
+            started.elapsed(),
+            &match previous {
+                Some(p) => format!("previous version {p}"),
+                None => "first version".to_string(),
+            },
+        );
         Ok(SwapReport {
             name: name.to_string(),
             version,
@@ -594,6 +624,13 @@ impl ModelRegistry {
     /// `out`.
     pub fn render_metrics_into(&self, out: &mut String) {
         self.metrics.render_into(out);
+    }
+
+    /// One collector tick's worth of samples from the registry's private
+    /// metrics — the serving TSDB stack feeds on this so per-model swap and
+    /// latency families gain history and windowed percentiles.
+    pub fn metrics_snapshot(&self) -> Vec<dfp_obs::metrics::Sample> {
+        self.metrics.snapshot()
     }
 
     // -- internals ---------------------------------------------------------
@@ -643,11 +680,25 @@ impl ModelRegistry {
         Ok(next)
     }
 
-    fn swap_io_failure(&self, name: &str, dir: &Path, e: std::io::Error) -> SwapError {
+    fn swap_io_failure(
+        &self,
+        name: &str,
+        dir: &Path,
+        started: Instant,
+        e: std::io::Error,
+    ) -> SwapError {
         // A failed write may strand a `.tmp`; sweep it now rather than
         // waiting for the next boot.
         let _ = store::sweep_tmp(dir);
         self.swap_failures(name).inc();
+        dfp_obs::audit::record(
+            "swap",
+            name,
+            None,
+            "io_error",
+            started.elapsed(),
+            &e.to_string(),
+        );
         SwapError::Io(e)
     }
 
@@ -713,21 +764,37 @@ impl ModelRegistry {
     /// Deletes artifacts beyond `keep_versions`, newest first, never the
     /// one `CURRENT` names. Prune errors are ignored — an undeleted old
     /// version costs disk, not correctness.
-    fn prune(&self, _name: &str, dir: &Path, current: u64) {
+    fn prune(&self, name: &str, dir: &Path, current: u64) {
+        let started = Instant::now();
         let Ok(versions) = store::list_versions(dir) else {
             return;
         };
         let mut keep: Vec<u64> = versions.iter().rev().copied().collect();
         keep.truncate(self.cfg.keep_versions);
+        let mut deleted: Vec<String> = Vec::new();
         for v in versions {
-            if v != current && !keep.contains(&v) {
-                let _ = fs::remove_file(dir.join(store::artifact_name(v)));
+            if v != current
+                && !keep.contains(&v)
+                && fs::remove_file(dir.join(store::artifact_name(v))).is_ok()
+            {
+                deleted.push(v.to_string());
             }
+        }
+        if !deleted.is_empty() {
+            dfp_obs::audit::record(
+                "prune",
+                name,
+                Some(current),
+                "deleted",
+                started.elapsed(),
+                &format!("removed versions {}", deleted.join(",")),
+            );
         }
     }
 
     /// Boot-time recovery for one model directory. See the crate docs.
     fn recover_model(&mut self, name: &str) -> Result<ModelRecovery, RegistryError> {
+        let started = Instant::now();
         let dir = self.cfg.root.join(name);
         let mut outcome = ModelRecovery::default();
         store::sweep_tmp(&dir)?;
@@ -846,7 +913,38 @@ impl ModelRegistry {
         }
         if !outcome.quarantined.is_empty() {
             self.quarantined(name).add(outcome.quarantined.len() as u64);
+            for (file, why) in &outcome.quarantined {
+                dfp_obs::audit::record(
+                    "quarantine",
+                    name,
+                    None,
+                    "quarantined",
+                    Duration::ZERO,
+                    &format!("{file}: {why}"),
+                );
+            }
         }
+        dfp_obs::audit::record(
+            "recover",
+            name,
+            outcome.chosen,
+            if outcome.chosen.is_some() {
+                "promoted"
+            } else {
+                "none"
+            },
+            started.elapsed(),
+            &format!(
+                "quarantined {}, skipped {}, pointer {}",
+                outcome.quarantined.len(),
+                outcome.skipped.len(),
+                if outcome.pointer_rewritten {
+                    "rewritten"
+                } else {
+                    "intact"
+                }
+            ),
+        );
         Ok(outcome)
     }
 

@@ -20,7 +20,15 @@
 //!
 //! Observability: `DFP_LOG=<level>` turns on JSONL logs (access logs at
 //! `info`), and `DFP_TRACE=<path>` exports every request's span tree as
-//! JSONL (flushed to disk twice a second by a background thread).
+//! JSONL (flushed to disk twice a second by a background thread). The
+//! in-process TSDB stack is on by default (`DFP_TSDB=0` disables): a
+//! background collector samples every metrics family each
+//! `DFP_TSDB_INTERVAL_MS` into `DFP_TSDB_RETAIN` of ring-buffered history,
+//! `DFP_SLO_FILE=<json>` arms multi-window burn-rate alerting surfaced on
+//! `GET /alerts`, slow/5xx requests are tail-sampled into
+//! `GET /debug/traces` (`DFP_TAIL_CAP`, `DFP_TAIL=0` off), and
+//! `GET /dashboard` renders the whole picture as one HTML page — watch it
+//! from a terminal with `dfp-top --addr <host:port>`.
 
 use dfp_serve::ServerConfig;
 use std::process::ExitCode;
@@ -156,8 +164,13 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "dfp-serve listening on {} with {threads} workers (endpoints: POST /predict, GET /healthz, GET /readyz, GET /metrics, /m/{{name}}/…)",
-        handle.addr()
+        "dfp-serve listening on {} with {threads} workers (endpoints: POST /predict, GET /healthz, GET /readyz, GET /metrics{}, /m/{{name}}/…)",
+        handle.addr(),
+        if handle.obs().is_some() {
+            ", GET /alerts, GET /metrics/history, GET /debug/traces, GET /dashboard"
+        } else {
+            ""
+        },
     );
     // Serve until the process is killed.
     loop {

@@ -7,10 +7,11 @@
 //! deployments can retune without a rebuild; defaults preserve the
 //! historical behavior.
 
+use dfp_obs::SloSpec;
 use std::time::Duration;
 
 /// Tuning knobs for [`crate::serve_with_config`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
     /// Per-connection read/write timeout (`DFP_SERVE_IO_TIMEOUT_MS`).
     pub io_timeout: Duration,
@@ -53,6 +54,26 @@ pub struct ServerConfig {
     /// data plane and the admin plane share one bind address, so set the
     /// token (or keep the listener on loopback) in production.
     pub admin_token: Option<String>,
+    /// Whether the in-process TSDB stack (background collector, windowed
+    /// percentiles, SLO engine, tail sampler, `/dashboard`,
+    /// `/metrics/history`, `/alerts`, `/debug/traces`) runs (`DFP_TSDB`;
+    /// `0`/`off`/`false` disables, default on).
+    pub tsdb: bool,
+    /// Collector sampling cadence (`DFP_TSDB_INTERVAL_MS`, min 10 ms).
+    pub tsdb_interval: Duration,
+    /// History retention horizon (`DFP_TSDB_RETAIN`; plain seconds or a
+    /// `250ms`/`90s`/`15m`/`2h` suffix).
+    pub tsdb_retain: Duration,
+    /// Path to a JSON SLO spec file (`DFP_SLO_FILE`); parsed at server
+    /// start and merged with [`Self::slos`]. A missing or malformed file is
+    /// logged and skipped — serving must come up regardless.
+    pub slo_file: Option<String>,
+    /// Programmatic SLO specs, evaluated alongside any from
+    /// [`Self::slo_file`].
+    pub slos: Vec<SloSpec>,
+    /// Tail-sampled trace reservoir capacity (`DFP_TAIL_CAP`, default 64);
+    /// `DFP_TAIL=0/off/false` forces it to `0`, which disables capture.
+    pub tail_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +90,12 @@ impl Default for ServerConfig {
             cache: true,
             registry_root: None,
             admin_token: None,
+            tsdb: true,
+            tsdb_interval: Duration::from_millis(1000),
+            tsdb_retain: Duration::from_secs(3600),
+            slo_file: None,
+            slos: Vec::new(),
+            tail_capacity: 64,
         }
     }
 }
@@ -114,6 +141,34 @@ impl ServerConfig {
             let token = token.trim().to_string();
             if !token.is_empty() {
                 cfg.admin_token = Some(token);
+            }
+        }
+        if let Ok(v) = std::env::var("DFP_TSDB") {
+            let v = v.trim().to_ascii_lowercase();
+            cfg.tsdb = !(v == "0" || v == "off" || v == "false");
+        }
+        if let Some(ms) = env_u64("DFP_TSDB_INTERVAL_MS") {
+            cfg.tsdb_interval = Duration::from_millis(ms.max(10));
+        }
+        if let Some(d) = std::env::var("DFP_TSDB_RETAIN")
+            .ok()
+            .and_then(|v| dfp_obs::tsdb::parse_duration(v.trim()))
+        {
+            cfg.tsdb_retain = d;
+        }
+        if let Ok(path) = std::env::var("DFP_SLO_FILE") {
+            let path = path.trim().to_string();
+            if !path.is_empty() {
+                cfg.slo_file = Some(path);
+            }
+        }
+        if let Some(n) = env_u64("DFP_TAIL_CAP") {
+            cfg.tail_capacity = n as usize;
+        }
+        if let Ok(v) = std::env::var("DFP_TAIL") {
+            let v = v.trim().to_ascii_lowercase();
+            if v == "0" || v == "off" || v == "false" {
+                cfg.tail_capacity = 0;
             }
         }
         cfg
@@ -184,6 +239,42 @@ impl ServerConfig {
     /// hot-swap endpoint (`401` otherwise).
     pub fn with_admin_token(mut self, token: impl Into<String>) -> Self {
         self.admin_token = Some(token.into());
+        self
+    }
+
+    /// Enables or disables the in-process TSDB/SLO/tail stack.
+    pub fn with_tsdb(mut self, on: bool) -> Self {
+        self.tsdb = on;
+        self
+    }
+
+    /// Replaces the collector sampling cadence (clamped to ≥ 10 ms).
+    pub fn with_tsdb_interval(mut self, d: Duration) -> Self {
+        self.tsdb_interval = d.max(Duration::from_millis(10));
+        self
+    }
+
+    /// Replaces the history retention horizon.
+    pub fn with_tsdb_retain(mut self, d: Duration) -> Self {
+        self.tsdb_retain = d;
+        self
+    }
+
+    /// Points the SLO engine at a JSON spec file.
+    pub fn with_slo_file(mut self, path: impl Into<String>) -> Self {
+        self.slo_file = Some(path.into());
+        self
+    }
+
+    /// Replaces the programmatic SLO specs.
+    pub fn with_slos(mut self, slos: Vec<SloSpec>) -> Self {
+        self.slos = slos;
+        self
+    }
+
+    /// Replaces the tail-sampled trace reservoir capacity (`0` disables).
+    pub fn with_tail_capacity(mut self, cap: usize) -> Self {
+        self.tail_capacity = cap;
         self
     }
 

@@ -36,6 +36,7 @@ pub mod client;
 pub mod config;
 pub mod http;
 pub mod metrics;
+pub mod observe;
 pub mod pool;
 pub mod rows;
 pub mod server;
@@ -45,6 +46,7 @@ pub use cache::TransformCache;
 pub use client::{Client, ClientError, Response, RetryPolicy};
 pub use config::ServerConfig;
 pub use metrics::Metrics;
+pub use observe::ServeObs;
 pub use pool::ThreadPool;
 pub use rows::{parse_rows, render_labels};
 pub use server::{

@@ -10,6 +10,7 @@
 //! are appended to every render so one `/metrics` scrape shows the whole
 //! stack.
 
+use dfp_obs::metrics::{Sample, SampleValue};
 use dfp_obs::{Counter, Gauge, Histogram, Registry};
 use std::sync::Arc;
 use std::time::Duration;
@@ -50,6 +51,10 @@ pub struct Metrics {
     pub transform_cache_hits_total: Arc<Counter>,
     /// `/predict` rows that had to be parsed and transformed.
     pub transform_cache_misses_total: Arc<Counter>,
+    /// `/metrics` render latency (the scrape path observes itself).
+    pub scrape_seconds: Arc<Histogram>,
+    /// Bytes of the most recent `/metrics` exposition.
+    pub scrape_bytes: Arc<Gauge>,
 }
 
 impl Default for Metrics {
@@ -111,6 +116,15 @@ impl Metrics {
             "dfp_serve_transform_cache_misses_total",
             "Predict rows parsed and transformed on a cache miss",
         );
+        let scrape_seconds = registry.histogram(
+            "dfp_scrape_seconds",
+            "Time spent rendering the /metrics exposition",
+            &LATENCY_BUCKETS,
+        );
+        let scrape_bytes = registry.gauge(
+            "dfp_scrape_bytes",
+            "Bytes of the most recent /metrics exposition",
+        );
         Metrics {
             registry,
             requests_total,
@@ -126,7 +140,29 @@ impl Metrics {
             batch_size,
             transform_cache_hits_total,
             transform_cache_misses_total,
+            scrape_seconds,
+            scrape_bytes,
         }
+    }
+
+    /// The private registry backing this server's families — the TSDB
+    /// collector samples it, and the SLO engine registers its burn-rate
+    /// gauges into it so they appear on this server's `/metrics`.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// One collector tick's worth of samples: every family in the private
+    /// registry plus the synthetic `dfp_serve_errors_total` sum (kept so
+    /// SLO specs can target the historical name).
+    pub fn snapshot(&self) -> Vec<Sample> {
+        let mut samples = self.registry.snapshot();
+        samples.push(Sample {
+            name: "dfp_serve_errors_total".to_string(),
+            labels: String::new(),
+            value: SampleValue::Counter(self.errors_total()),
+        });
+        samples
     }
 
     /// Counts one error response, split by status class (4xx vs 5xx).

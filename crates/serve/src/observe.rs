@@ -1,0 +1,195 @@
+//! The per-server temporal observability stack.
+//!
+//! [`ServeObs::start`] assembles the pieces from `dfp_obs` around one
+//! running server: a [`Tsdb`] ring store, a background [`Collector`] that
+//! samples the server's private metrics registry, the process-global
+//! registry, and (when present) the model registry's families every
+//! `DFP_TSDB_INTERVAL_MS`; an optional [`SloEngine`] evaluated after each
+//! tick; and a [`TailSampler`] whose slow-keep threshold tracks the live
+//! 1-minute p99 of `dfp_serve_predict_latency_seconds`.
+//!
+//! The request hot path never touches the TSDB — samples flow one way,
+//! from atomics into the collector thread. The only per-request costs are
+//! one relaxed atomic load in [`TailSampler::begin`] (when capture is
+//! disabled) and the histogram exemplar update on `/predict`.
+
+use crate::config::ServerConfig;
+use crate::metrics::Metrics;
+use dfp_obs::tsdb::{Collector, OnTick, Source};
+use dfp_obs::{SloEngine, SloSpec, TailSampler, Tsdb, TsdbConfig};
+use dfp_registry::ModelRegistry;
+use std::sync::Arc;
+
+/// Histogram whose live windowed p99 drives the tail sampler's slow-keep
+/// threshold.
+const TAIL_DRIVER_HISTOGRAM: &str = "dfp_serve_predict_latency_seconds";
+
+/// Window the tail threshold follows (label and width must agree with
+/// [`dfp_obs::tsdb::WINDOWS`]).
+const TAIL_DRIVER_WINDOW_MS: u64 = 60_000;
+
+/// The assembled observability stack for one server. Dropping it stops the
+/// collector thread promptly; [`crate::ServerHandle`] owns one when the
+/// TSDB is enabled.
+#[derive(Debug)]
+pub struct ServeObs {
+    tsdb: Arc<Tsdb>,
+    slo: Option<Arc<SloEngine>>,
+    tail: Arc<TailSampler>,
+    // Owned for lifetime only: dropping the Collector joins the thread.
+    _collector: Collector,
+}
+
+impl ServeObs {
+    /// Builds the stack and spawns the collector. Returns `None` when the
+    /// thread could not be spawned (the server still serves, without
+    /// history).
+    pub fn start(
+        cfg: &ServerConfig,
+        metrics: &Arc<Metrics>,
+        registry: Option<&Arc<ModelRegistry>>,
+    ) -> Option<ServeObs> {
+        let tsdb_cfg = TsdbConfig::default()
+            .with_interval(cfg.tsdb_interval)
+            .with_retain(cfg.tsdb_retain);
+        let tsdb = Arc::new(Tsdb::new(&tsdb_cfg));
+        let specs = load_slos(cfg);
+        let slo = if specs.is_empty() {
+            None
+        } else {
+            // Burn-rate gauges land in the server's own registry, so they
+            // ride /metrics and get sampled into history like any family.
+            Some(Arc::new(SloEngine::new(specs, metrics.registry())))
+        };
+        let tail = Arc::new(TailSampler::new(cfg.tail_capacity));
+
+        let mut sources: Vec<Source> = Vec::new();
+        {
+            let metrics = Arc::clone(metrics);
+            sources.push(Box::new(move || metrics.snapshot()));
+        }
+        sources.push(Box::new(|| dfp_obs::metrics::global().snapshot()));
+        if let Some(registry) = registry {
+            let registry = Arc::clone(registry);
+            sources.push(Box::new(move || registry.metrics_snapshot()));
+        }
+
+        let mut on_tick: Vec<OnTick> = Vec::new();
+        if let Some(engine) = &slo {
+            let engine = Arc::clone(engine);
+            on_tick.push(Box::new(move |tsdb, now| engine.evaluate(tsdb, now)));
+        }
+        {
+            let tail = Arc::clone(&tail);
+            on_tick.push(Box::new(move |tsdb, now| {
+                if let Some(q) =
+                    tsdb.window_quantiles(TAIL_DRIVER_HISTOGRAM, "", TAIL_DRIVER_WINDOW_MS, now)
+                {
+                    tail.set_slow_threshold_ns((q.p99 * 1e9) as u64);
+                }
+            }));
+        }
+
+        let collector = match Collector::start(Arc::clone(&tsdb), sources, on_tick) {
+            Ok(c) => c,
+            Err(e) => {
+                dfp_obs::log::warn(
+                    "dfp_serve",
+                    "tsdb collector thread failed to start; serving without history",
+                    &[("why", &e.to_string())],
+                );
+                return None;
+            }
+        };
+        Some(ServeObs {
+            tsdb,
+            slo,
+            tail,
+            _collector: collector,
+        })
+    }
+
+    /// The ring store behind `/metrics/history` and `/dashboard`.
+    pub fn tsdb(&self) -> &Tsdb {
+        &self.tsdb
+    }
+
+    /// The SLO engine, when at least one spec is configured.
+    pub fn slo(&self) -> Option<&SloEngine> {
+        self.slo.as_deref()
+    }
+
+    /// The tail-sampled trace reservoir.
+    pub fn tail(&self) -> &TailSampler {
+        &self.tail
+    }
+}
+
+/// Programmatic specs plus whatever `DFP_SLO_FILE` parses to. File problems
+/// are logged and skipped: a bad SLO spec must never keep serving down.
+fn load_slos(cfg: &ServerConfig) -> Vec<SloSpec> {
+    let mut specs = cfg.slos.clone();
+    if let Some(path) = &cfg.slo_file {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match SloSpec::parse_file(&text) {
+                Ok(parsed) => specs.extend(parsed),
+                Err(why) => dfp_obs::log::warn(
+                    "dfp_serve",
+                    "DFP_SLO_FILE did not parse; ignoring it",
+                    &[("path", path), ("why", &why)],
+                ),
+            },
+            Err(e) => dfp_obs::log::warn(
+                "dfp_serve",
+                "DFP_SLO_FILE is unreadable; ignoring it",
+                &[("path", path), ("why", &e.to_string())],
+            ),
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn stack_starts_and_samples_server_metrics() {
+        let cfg = ServerConfig::default()
+            .with_tsdb_interval(Duration::from_millis(20))
+            .with_slos(vec![SloSpec::new(
+                "avail",
+                0.99,
+                "dfp_serve_requests_total",
+                "dfp_serve_server_errors_total",
+            )]);
+        let metrics = Arc::new(Metrics::new());
+        metrics.requests_total.add(5);
+        let obs = ServeObs::start(&cfg, &metrics, None).expect("collector starts");
+        // The first tick is immediate; wait out a couple more.
+        std::thread::sleep(Duration::from_millis(70));
+        assert!(obs
+            .tsdb()
+            .series_len("dfp_serve_requests_total", "")
+            .is_some());
+        assert!(obs.slo().is_some());
+        assert_eq!(obs.slo().unwrap().firing_count(), 0);
+        // Burn-rate gauges were registered into the server registry.
+        assert!(metrics.render().contains("dfp_slo_burn_rate"));
+    }
+
+    #[test]
+    fn slo_file_problems_are_nonfatal() {
+        let cfg = ServerConfig::default().with_slo_file("/nonexistent/slo.json");
+        assert!(load_slos(&cfg).is_empty());
+    }
+
+    #[test]
+    fn tail_capacity_zero_disables_capture() {
+        let cfg = ServerConfig::default().with_tail_capacity(0);
+        let metrics = Arc::new(Metrics::new());
+        let obs = ServeObs::start(&cfg, &metrics, None).expect("collector starts");
+        assert!(obs.tail().begin().is_none());
+    }
+}

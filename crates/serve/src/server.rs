@@ -8,7 +8,18 @@
 //! * `GET /healthz` — liveness probe, always `ok`;
 //! * `GET /readyz` — readiness probe: `200` once the model can serve
 //!   predictions (it carries a schema), `503` otherwise;
-//! * `GET /metrics` — Prometheus text exposition of the serving counters.
+//! * `GET /metrics` — Prometheus text exposition of the serving counters
+//!   (the scrape path observes itself via `dfp_scrape_seconds` /
+//!   `dfp_scrape_bytes`);
+//! * `GET /alerts` — SLO burn-rate alert states as JSON;
+//! * `GET /metrics/history` — the in-process TSDB's retained series,
+//!   windowed percentiles and audit events as JSON;
+//! * `GET /debug/traces` — tail-sampled slow/5xx request captures as JSON;
+//! * `GET /dashboard` — a self-contained HTML operator view (sparklines,
+//!   alert states, registry events, kept traces).
+//!
+//! The last four exist when the TSDB stack is enabled ([`ServerConfig`]
+//! `tsdb`, default on) and answer `404` otherwise.
 //!
 //! Robustness: all limits come from [`ServerConfig`] (env-overridable);
 //! the pool recovers panicking workers in place (`worker_respawns_total`);
@@ -27,6 +38,7 @@ use crate::cache::TransformCache;
 use crate::config::ServerConfig;
 use crate::http::{read_request_limited, write_response_with, HttpError, Request};
 use crate::metrics::Metrics;
+use crate::observe::ServeObs;
 use crate::pool::ThreadPool;
 use crate::rows::{data_lines, parse_row_line, render_labels, RowsError};
 use dfp_core::PatternClassifier;
@@ -89,6 +101,9 @@ pub struct ServerHandle {
     // Held so the batcher thread outlives every worker; joined when the
     // last Arc drops, after the accept thread (and its pool) are gone.
     scheduler: Option<Arc<BatchScheduler>>,
+    // The TSDB/SLO/tail stack; dropping it (after the accept thread and
+    // its workers are gone) stops the collector thread.
+    obs: Option<Arc<ServeObs>>,
 }
 
 impl ServerHandle {
@@ -100,6 +115,11 @@ impl ServerHandle {
     /// Live serving metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The observability stack, when the TSDB is enabled.
+    pub fn obs(&self) -> Option<&ServeObs> {
+        self.obs.as_deref()
     }
 
     /// Stops accepting, drains in-flight work and joins all threads.
@@ -128,6 +148,9 @@ impl Drop for ServerHandle {
             let _ = t.join();
         }
         self.scheduler.take();
+        // Workers are gone; stopping the collector last means every sample
+        // they produced is still collected into the final ticks.
+        self.obs.take();
     }
 }
 
@@ -191,6 +214,11 @@ fn serve_impl(
     let cache = cfg
         .cache
         .then(|| Arc::new(TransformCache::new(crate::cache::DEFAULT_CAP)));
+    let obs = cfg
+        .tsdb
+        .then(|| ServeObs::start(&cfg, &metrics, registry.as_ref()))
+        .flatten()
+        .map(Arc::new);
     let cfg = Arc::new(cfg);
 
     let accept_thread = {
@@ -198,6 +226,7 @@ fn serve_impl(
         let metrics = Arc::clone(&metrics);
         let scheduler = scheduler.clone();
         let registry = registry.clone();
+        let obs = obs.clone();
         std::thread::Builder::new()
             .name("dfp-serve-accept".into())
             .spawn(move || {
@@ -263,6 +292,7 @@ fn serve_impl(
                     let cfg = Arc::clone(&cfg);
                     let scheduler = scheduler.clone();
                     let cache = cache.clone();
+                    let obs = obs.clone();
                     pool.execute(move || {
                         handle_connection(
                             stream,
@@ -273,6 +303,7 @@ fn serve_impl(
                             accepted,
                             scheduler.as_deref(),
                             cache.as_deref(),
+                            obs.as_deref(),
                         )
                     });
                 }
@@ -286,6 +317,7 @@ fn serve_impl(
         metrics,
         accept_thread: Some(accept_thread),
         scheduler,
+        obs,
     })
 }
 
@@ -299,6 +331,7 @@ fn handle_connection(
     accepted: Instant,
     scheduler: Option<&BatchScheduler>,
     cache: Option<&TransformCache>,
+    obs: Option<&ServeObs>,
 ) {
     // Chaos hook on the worker path: `panic` exercises pool self-healing,
     // `sleep` exercises queue backpressure and request deadlines.
@@ -309,6 +342,9 @@ fn handle_connection(
     metrics.observe_queue_wait(queue_wait);
     let mut sp = dfp_obs::span("serve.request");
     sp.attr("queue_wait_ns", queue_wait.as_nanos());
+    // Tail sampling: every request offers a capture; whether it is kept is
+    // decided at the end (5xx, or slower than the live windowed p99).
+    let mut capture = obs.and_then(|o| o.tail().begin());
     let deadline = accepted + cfg.request_deadline;
     let _ = stream.set_read_timeout(Some(cfg.io_timeout));
     let _ = stream.set_write_timeout(Some(cfg.io_timeout));
@@ -363,7 +399,17 @@ fn handle_connection(
         )
     } else {
         route(
-            &request, model, registry, metrics, cfg, deadline, scheduler, cache,
+            &request,
+            model,
+            registry,
+            metrics,
+            cfg,
+            deadline,
+            scheduler,
+            cache,
+            obs,
+            &rid,
+            capture.as_mut(),
         )
     };
     sp.attr("status", status);
@@ -378,6 +424,16 @@ fn handle_connection(
         &body,
         accepted,
     );
+    if let (Some(o), Some(capture)) = (obs, capture.take()) {
+        o.tail().finish(
+            capture,
+            &rid,
+            &request.method,
+            &request.path,
+            status,
+            queue_wait.as_nanos() as u64,
+        );
+    }
 }
 
 /// Writes the response (always tagged `X-Request-Id`; `Retry-After` on
@@ -404,11 +460,22 @@ fn respond(
     if status == 503 || status == 409 {
         headers.push(("Retry-After", RETRY_AFTER_SECS));
     }
+    // Observability endpoints answer HTML/JSON; error bodies are always
+    // plain text regardless of path.
+    let content_type = if status < 400 {
+        match path {
+            "/dashboard" => "text/html; charset=utf-8",
+            "/alerts" | "/metrics/history" | "/debug/traces" => "application/json",
+            _ => "text/plain",
+        }
+    } else {
+        "text/plain"
+    };
     let _ = write_response_with(
         stream,
         status,
         reason,
-        "text/plain",
+        content_type,
         &headers,
         body.as_bytes(),
     );
@@ -439,9 +506,12 @@ fn route(
     deadline: Instant,
     scheduler: Option<&BatchScheduler>,
     cache: Option<&TransformCache>,
+    obs: Option<&ServeObs>,
+    rid: &str,
+    capture: Option<&mut dfp_obs::tail::TailCapture>,
 ) -> (u16, &'static str, String) {
     if request.path.starts_with("/m/") {
-        return route_model(request, registry, metrics, cfg, deadline);
+        return route_model(request, registry, metrics, cfg, deadline, rid, capture);
     }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (200, "OK", "ok\n".to_string()),
@@ -476,14 +546,63 @@ fn route(
             }
         }
         ("GET", "/metrics") => {
+            // The scrape path observes itself: render latency and byte size
+            // land in the same exposition the next scrape sees.
+            let started = Instant::now();
             let mut out = metrics.render();
             if let Some(reg) = registry {
                 reg.render_metrics_into(&mut out);
             }
+            metrics.scrape_seconds.observe(started.elapsed());
+            metrics.scrape_bytes.set(out.len() as i64);
             (200, "OK", out)
         }
+        ("GET", "/alerts") => match obs {
+            Some(o) => {
+                let now = dfp_obs::tsdb::now_unix_ms();
+                let body = match o.slo() {
+                    Some(engine) => engine.render_alerts_json(now),
+                    None => format!("{{\"now_ms\":{now},\"firing\":0,\"alerts\":[]}}"),
+                };
+                (200, "OK", body)
+            }
+            None => (404, "Not Found", "tsdb disabled (DFP_TSDB=0)\n".to_string()),
+        },
+        ("GET", "/metrics/history") => match obs {
+            Some(o) => (
+                200,
+                "OK",
+                o.tsdb()
+                    .render_history_json(dfp_obs::tsdb::now_unix_ms(), 240),
+            ),
+            None => (404, "Not Found", "tsdb disabled (DFP_TSDB=0)\n".to_string()),
+        },
+        ("GET", "/debug/traces") => match obs {
+            Some(o) => (
+                200,
+                "OK",
+                o.tail().render_traces_json(dfp_obs::tsdb::now_unix_ms()),
+            ),
+            None => (404, "Not Found", "tsdb disabled (DFP_TSDB=0)\n".to_string()),
+        },
+        ("GET", "/dashboard") => match obs {
+            Some(o) => (
+                200,
+                "OK",
+                dfp_obs::dashboard::render(
+                    "dfp-serve",
+                    o.tsdb(),
+                    o.slo(),
+                    Some(o.tail()),
+                    dfp_obs::tsdb::now_unix_ms(),
+                ),
+            ),
+            None => (404, "Not Found", "tsdb disabled (DFP_TSDB=0)\n".to_string()),
+        },
         ("POST", "/predict") => match model {
-            Some(m) => predict(request, m, metrics, cfg, deadline, scheduler, cache),
+            Some(m) => predict(
+                request, m, metrics, cfg, deadline, scheduler, cache, rid, capture,
+            ),
             None => (
                 404,
                 "Not Found",
@@ -527,12 +646,15 @@ fn registry_readyz(registry: Option<&ModelRegistry>) -> (u16, &'static str, Stri
 
 /// Routes `/m/{name}/predict`, `/m/{name}/readyz` and the `PUT /m/{name}`
 /// admin hot-swap endpoint.
+#[allow(clippy::too_many_arguments)]
 fn route_model(
     request: &Request,
     registry: Option<&ModelRegistry>,
     metrics: &Metrics,
     cfg: &ServerConfig,
     deadline: Instant,
+    rid: &str,
+    capture: Option<&mut dfp_obs::tail::TailCapture>,
 ) -> (u16, &'static str, String) {
     let Some(registry) = registry else {
         return (
@@ -588,7 +710,17 @@ fn route_model(
             // Registry models predict inline: the batch scheduler and the
             // transform cache are bound to the default model, and neither
             // is version-safe across hot-swaps.
-            let answer = predict(request, &version.model, metrics, cfg, deadline, None, None);
+            let answer = predict(
+                request,
+                &version.model,
+                metrics,
+                cfg,
+                deadline,
+                None,
+                None,
+                rid,
+                capture,
+            );
             slot.latency().observe(start.elapsed());
             if answer.0 == 200 {
                 slot.predictions().add(answer.2.lines().count() as u64);
@@ -694,6 +826,8 @@ fn predict(
     deadline: Instant,
     scheduler: Option<&BatchScheduler>,
     cache: Option<&TransformCache>,
+    rid: &str,
+    mut capture: Option<&mut dfp_obs::tail::TailCapture>,
 ) -> (u16, &'static str, String) {
     if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("serve.predict") {
         return (
@@ -758,6 +892,9 @@ fn predict(
             );
         }
     }
+    if let Some(cap) = capture.as_deref_mut() {
+        cap.mark_since("parse", start);
+    }
     if Instant::now() > deadline {
         return (
             503,
@@ -785,6 +922,7 @@ fn predict(
         .map(|r| r.expect("every row cached or transformed"))
         .collect();
 
+    let predict_started = Instant::now();
     let labels = {
         let _sp = dfp_obs::span("serve.predict");
         // Requests already at the batch cap gain nothing from coalescing;
@@ -818,8 +956,25 @@ fn predict(
             None => model.predict_rows(&rows),
         }
     };
-    metrics.observe_latency(start.elapsed());
+    if let Some(cap) = capture.as_deref_mut() {
+        cap.mark_since("predict", predict_started);
+    }
+    let elapsed = start.elapsed();
+    metrics.observe_latency(elapsed);
     metrics.predictions_total.add(labels.len() as u64);
+    // The latest request id rides the latency histogram as an OpenMetrics
+    // exemplar, so a scrape links a slow bucket straight to /debug/traces.
+    metrics.predict_latency.set_exemplar(
+        "request_id",
+        rid,
+        elapsed.as_secs_f64(),
+        dfp_obs::tsdb::now_unix_ms(),
+    );
     let _sp = dfp_obs::span("serve.render");
-    (200, "OK", render_labels(schema, &labels))
+    let render_started = Instant::now();
+    let body = render_labels(schema, &labels);
+    if let Some(cap) = capture {
+        cap.mark_since("render", render_started);
+    }
+    (200, "OK", body)
 }

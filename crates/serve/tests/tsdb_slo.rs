@@ -1,0 +1,349 @@
+//! End-to-end temporal observability: a live server with a fast-ticking
+//! TSDB collector must fire a burn-rate alert on `GET /alerts` within one
+//! collection interval of an error burst, resolve it after recovery,
+//! round-trip every JSON surface through [`dfp_obs::json`], render the
+//! `/dashboard` HTML with inline sparklines, and pass `promcheck` on
+//! `/metrics` — exemplars included.
+
+use dfp_core::{FrameworkConfig, PatternClassifier};
+use dfp_data::dataset::{categorical_dataset, Dataset};
+use dfp_obs::json::Value;
+use dfp_obs::slo::{BurnRule, SloSpec};
+use dfp_serve::{ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Failpoint state is process-global; every test here serialises on this
+/// (an armed `serve.predict` would 500 any concurrently-running test).
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_faults() -> MutexGuard<'static, ()> {
+    let guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    dfp_fault::disarm_all();
+    guard
+}
+
+/// (a0=v1, a1=v1) → c0 and (a0=v1, a1=v2) → c1; a2 is noise.
+fn confusable() -> Dataset {
+    let mut rows: Vec<(Vec<u32>, u32)> = Vec::new();
+    for i in 0..60u32 {
+        let (vals, label) = if i % 2 == 0 {
+            (vec![1, 1, i % 3], 0)
+        } else {
+            (vec![1, 2, i % 3], 1)
+        };
+        rows.push((vals, label));
+    }
+    let borrowed: Vec<(&[u32], u32)> = rows.iter().map(|(v, l)| (&v[..], *l)).collect();
+    categorical_dataset(&[3, 3, 3], 2, &borrowed)
+}
+
+/// A tight availability SLO over the serve counters: objective 0.9 and a
+/// 300 ms/900 ms rule pair at factor 1.5, so an all-errors burst (burn
+/// 10.0) fires on the very next 40 ms tick and a clean short window
+/// resolves it.
+fn tight_slo() -> SloSpec {
+    SloSpec::new(
+        "predict-availability",
+        0.9,
+        "dfp_serve_requests_total",
+        "dfp_serve_server_errors_total",
+    )
+    .with_rules(vec![BurnRule {
+        severity: "page".to_string(),
+        short_ms: 300,
+        long_ms: 900,
+        factor: 1.5,
+    }])
+}
+
+fn obs_config() -> ServerConfig {
+    ServerConfig::default()
+        .with_threads(2)
+        .with_tsdb_interval(Duration::from_millis(40))
+        .with_slos(vec![tight_slo()])
+        .with_tail_capacity(16)
+}
+
+fn serve_with(cfg: ServerConfig) -> ServerHandle {
+    let data = confusable();
+    let fitted = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs()).expect("fit");
+    dfp_serve::serve_with_config(fitted, "127.0.0.1:0", cfg).expect("bind")
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+fn predict_ok(addr: SocketAddr) {
+    let (status, body) = http(addr, "POST", "/predict", "v1,v1,v0\n");
+    assert_eq!(status, 200, "healthy predict must succeed: {body}");
+}
+
+/// Polls `GET /alerts` until `pred` holds, failing after `deadline`.
+fn poll_alerts(
+    addr: SocketAddr,
+    deadline: Duration,
+    mut each: impl FnMut(),
+    pred: impl Fn(&Value) -> bool,
+    what: &str,
+) -> Duration {
+    let started = Instant::now();
+    loop {
+        each();
+        let (status, body) = http(addr, "GET", "/alerts", "");
+        assert_eq!(status, 200, "/alerts must answer: {body}");
+        let doc = dfp_obs::json::parse(&body).expect("/alerts must be valid JSON");
+        if pred(&doc) {
+            return started.elapsed();
+        }
+        assert!(
+            started.elapsed() < deadline,
+            "timed out waiting for {what}; last /alerts: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn firing_count(doc: &Value) -> i128 {
+    match doc.get("firing") {
+        Some(Value::Int(n)) => *n,
+        other => panic!("/alerts must carry an integer 'firing', got {other:?}"),
+    }
+}
+
+/// The acceptance-criteria lifecycle: an error burst fires the alert
+/// within roughly one collection interval, and recovery traffic resolves
+/// it once the short window is clean.
+#[test]
+fn alert_fires_within_one_interval_and_resolves_after_recovery() {
+    let _guard = lock_faults();
+    let handle = serve_with(obs_config());
+    let addr = handle.addr();
+    assert!(handle.obs().is_some(), "obs stack must be on by default");
+
+    // A little healthy traffic so the counters exist before the burst.
+    for _ in 0..3 {
+        predict_ok(addr);
+    }
+
+    // Burst: every predict fails until the budget drains, so the error
+    // ratio in both burn windows saturates at ~1.0 → burn ~10 > 1.5.
+    dfp_fault::arm_times("serve.predict", dfp_fault::Action::Err, Some(30));
+    for _ in 0..30 {
+        let (status, _) = http(addr, "POST", "/predict", "v1,v1,v0\n");
+        assert_eq!(status, 500, "armed failpoint must 500");
+    }
+    let to_fire = poll_alerts(
+        addr,
+        Duration::from_secs(3),
+        || {},
+        |doc| firing_count(doc) >= 1,
+        "the burn-rate alert to fire",
+    );
+    // "Within one interval" plus scheduling slack — nowhere near the
+    // multi-second horizon a naive evaluation cadence would need.
+    assert!(
+        to_fire < Duration::from_secs(2),
+        "alert took {to_fire:?} to fire on a 40 ms interval"
+    );
+
+    // The alert view carries the rule identity while firing.
+    let (_, body) = http(addr, "GET", "/alerts", "");
+    assert!(body.contains("predict-availability"), "alerts: {body}");
+    assert!(body.contains("\"severity\":\"page\""), "alerts: {body}");
+
+    // Recovery: clean traffic until the 300 ms short window holds no
+    // errors, at which point the both-windows rule must stop firing.
+    let to_resolve = poll_alerts(
+        addr,
+        Duration::from_secs(5),
+        || predict_ok(addr),
+        |doc| firing_count(doc) == 0,
+        "the alert to resolve",
+    );
+    assert!(
+        to_resolve < Duration::from_secs(5),
+        "alert took {to_resolve:?} to resolve"
+    );
+    handle.shutdown();
+}
+
+/// `/metrics/history` and `/debug/traces` are valid JSON documents with
+/// the promised shape, and history carries the serve families.
+#[test]
+fn history_and_traces_round_trip_as_json() {
+    let _guard = lock_faults();
+    let handle = serve_with(obs_config());
+    let addr = handle.addr();
+    for _ in 0..4 {
+        predict_ok(addr);
+    }
+    // Let a couple of 40 ms ticks land so the rings hold ≥ 2 points.
+    std::thread::sleep(Duration::from_millis(150));
+
+    let (status, body) = http(addr, "GET", "/metrics/history", "");
+    assert_eq!(status, 200);
+    let doc = dfp_obs::json::parse(&body).expect("/metrics/history must be valid JSON");
+    assert!(matches!(doc.get("now_ms"), Some(Value::Int(n)) if *n > 0));
+    assert!(matches!(doc.get("interval_ms"), Some(Value::Int(40))));
+    let Some(Value::Arr(series)) = doc.get("series") else {
+        panic!("history must carry a series array: {body}");
+    };
+    assert!(
+        series.iter().any(|s| matches!(
+            s.get("name"),
+            Some(Value::Str(n)) if n == "dfp_serve_requests_total"
+        )),
+        "history must include the serve request counter"
+    );
+
+    // Tail capture is on but nothing was slow or failed: the document is
+    // still well-formed, with an empty reservoir.
+    let (status, body) = http(addr, "GET", "/debug/traces", "");
+    assert_eq!(status, 200);
+    let doc = dfp_obs::json::parse(&body).expect("/debug/traces must be valid JSON");
+    assert!(matches!(doc.get("enabled"), Some(Value::Bool(true))));
+    assert!(matches!(doc.get("traces"), Some(Value::Arr(_))));
+    handle.shutdown();
+}
+
+/// 5xx responses are kept by the tail sampler with their request id and
+/// stage breakdown, and surface on `/debug/traces`.
+#[test]
+fn tail_sampler_keeps_5xx_requests() {
+    let _guard = lock_faults();
+    let handle = serve_with(obs_config());
+    let addr = handle.addr();
+    predict_ok(addr);
+
+    dfp_fault::arm_times("serve.predict", dfp_fault::Action::Err, Some(3));
+    for _ in 0..3 {
+        let (status, _) = http(addr, "POST", "/predict", "v1,v1,v0\n");
+        assert_eq!(status, 500);
+    }
+
+    let (status, body) = http(addr, "GET", "/debug/traces", "");
+    assert_eq!(status, 200);
+    let doc = dfp_obs::json::parse(&body).expect("valid JSON");
+    let Some(Value::Arr(traces)) = doc.get("traces") else {
+        panic!("traces array missing: {body}");
+    };
+    assert!(traces.len() >= 3, "all three 5xx must be kept: {body}");
+    for t in traces {
+        assert!(
+            matches!(t.get("reason"), Some(Value::Str(r)) if r == "5xx"),
+            "kept for the 5xx reason: {body}"
+        );
+        assert!(
+            matches!(t.get("request_id"), Some(Value::Str(rid)) if !rid.is_empty()),
+            "every kept trace is tagged with its request id"
+        );
+        assert!(matches!(t.get("status"), Some(Value::Int(500))));
+    }
+    handle.shutdown();
+}
+
+/// The dashboard is one self-contained HTML page with inline-SVG
+/// sparklines and the alert table.
+#[test]
+fn dashboard_renders_selfcontained_html() {
+    let _guard = lock_faults();
+    let handle = serve_with(obs_config());
+    let addr = handle.addr();
+    for _ in 0..3 {
+        predict_ok(addr);
+    }
+    std::thread::sleep(Duration::from_millis(120));
+
+    let (status, body) = http(addr, "GET", "/dashboard", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("<!DOCTYPE html>"), "dashboard is HTML");
+    assert!(body.contains("<svg"), "dashboard draws inline sparklines");
+    assert!(
+        body.contains("dfp_serve_requests_total"),
+        "dashboard charts the serve families"
+    );
+    assert!(
+        body.contains("predict-availability"),
+        "dashboard lists the configured SLOs"
+    );
+    assert!(
+        !body.contains("src=\"http") && !body.contains("href=\"http"),
+        "dashboard must not reference external assets"
+    );
+    handle.shutdown();
+}
+
+/// `/metrics` stays promcheck-clean with the new scrape families and at
+/// least one exemplar once predicts have flowed.
+#[test]
+fn metrics_scrape_families_and_exemplars_pass_promcheck() {
+    let _guard = lock_faults();
+    let handle = serve_with(obs_config());
+    let addr = handle.addr();
+    for _ in 0..5 {
+        predict_ok(addr);
+    }
+
+    // The first scrape records its own latency/size; the second sees it.
+    let _ = http(addr, "GET", "/metrics", "");
+    let (status, body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("dfp_scrape_seconds_bucket"), "scrape latency");
+    assert!(body.contains("dfp_scrape_bytes"), "scrape payload size");
+    assert!(body.contains("dfp_slo_burn_rate"), "burn-rate gauges");
+    assert!(
+        body.contains("request_id=\""),
+        "predict histogram must carry an exemplar"
+    );
+    let stats = match dfp_obs::promcheck::check(&body) {
+        Ok(stats) => stats,
+        Err(errors) => panic!("promcheck violations: {errors:?}"),
+    };
+    assert!(stats.exemplars >= 1, "promcheck must count the exemplar");
+    handle.shutdown();
+}
+
+/// `DFP_TSDB=0` (here: `with_tsdb(false)`) removes the whole temporal
+/// surface: no collector, and the four routes answer 404.
+#[test]
+fn disabled_tsdb_removes_temporal_routes() {
+    let _guard = lock_faults();
+    let handle = serve_with(obs_config().with_tsdb(false));
+    let addr = handle.addr();
+    assert!(handle.obs().is_none());
+    predict_ok(addr);
+    for path in ["/alerts", "/metrics/history", "/debug/traces", "/dashboard"] {
+        let (status, body) = http(addr, "GET", path, "");
+        assert_eq!(status, 404, "{path} must 404 when the TSDB is off");
+        assert!(body.contains("tsdb disabled"), "{path}: {body}");
+    }
+    // The classic surfaces are untouched.
+    let (status, _) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    handle.shutdown();
+}

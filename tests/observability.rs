@@ -1,9 +1,10 @@
 //! The observability layer's two contracts:
 //!
-//! 1. **Inertness** — enabling span tracing never changes a result. Mined
-//!    feature sets, MMRFS selections (bit-equal relevance scores), and CV
-//!    accuracies must be identical with tracing on vs off, at 1 and 4
-//!    threads (proptest-enforced).
+//! 1. **Inertness** — enabling span tracing (and the whole temporal stack:
+//!    TSDB collector thread plus tail sampler) never changes a result.
+//!    Mined feature sets, MMRFS selections (bit-equal relevance scores),
+//!    and CV accuracies must be identical with observability on vs off, at
+//!    1 and 4 threads (proptest-enforced).
 //! 2. **Well-formedness** — a traced pipeline run emits JSONL where every
 //!    line parses, spans carry monotone intervals, parents exist on the
 //!    same thread and contain their children, and the global `/metrics`
@@ -117,6 +118,68 @@ proptest! {
                     let feats = mine_features(&ts, &mine_cfg).unwrap();
                     let sel = mmrfs(&ts, &feats, &sel_cfg);
                     (feats, sel)
+                })
+            });
+            prop_assert_eq!(&off.0, &on.0, "mined features differ at {} threads", threads);
+            prop_assert_eq!(&off.1.selected, &on.1.selected);
+            prop_assert_eq!(off.1.fully_covered, on.1.fully_covered);
+            let off_bits: Vec<u64> = off.1.relevance.iter().map(|x| x.to_bits()).collect();
+            let on_bits: Vec<u64> = on.1.relevance.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(off_bits, on_bits);
+        }
+    }
+}
+
+/// Runs `f` with the whole temporal stack live — a fast-ticking TSDB
+/// collector sampling the global registry, and an enabled tail sampler
+/// whose capture lifecycle runs around `f` — then tears it all down.
+fn with_temporal_stack<R>(f: impl FnOnce() -> R) -> R {
+    let tsdb = std::sync::Arc::new(dfpc::obs::Tsdb::new(
+        &dfpc::obs::TsdbConfig::default()
+            .with_interval(std::time::Duration::from_millis(5))
+            .with_retain(std::time::Duration::from_secs(60)),
+    ));
+    let sources: Vec<dfpc::obs::tsdb::Source> =
+        vec![Box::new(|| dfpc::obs::metrics::global().snapshot())];
+    let collector =
+        dfpc::obs::tsdb::Collector::start(std::sync::Arc::clone(&tsdb), sources, vec![])
+            .expect("collector starts");
+    let sampler = dfpc::obs::TailSampler::new(8);
+    sampler.set_slow_threshold_ns(1); // keep everything: maximum pressure
+    let mut capture = sampler.begin().expect("enabled sampler hands out captures");
+    let started = std::time::Instant::now();
+    let r = f();
+    capture.mark_since("work", started);
+    sampler.finish(capture, "inert-test", "TEST", "/inert", 200, 0);
+    assert_eq!(sampler.traces().len(), 1, "slow-keep must retain the run");
+    drop(collector);
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The full temporal stack (collector thread + tail sampler + span
+    /// tracing) is inert: mining and MMRFS results are bit-identical with
+    /// the stack running vs absent, sequential and parallel.
+    #[test]
+    fn temporal_stack_is_inert_for_mining_and_selection(ts in random_labelled_db()) {
+        let _guard = lock_env();
+        let mine_cfg = MiningConfig::with_min_sup(0.2);
+        let sel_cfg = MmrfsConfig::default();
+        for threads in [1usize, 4] {
+            let off = with_threads(threads, || {
+                let feats = mine_features(&ts, &mine_cfg).unwrap();
+                let sel = mmrfs(&ts, &feats, &sel_cfg);
+                (feats, sel)
+            });
+            let on = with_temporal_stack(|| {
+                with_tracing("inert-tsdb", || {
+                    with_threads(threads, || {
+                        let feats = mine_features(&ts, &mine_cfg).unwrap();
+                        let sel = mmrfs(&ts, &feats, &sel_cfg);
+                        (feats, sel)
+                    })
                 })
             });
             prop_assert_eq!(&off.0, &on.0, "mined features differ at {} threads", threads);

@@ -1,0 +1,268 @@
+//! Windowed math in the in-process TSDB, checked three ways:
+//!
+//! 1. **Quantile correctness (proptest)** — for random observation sets,
+//!    the windowed p50/p90/p99 computed from the difference of ring
+//!    snapshots must equal a direct [`dfp_obs::tsdb::bucket_quantile`]
+//!    recompute over the exact cumulative buckets, and the windowed
+//!    count/sum must match the raw observations exactly.
+//! 2. **Burn-rate golden fixtures** — hand-computed error ratios at window
+//!    boundaries must produce exactly the burn rates (and firing
+//!    transitions) the SLO engine reports.
+//! 3. **Ring regressions** — wraparound, retention eviction, counter-reset
+//!    handling, and the clamped-window semantics around the oldest retained
+//!    point.
+
+use dfp_obs::metrics::Registry;
+use dfp_obs::slo::{BurnRule, SloEngine, SloSpec};
+use dfp_obs::tsdb::{bucket_quantile, counter_delta, Tsdb, TsdbConfig};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn tsdb(interval_ms: u64, retain_ms: u64) -> Tsdb {
+    Tsdb::new(
+        &TsdbConfig::default()
+            .with_interval(Duration::from_millis(interval_ms))
+            .with_retain(Duration::from_millis(retain_ms)),
+    )
+}
+
+const BOUNDS: [f64; 5] = [0.0001, 0.001, 0.01, 0.1, 1.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Windowed quantiles == a direct recompute over the same cumulative
+    /// buckets, for any observation set.
+    #[test]
+    fn windowed_quantiles_match_exact_recompute(
+        nanos in prop::collection::vec(1u64..=2_000_000_000, 1..120),
+    ) {
+        let r = Registry::new();
+        let h = r.histogram("tw_lat_seconds", "t", &BOUNDS);
+        let store = tsdb(1000, 3_600_000);
+        // Empty baseline tick: windowed increases only see observations
+        // recorded after the first sample point.
+        store.ingest(1_000, r.snapshot());
+        for &n in &nanos {
+            h.observe_nanos(n);
+        }
+        store.ingest(2_000, r.snapshot());
+
+        let q = store
+            .window_quantiles("tw_lat_seconds", "", 60_000, 2_000)
+            .expect("two points retained");
+        prop_assert_eq!(q.count, nanos.len() as u64);
+        prop_assert_eq!(q.sum_nanos, nanos.iter().sum::<u64>());
+
+        // Exact recompute straight from the live snapshot (the window's
+        // base is the all-zero baseline, so the difference IS the
+        // snapshot).
+        let snap = h.snapshot();
+        for (want, got) in [
+            (bucket_quantile(&snap.bounds, &snap.cumulative, 0.50), q.p50),
+            (bucket_quantile(&snap.bounds, &snap.cumulative, 0.90), q.p90),
+            (bucket_quantile(&snap.bounds, &snap.cumulative, 0.99), q.p99),
+            (bucket_quantile(&snap.bounds, &snap.cumulative, 0.999), q.p999),
+        ] {
+            prop_assert!(
+                (want - got).abs() <= 1e-12 * want.abs().max(1.0),
+                "want {want}, got {got}"
+            );
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by the largest finite bound.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        nanos in prop::collection::vec(1u64..=3_000_000_000, 1..80),
+        qs in prop::collection::vec(0.0f64..=1.0, 2..6),
+    ) {
+        let r = Registry::new();
+        let h = r.histogram("twm_lat_seconds", "t", &BOUNDS);
+        for &n in &nanos {
+            h.observe_nanos(n);
+        }
+        let snap = h.snapshot();
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        let values: Vec<f64> = qs
+            .iter()
+            .map(|&q| bucket_quantile(&snap.bounds, &snap.cumulative, q))
+            .collect();
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles must be monotone: {values:?}");
+        }
+        for v in &values {
+            prop_assert!(*v <= BOUNDS[BOUNDS.len() - 1] + 1e-12);
+        }
+    }
+}
+
+/// Hand-computed burn rates at exact window boundaries.
+///
+/// Objective 0.9 → error budget 0.1. A tick with 50 errors out of 100
+/// requests is a ratio of 0.5 → burn 5.0 on both the 1 s and 2 s windows
+/// (the long window clamps to the oldest retained point). Factor 4 →
+/// firing. The next tick adds 100 clean requests → short-window burn 0 →
+/// resolved.
+#[test]
+fn burn_rate_golden_fixture_fires_and_resolves() {
+    let r = Registry::new();
+    let total = r.counter("twg_requests_total", "t");
+    let errors = r.counter("twg_errors_total", "t");
+    let store = tsdb(1000, 3_600_000);
+
+    let spec =
+        SloSpec::new("golden", 0.9, "twg_requests_total", "twg_errors_total").with_rules(vec![
+            BurnRule {
+                severity: "page".to_string(),
+                short_ms: 1_000,
+                long_ms: 2_000,
+                factor: 4.0,
+            },
+        ]);
+    let engine = SloEngine::new(vec![spec], &r);
+
+    store.ingest(1_000, r.snapshot());
+    total.add(100);
+    errors.add(50);
+    store.ingest(2_000, r.snapshot());
+    engine.evaluate(&store, 2_000);
+
+    let alerts = engine.alerts();
+    assert_eq!(alerts.len(), 1);
+    let a = &alerts[0];
+    assert!(a.firing, "burn 5.0 > factor 4.0 must fire");
+    assert!(
+        (a.burn_short - 5.0).abs() < 1e-9,
+        "short burn {}",
+        a.burn_short
+    );
+    assert!(
+        (a.burn_long - 5.0).abs() < 1e-9,
+        "long burn {}",
+        a.burn_long
+    );
+    assert_eq!(engine.firing_count(), 1);
+
+    // Recovery: clean traffic only. The 1 s short window sees 100 new
+    // requests and 0 new errors → burn 0 → both-windows rule stops firing.
+    total.add(100);
+    store.ingest(3_000, r.snapshot());
+    engine.evaluate(&store, 3_000);
+    let alerts = engine.alerts();
+    assert!(
+        !alerts[0].firing,
+        "clean short window must resolve the alert"
+    );
+    assert!(alerts[0].burn_short.abs() < 1e-9);
+    assert_eq!(engine.firing_count(), 0);
+}
+
+/// A burn exactly at the factor does not fire (strictly-greater contract),
+/// and one infinitesimally above does.
+#[test]
+fn burn_rate_threshold_is_strictly_greater() {
+    let r = Registry::new();
+    let total = r.counter("twt_requests_total", "t");
+    let errors = r.counter("twt_errors_total", "t");
+    let store = tsdb(1000, 3_600_000);
+    // budget 0.5, factor 1.0: ratio 0.5 → burn exactly 1.0.
+    let spec =
+        SloSpec::new("edge", 0.5, "twt_requests_total", "twt_errors_total").with_rules(vec![
+            BurnRule {
+                severity: "page".to_string(),
+                short_ms: 1_000,
+                long_ms: 2_000,
+                factor: 1.0,
+            },
+        ]);
+    let engine = SloEngine::new(vec![spec], &r);
+    store.ingest(1_000, r.snapshot());
+    total.add(100);
+    errors.add(50);
+    store.ingest(2_000, r.snapshot());
+    engine.evaluate(&store, 2_000);
+    assert_eq!(engine.firing_count(), 0, "burn == factor must not fire");
+
+    // 25 more requests, all failing: the short window's ratio is 25/25 =
+    // 1.0 → burn 2.0 > factor 1.0.
+    total.add(25);
+    errors.add(25);
+    store.ingest(3_000, r.snapshot());
+    engine.evaluate(&store, 3_000);
+    assert_eq!(engine.firing_count(), 1, "burn 2.0 > 1.0 must fire");
+}
+
+/// The per-series ring wraps: capacity = retain/interval + 1, older points
+/// fall off, and windows clamp to the oldest retained point.
+#[test]
+fn ring_wraparound_evicts_and_clamps() {
+    let r = Registry::new();
+    let c = r.counter("twr_ticks_total", "t");
+    // retain 1 s @ 100 ms → capacity 11.
+    let store = tsdb(100, 1_000);
+    for i in 1..=50u64 {
+        c.add(10);
+        store.ingest(i * 100, r.snapshot());
+    }
+    let len = store
+        .series_len("twr_ticks_total", "")
+        .expect("series exists");
+    assert!(len <= 11, "ring must be bounded by capacity, got {len}");
+
+    // The full-retention window clamps to the oldest retained point: 10
+    // increments of 10 between the oldest (t=4000, value 400) and newest
+    // (t=5000, value 500) retained points.
+    let (increase, span_ms) = store
+        .counter_increase("twr_ticks_total", "", 3_600_000, 5_000)
+        .expect("window answerable");
+    assert_eq!(increase, 100);
+    assert!(
+        span_ms <= 1_000,
+        "span must sit inside retention, got {span_ms}"
+    );
+}
+
+/// Retention eviction is by timestamp, not only by count.
+#[test]
+fn old_points_evicted_by_retention_horizon() {
+    let r = Registry::new();
+    let g = r.gauge("twe_level", "t");
+    let store = tsdb(100, 1_000);
+    g.set(1);
+    store.ingest(1_000, r.snapshot());
+    g.set(2);
+    // A big time jump: the first point is now far past the horizon.
+    store.ingest(100_000, r.snapshot());
+    assert_eq!(store.series_len("twe_level", ""), Some(1));
+    assert_eq!(store.gauge_last("twe_level", ""), Some(2.0));
+}
+
+/// Counter resets answer the post-reset value, not a negative delta.
+#[test]
+fn counter_reset_yields_post_reset_increase() {
+    assert_eq!(counter_delta(10, 3), 7);
+    assert_eq!(
+        counter_delta(3, 10),
+        3,
+        "reset: increase is the later value"
+    );
+    assert_eq!(counter_delta(0, 0), 0);
+}
+
+/// A single retained point answers `None` — never a fabricated rate.
+#[test]
+fn single_point_window_is_unanswerable() {
+    let r = Registry::new();
+    let c = r.counter("tws_one_total", "t");
+    let store = tsdb(1000, 3_600_000);
+    c.add(5);
+    store.ingest(1_000, r.snapshot());
+    assert!(store
+        .counter_increase("tws_one_total", "", 60_000, 1_000)
+        .is_none());
+    assert!(store
+        .window_quantiles("tws_one_total", "", 60_000, 1_000)
+        .is_none());
+}
