@@ -1,0 +1,351 @@
+//! Connection-scaling benchmark: `serve_connections`.
+//!
+//! Measures what the epoll readiness loop buys over the threaded blocking
+//! core: the event loop parks thousands of idle keep-alive connections on a
+//! slab entry each (no thread, no worker), then answers fresh requests with
+//! latency comparable to the threaded core serving at low concurrency.
+//!
+//! Procedure:
+//!   1. threaded baseline — sequential probe requests, p50/p99 per request;
+//!   2. event loop — open `CONNS` keep-alive connections (each completes one
+//!      request, then parks), confirm `dfp_serve_open_connections` sees them
+//!      and record the RSS cost, then run the identical probe with the whole
+//!      herd still parked.
+//!
+//! `DFP_FAST=1` shrinks the herd and the probe to CI-smoke size. The herd's
+//! client ends live in a re-exec'd child process (`--herd`), so each side
+//! needs only `CONNS` + change file descriptors and the recorded RSS delta
+//! is the server process alone.
+//!
+//! Writes `BENCH_serve_connections.json` at the workspace root.
+
+use dfp_bench::report::{self, Json, Table};
+use dfp_core::{FrameworkConfig, PatternClassifier};
+use dfp_data::dataset::{categorical_dataset, Dataset};
+use dfp_serve::{ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// (a0=v1, a1=v1) → c0 and (a0=v1, a1=v2) → c1; a2 is noise. Tiny on
+/// purpose: the model must be cheap so the probe times the transport, not
+/// the classifier.
+fn confusable() -> Dataset {
+    let mut rows: Vec<(Vec<u32>, u32)> = Vec::new();
+    for i in 0..60u32 {
+        let (vals, label) = if i % 2 == 0 {
+            (vec![1, 1, i % 3], 0)
+        } else {
+            (vec![1, 2, i % 3], 1)
+        };
+        rows.push((vals, label));
+    }
+    let borrowed: Vec<(&[u32], u32)> = rows.iter().map(|(v, l)| (&v[..], *l)).collect();
+    categorical_dataset(&[3, 3, 3], 2, &borrowed)
+}
+
+fn serve(event_loop: bool, max_conns: usize) -> ServerHandle {
+    let data = confusable();
+    let fitted = PatternClassifier::fit(&data, &FrameworkConfig::pat_fs()).expect("fit");
+    let cfg = ServerConfig::default()
+        .with_threads(2)
+        .with_event_loop(event_loop)
+        .with_max_conns(max_conns);
+    dfp_serve::serve_with_config(fitted, "127.0.0.1:0", cfg).expect("bind")
+}
+
+/// One full request over a fresh connection (connect → send → read to EOF),
+/// i.e. the accept path is billed too — that is where the cores differ.
+fn probe_once(addr: SocketAddr) -> Duration {
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(b"POST /predict HTTP/1.1\r\nHost: b\r\nContent-Length: 9\r\nConnection: close\r\n\r\nv1,v1,v0\n")
+        .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("recv");
+    assert!(response.starts_with("HTTP/1.1 200 "), "{response}");
+    assert!(response.ends_with("c0\n"), "{response}");
+    start.elapsed()
+}
+
+/// Sequential probe; returns per-request latencies.
+fn probe(addr: SocketAddr, n: usize) -> Vec<Duration> {
+    (0..n).map(|_| probe_once(addr)).collect()
+}
+
+/// Reads one Content-Length-framed response without closing the socket.
+fn read_keep_alive_response(stream: &mut TcpStream) -> String {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 2048];
+    let head_end = loop {
+        if let Some(p) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break p + 4;
+        }
+        let n = stream.read(&mut chunk).expect("read head");
+        assert!(n > 0, "connection closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+    let cl: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length header")
+        .trim()
+        .parse()
+        .expect("numeric Content-Length");
+    while buf.len() < head_end + cl {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "connection closed mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    head
+}
+
+/// Opens `n` keep-alive connections; each completes one `/healthz` exchange
+/// and then sits idle. Parallel openers keep wall time reasonable.
+fn park_connections(addr: SocketAddr, n: usize) -> Vec<TcpStream> {
+    const OPENERS: usize = 32;
+    let per = n.div_ceil(OPENERS);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..OPENERS)
+            .map(|o| {
+                let mine = per.min(n.saturating_sub(o * per));
+                s.spawn(move || {
+                    let mut conns = Vec::with_capacity(mine);
+                    for _ in 0..mine {
+                        let mut stream = TcpStream::connect(addr).expect("connect");
+                        stream
+                            .set_read_timeout(Some(Duration::from_secs(30)))
+                            .unwrap();
+                        stream
+                            .write_all(b"GET /healthz HTTP/1.1\r\nHost: b\r\n\r\n")
+                            .expect("send");
+                        let head = read_keep_alive_response(&mut stream);
+                        assert!(head.starts_with("HTTP/1.1 200 "), "{head}");
+                        conns.push(stream);
+                    }
+                    conns
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("opener"))
+            .collect()
+    })
+}
+
+/// Child mode: park the herd against the given address, announce readiness
+/// on stdout, and hold every socket open until the parent closes our stdin.
+/// A separate process keeps the fd budget per-process and keeps the herd's
+/// client-side buffers out of the server's RSS measurement.
+fn run_herd(addr: SocketAddr, n: usize) -> ! {
+    let parked = park_connections(addr, n);
+    println!("READY {}", parked.len());
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink); // blocks until parent closes the pipe
+    drop(parked);
+    std::process::exit(0);
+}
+
+/// Parent side: spawn this same binary in `--herd` mode and wait for it to
+/// report all connections parked. Dropping the returned child's stdin (via
+/// `release_herd`) lets it exit.
+fn spawn_herd(addr: SocketAddr, n: usize) -> std::process::Child {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = std::process::Command::new(exe)
+        .arg("--herd")
+        .arg(addr.to_string())
+        .arg(n.to_string())
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn herd child");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut std::io::BufReader::new(stdout), &mut line)
+        .expect("read child readiness");
+    assert!(
+        line.starts_with("READY "),
+        "herd child failed before parking: {line:?}"
+    );
+    let ready: usize = line[6..].trim().parse().expect("herd count");
+    assert_eq!(ready, n, "herd parked {ready} of {n} connections");
+    child
+}
+
+fn release_herd(mut child: std::process::Child) {
+    drop(child.stdin.take()); // EOF on the child's stdin releases the herd
+    let status = child.wait().expect("herd child exit");
+    assert!(status.success(), "herd child exited with {status}");
+}
+
+/// Scrapes `/metrics` over a fresh connection and extracts one value.
+fn metric(addr: SocketAddr, name: &str) -> i64 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n")
+        .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("recv");
+    response
+        .lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .unwrap_or_else(|| panic!("{name} missing from /metrics"))
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap_or_else(|_| panic!("{name} is not numeric"))
+}
+
+/// Resident set size of this (server) process in kilobytes, from /proc.
+/// The herd's client ends live in the child, so the delta across parking
+/// is the server-side cost alone. Zero where /proc is unavailable.
+fn vm_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 4 && args[1] == "--herd" {
+        let addr: SocketAddr = args[2].parse().expect("herd addr");
+        let n: usize = args[3].parse().expect("herd size");
+        run_herd(addr, n);
+    }
+
+    let fast = std::env::var("DFP_FAST").map(|v| v == "1").unwrap_or(false);
+    let conns = if fast { 256 } else { 10_240 };
+    let probes = if fast { 40 } else { 400 };
+
+    // --- Threaded baseline: probe latency with no parked herd. ---
+    let handle = serve(false, conns + 64);
+    let addr = handle.addr();
+    let _ = probe(addr, probes / 4); // warm-up, not billed
+    let mut threaded = probe(addr, probes);
+    handle.shutdown();
+    threaded.sort();
+    let threaded_p50 = percentile(&threaded, 0.50);
+    let threaded_p99 = percentile(&threaded, 0.99);
+
+    // --- Event loop: park the herd, then run the identical probe. ---
+    let handle = serve(true, conns + 64);
+    let addr = handle.addr();
+    let rss_before = vm_rss_kb();
+    let open_start = Instant::now();
+    let herd = spawn_herd(addr, conns);
+    let open_secs = open_start.elapsed().as_secs_f64();
+    let rss_after = vm_rss_kb();
+
+    let open_gauge = metric(addr, "dfp_serve_open_connections");
+    assert!(
+        open_gauge >= conns as i64,
+        "gauge {open_gauge} < parked {conns}"
+    );
+
+    let _ = probe(addr, probes / 4); // warm-up, not billed
+    let mut event = probe(addr, probes);
+    event.sort();
+    let event_p50 = percentile(&event, 0.50);
+    let event_p99 = percentile(&event, 0.99);
+
+    release_herd(herd);
+    handle.shutdown();
+
+    let p99_ratio = micros(event_p99) / micros(threaded_p99).max(1e-9);
+    let rss_delta_kb = rss_after.saturating_sub(rss_before);
+    let kb_per_conn = rss_delta_kb as f64 / conns as f64;
+
+    let mut table = Table::new(vec!["core", "parked conns", "p50 µs", "p99 µs"]);
+    table.row(vec![
+        "threaded".to_string(),
+        "0".to_string(),
+        format!("{:.0}", micros(threaded_p50)),
+        format!("{:.0}", micros(threaded_p99)),
+    ]);
+    table.row(vec![
+        "event loop".to_string(),
+        format!("{conns}"),
+        format!("{:.0}", micros(event_p50)),
+        format!("{:.0}", micros(event_p99)),
+    ]);
+    table.print();
+    println!(
+        "parked {conns} keep-alive connections in {open_secs:.2}s \
+         ({rss_delta_kb} kB server RSS, {kb_per_conn:.1} kB/conn)"
+    );
+    println!("p99 ratio (event with herd / threaded idle): {p99_ratio:.2}x");
+
+    let json = Json::obj(vec![
+        (
+            "workload",
+            Json::obj(vec![
+                ("connections", Json::Int(conns as u64)),
+                ("probe_requests", Json::Int(probes as u64)),
+                ("fast", Json::Int(u64::from(fast))),
+            ]),
+        ),
+        (
+            "threaded",
+            Json::obj(vec![
+                ("p50_us", Json::Num(micros(threaded_p50))),
+                ("p99_us", Json::Num(micros(threaded_p99))),
+            ]),
+        ),
+        (
+            "event_loop",
+            Json::obj(vec![
+                ("parked_connections", Json::Int(conns as u64)),
+                ("open_connections_gauge", Json::Int(open_gauge as u64)),
+                ("open_seconds", Json::Num(open_secs)),
+                ("p50_us", Json::Num(micros(event_p50))),
+                ("p99_us", Json::Num(micros(event_p99))),
+                ("rss_delta_kb", Json::Int(rss_delta_kb)),
+                ("kb_per_connection", Json::Num(kb_per_conn)),
+            ]),
+        ),
+        ("p99_ratio", Json::Num(p99_ratio)),
+    ]);
+    let path = report::write_root_json("BENCH_serve_connections", &json).expect("write report");
+    println!("wrote {}", path.display());
+
+    // The readiness loop must hold the full herd AND stay competitive on
+    // fresh-request latency. The ratio floor is checked on the full-size
+    // run only; smoke herds are too small to smooth scheduler noise.
+    if !fast {
+        assert!(
+            conns >= 10_000,
+            "full run must park at least 10k connections"
+        );
+        assert!(
+            p99_ratio <= 1.5,
+            "event-loop p99 {:.0}µs is more than 1.5x the threaded baseline {:.0}µs",
+            micros(event_p99),
+            micros(threaded_p99)
+        );
+    }
+}

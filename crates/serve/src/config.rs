@@ -74,6 +74,22 @@ pub struct ServerConfig {
     /// Tail-sampled trace reservoir capacity (`DFP_TAIL_CAP`, default 64);
     /// `DFP_TAIL=0/off/false` forces it to `0`, which disables capture.
     pub tail_capacity: usize,
+    /// Whether the nonblocking readiness loop replaces the thread-per-
+    /// connection accept path (`DFP_SERVE_EVENT_LOOP`; `1`/`on`/`true`
+    /// enables). The env variable is read by `Default` too, so one export
+    /// flips every server a test suite builds. Falls back to the threaded
+    /// core when the reactor cannot start (non-Linux, epoll failure).
+    pub event_loop: bool,
+    /// Most concurrent connections the readiness loop holds open
+    /// (`DFP_SERVE_MAX_CONNS`); further accepts are answered `503` and
+    /// closed. Idle keep-alive connections count against this, not against
+    /// worker threads. Ignored by the threaded core.
+    pub max_conns: usize,
+    /// Longest a connection may dawdle between its first byte and a
+    /// complete request head+body before the readiness loop answers `408`
+    /// and closes it (`DFP_SERVE_HEAD_TIMEOUT_MS`). This is the slowloris
+    /// guard; idle keep-alive connections between requests are untimed.
+    pub head_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +112,9 @@ impl Default for ServerConfig {
             slo_file: None,
             slos: Vec::new(),
             tail_capacity: 64,
+            event_loop: env_flag("DFP_SERVE_EVENT_LOOP"),
+            max_conns: 10_240,
+            head_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -164,6 +183,12 @@ impl ServerConfig {
         }
         if let Some(n) = env_u64("DFP_TAIL_CAP") {
             cfg.tail_capacity = n as usize;
+        }
+        if let Some(n) = env_u64("DFP_SERVE_MAX_CONNS") {
+            cfg.max_conns = (n as usize).max(1);
+        }
+        if let Some(ms) = env_u64("DFP_SERVE_HEAD_TIMEOUT_MS") {
+            cfg.head_timeout = Duration::from_millis(ms.max(1));
         }
         if let Ok(v) = std::env::var("DFP_TAIL") {
             let v = v.trim().to_ascii_lowercase();
@@ -278,6 +303,26 @@ impl ServerConfig {
         self
     }
 
+    /// Selects the nonblocking readiness loop (`true`) or the threaded
+    /// accept path (`false`) regardless of `DFP_SERVE_EVENT_LOOP`.
+    pub fn with_event_loop(mut self, on: bool) -> Self {
+        self.event_loop = on;
+        self
+    }
+
+    /// Replaces the readiness loop's concurrent-connection cap.
+    pub fn with_max_conns(mut self, n: usize) -> Self {
+        self.max_conns = n.max(1);
+        self
+    }
+
+    /// Replaces the slowloris guard: the budget from a connection's first
+    /// byte to a complete request.
+    pub fn with_head_timeout(mut self, d: Duration) -> Self {
+        self.head_timeout = d.max(Duration::from_millis(1));
+        self
+    }
+
     /// The resolved worker count.
     pub fn resolved_threads(&self) -> usize {
         if self.threads == 0 {
@@ -290,6 +335,18 @@ impl ServerConfig {
 
 fn env_u64(name: &str) -> Option<u64> {
     std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// `1`/`on`/`true` (case-insensitive) turn the flag on; everything else —
+/// including unset — leaves it off.
+fn env_flag(name: &str) -> bool {
+    match std::env::var(name) {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            v == "1" || v == "on" || v == "true"
+        }
+        Err(_) => false,
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +388,20 @@ mod tests {
         assert_eq!(cfg.queue_depth, 1);
         assert_eq!(cfg.max_rows, 1);
         assert_eq!(cfg.batch_max, 1);
+    }
+
+    #[test]
+    fn reactor_knobs_default_sane() {
+        let cfg = ServerConfig::default();
+        assert!(cfg.max_conns >= 1024);
+        assert!(cfg.head_timeout >= Duration::from_millis(1));
+        let on = cfg
+            .with_event_loop(true)
+            .with_max_conns(0)
+            .with_head_timeout(Duration::ZERO);
+        assert!(on.event_loop);
+        assert_eq!(on.max_conns, 1);
+        assert_eq!(on.head_timeout, Duration::from_millis(1));
     }
 
     #[test]

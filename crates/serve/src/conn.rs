@@ -1,0 +1,445 @@
+//! The per-connection protocol state machine behind the event-driven serve
+//! core — pure by construction: bytes in, transitions plus bytes out, no
+//! sockets, no clocks, no threads.
+//!
+//! ```text
+//! Accepted → ReadingHead → ReadingBody → Queued → Writing → KeepAlive
+//!      └──────────┴─────────────┴──────────┴─────────┴────→ Closed
+//! ```
+//!
+//! The reactor feeds whatever the socket delivered into [`ConnFsm::on_bytes`]
+//! and acts on the returned [`ConnEvent`]; the compute stage answers with
+//! [`ConnFsm::respond`], and writes drain through [`ConnFsm::writable`] /
+//! [`ConnFsm::on_wrote`]. After a keep-alive response the machine re-parses
+//! any pipelined bytes it already buffered, so back-to-back requests on one
+//! connection need no extra socket reads.
+//!
+//! **Equivalence contract:** for any delivery split of the same byte stream,
+//! the machine yields exactly the [`Request`] / [`HttpError`] that the
+//! blocking [`crate::http::read_request_limited`] yields when fed that
+//! stream in its canonical ≤ 1024-byte read chunks. The head is parsed with
+//! the same [`crate::http::parse_head`], and the oversized-head check fires
+//! at the same absolute byte positions as the blocking reader's chunk loop
+//! (`HEAD_REJECT_AT`), so the outcome does not depend on how the network
+//! happened to fragment the bytes. `tests/conn_fsm.rs` proves the
+//! equivalence under arbitrary byte-boundary splits.
+
+use crate::http::{find_head_end, parse_head, HttpError, ParsedHead, Request, MAX_HEAD};
+
+/// The blocking reader's read-chunk granularity (its stack buffer size).
+const FEED_STEP: usize = 1024;
+
+/// First absolute buffered-byte count at which an unterminated head is
+/// rejected: the first whole read-chunk boundary past [`MAX_HEAD`], which is
+/// where the blocking reader's `find → check → read` loop notices the
+/// overrun. Checking at this boundary (rather than at arbitrary delivery
+/// boundaries) is what makes the machine split-invariant.
+const HEAD_REJECT_AT: usize = MAX_HEAD + FEED_STEP - (MAX_HEAD % FEED_STEP) % FEED_STEP;
+
+/// Where a connection is in its request/response lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Accepted, no bytes seen yet.
+    Accepted,
+    /// Collecting request-line + header bytes.
+    ReadingHead,
+    /// Head parsed; collecting `Content-Length` body bytes.
+    ReadingBody,
+    /// A complete request was handed to the compute stage; awaiting its
+    /// response. Input keeps buffering but is not parsed.
+    Queued,
+    /// Draining response bytes to the peer.
+    Writing,
+    /// Response written, connection reusable, waiting for the next request.
+    KeepAlive,
+    /// Terminal: the connection is (to be) closed.
+    Closed,
+}
+
+/// What the machine wants the reactor to do after a feed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ConnEvent {
+    /// Nothing actionable yet — wait for more readiness.
+    Continue,
+    /// A complete request; dispatch it to the compute stage. The machine is
+    /// now [`ConnState::Queued`] and expects [`ConnFsm::respond`].
+    Request(Box<Request>),
+    /// The bytes could not be parsed into a request. The machine is
+    /// [`ConnState::Queued`]: answer via [`ConnFsm::respond`] (with
+    /// `keep_alive = false`) and the connection closes after the write.
+    Reject(HttpError),
+    /// Close the connection without answering (peer vanished mid-request —
+    /// the blocking path's `HttpError::Io`). The machine is
+    /// [`ConnState::Closed`].
+    Close,
+}
+
+/// What to do once a write made progress.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WriteProgress {
+    /// Bytes remain; keep write readiness armed.
+    Pending,
+    /// Response fully written and the exchange said close — close the
+    /// socket now.
+    Done,
+    /// Response fully written, connection kept alive. Carries the result of
+    /// re-parsing any already-buffered pipelined bytes: `Continue` to wait
+    /// for more input, or immediately the next `Request`/`Reject`.
+    Next(ConnEvent),
+}
+
+/// The pure connection state machine. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct ConnFsm {
+    state: ConnState,
+    /// Unconsumed inbound bytes (head + partial body of the request being
+    /// parsed, plus any pipelined follow-up requests).
+    buf: Vec<u8>,
+    /// How many of `buf`'s bytes were already scanned for the head
+    /// terminator (resume point, keeps repeated scans linear).
+    scanned: usize,
+    /// The parsed head once the terminator was found.
+    head: Option<ParsedHead>,
+    /// Offset in `buf` where the body starts (head terminator consumed).
+    body_start: usize,
+    /// Whether this exchange keeps the connection open afterwards; decided
+    /// at head parse from the request, finalized by [`Self::respond`].
+    keep_alive: bool,
+    /// The response being drained.
+    write_buf: Vec<u8>,
+    written: usize,
+    max_body: usize,
+}
+
+impl ConnFsm {
+    /// A fresh machine for one accepted connection. `max_body` mirrors
+    /// [`crate::ServerConfig::max_body_bytes`].
+    pub fn new(max_body: usize) -> Self {
+        ConnFsm {
+            state: ConnState::Accepted,
+            buf: Vec::new(),
+            scanned: 0,
+            head: None,
+            body_start: 0,
+            keep_alive: false,
+            write_buf: Vec::new(),
+            written: 0,
+            max_body,
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ConnState {
+        self.state
+    }
+
+    /// Whether the current request said the connection may be reused.
+    /// Meaningful from the moment a [`ConnEvent::Request`] is emitted.
+    pub fn wants_keep_alive(&self) -> bool {
+        self.keep_alive
+    }
+
+    /// Whether unconsumed inbound bytes are buffered (pipelined data).
+    pub fn has_buffered_input(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Feeds bytes the socket delivered. Valid in `Accepted`,
+    /// `ReadingHead`, `ReadingBody`, `KeepAlive` (starts the next request)
+    /// and `Queued`/`Writing` (bytes buffer unparsed until the exchange
+    /// completes).
+    pub fn on_bytes(&mut self, bytes: &[u8]) -> ConnEvent {
+        if self.state == ConnState::Closed {
+            return ConnEvent::Continue;
+        }
+        self.buf.extend_from_slice(bytes);
+        if matches!(self.state, ConnState::Accepted | ConnState::KeepAlive) {
+            self.state = ConnState::ReadingHead;
+        }
+        if matches!(self.state, ConnState::Queued | ConnState::Writing) {
+            // Mid-exchange: hold the bytes, parse after the response.
+            return ConnEvent::Continue;
+        }
+        self.advance()
+    }
+
+    /// The peer closed its half of the connection. Between requests this is
+    /// a clean goodbye; mid-request it matches the blocking reader: an
+    /// over-limit unterminated head is still a [`HttpError::TooLarge`]
+    /// rejection (the blocking loop notices the overrun before it would hit
+    /// EOF), anything else is its silent `HttpError::Io` close.
+    pub fn on_eof(&mut self) -> ConnEvent {
+        match self.state {
+            ConnState::Queued | ConnState::Writing | ConnState::Closed => ConnEvent::Continue,
+            ConnState::ReadingHead if self.buf.len() > MAX_HEAD => self.reject(HttpError::TooLarge),
+            _ => {
+                self.state = ConnState::Closed;
+                ConnEvent::Close
+            }
+        }
+    }
+
+    /// Installs the rendered response for the queued exchange and starts
+    /// the write phase. `keep_alive` false forces a close after the write
+    /// regardless of what the request asked for (error responses close).
+    pub fn respond(&mut self, bytes: Vec<u8>, keep_alive: bool) {
+        debug_assert_eq!(self.state, ConnState::Queued, "respond() without a request");
+        self.keep_alive = self.keep_alive && keep_alive;
+        self.write_buf = bytes;
+        self.written = 0;
+        self.state = ConnState::Writing;
+    }
+
+    /// The bytes still to be written to the socket.
+    pub fn writable(&self) -> &[u8] {
+        &self.write_buf[self.written..]
+    }
+
+    /// Records that `n` bytes of [`Self::writable`] reached the socket.
+    pub fn on_wrote(&mut self, n: usize) -> WriteProgress {
+        debug_assert_eq!(self.state, ConnState::Writing, "on_wrote() outside Writing");
+        self.written += n;
+        if self.written < self.write_buf.len() {
+            return WriteProgress::Pending;
+        }
+        self.write_buf = Vec::new();
+        self.written = 0;
+        if !self.keep_alive {
+            self.state = ConnState::Closed;
+            return WriteProgress::Done;
+        }
+        self.state = ConnState::KeepAlive;
+        // Pipelined bytes may already hold the next request — re-enter the
+        // parser immediately instead of waiting for more readiness.
+        if self.buf.is_empty() {
+            WriteProgress::Next(ConnEvent::Continue)
+        } else {
+            self.state = ConnState::ReadingHead;
+            WriteProgress::Next(self.advance())
+        }
+    }
+
+    /// Runs the parser over the buffered bytes until it needs more input,
+    /// completes a request, or rejects the stream.
+    fn advance(&mut self) -> ConnEvent {
+        if self.state == ConnState::ReadingHead {
+            let Some(pos) = find_head_end_from(&self.buf, &mut self.scanned) else {
+                // No terminator yet. Reject at the same absolute position
+                // the blocking chunk loop would; arbitrary delivery splits
+                // below that boundary stay pending.
+                if self.buf.len() >= HEAD_REJECT_AT {
+                    return self.reject(HttpError::TooLarge);
+                }
+                return ConnEvent::Continue;
+            };
+            if pos + 4 > HEAD_REJECT_AT {
+                // The terminator exists but completes past the boundary.
+                // The blocking loop rejects at its `HEAD_REJECT_AT`
+                // checkpoint without ever seeing such a terminator; one
+                // large delivery must not let the FSM accept what chunked
+                // delivery would refuse.
+                return self.reject(HttpError::TooLarge);
+            }
+            match parse_head(&self.buf[..pos]) {
+                Ok(head) => {
+                    if head.content_length > self.max_body {
+                        return self.reject(HttpError::TooLarge);
+                    }
+                    self.keep_alive = head.keep_alive();
+                    self.body_start = pos + 4;
+                    self.head = Some(head);
+                    self.state = ConnState::ReadingBody;
+                }
+                Err(e) => return self.reject(e),
+            }
+        }
+        if self.state == ConnState::ReadingBody {
+            let head = self.head.as_ref().expect("head parsed in ReadingBody");
+            let body_end = self.body_start + head.content_length;
+            if self.buf.len() < body_end {
+                return ConnEvent::Continue;
+            }
+            let head = self.head.take().expect("head parsed in ReadingBody");
+            let body = self.buf[self.body_start..body_end].to_vec();
+            // Consume the request's bytes; anything beyond is pipelined
+            // input for the next exchange (the blocking path would have
+            // discarded it — but it also never kept connections alive).
+            self.buf.drain(..body_end);
+            self.scanned = 0;
+            self.body_start = 0;
+            self.state = ConnState::Queued;
+            return ConnEvent::Request(Box::new(head.into_request(body)));
+        }
+        ConnEvent::Continue
+    }
+
+    /// Parse failure: the stream is unframed from here on, so the exchange
+    /// must close. The machine still goes through `Queued` so the reactor
+    /// answers with a rendered error response before closing.
+    fn reject(&mut self, e: HttpError) -> ConnEvent {
+        self.state = ConnState::Queued;
+        self.keep_alive = false;
+        ConnEvent::Reject(e)
+    }
+}
+
+/// Incremental [`find_head_end`]: scans only bytes not yet scanned,
+/// keeping up to 3 bytes of terminator overlap across calls.
+fn find_head_end_from(buf: &[u8], scanned: &mut usize) -> Option<usize> {
+    let from = scanned.saturating_sub(3);
+    let pos = find_head_end(&buf[from..]).map(|p| p + from);
+    if pos.is_none() {
+        *scanned = buf.len();
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::DEFAULT_MAX_BODY;
+
+    #[test]
+    fn whole_buffer_request_parses_in_one_feed() {
+        let mut fsm = ConnFsm::new(DEFAULT_MAX_BODY);
+        assert_eq!(fsm.state(), ConnState::Accepted);
+        let event = fsm.on_bytes(b"POST /predict HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+        let ConnEvent::Request(req) = event else {
+            panic!("expected request, got {event:?}");
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, b"hello");
+        assert_eq!(fsm.state(), ConnState::Queued);
+        assert!(fsm.wants_keep_alive());
+    }
+
+    #[test]
+    fn one_byte_drip_walks_every_state() {
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        let mut fsm = ConnFsm::new(DEFAULT_MAX_BODY);
+        for (i, b) in raw.iter().enumerate() {
+            let event = fsm.on_bytes(std::slice::from_ref(b));
+            if i + 1 < raw.len() {
+                assert_eq!(event, ConnEvent::Continue, "byte {i}");
+                assert_eq!(fsm.state(), ConnState::ReadingHead);
+            } else {
+                let ConnEvent::Request(req) = event else {
+                    panic!("expected request at final byte");
+                };
+                assert_eq!(req.path, "/healthz");
+            }
+        }
+    }
+
+    #[test]
+    fn respond_write_close_cycle() {
+        let mut fsm = ConnFsm::new(DEFAULT_MAX_BODY);
+        fsm.on_bytes(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!fsm.wants_keep_alive());
+        fsm.respond(b"HTTP/1.1 200 OK\r\n\r\n".to_vec(), true);
+        assert_eq!(fsm.state(), ConnState::Writing);
+        let n = fsm.writable().len();
+        assert_eq!(fsm.on_wrote(n - 4), WriteProgress::Pending);
+        assert_eq!(fsm.on_wrote(4), WriteProgress::Done);
+        assert_eq!(fsm.state(), ConnState::Closed);
+    }
+
+    #[test]
+    fn pipelined_pair_yields_second_request_after_write() {
+        let mut fsm = ConnFsm::new(DEFAULT_MAX_BODY);
+        let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let ConnEvent::Request(first) = fsm.on_bytes(two) else {
+            panic!("first request expected");
+        };
+        assert_eq!(first.path, "/a");
+        assert!(fsm.has_buffered_input());
+        fsm.respond(b"x".to_vec(), true);
+        match fsm.on_wrote(1) {
+            WriteProgress::Next(ConnEvent::Request(second)) => assert_eq!(second.path, "/b"),
+            other => panic!("expected pipelined request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keep_alive_idles_between_requests() {
+        let mut fsm = ConnFsm::new(DEFAULT_MAX_BODY);
+        fsm.on_bytes(b"GET /a HTTP/1.1\r\n\r\n");
+        fsm.respond(b"x".to_vec(), true);
+        assert_eq!(fsm.on_wrote(1), WriteProgress::Next(ConnEvent::Continue));
+        assert_eq!(fsm.state(), ConnState::KeepAlive);
+        // A later second request restarts the cycle.
+        let ConnEvent::Request(req) = fsm.on_bytes(b"GET /b HTTP/1.1\r\n\r\n") else {
+            panic!("second request expected");
+        };
+        assert_eq!(req.path, "/b");
+    }
+
+    #[test]
+    fn connection_close_request_closes_even_if_engine_allows_reuse() {
+        let mut fsm = ConnFsm::new(DEFAULT_MAX_BODY);
+        fsm.on_bytes(b"GET /a HTTP/1.0\r\n\r\n");
+        fsm.respond(b"x".to_vec(), true);
+        assert_eq!(fsm.on_wrote(1), WriteProgress::Done);
+    }
+
+    #[test]
+    fn mid_body_eof_closes_without_answer() {
+        let mut fsm = ConnFsm::new(DEFAULT_MAX_BODY);
+        let event = fsm.on_bytes(b"POST /p HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc");
+        assert_eq!(event, ConnEvent::Continue);
+        assert_eq!(fsm.state(), ConnState::ReadingBody);
+        assert_eq!(fsm.on_eof(), ConnEvent::Close);
+        assert_eq!(fsm.state(), ConnState::Closed);
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_at_head_parse() {
+        let mut fsm = ConnFsm::new(4);
+        let event = fsm.on_bytes(b"POST /p HTTP/1.1\r\nContent-Length: 5\r\n\r\n");
+        assert_eq!(event, ConnEvent::Reject(HttpError::TooLarge));
+        assert!(!fsm.wants_keep_alive());
+    }
+
+    #[test]
+    fn unterminated_head_rejects_at_the_blocking_boundary() {
+        let mut fsm = ConnFsm::new(DEFAULT_MAX_BODY);
+        let mut sent = 0usize;
+        let chunk = vec![b'a'; 100];
+        loop {
+            match fsm.on_bytes(&chunk) {
+                ConnEvent::Continue => {
+                    sent += chunk.len();
+                    assert!(sent < HEAD_REJECT_AT + chunk.len(), "never rejected");
+                }
+                ConnEvent::Reject(HttpError::TooLarge) => {
+                    assert!(sent + chunk.len() >= HEAD_REJECT_AT);
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn eof_on_overlong_partial_head_is_too_large_not_io() {
+        // Between MAX_HEAD and the chunk-boundary reject point, EOF makes
+        // the blocking loop notice the overrun; the machine must match.
+        let mut fsm = ConnFsm::new(DEFAULT_MAX_BODY);
+        assert_eq!(
+            fsm.on_bytes(&vec![b'a'; MAX_HEAD + 10]),
+            ConnEvent::Continue
+        );
+        assert_eq!(fsm.on_eof(), ConnEvent::Reject(HttpError::TooLarge));
+    }
+
+    #[test]
+    fn garbage_is_rejected_like_the_blocking_reader() {
+        let mut fsm = ConnFsm::new(DEFAULT_MAX_BODY);
+        let event = fsm.on_bytes(b"NOT-HTTP\r\n\r\n");
+        assert!(
+            matches!(event, ConnEvent::Reject(HttpError::BadRequest(_))),
+            "{event:?}"
+        );
+    }
+}

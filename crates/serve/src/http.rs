@@ -1,12 +1,19 @@
 //! A deliberately minimal HTTP/1.1 subset: enough to parse the request line,
 //! headers and a `Content-Length` body, and to write plain responses. No
-//! chunked encoding, no keep-alive (every response closes the connection) —
-//! the serving layer favours predictability over protocol coverage.
+//! chunked encoding — the serving layer favours predictability over protocol
+//! coverage. The blocking core closes every connection after one exchange;
+//! the event-driven core ([`crate::reactor`]) reuses connections when the
+//! client allows it, via the `keep_alive` flag on [`render_response`].
+//!
+//! Both serving cores parse with the same [`parse_head`] and render with the
+//! same [`render_response`], so their wire behavior cannot drift: the
+//! incremental connection FSM ([`crate::conn`]) and the blocking
+//! [`read_request_limited`] are thin delivery layers over identical logic.
 
 use std::io::{Read, Write};
 
 /// Upper bound on request-head bytes (request line + headers).
-const MAX_HEAD: usize = 16 * 1024;
+pub const MAX_HEAD: usize = 16 * 1024;
 /// Default upper bound on body bytes (a prediction batch); configurable per
 /// server via [`crate::config::ServerConfig::max_body_bytes`].
 pub const DEFAULT_MAX_BODY: usize = 16 * 1024 * 1024;
@@ -72,8 +79,76 @@ pub fn read_request_limited<S: Read>(
         buf.extend_from_slice(&chunk[..n]);
     };
 
-    let head = std::str::from_utf8(&buf[..head_end])
-        .map_err(|_| HttpError::BadRequest("non-UTF-8 request head"))?;
+    let head = parse_head(&buf[..head_end])?;
+    if head.content_length > max_body {
+        return Err(HttpError::TooLarge);
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < head.content_length {
+        let n = stream.read(&mut chunk).map_err(|_| HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Io);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(head.content_length);
+
+    Ok(head.into_request(body))
+}
+
+/// A parsed request head: everything before the body, plus the framing
+/// facts (`Content-Length`, HTTP version) the delivery layer needs. Both
+/// the blocking reader and the incremental connection FSM build requests
+/// through this one type, so parse behavior cannot drift between them.
+#[derive(Debug)]
+pub struct ParsedHead {
+    /// Request method, as received.
+    pub method: String,
+    /// Request path, query string included.
+    pub path: String,
+    /// Headers in arrival order, names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Declared body length (`0` when no `Content-Length` was sent).
+    pub content_length: usize,
+    /// Whether the request line said `HTTP/1.0` (affects keep-alive
+    /// defaults: 1.0 closes unless the client asked to keep alive).
+    pub http10: bool,
+}
+
+impl ParsedHead {
+    /// Completes the request with its body bytes.
+    pub fn into_request(self, body: Vec<u8>) -> Request {
+        Request {
+            method: self.method,
+            path: self.path,
+            headers: self.headers,
+            body,
+        }
+    }
+
+    /// Whether the connection may serve another request after this one:
+    /// HTTP/1.1 defaults to keep-alive unless the client sent
+    /// `Connection: close`; HTTP/1.0 defaults to close unless the client
+    /// sent `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        let connection = self
+            .headers
+            .iter()
+            .find(|(n, _)| n == "connection")
+            .map(|(_, v)| v.as_str());
+        if self.http10 {
+            connection.is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+        } else {
+            !connection.is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        }
+    }
+}
+
+/// Parses a complete request head (the bytes before `\r\n\r\n`, exclusive).
+pub fn parse_head(head: &[u8]) -> Result<ParsedHead, HttpError> {
+    let head =
+        std::str::from_utf8(head).map_err(|_| HttpError::BadRequest("non-UTF-8 request head"))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().ok_or(HttpError::BadRequest("empty request"))?;
     let mut parts = request_line.split_whitespace();
@@ -85,12 +160,13 @@ pub fn read_request_limited<S: Read>(
         .next()
         .ok_or(HttpError::BadRequest("missing path"))?
         .to_string();
-    if !parts
-        .next()
+    let version = parts.next();
+    if !version
         .is_some_and(|v| v.eq_ignore_ascii_case("HTTP/1.1") || v.eq_ignore_ascii_case("HTTP/1.0"))
     {
         return Err(HttpError::BadRequest("missing or unsupported HTTP version"));
     }
+    let http10 = version.is_some_and(|v| v.eq_ignore_ascii_case("HTTP/1.0"));
 
     let mut content_length = 0usize;
     let mut headers = Vec::new();
@@ -106,29 +182,17 @@ pub fn read_request_limited<S: Read>(
             headers.push((name, value.to_string()));
         }
     }
-    if content_length > max_body {
-        return Err(HttpError::TooLarge);
-    }
-
-    let mut body = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(|_| HttpError::Io)?;
-        if n == 0 {
-            return Err(HttpError::Io);
-        }
-        body.extend_from_slice(&chunk[..n]);
-    }
-    body.truncate(content_length);
-
-    Ok(Request {
+    Ok(ParsedHead {
         method,
         path,
         headers,
-        body,
+        content_length,
+        http10,
     })
 }
 
-fn find_head_end(buf: &[u8]) -> Option<usize> {
+/// Offset of the `\r\n\r\n` head terminator, if present.
+pub(crate) fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
@@ -152,8 +216,33 @@ pub fn write_response_with<S: Write>(
     extra_headers: &[(&str, &str)],
     body: &[u8],
 ) -> std::io::Result<()> {
+    stream.write_all(&render_response(
+        status,
+        reason,
+        content_type,
+        extra_headers,
+        body,
+        false,
+    ))?;
+    stream.flush()
+}
+
+/// Renders a complete response to bytes. The single renderer behind both
+/// serving cores: the blocking path writes these bytes directly (always
+/// `Connection: close`), the event loop buffers them and keeps the
+/// connection open when `keep_alive` is set — so the two paths differ on
+/// the wire by exactly that one header and nothing else.
+pub fn render_response(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     );
     for (name, value) in extra_headers {
@@ -163,9 +252,9 @@ pub fn write_response_with<S: Write>(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
-    stream.flush()
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
 }
 
 #[cfg(test)]
@@ -246,6 +335,32 @@ mod tests {
         assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(s.contains("Content-Length: 3\r\n"));
         assert!(s.ends_with("\r\n\r\nyes"));
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_the_http_version() {
+        let h = parse_head(b"GET / HTTP/1.1\r\nHost: x").unwrap();
+        assert!(h.keep_alive());
+        let h = parse_head(b"GET / HTTP/1.1\r\nConnection: close").unwrap();
+        assert!(!h.keep_alive());
+        let h = parse_head(b"GET / HTTP/1.0\r\nHost: x").unwrap();
+        assert!(!h.keep_alive());
+        let h = parse_head(b"GET / HTTP/1.0\r\nConnection: Keep-Alive").unwrap();
+        assert!(h.keep_alive());
+    }
+
+    #[test]
+    fn render_keep_alive_differs_only_in_the_connection_header() {
+        let close = render_response(200, "OK", "text/plain", &[], b"ok", false);
+        let keep = render_response(200, "OK", "text/plain", &[], b"ok", true);
+        let close = String::from_utf8(close).unwrap();
+        let keep = String::from_utf8(keep).unwrap();
+        assert!(close.contains("Connection: close\r\n"));
+        assert!(keep.contains("Connection: keep-alive\r\n"));
+        assert_eq!(
+            close.replace("Connection: close", "Connection: keep-alive"),
+            keep
+        );
     }
 
     #[test]

@@ -1,0 +1,731 @@
+//! The nonblocking readiness loop (`DFP_SERVE_EVENT_LOOP=1`): one thread,
+//! one level-triggered epoll instance, a slab of [`ConnFsm`]-driven
+//! connections, and the existing worker pool as the compute stage.
+//!
+//! Division of labor:
+//!
+//! * **this loop** owns every socket: accepts, reads bytes into the pure
+//!   per-connection state machine, writes rendered responses back out, and
+//!   enforces the connection-scoped limits (`max_conns`, the slowloris
+//!   `head_timeout`);
+//! * **the worker pool** runs [`Engine::respond_to`] — parsing rows,
+//!   predicting, rendering — exactly as it does under the blocking core.
+//!   Workers hand finished response bytes back through a mutex queue and
+//!   poke a self-wake pipe registered in the epoll set.
+//!
+//! An idle keep-alive connection therefore costs one slab entry and one fd,
+//! not a thread: the `dfp_serve_open_connections` gauge counts slab
+//! occupancy while `dfp_serve_queue_depth` keeps counting pool work, and
+//! the integration tests assert 1k idle sockets hold zero workers.
+//!
+//! Load shedding moves from accept time (the blocking core sheds before
+//! reading, because the worker is the scarce resource) to dispatch time
+//! (the loop reads cheaply; the pool queue is what must be protected) —
+//! the response bytes are identical. Deadlines still start at accept for a
+//! connection's first request, and at first byte for keep-alive reuses.
+//!
+//! Shutdown mirrors the blocking core: the handle's loopback poke wakes the
+//! epoll wait, the listener closes, idle connections drop, and the loop
+//! drains queued/writing exchanges before the pool joins.
+
+#[cfg(unix)]
+mod imp {
+    use crate::conn::{ConnEvent, ConnFsm, ConnState, WriteProgress};
+    use crate::http::Request;
+    use crate::pool::ThreadPool;
+    use crate::server::Engine;
+    use crate::sys::{Epoll, Ready, EV_READ, EV_WRITE};
+    use std::io::{self, Read, Write};
+    use std::net::{Shutdown, TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Token of the listening socket.
+    const TOKEN_LISTENER: u64 = u64::MAX;
+    /// Token of the completion-wake pipe.
+    const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+    /// Epoll wait granularity: bounds stop-flag and timer-sweep latency.
+    const TICK: Duration = Duration::from_millis(50);
+
+    /// Longest a rejected-at-accept connection is drained for a clean FIN
+    /// (mirrors the blocking core's shed drain).
+    const REJECT_DRAIN_TIMEOUT: Duration = Duration::from_millis(250);
+
+    /// Most bytes read from one connection per readiness event before the
+    /// loop moves on (level-triggered epoll re-reports the remainder), so a
+    /// firehose client cannot starve its neighbors.
+    const READ_BUDGET_PER_EVENT: usize = 16 * 16 * 1024;
+
+    /// A finished (or abandoned) exchange coming back from a worker.
+    struct Completion {
+        token: u64,
+        /// Rendered response bytes; `None` means the worker died mid-request
+        /// (panic) and the connection must close without an answer — the
+        /// same outcome a panicking worker produces under the blocking core.
+        bytes: Option<Vec<u8>>,
+        keep_alive: bool,
+    }
+
+    /// The worker→loop completion channel: a mutex-guarded queue plus the
+    /// wake pipe that makes the epoll wait notice new entries.
+    struct CompletionQueue {
+        queue: Mutex<Vec<Completion>>,
+        wake: UnixStream,
+    }
+
+    impl CompletionQueue {
+        fn push(&self, c: Completion) {
+            self.queue
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .push(c);
+            // A full pipe already guarantees a pending wake; WouldBlock is
+            // success here.
+            let _ = (&self.wake).write(&[1]);
+        }
+
+        fn drain(&self) -> Vec<Completion> {
+            std::mem::take(
+                &mut self
+                    .queue
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()),
+            )
+        }
+    }
+
+    /// Guarantees every dispatched request produces exactly one completion:
+    /// if the worker's closure unwinds (panic) before answering, Drop sends
+    /// the close-without-response completion so the connection cannot hang.
+    struct CompletionGuard {
+        token: u64,
+        completions: Arc<CompletionQueue>,
+        answered: bool,
+    }
+
+    impl CompletionGuard {
+        fn complete(mut self, bytes: Vec<u8>, keep_alive: bool) {
+            self.answered = true;
+            self.completions.push(Completion {
+                token: self.token,
+                bytes: Some(bytes),
+                keep_alive,
+            });
+        }
+    }
+
+    impl Drop for CompletionGuard {
+        fn drop(&mut self) {
+            if !self.answered {
+                self.completions.push(Completion {
+                    token: self.token,
+                    bytes: None,
+                    keep_alive: false,
+                });
+            }
+        }
+    }
+
+    /// One live connection in the slab.
+    struct Conn {
+        stream: TcpStream,
+        fsm: ConnFsm,
+        /// Generation-packed token registered with epoll; stale events from
+        /// a recycled slot fail the generation check and are dropped.
+        token: u64,
+        /// Interest bits currently registered (avoids redundant epoll_ctl).
+        interest: u32,
+        /// Base instant of the current request's deadline: accept time for
+        /// the first request, first-byte time for keep-alive reuses.
+        accepted: Instant,
+        /// Slowloris guard: when the current request must be complete by.
+        /// `None` while idle in keep-alive or queued/writing.
+        read_deadline: Option<Instant>,
+        /// A request is queued in the worker pool.
+        busy: bool,
+    }
+
+    /// A socket being drained for a clean FIN after a pre-read rejection
+    /// (`max_conns` 503): reads are discarded until EOF or the deadline.
+    struct Draining {
+        stream: TcpStream,
+        deadline: Instant,
+    }
+
+    /// Packs `(generation, slot index)` into an epoll token.
+    fn pack(idx: usize, gen: u32) -> u64 {
+        ((gen as u64) << 32) | idx as u64
+    }
+
+    fn unpack(token: u64) -> (usize, u32) {
+        ((token & 0xffff_ffff) as usize, (token >> 32) as u32)
+    }
+
+    /// The readiness loop's fallible plumbing, assembled before the accept
+    /// thread spawns so failure can fall back to the threaded core.
+    pub(crate) struct Reactor {
+        ep: Epoll,
+        wake_rx: UnixStream,
+        completions: Arc<CompletionQueue>,
+    }
+
+    impl Reactor {
+        /// Creates the epoll instance and wake pipe and registers the
+        /// listener (switched to nonblocking). On any error the caller
+        /// reverts the listener to blocking and uses the threaded core.
+        pub(crate) fn new(listener: &TcpListener) -> io::Result<Reactor> {
+            let ep = Epoll::new()?;
+            let (wake_tx, wake_rx) = UnixStream::pair()?;
+            wake_tx.set_nonblocking(true)?;
+            wake_rx.set_nonblocking(true)?;
+            ep.add(wake_rx.as_raw_fd(), EV_READ, TOKEN_WAKE)?;
+            listener.set_nonblocking(true)?;
+            ep.add(listener.as_raw_fd(), EV_READ, TOKEN_LISTENER)?;
+            Ok(Reactor {
+                ep,
+                wake_rx,
+                completions: Arc::new(CompletionQueue {
+                    queue: Mutex::new(Vec::new()),
+                    wake: wake_tx,
+                }),
+            })
+        }
+
+        /// Runs the loop until shutdown. Consumes the listener; the pool
+        /// (the compute stage) is dropped by the caller afterwards, joining
+        /// the workers.
+        pub(crate) fn run(
+            self,
+            listener: TcpListener,
+            engine: Arc<Engine>,
+            pool: ThreadPool,
+            stop: Arc<AtomicBool>,
+        ) {
+            Loop::new(self, listener, engine, pool, stop).run()
+        }
+    }
+
+    struct Loop {
+        ep: Epoll,
+        wake_rx: UnixStream,
+        completions: Arc<CompletionQueue>,
+        listener: Option<TcpListener>,
+        engine: Arc<Engine>,
+        pool: ThreadPool,
+        stop: Arc<AtomicBool>,
+        slots: Vec<Option<Conn>>,
+        /// Generation per slot, bumped on every close so recycled tokens
+        /// never alias.
+        gens: Vec<u32>,
+        free: Vec<usize>,
+        open: usize,
+        draining: Vec<Draining>,
+        next_sweep: Instant,
+    }
+
+    impl Loop {
+        fn new(
+            reactor: Reactor,
+            listener: TcpListener,
+            engine: Arc<Engine>,
+            pool: ThreadPool,
+            stop: Arc<AtomicBool>,
+        ) -> Loop {
+            let cap = engine.cfg.max_conns;
+            Loop {
+                ep: reactor.ep,
+                wake_rx: reactor.wake_rx,
+                completions: reactor.completions,
+                listener: Some(listener),
+                engine,
+                pool,
+                stop,
+                slots: Vec::with_capacity(cap.min(4096)),
+                gens: Vec::with_capacity(cap.min(4096)),
+                free: Vec::new(),
+                open: 0,
+                draining: Vec::new(),
+                next_sweep: Instant::now(),
+            }
+        }
+
+        fn run(mut self) {
+            let mut ready = Vec::with_capacity(256);
+            loop {
+                if self.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                ready.clear();
+                if let Err(e) = self.ep.wait(TICK.as_millis() as i32, &mut ready) {
+                    dfp_obs::log::warn(
+                        "dfp_serve",
+                        "epoll wait failed; readiness loop exiting",
+                        &[("why", &e.to_string())],
+                    );
+                    return;
+                }
+                if !ready.is_empty() {
+                    let mut sp = dfp_obs::span("serve.reactor.tick");
+                    sp.attr("events", ready.len());
+                    for r in ready.drain(..) {
+                        match r.token {
+                            TOKEN_LISTENER => self.accept_ready(),
+                            TOKEN_WAKE => self.wake_ready(),
+                            _ => self.conn_ready(r),
+                        }
+                    }
+                }
+                self.sweep_timers();
+            }
+            self.drain_shutdown();
+        }
+
+        /// Post-stop drain: close the listener and every idle connection,
+        /// then keep servicing completions and writes so in-flight requests
+        /// answer before the pool joins — the event-loop equivalent of the
+        /// blocking core joining its workers.
+        fn drain_shutdown(&mut self) {
+            if let Some(listener) = self.listener.take() {
+                let _ = self.ep.delete(listener.as_raw_fd());
+            }
+            for idx in 0..self.slots.len() {
+                let in_flight = self.slots[idx].as_ref().is_some_and(|c| {
+                    c.busy || matches!(c.fsm.state(), ConnState::Queued | ConnState::Writing)
+                });
+                if self.slots[idx].is_some() && !in_flight {
+                    self.close(idx);
+                }
+            }
+            let grace =
+                Instant::now() + self.engine.cfg.request_deadline + self.engine.cfg.io_timeout;
+            let mut ready = Vec::with_capacity(256);
+            while self.open > 0 && Instant::now() < grace {
+                ready.clear();
+                if self.ep.wait(TICK.as_millis() as i32, &mut ready).is_err() {
+                    break;
+                }
+                for r in ready.drain(..) {
+                    match r.token {
+                        TOKEN_WAKE => self.wake_ready(),
+                        TOKEN_LISTENER => {}
+                        _ => self.conn_ready(r),
+                    }
+                }
+            }
+            self.engine.metrics.open_connections.set(0);
+        }
+
+        // ---- accept path ----------------------------------------------
+
+        fn accept_ready(&mut self) {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            loop {
+                let stream = match listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => return,
+                };
+                // Chaos hook: a simulated accept-path failure drops the
+                // connection as a flaky network would (same failpoint the
+                // blocking core evaluates).
+                if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("serve.accept") {
+                    continue;
+                }
+                let metrics = &self.engine.metrics;
+                metrics.record_respawns(self.pool.respawns());
+                metrics.queue_depth.set(self.pool.pending() as i64);
+                if self.open >= self.engine.cfg.max_conns {
+                    // At the connection ceiling the 503 is written before
+                    // anything was read, so drain for a clean FIN exactly
+                    // like the blocking core's accept-time shed.
+                    metrics.conn_limit_rejected_total.inc();
+                    let bytes = self.engine.shed_response();
+                    let _ = stream.set_write_timeout(Some(self.engine.cfg.io_timeout));
+                    let mut stream = stream;
+                    let _ = stream.write_all(&bytes);
+                    let _ = stream.shutdown(Shutdown::Write);
+                    if stream.set_nonblocking(true).is_ok() {
+                        self.draining.push(Draining {
+                            stream,
+                            deadline: Instant::now() + REJECT_DRAIN_TIMEOUT,
+                        });
+                    }
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let idx = match self.free.pop() {
+                    Some(idx) => idx,
+                    None => {
+                        self.slots.push(None);
+                        self.gens.push(0);
+                        self.slots.len() - 1
+                    }
+                };
+                let token = pack(idx, self.gens[idx]);
+                if self.ep.add(stream.as_raw_fd(), EV_READ, token).is_err() {
+                    self.free.push(idx);
+                    continue;
+                }
+                let now = Instant::now();
+                self.slots[idx] = Some(Conn {
+                    stream,
+                    fsm: ConnFsm::new(self.engine.cfg.max_body_bytes),
+                    token,
+                    interest: EV_READ,
+                    accepted: now,
+                    read_deadline: Some(now + self.engine.cfg.head_timeout),
+                    busy: false,
+                });
+                self.open += 1;
+                metrics.conns_accepted_total.inc();
+                metrics.open_connections.set(self.open as i64);
+            }
+        }
+
+        // ---- readiness dispatch ---------------------------------------
+
+        fn conn_ready(&mut self, r: Ready) {
+            let (idx, gen) = unpack(r.token);
+            let valid = idx < self.slots.len()
+                && self.gens[idx] == gen
+                && self.slots[idx].as_ref().is_some_and(|c| c.token == r.token);
+            if !valid {
+                return; // stale event for a recycled slot
+            }
+            let state = self.slots[idx].as_ref().map(|c| c.fsm.state());
+            match state {
+                Some(ConnState::Writing) if r.writable() => self.write_ready(idx),
+                Some(ConnState::Writing) => {}
+                // The worker will answer; but a peer that is entirely gone
+                // (EPOLLHUP fires even at interest 0) has nobody to answer —
+                // close now, and let the generation check drop the completion
+                // when it lands. Without this the level-triggered HUP would
+                // spin the loop until the worker finished.
+                Some(ConnState::Queued) if r.hangup() => self.close(idx),
+                Some(ConnState::Queued) => {}
+                Some(ConnState::Closed) | None => {}
+                _ if r.readable() => self.read_ready(idx),
+                _ => {}
+            }
+        }
+
+        /// Reads until WouldBlock (bounded per event) and feeds the FSM.
+        fn read_ready(&mut self, idx: usize) {
+            let mut buf = [0u8; 16 * 1024];
+            let mut budget = READ_BUDGET_PER_EVENT;
+            loop {
+                let conn = match &mut self.slots[idx] {
+                    Some(c) => c,
+                    None => return,
+                };
+                // A first byte after an idle keep-alive period starts a new
+                // request: its deadline base and slowloris timer reset here.
+                let idle = matches!(conn.fsm.state(), ConnState::KeepAlive);
+                let event = match conn.stream.read(&mut buf) {
+                    Ok(0) => conn.fsm.on_eof(),
+                    Ok(n) => {
+                        if idle {
+                            let now = Instant::now();
+                            conn.accepted = now;
+                            conn.read_deadline = Some(now + self.engine.cfg.head_timeout);
+                        }
+                        budget = budget.saturating_sub(n);
+                        conn.fsm.on_bytes(&buf[..n])
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.close(idx);
+                        return;
+                    }
+                };
+                match event {
+                    ConnEvent::Continue => {
+                        if budget == 0 {
+                            return; // level-triggered epoll re-reports the rest
+                        }
+                    }
+                    other => {
+                        self.on_event(idx, other);
+                        return;
+                    }
+                }
+            }
+        }
+
+        /// Acts on a non-`Continue` FSM event: dispatch, reject, or close.
+        fn on_event(&mut self, idx: usize, event: ConnEvent) {
+            match event {
+                ConnEvent::Continue => {}
+                ConnEvent::Close => self.close(idx),
+                ConnEvent::Request(request) => self.dispatch(idx, request),
+                ConnEvent::Reject(e) => {
+                    let Some(conn) = &mut self.slots[idx] else {
+                        return;
+                    };
+                    match self.engine.reject_to(&e, conn.accepted) {
+                        Some(bytes) => {
+                            conn.fsm.respond(bytes, false);
+                            conn.read_deadline = None;
+                            self.write_ready(idx);
+                        }
+                        None => self.close(idx),
+                    }
+                }
+            }
+        }
+
+        /// Hands a complete request to the compute stage — or sheds it when
+        /// the pool queue is full, with the same 503 the blocking core's
+        /// accept-time shed writes.
+        fn dispatch(&mut self, idx: usize, request: Box<Request>) {
+            let engine = Arc::clone(&self.engine);
+            engine.metrics.queue_depth.set(self.pool.pending() as i64);
+            engine.metrics.record_respawns(self.pool.respawns());
+            let Some(conn) = &mut self.slots[idx] else {
+                return;
+            };
+            conn.read_deadline = None;
+            if self.pool.pending() >= engine.cfg.queue_depth {
+                let bytes = engine.shed_response();
+                conn.fsm.respond(bytes, false);
+                self.write_ready(idx);
+                return;
+            }
+            conn.busy = true;
+            self.set_interest(idx, 0);
+            let Some(conn) = &mut self.slots[idx] else {
+                return;
+            };
+            let guard = CompletionGuard {
+                token: conn.token,
+                completions: Arc::clone(&self.completions),
+                answered: false,
+            };
+            let keep_alive = conn.fsm.wants_keep_alive();
+            let accepted = conn.accepted;
+            let enqueued = Instant::now();
+            self.pool.execute(move || {
+                // Same chaos hook as the blocking worker: `panic` exercises
+                // pool self-healing (the guard then closes the connection),
+                // `sleep` exercises backpressure and deadlines.
+                dfp_fault::faultpoint!("serve.worker");
+                let queue_wait = enqueued.elapsed();
+                let bytes = engine.respond_to(&request, accepted, queue_wait, keep_alive);
+                guard.complete(bytes, keep_alive);
+            });
+        }
+
+        /// Drains the wake pipe and applies queued completions.
+        fn wake_ready(&mut self) {
+            let mut sink = [0u8; 256];
+            while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+            for completion in self.completions.drain() {
+                let (idx, gen) = unpack(completion.token);
+                let valid = idx < self.slots.len()
+                    && self.gens[idx] == gen
+                    && self.slots[idx]
+                        .as_ref()
+                        .is_some_and(|c| c.token == completion.token);
+                if !valid {
+                    continue;
+                }
+                match completion.bytes {
+                    None => self.close(idx), // worker died mid-request
+                    Some(bytes) => {
+                        let Some(conn) = &mut self.slots[idx] else {
+                            continue;
+                        };
+                        conn.busy = false;
+                        conn.fsm.respond(bytes, completion.keep_alive);
+                        self.write_ready(idx);
+                    }
+                }
+            }
+        }
+
+        // ---- write path -----------------------------------------------
+
+        /// Pushes response bytes until WouldBlock or the exchange finishes,
+        /// then follows the FSM's verdict (close, idle, or next pipelined
+        /// request).
+        fn write_ready(&mut self, idx: usize) {
+            loop {
+                let conn = match &mut self.slots[idx] {
+                    Some(c) => c,
+                    None => return,
+                };
+                if conn.fsm.state() != ConnState::Writing {
+                    return;
+                }
+                let chunk = conn.fsm.writable();
+                if chunk.is_empty() {
+                    return;
+                }
+                let n = match conn.stream.write(chunk) {
+                    Ok(n) => n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        self.set_interest(idx, EV_WRITE);
+                        return;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.close(idx);
+                        return;
+                    }
+                };
+                match conn.fsm.on_wrote(n) {
+                    WriteProgress::Pending => continue,
+                    WriteProgress::Done => {
+                        self.close(idx);
+                        return;
+                    }
+                    WriteProgress::Next(event) => {
+                        let now = Instant::now();
+                        let conn = match &mut self.slots[idx] {
+                            Some(c) => c,
+                            None => return,
+                        };
+                        // Whatever follows is a new request whose deadline
+                        // and slowloris budget start now.
+                        conn.accepted = now;
+                        conn.read_deadline = match conn.fsm.state() {
+                            ConnState::KeepAlive => None, // idle: untimed
+                            _ => Some(now + self.engine.cfg.head_timeout),
+                        };
+                        self.set_interest(idx, EV_READ);
+                        match event {
+                            ConnEvent::Continue => {}
+                            other => self.on_event(idx, other),
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+
+        // ---- timers ----------------------------------------------------
+
+        fn sweep_timers(&mut self) {
+            let now = Instant::now();
+            if now < self.next_sweep {
+                return;
+            }
+            self.next_sweep = now + TICK / 2;
+            // Slowloris guard: a connection whose current request has been
+            // incomplete past the head timeout gets 408 (if it sent bytes)
+            // or a silent close (if it never spoke).
+            for idx in 0..self.slots.len() {
+                let expired = self.slots[idx]
+                    .as_ref()
+                    .and_then(|c| c.read_deadline)
+                    .is_some_and(|d| now >= d);
+                if !expired {
+                    continue;
+                }
+                let spoke = self.slots[idx]
+                    .as_ref()
+                    .is_some_and(|c| !matches!(c.fsm.state(), ConnState::Accepted));
+                if spoke {
+                    let bytes = self.engine.timeout_response();
+                    if let Some(conn) = &mut self.slots[idx] {
+                        // Best-effort nonblocking write: the peer is slow,
+                        // its receive window is almost surely open.
+                        let mut off = 0;
+                        while off < bytes.len() {
+                            match conn.stream.write(&bytes[off..]) {
+                                Ok(n) => off += n,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                }
+                self.close(idx);
+            }
+            // Clean-FIN drains for pre-read rejections.
+            self.draining.retain_mut(|d| {
+                if now >= d.deadline {
+                    return false;
+                }
+                let mut sink = [0u8; 4096];
+                loop {
+                    match d.stream.read(&mut sink) {
+                        Ok(0) => return false, // clean FIN
+                        Ok(_) => continue,     // discard
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                        Err(_) => return false,
+                    }
+                }
+            });
+        }
+
+        // ---- slab plumbing --------------------------------------------
+
+        fn set_interest(&mut self, idx: usize, interest: u32) {
+            let Some(conn) = &mut self.slots[idx] else {
+                return;
+            };
+            if conn.interest == interest {
+                return;
+            }
+            conn.interest = interest;
+            let _ = self
+                .ep
+                .modify(conn.stream.as_raw_fd(), interest, conn.token);
+        }
+
+        fn close(&mut self, idx: usize) {
+            if let Some(conn) = self.slots[idx].take() {
+                let _ = self.ep.delete(conn.stream.as_raw_fd());
+                self.gens[idx] = self.gens[idx].wrapping_add(1);
+                self.free.push(idx);
+                self.open -= 1;
+                self.engine.metrics.open_connections.set(self.open as i64);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use crate::pool::ThreadPool;
+    use crate::server::Engine;
+    use std::io;
+    use std::net::TcpListener;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// Stub: the readiness loop needs epoll; other targets always fall back
+    /// to the threaded core.
+    pub(crate) struct Reactor;
+
+    impl Reactor {
+        pub(crate) fn new(_listener: &TcpListener) -> io::Result<Reactor> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "readiness loop requires epoll; using the threaded core",
+            ))
+        }
+
+        pub(crate) fn run(
+            self,
+            _listener: TcpListener,
+            _engine: Arc<Engine>,
+            _pool: ThreadPool,
+            _stop: Arc<AtomicBool>,
+        ) {
+            unreachable!("Reactor::new never succeeds on this target")
+        }
+    }
+}
+
+pub(crate) use imp::Reactor;

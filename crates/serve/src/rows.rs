@@ -21,6 +21,15 @@ pub enum RowsError {
     Bad(String),
 }
 
+impl RowsError {
+    /// The canonical empty-payload rejection. Both the batch CSV parser and
+    /// the serving `/predict` route answer with this exact message (tests
+    /// assert it verbatim), so it is constructed in one place only.
+    pub fn empty_body() -> RowsError {
+        RowsError::Bad("no data rows in request body".to_string())
+    }
+}
+
 impl std::fmt::Display for RowsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -55,7 +64,7 @@ pub fn parse_rows_limited(
         rows.push(parse_row_line(schema, lineno, line)?);
     }
     if rows.is_empty() {
-        return Err(RowsError::Bad("no data rows in request body".to_string()));
+        return Err(RowsError::empty_body());
     }
     let labels = vec![ClassId(0); rows.len()];
     Ok(Dataset::new(schema.clone(), rows, labels))
@@ -179,7 +188,8 @@ mod tests {
 
     #[test]
     fn rejects_empty_body() {
-        assert!(parse_rows(&schema(), "\n\n").is_err());
+        let err = parse_rows(&schema(), "\n\n").unwrap_err();
+        assert_eq!(err, RowsError::empty_body().to_string());
     }
 
     #[test]

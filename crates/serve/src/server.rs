@@ -29,14 +29,21 @@
 //! than holding a worker past its budget.
 //!
 //! Shutdown: [`ServerHandle::shutdown`] (or dropping the handle) raises a
-//! flag and pokes the listener with a loopback connection so the blocking
-//! `accept` observes it; the accept thread then drops the pool, which joins
-//! every worker.
+//! flag and pokes the listener with a loopback connection so the accept
+//! loop (blocking `accept` or the epoll wait) observes it; the accept
+//! thread then drops the pool, which joins every worker.
+//!
+//! Two transports, one brain: everything above the socket — routing,
+//! limits, metrics, deadline handling, response rendering — lives in
+//! [`Engine`]. The historical thread-per-connection core and the
+//! [`crate::reactor`] readiness loop (`DFP_SERVE_EVENT_LOOP=1`) are both
+//! thin delivery layers over the same `Engine`, so their observable
+//! behavior cannot drift.
 
 use crate::batch::BatchScheduler;
 use crate::cache::TransformCache;
 use crate::config::ServerConfig;
-use crate::http::{read_request_limited, write_response_with, HttpError, Request};
+use crate::http::{read_request_limited, render_response, HttpError, Request};
 use crate::metrics::Metrics;
 use crate::observe::ServeObs;
 use crate::pool::ThreadPool;
@@ -50,10 +57,18 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The `Retry-After` seconds suggested to shed or deadline-expired clients.
 const RETRY_AFTER_SECS: &str = "1";
+
+/// Body of every deadline-exceeded `503`, constructed in one place so the
+/// queue-wait check, the parse-stage check and the batch-reply timeout
+/// cannot drift apart.
+const DEADLINE_EXCEEDED_BODY: &str = "request deadline exceeded\n";
+
+/// Body of the load-shedding `503`.
+const SHED_BODY: &[u8] = b"server overloaded, retry later\n";
 
 /// Longest the accept thread spends draining a shed connection so its
 /// close is a clean FIN instead of an RST.
@@ -194,118 +209,44 @@ fn serve_impl(
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
-    let model = model.map(Arc::new);
-    let metrics = Arc::new(Metrics::new());
     let stop = Arc::new(AtomicBool::new(false));
     let threads = cfg.resolved_threads();
-    // batch_max == 1 disables the scheduler entirely: every worker predicts
-    // inline, the historical behavior. The scheduler is bound to the default
-    // model; registry-routed requests always predict inline against their
-    // own version snapshot.
-    let scheduler = match &model {
-        Some(model) if cfg.batch_max > 1 => Some(Arc::new(BatchScheduler::start(
-            Arc::clone(model),
-            Arc::clone(&metrics),
-            cfg.batch_max,
-            cfg.batch_wait,
-        ))),
-        _ => None,
+    let engine = Arc::new(Engine::new(model, registry, cfg));
+    let metrics = Arc::clone(&engine.metrics);
+    let scheduler = engine.scheduler.clone();
+    let obs = engine.obs.clone();
+
+    // The reactor's fallible plumbing (epoll instance, wake pipe, listener
+    // registration) is assembled before the accept thread spawns, so a
+    // failure — non-Linux target, fd pressure — degrades to the threaded
+    // core instead of a dead server.
+    let reactor = if engine.cfg.event_loop {
+        match crate::reactor::Reactor::new(&listener) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                let _ = listener.set_nonblocking(false);
+                dfp_obs::log::warn(
+                    "dfp_serve",
+                    "readiness loop unavailable; falling back to the threaded core",
+                    &[("why", &e.to_string())],
+                );
+                None
+            }
+        }
+    } else {
+        None
     };
-    let cache = cfg
-        .cache
-        .then(|| Arc::new(TransformCache::new(crate::cache::DEFAULT_CAP)));
-    let obs = cfg
-        .tsdb
-        .then(|| ServeObs::start(&cfg, &metrics, registry.as_ref()))
-        .flatten()
-        .map(Arc::new);
-    let cfg = Arc::new(cfg);
 
     let accept_thread = {
+        let engine = Arc::clone(&engine);
         let stop = Arc::clone(&stop);
-        let metrics = Arc::clone(&metrics);
-        let scheduler = scheduler.clone();
-        let registry = registry.clone();
-        let obs = obs.clone();
         std::thread::Builder::new()
             .name("dfp-serve-accept".into())
             .spawn(move || {
-                let pool = ThreadPool::bounded(threads, cfg.queue_depth);
-                for stream in listener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(mut stream) = stream else { continue };
-                    // Chaos hook: a simulated accept-path failure drops the
-                    // connection as a flaky network would.
-                    if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("serve.accept") {
-                        continue;
-                    }
-                    // Surface pool self-healing in /metrics; refreshed on
-                    // every accept so scrapes observe earlier respawns.
-                    metrics.record_respawns(pool.respawns());
-                    metrics.queue_depth.set(pool.pending() as i64);
-                    // Load shedding: a full pending queue answers 503 right
-                    // here on the accept thread instead of queueing without
-                    // bound (the check is approximate under races, which
-                    // only flexes the bound by the number of accepts in
-                    // flight — there is exactly one accept thread).
-                    if pool.pending() >= cfg.queue_depth {
-                        let rid = fresh_request_id();
-                        metrics.requests_total.inc();
-                        metrics.observe_error(503);
-                        metrics.shed_total.inc();
-                        let _ = stream.set_write_timeout(Some(cfg.io_timeout));
-                        let _ = write_response_with(
-                            &mut stream,
-                            503,
-                            "Service Unavailable",
-                            "text/plain",
-                            &[("Retry-After", RETRY_AFTER_SECS), ("X-Request-Id", &rid)],
-                            b"server overloaded, retry later\n",
-                        );
-                        // The request was never read; closing now would RST
-                        // the socket and can destroy the 503 still in
-                        // flight. Signal end-of-response and drain what the
-                        // client sent so the close is a clean FIN. The read
-                        // timeout bounds how long a misbehaving client can
-                        // hold the accept thread.
-                        let _ = stream.shutdown(std::net::Shutdown::Write);
-                        let _ = stream.set_read_timeout(Some(SHED_DRAIN_TIMEOUT));
-                        let mut sink = [0u8; 4096];
-                        while let Ok(n) = io::Read::read(&mut stream, &mut sink) {
-                            if n == 0 {
-                                break;
-                            }
-                        }
-                        dfp_obs::log::warn(
-                            "dfp_serve",
-                            "request shed: pending queue full",
-                            &[("request_id", &rid), ("status", "503")],
-                        );
-                        continue;
-                    }
-                    let accepted = Instant::now();
-                    let model = model.clone();
-                    let registry = registry.clone();
-                    let metrics = Arc::clone(&metrics);
-                    let cfg = Arc::clone(&cfg);
-                    let scheduler = scheduler.clone();
-                    let cache = cache.clone();
-                    let obs = obs.clone();
-                    pool.execute(move || {
-                        handle_connection(
-                            stream,
-                            model.as_deref(),
-                            registry.as_deref(),
-                            &metrics,
-                            &cfg,
-                            accepted,
-                            scheduler.as_deref(),
-                            cache.as_deref(),
-                            obs.as_deref(),
-                        )
-                    });
+                let pool = ThreadPool::bounded(threads, engine.cfg.queue_depth);
+                match reactor {
+                    Some(r) => r.run(listener, engine, pool, stop),
+                    None => blocking_accept_loop(listener, engine, pool, stop),
                 }
                 // pool drops here: channel closes, workers drain and join
             })?
@@ -321,178 +262,346 @@ fn serve_impl(
     })
 }
 
-#[allow(clippy::too_many_arguments)]
-fn handle_connection(
-    mut stream: TcpStream,
-    model: Option<&PatternClassifier>,
-    registry: Option<&ModelRegistry>,
-    metrics: &Metrics,
-    cfg: &ServerConfig,
-    accepted: Instant,
-    scheduler: Option<&BatchScheduler>,
-    cache: Option<&TransformCache>,
-    obs: Option<&ServeObs>,
+/// The historical thread-per-connection core: blocking accept, shed at the
+/// accept thread when the pending queue is full, one pooled worker per
+/// connection.
+fn blocking_accept_loop(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    pool: ThreadPool,
+    stop: Arc<AtomicBool>,
 ) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        // Chaos hook: a simulated accept-path failure drops the
+        // connection as a flaky network would.
+        if let Some(dfp_fault::Action::Err) = dfp_fault::evaluate("serve.accept") {
+            continue;
+        }
+        // Surface pool self-healing in /metrics; refreshed on
+        // every accept so scrapes observe earlier respawns.
+        engine.metrics.record_respawns(pool.respawns());
+        engine.metrics.queue_depth.set(pool.pending() as i64);
+        // Load shedding: a full pending queue answers 503 right
+        // here on the accept thread instead of queueing without
+        // bound (the check is approximate under races, which
+        // only flexes the bound by the number of accepts in
+        // flight — there is exactly one accept thread).
+        if pool.pending() >= engine.cfg.queue_depth {
+            let _ = stream.set_write_timeout(Some(engine.cfg.io_timeout));
+            let _ = io::Write::write_all(&mut stream, &engine.shed_response());
+            // The request was never read; closing now would RST
+            // the socket and can destroy the 503 still in
+            // flight. Signal end-of-response and drain what the
+            // client sent so the close is a clean FIN. The read
+            // timeout bounds how long a misbehaving client can
+            // hold the accept thread.
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let _ = stream.set_read_timeout(Some(SHED_DRAIN_TIMEOUT));
+            let mut sink = [0u8; 4096];
+            while let Ok(n) = io::Read::read(&mut stream, &mut sink) {
+                if n == 0 {
+                    break;
+                }
+            }
+            continue;
+        }
+        let accepted = Instant::now();
+        let engine = Arc::clone(&engine);
+        pool.execute(move || handle_connection(stream, &engine, accepted));
+    }
+}
+
+/// One pooled worker serving one blocking connection end to end: read,
+/// answer via the shared [`Engine`], write, close.
+fn handle_connection(mut stream: TcpStream, engine: &Engine, accepted: Instant) {
     // Chaos hook on the worker path: `panic` exercises pool self-healing,
     // `sleep` exercises queue backpressure and request deadlines.
     dfp_fault::faultpoint!("serve.worker");
     // Accept→worker pickup time is the backpressure signal: it grows before
     // requests start missing deadlines, so it gets its own histogram.
     let queue_wait = accepted.elapsed();
-    metrics.observe_queue_wait(queue_wait);
-    let mut sp = dfp_obs::span("serve.request");
-    sp.attr("queue_wait_ns", queue_wait.as_nanos());
-    // Tail sampling: every request offers a capture; whether it is kept is
-    // decided at the end (5xx, or slower than the live windowed p99).
-    let mut capture = obs.and_then(|o| o.tail().begin());
-    let deadline = accepted + cfg.request_deadline;
-    let _ = stream.set_read_timeout(Some(cfg.io_timeout));
-    let _ = stream.set_write_timeout(Some(cfg.io_timeout));
-    let request = match read_request_limited(&mut stream, cfg.max_body_bytes) {
-        Ok(r) => r,
-        Err(HttpError::Io) => return, // peer went away (includes shutdown wake)
-        Err(HttpError::TooLarge) => {
-            metrics.requests_total.inc();
-            respond(
-                &mut stream,
-                metrics,
-                &fresh_request_id(),
-                "-",
-                "-",
-                413,
-                "Payload Too Large",
-                "request too large\n",
-                accepted,
-            );
-            return;
-        }
-        Err(HttpError::BadRequest(why)) => {
-            metrics.requests_total.inc();
-            respond(
-                &mut stream,
-                metrics,
-                &fresh_request_id(),
-                "-",
-                "-",
-                400,
-                "Bad Request",
-                &format!("{why}\n"),
-                accepted,
-            );
-            return;
-        }
+    let _ = stream.set_read_timeout(Some(engine.cfg.io_timeout));
+    let _ = stream.set_write_timeout(Some(engine.cfg.io_timeout));
+    let bytes = match read_request_limited(&mut stream, engine.cfg.max_body_bytes) {
+        Ok(request) => engine.respond_to(&request, accepted, queue_wait, false),
+        Err(e) => match engine.reject_to(&e, accepted) {
+            Some(bytes) => bytes,
+            None => return, // peer went away (includes shutdown wake)
+        },
     };
-    metrics.requests_total.inc();
-    let rid = request_id_for(&request);
-    if sp.is_active() {
-        sp.attr("method", &request.method);
-        sp.attr("path", &request.path);
-        sp.attr("request_id", &rid);
-    }
+    let _ = io::Write::write_all(&mut stream, &bytes);
+}
 
-    let (status, reason, body): (u16, &'static str, String) = if Instant::now() > deadline {
-        // Queue wait alone exhausted the request budget — answer cheaply.
-        (
-            503,
-            "Service Unavailable",
-            "request deadline exceeded\n".to_string(),
-        )
-    } else {
-        route(
-            &request,
+/// Everything both serving cores share above the transport: the model(s),
+/// limits, metrics, batch scheduler, transform cache and observability
+/// stack, plus the request → response-bytes logic. The blocking worker and
+/// the readiness loop are delivery layers over one `Engine`, which is what
+/// makes their responses byte-comparable (the equivalence the
+/// `tests/conn_fsm.rs` harness asserts).
+pub struct Engine {
+    model: Option<Arc<PatternClassifier>>,
+    registry: Option<Arc<ModelRegistry>>,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) cfg: Arc<ServerConfig>,
+    pub(crate) scheduler: Option<Arc<BatchScheduler>>,
+    cache: Option<Arc<TransformCache>>,
+    pub(crate) obs: Option<Arc<ServeObs>>,
+}
+
+impl Engine {
+    /// Assembles the shared serving brain: metrics, the batch scheduler
+    /// (when `batch_max > 1` and a default model exists), the transform
+    /// cache and the TSDB stack, per `cfg`.
+    pub fn new(
+        model: Option<PatternClassifier>,
+        registry: Option<Arc<ModelRegistry>>,
+        cfg: ServerConfig,
+    ) -> Engine {
+        let model = model.map(Arc::new);
+        let metrics = Arc::new(Metrics::new());
+        // batch_max == 1 disables the scheduler entirely: every worker
+        // predicts inline, the historical behavior. The scheduler is bound
+        // to the default model; registry-routed requests always predict
+        // inline against their own version snapshot.
+        let scheduler = match &model {
+            Some(model) if cfg.batch_max > 1 => Some(Arc::new(BatchScheduler::start(
+                Arc::clone(model),
+                Arc::clone(&metrics),
+                cfg.batch_max,
+                cfg.batch_wait,
+            ))),
+            _ => None,
+        };
+        let cache = cfg
+            .cache
+            .then(|| Arc::new(TransformCache::new(crate::cache::DEFAULT_CAP)));
+        let obs = cfg
+            .tsdb
+            .then(|| ServeObs::start(&cfg, &metrics, registry.as_ref()))
+            .flatten()
+            .map(Arc::new);
+        Engine {
             model,
             registry,
             metrics,
-            cfg,
-            deadline,
+            cfg: Arc::new(cfg),
             scheduler,
             cache,
             obs,
-            &rid,
-            capture.as_mut(),
-        )
-    };
-    sp.attr("status", status);
-    respond(
-        &mut stream,
-        metrics,
-        &rid,
-        &request.method,
-        &request.path,
-        status,
-        reason,
-        &body,
-        accepted,
-    );
-    if let (Some(o), Some(capture)) = (obs, capture.take()) {
-        o.tail().finish(
-            capture,
+        }
+    }
+
+    /// Live serving metrics (exposed for the test harness).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Answers a complete request: deadline check, routing, metrics, tail
+    /// capture, access log — returns the rendered response bytes.
+    /// `queue_wait` is the accept→pickup delay already incurred;
+    /// `keep_alive` says whether the transport intends to reuse the
+    /// connection (the rendered `Connection` header is the only byte-level
+    /// difference it makes).
+    pub fn respond_to(
+        &self,
+        request: &Request,
+        accepted: Instant,
+        queue_wait: Duration,
+        keep_alive: bool,
+    ) -> Vec<u8> {
+        self.metrics.observe_queue_wait(queue_wait);
+        let mut sp = dfp_obs::span("serve.request");
+        sp.attr("queue_wait_ns", queue_wait.as_nanos());
+        // Tail sampling: every request offers a capture; whether it is kept
+        // is decided at the end (5xx, or slower than the live windowed p99).
+        let mut capture = self.obs.as_deref().and_then(|o| o.tail().begin());
+        let deadline = accepted + self.cfg.request_deadline;
+        self.metrics.requests_total.inc();
+        let rid = request_id_for(request);
+        if sp.is_active() {
+            sp.attr("method", &request.method);
+            sp.attr("path", &request.path);
+            sp.attr("request_id", &rid);
+        }
+        let (status, reason, body): (u16, &'static str, String) = if Instant::now() > deadline {
+            // Queue wait alone exhausted the request budget — answer cheaply.
+            (
+                503,
+                "Service Unavailable",
+                DEADLINE_EXCEEDED_BODY.to_string(),
+            )
+        } else {
+            route(
+                request,
+                self.model.as_deref(),
+                self.registry.as_deref(),
+                &self.metrics,
+                &self.cfg,
+                deadline,
+                self.scheduler.as_deref(),
+                self.cache.as_deref(),
+                self.obs.as_deref(),
+                &rid,
+                capture.as_mut(),
+            )
+        };
+        sp.attr("status", status);
+        let bytes = self.render(
             &rid,
             &request.method,
             &request.path,
             status,
-            queue_wait.as_nanos() as u64,
+            reason,
+            &body,
+            accepted,
+            keep_alive,
         );
-    }
-}
-
-/// Writes the response (always tagged `X-Request-Id`; `Retry-After` on
-/// `503`), counts 4xx/5xx in the split error counters, and emits one
-/// structured access-log event.
-#[allow(clippy::too_many_arguments)]
-fn respond(
-    stream: &mut TcpStream,
-    metrics: &Metrics,
-    rid: &str,
-    method: &str,
-    path: &str,
-    status: u16,
-    reason: &str,
-    body: &str,
-    accepted: Instant,
-) {
-    if status >= 400 {
-        metrics.observe_error(status);
-    }
-    let mut headers: Vec<(&str, &str)> = vec![("X-Request-Id", rid)];
-    // 503 = shed/overload, 409 = concurrent swap: both are retryable-later
-    // conditions the client backoff honors.
-    if status == 503 || status == 409 {
-        headers.push(("Retry-After", RETRY_AFTER_SECS));
-    }
-    // Observability endpoints answer HTML/JSON; error bodies are always
-    // plain text regardless of path.
-    let content_type = if status < 400 {
-        match path {
-            "/dashboard" => "text/html; charset=utf-8",
-            "/alerts" | "/metrics/history" | "/debug/traces" => "application/json",
-            _ => "text/plain",
+        if let (Some(o), Some(capture)) = (self.obs.as_deref(), capture.take()) {
+            o.tail().finish(
+                capture,
+                &rid,
+                &request.method,
+                &request.path,
+                status,
+                queue_wait.as_nanos() as u64,
+            );
         }
-    } else {
-        "text/plain"
-    };
-    let _ = write_response_with(
-        stream,
-        status,
-        reason,
-        content_type,
-        &headers,
-        body.as_bytes(),
-    );
-    if dfp_obs::log::enabled(dfp_obs::log::Level::Info) {
-        let status = status.to_string();
-        let elapsed_us = accepted.elapsed().as_micros().to_string();
-        dfp_obs::log::info(
-            "dfp_serve",
-            "request",
-            &[
-                ("method", method),
-                ("path", path),
-                ("status", &status),
-                ("request_id", rid),
-                ("elapsed_us", &elapsed_us),
-            ],
+        bytes
+    }
+
+    /// The response to a stream that never produced a parseable request:
+    /// `413` for limit violations, `400` for malformed bytes, `None` for a
+    /// peer that simply went away (close silently). Always
+    /// `Connection: close` — the stream is unframed past the error.
+    pub fn reject_to(&self, err: &HttpError, accepted: Instant) -> Option<Vec<u8>> {
+        let (status, reason, body): (u16, &'static str, String) = match err {
+            HttpError::Io => return None,
+            HttpError::TooLarge => (413, "Payload Too Large", "request too large\n".to_string()),
+            HttpError::BadRequest(why) => (400, "Bad Request", format!("{why}\n")),
+        };
+        self.metrics.requests_total.inc();
+        Some(self.render(
+            &fresh_request_id(),
+            "-",
+            "-",
+            status,
+            reason,
+            &body,
+            accepted,
+            false,
+        ))
+    }
+
+    /// The load-shedding `503` (queue full), with its metrics and warn log.
+    /// Used by the blocking accept thread before reading the request, and
+    /// by the reactor at dispatch time and at the `max_conns` ceiling.
+    pub(crate) fn shed_response(&self) -> Vec<u8> {
+        let rid = fresh_request_id();
+        self.metrics.requests_total.inc();
+        self.metrics.observe_error(503);
+        self.metrics.shed_total.inc();
+        let bytes = render_response(
+            503,
+            "Service Unavailable",
+            "text/plain",
+            &[("Retry-After", RETRY_AFTER_SECS), ("X-Request-Id", &rid)],
+            SHED_BODY,
+            false,
         );
+        dfp_obs::log::warn(
+            "dfp_serve",
+            "request shed: pending queue full",
+            &[("request_id", &rid), ("status", "503")],
+        );
+        bytes
+    }
+
+    /// The slowloris `408`: a connection produced its first byte but no
+    /// complete request within the configured head timeout.
+    pub(crate) fn timeout_response(&self) -> Vec<u8> {
+        let rid = fresh_request_id();
+        self.metrics.requests_total.inc();
+        self.metrics.observe_error(408);
+        self.metrics.head_timeouts_total.inc();
+        let bytes = render_response(
+            408,
+            "Request Timeout",
+            "text/plain",
+            &[("X-Request-Id", &rid)],
+            b"request header timeout\n",
+            false,
+        );
+        dfp_obs::log::warn(
+            "dfp_serve",
+            "connection timed out before a complete request",
+            &[("request_id", &rid), ("status", "408")],
+        );
+        bytes
+    }
+
+    /// Renders the response (always tagged `X-Request-Id`; `Retry-After` on
+    /// `503`/`409`), counts 4xx/5xx in the split error counters, and emits
+    /// one structured access-log event.
+    #[allow(clippy::too_many_arguments)]
+    fn render(
+        &self,
+        rid: &str,
+        method: &str,
+        path: &str,
+        status: u16,
+        reason: &str,
+        body: &str,
+        accepted: Instant,
+        keep_alive: bool,
+    ) -> Vec<u8> {
+        if status >= 400 {
+            self.metrics.observe_error(status);
+        }
+        let mut headers: Vec<(&str, &str)> = vec![("X-Request-Id", rid)];
+        // 503 = shed/overload, 409 = concurrent swap: both are
+        // retryable-later conditions the client backoff honors.
+        if status == 503 || status == 409 {
+            headers.push(("Retry-After", RETRY_AFTER_SECS));
+        }
+        // Observability endpoints answer HTML/JSON; error bodies are always
+        // plain text regardless of path.
+        let content_type = if status < 400 {
+            match path {
+                "/dashboard" => "text/html; charset=utf-8",
+                "/alerts" | "/metrics/history" | "/debug/traces" => "application/json",
+                _ => "text/plain",
+            }
+        } else {
+            "text/plain"
+        };
+        let bytes = render_response(
+            status,
+            reason,
+            content_type,
+            &headers,
+            body.as_bytes(),
+            keep_alive,
+        );
+        if dfp_obs::log::enabled(dfp_obs::log::Level::Info) {
+            let status = status.to_string();
+            let elapsed_us = accepted.elapsed().as_micros().to_string();
+            dfp_obs::log::info(
+                "dfp_serve",
+                "request",
+                &[
+                    ("method", method),
+                    ("path", path),
+                    ("status", &status),
+                    ("request_id", rid),
+                    ("elapsed_us", &elapsed_us),
+                ],
+            );
+        }
+        bytes
     }
 }
 
@@ -885,11 +994,9 @@ fn predict(
             }
         }
         if rows.is_empty() {
-            return (
-                400,
-                "Bad Request",
-                "no data rows in request body\n".to_string(),
-            );
+            // Same constructor the batch CSV parser uses, so the two
+            // client-facing messages can never drift apart.
+            return (400, "Bad Request", format!("{}\n", RowsError::empty_body()));
         }
     }
     if let Some(cap) = capture.as_deref_mut() {
@@ -899,7 +1006,7 @@ fn predict(
         return (
             503,
             "Service Unavailable",
-            "request deadline exceeded\n".to_string(),
+            DEADLINE_EXCEEDED_BODY.to_string(),
         );
     }
     // Transform the misses in one pass and scatter them back into place.
@@ -937,7 +1044,7 @@ fn predict(
                             return (
                                 503,
                                 "Service Unavailable",
-                                "request deadline exceeded\n".to_string(),
+                                DEADLINE_EXCEEDED_BODY.to_string(),
                             )
                         }
                         Err(mpsc::RecvTimeoutError::Disconnected) => {

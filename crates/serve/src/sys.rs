@@ -1,0 +1,245 @@
+//! Thin epoll syscall shim for the readiness loop — Linux only, std only.
+//!
+//! std already links the platform libc, so declaring the four epoll entry
+//! points `extern "C"` costs no cargo dependency. This module is the only
+//! place in the crate allowed to use `unsafe`; everything above it talks to
+//! the safe [`Epoll`] wrapper in terms of raw fds and interest flags.
+//!
+//! On non-Linux targets [`Epoll::new`] returns an error, and the server
+//! falls back to the threaded blocking core.
+
+#![allow(unsafe_code)]
+
+/// Readable readiness (`EPOLLIN`).
+pub const EV_READ: u32 = 0x001;
+/// Writable readiness (`EPOLLOUT`).
+pub const EV_WRITE: u32 = 0x004;
+/// Error condition (`EPOLLERR`) — always reported, never requested.
+pub const EV_ERROR: u32 = 0x008;
+/// Peer hangup (`EPOLLHUP`) — always reported, never requested. Both
+/// halves are gone (or the connection was reset); nothing useful can be
+/// written to such a socket.
+pub const EV_HANGUP: u32 = 0x010;
+
+/// One readiness notification out of [`Epoll::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Ready {
+    /// The token registered with the fd.
+    pub token: u64,
+    /// Bitmask of `EV_*` flags.
+    pub flags: u32,
+}
+
+impl Ready {
+    /// Whether the fd is readable (or the peer hung up, which reads as EOF).
+    pub fn readable(&self) -> bool {
+        self.flags & (EV_READ | EV_HANGUP | EV_ERROR) != 0
+    }
+
+    /// Whether the peer is entirely gone (`EPOLLHUP`).
+    pub fn hangup(&self) -> bool {
+        self.flags & EV_HANGUP != 0
+    }
+
+    /// Whether the fd is writable.
+    pub fn writable(&self) -> bool {
+        self.flags & (EV_WRITE | EV_ERROR | EV_HANGUP) != 0
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::Ready;
+    use std::io;
+    use std::os::fd::RawFd;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+
+    /// Kernel ABI for `struct epoll_event`: packed on x86 so the 64-bit
+    /// token sits at offset 4. Fields are copied out, never borrowed.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// RAII wrapper over one epoll instance (level-triggered throughout).
+    #[derive(Debug)]
+    pub struct Epoll {
+        epfd: RawFd,
+    }
+
+    impl Epoll {
+        /// Creates a close-on-exec epoll instance.
+        pub fn new() -> io::Result<Epoll> {
+            // SAFETY: plain syscall, no pointers involved.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest,
+                data: token,
+            };
+            // SAFETY: `ev` outlives the call; the kernel copies it.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Registers `fd` for the `EV_*` interest bits under `token`.
+        pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+        }
+
+        /// Changes the interest set of an already-registered fd.
+        pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+        }
+
+        /// Removes `fd` from the interest list. Kernel-side removal also
+        /// happens automatically when the fd closes.
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Blocks up to `timeout_ms` (`-1` = forever) and appends ready
+        /// tokens to `out`. EINTR retries; returns the notification count.
+        pub fn wait(&self, timeout_ms: i32, out: &mut Vec<Ready>) -> io::Result<usize> {
+            const CAP: usize = 256;
+            let mut events = [EpollEvent { events: 0, data: 0 }; CAP];
+            loop {
+                // SAFETY: `events` is a valid buffer of CAP entries for the
+                // duration of the call.
+                let n =
+                    unsafe { epoll_wait(self.epfd, events.as_mut_ptr(), CAP as i32, timeout_ms) };
+                if n < 0 {
+                    let e = io::Error::last_os_error();
+                    if e.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(e);
+                }
+                for ev in events.iter().take(n as usize) {
+                    // Copy out of the (possibly packed) struct field by
+                    // field; taking references would be UB on x86.
+                    let flags = { ev.events };
+                    let token = { ev.data };
+                    out.push(Ready { token, flags });
+                }
+                return Ok(n as usize);
+            }
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            // SAFETY: we own the fd and close it exactly once.
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::Ready;
+    use std::io;
+
+    /// Stub: epoll is unavailable here; the server uses the blocking core.
+    #[derive(Debug)]
+    pub struct Epoll;
+
+    impl Epoll {
+        /// Always fails on non-Linux targets.
+        pub fn new() -> io::Result<Epoll> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "epoll readiness loop requires Linux; using the threaded core",
+            ))
+        }
+
+        /// Unreachable on non-Linux (`new` never succeeds).
+        pub fn add(&self, _fd: i32, _interest: u32, _token: u64) -> io::Result<()> {
+            unreachable!("Epoll::new never succeeds off Linux")
+        }
+
+        /// Unreachable on non-Linux (`new` never succeeds).
+        pub fn modify(&self, _fd: i32, _interest: u32, _token: u64) -> io::Result<()> {
+            unreachable!("Epoll::new never succeeds off Linux")
+        }
+
+        /// Unreachable on non-Linux (`new` never succeeds).
+        pub fn delete(&self, _fd: i32) -> io::Result<()> {
+            unreachable!("Epoll::new never succeeds off Linux")
+        }
+
+        /// Unreachable on non-Linux (`new` never succeeds).
+        pub fn wait(&self, _timeout_ms: i32, _out: &mut Vec<Ready>) -> io::Result<usize> {
+            unreachable!("Epoll::new never succeeds off Linux")
+        }
+    }
+}
+
+pub use imp::Epoll;
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readiness_flows_through_the_wrapper() {
+        let ep = Epoll::new().expect("epoll_create1");
+        let (mut a, b) = UnixStream::pair().expect("socketpair");
+        ep.add(b.as_raw_fd(), EV_READ, 42).expect("add");
+
+        // Nothing readable yet.
+        let mut out = Vec::new();
+        ep.wait(0, &mut out).expect("wait");
+        assert!(out.is_empty());
+
+        a.write_all(b"ping").expect("write");
+        ep.wait(1000, &mut out).expect("wait");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].token, 42);
+        assert!(out[0].readable());
+
+        // Level-triggered: still readable until drained.
+        out.clear();
+        ep.wait(0, &mut out).expect("wait");
+        assert_eq!(out.len(), 1);
+
+        ep.delete(b.as_raw_fd()).expect("del");
+        out.clear();
+        ep.wait(0, &mut out).expect("wait");
+        assert!(out.is_empty());
+
+        // Hangup reads as readable (EOF).
+        ep.add(b.as_raw_fd(), EV_READ, 7).expect("re-add");
+        drop(a);
+        out.clear();
+        ep.wait(1000, &mut out).expect("wait");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].readable());
+    }
+}

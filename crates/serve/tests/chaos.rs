@@ -319,6 +319,141 @@ fn readyz_distinguishes_liveness_from_readiness() {
     handle.shutdown();
 }
 
+// ---------------------------------------------------------------------------
+// Event-loop-forced legs. The tests above flip cores via DFP_SERVE_EVENT_LOOP
+// (the CI matrix re-runs the whole suite that way); these pin the readiness
+// loop explicitly so its fault handling is exercised even in the default leg.
+// Off Linux `with_event_loop(true)` falls back to the threaded core, where
+// every invariant asserted here must hold just the same.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn event_loop_survives_accept_fault() {
+    let _guard = lock_faults();
+    let handle = serve_with(
+        ServerConfig::default()
+            .with_threads(1)
+            .with_event_loop(true),
+    );
+    let addr = handle.addr();
+
+    // The reactor evaluates the same `serve.accept` failpoint as the
+    // threaded accept loop: the poisoned connection is dropped unanswered,
+    // the loop itself keeps running.
+    dfp_fault::arm_times("serve.accept", dfp_fault::Action::Err, Some(1));
+    assert_eq!(try_http(addr, "GET", "/healthz", ""), None);
+
+    let (status, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+    handle.shutdown();
+}
+
+#[test]
+fn event_loop_worker_panic_closes_without_answer_and_heals() {
+    let _guard = lock_faults();
+    let handle = serve_with(
+        ServerConfig::default()
+            .with_threads(2)
+            .with_event_loop(true),
+    );
+    let addr = handle.addr();
+
+    // A worker panic unwinds past the completion guard, which reports the
+    // connection as unanswerable; the reactor closes it without inventing a
+    // response and without taking the loop down.
+    dfp_fault::arm_times("serve.worker", dfp_fault::Action::Panic, Some(2));
+    for _ in 0..2 {
+        assert_eq!(try_http(addr, "POST", "/predict", "v1,v1,v0\n"), None);
+    }
+    dfp_fault::disarm("serve.worker");
+
+    let (status, body) = http(addr, "POST", "/predict", "v1,v1,v0\n");
+    assert_eq!(status, 200);
+    assert_eq!(body, "c0\n");
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let (_, metrics) = http(addr, "GET", "/metrics", "");
+        if counter(&metrics, "dfp_serve_worker_respawns_total") >= 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "respawns not surfaced:\n{metrics}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn shed_path_survives_clients_that_reset_instead_of_reading() {
+    let _guard = lock_faults();
+    let cfg = ServerConfig::default()
+        .with_threads(1)
+        .with_queue_depth(1)
+        .with_request_deadline(Duration::from_secs(30))
+        .with_event_loop(true);
+    let handle = serve_with(cfg);
+    let addr = handle.addr();
+
+    dfp_fault::arm_times("serve.worker", dfp_fault::Action::Sleep(700), Some(1));
+    let slow = std::thread::spawn(move || http(addr, "POST", "/predict", "v1,v1,v0\n"));
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Overflow clients send a request and hang up immediately, never reading
+    // the shed 503. Closing with the response still in flight makes the
+    // kernel answer the server's write with EPIPE/ECONNRESET — the loop must
+    // swallow that per-connection, not die or wedge on it.
+    for _ in 0..3 {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"POST /predict HTTP/1.1\r\nHost: t\r\nContent-Length: 9\r\n\r\nv1,v2,v0\n")
+            .expect("send");
+        drop(s);
+    }
+
+    // The in-flight request is unharmed and the server keeps serving.
+    let (status, body) = slow.join().expect("slow client");
+    assert_eq!(status, 200, "{body}");
+    let (status, _) = http(addr, "POST", "/predict", "v1,v2,v0\n");
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn event_loop_shutdown_mid_burst_never_yields_spurious_500() {
+    let _guard = lock_faults();
+    // Mirrors `shutdown_never_yields_spurious_500` (batching.rs) with the
+    // readiness loop pinned on: racing clients either get a complete,
+    // correct 200 or see the connection refused/closed — never a 500 or a
+    // truncated body invented by the drain path.
+    for round in 0..3 {
+        let cfg = ServerConfig::default()
+            .with_threads(4)
+            .with_batch_max(8)
+            .with_batch_wait(Duration::from_millis(20))
+            .with_event_loop(true);
+        let handle = serve_with(cfg);
+        let addr = handle.addr();
+
+        let clients: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(move || try_http(addr, "POST", "/predict", "v1,v1,v0\n")))
+            .collect();
+        std::thread::sleep(Duration::from_millis(5));
+        handle.shutdown();
+
+        for c in clients {
+            if let Some((status, body)) = c.join().expect("client thread") {
+                assert_ne!(status, 500, "round {round}: spurious 500: {body}");
+                if status == 200 {
+                    assert_eq!(body, "c0\n", "round {round}: truncated answer");
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn dropping_the_handle_shuts_down_like_shutdown() {
     let _guard = lock_faults();

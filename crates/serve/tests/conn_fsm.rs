@@ -1,0 +1,404 @@
+//! Blocking-equivalence property tests for the connection FSM.
+//!
+//! The readiness loop parses requests through [`ConnFsm`], fed whatever
+//! byte slices the kernel hands it; the threaded core parses through the
+//! blocking [`read_request_limited`]. These tests pin the contract that
+//! makes the two cores interchangeable:
+//!
+//! * for every request in the corpus and **any** split of its bytes —
+//!   1-byte drip to whole-buffer — the FSM yields exactly the request (or
+//!   the error) the blocking reader yields;
+//! * responses produced from the FSM-parsed request are byte-identical to
+//!   the blocking path's (modulo the `Connection` header when the client
+//!   permits reuse, which is the one deliberate difference);
+//! * pipelined keep-alive pairs yield both requests in order, with writes
+//!   themselves chopped arbitrarily;
+//! * EOF mid-body closes silently, exactly like the blocking reader's
+//!   `Io` error.
+//!
+//! The corpus includes heads that straddle the `MAX_HEAD` rejection
+//! boundary, where naive incremental limit checks diverge from the
+//! blocking reader's 1024-byte-checkpoint behavior.
+
+use dfp_core::{FrameworkConfig, PatternClassifier};
+use dfp_data::dataset::{categorical_dataset, Dataset};
+use dfp_serve::http::{read_request_limited, HttpError, Request, MAX_HEAD};
+use dfp_serve::{ConnEvent, ConnFsm, ConnState, Engine, ServerConfig, WriteProgress};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Body limit shared by both parsers under test.
+fn max_body() -> usize {
+    ServerConfig::default().max_body_bytes
+}
+
+/// (a0=v1, a1=v1) → c0 and (a0=v1, a1=v2) → c1; a2 is noise. Same planted
+/// dataset the live-server tests train on.
+fn confusable() -> Dataset {
+    let mut rows: Vec<(Vec<u32>, u32)> = Vec::new();
+    for i in 0..60u32 {
+        let (vals, label) = if i % 2 == 0 {
+            (vec![1, 1, i % 3], 0)
+        } else {
+            (vec![1, 2, i % 3], 1)
+        };
+        rows.push((vals, label));
+    }
+    let borrowed: Vec<(&[u32], u32)> = rows.iter().map(|(v, l)| (&v[..], *l)).collect();
+    categorical_dataset(&[3, 3, 3], 2, &borrowed)
+}
+
+/// One fitted engine for every case: the responses must be deterministic
+/// functions of the request (ids come from `X-Request-Id`, which every
+/// corpus request sends), so sharing is safe and keeps the suite fast.
+fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let model = PatternClassifier::fit(&confusable(), &FrameworkConfig::pat_fs()).expect("fit");
+        Engine::new(Some(model), None, ServerConfig::default().with_batch_max(1))
+    })
+}
+
+/// Renders a raw request; every corpus entry carries an explicit
+/// `X-Request-Id` so both parse paths produce identical response bytes.
+fn raw(
+    method: &str,
+    path: &str,
+    version: &str,
+    rid: &str,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> Vec<u8> {
+    let mut head = format!("{method} {path} {version}\r\nHost: t\r\nX-Request-Id: {rid}\r\n");
+    for (name, value) in extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    if !body.is_empty() {
+        head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// A request whose head terminator sits at exactly `head_end` bytes —
+/// probes the `MAX_HEAD` boundary.
+fn padded_head(head_end: usize, rid: &str) -> Vec<u8> {
+    let base =
+        format!("GET /healthz HTTP/1.1\r\nX-Request-Id: {rid}\r\nConnection: close\r\nx-pad: ");
+    let pad = head_end
+        .checked_sub(base.len())
+        .expect("head_end larger than the fixed prefix");
+    let mut out = base.into_bytes();
+    out.extend(std::iter::repeat_n(b'a', pad));
+    out.extend_from_slice(b"\r\n\r\n");
+    out
+}
+
+/// The corpus: every request shape the live serve tests exercise, plus
+/// malformed and boundary-straddling entries. `\r\n\r\n`-terminated unless
+/// deliberately broken.
+fn corpus() -> &'static Vec<Vec<u8>> {
+    static CORPUS: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        vec![
+            raw(
+                "GET",
+                "/healthz",
+                "HTTP/1.1",
+                "hz-close",
+                &[("Connection", "close")],
+                "",
+            ),
+            raw("GET", "/healthz", "HTTP/1.1", "hz-keep", &[], ""),
+            raw("GET", "/healthz", "HTTP/1.0", "hz-10", &[], ""),
+            raw(
+                "POST",
+                "/predict",
+                "HTTP/1.1",
+                "pr-ok",
+                &[("Connection", "close")],
+                "v1,v1,v0\nv1,v2,v1\n",
+            ),
+            raw("POST", "/predict", "HTTP/1.1", "pr-keep", &[], "v1,v2,v0\n"),
+            raw("POST", "/predict", "HTTP/1.1", "pr-empty", &[], "\n\n"),
+            raw(
+                "POST",
+                "/predict",
+                "HTTP/1.1",
+                "pr-bad",
+                &[],
+                "nope,v1,v0\n",
+            ),
+            raw(
+                "GET",
+                "/no-such-route",
+                "HTTP/1.1",
+                "nf",
+                &[("Connection", "close")],
+                "",
+            ),
+            raw("PUT", "/predict", "HTTP/1.1", "method", &[], "v1,v1,v0\n"),
+            b"NOT-HTTP\r\n\r\n".to_vec(),
+            b"POST /predict HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n".to_vec(),
+            // Head terminator past MAX_HEAD but before the blocking
+            // reader's next 1024-byte checkpoint: both paths accept it.
+            padded_head(MAX_HEAD + 600, "pad-ok"),
+            // Terminator past the checkpoint: both paths reject TooLarge.
+            padded_head(MAX_HEAD + 1100, "pad-too-big"),
+            // No terminator at all, 20k of head bytes: TooLarge.
+            {
+                let mut v = b"GET / HTTP/1.1\r\nx-pad: ".to_vec();
+                v.extend(std::iter::repeat_n(b'a', 20_000));
+                v
+            },
+        ]
+    })
+}
+
+/// What a connection-worth of bytes ultimately produced.
+#[derive(Debug, PartialEq, Eq)]
+enum Outcome {
+    Request(Request),
+    Reject(HttpError),
+    Closed,
+}
+
+/// Feeds `raw` to a fresh FSM in `chunks`-sized slices (cycled; empty means
+/// one whole-buffer feed), then EOF if the bytes run out undecided.
+/// Returns the FSM (for follow-up write driving), the first decisive
+/// event, and how many bytes were delivered when it fired — the caller
+/// owns any remainder, exactly like the reactor owns unread socket bytes.
+fn drive(raw: &[u8], chunks: &[usize]) -> (ConnFsm, Outcome, usize) {
+    let mut fsm = ConnFsm::new(max_body());
+    let mut fed = 0;
+    let mut turn = 0;
+    while fed < raw.len() {
+        let step = if chunks.is_empty() {
+            raw.len()
+        } else {
+            chunks[turn % chunks.len()].max(1)
+        };
+        turn += 1;
+        let end = (fed + step).min(raw.len());
+        let event = fsm.on_bytes(&raw[fed..end]);
+        fed = end;
+        match event {
+            ConnEvent::Continue => {}
+            ConnEvent::Request(r) => return (fsm, Outcome::Request(*r), fed),
+            ConnEvent::Reject(e) => return (fsm, Outcome::Reject(e), fed),
+            ConnEvent::Close => return (fsm, Outcome::Closed, fed),
+        }
+    }
+    match fsm.on_eof() {
+        ConnEvent::Continue | ConnEvent::Close => (fsm, Outcome::Closed, fed),
+        ConnEvent::Request(r) => (fsm, Outcome::Request(*r), fed),
+        ConnEvent::Reject(e) => (fsm, Outcome::Reject(e), fed),
+    }
+}
+
+/// The blocking reference parse of the same bytes. `&[u8]`'s `Read` hands
+/// out `min(1024, remaining)` per call, which is exactly the chunking the
+/// threaded core sees from a fast socket — the canonical behavior the FSM
+/// must reproduce under *every* chunking.
+fn blocking(rawb: &[u8]) -> Result<Request, HttpError> {
+    read_request_limited(&mut &rawb[..], max_body())
+}
+
+/// Masks the generated `X-Request-Id` value in a reject response (the
+/// reject path mints a fresh id per call; everything else must match).
+fn mask_rid(bytes: &[u8]) -> String {
+    let s = String::from_utf8_lossy(bytes);
+    let mut out = String::with_capacity(s.len());
+    for (i, line) in s.split("\r\n").enumerate() {
+        if i > 0 {
+            out.push_str("\r\n");
+        }
+        if let Some(rest) = line.strip_prefix("X-Request-Id: ") {
+            let _ = rest;
+            out.push_str("X-Request-Id: <rid>");
+        } else {
+            out.push_str(line);
+        }
+    }
+    out
+}
+
+/// Drains the FSM's pending response into `wire` in `step`-byte writes.
+/// Returns the post-write event (`None` when the connection closed).
+fn pump_write(fsm: &mut ConnFsm, wire: &mut Vec<u8>, step: usize) -> Option<ConnEvent> {
+    loop {
+        let chunk = fsm.writable();
+        assert!(!chunk.is_empty(), "writing state with nothing to write");
+        let n = step.max(1).min(chunk.len());
+        wire.extend_from_slice(&chunk[..n]);
+        match fsm.on_wrote(n) {
+            WriteProgress::Pending => {}
+            WriteProgress::Done => return None,
+            WriteProgress::Next(event) => return Some(event),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any chunking of any corpus entry parses to exactly the blocking
+    /// reader's result — same request, same error, or same silent close.
+    #[test]
+    fn fsm_matches_blocking_reader_under_any_split(
+        case in 0usize..corpus().len(),
+        chunks in prop::collection::vec(1usize..2048, 0..24),
+    ) {
+        let rawb = &corpus()[case];
+        let (_, outcome, _) = drive(rawb, &chunks);
+        match blocking(rawb) {
+            Ok(request) => prop_assert_eq!(outcome, Outcome::Request(request)),
+            Err(HttpError::Io) => prop_assert_eq!(outcome, Outcome::Closed),
+            Err(e) => prop_assert_eq!(outcome, Outcome::Reject(e)),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// End-to-end bytes: request in (arbitrarily chunked) → response out is
+    /// byte-identical between the cores. When the client allows reuse the
+    /// `Connection` header is the one permitted difference.
+    #[test]
+    fn responses_are_byte_identical_to_the_blocking_path(
+        case in 0usize..corpus().len(),
+        chunks in prop::collection::vec(1usize..512, 0..16),
+    ) {
+        let rawb = &corpus()[case];
+        let (fsm, outcome, _) = drive(rawb, &chunks);
+        let now = Instant::now();
+        match (blocking(rawb), outcome) {
+            (Ok(request), Outcome::Request(parsed)) => {
+                let threaded = engine().respond_to(&request, now, Duration::ZERO, false);
+                let keep = fsm.wants_keep_alive();
+                let event = engine().respond_to(&parsed, now, Duration::ZERO, keep);
+                if keep {
+                    let normalized = String::from_utf8_lossy(&event)
+                        .replace("Connection: keep-alive", "Connection: close");
+                    prop_assert_eq!(normalized.as_bytes(), &threaded[..]);
+                } else {
+                    prop_assert_eq!(event, threaded);
+                }
+            }
+            (Err(HttpError::Io), Outcome::Closed) => {} // both close silently
+            (Err(eb), Outcome::Reject(ef)) => {
+                prop_assert_eq!(&eb, &ef);
+                let threaded = engine().reject_to(&eb, now).expect("reject bytes");
+                let event = engine().reject_to(&ef, now).expect("reject bytes");
+                prop_assert_eq!(mask_rid(&event), mask_rid(&threaded));
+            }
+            (b, f) => prop_assert!(false, "parse paths diverged: blocking={b:?} fsm={f:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Two pipelined keep-alive requests on one connection, with both the
+    /// reads and the writes chopped arbitrarily: the FSM yields each
+    /// request in order and the concatenated wire output is exactly the
+    /// two rendered responses.
+    #[test]
+    fn pipelined_keep_alive_pairs_round_trip(
+        read_chunks in prop::collection::vec(1usize..256, 0..12),
+        write_step in 1usize..512,
+        second_closes in 0u8..2,
+    ) {
+        let first = raw("POST", "/predict", "HTTP/1.1", "pipe-1", &[], "v1,v1,v0\n");
+        let second = if second_closes == 1 {
+            raw("GET", "/healthz", "HTTP/1.1", "pipe-2", &[("Connection", "close")], "")
+        } else {
+            raw("GET", "/healthz", "HTTP/1.1", "pipe-2", &[], "")
+        };
+        let mut wire_in = first.clone();
+        wire_in.extend_from_slice(&second);
+
+        let (mut fsm, outcome, fed) = drive(&wire_in, &read_chunks);
+        let want_first = blocking(&first).expect("first parses");
+        prop_assert_eq!(outcome, Outcome::Request(want_first));
+        prop_assert!(fsm.wants_keep_alive());
+        // Any bytes not yet delivered when the first request fired arrive
+        // while it is queued — the FSM buffers them for the next exchange.
+        if fed < wire_in.len() {
+            prop_assert_eq!(fsm.on_bytes(&wire_in[fed..]), ConnEvent::Continue);
+        }
+
+        // Answer the first request; the leftover buffered bytes must
+        // surface the second request once the write completes.
+        let Outcome::Request(parsed_first) = drive(&first, &[]).1 else { unreachable!() };
+        let resp_first = engine().respond_to(&parsed_first, Instant::now(), Duration::ZERO, true);
+        fsm.respond(resp_first.clone(), true);
+        let mut wire_out = Vec::new();
+        let event = pump_write(&mut fsm, &mut wire_out, write_step);
+        let second_req = match event {
+            Some(ConnEvent::Request(r)) => *r,
+            other => return Err(proptest::TestCaseError::fail(
+                format!("expected pipelined request after write, got {other:?}"),
+            )),
+        };
+        prop_assert_eq!(&second_req, &blocking(&second).expect("second parses"));
+
+        let keep_second = second_closes == 0;
+        let resp_second =
+            engine().respond_to(&second_req, Instant::now(), Duration::ZERO, keep_second);
+        fsm.respond(resp_second.clone(), keep_second);
+        let event = pump_write(&mut fsm, &mut wire_out, write_step);
+        if keep_second {
+            prop_assert_eq!(event, Some(ConnEvent::Continue));
+            prop_assert_eq!(fsm.state(), ConnState::KeepAlive);
+        } else {
+            prop_assert_eq!(event, None);
+            prop_assert_eq!(fsm.state(), ConnState::Closed);
+        }
+
+        let mut want_wire = resp_first;
+        want_wire.extend_from_slice(&resp_second);
+        prop_assert_eq!(wire_out, want_wire);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// EOF strictly inside a declared body closes without an answer under
+    /// any chunking — the FSM's analog of the blocking reader's `Io`.
+    #[test]
+    fn mid_body_eof_closes_silently(
+        cut_back in 1usize..18,
+        chunks in prop::collection::vec(1usize..64, 0..10),
+    ) {
+        let full = raw("POST", "/predict", "HTTP/1.1", "eof", &[], "v1,v1,v0\nv1,v2,v1\n");
+        let cut = full.len() - cut_back.min(17); // body is 18 bytes; keep ≥1 missing
+        let truncated = &full[..cut];
+        prop_assert_eq!(blocking(truncated), Err(HttpError::Io));
+        let (fsm, outcome, _) = drive(truncated, &chunks);
+        prop_assert_eq!(outcome, Outcome::Closed);
+        prop_assert_eq!(fsm.state(), ConnState::Closed);
+    }
+}
+
+/// Deterministic backstop: the full corpus under the pathological 1-byte
+/// drip, stated plainly so a failure names the entry without proptest
+/// indirection.
+#[test]
+fn one_byte_drip_matches_blocking_for_every_corpus_entry() {
+    for (i, rawb) in corpus().iter().enumerate() {
+        let (_, outcome, _) = drive(rawb, &[1]);
+        let want = match blocking(rawb) {
+            Ok(request) => Outcome::Request(request),
+            Err(HttpError::Io) => Outcome::Closed,
+            Err(e) => Outcome::Reject(e),
+        };
+        assert_eq!(outcome, want, "corpus entry {i} diverged under 1-byte drip");
+    }
+}

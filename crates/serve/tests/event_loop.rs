@@ -1,0 +1,407 @@
+//! Integration tests for the epoll readiness loop: connection scaling,
+//! slowloris defense, keep-alive reuse, the connection ceiling, and
+//! byte-level equivalence against the threaded core over real sockets.
+//!
+//! Linux-only: these tests force `event_loop` on, and the readiness loop
+//! exists only where epoll does (elsewhere the server falls back to the
+//! threaded core, which closes after one exchange by design).
+
+#![cfg(target_os = "linux")]
+
+use dfp_core::{FrameworkConfig, PatternClassifier};
+use dfp_data::dataset::{categorical_dataset, Dataset};
+use dfp_serve::{ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// (a0=v1, a1=v1) → c0 and (a0=v1, a1=v2) → c1; a2 is noise.
+fn confusable() -> Dataset {
+    let mut rows: Vec<(Vec<u32>, u32)> = Vec::new();
+    for i in 0..60u32 {
+        let (vals, label) = if i % 2 == 0 {
+            (vec![1, 1, i % 3], 0)
+        } else {
+            (vec![1, 2, i % 3], 1)
+        };
+        rows.push((vals, label));
+    }
+    let borrowed: Vec<(&[u32], u32)> = rows.iter().map(|(v, l)| (&v[..], *l)).collect();
+    categorical_dataset(&[3, 3, 3], 2, &borrowed)
+}
+
+fn fitted() -> PatternClassifier {
+    PatternClassifier::fit(&confusable(), &FrameworkConfig::pat_fs()).expect("fit")
+}
+
+fn serve_event(cfg: ServerConfig) -> ServerHandle {
+    dfp_serve::serve_with_config(fitted(), "127.0.0.1:0", cfg.with_event_loop(true)).expect("bind")
+}
+
+/// Renders a request that keeps the connection alive unless `close`.
+fn request(method: &str, path: &str, rid: &str, close: bool, body: &str) -> Vec<u8> {
+    let connection = if close { "Connection: close\r\n" } else { "" };
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nX-Request-Id: {rid}\r\n{connection}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Reads exactly one response off a (possibly keep-alive) connection:
+/// status, raw head, body bytes per `Content-Length`.
+fn read_response(stream: &mut TcpStream) -> (u16, String, Vec<u8>) {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read response head");
+        assert!(n > 0, "EOF before a complete response head");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(buf[..head_end].to_vec()).expect("UTF-8 head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("content-length")
+        .parse()
+        .expect("numeric length");
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "EOF mid response body");
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    (status, head, body)
+}
+
+/// One-shot exchange on a fresh connection, reading to EOF.
+fn http_close(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(raw).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("recv");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, response)
+}
+
+fn gauge(metrics: &str, name: &str) -> i64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .unwrap_or_else(|| panic!("{name} missing from:\n{metrics}"))
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .expect("numeric sample")
+}
+
+/// The tentpole claim: a thousand idle keep-alive connections occupy slab
+/// entries, not workers. With only two workers the server keeps answering
+/// instantly, and the `dfp_serve_open_connections` gauge counts the herd.
+#[test]
+fn thousand_idle_keep_alive_connections_hold_zero_workers() {
+    let handle = serve_event(ServerConfig::default().with_threads(2).with_max_conns(2048));
+    let addr = handle.addr();
+
+    let mut herd = Vec::with_capacity(1000);
+    for i in 0..1000 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream
+            .write_all(&request("GET", "/healthz", &format!("herd-{i}"), false, ""))
+            .expect("send");
+        let (status, head, body) = read_response(&mut stream);
+        assert_eq!(status, 200);
+        assert_eq!(body, b"ok\n");
+        assert!(
+            head.contains("Connection: keep-alive"),
+            "keep-alive expected:\n{head}"
+        );
+        herd.push(stream); // parked open: costs a slab entry, not a thread
+    }
+
+    // With 1000 connections parked, two workers still answer immediately.
+    let started = Instant::now();
+    let (status, body) = http_close(
+        addr,
+        &request("POST", "/predict", "busy-check", true, "v1,v1,v0\n"),
+    );
+    assert_eq!(status, 200, "predict failed: {body}");
+    assert!(body.ends_with("c0\n"), "wrong label: {body}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "predict stalled behind idle connections"
+    );
+
+    let (status, metrics) = http_close(addr, &request("GET", "/metrics", "m", true, ""));
+    assert_eq!(status, 200);
+    let metrics = metrics.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    assert!(
+        gauge(metrics, "dfp_serve_open_connections") >= 1000,
+        "gauge undercounts the herd:\n{}",
+        metrics
+            .lines()
+            .filter(|l| l.contains("open_connections"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(gauge(metrics, "dfp_serve_conns_accepted_total") >= 1001);
+
+    drop(herd);
+    handle.shutdown();
+}
+
+/// Slowloris defense: a connection that trickles header bytes but never
+/// completes a request gets `408` at the head timeout — from the sweep,
+/// without a worker ever being dispatched.
+#[test]
+fn slowloris_trickle_gets_408_without_a_worker() {
+    let handle = serve_event(
+        ServerConfig::default()
+            .with_threads(2)
+            .with_head_timeout(Duration::from_millis(300)),
+    );
+    let addr = handle.addr();
+
+    let mut slow = TcpStream::connect(addr).expect("connect");
+    slow.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // Trickle a few bytes, each well under the deadline, never finishing.
+    // Writes are best-effort: on a heavily loaded machine this thread can
+    // be descheduled past the head timeout, and a late chunk then hits the
+    // already-closed socket — the 408 below is still the right outcome.
+    for chunk in ["GET /hea", "lthz HT", "TP/1.1\r\nHost:"] {
+        let _ = slow.write_all(chunk.as_bytes());
+        std::thread::sleep(Duration::from_millis(40));
+    }
+
+    // The server stays fully responsive while the slow client dangles.
+    let (status, _) = http_close(addr, &request("GET", "/healthz", "alive", true, ""));
+    assert_eq!(status, 200);
+
+    let mut response = String::new();
+    slow.read_to_string(&mut response).expect("read 408");
+    assert!(
+        response.starts_with("HTTP/1.1 408 "),
+        "expected 408, got: {response}"
+    );
+    assert!(response.contains("request header timeout"));
+
+    let (_, metrics) = http_close(addr, &request("GET", "/metrics", "m", true, ""));
+    let metrics = metrics.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    assert!(gauge(metrics, "dfp_serve_head_timeouts_total") >= 1);
+
+    handle.shutdown();
+}
+
+/// A connection that connects and never speaks is closed silently at the
+/// head timeout — no 408 bytes for a peer that sent nothing, mirroring the
+/// blocking core's silent close on read timeout.
+#[test]
+fn mute_connection_is_closed_silently() {
+    let handle = serve_event(
+        ServerConfig::default()
+            .with_threads(2)
+            .with_head_timeout(Duration::from_millis(200)),
+    );
+    let mut mute = TcpStream::connect(handle.addr()).expect("connect");
+    mute.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut out = String::new();
+    mute.read_to_string(&mut out).expect("read EOF");
+    assert_eq!(out, "", "mute connection should close without bytes");
+    handle.shutdown();
+}
+
+/// Pipelined keep-alive over a real socket: two requests in one write,
+/// two responses in order on the same connection, then EOF after the
+/// explicit `Connection: close`.
+#[test]
+fn pipelined_pair_over_a_real_socket() {
+    let handle = serve_event(ServerConfig::default().with_threads(2));
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    let mut wire = request("POST", "/predict", "pipe-1", false, "v1,v1,v0\n");
+    wire.extend_from_slice(&request("GET", "/healthz", "pipe-2", true, ""));
+    stream.write_all(&wire).expect("send pipelined pair");
+
+    let (status, head, body) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    assert_eq!(body, b"c0\n");
+    assert!(head.contains("X-Request-Id: pipe-1"), "head: {head}");
+    assert!(head.contains("Connection: keep-alive"), "head: {head}");
+
+    let (status, head, body) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    assert_eq!(body, b"ok\n");
+    assert!(head.contains("X-Request-Id: pipe-2"), "head: {head}");
+    assert!(head.contains("Connection: close"), "head: {head}");
+
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("EOF after close");
+    assert!(rest.is_empty(), "bytes after Connection: close");
+    handle.shutdown();
+}
+
+/// The `max_conns` ceiling: connections beyond it get the shed `503` before
+/// any read, while established connections keep working.
+#[test]
+fn connection_ceiling_rejects_with_503() {
+    let handle = serve_event(ServerConfig::default().with_threads(2).with_max_conns(4));
+    let addr = handle.addr();
+
+    let mut parked = Vec::new();
+    for i in 0..4 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream
+            .write_all(&request("GET", "/healthz", &format!("park-{i}"), false, ""))
+            .expect("send");
+        let (status, _, _) = read_response(&mut stream);
+        assert_eq!(status, 200);
+        parked.push(stream);
+    }
+
+    let mut over = TcpStream::connect(addr).expect("connect over limit");
+    over.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut response = String::new();
+    over.read_to_string(&mut response).expect("read 503");
+    assert!(
+        response.starts_with("HTTP/1.1 503 "),
+        "expected 503 at the ceiling, got: {response}"
+    );
+    assert!(response.contains("Retry-After: 1"));
+
+    // Established connections are unaffected.
+    let first = &mut parked[0];
+    first
+        .write_all(&request("GET", "/healthz", "still-alive", false, ""))
+        .expect("send on parked conn");
+    let (status, _, body) = read_response(first);
+    assert_eq!(status, 200);
+    assert_eq!(body, b"ok\n");
+
+    // Freeing a slot readmits new connections.
+    drop(parked);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, _) = http_close(addr, &request("GET", "/healthz", "readmit", true, ""));
+        if status == 200 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "slot never freed after close");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    let (_, metrics) = http_close(addr, &request("GET", "/metrics", "m", true, ""));
+    let metrics = metrics.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    assert!(gauge(metrics, "dfp_serve_conn_limit_rejected_total") >= 1);
+    handle.shutdown();
+}
+
+/// Live-wire equivalence: the same requests against an event-loop server
+/// and a threaded server produce byte-identical responses (the generated
+/// request id on the malformed-request path is the one masked field).
+#[test]
+fn event_and_threaded_cores_answer_byte_identically() {
+    let event = serve_event(ServerConfig::default().with_threads(2));
+    let threaded = dfp_serve::serve_with_config(
+        fitted(),
+        "127.0.0.1:0",
+        ServerConfig::default()
+            .with_threads(2)
+            .with_event_loop(false),
+    )
+    .expect("bind threaded");
+
+    let cases: Vec<Vec<u8>> = vec![
+        request("GET", "/healthz", "eq-hz", true, ""),
+        request("POST", "/predict", "eq-pr", true, "v1,v1,v0\nv1,v2,v1\n"),
+        request("POST", "/predict", "eq-bad", true, "nope,v1,v0\n"),
+        request("GET", "/no-such-route", "eq-404", true, ""),
+        b"NOT-HTTP\r\n\r\n".to_vec(),
+    ];
+    for raw in &cases {
+        let (_, from_event) = http_close(event.addr(), raw);
+        let (_, from_threaded) = http_close(threaded.addr(), raw);
+        let mask = |s: &str| {
+            s.lines()
+                .map(|l| {
+                    if l.starts_with("X-Request-Id: ") && !l.contains("eq-") {
+                        "X-Request-Id: <generated>"
+                    } else {
+                        l
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            mask(&from_event),
+            mask(&from_threaded),
+            "cores diverged on: {}",
+            String::from_utf8_lossy(raw)
+        );
+    }
+    event.shutdown();
+    threaded.shutdown();
+}
+
+/// Shutdown with idle keep-alive connections parked: the handle returns
+/// promptly and the parked sockets see EOF, not a hang.
+#[test]
+fn shutdown_closes_idle_keep_alive_connections() {
+    let handle = serve_event(ServerConfig::default().with_threads(2));
+    let addr = handle.addr();
+    let mut parked = Vec::new();
+    for i in 0..8 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream
+            .write_all(&request("GET", "/healthz", &format!("shut-{i}"), false, ""))
+            .expect("send");
+        let (status, _, _) = read_response(&mut stream);
+        assert_eq!(status, 200);
+        parked.push(stream);
+    }
+
+    let started = Instant::now();
+    handle.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "shutdown hung on idle connections"
+    );
+    for mut stream in parked {
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).expect("EOF on shutdown");
+        assert!(rest.is_empty(), "unexpected bytes at shutdown");
+    }
+}
